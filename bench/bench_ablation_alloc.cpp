@@ -1,0 +1,81 @@
+// Ablation — heap placement policies (DESIGN.md): first fit vs best fit
+// vs next fit under allocation churn: fragmentation, failure rate, and
+// wall-clock cost of the placement scan.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "heap/allocator.hpp"
+
+namespace {
+
+using namespace cs31::heap;
+
+struct Outcome {
+  double fragmentation = 0;
+  std::uint64_t failures = 0;
+  std::uint32_t peak = 0;
+  double seconds = 0;
+};
+
+Outcome churn(FitPolicy policy, std::uint32_t seed) {
+  using clock = std::chrono::steady_clock;
+  Heap heap(1u << 20, policy);  // 1 MiB arena
+  std::vector<std::uint32_t> live;
+  std::uint32_t state = seed | 1u;
+  auto rnd = [&](std::uint32_t mod) {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % mod;
+  };
+  const auto t0 = clock::now();
+  for (int step = 0; step < 60000; ++step) {
+    // Bimodal sizes (tiny + occasional large), 55/45 alloc/free mix —
+    // the classic fragmentation-provoking workload.
+    if (live.empty() || rnd(100) < 55) {
+      const std::uint32_t size = rnd(100) < 80 ? 8 + rnd(56) : 512 + rnd(2048);
+      const std::uint32_t address = heap.malloc(size);
+      if (address != 0) live.push_back(address);
+    } else {
+      const std::size_t victim = rnd(static_cast<std::uint32_t>(live.size()));
+      heap.free(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  Outcome out;
+  out.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+  const HeapStats s = heap.stats();
+  out.fragmentation = s.fragmentation();
+  out.failures = s.failed_allocations;
+  out.peak = s.peak_bytes_in_use;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation: heap placement policies (1 MiB arena, 60k ops)\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%-10s %16s %10s %12s %10s\n", "policy", "fragmentation", "failures",
+              "peak bytes", "seconds");
+  for (const auto [name, policy] : {std::pair{"first", FitPolicy::FirstFit},
+                                    std::pair{"best", FitPolicy::BestFit},
+                                    std::pair{"next", FitPolicy::NextFit}}) {
+    double frag = 0, secs = 0;
+    std::uint64_t fails = 0;
+    std::uint32_t peak = 0;
+    for (const std::uint32_t seed : {1u, 2u, 3u}) {
+      const Outcome o = churn(policy, seed);
+      frag += o.fragmentation / 3;
+      secs += o.seconds / 3;
+      fails += o.failures;
+      peak = std::max(peak, o.peak);
+    }
+    std::printf("%-10s %15.1f%% %10llu %12u %10.3f\n", name, 100 * frag,
+                static_cast<unsigned long long>(fails), peak, secs);
+  }
+  std::printf("\nshape: best fit reduces external fragmentation at extra scan cost;\n"
+              "next fit spreads allocations (faster scans, more fragmentation).\n");
+  return 0;
+}

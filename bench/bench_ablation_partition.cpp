@@ -1,0 +1,87 @@
+// Ablation — Lab 10's design choice: partition the Life grid into
+// horizontal or vertical bands. Functionally equivalent (the tests prove
+// it); this bench quantifies the balance and the cache-footprint
+// difference (a vertical band strides across every row), via the cache
+// simulator and the multicore model.
+#include <cstdio>
+
+#include "life/life.hpp"
+#include "memhier/cache.hpp"
+#include "memhier/trace.hpp"
+#include "parallel/speedup.hpp"
+#include "parallel/threads.hpp"
+
+namespace {
+
+using namespace cs31;
+
+// Addresses one thread touches when updating its band of a rows x cols
+// int grid (reads dominated by the row-sweep order of step_region).
+memhier::Trace band_trace(const parallel::GridRegion& region, std::size_t cols) {
+  memhier::Trace trace;
+  for (std::size_t r = region.rows.begin; r < region.rows.end; ++r) {
+    for (std::size_t c = region.cols.begin; c < region.cols.end; ++c) {
+      trace.push_back({static_cast<std::uint32_t>((r * cols + c) * 4), false});
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation: Life grid partitioning — horizontal vs vertical\n");
+  std::printf("==============================================================\n\n");
+
+  constexpr std::size_t kRows = 256, kCols = 256, kThreads = 8;
+
+  std::printf("(a) load balance (cells per thread, %zux%zu grid, %zu threads)\n",
+              kRows, kCols, kThreads);
+  for (const auto [name, split] :
+       {std::pair{"horizontal", parallel::GridSplit::Horizontal},
+        std::pair{"vertical", parallel::GridSplit::Vertical}}) {
+    const auto regions = parallel::grid_partition(kRows, kCols, kThreads, split);
+    std::size_t min_cells = SIZE_MAX, max_cells = 0;
+    for (const auto& region : regions) {
+      const std::size_t cells = region.rows.size() * region.cols.size();
+      min_cells = std::min(min_cells, cells);
+      max_cells = std::max(max_cells, cells);
+    }
+    std::printf("  %-12s min %zu, max %zu (imbalance %.2f%%)\n", name, min_cells,
+                max_cells, 100.0 * (max_cells - min_cells) / max_cells);
+  }
+
+  std::printf("\n(b) one thread's cache behaviour over its band (32 KiB, 64 B blocks)\n");
+  std::printf("%-12s %10s %14s\n", "split", "hit rate", "spatial frac");
+  for (const auto [name, split] :
+       {std::pair{"horizontal", parallel::GridSplit::Horizontal},
+        std::pair{"vertical", parallel::GridSplit::Vertical}}) {
+    const auto regions = parallel::grid_partition(kRows, kCols, kThreads, split);
+    const memhier::Trace trace = band_trace(regions[0], kCols);
+    memhier::CacheConfig cfg{.block_bytes = 64, .num_lines = 512, .associativity = 4};
+    memhier::Cache cache(cfg);
+    const memhier::CacheStats stats = replay(cache, trace);
+    const memhier::LocalityReport loc = analyze_locality(trace, 64);
+    std::printf("%-12s %9.1f%% %13.2f\n", name, 100 * stats.hit_rate(),
+                loc.spatial_fraction);
+  }
+  std::printf("  note: within a band both orders scan rows, but a vertical band's\n"
+              "  rows are short (cols/threads), so each row change is a %zu-byte\n"
+              "  jump — more blocks touched per cell, worse block reuse at the\n"
+              "  band edges.\n",
+              kCols * 4);
+
+  std::printf("\n(c) correctness cross-check at 256x256, 8 threads, 5 generations\n");
+  const life::Grid initial = life::Grid::random(kRows, kCols, 0.3, 31);
+  life::SerialLife serial(initial);
+  life::ParallelLife horizontal(initial, kThreads, parallel::GridSplit::Horizontal);
+  life::ParallelLife vertical(initial, kThreads, parallel::GridSplit::Vertical);
+  serial.run(5);
+  horizontal.run(5);
+  vertical.run(5);
+  std::printf("  horizontal == serial: %s; vertical == serial: %s\n",
+              horizontal.grid() == serial.grid() ? "yes" : "NO",
+              vertical.grid() == serial.grid() ? "yes" : "NO");
+  return horizontal.grid() == serial.grid() && vertical.grid() == serial.grid() ? 0 : 1;
+}

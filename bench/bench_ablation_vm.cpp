@@ -1,0 +1,63 @@
+// Ablation — page-replacement policy (the course teaches LRU; FIFO and
+// Clock quantify the design choice): fault rates across workload shapes
+// under tight RAM.
+#include <cstdio>
+
+#include "vm/paging.hpp"
+
+namespace {
+
+using namespace cs31::vm;
+
+double fault_rate(PageReplacement policy, int workload, std::uint32_t frames) {
+  PagingConfig cfg;
+  cfg.page_bytes = 256;
+  cfg.virtual_pages = 32;
+  cfg.physical_frames = frames;
+  cfg.replacement = policy;
+  PagingSystem vm(cfg);
+  vm.create_process();
+  std::uint32_t state = 12345;
+  auto rnd = [&](std::uint32_t mod) {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % mod;
+  };
+  for (int i = 0; i < 4000; ++i) {
+    std::uint32_t page = 0;
+    switch (workload) {
+      case 0:  // 80/20 hot-set
+        page = rnd(10) < 8 ? rnd(frames - 1) : frames + rnd(16);
+        break;
+      case 1:  // sequential loop one page larger than RAM (anti-LRU)
+        page = static_cast<std::uint32_t>(i) % (frames + 1);
+        break;
+      case 2:  // uniform random over 2x RAM
+        page = rnd(2 * frames);
+        break;
+    }
+    vm.access(page * 256 + rnd(256), rnd(4) == 0);
+  }
+  return vm.stats().fault_rate();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation: page replacement (LRU vs FIFO vs Clock), 8 frames\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%8s %12s %14s %12s\n", "policy", "hot-set", "loop (RAM+1)", "uniform");
+  for (const auto [name, policy] : {std::pair{"LRU", PageReplacement::Lru},
+                                    std::pair{"FIFO", PageReplacement::Fifo},
+                                    std::pair{"Clock", PageReplacement::Clock}}) {
+    std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", name,
+                100 * fault_rate(policy, 0, 8), 100 * fault_rate(policy, 1, 8),
+                100 * fault_rate(policy, 2, 8));
+  }
+  std::printf(
+      "\nshape: LRU/Clock protect the hot set (recency matters); the loop one\n"
+      "page bigger than RAM faults on every access under LRU/FIFO — Belady's\n"
+      "anomaly territory — and Clock approximates LRU at a fraction of the\n"
+      "bookkeeping, which is why real kernels use it.\n");
+  return 0;
+}

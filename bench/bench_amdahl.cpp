@@ -1,0 +1,66 @@
+// Experiment E7 — Amdahl's Law and its observed droop: theoretical
+// curves for several serial fractions, the MulticoreModel's contention-
+// bent curves, and Gustafson's scaled-speedup contrast (the extension
+// the course defers to upper-level work).
+#include <cstdio>
+
+#include "parallel/speedup.hpp"
+
+int main() {
+  using namespace cs31::parallel;
+
+  std::printf("==============================================================\n");
+  std::printf("E7: Amdahl's Law — theory vs contention-model reality\n");
+  std::printf("==============================================================\n\n");
+
+  const double fractions[] = {0.0, 0.01, 0.05, 0.10, 0.25};
+  std::printf("(a) theoretical Amdahl speedup\n%8s", "cores");
+  for (const double f : fractions) std::printf("   f=%-5.2f", f);
+  std::printf("\n");
+  for (unsigned p = 1; p <= 32; p *= 2) {
+    std::printf("%8u", p);
+    for (const double f : fractions) std::printf(" %8.2fx", amdahl_speedup(f, p));
+    std::printf("\n");
+  }
+  std::printf("%8s", "limit");
+  for (const double f : fractions) {
+    if (f == 0.0) {
+      std::printf(" %8s", "inf");
+    } else {
+      std::printf(" %8.2fx", amdahl_limit(f));
+    }
+  }
+  std::printf("\n\n");
+
+  std::printf("(b) modeled machine (f=0.05 equivalent) with contention/barriers\n");
+  WorkloadModel model;
+  model.total_work = 1'000'000;
+  model.serial_work = 52'632;  // ~5%% serial fraction of the 1-thread run
+  model.rounds = 50;
+  model.barrier_cost = 200;
+  model.critical_section = 20;
+  model.contention_factor = 0.004;
+  std::printf("%8s %12s %12s %12s\n", "cores", "amdahl", "modeled", "droop");
+  const double f = 0.05;
+  bool droop_grows = true;
+  double prev_droop = 0;
+  for (unsigned p = 1; p <= 32; p *= 2) {
+    const double ideal = amdahl_speedup(f, p);
+    const double real = modeled_speedup(model, p);
+    const double droop = ideal - real;
+    std::printf("%8u %11.2fx %11.2fx %11.2fx\n", p, ideal, real, droop);
+    if (p > 1 && droop < prev_droop - 1e-9) droop_grows = false;
+    prev_droop = droop;
+  }
+  std::printf("  (paper: \"resource contention can reduce observed speedup from\n"
+              "   theoretical ideal linear speedup\" — droop grows with cores: %s)\n\n",
+              droop_grows ? "yes" : "no");
+
+  std::printf("(c) Gustafson's scaled speedup (extension)\n%8s %10s %10s\n", "cores",
+              "amdahl.1", "gustafson.1");
+  for (unsigned p = 1; p <= 32; p *= 2) {
+    std::printf("%8u %9.2fx %9.2fx\n", p, amdahl_speedup(0.1, p),
+                gustafson_speedup(0.1, p));
+  }
+  return 0;
+}

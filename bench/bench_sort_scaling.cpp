@@ -1,0 +1,76 @@
+// Extension bench — Lab 2 meets the parallelism module: the O(N^2)
+// sorts students write vs merge sort vs parallel merge sort, showing
+// that algorithmic improvement dwarfs parallel speedup (a "thinking in
+// parallel" lesson the course sets up with Big-O vs hardware costs).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "labs/sorting.hpp"
+
+namespace {
+
+using namespace cs31::labs;
+
+std::vector<int> data_of(std::int64_t n) {
+  std::vector<int> data(static_cast<std::size_t>(n));
+  fill_random(data, 77);
+  return data;
+}
+
+void BM_Bubble(benchmark::State& state) {
+  const std::vector<int> base = data_of(state.range(0));
+  for (auto _ : state) {
+    std::vector<int> d = base;
+    bubble_sort(d);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+
+void BM_Insertion(benchmark::State& state) {
+  const std::vector<int> base = data_of(state.range(0));
+  for (auto _ : state) {
+    std::vector<int> d = base;
+    insertion_sort(d);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+
+void BM_Selection(benchmark::State& state) {
+  const std::vector<int> base = data_of(state.range(0));
+  for (auto _ : state) {
+    std::vector<int> d = base;
+    selection_sort(d);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+
+void BM_MergeSerial(benchmark::State& state) {
+  const std::vector<int> base = data_of(state.range(0));
+  for (auto _ : state) {
+    std::vector<int> d = base;
+    parallel_merge_sort(d, 1);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+
+void BM_MergeParallel4(benchmark::State& state) {
+  const std::vector<int> base = data_of(state.range(0));
+  for (auto _ : state) {
+    std::vector<int> d = base;
+    parallel_merge_sort(d, 4);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+
+constexpr long kSmall = 2000, kLarge = 20000;
+
+BENCHMARK(BM_Bubble)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Insertion)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Selection)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_MergeSerial)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_MergeParallel4)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// The Binary Maze (Lab 5), playable: generates a maze, shows the
+// disassembly students would read in GDB, demonstrates a debugger
+// session on the first floor, and then plays guesses supplied on the
+// command line (or, with --solve, the derived solutions).
+//
+//   ./build/examples/binary_maze              # show the maze + a debug session
+//   ./build/examples/binary_maze --solve      # watch all floors fall
+//   ./build/examples/binary_maze 1234 777 ... # your own guesses, floor by floor
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "isa/debugger.hpp"
+#include "isa/maze.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cs31::isa;
+  const Maze maze(5, 0xC0FFEE);
+
+  std::printf("Welcome to the Binary Maze: %u floors between you and daylight.\n\n",
+              maze.floors());
+  std::printf("The disassembly (what `disas` shows in the debugger):\n");
+  for (const DisasmLine& line : disassemble(maze.image())) {
+    if (!line.label.empty()) std::printf("%s:\n", line.label.c_str());
+    std::printf("   0x%x:\t%s\n", line.address, line.text.c_str());
+  }
+
+  std::printf("\n--- a debugger session on floor_0 (the workflow of Lab 5) ---\n");
+  Machine machine;
+  machine.load(maze.image());
+  machine.set_reg(Reg::Eip, maze.image().symbol("floor_0"));
+  machine.set_reg(Reg::Eax, 42);  // a guess
+  Debugger dbg(machine);
+  std::printf("(maze) disas\n%s", dbg.disas(0, 2).c_str());
+  std::printf("(maze) stepi\n%s", dbg.execute("stepi").c_str());
+  std::printf("(maze) info registers\n%s", dbg.execute("info registers").c_str());
+  std::printf("--- the cmpl operand above IS the secret; that's the lab's aha ---\n\n");
+
+  std::vector<std::uint32_t> guesses;
+  if (argc > 1 && std::strcmp(argv[1], "--solve") == 0) {
+    for (unsigned k = 0; k < maze.floors(); ++k) guesses.push_back(maze.solution(k));
+  } else {
+    for (int i = 1; i < argc; ++i) {
+      guesses.push_back(static_cast<std::uint32_t>(std::strtoul(argv[i], nullptr, 0)));
+    }
+  }
+  if (guesses.empty()) {
+    std::printf("No guesses given. Re-run with guesses as arguments, or --solve.\n");
+    return 0;
+  }
+
+  unsigned floor = 0;
+  for (; floor < maze.floors() && floor < guesses.size(); ++floor) {
+    const AttemptResult r = maze.attempt(floor, guesses[floor]);
+    std::printf("floor %u: guess %u -> %s (%zu instructions)\n", floor, guesses[floor],
+                r.passed ? "PASS" : "BOOM", r.instructions);
+    if (!r.passed) break;
+  }
+  if (floor == maze.floors()) {
+    std::printf("\nYou escaped the maze!\n");
+    return 0;
+  }
+  std::printf("\nYou made it past %u floor(s). Fire up the debugger and look again.\n",
+              floor);
+  return 1;
+}

@@ -1,0 +1,34 @@
+// Simulate one peer-instruction class session (the paper's pedagogy:
+// individual clicker vote -> small-group discussion -> second vote),
+// printing per-topic first/second-round correctness and the normalized
+// gain.
+//
+//   ./build/examples/peer_instruction [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pedagogy/peer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cs31;
+  pedagogy::SessionConfig cfg;
+  if (argc > 1) cfg.seed = static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 0));
+
+  const auto bank = pedagogy::question_bank(core::Curriculum::cs31());
+  const auto results = pedagogy::run_session(bank, cfg);
+
+  std::printf("Peer-instruction session: %u students, groups of %u, seed %u\n\n",
+              cfg.students, cfg.group_size, cfg.seed);
+  std::printf("%-32s %10s %10s %8s\n", "topic", "1st vote", "2nd vote", "gain");
+  for (const pedagogy::PollResult& poll : results) {
+    std::printf("%-32s %9.0f%% %9.0f%% %8.2f\n", poll.topic.c_str(),
+                100 * poll.first_rate(), 100 * poll.second_rate(),
+                poll.normalized_gain());
+  }
+  const pedagogy::SessionSummary s = pedagogy::summarize(results);
+  std::printf("\nsession means: first %.0f%%, second %.0f%%, normalized gain %.2f\n",
+              100 * s.mean_first_rate, 100 * s.mean_second_rate,
+              s.mean_normalized_gain);
+  std::printf("(the reliable second-round lift is why the course polls twice)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: a ten-minute tour of the cs31kit public API, following the
+// course's own arc — bits -> circuits -> assembly -> caching -> OS ->
+// threads. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "bits/convert.hpp"
+#include "core/curriculum.hpp"
+#include "isa/machine.hpp"
+#include "life/life.hpp"
+#include "logic/alu.hpp"
+#include "memhier/cache.hpp"
+#include "memhier/trace.hpp"
+#include "os/kernel.hpp"
+#include "parallel/speedup.hpp"
+
+int main() {
+  using namespace cs31;
+
+  std::printf("== 1. binary representation ==\n");
+  const bits::Word w = bits::parse_decimal("-93", 8);
+  const bits::ConversionRow row = conversion_row(w);
+  std::printf("-93 as an 8-bit pattern: %s (%s), unsigned reading %llu\n\n",
+              row.binary.c_str(), row.hex.c_str(),
+              static_cast<unsigned long long>(row.as_unsigned));
+
+  std::printf("== 2. a gate-level ALU (Lab 3) ==\n");
+  logic::Circuit circuit;
+  const logic::Alu alu = logic::build_alu(circuit, 8);
+  const logic::AluReading sum = run_alu(circuit, alu, logic::AluOp::Add, 200, 100);
+  std::printf("200 + 100 at 8 bits = %llu, carry=%d (that's unsigned overflow), "
+              "built from %zu gates\n\n",
+              static_cast<unsigned long long>(sum.result), sum.carry,
+              circuit.gate_count());
+
+  std::printf("== 3. assembly on the IA-32 subset (Labs 4-5) ==\n");
+  isa::Machine machine;
+  machine.load(isa::assemble(R"(
+main:
+    pushl $6
+    call factorial_ish    # 6 * 7 via the stack discipline
+    hlt
+factorial_ish:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    imull $7, %eax
+    leave
+    ret
+)"));
+  machine.run();
+  std::printf("assembled, ran through call/ret/leave: eax = %u\n\n",
+              machine.reg(isa::Reg::Eax));
+
+  std::printf("== 4. cache behaviour (the stride exercise) ==\n");
+  memhier::CacheConfig cache_cfg;
+  cache_cfg.block_bytes = 64;
+  cache_cfg.num_lines = 64;
+  memhier::Cache rows_cache(cache_cfg), cols_cache(cache_cfg);
+  const auto row_stats = replay(rows_cache, memhier::row_major_trace(0, 64, 64));
+  const auto col_stats = replay(cols_cache, memhier::column_major_trace(0, 64, 64));
+  std::printf("row-major hit rate %.0f%%, column-major %.0f%% — same loop body!\n\n",
+              100 * row_stats.hit_rate(), 100 * col_stats.hit_rate());
+
+  std::printf("== 5. processes on the simulated kernel ==\n");
+  os::Kernel kernel;
+  kernel.spawn(os::ProgramBuilder()
+                   .fork(os::ProgramBuilder().print("child: hello").build())
+                   .wait()
+                   .print("parent: reaped my child")
+                   .build());
+  kernel.run();
+  for (const std::string& line : kernel.output()) std::printf("  %s\n", line.c_str());
+  std::printf("\n");
+
+  std::printf("== 6. shared-memory parallelism (Labs 6 & 10) ==\n");
+  const life::Grid initial = life::Grid::random(64, 64, 0.3, 7);
+  life::SerialLife serial(initial);
+  life::ParallelLife parallel_sim(initial, 4);
+  serial.run(10);
+  parallel_sim.run(10);
+  std::printf("10 generations: serial pop %zu, 4-thread pop %zu (equal: %s)\n",
+              serial.grid().population(), parallel_sim.grid().population(),
+              serial.grid() == parallel_sim.grid() ? "yes" : "NO");
+  std::printf("modeled 16-thread speedup for the big lab grid: %.1fx\n\n",
+              parallel::modeled_speedup(
+                  {.total_work = 512u * 512u * 100u, .rounds = 100,
+                   .barrier_cost = 400, .critical_section = 60,
+                   .contention_factor = 0.004},
+                  16));
+
+  std::printf("== 7. the curriculum that ties it together ==\n");
+  std::printf("%s", core::Curriculum::cs31().render_table1().c_str());
+  return 0;
+}

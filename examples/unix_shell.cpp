@@ -1,0 +1,62 @@
+// The Lab 9 Unix shell on the simulated kernel. Interactive when stdin
+// is a terminal; otherwise runs a scripted demo session showing
+// foreground/background execution, job reaping, history, and !n.
+//
+//   ./build/examples/unix_shell            # demo script (or pipe commands in)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "shell/shell.hpp"
+
+namespace {
+
+void run_one(cs31::shell::Shell& shell, cs31::os::Kernel& kernel,
+             const std::string& line, bool echo) {
+  if (echo) std::printf("cs31sh> %s\n", line.c_str());
+  const std::size_t printed_before = kernel.output().size();
+  const cs31::shell::ShellResult result = shell.run_line(line);
+  // Print whatever the child processes wrote during this command.
+  for (std::size_t i = printed_before; i < kernel.output().size(); ++i) {
+    std::printf("%s\n", kernel.output()[i].c_str());
+  }
+  if (!result.output.empty()) std::printf("%s", result.output.c_str());
+  if (result.exited) std::printf("exit\n");
+}
+
+}  // namespace
+
+int main() {
+  cs31::os::Kernel kernel;
+  cs31::shell::Shell shell(kernel);
+  shell.install_standard_commands();
+
+  std::string line;
+  if (std::getline(std::cin, line)) {
+    // Piped/interactive input: process it line by line.
+    do {
+      run_one(shell, kernel, line, true);
+      if (line == "exit") return 0;
+    } while (std::getline(std::cin, line));
+    return 0;
+  }
+
+  // No stdin: scripted demo.
+  const std::vector<std::string> script = {
+      "echo hello from the cs31 shell",
+      "countdown 3",
+      "spin 40 &",
+      "echo foreground runs while the job spins",
+      "jobs",
+      "spin 60",  // drives the kernel long enough for the job to finish
+      "jobs",
+      "history",
+      "!1",
+      "exit",
+  };
+  for (const std::string& cmd : script) run_one(shell, kernel, cmd, true);
+  std::printf("\nfinal process table:\n%s", kernel.hierarchy().c_str());
+  return 0;
+}

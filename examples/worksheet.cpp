@@ -1,0 +1,18 @@
+// Generate a CS 31 practice worksheet and its machine-computed answer
+// key (the weekly written homeworks of the paper, self-grading).
+//
+//   ./build/examples/worksheet [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "homework/homework.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t seed =
+      argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 0)) : 31;
+  const cs31::homework::Worksheet sheet = cs31::homework::render_worksheet(seed);
+  std::printf("%s\n", sheet.problems.c_str());
+  std::printf("------------------------------------------------------------\n\n");
+  std::printf("%s", sheet.answer_key.c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Number-base conversion utilities (CS 31 Lab 1 and the "Binary and
+// arithmetic" homework): decimal <-> binary <-> hexadecimal, with the
+// digit-grouping conventions used in the course materials.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bits/integer.hpp"
+
+namespace cs31::bits {
+
+/// Render the low `width` bits of a pattern as a binary string, most
+/// significant bit first, e.g. (0b1010, 4) -> "1010".
+[[nodiscard]] std::string to_binary(std::uint64_t pattern, int width);
+
+/// Render as binary with a space every 4 bits (course notation),
+/// e.g. (0xAB, 8) -> "1010 1011".
+[[nodiscard]] std::string to_binary_grouped(std::uint64_t pattern, int width);
+
+/// Render the low `width` bits as lowercase hex with a "0x" prefix.
+/// Width is rounded up to a whole number of nibbles for display.
+[[nodiscard]] std::string to_hex(std::uint64_t pattern, int width);
+
+/// Parse a binary string ("1010", optionally with spaces or a "0b"
+/// prefix). Throws cs31::Error on malformed input or > 64 digits.
+[[nodiscard]] std::uint64_t parse_binary(const std::string& text);
+
+/// Parse a hex string ("0xdeadBEEF" or "deadbeef", spaces allowed).
+/// Throws cs31::Error on malformed input or overflow past 64 bits.
+[[nodiscard]] std::uint64_t parse_hex(const std::string& text);
+
+/// Parse a decimal string with optional leading '-'; returns the
+/// two's-complement encoding at `width` bits. Throws when the value does
+/// not fit (signed range for negative inputs, unsigned range otherwise).
+[[nodiscard]] Word parse_decimal(const std::string& text, int width);
+
+/// One row of the course's conversion-practice table: the same pattern
+/// shown in every base and both signednesses.
+struct ConversionRow {
+  std::string binary;
+  std::string hex;
+  std::uint64_t as_unsigned = 0;
+  std::int64_t as_signed = 0;
+};
+
+/// Produce the full conversion row for a word, as students fill in on
+/// Homework 2.
+[[nodiscard]] ConversionRow conversion_row(const Word& w);
+
+}  // namespace cs31::bits

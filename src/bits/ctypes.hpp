@@ -1,0 +1,49 @@
+// Model of C integer types as CS 31 teaches them ("the typical number of
+// bytes in different C types"): per-type size, signedness, and value
+// range, plus the overflow demonstrations from Lab 1 ("the maximum value
+// that can be stored in an int variable").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/integer.hpp"
+
+namespace cs31::bits {
+
+/// The C types the course discusses, on a typical 64-bit Linux machine
+/// (the department lab machines).
+enum class CType {
+  Char, UnsignedChar, Short, UnsignedShort, Int, UnsignedInt,
+  Long, UnsignedLong, Float, Double, Pointer,
+};
+
+/// Static properties of one C type.
+struct CTypeInfo {
+  CType type;
+  std::string name;    ///< C spelling, e.g. "unsigned short"
+  int size_bytes;      ///< sizeof on the course's lab machines
+  bool is_integer;     ///< float/double/pointer are not
+  bool is_signed;      ///< meaningful only for integer types
+};
+
+/// Properties for one type. Covers every CType enumerator.
+[[nodiscard]] const CTypeInfo& ctype_info(CType t);
+
+/// All types in course-presentation order.
+[[nodiscard]] const std::vector<CTypeInfo>& all_ctypes();
+
+/// Value range of an integer C type. Throws for non-integer types.
+[[nodiscard]] std::int64_t ctype_min(CType t);
+[[nodiscard]] std::uint64_t ctype_max(CType t);
+
+/// Lab 1's experiment: what pattern does `value + 1` produce when stored
+/// in type `t`? Demonstrates wraparound at the type's width.
+/// Throws for non-integer types.
+[[nodiscard]] Word ctype_increment(CType t, const Word& value);
+
+/// Render the "sizes of C types" table from the course notes.
+[[nodiscard]] std::string ctype_table();
+
+}  // namespace cs31::bits

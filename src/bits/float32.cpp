@@ -1,0 +1,83 @@
+#include "bits/float32.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "bits/convert.hpp"
+#include "common/error.hpp"
+
+namespace cs31::bits {
+
+namespace {
+constexpr std::uint32_t kFracMask = (1u << 23) - 1;
+constexpr std::uint32_t kExpMask = 0xFFu;
+constexpr int kBias = 127;
+}  // namespace
+
+int Float32Fields::unbiased_exponent() const {
+  if (cls == FloatClass::Denormal || cls == FloatClass::Zero) return 1 - kBias;
+  return static_cast<int>(exponent) - kBias;
+}
+
+double Float32Fields::significand() const {
+  const double frac = static_cast<double>(fraction) / static_cast<double>(1u << 23);
+  return cls == FloatClass::Normal ? 1.0 + frac : frac;
+}
+
+Float32Fields decompose(std::uint32_t pattern) {
+  Float32Fields f;
+  f.sign = (pattern >> 31) & 1u;
+  f.exponent = (pattern >> 23) & kExpMask;
+  f.fraction = pattern & kFracMask;
+  if (f.exponent == kExpMask) {
+    f.cls = f.fraction == 0 ? FloatClass::Infinity : FloatClass::NaN;
+  } else if (f.exponent == 0) {
+    f.cls = f.fraction == 0 ? FloatClass::Zero : FloatClass::Denormal;
+  } else {
+    f.cls = FloatClass::Normal;
+  }
+  return f;
+}
+
+Float32Fields decompose(float value) {
+  return decompose(std::bit_cast<std::uint32_t>(value));
+}
+
+std::uint32_t compose(bool sign, std::uint32_t exponent, std::uint32_t fraction) {
+  require(exponent <= kExpMask, "exponent field wider than 8 bits");
+  require(fraction <= kFracMask, "fraction field wider than 23 bits");
+  return (static_cast<std::uint32_t>(sign) << 31) | (exponent << 23) | fraction;
+}
+
+double value_of(const Float32Fields& f) {
+  const double s = f.sign ? -1.0 : 1.0;
+  switch (f.cls) {
+    case FloatClass::Zero:
+      return s * 0.0;
+    case FloatClass::Infinity:
+      return s * std::numeric_limits<double>::infinity();
+    case FloatClass::NaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FloatClass::Denormal:
+    case FloatClass::Normal:
+      return s * f.significand() * std::exp2(static_cast<double>(f.unbiased_exponent()));
+  }
+  return 0.0;  // unreachable
+}
+
+std::string describe(const Float32Fields& f) {
+  std::string cls;
+  switch (f.cls) {
+    case FloatClass::Zero: cls = "zero"; break;
+    case FloatClass::Denormal: cls = "denormal"; break;
+    case FloatClass::Normal: cls = "normal"; break;
+    case FloatClass::Infinity: cls = "infinity"; break;
+    case FloatClass::NaN: cls = "nan"; break;
+  }
+  return "sign=" + std::string(f.sign ? "1" : "0") +
+         " exp=" + to_binary(f.exponent, 8) +
+         " frac=" + to_binary(f.fraction, 23) + " (" + cls + ")";
+}
+
+}  // namespace cs31::bits

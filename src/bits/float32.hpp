@@ -1,0 +1,49 @@
+// IEEE-754 single-precision decomposition (CS 31 "briefly discuss
+// floating point representation"): split a 32-bit pattern into sign /
+// exponent / fraction fields, classify it, and reconstruct the value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cs31::bits {
+
+/// What kind of IEEE-754 number a pattern encodes.
+enum class FloatClass { Zero, Denormal, Normal, Infinity, NaN };
+
+/// The three fields of a single-precision float, plus derived views.
+struct Float32Fields {
+  bool sign = false;           ///< true for negative
+  std::uint32_t exponent = 0;  ///< raw 8-bit biased exponent
+  std::uint32_t fraction = 0;  ///< raw 23-bit fraction field
+  FloatClass cls = FloatClass::Zero;
+
+  /// Unbiased exponent (exponent - 127 for normals, -126 for denormals);
+  /// meaningless for Infinity/NaN.
+  [[nodiscard]] int unbiased_exponent() const;
+
+  /// Significand including the implicit leading bit for normals
+  /// (value in [1,2) for normals, [0,1) for denormals).
+  [[nodiscard]] double significand() const;
+};
+
+/// Decompose a raw 32-bit pattern.
+[[nodiscard]] Float32Fields decompose(std::uint32_t pattern);
+
+/// Decompose a float value (bit-identical round trip).
+[[nodiscard]] Float32Fields decompose(float value);
+
+/// Reassemble a pattern from fields (raw field values, no checking
+/// beyond field-width limits; throws cs31::Error when a field overflows
+/// its width).
+[[nodiscard]] std::uint32_t compose(bool sign, std::uint32_t exponent,
+                                    std::uint32_t fraction);
+
+/// Numeric value of a pattern, computed from the fields by the textbook
+/// formula rather than by bit-casting (so tests can cross-check both).
+[[nodiscard]] double value_of(const Float32Fields& f);
+
+/// Course-notation rendering, e.g. "sign=1 exp=10000001 frac=0100...".
+[[nodiscard]] std::string describe(const Float32Fields& f);
+
+}  // namespace cs31::bits

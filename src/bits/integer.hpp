@@ -1,0 +1,107 @@
+// Fixed-width two's-complement integer arithmetic (CS 31 "Binary
+// Representation" module, Lab 1, homework "Binary and arithmetic").
+//
+// Models values as raw bit patterns of a chosen width (1..64 bits) and
+// exposes exactly the semantics the course teaches: unsigned and signed
+// (two's complement) interpretation, addition/subtraction with carry-out
+// and signed-overflow detection, negation, truncation, and sign/zero
+// extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cs31::bits {
+
+/// Condition flags produced by width-limited arithmetic, mirroring the
+/// ALU status flags the course builds in Lab 3 (zero, sign, carry,
+/// signed overflow).
+struct Flags {
+  bool zero = false;      ///< result bit pattern is all zeros
+  bool sign = false;      ///< most-significant (sign) bit of the result
+  bool carry = false;     ///< unsigned carry/borrow out of the top bit
+  bool overflow = false;  ///< signed (two's complement) overflow
+
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+/// Result of a width-limited operation: the truncated bit pattern plus
+/// the flags describing what happened at that width.
+struct ArithResult {
+  std::uint64_t pattern = 0;  ///< low `width` bits of the result
+  Flags flags;
+};
+
+/// A bit pattern with an explicit width. The same pattern can be read as
+/// unsigned or as two's-complement signed, which is the central point of
+/// the course's data-representation unit.
+class Word {
+ public:
+  /// Construct from a raw pattern; bits above `width` must be zero.
+  /// Throws cs31::Error if width is outside [1, 64] or pattern has bits
+  /// set beyond the width.
+  Word(std::uint64_t pattern, int width);
+
+  /// Encode a signed value in two's complement at `width` bits.
+  /// Throws cs31::Error when the value is not representable.
+  static Word from_signed(std::int64_t value, int width);
+
+  /// Encode an unsigned value. Throws cs31::Error when not representable.
+  static Word from_unsigned(std::uint64_t value, int width);
+
+  [[nodiscard]] std::uint64_t pattern() const { return pattern_; }
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Read the pattern as an unsigned integer.
+  [[nodiscard]] std::uint64_t as_unsigned() const { return pattern_; }
+
+  /// Read the pattern as a two's-complement signed integer.
+  [[nodiscard]] std::int64_t as_signed() const;
+
+  /// Most-significant bit (the sign bit in the signed reading).
+  [[nodiscard]] bool msb() const;
+
+  /// Bit `i` (0 = least significant). Throws on out-of-range.
+  [[nodiscard]] bool bit(int i) const;
+
+  /// Two's-complement negation at this width (note: negating the minimum
+  /// value yields itself with overflow, exactly as on hardware).
+  [[nodiscard]] ArithResult negate() const;
+
+  /// Truncate to a narrower width (C narrowing-cast semantics).
+  [[nodiscard]] Word truncate(int new_width) const;
+
+  /// Sign-extend to a wider width (signed C widening-cast semantics).
+  [[nodiscard]] Word sign_extend(int new_width) const;
+
+  /// Zero-extend to a wider width (unsigned C widening-cast semantics).
+  [[nodiscard]] Word zero_extend(int new_width) const;
+
+  friend bool operator==(const Word&, const Word&) = default;
+
+ private:
+  std::uint64_t pattern_;
+  int width_;
+};
+
+/// Smallest signed value representable at `width` bits.
+[[nodiscard]] std::int64_t min_signed(int width);
+/// Largest signed value representable at `width` bits.
+[[nodiscard]] std::int64_t max_signed(int width);
+/// Largest unsigned value representable at `width` bits.
+[[nodiscard]] std::uint64_t max_unsigned(int width);
+
+/// Add two same-width words, reporting carry-out and signed overflow.
+/// Throws cs31::Error when widths differ.
+[[nodiscard]] ArithResult add(const Word& a, const Word& b);
+
+/// Subtract b from a (a + ~b + 1, as the course's ALU implements it);
+/// `carry` reports *no borrow* exactly like x86's CF inverted convention
+/// is NOT used here — carry=true means a borrow occurred.
+[[nodiscard]] ArithResult sub(const Word& a, const Word& b);
+
+/// Mask with the low `width` bits set; the fundamental helper the course
+/// uses when discussing truncation.
+[[nodiscard]] std::uint64_t low_mask(int width);
+
+}  // namespace cs31::bits

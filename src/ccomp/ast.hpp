@@ -1,0 +1,61 @@
+// AST for mini-C. Deliberately flat and value-oriented: expressions and
+// statements are small tagged structs owned through unique_ptr, mirroring
+// the one-pass structure a course compiler would have.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cs31::cc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary and unary operators the code generator understands. Division
+/// and modulo are intentionally absent: the teaching ISA has no idiv,
+/// exactly as the course's assembly unit skips it.
+enum class BinOp {
+  Add, Sub, Mul, BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne, LogicalAnd, LogicalOr,
+};
+enum class UnOp { Neg, BitNot, LogicalNot };
+
+struct Expr {
+  enum class Kind { IntLit, Var, Unary, Binary, Assign, Call } kind = Kind::IntLit;
+  std::int32_t value = 0;          // IntLit
+  std::string name;                // Var, Assign (target), Call (callee)
+  UnOp un_op = UnOp::Neg;          // Unary
+  BinOp bin_op = BinOp::Add;       // Binary
+  ExprPtr lhs, rhs;                // Unary uses lhs; Assign uses rhs
+  std::vector<ExprPtr> args;       // Call
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { ExprStmt, Decl, If, While, Return, Block } kind = Kind::ExprStmt;
+  ExprPtr expr;                 // ExprStmt / condition / return value / initializer
+  std::string name;             // Decl
+  std::vector<StmtPtr> body;    // Block; If-then is body[0], else is body[1]
+  StmtPtr then_branch, else_branch, loop_body;
+  int line = 0;
+};
+
+/// One function definition: int name(int a, int b) { ... }
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+/// A whole translation unit.
+struct ProgramAst {
+  std::vector<Function> functions;
+};
+
+}  // namespace cs31::cc

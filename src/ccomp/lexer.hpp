@@ -1,0 +1,39 @@
+// Lexer for the kit's mini-C language (CS 31's "role of the compiler in
+// translating a C program to the binary form" and the Lab 4 / homework
+// drills translating C to IA-32). The language is the integer subset
+// the course's examples use: int variables, arithmetic, comparisons,
+// logical and bitwise operators, if/else, while, functions, recursion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs31::cc {
+
+enum class TokKind {
+  End, IntLit, Ident,
+  KwInt, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwVoid,
+  Plus, Minus, Star, Percent, Slash,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Less, Greater, LessEq, GreaterEq, EqEq, BangEq,
+  AmpAmp, PipePipe,
+  Assign, LParen, RParen, LBrace, RBrace, Semi, Comma,
+  Shl, Shr,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;       ///< identifier spelling
+  std::int32_t value = 0; ///< integer literal value
+  int line = 0;
+};
+
+/// Tokenize mini-C source ( //-comments supported). Throws cs31::Error
+/// with a line number on stray characters or overflowing literals.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+/// Token spelling for diagnostics.
+[[nodiscard]] std::string token_name(TokKind kind);
+
+}  // namespace cs31::cc

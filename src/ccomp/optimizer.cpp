@@ -1,0 +1,226 @@
+#include "ccomp/optimizer.hpp"
+
+#include <cstdint>
+
+namespace cs31::cc {
+
+namespace {
+
+bool is_lit(const ExprPtr& e, std::int32_t value) {
+  return e && e->kind == Expr::Kind::IntLit && e->value == value;
+}
+
+bool is_any_lit(const ExprPtr& e) {
+  return e && e->kind == Expr::Kind::IntLit;
+}
+
+/// Power-of-two check returning the exponent, or -1.
+int log2_exact(std::int32_t v) {
+  if (v <= 0) return -1;
+  const std::uint32_t u = static_cast<std::uint32_t>(v);
+  if ((u & (u - 1)) != 0) return -1;
+  int k = 0;
+  while ((u >> k) != 1u) ++k;
+  return k;
+}
+
+ExprPtr make_lit(std::int32_t value, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::IntLit;
+  e->value = value;
+  e->line = line;
+  return e;
+}
+
+/// Evaluate a binary op over two literals with C int semantics
+/// (wraparound via uint32; shifts masked like the target machine).
+std::int32_t eval_bin(BinOp op, std::int32_t a, std::int32_t b) {
+  const std::uint32_t ua = static_cast<std::uint32_t>(a);
+  const std::uint32_t ub = static_cast<std::uint32_t>(b);
+  switch (op) {
+    case BinOp::Add: return static_cast<std::int32_t>(ua + ub);
+    case BinOp::Sub: return static_cast<std::int32_t>(ua - ub);
+    case BinOp::Mul: return static_cast<std::int32_t>(ua * ub);
+    case BinOp::BitAnd: return static_cast<std::int32_t>(ua & ub);
+    case BinOp::BitOr: return static_cast<std::int32_t>(ua | ub);
+    case BinOp::BitXor: return static_cast<std::int32_t>(ua ^ ub);
+    case BinOp::Shl: return static_cast<std::int32_t>(ua << (ub & 31u));
+    case BinOp::Shr: return a >> (ub & 31u);
+    case BinOp::Lt: return a < b;
+    case BinOp::Gt: return a > b;
+    case BinOp::Le: return a <= b;
+    case BinOp::Ge: return a >= b;
+    case BinOp::Eq: return a == b;
+    case BinOp::Ne: return a != b;
+    case BinOp::LogicalAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case BinOp::LogicalOr: return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+class Optimizer {
+ public:
+  std::size_t rewrites = 0;
+
+  void visit(ExprPtr& e) {
+    if (!e) return;
+    visit(e->lhs);
+    visit(e->rhs);
+    for (ExprPtr& arg : e->args) visit(arg);
+
+    switch (e->kind) {
+      case Expr::Kind::Unary:
+        if (is_any_lit(e->lhs)) {
+          const std::int32_t v = e->lhs->value;
+          std::int32_t folded = 0;
+          switch (e->un_op) {
+            case UnOp::Neg:
+              folded = static_cast<std::int32_t>(0u - static_cast<std::uint32_t>(v));
+              break;
+            case UnOp::BitNot:
+              folded = static_cast<std::int32_t>(~static_cast<std::uint32_t>(v));
+              break;
+            case UnOp::LogicalNot:
+              folded = v == 0 ? 1 : 0;
+              break;
+          }
+          replace_with_lit(e, folded);
+        }
+        break;
+      case Expr::Kind::Binary:
+        rewrite_binary(e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void visit(StmtPtr& s) {
+    if (!s) return;
+    visit(s->expr);
+    visit(s->then_branch);
+    visit(s->else_branch);
+    visit(s->loop_body);
+    for (StmtPtr& inner : s->body) visit(inner);
+
+    // Dead-branch elimination: if/while with literal conditions.
+    if (s->kind == Stmt::Kind::If && is_any_lit(s->expr)) {
+      const bool taken = s->expr->value != 0;
+      StmtPtr keep = taken ? std::move(s->then_branch) : std::move(s->else_branch);
+      ++rewrites;
+      if (keep) {
+        s = std::move(keep);
+      } else {
+        s->kind = Stmt::Kind::Block;  // empty block
+        s->expr.reset();
+        s->then_branch.reset();
+        s->else_branch.reset();
+        s->body.clear();
+      }
+      return;
+    }
+    if (s->kind == Stmt::Kind::While && is_lit(s->expr, 0)) {
+      ++rewrites;
+      s->kind = Stmt::Kind::Block;
+      s->expr.reset();
+      s->loop_body.reset();
+      s->body.clear();
+    }
+  }
+
+ private:
+  void replace_with_lit(ExprPtr& e, std::int32_t value) {
+    e = make_lit(value, e->line);
+    ++rewrites;
+  }
+
+  void promote(ExprPtr& e, ExprPtr& child) {
+    ExprPtr kept = std::move(child);
+    e = std::move(kept);
+    ++rewrites;
+  }
+
+  void rewrite_binary(ExprPtr& e) {
+    // Full fold when both sides are literals.
+    if (is_any_lit(e->lhs) && is_any_lit(e->rhs)) {
+      replace_with_lit(e, eval_bin(e->bin_op, e->lhs->value, e->rhs->value));
+      return;
+    }
+
+    switch (e->bin_op) {
+      case BinOp::Add:
+        if (is_lit(e->rhs, 0)) { promote(e, e->lhs); return; }
+        if (is_lit(e->lhs, 0)) { promote(e, e->rhs); return; }
+        break;
+      case BinOp::Sub:
+        if (is_lit(e->rhs, 0)) { promote(e, e->lhs); return; }
+        break;
+      case BinOp::Mul: {
+        if (is_lit(e->rhs, 1)) { promote(e, e->lhs); return; }
+        if (is_lit(e->lhs, 1)) { promote(e, e->rhs); return; }
+        if ((is_lit(e->rhs, 0) && !has_side_effects(*e->lhs)) ||
+            (is_lit(e->lhs, 0) && !has_side_effects(*e->rhs))) {
+          replace_with_lit(e, 0);
+          return;
+        }
+        // Strength reduction: x * 2^k -> x << k (multiplication is
+        // commutative, so either side's literal qualifies).
+        ExprPtr* variable = nullptr;
+        int k = -1;
+        if (is_any_lit(e->rhs)) { k = log2_exact(e->rhs->value); variable = &e->lhs; }
+        else if (is_any_lit(e->lhs)) { k = log2_exact(e->lhs->value); variable = &e->rhs; }
+        if (k > 0 && variable != nullptr) {
+          ExprPtr var = std::move(*variable);
+          e->bin_op = BinOp::Shl;
+          e->lhs = std::move(var);
+          e->rhs = make_lit(k, e->line);
+          ++rewrites;
+          return;
+        }
+        break;
+      }
+      case BinOp::LogicalAnd:
+        // 0 && e -> 0 (e never evaluates anyway: short circuit).
+        if (is_lit(e->lhs, 0)) { replace_with_lit(e, 0); return; }
+        break;
+      case BinOp::LogicalOr:
+        if (is_any_lit(e->lhs) && e->lhs->value != 0) { replace_with_lit(e, 1); return; }
+        break;
+      case BinOp::Shl:
+      case BinOp::Shr:
+        if (is_lit(e->rhs, 0)) { promote(e, e->lhs); return; }
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+bool has_side_effects(const Expr& e) {
+  if (e.kind == Expr::Kind::Assign || e.kind == Expr::Kind::Call) return true;
+  if (e.lhs && has_side_effects(*e.lhs)) return true;
+  if (e.rhs && has_side_effects(*e.rhs)) return true;
+  for (const ExprPtr& arg : e.args) {
+    if (arg && has_side_effects(*arg)) return true;
+  }
+  return false;
+}
+
+std::size_t optimize(ProgramAst& program) {
+  Optimizer opt;
+  // Iterate to a fixed point: folds can expose further folds.
+  std::size_t total = 0;
+  for (int round = 0; round < 8; ++round) {
+    opt.rewrites = 0;
+    for (Function& fn : program.functions) {
+      for (StmtPtr& s : fn.body) opt.visit(s);
+    }
+    total += opt.rewrites;
+    if (opt.rewrites == 0) break;
+  }
+  return total;
+}
+
+}  // namespace cs31::cc

@@ -1,0 +1,25 @@
+// Optimization passes for mini-C (the course's "efficiency issues in
+// the context of different equivalent assembly sequences"): constant
+// folding, algebraic identities, strength reduction of multiplications
+// by powers of two into shifts, and dead-branch elimination. Every
+// rewrite is semantics-preserving under C's int rules — guaranteed by
+// the differential fuzz suite, which runs each random program both
+// unoptimized and optimized.
+#pragma once
+
+#include <cstddef>
+
+#include "ccomp/ast.hpp"
+
+namespace cs31::cc {
+
+/// Does evaluating this expression have an observable effect (an
+/// assignment or a call anywhere inside)? Rewrites that would delete a
+/// subexpression are applied only when this is false.
+[[nodiscard]] bool has_side_effects(const Expr& e);
+
+/// Run the optimizer over a whole program in place. Returns the number
+/// of rewrites performed (0 = nothing to do; idempotent afterwards).
+std::size_t optimize(ProgramAst& program);
+
+}  // namespace cs31::cc

@@ -1,0 +1,16 @@
+// Recursive-descent parser for mini-C with standard C precedence.
+#pragma once
+
+#include <string>
+
+#include "ccomp/ast.hpp"
+#include "ccomp/lexer.hpp"
+
+namespace cs31::cc {
+
+/// Parse a translation unit. Throws cs31::Error with line numbers on
+/// syntax errors, duplicate function names, or use of the unsupported
+/// '/' and '%' operators (no idiv in the teaching ISA).
+[[nodiscard]] ProgramAst parse(const std::string& source);
+
+}  // namespace cs31::cc

@@ -1,0 +1,24 @@
+// Common error type for the cs31 kit.
+//
+// All public APIs in the kit signal caller mistakes (bad widths, malformed
+// input, out-of-range addresses, API-protocol violations) by throwing
+// cs31::Error. Internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cs31 {
+
+/// Exception thrown by every cs31 module on invalid arguments or misuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw cs31::Error with `msg` when `cond` does not hold.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace cs31

@@ -1,0 +1,234 @@
+#include "core/curriculum.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::core {
+
+std::string category_name(TcppCategory c) {
+  switch (c) {
+    case TcppCategory::Pervasive: return "Pervasive";
+    case TcppCategory::Architecture: return "Architecture";
+    case TcppCategory::Programming: return "Programming";
+    case TcppCategory::Algorithms: return "Algorithms";
+  }
+  return "?";
+}
+
+const Curriculum& Curriculum::cs31() {
+  static const Curriculum kCourse = build_cs31();
+  return kCourse;
+}
+
+std::vector<std::string> Curriculum::topics_in(TcppCategory category) const {
+  std::vector<std::string> names;
+  for (const TcppTopic& t : topics_) {
+    if (t.category == category) names.push_back(t.name);
+  }
+  return names;
+}
+
+const TcppTopic& Curriculum::topic(const std::string& name) const {
+  for (const TcppTopic& t : topics_) {
+    if (t.name == name) return t;
+  }
+  throw Error("unknown TCPP topic '" + name + "'");
+}
+
+std::vector<std::string> Curriculum::covering_modules(const std::string& topic) const {
+  std::vector<std::string> out;
+  for (const CourseModule& m : modules_) {
+    for (const std::string& t : m.topics) {
+      if (t == topic) {
+        out.push_back(m.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> Curriculum::covering_labs(const std::string& topic) const {
+  std::vector<int> out;
+  for (const LabAssignment& lab : labs_) {
+    for (const std::string& t : lab.topics) {
+      if (t == topic) {
+        out.push_back(lab.number);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Curriculum::uncovered_topics() const {
+  std::vector<std::string> out;
+  for (const TcppTopic& t : topics_) {
+    if (covering_modules(t.name).empty()) out.push_back(t.name);
+  }
+  return out;
+}
+
+std::string Curriculum::render_table1() const {
+  std::ostringstream out;
+  out << "Table I: Main TCPP topics covered in CS 31\n";
+  out << "------------------------------------------\n";
+  for (const TcppCategory c : {TcppCategory::Pervasive, TcppCategory::Architecture,
+                               TcppCategory::Programming, TcppCategory::Algorithms}) {
+    out << category_name(c) << ": ";
+    bool first = true;
+    for (const std::string& name : topics_in(c)) {
+      if (!first) out << ", ";
+      out << name;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Curriculum Curriculum::build_cs31() {
+  Curriculum course;
+
+  struct Raw {
+    const char* name;
+    TcppCategory cat;
+    Emphasis emph;
+  };
+  // Table I of the paper, with emphasis weights taken from the paper's
+  // narrative (e.g. "memory hierarchy, C programming, and some of the
+  // fundamentals of shared memory programming including race conditions,
+  // synchronization, and pthread programming" are emphasized heavily).
+  const Raw raw_topics[] = {
+      // Pervasive
+      {"concurrency", TcppCategory::Pervasive, Emphasis::Emphasize},
+      {"asynchrony", TcppCategory::Pervasive, Emphasis::Cover},
+      {"locality", TcppCategory::Pervasive, Emphasis::Emphasize},
+      {"performance", TcppCategory::Pervasive, Emphasis::Emphasize},
+      // Architecture
+      {"multicore", TcppCategory::Architecture, Emphasis::Cover},
+      {"caching", TcppCategory::Architecture, Emphasis::Emphasize},
+      {"latency", TcppCategory::Architecture, Emphasis::Cover},
+      {"bandwidth", TcppCategory::Architecture, Emphasis::Mention},
+      {"atomicity", TcppCategory::Architecture, Emphasis::Cover},
+      {"consistency", TcppCategory::Architecture, Emphasis::Mention},
+      {"coherency", TcppCategory::Architecture, Emphasis::Mention},
+      {"pipelining", TcppCategory::Architecture, Emphasis::Cover},
+      {"instruction execution", TcppCategory::Architecture, Emphasis::Emphasize},
+      {"memory hierarchy", TcppCategory::Architecture, Emphasis::Emphasize},
+      {"multithreading", TcppCategory::Architecture, Emphasis::Emphasize},
+      {"buses", TcppCategory::Architecture, Emphasis::Mention},
+      {"process ID", TcppCategory::Architecture, Emphasis::Cover},
+      {"interrupts", TcppCategory::Architecture, Emphasis::Cover},
+      // Programming
+      {"shared memory parallelization", TcppCategory::Programming, Emphasis::Emphasize},
+      {"pthreads", TcppCategory::Programming, Emphasis::Emphasize},
+      {"critical sections", TcppCategory::Programming, Emphasis::Emphasize},
+      {"producer-consumer", TcppCategory::Programming, Emphasis::Cover},
+      {"performance improvement", TcppCategory::Programming, Emphasis::Cover},
+      {"synchronization", TcppCategory::Programming, Emphasis::Emphasize},
+      {"deadlock", TcppCategory::Programming, Emphasis::Cover},
+      {"race conditions", TcppCategory::Programming, Emphasis::Emphasize},
+      {"memory data layout", TcppCategory::Programming, Emphasis::Emphasize},
+      {"spatial and temporal locality", TcppCategory::Programming, Emphasis::Emphasize},
+      {"signals", TcppCategory::Programming, Emphasis::Cover},
+      // Algorithms
+      {"dependencies", TcppCategory::Algorithms, Emphasis::Cover},
+      {"space/memory", TcppCategory::Algorithms, Emphasis::Cover},
+      {"speedup", TcppCategory::Algorithms, Emphasis::Emphasize},
+      {"Amdahl's Law", TcppCategory::Algorithms, Emphasis::Mention},
+      {"synchronization algorithms", TcppCategory::Algorithms, Emphasis::Cover},
+      {"efficiency", TcppCategory::Algorithms, Emphasis::Cover},
+  };
+  for (const Raw& r : raw_topics) {
+    course.topics_.push_back(TcppTopic{r.name, r.cat, r.emph});
+  }
+
+  course.modules_ = {
+      {"Binary Representation", "bits",
+       {"memory data layout", "performance"}},
+      {"C Programming", "cstr",
+       {"memory data layout", "space/memory"}},
+      {"Architecture & Circuits", "logic",
+       {"instruction execution", "multicore", "pipelining", "buses", "latency",
+        "bandwidth", "performance"}},
+      {"Assembly Programming", "isa",
+       {"instruction execution", "memory data layout", "dependencies"}},
+      {"Memory Hierarchy & Caching", "memhier",
+       {"memory hierarchy", "caching", "locality", "spatial and temporal locality",
+        "latency", "bandwidth", "consistency", "coherency", "performance"}},
+      {"Operating Systems", "os",
+       {"concurrency", "asynchrony", "process ID", "interrupts", "signals",
+        "space/memory"}},
+      {"Virtual Memory", "vm",
+       {"memory hierarchy", "locality", "space/memory", "latency"}},
+      {"Shared Memory Parallelism", "parallel",
+       {"concurrency", "multithreading", "multicore", "shared memory parallelization",
+        "pthreads", "critical sections", "producer-consumer", "synchronization",
+        "synchronization algorithms", "deadlock", "race conditions", "atomicity",
+        "speedup", "Amdahl's Law", "efficiency", "performance improvement",
+        "dependencies"}},
+  };
+
+  course.labs_ = {
+      {0, "Tools for CS 31", "shell::Shell", {}},
+      {1, "Data Representation and Arithmetic", "bits::Word", {"memory data layout"}},
+      {2, "C Programming Warm-up", "labs::bubble_sort", {"space/memory"}},
+      {3, "Building an ALU Circuit", "logic::build_alu", {"instruction execution"}},
+      {4, "C Pointers and Assembly Code", "isa::assemble / labs::compute_stats",
+       {"instruction execution", "memory data layout"}},
+      {5, "Binary Maze", "isa::Maze", {"instruction execution"}},
+      {6, "Game of Life", "life::SerialLife", {"space/memory", "memory data layout"}},
+      {7, "C String Library", "cstr", {"memory data layout"}},
+      {8, "Command Parser Library", "shell::parse_command", {}},
+      {9, "Unix Shell", "shell::Shell",
+       {"process ID", "concurrency", "signals", "asynchrony"}},
+      {10, "Parallel Game of Life", "life::ParallelLife",
+       {"pthreads", "shared memory parallelization", "synchronization",
+        "critical sections", "race conditions", "speedup", "multithreading",
+        "concurrency", "dependencies", "efficiency"}},
+  };
+
+  course.homeworks_ = {
+      {"C programming", {"memory data layout"}},
+      {"Binary and arithmetic", {"memory data layout"}},
+      {"Circuits", {"instruction execution"}},
+      {"C pointers", {"memory data layout", "space/memory"}},
+      {"Simple assembly", {"instruction execution"}},
+      {"Advanced assembly", {"instruction execution", "memory data layout"}},
+      {"Direct mapped caching", {"caching", "memory hierarchy", "locality"}},
+      {"Set associative caching", {"caching", "spatial and temporal locality"}},
+      {"Processes", {"process ID", "concurrency", "asynchrony"}},
+      {"Virtual memory 1", {"memory hierarchy", "space/memory"}},
+      {"Virtual memory 2", {"memory hierarchy", "concurrency"}},
+      {"Threads", {"pthreads", "producer-consumer", "synchronization",
+                   "critical sections"}},
+  };
+
+  // "In a typical course schedule, CS 31 starts with binary data
+  // representation and then introduces C programming. Next, we introduce
+  // computer architecture and assembly. We then provide an overview of
+  // the memory hierarchy and the operating system. Finally, we cover
+  // shared memory parallelism, pthreads, and synchronization."
+  course.schedule_ = {
+      {1, "Binary Representation", 0, ""},
+      {2, "Binary Representation", 1, "Binary and arithmetic"},
+      {3, "C Programming", 2, "C programming"},
+      {4, "Architecture & Circuits", -1, "Circuits"},
+      {5, "Architecture & Circuits", 3, "C pointers"},
+      {6, "Assembly Programming", 4, "Simple assembly"},
+      {7, "Assembly Programming", 5, "Advanced assembly"},
+      {8, "Memory Hierarchy & Caching", 6, "Direct mapped caching"},
+      {9, "Memory Hierarchy & Caching", 7, "Set associative caching"},
+      {10, "Operating Systems", 8, "Processes"},
+      {11, "Virtual Memory", 9, "Virtual memory 1"},
+      {12, "Virtual Memory", -1, "Virtual memory 2"},
+      {13, "Shared Memory Parallelism", -1, "Threads"},
+      {14, "Shared Memory Parallelism", 10, ""},
+  };
+
+  return course;
+}
+
+}  // namespace cs31::core

@@ -1,0 +1,106 @@
+// The curriculum model — the paper's primary artifact as data. Encodes
+// CS 31's module sequence, lab assignments, written homeworks, and the
+// NSF/IEEE-TCPP topic tagging of Table I, with per-topic emphasis
+// weights ("topics that CS 31 emphasizes heavily"). Downstream code uses
+// it to regenerate Table I (experiment E1), to drive the Figure 1 survey
+// simulation (E2), and to map every course component onto the kit module
+// that implements it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cs31::core {
+
+/// The four TCPP curriculum areas of Table I.
+enum class TcppCategory { Pervasive, Architecture, Programming, Algorithms };
+
+[[nodiscard]] std::string category_name(TcppCategory c);
+
+/// How hard the course leans on a topic (drives Figure 1's rating gaps).
+/// Mention < Cover < Emphasize.
+enum class Emphasis : int { Mention = 1, Cover = 2, Emphasize = 3 };
+
+/// One TCPP topic as the course tags it.
+struct TcppTopic {
+  std::string name;
+  TcppCategory category;
+  Emphasis emphasis = Emphasis::Cover;
+};
+
+/// One course module (a multi-week instructional unit).
+struct CourseModule {
+  std::string name;
+  std::string kit_module;             ///< src/ directory implementing it
+  std::vector<std::string> topics;    ///< TCPP topic names it covers
+};
+
+/// One lab assignment (Lab 0 .. Lab 10).
+struct LabAssignment {
+  int number;
+  std::string title;
+  std::string kit_component;          ///< class/function realizing it
+  std::vector<std::string> topics;
+};
+
+/// One weekly written homework.
+struct Homework {
+  std::string title;
+  std::vector<std::string> topics;
+};
+
+/// One semester week: which module is in play and what's due.
+struct Week {
+  int number;                ///< 1-based week of the semester
+  std::string module;        ///< CourseModule::name active that week
+  int lab_due = -1;          ///< lab number due, or -1
+  std::string homework;      ///< homework title assigned, or ""
+};
+
+/// The whole course.
+class Curriculum {
+ public:
+  /// The CS 31 curriculum exactly as the paper describes it.
+  static const Curriculum& cs31();
+
+  /// The 14-week schedule following the paper's §III ordering: binary
+  /// representation -> C -> architecture & assembly -> memory hierarchy
+  /// -> OS -> shared-memory parallelism.
+  [[nodiscard]] const std::vector<Week>& schedule() const { return schedule_; }
+
+  [[nodiscard]] const std::vector<TcppTopic>& topics() const { return topics_; }
+  [[nodiscard]] const std::vector<CourseModule>& modules() const { return modules_; }
+  [[nodiscard]] const std::vector<LabAssignment>& labs() const { return labs_; }
+  [[nodiscard]] const std::vector<Homework>& homeworks() const { return homeworks_; }
+
+  /// Topic names per category — the rows of Table I.
+  [[nodiscard]] std::vector<std::string> topics_in(TcppCategory category) const;
+
+  /// Look up one topic. Throws cs31::Error when unknown.
+  [[nodiscard]] const TcppTopic& topic(const std::string& name) const;
+
+  /// Modules/labs covering a topic (empty = coverage gap).
+  [[nodiscard]] std::vector<std::string> covering_modules(const std::string& topic) const;
+  [[nodiscard]] std::vector<int> covering_labs(const std::string& topic) const;
+
+  /// Topics no module covers — must be empty for the shipped curriculum
+  /// (asserted by tests; the paper's Table I claims full coverage).
+  [[nodiscard]] std::vector<std::string> uncovered_topics() const;
+
+  /// Render Table I: category -> comma-separated topic list.
+  [[nodiscard]] std::string render_table1() const;
+
+ private:
+  static Curriculum build_cs31();
+
+  std::vector<TcppTopic> topics_;
+  std::vector<CourseModule> modules_;
+  std::vector<LabAssignment> labs_;
+  std::vector<Homework> homeworks_;
+  std::vector<Week> schedule_;
+};
+
+}  // namespace cs31::core

@@ -1,0 +1,57 @@
+// From-scratch reimplementation of the C string library (CS 31 Lab 7,
+// "C String Library"): the pointer-walking implementations of strlen,
+// strcpy, strcat, strcmp, strchr, strstr, strspn, strtok_r and friends
+// that students write and test. Buffer-management contracts match the
+// C library exactly (NUL termination, caller-provided storage), with
+// cs31::Error thrown only for null pointers — the case C leaves as
+// undefined behaviour and the course leaves as a crash.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace cs31::cstr {
+
+/// strlen: characters before the terminating NUL.
+[[nodiscard]] std::size_t str_length(const char* s);
+
+/// strcpy: copy src (including NUL) into dst; returns dst. dst must
+/// have room — the classic C contract the course discusses at length.
+char* str_copy(char* dst, const char* src);
+
+/// strncpy: copy at most n chars; pads with NULs to length n when src
+/// is shorter (the real, surprising strncpy semantics); NOT
+/// NUL-terminated when src is longer than n.
+char* str_ncopy(char* dst, const char* src, std::size_t n);
+
+/// strcat / strncat. strncat always NUL-terminates (appending at most
+/// n chars), unlike strncpy — a favorite exam question.
+char* str_concat(char* dst, const char* src);
+char* str_nconcat(char* dst, const char* src, std::size_t n);
+
+/// strcmp / strncmp: <0, 0, >0 with unsigned char comparison.
+[[nodiscard]] int str_compare(const char* a, const char* b);
+[[nodiscard]] int str_ncompare(const char* a, const char* b, std::size_t n);
+
+/// strchr / strrchr: first/last occurrence of c (which may be '\0').
+[[nodiscard]] const char* str_find_char(const char* s, char c);
+[[nodiscard]] const char* str_rfind_char(const char* s, char c);
+
+/// strstr: first occurrence of needle in haystack ("" matches at start).
+[[nodiscard]] const char* str_find(const char* haystack, const char* needle);
+
+/// strspn / strcspn: length of the initial run of characters that are
+/// (resp. are not) in `accept`/`reject`.
+[[nodiscard]] std::size_t str_span(const char* s, const char* accept);
+[[nodiscard]] std::size_t str_cspan(const char* s, const char* reject);
+
+/// strtok_r: destructive tokenization with caller-held state. First
+/// call passes the string; later calls pass nullptr. Returns nullptr
+/// when no tokens remain.
+char* str_token(char* s, const char* delims, char** save_ptr);
+
+/// strdup, returned as owning storage (the kit's RAII stand-in for
+/// malloc'd memory).
+[[nodiscard]] std::unique_ptr<char[]> str_duplicate(const char* s);
+
+}  // namespace cs31::cstr

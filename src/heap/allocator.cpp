@@ -1,0 +1,228 @@
+#include "heap/allocator.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::heap {
+
+Heap::Heap(std::uint32_t region_bytes, FitPolicy policy)
+    : region_(region_bytes, 0), policy_(policy), next_fit_cursor_(0) {
+  require(region_bytes >= 64, "heap region must be at least 64 bytes");
+  require(region_bytes <= (1u << 30), "heap region must be at most 1 GiB");
+  require(region_bytes % kAlign == 0, "heap region must be 8-byte aligned");
+  // One big free block spanning the region.
+  write_block(0, region_bytes - kOverhead, false);
+}
+
+std::uint32_t Heap::load_tag(std::uint32_t offset) const {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(region_[offset + i]) << (8 * i);
+  return v;
+}
+
+void Heap::store_tag(std::uint32_t offset, std::uint32_t tag) {
+  for (int i = 0; i < 4; ++i) region_[offset + i] = static_cast<std::uint8_t>(tag >> (8 * i));
+}
+
+std::uint32_t Heap::block_size(std::uint32_t header) const {
+  return load_tag(header) >> 1;
+}
+
+bool Heap::block_allocated(std::uint32_t header) const {
+  return load_tag(header) & 1u;
+}
+
+void Heap::write_block(std::uint32_t header, std::uint32_t payload, bool allocated) {
+  const std::uint32_t tag = (payload << 1) | (allocated ? 1u : 0u);
+  store_tag(header, tag);
+  store_tag(header + kHeaderBytes + payload, tag);
+}
+
+std::uint32_t Heap::find_block(std::uint32_t payload_size) {
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::uint32_t best = kNone;
+  std::uint32_t best_size = ~std::uint32_t{0};
+
+  auto scan_from = [&](std::uint32_t start, std::uint32_t end) -> std::uint32_t {
+    for (std::uint32_t h = start; h < end; h += block_size(h) + kOverhead) {
+      if (!block_allocated(h) && block_size(h) >= payload_size) {
+        if (policy_ != FitPolicy::BestFit) return h;
+        if (block_size(h) < best_size) {
+          best = h;
+          best_size = block_size(h);
+        }
+      }
+    }
+    return kNone;
+  };
+
+  const std::uint32_t region_end = static_cast<std::uint32_t>(region_.size());
+  if (policy_ == FitPolicy::NextFit) {
+    // Resume after the last placement; wrap once.
+    const std::uint32_t hit = scan_from(next_fit_cursor_, region_end);
+    if (hit != kNone) return hit;
+    return scan_from(0, next_fit_cursor_);
+  }
+  const std::uint32_t hit = scan_from(0, region_end);
+  return policy_ == FitPolicy::BestFit ? best : hit;
+}
+
+std::uint32_t Heap::malloc(std::uint32_t size) {
+  require(size > 0, "malloc(0) is not allowed in the teaching allocator");
+  const std::uint32_t payload = (size + kAlign - 1) & ~(kAlign - 1);
+  const std::uint32_t header = find_block(payload);
+  if (header == ~std::uint32_t{0}) {
+    ++stats_.failed_allocations;
+    return 0;
+  }
+  const std::uint32_t found = block_size(header);
+  if (found >= payload + kOverhead + kAlign) {
+    // Split: requested block, then a free remainder.
+    write_block(header, payload, true);
+    const std::uint32_t rest_header = header + kOverhead + payload;
+    write_block(rest_header, found - payload - kOverhead, false);
+  } else {
+    write_block(header, found, true);
+  }
+  if (policy_ == FitPolicy::NextFit) {
+    next_fit_cursor_ = header + block_size(header) + kOverhead;
+    if (next_fit_cursor_ >= region_.size()) next_fit_cursor_ = 0;
+  }
+  ++stats_.allocations;
+  stats_.bytes_in_use += block_size(header);
+  if (stats_.bytes_in_use > stats_.peak_bytes_in_use) {
+    stats_.peak_bytes_in_use = stats_.bytes_in_use;
+  }
+  return header + kHeaderBytes;
+}
+
+void Heap::free(std::uint32_t address) {
+  require(address >= kHeaderBytes && address < region_.size(),
+          "invalid free: address outside the heap");
+  // Validate that `address` is the payload start of a live block by
+  // walking the block list (teaching allocator: clarity over speed).
+  std::uint32_t header = ~std::uint32_t{0};
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    if (h + kHeaderBytes == address) {
+      header = h;
+      break;
+    }
+    if (h + kHeaderBytes > address) break;
+  }
+  require(header != ~std::uint32_t{0}, "invalid free: not an allocation start");
+  require(block_allocated(header), "double free detected");
+
+  std::uint32_t start = header;
+  std::uint32_t payload = block_size(header);
+  stats_.bytes_in_use -= payload;
+  ++stats_.frees;
+
+  // Coalesce with the next block.
+  const std::uint32_t next = header + kOverhead + payload;
+  if (next < region_.size() && !block_allocated(next)) {
+    payload += kOverhead + block_size(next);
+  }
+  // Coalesce with the previous block via its footer.
+  if (start >= kOverhead) {
+    const std::uint32_t prev_footer = start - kHeaderBytes;
+    const std::uint32_t prev_tag = load_tag(prev_footer);
+    if ((prev_tag & 1u) == 0) {
+      const std::uint32_t prev_size = prev_tag >> 1;
+      start -= kOverhead + prev_size;
+      payload += kOverhead + prev_size;
+    }
+  }
+  write_block(start, payload, false);
+  // The cursor may now point into the middle of the merged block.
+  if (policy_ == FitPolicy::NextFit && next_fit_cursor_ > start &&
+      next_fit_cursor_ < start + kOverhead + payload) {
+    next_fit_cursor_ = start;
+  }
+}
+
+std::uint32_t Heap::allocation_size(std::uint32_t address) const {
+  require(address >= kHeaderBytes && address < region_.size(), "address outside the heap");
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    if (h + kHeaderBytes == address) {
+      require(block_allocated(h), "address is not currently allocated");
+      return block_size(h);
+    }
+  }
+  throw Error("address is not an allocation start");
+}
+
+bool Heap::is_allocated(std::uint32_t address) const {
+  if (address < kHeaderBytes || address >= region_.size()) return false;
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    if (h + kHeaderBytes == address) return block_allocated(h);
+    if (h + kHeaderBytes > address) return false;
+  }
+  return false;
+}
+
+std::uint8_t Heap::read8(std::uint32_t address) const {
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    const std::uint32_t lo = h + kHeaderBytes, hi = lo + block_size(h);
+    if (address >= lo && address < hi) {
+      require(block_allocated(h), "invalid read of freed memory");
+      return region_[address];
+    }
+  }
+  throw Error("invalid read: address is not inside any block's payload");
+}
+
+void Heap::write8(std::uint32_t address, std::uint8_t value) {
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    const std::uint32_t lo = h + kHeaderBytes, hi = lo + block_size(h);
+    if (address >= lo && address < hi) {
+      require(block_allocated(h), "invalid write to freed memory");
+      region_[address] = value;
+      return;
+    }
+  }
+  throw Error("invalid write: address is not inside any block's payload");
+}
+
+HeapStats Heap::stats() const {
+  HeapStats s = stats_;
+  s.free_bytes = 0;
+  s.free_blocks = 0;
+  s.largest_free_block = 0;
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    if (!block_allocated(h)) {
+      ++s.free_blocks;
+      s.free_bytes += block_size(h);
+      if (block_size(h) > s.largest_free_block) s.largest_free_block = block_size(h);
+    }
+  }
+  return s;
+}
+
+std::string Heap::dump() const {
+  std::ostringstream out;
+  out << "offset     payload  status\n";
+  for (std::uint32_t h = 0; h < region_.size(); h += block_size(h) + kOverhead) {
+    out << h << "\t" << block_size(h) << "\t"
+        << (block_allocated(h) ? "allocated" : "free") << '\n';
+  }
+  return out.str();
+}
+
+bool Heap::check_invariants() const {
+  std::uint32_t h = 0;
+  bool prev_free = false;
+  while (h < region_.size()) {
+    const std::uint32_t payload = block_size(h);
+    const std::uint32_t footer = h + kHeaderBytes + payload;
+    if (footer + kHeaderBytes > region_.size()) return false;
+    if (load_tag(h) != load_tag(footer)) return false;
+    const bool is_free = !block_allocated(h);
+    if (is_free && prev_free) return false;  // missed coalesce
+    prev_free = is_free;
+    h = footer + kHeaderBytes;
+  }
+  return h == region_.size();
+}
+
+}  // namespace cs31::heap

@@ -1,0 +1,102 @@
+// A teaching heap allocator (CS 31's dynamic-memory unit: "C's
+// philosophy of memory management, memory leaks, and segmentation
+// violations"). Manages a simulated heap region with boundary-tagged
+// blocks, split-on-allocate and coalesce-on-free, and selectable
+// placement policies (first/best/next fit) so the ablation bench can
+// compare fragmentation behaviour.
+//
+// Addresses are offsets into the simulated region; 0 plays the role of
+// NULL (allocation failure), exactly like the malloc the course teaches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <vector>
+
+namespace cs31::heap {
+
+/// Placement policy for the allocation scan.
+enum class FitPolicy { FirstFit, BestFit, NextFit };
+
+/// Allocator statistics (the "what does the heap look like" homework).
+struct HeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocations = 0;
+  std::uint32_t bytes_in_use = 0;      ///< payload bytes currently allocated
+  std::uint32_t peak_bytes_in_use = 0;
+  std::uint32_t free_bytes = 0;        ///< payload bytes available
+  std::uint32_t free_blocks = 0;
+  std::uint32_t largest_free_block = 0;
+
+  /// External fragmentation: 1 - largest_free / total_free (0 when the
+  /// free space is one block; approaches 1 when it is shattered).
+  [[nodiscard]] double fragmentation() const {
+    return free_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(largest_free_block) / free_bytes;
+  }
+};
+
+class Heap {
+ public:
+  /// A heap managing `region_bytes` of storage. Throws cs31::Error for
+  /// regions smaller than 64 bytes or larger than 1 GiB.
+  explicit Heap(std::uint32_t region_bytes, FitPolicy policy = FitPolicy::FirstFit);
+
+  /// Allocate `size` payload bytes (8-byte aligned). Returns the payload
+  /// address, or 0 when no block fits. Throws cs31::Error for size 0.
+  [[nodiscard]] std::uint32_t malloc(std::uint32_t size);
+
+  /// Free a previously-allocated address. Throws cs31::Error on
+  /// addresses that were never returned by malloc (invalid free) or
+  /// were already freed (double free) — the two classic Valgrind finds.
+  void free(std::uint32_t address);
+
+  /// Size of the allocation at `address`. Throws when not allocated.
+  [[nodiscard]] std::uint32_t allocation_size(std::uint32_t address) const;
+
+  /// Is `address` the start of a live allocation?
+  [[nodiscard]] bool is_allocated(std::uint32_t address) const;
+
+  /// Read/write payload bytes with bounds checking against live blocks
+  /// (out-of-bounds or freed access throws — the "invalid read/write").
+  [[nodiscard]] std::uint8_t read8(std::uint32_t address) const;
+  void write8(std::uint32_t address, std::uint8_t value);
+
+  [[nodiscard]] HeapStats stats() const;
+  [[nodiscard]] std::uint32_t region_bytes() const {
+    return static_cast<std::uint32_t>(region_.size());
+  }
+
+  /// Walk the block list: "addr size status" lines (the heap-drawing
+  /// homework view).
+  [[nodiscard]] std::string dump() const;
+
+  /// Internal consistency check (headers match footers, sizes add up);
+  /// used by the property tests after random workloads.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  // Block layout: [header:4][payload...][footer:4]; header==footer ==
+  // (payload_size << 1) | allocated_bit. Blocks are contiguous.
+  static constexpr std::uint32_t kHeaderBytes = 4;
+  static constexpr std::uint32_t kOverhead = 2 * kHeaderBytes;
+  static constexpr std::uint32_t kAlign = 8;
+
+  [[nodiscard]] std::uint32_t load_tag(std::uint32_t offset) const;
+  void store_tag(std::uint32_t offset, std::uint32_t tag);
+  [[nodiscard]] std::uint32_t block_size(std::uint32_t header) const;
+  [[nodiscard]] bool block_allocated(std::uint32_t header) const;
+  void write_block(std::uint32_t header, std::uint32_t payload, bool allocated);
+  [[nodiscard]] std::uint32_t find_block(std::uint32_t payload_size);
+  [[nodiscard]] const std::uint8_t* payload_block(std::uint32_t address) const;
+
+  std::vector<std::uint8_t> region_;
+  FitPolicy policy_;
+  std::uint32_t next_fit_cursor_;
+  HeapStats stats_;
+};
+
+}  // namespace cs31::heap

@@ -1,0 +1,109 @@
+#include "heap/memcheck.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::heap {
+
+MemCheck::MemCheck(std::uint32_t region_bytes, FitPolicy policy)
+    : heap_(region_bytes, policy) {}
+
+std::uint32_t MemCheck::alloc(std::uint32_t size, const std::string& label) {
+  const std::uint32_t address = heap_.malloc(size);
+  if (address != 0) {
+    live_[address] = label;
+    freed_.erase(address);  // address reuse is legitimate
+  }
+  return address;
+}
+
+void MemCheck::release(std::uint32_t address) {
+  const auto it = live_.find(address);
+  if (it == live_.end()) {
+    const auto freed_it = freed_.find(address);
+    Diagnostic d;
+    d.address = address;
+    if (freed_it != freed_.end()) {
+      d.kind = Diagnostic::Kind::DoubleFree;
+      d.label = freed_it->second;
+    } else {
+      d.kind = Diagnostic::Kind::InvalidFree;
+    }
+    diagnostics_.push_back(d);
+    return;
+  }
+  heap_.free(address);
+  freed_[address] = it->second;
+  live_.erase(it);
+}
+
+std::uint8_t MemCheck::read8(std::uint32_t address) {
+  try {
+    return heap_.read8(address);
+  } catch (const Error&) {
+    Diagnostic d;
+    d.kind = Diagnostic::Kind::InvalidRead;
+    d.address = address;
+    const auto it = freed_.lower_bound(address);
+    if (it != freed_.begin()) d.label = std::prev(it)->second;
+    diagnostics_.push_back(d);
+    return 0;
+  }
+}
+
+void MemCheck::write8(std::uint32_t address, std::uint8_t value) {
+  try {
+    heap_.write8(address, value);
+  } catch (const Error&) {
+    Diagnostic d;
+    d.kind = Diagnostic::Kind::InvalidWrite;
+    d.address = address;
+    diagnostics_.push_back(d);
+  }
+}
+
+LeakReport MemCheck::report() const {
+  LeakReport r;
+  const HeapStats stats = heap_.stats();
+  r.allocations = stats.allocations;
+  r.frees = stats.frees;
+  for (const auto& [address, label] : live_) {
+    ++r.leaked_blocks;
+    r.leaked_bytes += heap_.allocation_size(address);
+    r.leak_labels.push_back(label);
+  }
+  r.diagnostics = diagnostics_;
+  return r;
+}
+
+std::string MemCheck::render_report() const {
+  const LeakReport r = report();
+  std::ostringstream out;
+  out << "== memcheck summary ==\n";
+  out << "  total heap usage: " << r.allocations << " allocs, " << r.frees
+      << " frees\n";
+  for (const Diagnostic& d : r.diagnostics) {
+    switch (d.kind) {
+      case Diagnostic::Kind::InvalidFree: out << "  invalid free"; break;
+      case Diagnostic::Kind::DoubleFree: out << "  double free"; break;
+      case Diagnostic::Kind::InvalidRead: out << "  invalid read"; break;
+      case Diagnostic::Kind::InvalidWrite: out << "  invalid write"; break;
+    }
+    out << " at address " << d.address;
+    if (!d.label.empty()) out << " (allocated at '" << d.label << "')";
+    out << '\n';
+  }
+  if (r.leaked_blocks > 0) {
+    out << "  definitely lost: " << r.leaked_bytes << " bytes in " << r.leaked_blocks
+        << " block(s)\n";
+    for (const std::string& label : r.leak_labels) {
+      out << "    leaked allocation from '" << label << "'\n";
+    }
+  } else {
+    out << "  all heap blocks were freed -- no leaks are possible\n";
+  }
+  return out.str();
+}
+
+}  // namespace cs31::heap

@@ -1,0 +1,70 @@
+// The kit's Valgrind substitute ("we particularly emphasize the use of
+// Valgrind for memory debugging"): wraps a Heap, records the call-site
+// label of every allocation, converts allocator faults (double free,
+// invalid free, invalid read/write) into counted diagnostics instead of
+// exceptions, and produces the familiar leak report at the end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "heap/allocator.hpp"
+
+namespace cs31::heap {
+
+/// One recorded diagnostic, e.g. "double free at label 'loop'".
+struct Diagnostic {
+  enum class Kind { InvalidFree, DoubleFree, InvalidRead, InvalidWrite } kind;
+  std::string label;   ///< the call-site label the program supplied
+  std::uint32_t address = 0;
+};
+
+/// The end-of-run summary, shaped like Valgrind's.
+struct LeakReport {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint32_t leaked_bytes = 0;
+  std::uint32_t leaked_blocks = 0;
+  std::vector<std::string> leak_labels;  ///< call sites that leaked
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool clean() const {
+    return leaked_blocks == 0 && diagnostics.empty();
+  }
+};
+
+class MemCheck {
+ public:
+  /// Wrap (and drive) a heap of `region_bytes`.
+  explicit MemCheck(std::uint32_t region_bytes,
+                    FitPolicy policy = FitPolicy::FirstFit);
+
+  /// malloc with a call-site label ("parse_grid", "line 42"). Returns 0
+  /// on out-of-memory, like the real thing.
+  [[nodiscard]] std::uint32_t alloc(std::uint32_t size, const std::string& label);
+
+  /// free; faults become diagnostics rather than exceptions.
+  void release(std::uint32_t address);
+
+  /// Checked accesses; faults become diagnostics (reads return 0).
+  std::uint8_t read8(std::uint32_t address);
+  void write8(std::uint32_t address, std::uint8_t value);
+
+  /// The Valgrind-style summary for everything so far.
+  [[nodiscard]] LeakReport report() const;
+
+  /// Render the report as text ("N bytes in M blocks definitely lost").
+  [[nodiscard]] std::string render_report() const;
+
+  [[nodiscard]] const Heap& heap() const { return heap_; }
+
+ private:
+  Heap heap_;
+  std::map<std::uint32_t, std::string> live_;   ///< address -> label
+  std::map<std::uint32_t, std::string> freed_;  ///< recently freed -> label
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace cs31::heap

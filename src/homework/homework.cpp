@@ -1,0 +1,307 @@
+#include "homework/homework.hpp"
+
+#include <sstream>
+
+#include "bits/convert.hpp"
+#include "common/error.hpp"
+#include "logic/circuit.hpp"
+#include "os/interleave.hpp"
+
+namespace cs31::homework {
+
+namespace {
+
+/// The deterministic generator shared by every problem set.
+class Rng {
+ public:
+  explicit Rng(std::uint32_t seed) : state_(seed | 1u) {}
+  std::uint32_t next(std::uint32_t mod) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return (state_ >> 8) % mod;
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace
+
+std::vector<ConversionProblem> conversion_set(std::uint32_t seed, std::size_t count) {
+  require(count >= 1, "empty problem set");
+  Rng rng(seed);
+  std::vector<ConversionProblem> problems;
+  for (std::size_t i = 0; i < count; ++i) {
+    ConversionProblem p;
+    p.width = 4 + 4 * static_cast<int>(rng.next(4));  // 4, 8, 12, 16
+    p.pattern = rng.next(static_cast<std::uint32_t>(bits::max_unsigned(p.width)) + 1u);
+    const bits::Word w(p.pattern, p.width);
+    p.binary = bits::to_binary_grouped(p.pattern, p.width);
+    p.hex = bits::to_hex(p.pattern, p.width);
+    p.as_signed = w.as_signed();
+    p.as_unsigned = w.as_unsigned();
+    p.prompt = "Convert " + p.hex + " (" + std::to_string(p.width) +
+               "-bit) to binary, and give its unsigned and signed (two's "
+               "complement) decimal readings.";
+    problems.push_back(p);
+  }
+  return problems;
+}
+
+std::vector<ArithmeticProblem> arithmetic_set(std::uint32_t seed, std::size_t count) {
+  require(count >= 1, "empty problem set");
+  Rng rng(seed);
+  std::vector<ArithmeticProblem> problems;
+  for (std::size_t i = 0; i < count; ++i) {
+    ArithmeticProblem p;
+    p.width = 8;
+    p.a = rng.next(256);
+    p.b = rng.next(256);
+    p.key = bits::add(bits::Word(p.a, 8), bits::Word(p.b, 8));
+    p.prompt = "Compute " + bits::to_hex(p.a, 8) + " + " + bits::to_hex(p.b, 8) +
+               " at 8 bits. Give the result pattern and state whether carry-out "
+               "and signed overflow occur.";
+    problems.push_back(p);
+  }
+  return problems;
+}
+
+CircuitProblem circuit_problem(std::uint32_t seed) {
+  Rng rng(seed);
+  CircuitProblem p;
+  p.inputs = 3;
+
+  // Build out = (a OP1 b) OP2 (maybe-NOT c) in a real Circuit, and
+  // derive both the prose and the key from the same netlist.
+  logic::Circuit circuit;
+  const logic::Wire a = circuit.input("a");
+  const logic::Wire b = circuit.input("b");
+  const logic::Wire c = circuit.input("c");
+
+  struct GateChoice {
+    logic::GateKind kind;
+    const char* name;
+  };
+  static const GateChoice kGates[] = {
+      {logic::GateKind::And, "AND"}, {logic::GateKind::Or, "OR"},
+      {logic::GateKind::Xor, "XOR"}, {logic::GateKind::Nand, "NAND"},
+      {logic::GateKind::Nor, "NOR"},
+  };
+  const GateChoice& g1 = kGates[rng.next(5)];
+  const GateChoice& g2 = kGates[rng.next(5)];
+  const bool negate_c = rng.next(2) == 1;
+
+  const logic::Wire left = circuit.gate(g1.kind, a, b);
+  const logic::Wire right = negate_c ? circuit.not_(c) : c;
+  const logic::Wire out = circuit.gate(g2.kind, left, right);
+
+  p.description = std::string("out = (a ") + g1.name + " b) " + g2.name +
+                  (negate_c ? " (NOT c)" : " c");
+  p.truth_table = logic::truth_table(circuit, {a, b, c}, out);
+  return p;
+}
+
+std::vector<AsmTraceProblem> asm_trace_set(std::uint32_t seed, std::size_t count) {
+  require(count >= 1, "empty problem set");
+  Rng rng(seed);
+  std::vector<AsmTraceProblem> problems;
+  for (std::size_t i = 0; i < count; ++i) {
+    // 4-6 random arithmetic instructions over eax/ebx/ecx, seeded with
+    // movl immediates so the trace is fully determined.
+    std::ostringstream src;
+    src << "    movl $" << rng.next(20) << ", %eax\n";
+    src << "    movl $" << (1 + rng.next(10)) << ", %ebx\n";
+    src << "    movl $" << rng.next(10) << ", %ecx\n";
+    const int extra = 2 + static_cast<int>(rng.next(3));
+    static const char* kRegs[] = {"%eax", "%ebx", "%ecx"};
+    for (int k = 0; k < extra; ++k) {
+      const char* dst = kRegs[rng.next(3)];
+      const char* src_reg = kRegs[rng.next(3)];
+      switch (rng.next(4)) {
+        case 0: src << "    addl " << src_reg << ", " << dst << "\n"; break;
+        case 1: src << "    subl " << src_reg << ", " << dst << "\n"; break;
+        case 2: src << "    imull " << src_reg << ", " << dst << "\n"; break;
+        case 3: src << "    xorl " << src_reg << ", " << dst << "\n"; break;
+      }
+    }
+    src << "    hlt\n";
+    AsmTraceProblem p;
+    p.source = src.str();
+    isa::Machine machine;
+    machine.load(isa::assemble(p.source));
+    machine.run();
+    p.eax = machine.reg(isa::Reg::Eax);
+    p.ebx = machine.reg(isa::Reg::Ebx);
+    p.ecx = machine.reg(isa::Reg::Ecx);
+    problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+CacheTraceProblem cache_trace_problem(std::uint32_t seed, std::uint32_t associativity,
+                                      std::size_t accesses) {
+  require(accesses >= 1, "empty access list");
+  Rng rng(seed);
+  CacheTraceProblem p;
+  p.config.block_bytes = 16;
+  p.config.num_lines = 8;
+  p.config.associativity = associativity;
+  memhier::Cache cache(p.config);  // validates associativity
+
+  // A homework-flavored mix: a few distinct blocks, revisited, with a
+  // deliberate conflict pair.
+  for (std::size_t i = 0; i < accesses; ++i) {
+    const std::uint32_t block = rng.next(6);
+    const std::uint32_t conflict = rng.next(3) == 0 ? 0x200u : 0u;
+    p.addresses.push_back(block * 16 + conflict + 4 * rng.next(4));
+  }
+  for (const std::uint32_t address : p.addresses) {
+    const memhier::AddressParts parts = cache.split(address);
+    const memhier::AccessResult r = cache.read(address);
+    p.key.push_back(CacheTraceProblem::Row{r.hit, r.evicted, parts.tag, parts.index,
+                                           parts.offset});
+  }
+  p.final_hit_rate = cache.stats().hit_rate();
+  return p;
+}
+
+VmTraceProblem vm_trace_problem(std::uint32_t seed, bool two_processes,
+                                std::size_t accesses) {
+  require(accesses >= 1, "empty access list");
+  Rng rng(seed);
+  VmTraceProblem p;
+  p.config.page_bytes = 256;
+  p.config.virtual_pages = 8;
+  p.config.physical_frames = 3;
+  vm::PagingSystem system(p.config);
+  std::vector<std::uint32_t> pids = {system.create_process()};
+  if (two_processes) pids.push_back(system.create_process());
+
+  for (std::size_t i = 0; i < accesses; ++i) {
+    VmTraceProblem::Access a;
+    a.process = two_processes ? rng.next(2) : 0;
+    a.virtual_address = rng.next(5) * 256 + rng.next(256);  // 5-page working set
+    p.accesses.push_back(a);
+    system.switch_to(pids[a.process]);
+    const vm::VmAccessResult r = system.access(a.virtual_address, rng.next(3) == 0);
+    p.key.push_back(VmTraceProblem::Row{
+        r.page_fault, r.evicted, r.physical_address / p.config.page_bytes});
+  }
+  p.final_frames = system.dump_frames();
+  return p;
+}
+
+ForkProblem fork_problem(std::uint32_t seed) {
+  Rng rng(seed);
+  ForkProblem p;
+  // Parent prints a1..aN after forking a child that prints b1..bM; a
+  // classic "list all possible outputs" exercise sized to stay
+  // enumerable.
+  const std::size_t parent_prints = 2 + rng.next(2);
+  const std::size_t child_prints = 1 + rng.next(2);
+  std::vector<std::string> parent_seq, child_seq;
+  for (std::size_t i = 0; i < parent_prints; ++i) {
+    parent_seq.push_back("parent" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < child_prints; ++i) {
+    child_seq.push_back("child" + std::to_string(i + 1));
+  }
+  p.sequences = {parent_seq, child_seq};
+  std::ostringstream desc;
+  desc << "if (fork() == 0) {\n";
+  for (const std::string& line : child_seq) desc << "    printf(\"" << line << "\\n\");\n";
+  desc << "    exit(0);\n}\n";
+  for (const std::string& line : parent_seq) desc << "printf(\"" << line << "\\n\");\n";
+  desc << "wait(NULL);\n";
+  p.description = desc.str();
+  p.possible_outputs = os::all_interleavings(p.sequences);
+  return p;
+}
+
+bool grade_fork_answer(const ForkProblem& problem,
+                       const std::vector<std::string>& claimed) {
+  return os::is_possible_output(problem.sequences, claimed);
+}
+
+Worksheet render_worksheet(std::uint32_t seed) {
+  std::ostringstream problems, key;
+  int number = 1;
+
+  problems << "CS 31 practice worksheet (seed " << seed << ")\n";
+  problems << "=========================================\n\n";
+  key << "Answer key (seed " << seed << ")\n";
+  key << "=========================\n\n";
+
+  for (const ConversionProblem& p : conversion_set(seed, 3)) {
+    problems << number << ". " << p.prompt << "\n\n";
+    key << number << ". binary " << p.binary << ", unsigned " << p.as_unsigned
+        << ", signed " << p.as_signed << "\n";
+    ++number;
+  }
+  for (const ArithmeticProblem& p : arithmetic_set(seed + 1, 2)) {
+    problems << number << ". " << p.prompt << "\n\n";
+    key << number << ". result " << bits::to_hex(p.key.pattern, 8) << ", carry "
+        << (p.key.flags.carry ? "yes" : "no") << ", overflow "
+        << (p.key.flags.overflow ? "yes" : "no") << "\n";
+    ++number;
+  }
+  {
+    const CircuitProblem p = circuit_problem(seed + 6);
+    problems << number << ". Produce the logic table of: " << p.description
+             << "  (rows ordered a=bit0, b=bit1, c=bit2)\n\n";
+    key << number << ".";
+    for (const bool row : p.truth_table) key << " " << (row ? 1 : 0);
+    key << "\n";
+    ++number;
+  }
+  for (const AsmTraceProblem& p : asm_trace_set(seed + 2, 2)) {
+    problems << number << ". Trace this program; give eax, ebx, ecx at hlt:\n"
+             << p.source << "\n";
+    key << number << ". eax=" << static_cast<std::int32_t>(p.eax)
+        << " ebx=" << static_cast<std::int32_t>(p.ebx)
+        << " ecx=" << static_cast<std::int32_t>(p.ecx) << "\n";
+    ++number;
+  }
+  {
+    const CacheTraceProblem p = cache_trace_problem(seed + 3, 2);
+    problems << number << ". Trace these reads through a " << p.config.block_bytes
+             << "B-block, " << p.config.num_lines << "-line, "
+             << p.config.associativity
+             << "-way LRU cache; mark each hit/miss:\n   ";
+    for (const std::uint32_t address : p.addresses) {
+      problems << "0x" << std::hex << address << std::dec << " ";
+    }
+    problems << "\n\n";
+    key << number << ".";
+    for (const CacheTraceProblem::Row& row : p.key) {
+      key << " " << (row.hit ? "H" : (row.evicted ? "M(evict)" : "M"));
+    }
+    key << "\n";
+    ++number;
+  }
+  {
+    const VmTraceProblem p = vm_trace_problem(seed + 5, /*two_processes=*/false, 8);
+    problems << number << ". Trace these virtual accesses through a "
+             << p.config.physical_frames << "-frame, " << p.config.page_bytes
+             << "-byte-page system (LRU); mark each fault and give the frame:\n   ";
+    for (const VmTraceProblem::Access& a : p.accesses) {
+      problems << "0x" << std::hex << a.virtual_address << std::dec << " ";
+    }
+    problems << "\n\n";
+    key << number << ".";
+    for (const VmTraceProblem::Row& row : p.key) {
+      key << " " << (row.fault ? "F" : "h") << row.frame;
+    }
+    key << "\n";
+    ++number;
+  }
+  {
+    const ForkProblem p = fork_problem(seed + 4);
+    problems << number << ". List every possible output of:\n" << p.description << "\n";
+    key << number << ". " << p.possible_outputs.size() << " possible orderings, e.g.:";
+    for (const std::string& line : p.possible_outputs.front()) key << " " << line;
+    key << "\n";
+  }
+  return Worksheet{problems.str(), key.str()};
+}
+
+}  // namespace cs31::homework

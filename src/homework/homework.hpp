@@ -1,0 +1,123 @@
+// Homework generators and answer keys (paper §III-B "Written
+// Homeworks"): parameterized problem generators for the course's weekly
+// drill topics, each paired with a machine-computed solution so the
+// worksheet is self-grading. Every generator is deterministic per seed
+// and computes its key by running the corresponding kit substrate — the
+// key is *simulated*, never hand-derived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/integer.hpp"
+#include "isa/machine.hpp"
+#include "memhier/cache.hpp"
+#include "os/kernel.hpp"
+#include "vm/paging.hpp"
+
+namespace cs31::homework {
+
+/// "Binary and arithmetic": convert a value between bases and read it
+/// both signed and unsigned.
+struct ConversionProblem {
+  int width = 8;
+  std::uint64_t pattern = 0;
+  std::string prompt;        ///< e.g. "Convert 0xa3 (8-bit) to binary; give
+                             ///  its signed and unsigned decimal readings."
+  std::string binary;        ///< answer key
+  std::string hex;
+  std::int64_t as_signed = 0;
+  std::uint64_t as_unsigned = 0;
+};
+[[nodiscard]] std::vector<ConversionProblem> conversion_set(std::uint32_t seed,
+                                                            std::size_t count);
+
+/// "Binary and arithmetic" part 2: add two fixed-width values; report
+/// result pattern plus carry/overflow flags.
+struct ArithmeticProblem {
+  int width = 8;
+  std::uint64_t a = 0, b = 0;
+  std::string prompt;
+  bits::ArithResult key;
+};
+[[nodiscard]] std::vector<ArithmeticProblem> arithmetic_set(std::uint32_t seed,
+                                                            std::size_t count);
+
+/// "Circuits": trace a randomly generated two-level combinational
+/// circuit to produce its logic table (the homework's "tracing through
+/// a circuit to produce its logic table").
+struct CircuitProblem {
+  std::string description;        ///< e.g. "out = (a AND b) XOR (NOT c)"
+  unsigned inputs = 3;
+  std::vector<bool> truth_table;  ///< key: 2^inputs rows, input bits of
+                                  ///  row i are the binary digits of i
+};
+[[nodiscard]] CircuitProblem circuit_problem(std::uint32_t seed);
+
+/// "Simple assembly": trace a short straight-line program; give final
+/// register values.
+struct AsmTraceProblem {
+  std::string source;                 ///< the worksheet listing
+  std::uint32_t eax = 0, ebx = 0, ecx = 0;  ///< answer key after hlt
+};
+[[nodiscard]] std::vector<AsmTraceProblem> asm_trace_set(std::uint32_t seed,
+                                                         std::size_t count);
+
+/// "Direct mapped / set associative caching": trace accesses through a
+/// cache; give hit/miss (and eviction) per access.
+struct CacheTraceProblem {
+  memhier::CacheConfig config;
+  std::vector<std::uint32_t> addresses;
+  struct Row {
+    bool hit = false;
+    bool evicted = false;
+    std::uint32_t tag = 0, index = 0, offset = 0;
+  };
+  std::vector<Row> key;
+  double final_hit_rate = 0;
+};
+[[nodiscard]] CacheTraceProblem cache_trace_problem(std::uint32_t seed,
+                                                    std::uint32_t associativity,
+                                                    std::size_t accesses = 10);
+
+/// "Virtual memory 1/2": trace virtual accesses (optionally across two
+/// processes); give fault/frame per access and the final frame table.
+struct VmTraceProblem {
+  vm::PagingConfig config;
+  struct Access {
+    std::uint32_t process = 0;  ///< 0 or 1 (index, not pid)
+    std::uint32_t virtual_address = 0;
+  };
+  std::vector<Access> accesses;
+  struct Row {
+    bool fault = false;
+    bool evicted = false;
+    std::uint32_t frame = 0;
+  };
+  std::vector<Row> key;
+  std::string final_frames;  ///< dump_frames() at the end
+};
+[[nodiscard]] VmTraceProblem vm_trace_problem(std::uint32_t seed, bool two_processes,
+                                              std::size_t accesses = 12);
+
+/// "Processes": a fork program; list every possible output ordering.
+struct ForkProblem {
+  std::string description;  ///< pseudo-C rendering of the program
+  std::vector<std::vector<std::string>> sequences;  ///< per-process prints
+  std::vector<std::vector<std::string>> possible_outputs;  ///< the key
+};
+[[nodiscard]] ForkProblem fork_problem(std::uint32_t seed);
+
+/// Grade a claimed output for a fork problem.
+[[nodiscard]] bool grade_fork_answer(const ForkProblem& problem,
+                                     const std::vector<std::string>& claimed);
+
+/// Render a complete worksheet (prompts only) and its answer key.
+struct Worksheet {
+  std::string problems;
+  std::string answer_key;
+};
+[[nodiscard]] Worksheet render_worksheet(std::uint32_t seed);
+
+}  // namespace cs31::homework

@@ -1,0 +1,264 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::isa {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+std::int32_t parse_int(const std::string& text) {
+  require(!text.empty(), "empty integer");
+  std::size_t i = 0;
+  bool neg = false;
+  if (text[0] == '-') { neg = true; i = 1; }
+  require(i < text.size(), "integer with no digits");
+  std::int64_t v = 0;
+  if (text.compare(i, 2, "0x") == 0 || text.compare(i, 2, "0X") == 0) {
+    i += 2;
+    require(i < text.size(), "hex integer with no digits");
+    for (; i < text.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = 10 + c - 'a';
+      else throw Error("bad hex digit in '" + text + "'");
+      v = v * 16 + d;
+      require(v <= 0xFFFFFFFFll, "integer out of 32-bit range");
+    }
+  } else {
+    for (; i < text.size(); ++i) {
+      require(std::isdigit(static_cast<unsigned char>(text[i])),
+              "bad digit in '" + text + "'");
+      v = v * 10 + (text[i] - '0');
+      require(v <= 0xFFFFFFFFll, "integer out of 32-bit range");
+    }
+  }
+  return static_cast<std::int32_t>(neg ? -v : v);
+}
+
+// Split "a, b" at the top-level comma (commas inside parens belong to
+// the (base,index,scale) operand form).
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty()) parts.push_back(last);
+  return parts;
+}
+
+struct MnemonicTableEntry {
+  const char* name;
+  Mnemonic op;
+  int operands;  // expected operand count
+};
+
+const MnemonicTableEntry kTable[] = {
+    {"movl", Mnemonic::Mov, 2},   {"addl", Mnemonic::Add, 2},
+    {"subl", Mnemonic::Sub, 2},   {"imull", Mnemonic::Imul, 2},
+    {"andl", Mnemonic::And, 2},   {"orl", Mnemonic::Or, 2},
+    {"xorl", Mnemonic::Xor, 2},   {"notl", Mnemonic::Not, 1},
+    {"negl", Mnemonic::Neg, 1},   {"incl", Mnemonic::Inc, 1},
+    {"decl", Mnemonic::Dec, 1},   {"shll", Mnemonic::Shl, 2},
+    {"shrl", Mnemonic::Shr, 2},   {"sarl", Mnemonic::Sar, 2},
+    {"leal", Mnemonic::Lea, 2},   {"cmpl", Mnemonic::Cmp, 2},
+    {"testl", Mnemonic::Test, 2}, {"pushl", Mnemonic::Push, 1},
+    {"popl", Mnemonic::Pop, 1},   {"call", Mnemonic::Call, 1},
+    {"ret", Mnemonic::Ret, 0},    {"leave", Mnemonic::Leave, 0},
+    {"jmp", Mnemonic::Jmp, 1},    {"je", Mnemonic::Je, 1},
+    {"jne", Mnemonic::Jne, 1},    {"jg", Mnemonic::Jg, 1},
+    {"jge", Mnemonic::Jge, 1},    {"jl", Mnemonic::Jl, 1},
+    {"jle", Mnemonic::Jle, 1},    {"ja", Mnemonic::Ja, 1},
+    {"jae", Mnemonic::Jae, 1},    {"jb", Mnemonic::Jb, 1},
+    {"jbe", Mnemonic::Jbe, 1},    {"js", Mnemonic::Js, 1},
+    {"jns", Mnemonic::Jns, 1},    {"nop", Mnemonic::Nop, 0},
+    {"hlt", Mnemonic::Hlt, 0},
+};
+
+bool is_jump_or_call(Mnemonic m) {
+  return (m >= Mnemonic::Jmp && m <= Mnemonic::Jns) || m == Mnemonic::Call;
+}
+
+}  // namespace
+
+Operand parse_operand(const std::string& raw) {
+  const std::string text = trim(raw);
+  require(!text.empty(), "empty operand");
+  if (text[0] == '$') return Operand::immediate(parse_int(text.substr(1)));
+  if (text[0] == '%') return Operand::of_reg(parse_reg(text));
+  // Memory: disp(base,index,scale) with every part optional except that
+  // at least one must appear.
+  const std::size_t open = text.find('(');
+  MemRef m;
+  if (open == std::string::npos) {
+    m.disp = parse_int(text);  // absolute address
+    return Operand::memory(m);
+  }
+  const std::string disp = trim(text.substr(0, open));
+  if (!disp.empty()) m.disp = parse_int(disp);
+  require(text.back() == ')', "missing ')' in memory operand '" + text + "'");
+  const std::string inner = text.substr(open + 1, text.size() - open - 2);
+  std::vector<std::string> parts;
+  {
+    std::string cur;
+    for (char c : inner) {
+      if (c == ',') { parts.push_back(trim(cur)); cur.clear(); }
+      else cur.push_back(c);
+    }
+    parts.push_back(trim(cur));
+  }
+  require(parts.size() <= 3, "too many parts in memory operand '" + text + "'");
+  if (!parts.empty() && !parts[0].empty()) m.base = parse_reg(parts[0]);
+  if (parts.size() >= 2 && !parts[1].empty()) m.index = parse_reg(parts[1]);
+  if (parts.size() == 3 && !parts[2].empty()) {
+    const std::int32_t s = parse_int(parts[2]);
+    require(s == 1 || s == 2 || s == 4 || s == 8, "scale must be 1, 2, 4, or 8");
+    m.scale = static_cast<std::uint8_t>(s);
+  }
+  require(m.base || m.index, "memory operand '" + text + "' names no register");
+  return Operand::memory(m);
+}
+
+std::uint32_t Image::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  require(it != symbols.end(), "undefined symbol '" + name + "'");
+  return it->second;
+}
+
+Image assemble(const std::string& source, std::uint32_t base) {
+  struct Line {
+    int number;
+    std::string mnemonic;
+    std::string rest;
+  };
+  Image image;
+  image.base = base;
+  std::vector<Line> lines;
+
+  // Pass 1: strip comments, collect labels, count instructions.
+  std::istringstream in(source);
+  std::string raw;
+  int number = 0;
+  std::uint32_t addr = base;
+  while (std::getline(in, raw)) {
+    ++number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::string line = trim(raw);
+    // Possibly several labels then one instruction on a line.
+    for (;;) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string label = trim(line.substr(0, colon));
+      require(!label.empty(), "line " + std::to_string(number) + ": empty label");
+      for (char c : label) {
+        require(is_label_char(c),
+                "line " + std::to_string(number) + ": bad label '" + label + "'");
+      }
+      require(!image.symbols.contains(label),
+              "line " + std::to_string(number) + ": duplicate label '" + label + "'");
+      image.symbols[label] = addr;
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+    const std::size_t sp = line.find_first_of(" \t");
+    Line entry;
+    entry.number = number;
+    entry.mnemonic = sp == std::string::npos ? line : line.substr(0, sp);
+    entry.rest = sp == std::string::npos ? "" : trim(line.substr(sp + 1));
+    lines.push_back(entry);
+    addr += kInstrBytes;
+  }
+
+  // Pass 2: encode with labels resolved.
+  addr = base;
+  for (const Line& line : lines) {
+    const MnemonicTableEntry* entry = nullptr;
+    for (const MnemonicTableEntry& e : kTable) {
+      if (line.mnemonic == e.name) { entry = &e; break; }
+    }
+    require(entry != nullptr, "line " + std::to_string(line.number) +
+                                  ": unknown mnemonic '" + line.mnemonic + "'");
+    Instruction ins;
+    ins.op = entry->op;
+    try {
+      if (is_jump_or_call(entry->op)) {
+        const std::string target = trim(line.rest);
+        require(!target.empty(), "jump needs a target");
+        if (target[0] == '%' || target[0] == '$' || std::isdigit(static_cast<unsigned char>(target[0]))) {
+          throw Error("jump target must be a label in this subset");
+        }
+        ins.target = image.symbol(target);
+      } else {
+        const std::vector<std::string> ops = split_operands(line.rest);
+        require(static_cast<int>(ops.size()) == entry->operands,
+                std::string(entry->name) + " expects " +
+                    std::to_string(entry->operands) + " operand(s), got " +
+                    std::to_string(ops.size()));
+        if (entry->operands == 1) {
+          ins.dst = parse_operand(ops[0]);
+        } else if (entry->operands == 2) {
+          ins.src = parse_operand(ops[0]);
+          ins.dst = parse_operand(ops[1]);
+        }
+      }
+    } catch (const Error& e) {
+      throw Error("line " + std::to_string(line.number) + ": " + e.what());
+    }
+    const std::vector<std::uint8_t> bytes = encode(ins);
+    image.bytes.insert(image.bytes.end(), bytes.begin(), bytes.end());
+    addr += kInstrBytes;
+  }
+  return image;
+}
+
+std::vector<DisasmLine> disassemble(const Image& image) {
+  // Reverse symbol table for labeling.
+  std::map<std::uint32_t, std::string> by_addr;
+  for (const auto& [name, a] : image.symbols) by_addr[a] = name;
+
+  std::vector<DisasmLine> out;
+  for (std::size_t off = 0; off + kInstrBytes <= image.bytes.size(); off += kInstrBytes) {
+    DisasmLine line;
+    line.address = image.base + static_cast<std::uint32_t>(off);
+    const Instruction ins = decode(image.bytes.data() + off);
+    line.text = to_string(ins);
+    // Swap hex targets for label names when known.
+    if (const auto it = by_addr.find(ins.target);
+        it != by_addr.end() &&
+        ((ins.op >= Mnemonic::Jmp && ins.op <= Mnemonic::Jns) || ins.op == Mnemonic::Call)) {
+      line.text = mnemonic_name(ins.op) + " " + it->second;
+    }
+    if (const auto it = by_addr.find(line.address); it != by_addr.end()) {
+      line.label = it->second;
+    }
+    out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace cs31::isa

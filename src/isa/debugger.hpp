@@ -1,0 +1,74 @@
+// GDB-style debugger for the IA-32 subset machine (CS 31 Labs 4-5: "use
+// GDB assembly code tracing to discover the correct program input").
+// Provides both a programmatic API (breakpoints, stepping, inspection)
+// and a small command interpreter that accepts the GDB spellings the
+// course drills: break / run / continue / stepi / info registers /
+// print / x / disas.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hpp"
+
+namespace cs31::isa {
+
+/// Why control returned to the user.
+enum class StopReason { Breakpoint, Step, Halted, NotRunning };
+
+class Debugger {
+ public:
+  /// Attach to a machine (not owned; must outlive the debugger).
+  explicit Debugger(Machine& machine);
+
+  /// Set a breakpoint at an address or label. Throws on unknown labels
+  /// or addresses outside the loaded image.
+  void break_at(std::uint32_t address);
+  void break_at(const std::string& label);
+  void delete_breakpoint(std::uint32_t address);
+  [[nodiscard]] const std::set<std::uint32_t>& breakpoints() const { return breakpoints_; }
+
+  /// Resume until a breakpoint, halt, or `max_steps`.
+  StopReason cont(std::size_t max_steps = 1000000);
+
+  /// Execute exactly `n` instructions (stepi).
+  StopReason stepi(std::size_t n = 1);
+
+  /// "info registers": all registers plus flags, formatted as GDB does.
+  [[nodiscard]] std::string info_registers() const;
+
+  /// "x/Nw addr": N 32-bit words of memory.
+  [[nodiscard]] std::vector<std::uint32_t> examine(std::uint32_t addr, std::size_t count) const;
+
+  /// "disas": instruction listing around the current EIP (`before` and
+  /// `after` are instruction counts), with a "=>" marker like GDB's.
+  [[nodiscard]] std::string disas(int before = 2, int after = 4) const;
+
+  /// One stack frame of a backtrace.
+  struct Frame {
+    std::uint32_t pc = 0;        ///< return address / current EIP
+    std::uint32_t ebp = 0;       ///< frame pointer of this frame
+    std::string function;        ///< nearest symbol at or before pc
+  };
+
+  /// "backtrace": walk the saved-EBP chain (the prologue discipline the
+  /// course teaches: pushl %ebp / movl %esp, %ebp), resolving each
+  /// return address to its containing function label. Stops at
+  /// `max_frames` or when the chain leaves valid memory.
+  [[nodiscard]] std::vector<Frame> backtrace(std::size_t max_frames = 32) const;
+
+  /// One GDB-flavored command line; returns its printed output.
+  /// Supported: break <label|0xaddr>, delete <0xaddr>, continue | c,
+  /// stepi [n] | si [n], info registers, print $reg | p $reg,
+  /// x/<n>w <0xaddr|$reg>, disas, backtrace | bt. Throws cs31::Error
+  /// for anything else.
+  std::string execute(const std::string& command);
+
+ private:
+  Machine& machine_;
+  std::set<std::uint32_t> breakpoints_;
+};
+
+}  // namespace cs31::isa

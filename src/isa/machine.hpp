@@ -1,0 +1,110 @@
+// Execution engine for the IA-32 subset: registers, EFLAGS condition
+// codes, byte-addressed little-endian memory, and the x86 stack
+// discipline (push/pop/call/ret/leave) that CS 31 spends a full week on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/ia32.hpp"
+
+namespace cs31::isa {
+
+/// The four condition codes the course teaches.
+struct Eflags {
+  bool cf = false;  ///< carry
+  bool zf = false;  ///< zero
+  bool sf = false;  ///< sign
+  bool of = false;  ///< signed overflow
+
+  friend bool operator==(const Eflags&, const Eflags&) = default;
+};
+
+/// A running machine: load an Image, then step or run. Memory size is
+/// configurable; the stack starts at the top and grows down, exactly the
+/// picture in the course's memory-regions diagrams.
+class Machine {
+ public:
+  /// Create a machine with `mem_bytes` of memory (default 1 MiB).
+  /// Throws cs31::Error for sizes below 4 KiB.
+  explicit Machine(std::uint32_t mem_bytes = 1u << 20);
+
+  /// Copy an image into memory and point EIP at its base (or at the
+  /// `_start`/`main` symbol when present, preferring `_start`). Resets
+  /// ESP/EBP to the top of memory. Throws when the image does not fit.
+  void load(const Image& image);
+
+  /// Execute one instruction. Returns false if halted (hlt, or ret with
+  /// an empty call stack). Throws cs31::Error on memory faults
+  /// ("segmentation violations"), bad operand shapes, or division of the
+  /// instruction stream (EIP outside the loaded image).
+  bool step();
+
+  /// Run until halt or `max_steps` (throws when exceeded).
+  std::size_t run(std::size_t max_steps = 1000000);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  // Register/flag/memory access (the debugger's "info registers" etc.).
+  [[nodiscard]] std::uint32_t reg(Reg r) const;
+  void set_reg(Reg r, std::uint32_t value);
+  [[nodiscard]] Eflags flags() const { return flags_; }
+
+  [[nodiscard]] std::uint32_t load32(std::uint32_t addr) const;
+  void store32(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint8_t load8(std::uint32_t addr) const;
+  void store8(std::uint32_t addr, std::uint8_t value);
+
+  /// Effective address of a memory operand given current registers —
+  /// the "address computation" homework drills.
+  [[nodiscard]] std::uint32_t effective_address(const MemRef& m) const;
+
+  /// Count of instructions executed since load().
+  [[nodiscard]] std::size_t instructions_executed() const { return executed_; }
+
+  /// One recorded data-memory access (stack traffic and explicit memory
+  /// operands; instruction fetches are not data accesses).
+  struct MemAccess {
+    std::uint32_t address = 0;
+    bool is_write = false;
+  };
+
+  /// Enable/disable recording of data accesses (off by default; the
+  /// record feeds the cache simulator in cross-layer experiments).
+  void set_trace_memory(bool enabled) { trace_memory_ = enabled; }
+  [[nodiscard]] const std::vector<MemAccess>& memory_trace() const { return mem_trace_; }
+  void clear_memory_trace() { mem_trace_.clear(); }
+
+  [[nodiscard]] std::uint32_t memory_size() const {
+    return static_cast<std::uint32_t>(memory_.size());
+  }
+
+  /// The image currently loaded (for disassembly in the debugger).
+  [[nodiscard]] const Image& image() const { return image_; }
+
+ private:
+  [[nodiscard]] std::uint32_t read_operand(const Operand& o) const;
+  void write_operand(const Operand& o, std::uint32_t value);
+  void push(std::uint32_t value);
+  [[nodiscard]] std::uint32_t pop();
+  void set_logic_flags(std::uint32_t result);
+  void set_add_flags(std::uint32_t a, std::uint32_t b, std::uint64_t wide);
+  void set_sub_flags(std::uint32_t a, std::uint32_t b);
+
+  std::vector<std::uint8_t> memory_;
+  std::array<std::uint32_t, 8> regs_{};
+  std::uint32_t eip_ = 0;
+  Eflags flags_;
+  bool halted_ = true;
+  std::size_t executed_ = 0;
+  Image image_;
+  std::size_t call_depth_ = 0;
+  bool trace_memory_ = false;
+  // mutable so the const read path can record; tracing is observability,
+  // not machine state.
+  mutable std::vector<MemAccess> mem_trace_;
+};
+
+}  // namespace cs31::isa

@@ -1,0 +1,133 @@
+#include "isa/maze.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::isa {
+
+namespace {
+
+/// Deterministic secret stream (numerical-recipes LCG).
+class Lcg {
+ public:
+  explicit Lcg(std::uint32_t seed) : state_(seed) {}
+  std::uint32_t next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace
+
+Maze::Maze(unsigned floors, std::uint32_t seed) {
+  require(floors >= 1 && floors <= 16, "maze supports 1..16 floors");
+  Lcg lcg(seed);
+  std::ostringstream src;
+
+  for (unsigned k = 0; k < floors; ++k) {
+    const unsigned archetype = k % 5;
+    std::uint32_t secret = lcg.next() & 0xFFFFu;
+    const std::uint32_t mask = (lcg.next() & 0xFFFFu) | 0x10000u;
+    if (archetype == 3) secret = 3 + secret % 38;  // loop floor: small count
+    secrets_.push_back(secret);
+
+    src << "floor_" << k << ":\n";
+    switch (archetype) {
+      case 0:  // direct compare
+        src << "    cmpl $" << secret << ", %eax\n"
+            << "    jne maze_explode\n"
+            << "    jmp maze_pass\n";
+        break;
+      case 1:  // arithmetic chain: 3*x + 7
+        src << "    movl %eax, %ebx\n"
+            << "    addl %eax, %ebx\n"
+            << "    addl %eax, %ebx\n"
+            << "    addl $7, %ebx\n"
+            << "    cmpl $" << (3 * secret + 7) << ", %ebx\n"
+            << "    jne maze_explode\n"
+            << "    jmp maze_pass\n";
+        break;
+      case 2:  // XOR mask
+        src << "    xorl $" << mask << ", %eax\n"
+            << "    cmpl $" << (secret ^ mask) << ", %eax\n"
+            << "    jne maze_explode\n"
+            << "    jmp maze_pass\n";
+        break;
+      case 3: {  // counting loop: sum 1..x must hit the triangular target
+        const std::uint32_t target = secret * (secret + 1) / 2;
+        src << "    cmpl $64, %eax\n"
+            << "    ja maze_explode\n"
+            << "    movl $0, %ebx\n"
+            << "    movl $0, %ecx\n"
+            << "floor_" << k << "_loop:\n"
+            << "    cmpl %eax, %ecx\n"
+            << "    je floor_" << k << "_done\n"
+            << "    incl %ecx\n"
+            << "    addl %ecx, %ebx\n"
+            << "    jmp floor_" << k << "_loop\n"
+            << "floor_" << k << "_done:\n"
+            << "    cmpl $" << target << ", %ebx\n"
+            << "    jne maze_explode\n"
+            << "    jmp maze_pass\n";
+        break;
+      }
+      case 4: {  // stack discipline: 4 * (x + c)
+        const std::uint32_t c = mask & 0xFFu;
+        src << "    pushl %eax\n"
+            << "    pushl $" << c << "\n"
+            << "    popl %ebx\n"
+            << "    popl %ecx\n"
+            << "    addl %ecx, %ebx\n"
+            << "    shll $2, %ebx\n"
+            << "    cmpl $" << (4 * (secret + c)) << ", %ebx\n"
+            << "    jne maze_explode\n"
+            << "    jmp maze_pass\n";
+        break;
+      }
+    }
+  }
+
+  src << "maze_pass:\n"
+      << "    movl $1, %edi\n"
+      << "    hlt\n"
+      << "maze_explode:\n"
+      << "    movl $0, %edi\n"
+      << "    hlt\n";
+
+  source_ = src.str();
+  image_ = assemble(source_);
+}
+
+AttemptResult Maze::attempt(unsigned floor, std::uint32_t guess) const {
+  require(floor < floors(), "no such floor");
+  Machine machine;
+  machine.load(image_);
+  machine.set_reg(Reg::Eip, image_.symbol("floor_" + std::to_string(floor)));
+  machine.set_reg(Reg::Eax, guess);
+  AttemptResult result;
+  result.instructions = machine.run(1u << 20);
+  const std::uint32_t eip = machine.reg(Reg::Eip);
+  result.passed = eip >= image_.symbol("maze_pass") && eip < image_.symbol("maze_explode");
+  result.exploded = eip >= image_.symbol("maze_explode");
+  return result;
+}
+
+std::uint32_t Maze::solution(unsigned floor) const {
+  require(floor < floors(), "no such floor");
+  return secrets_[floor];
+}
+
+unsigned Maze::play(const std::vector<std::uint32_t>& guesses) const {
+  unsigned passed = 0;
+  for (unsigned k = 0; k < floors() && k < guesses.size(); ++k) {
+    if (!attempt(k, guesses[k]).passed) break;
+    ++passed;
+  }
+  return passed;
+}
+
+}  // namespace cs31::isa

@@ -1,0 +1,58 @@
+// The Binary Maze of CS 31 Lab 5 (inspired by CMU's binary bomb lab):
+// a generated assembly program whose "floors" each demand a specific
+// input discovered by reading the disassembly and tracing with the
+// debugger. Secrets are derived deterministically from a seed, so every
+// student (and every test) gets a reproducible maze.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/machine.hpp"
+
+namespace cs31::isa {
+
+/// Outcome of one attempt at a floor.
+struct AttemptResult {
+  bool passed = false;
+  bool exploded = false;  ///< reached the maze_explode handler
+  std::size_t instructions = 0;
+};
+
+/// A maze with `floors` challenges of increasing complexity. The five
+/// floor archetypes cycle: direct compare, arithmetic chain, XOR mask,
+/// counting loop, and a stack-discipline puzzle.
+class Maze {
+ public:
+  /// Throws cs31::Error when floors is not in [1, 16].
+  explicit Maze(unsigned floors, std::uint32_t seed = 0xC531);
+
+  [[nodiscard]] unsigned floors() const { return static_cast<unsigned>(secrets_.size()); }
+
+  /// The maze's full assembly source — what students disassemble.
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// The assembled image (shared by all attempts).
+  [[nodiscard]] const Image& image() const { return image_; }
+
+  /// Run floor `k` (0-based) with the guess in %eax. Throws on a bad
+  /// floor number.
+  [[nodiscard]] AttemptResult attempt(unsigned floor, std::uint32_t guess) const;
+
+  /// The correct input for floor `k` — the answer a student derives by
+  /// tracing. Exposed so tests and graders can verify mazes end-to-end.
+  [[nodiscard]] std::uint32_t solution(unsigned floor) const;
+
+  /// Attempt every floor in order with the given guesses; returns the
+  /// number of consecutive floors passed before the first explosion.
+  [[nodiscard]] unsigned play(const std::vector<std::uint32_t>& guesses) const;
+
+ private:
+  std::vector<std::uint32_t> secrets_;
+  std::string source_;
+  Image image_;
+};
+
+}  // namespace cs31::isa

@@ -1,0 +1,159 @@
+#include "isa/samples.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::isa {
+
+const std::vector<AsmSample>& lab4_samples() {
+  static const std::vector<AsmSample> kSamples = {
+      {"swap_mem",
+       "swap the two ints whose addresses are passed as arguments",
+       R"(swap_mem:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax      # first pointer
+    movl 12(%ebp), %ebx     # second pointer
+    movl (%eax), %ecx
+    movl (%ebx), %edx
+    movl %edx, (%eax)
+    movl %ecx, (%ebx)
+    movl $0, %eax
+    leave
+    ret
+)"},
+      {"array_sum",
+       "sum all values in the int array (base, count)",
+       R"(array_sum:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx      # base
+    movl 12(%ebp), %ecx     # count
+    movl $0, %eax
+    movl $0, %edx           # i
+array_sum_loop:
+    cmpl %ecx, %edx
+    jge array_sum_done
+    addl (%ebx,%edx,4), %eax
+    incl %edx
+    jmp array_sum_loop
+array_sum_done:
+    leave
+    ret
+)"},
+      {"array_max",
+       "largest (signed) value in the nonempty int array (base, count)",
+       R"(array_max:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx
+    movl 12(%ebp), %ecx
+    movl (%ebx), %eax       # best = a[0]
+    movl $1, %edx
+array_max_loop:
+    cmpl %ecx, %edx
+    jge array_max_done
+    movl (%ebx,%edx,4), %esi
+    cmpl %eax, %esi
+    jle array_max_skip
+    movl %esi, %eax
+array_max_skip:
+    incl %edx
+    jmp array_max_loop
+array_max_done:
+    leave
+    ret
+)"},
+      {"abs_value",
+       "absolute value of the argument, without branches beyond one jump",
+       R"(abs_value:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    cmpl $0, %eax
+    jge abs_done
+    negl %eax
+abs_done:
+    leave
+    ret
+)"},
+      {"count_matching",
+       "how many elements of (base, count) equal the third argument",
+       R"(count_matching:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx      # base
+    movl 12(%ebp), %ecx     # count
+    movl 16(%ebp), %esi     # needle
+    movl $0, %eax
+    movl $0, %edx
+count_loop:
+    cmpl %ecx, %edx
+    jge count_done
+    cmpl %esi, (%ebx,%edx,4)
+    jne count_skip
+    incl %eax
+count_skip:
+    incl %edx
+    jmp count_loop
+count_done:
+    leave
+    ret
+)"},
+      {"find_index",
+       "index of the first element equal to the needle, or -1",
+       R"(find_index:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx
+    movl 12(%ebp), %ecx
+    movl 16(%ebp), %esi
+    movl $0, %edx
+find_loop:
+    cmpl %ecx, %edx
+    jge find_missing
+    cmpl %esi, (%ebx,%edx,4)
+    je find_hit
+    incl %edx
+    jmp find_loop
+find_hit:
+    movl %edx, %eax
+    leave
+    ret
+find_missing:
+    movl $-1, %eax
+    leave
+    ret
+)"},
+  };
+  return kSamples;
+}
+
+const AsmSample& sample(const std::string& name) {
+  for (const AsmSample& s : lab4_samples()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown assembly sample '" + name + "'");
+}
+
+std::uint32_t call_sample(const AsmSample& sample, const std::vector<std::uint32_t>& args,
+                          const std::vector<std::uint32_t>& data,
+                          std::uint32_t data_base) {
+  std::ostringstream src;
+  src << "_start:\n";
+  for (auto it = args.rbegin(); it != args.rend(); ++it) {
+    src << "    pushl $" << static_cast<std::int32_t>(*it) << "\n";
+  }
+  src << "    call " << sample.name << "\n    hlt\n" << sample.source;
+
+  Machine machine;
+  machine.load(assemble(src.str()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    machine.store32(data_base + static_cast<std::uint32_t>(4 * i), data[i]);
+  }
+  machine.run(1u << 20);
+  return machine.reg(Reg::Eax);
+}
+
+}  // namespace cs31::isa

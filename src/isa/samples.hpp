@@ -1,0 +1,38 @@
+// The Lab 4 assembly exercise set, solved: the short routines students
+// write by hand ("swap two variables, or sum all values in an array"),
+// shipped as callable assembly with a cdecl harness. Each sample is a
+// self-contained function the grader (and the tests) invoke with stack
+// arguments on a fresh Machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hpp"
+
+namespace cs31::isa {
+
+/// One named sample routine.
+struct AsmSample {
+  std::string name;         ///< function label, e.g. "array_sum"
+  std::string description;  ///< the lab's prompt for it
+  std::string source;       ///< the routine's assembly (AT&T subset)
+};
+
+/// The lab's routine set: swap_mem, array_sum, array_max, abs_value,
+/// count_matching, strlen_asm.
+[[nodiscard]] const std::vector<AsmSample>& lab4_samples();
+
+/// Look one up by name. Throws cs31::Error when unknown.
+[[nodiscard]] const AsmSample& sample(const std::string& name);
+
+/// Call a sample function with cdecl integer arguments on a fresh
+/// machine whose memory may be staged first via `setup` words written
+/// at `data_base`. Returns %eax. Throws on assembly or runtime faults.
+[[nodiscard]] std::uint32_t call_sample(const AsmSample& sample,
+                                        const std::vector<std::uint32_t>& args,
+                                        const std::vector<std::uint32_t>& data = {},
+                                        std::uint32_t data_base = 0x8000);
+
+}  // namespace cs31::isa

@@ -1,0 +1,31 @@
+// Lab 4 part 1, "C Pointers": compute basic statistics (mean, median,
+// max, min) over input files holding arrays of unknown length — the
+// exercise that forces dynamic allocation and pointer passing. The file
+// format matches the lab: a count line followed by whitespace-separated
+// values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cs31::labs {
+
+struct Stats {
+  std::size_t count = 0;
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Statistics over an in-memory series. Throws cs31::Error when empty.
+[[nodiscard]] Stats compute_stats(const std::vector<double>& values);
+
+/// Parse the lab's file format ("N\nv1 v2 ... vN"). Throws cs31::Error
+/// on malformed input or a count mismatch.
+[[nodiscard]] std::vector<double> parse_values(const std::string& text);
+
+/// Convenience: parse then compute.
+[[nodiscard]] Stats stats_from_text(const std::string& text);
+
+}  // namespace cs31::labs

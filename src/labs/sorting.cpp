@@ -1,0 +1,121 @@
+#include "labs/sorting.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/threads.hpp"
+
+namespace cs31::labs {
+
+void bubble_sort(std::span<int> data) {
+  if (data.size() < 2) return;
+  for (std::size_t pass = data.size() - 1; pass > 0; --pass) {
+    bool swapped = false;
+    for (std::size_t i = 0; i < pass; ++i) {
+      if (data[i] > data[i + 1]) {
+        std::swap(data[i], data[i + 1]);
+        swapped = true;
+      }
+    }
+    if (!swapped) return;
+  }
+}
+
+void insertion_sort(std::span<int> data) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    const int key = data[i];
+    std::size_t j = i;
+    while (j > 0 && data[j - 1] > key) {
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = key;
+  }
+}
+
+void selection_sort(std::span<int> data) {
+  if (data.empty()) return;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    std::size_t min = i;
+    for (std::size_t j = i + 1; j < data.size(); ++j) {
+      if (data[j] < data[min]) min = j;
+    }
+    std::swap(data[i], data[min]);
+  }
+}
+
+bool is_sorted(std::span<const int> data) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (data[i - 1] > data[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void merge_halves(std::span<int> data, std::size_t mid, std::vector<int>& scratch) {
+  scratch.assign(data.begin(), data.end());
+  std::size_t a = 0, b = mid, out = 0;
+  while (a < mid && b < data.size()) {
+    data[out++] = scratch[a] <= scratch[b] ? scratch[a++] : scratch[b++];
+  }
+  while (a < mid) data[out++] = scratch[a++];
+  while (b < data.size()) data[out++] = scratch[b++];
+}
+
+void serial_merge_sort(std::span<int> data, std::size_t cutoff, std::vector<int>& scratch) {
+  if (data.size() <= cutoff) {
+    insertion_sort(data);
+    return;
+  }
+  const std::size_t mid = data.size() / 2;
+  serial_merge_sort(data.first(mid), cutoff, scratch);
+  serial_merge_sort(data.subspan(mid), cutoff, scratch);
+  merge_halves(data, mid, scratch);
+}
+
+}  // namespace
+
+void parallel_merge_sort(std::span<int> data, unsigned threads, std::size_t cutoff) {
+  require(threads >= 1, "need at least one thread");
+  if (cutoff < 1) cutoff = 1;
+  if (threads == 1 || data.size() <= cutoff) {
+    std::vector<int> scratch;
+    serial_merge_sort(data, cutoff, scratch);
+    return;
+  }
+
+  // Phase 1: each thread sorts its block.
+  const std::vector<parallel::Range> blocks = parallel::block_partition(data.size(), threads);
+  parallel::parallel_for(data.size(), threads, [&](parallel::Range r, std::size_t) {
+    std::vector<int> scratch;
+    serial_merge_sort(data.subspan(r.begin, r.size()), cutoff, scratch);
+  });
+
+  // Phase 2: merge the sorted blocks pairwise (serial tree merge; the
+  // lab's point is the parallel phase-1 scan).
+  std::vector<parallel::Range> runs = blocks;
+  std::vector<int> scratch;
+  while (runs.size() > 1) {
+    std::vector<parallel::Range> next;
+    for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+      const parallel::Range merged{runs[i].begin, runs[i + 1].end};
+      merge_halves(data.subspan(merged.begin, merged.size()),
+                   runs[i].end - runs[i].begin, scratch);
+      next.push_back(merged);
+    }
+    if (runs.size() % 2 == 1) next.push_back(runs.back());
+    runs = std::move(next);
+  }
+}
+
+void fill_random(std::span<int> data, std::uint32_t seed) {
+  std::uint32_t state = seed | 1u;
+  for (int& v : data) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<int>(state >> 4) % 100000;
+  }
+}
+
+}  // namespace cs31::labs

@@ -1,0 +1,32 @@
+// Lab 2, "C Programming Warm-up": the O(N^2) sorting algorithms students
+// bring from CS1, implemented over std::span the way the lab's C code
+// works over int arrays — plus a parallel merge sort used by the
+// extension benches to contrast algorithmic and parallel speedup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cs31::labs {
+
+/// In-place bubble sort with the early-exit optimization.
+void bubble_sort(std::span<int> data);
+
+/// In-place insertion sort.
+void insertion_sort(std::span<int> data);
+
+/// In-place selection sort.
+void selection_sort(std::span<int> data);
+
+/// Is the span nondecreasing?
+[[nodiscard]] bool is_sorted(std::span<const int> data);
+
+/// Fork-join parallel merge sort over `threads` real threads (block
+/// partition, local insertion sort below `cutoff`, pairwise merges).
+/// Throws cs31::Error when threads == 0.
+void parallel_merge_sort(std::span<int> data, unsigned threads, std::size_t cutoff = 32);
+
+/// Deterministic test data.
+void fill_random(std::span<int> data, std::uint32_t seed);
+
+}  // namespace cs31::labs

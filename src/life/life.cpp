@@ -1,0 +1,181 @@
+#include "life/life.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "parallel/sync.hpp"
+
+namespace cs31::life {
+
+Grid::Grid(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {
+  require(rows > 0 && cols > 0, "grid must have nonzero dimensions");
+}
+
+Grid Grid::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::size_t rows = 0, cols = 0, pairs = 0;
+  require(static_cast<bool>(in >> rows >> cols), "grid file: missing dimensions");
+  require(rows > 0 && cols > 0, "grid file: dimensions must be positive");
+  require(static_cast<bool>(in >> pairs), "grid file: missing live-cell count");
+  Grid grid(rows, cols);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    std::size_t r = 0, c = 0;
+    require(static_cast<bool>(in >> r >> c),
+            "grid file: expected " + std::to_string(pairs) + " coordinate pairs");
+    require(r < rows && c < cols, "grid file: cell (" + std::to_string(r) + ", " +
+                                      std::to_string(c) + ") out of range");
+    grid.set(r, c, true);
+  }
+  return grid;
+}
+
+Grid Grid::random(std::size_t rows, std::size_t cols, double fill, std::uint32_t seed) {
+  require(fill >= 0.0 && fill <= 1.0, "fill fraction must be in [0, 1]");
+  Grid grid(rows, cols);
+  std::uint32_t state = seed | 1u;
+  const auto threshold = static_cast<std::uint32_t>(fill * 4294967295.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      state = state * 1664525u + 1013904223u;
+      if (state <= threshold) grid.set(r, c, true);
+    }
+  }
+  return grid;
+}
+
+bool Grid::alive(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "cell out of range");
+  return cells_[r * cols_ + c] != 0;
+}
+
+void Grid::set(std::size_t r, std::size_t c, bool alive) {
+  require(r < rows_ && c < cols_, "cell out of range");
+  cells_[r * cols_ + c] = alive ? 1 : 0;
+}
+
+std::size_t Grid::population() const {
+  std::size_t n = 0;
+  for (const std::uint8_t cell : cells_) n += cell;
+  return n;
+}
+
+int Grid::neighbors(std::size_t r, std::size_t c, EdgeRule rule) const {
+  require(r < rows_ && c < cols_, "cell out of range");
+  int count = 0;
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      std::int64_t nr = static_cast<std::int64_t>(r) + dr;
+      std::int64_t nc = static_cast<std::int64_t>(c) + dc;
+      if (rule == EdgeRule::Torus) {
+        nr = (nr + static_cast<std::int64_t>(rows_)) % static_cast<std::int64_t>(rows_);
+        nc = (nc + static_cast<std::int64_t>(cols_)) % static_cast<std::int64_t>(cols_);
+      } else if (nr < 0 || nc < 0 || nr >= static_cast<std::int64_t>(rows_) ||
+                 nc >= static_cast<std::int64_t>(cols_)) {
+        continue;
+      }
+      count += cells_[static_cast<std::size_t>(nr) * cols_ + static_cast<std::size_t>(nc)];
+    }
+  }
+  return count;
+}
+
+std::string Grid::to_text() const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out << (alive(r, c) ? '@' : '.');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+RegionDelta step_region(const Grid& current, Grid& next, const parallel::GridRegion& region,
+                        EdgeRule rule) {
+  RegionDelta delta;
+  for (std::size_t r = region.rows.begin; r < region.rows.end; ++r) {
+    for (std::size_t c = region.cols.begin; c < region.cols.end; ++c) {
+      const int n = current.neighbors(r, c, rule);
+      const bool was = current.alive(r, c);
+      const bool now = was ? (n == 2 || n == 3) : (n == 3);
+      next.set(r, c, now);
+      if (now && !was) ++delta.births;
+      if (was && !now) ++delta.deaths;
+    }
+  }
+  return delta;
+}
+
+SerialLife::SerialLife(Grid initial, EdgeRule rule)
+    : current_(std::move(initial)), next_(current_.rows(), current_.cols()), rule_(rule) {}
+
+void SerialLife::step() {
+  const parallel::GridRegion whole{{0, current_.rows()}, {0, current_.cols()}};
+  step_region(current_, next_, whole, rule_);
+  std::swap(current_, next_);
+  ++generation_;
+}
+
+void SerialLife::run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+ParallelLife::ParallelLife(Grid initial, std::size_t threads, parallel::GridSplit split,
+                           EdgeRule rule)
+    : current_(std::move(initial)),
+      next_(current_.rows(), current_.cols()),
+      rule_(rule),
+      regions_(parallel::grid_partition(current_.rows(), current_.cols(), threads, split)) {
+  require(threads >= 1, "need at least one thread");
+  const std::size_t dim =
+      split == parallel::GridSplit::Horizontal ? current_.rows() : current_.cols();
+  require(threads <= dim, "more threads than grid bands");
+}
+
+void ParallelLife::run(std::size_t n) {
+  if (n == 0) return;
+  const std::size_t t = regions_.size();
+  parallel::Barrier barrier(t);
+  std::mutex stats_mutex;
+
+  // One thread team for the whole run; rounds are separated by two
+  // barrier crossings (compute -> swap -> next round), with thread 0
+  // doing the swap while the others wait — the Lab 10 structure.
+  parallel::ThreadTeam team(t, [&](std::size_t id) {
+    for (std::size_t round = 0; round < n; ++round) {
+      const RegionDelta delta = step_region(current_, next_, regions_[id], rule_);
+      {
+        // The mutex-protected shared statistics of the lab.
+        std::scoped_lock lock(stats_mutex);
+        stats_.births += delta.births;
+        stats_.deaths += delta.deaths;
+      }
+      if (barrier.wait()) {
+        // Serial thread of this cycle: publish the new generation.
+        std::swap(current_, next_);
+        ++generation_;
+        stats_.max_population = std::max<std::uint64_t>(stats_.max_population,
+                                                        current_.population());
+      }
+      barrier.wait();  // everyone sees the swapped grid before continuing
+    }
+  });
+  team.join();
+}
+
+int ParallelLife::owner(std::size_t r, std::size_t c) const {
+  for (std::size_t t = 0; t < regions_.size(); ++t) {
+    const parallel::GridRegion& region = regions_[t];
+    if (r >= region.rows.begin && r < region.rows.end && c >= region.cols.begin &&
+        c < region.cols.end) {
+      return static_cast<int>(t);
+    }
+  }
+  return -1;
+}
+
+}  // namespace cs31::life

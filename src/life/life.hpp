@@ -1,0 +1,126 @@
+// Conway's Game of Life, the application spine of CS 31's programming
+// labs: Lab 6 builds the sequential simulation (2-D grid allocation,
+// file-driven initial state); Lab 10 parallelizes it with pthreads —
+// partition the grid into per-thread bands, barrier between rounds, and
+// a mutex protecting shared statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/threads.hpp"
+
+namespace cs31::life {
+
+/// Edge behaviour: Bounded treats outside as dead; Torus wraps (both
+/// appear in course offerings).
+enum class EdgeRule { Bounded, Torus };
+
+/// The game grid. Cells are stored row-major, matching the C labs'
+/// one-big-malloc layout discussion.
+class Grid {
+ public:
+  /// Dead grid of the given size. Throws cs31::Error on zero dimensions.
+  Grid(std::size_t rows, std::size_t cols);
+
+  /// Parse the lab's file format:
+  ///   line 1: rows cols
+  ///   line 2: number of coordinate pairs that follow
+  ///   then one "row col" pair per line for each live cell.
+  /// Throws cs31::Error on malformed input or out-of-range coordinates.
+  static Grid parse(const std::string& text);
+
+  /// A deterministic pseudo-random soup with the given live-cell
+  /// fraction, for benchmarks.
+  static Grid random(std::size_t rows, std::size_t cols, double fill, std::uint32_t seed);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool alive(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool alive);
+  [[nodiscard]] std::size_t population() const;
+
+  /// Live neighbors of (r, c) under the edge rule.
+  [[nodiscard]] int neighbors(std::size_t r, std::size_t c, EdgeRule rule) const;
+
+  /// Render as the lab's console output ('@' alive, '.'/' ' dead).
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> cells_;
+};
+
+/// Lab 6: the sequential engine.
+class SerialLife {
+ public:
+  explicit SerialLife(Grid initial, EdgeRule rule = EdgeRule::Torus);
+
+  /// Advance one generation.
+  void step();
+
+  /// Advance `n` generations.
+  void run(std::size_t n);
+
+  [[nodiscard]] const Grid& grid() const { return current_; }
+  [[nodiscard]] std::size_t generation() const { return generation_; }
+
+ private:
+  Grid current_;
+  Grid next_;
+  EdgeRule rule_;
+  std::size_t generation_ = 0;
+};
+
+/// Cross-generation statistics that the parallel engine's threads all
+/// update — the shared state Lab 10 protects with a mutex.
+struct LifeStats {
+  std::uint64_t births = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t max_population = 0;
+};
+
+/// Lab 10: the pthreads engine. Threads own grid bands (horizontal or
+/// vertical), synchronize each round on a barrier, and merge per-round
+/// statistics under a mutex.
+class ParallelLife {
+ public:
+  /// Throws cs31::Error when threads == 0 or exceeds the band dimension.
+  ParallelLife(Grid initial, std::size_t threads,
+               parallel::GridSplit split = parallel::GridSplit::Horizontal,
+               EdgeRule rule = EdgeRule::Torus);
+
+  /// Run `n` generations with real threads (one team for the whole run,
+  /// barrier-synchronized per round, as the lab requires).
+  void run(std::size_t n);
+
+  [[nodiscard]] const Grid& grid() const { return current_; }
+  [[nodiscard]] std::size_t generation() const { return generation_; }
+  [[nodiscard]] const LifeStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t threads() const { return regions_.size(); }
+
+  /// Which thread owns cell (r, c) — feeds the ParaVis region coloring.
+  [[nodiscard]] int owner(std::size_t r, std::size_t c) const;
+
+ private:
+  Grid current_;
+  Grid next_;
+  EdgeRule rule_;
+  std::vector<parallel::GridRegion> regions_;
+  std::size_t generation_ = 0;
+  LifeStats stats_;
+};
+
+/// One Life generation applied to a region (shared by both engines and
+/// unit-testable on its own). Returns (births, deaths) in that region.
+struct RegionDelta {
+  std::uint64_t births = 0;
+  std::uint64_t deaths = 0;
+};
+RegionDelta step_region(const Grid& current, Grid& next, const parallel::GridRegion& region,
+                        EdgeRule rule);
+
+}  // namespace cs31::life

@@ -1,0 +1,45 @@
+#include "life/patterns.hpp"
+
+#include "common/error.hpp"
+
+namespace cs31::life {
+
+const std::vector<Pattern>& pattern_catalog() {
+  static const std::vector<Pattern> kCatalog = {
+      {"block", PatternKind::Still,
+       "4 4\n4\n1 1\n1 2\n2 1\n2 2\n", 1, 0, 0},
+      {"beehive", PatternKind::Still,
+       "5 6\n6\n1 2\n1 3\n2 1\n2 4\n3 2\n3 3\n", 1, 0, 0},
+      {"blinker", PatternKind::Oscillator,
+       "5 5\n3\n2 1\n2 2\n2 3\n", 2, 0, 0},
+      {"toad", PatternKind::Oscillator,
+       "6 6\n6\n2 2\n2 3\n2 4\n3 1\n3 2\n3 3\n", 2, 0, 0},
+      {"beacon", PatternKind::Oscillator,
+       "6 6\n8\n1 1\n1 2\n2 1\n2 2\n3 3\n3 4\n4 3\n4 4\n", 2, 0, 0},
+      {"glider", PatternKind::Ship,
+       "16 16\n5\n0 1\n1 2\n2 0\n2 1\n2 2\n", 4, 1, 1},
+      {"lwss", PatternKind::Ship,
+       // Canonical lightweight spaceship, travelling left 2 per 4 gens:
+       //  .X..X / X.... / X...X / XXXX.
+       "12 20\n9\n"
+       "4 6\n4 9\n"
+       "5 5\n"
+       "6 5\n6 9\n"
+       "7 5\n7 6\n7 7\n7 8\n",
+       4, 0, -2},
+      {"r-pentomino", PatternKind::Methuselah,
+       "48 48\n5\n23 24\n23 25\n24 23\n24 24\n25 24\n", 0, 0, 0},
+  };
+  return kCatalog;
+}
+
+const Pattern& pattern(const std::string& name) {
+  for (const Pattern& p : pattern_catalog()) {
+    if (p.name == name) return p;
+  }
+  throw Error("unknown Life pattern '" + name + "'");
+}
+
+Grid pattern_grid(const Pattern& pattern) { return Grid::parse(pattern.grid_file); }
+
+}  // namespace cs31::life

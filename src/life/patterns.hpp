@@ -1,0 +1,37 @@
+// Named Game-of-Life patterns in the Lab 6 grid-file format — the
+// initial states the course hands out ("read game parameters and an
+// initial grid state from a file"), plus their documented behaviour
+// (period, displacement) so tests can verify the engine against known
+// dynamics rather than hand-derived grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "life/life.hpp"
+
+namespace cs31::life {
+
+/// What kind of dynamics the pattern has.
+enum class PatternKind { Still, Oscillator, Ship, Methuselah };
+
+/// A catalogued pattern.
+struct Pattern {
+  std::string name;
+  PatternKind kind = PatternKind::Still;
+  std::string grid_file;   ///< Lab 6 file format, parseable by Grid::parse
+  int period = 1;          ///< generations per cycle (Still: 1)
+  int dr = 0, dc = 0;      ///< displacement per period (ships), torus space
+};
+
+/// The catalog: block, beehive, blinker, toad, beacon, glider,
+/// lightweight spaceship (LWSS), r-pentomino.
+[[nodiscard]] const std::vector<Pattern>& pattern_catalog();
+
+/// Look up by name. Throws cs31::Error when unknown.
+[[nodiscard]] const Pattern& pattern(const std::string& name);
+
+/// Parse the pattern's grid file.
+[[nodiscard]] Grid pattern_grid(const Pattern& pattern);
+
+}  // namespace cs31::life

@@ -1,0 +1,99 @@
+#include "logic/alu.hpp"
+
+#include "common/error.hpp"
+#include "logic/components.hpp"
+
+namespace cs31::logic {
+
+Alu build_alu(Circuit& c, int width) {
+  require(width >= 2 && width <= 64, "ALU width must be in [2, 64]");
+  Alu alu;
+  alu.a = input_bus(c, width, "a");
+  alu.b = input_bus(c, width, "b");
+  alu.op = input_bus(c, 3, "op");
+  const Wire zero_w = c.constant(false);
+  const Wire one_w = c.constant(true);
+
+  // Adder shared by ADD and SUB: SUB inverts b and injects carry-in 1.
+  const Wire is_sub = c.and_(c.not_(alu.op[2]), c.and_(c.not_(alu.op[1]), alu.op[0]));
+  Bus b_maybe_inverted;
+  for (const Wire& wb : alu.b) b_maybe_inverted.push_back(c.xor_(wb, is_sub));
+  const RippleAdder adder = ripple_carry_adder(c, alu.a, b_maybe_inverted, is_sub);
+
+  // Bitwise candidates.
+  Bus and_bus, or_bus, xor_bus, not_bus, shl_bus, sra_bus;
+  for (std::size_t i = 0; i < alu.a.size(); ++i) {
+    and_bus.push_back(c.and_(alu.a[i], alu.b[i]));
+    or_bus.push_back(c.or_(alu.a[i], alu.b[i]));
+    xor_bus.push_back(c.xor_(alu.a[i], alu.b[i]));
+    not_bus.push_back(c.not_(alu.a[i]));
+  }
+  // Shifts are pure rewiring (plus buffers to create distinct nets).
+  shl_bus.push_back(zero_w);
+  for (std::size_t i = 0; i + 1 < alu.a.size(); ++i) {
+    shl_bus.push_back(c.not_(c.not_(alu.a[i])));
+  }
+  for (std::size_t i = 1; i < alu.a.size(); ++i) {
+    sra_bus.push_back(c.not_(c.not_(alu.a[i])));
+  }
+  sra_bus.push_back(c.not_(c.not_(alu.a.back())));  // replicate sign bit
+
+  // Select among the eight candidates per bit (opcode order = AluOp).
+  for (std::size_t i = 0; i < alu.a.size(); ++i) {
+    const std::vector<Wire> choices = {
+        adder.sum[i], adder.sum[i], and_bus[i], or_bus[i],
+        xor_bus[i],   not_bus[i],   shl_bus[i], sra_bus[i],
+    };
+    alu.result.push_back(mux_n(c, alu.op, choices));
+  }
+
+  // Flags.
+  Wire any = alu.result[0];
+  for (std::size_t i = 1; i < alu.result.size(); ++i) any = c.or_(any, alu.result[i]);
+  alu.zero = c.not_(any);
+  alu.negative = c.not_(c.not_(alu.result.back()));
+
+  // Carry: adder carry-out for ADD; NOT carry-out (borrow) for SUB;
+  // the shifted-out bit for SHL/SRA; 0 for the bitwise ops.
+  const Wire borrow = c.not_(adder.carry_out);
+  const std::vector<Wire> carry_choices = {
+      adder.carry_out, borrow, zero_w, zero_w,
+      zero_w,          zero_w, alu.a.back(), alu.a[0],
+  };
+  alu.carry = mux_n(c, alu.op, carry_choices);
+
+  // Overflow: carry into MSB XOR carry out of MSB, for ADD/SUB only.
+  const Wire ovf = c.xor_(adder.carry_out, adder.carry_into_msb);
+  const std::vector<Wire> ovf_choices = {
+      ovf, ovf, zero_w, zero_w, zero_w, zero_w, zero_w, zero_w,
+  };
+  alu.overflow = mux_n(c, alu.op, ovf_choices);
+
+  // Even parity: XOR-reduce counts 1-bits mod 2; invert for even parity.
+  Wire ones_odd = alu.result[0];
+  for (std::size_t i = 1; i < alu.result.size(); ++i) {
+    ones_odd = c.xor_(ones_odd, alu.result[i]);
+  }
+  alu.parity = c.xnor_(ones_odd, c.not_(one_w));
+  return alu;
+}
+
+AluReading run_alu(Circuit& c, const Alu& alu, AluOp op, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t mask =
+      alu.a.size() == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << alu.a.size()) - 1;
+  require((a & ~mask) == 0 && (b & ~mask) == 0, "operand wider than the ALU");
+  c.set_bus(alu.a, a);
+  c.set_bus(alu.b, b);
+  c.set_bus(alu.op, static_cast<unsigned>(op));
+  c.evaluate();
+  return AluReading{
+      .result = c.bus_value(alu.result),
+      .zero = c.value(alu.zero),
+      .negative = c.value(alu.negative),
+      .carry = c.value(alu.carry),
+      .overflow = c.value(alu.overflow),
+      .parity = c.value(alu.parity),
+  };
+}
+
+}  // namespace cs31::logic

@@ -1,0 +1,54 @@
+// The Lab 3 ALU: an eight-operation, five-status-flag arithmetic/logic
+// unit assembled entirely from Circuit gates via the component library —
+// the capstone of CS 31's circuits module and the execution core reused
+// by the mini-CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/circuit.hpp"
+
+namespace cs31::logic {
+
+/// The eight ALU operations, encoded in the 3-bit opcode bus.
+enum class AluOp : unsigned {
+  Add = 0,   ///< a + b
+  Sub = 1,   ///< a - b (a + ~b + 1)
+  And = 2,   ///< a & b
+  Or = 3,    ///< a | b
+  Xor = 4,   ///< a ^ b
+  Not = 5,   ///< ~a
+  Shl = 6,   ///< a << 1 (bit shifted out feeds the carry flag)
+  Sra = 7,   ///< a >> 1 arithmetic (sign bit replicated)
+};
+
+/// A constructed ALU: external input buses and output nets inside a
+/// caller-owned Circuit.
+struct Alu {
+  Bus a;       ///< external operand inputs
+  Bus b;       ///< external operand inputs
+  Bus op;      ///< external 3-bit opcode inputs
+  Bus result;  ///< result bus, same width as operands
+
+  // The five status flags of the Lab 3 assignment.
+  Wire zero;      ///< result is all zeros
+  Wire negative;  ///< sign bit of the result
+  Wire carry;     ///< adder carry-out / borrow / shifted-out bit
+  Wire overflow;  ///< signed overflow of add/sub (0 for other ops)
+  Wire parity;    ///< even parity: 1 when the result has an even 1-count
+};
+
+/// Build a `width`-bit ALU into `c`. Throws cs31::Error for widths
+/// outside [2, 64].
+[[nodiscard]] Alu build_alu(Circuit& c, int width);
+
+/// Drive the ALU inputs, evaluate, and read back the result and flags —
+/// the harness students use to test their Lab 3 circuit.
+struct AluReading {
+  std::uint64_t result = 0;
+  bool zero = false, negative = false, carry = false, overflow = false, parity = false;
+};
+[[nodiscard]] AluReading run_alu(Circuit& c, const Alu& alu, AluOp op, std::uint64_t a,
+                                 std::uint64_t b);
+
+}  // namespace cs31::logic

@@ -1,0 +1,148 @@
+#include "logic/circuit.hpp"
+
+#include "common/error.hpp"
+
+namespace cs31::logic {
+
+Wire Circuit::input(const std::string& name) {
+  (void)name;  // names are only for future diagnostics; uniqueness unenforced
+  nodes_.push_back(Node{.kind = Kind::Input});
+  return Wire{nodes_.size() - 1};
+}
+
+Wire Circuit::constant(bool value) {
+  nodes_.push_back(Node{.kind = Kind::Constant, .value = value});
+  return Wire{nodes_.size() - 1};
+}
+
+Wire Circuit::gate(GateKind kind, Wire a, Wire b) {
+  require(kind != GateKind::Not, "NOT takes one input; use gate_not");
+  check(a);
+  check(b);
+  nodes_.push_back(Node{.kind = Kind::Gate2, .gate = kind, .a = a.id, .b = b.id});
+  ++gate_count_;
+  return Wire{nodes_.size() - 1};
+}
+
+Wire Circuit::gate_not(Wire a) {
+  check(a);
+  nodes_.push_back(Node{.kind = Kind::Gate1, .gate = GateKind::Not, .a = a.id});
+  ++gate_count_;
+  return Wire{nodes_.size() - 1};
+}
+
+Wire Circuit::forward() {
+  nodes_.push_back(Node{.kind = Kind::Forward});
+  return Wire{nodes_.size() - 1};
+}
+
+void Circuit::bind(Wire fwd, Wire driver) {
+  check(fwd);
+  check(driver);
+  Node& n = nodes_[fwd.id];
+  require(n.kind == Kind::Forward, "bind() requires a forward wire");
+  require(!n.bound, "forward wire already bound");
+  n.a = driver.id;
+  n.bound = true;
+}
+
+void Circuit::set(Wire w, bool value) {
+  check(w);
+  require(nodes_[w.id].kind == Kind::Input, "set() requires an input wire");
+  nodes_[w.id].value = value;
+}
+
+void Circuit::set_bus(const Bus& bus, unsigned long long value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set(bus[i], (value >> i) & 1u);
+  }
+}
+
+namespace {
+bool apply(GateKind g, bool a, bool b) {
+  switch (g) {
+    case GateKind::And: return a && b;
+    case GateKind::Or: return a || b;
+    case GateKind::Not: return !a;
+    case GateKind::Nand: return !(a && b);
+    case GateKind::Nor: return !(a || b);
+    case GateKind::Xor: return a != b;
+    case GateKind::Xnor: return a == b;
+  }
+  return false;  // unreachable
+}
+}  // namespace
+
+void Circuit::evaluate() {
+  // Relax to a fixed point. A DAG settles in at most `depth` sweeps since
+  // nodes are stored in creation order (operands usually precede uses);
+  // feedback (latches) needs a few extra sweeps. Oscillators never settle.
+  const std::size_t max_sweeps = nodes_.size() + 8;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (Node& n : nodes_) {
+      if (n.kind == Kind::Input || n.kind == Kind::Constant) continue;
+      if (n.kind == Kind::Forward) {
+        require(n.bound, "evaluate() reached an unbound forward wire");
+        if (nodes_[n.a].value != n.value) {
+          n.value = nodes_[n.a].value;
+          changed = true;
+        }
+        continue;
+      }
+      const bool a = nodes_[n.a].value;
+      const bool b = n.kind == Kind::Gate2 ? nodes_[n.b].value : false;
+      const bool v = apply(n.gate, a, b);
+      if (v != n.value) {
+        n.value = v;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+  throw Error("circuit failed to settle (oscillating feedback loop)");
+}
+
+bool Circuit::value(Wire w) const {
+  check(w);
+  return nodes_[w.id].value;
+}
+
+unsigned long long Circuit::bus_value(const Bus& bus) const {
+  require(bus.size() <= 64, "bus wider than 64 bits");
+  unsigned long long v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    if (value(bus[i])) v |= 1ull << i;
+  }
+  return v;
+}
+
+void Circuit::check(Wire w) const {
+  require(w.id < nodes_.size(), "wire refers to a node that does not exist");
+}
+
+Bus input_bus(Circuit& c, int width, const std::string& name) {
+  require(width >= 1 && width <= 64, "bus width must be in [1, 64]");
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(c.input(name.empty() ? "" : name + std::to_string(i)));
+  }
+  return bus;
+}
+
+std::vector<bool> truth_table(Circuit& c, const std::vector<Wire>& inputs, Wire out) {
+  require(inputs.size() <= 20, "truth table limited to 20 inputs");
+  const std::size_t rows = std::size_t{1} << inputs.size();
+  std::vector<bool> result(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      c.set(inputs[i], (row >> i) & 1u);
+    }
+    c.evaluate();
+    result[row] = c.value(out);
+  }
+  return result;
+}
+
+}  // namespace cs31::logic

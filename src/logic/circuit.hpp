@@ -1,0 +1,113 @@
+// Gate-level digital circuit simulator — the kit's stand-in for Logisim
+// (CS 31 Lab 3, "Building an ALU Circuit", and the "Circuits" homework).
+//
+// A Circuit is a netlist of nodes: external inputs, constants, and gates.
+// Evaluation relaxes node values to a fixed point, which supports the
+// feedback loops in R-S and D latches exactly the way Logisim's
+// propagation does. Buses are just ordered collections of wires, letting
+// students compose multi-bit components (adders, MUXes, the ALU) from
+// single-bit pieces — the abstraction-stacking the course stresses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cs31::logic {
+
+/// A wire is the output net of one node, identified by index.
+struct Wire {
+  std::size_t id = 0;
+  friend bool operator==(const Wire&, const Wire&) = default;
+};
+
+/// A bus is an ordered set of wires, least-significant bit first.
+using Bus = std::vector<Wire>;
+
+/// Primitive gate kinds available to circuit builders.
+enum class GateKind { And, Or, Not, Nand, Nor, Xor, Xnor };
+
+/// A mutable netlist plus its current simulation state.
+class Circuit {
+ public:
+  /// Add an external input pin (initial value false). `name` is used in
+  /// diagnostics and must be unique among inputs; pass "" for anonymous.
+  Wire input(const std::string& name = "");
+
+  /// Add a constant-valued node.
+  Wire constant(bool value);
+
+  /// Add a two-input gate. Throws cs31::Error for GateKind::Not.
+  Wire gate(GateKind kind, Wire a, Wire b);
+
+  /// Add a NOT gate.
+  Wire gate_not(Wire a);
+
+  /// Declare a wire whose driver will be connected later with bind().
+  /// This is how feedback loops (latches) are expressed: create the
+  /// forward wire, use it as a gate operand, then bind it to the gate
+  /// output that closes the loop.
+  Wire forward();
+
+  /// Connect a forward wire to its driver. Throws cs31::Error if `fwd`
+  /// is not a forward wire or was already bound.
+  void bind(Wire fwd, Wire driver);
+
+  // Convenience spellings used heavily by the component builders.
+  Wire and_(Wire a, Wire b) { return gate(GateKind::And, a, b); }
+  Wire or_(Wire a, Wire b) { return gate(GateKind::Or, a, b); }
+  Wire xor_(Wire a, Wire b) { return gate(GateKind::Xor, a, b); }
+  Wire nand_(Wire a, Wire b) { return gate(GateKind::Nand, a, b); }
+  Wire nor_(Wire a, Wire b) { return gate(GateKind::Nor, a, b); }
+  Wire xnor_(Wire a, Wire b) { return gate(GateKind::Xnor, a, b); }
+  Wire not_(Wire a) { return gate_not(a); }
+
+  /// Set an external input's value (takes effect on the next evaluate()).
+  void set(Wire input, bool value);
+
+  /// Set each wire of a bus from the low bits of `value`.
+  void set_bus(const Bus& bus, unsigned long long value);
+
+  /// Propagate values to a fixed point. Throws cs31::Error if the
+  /// circuit oscillates (e.g. a NOT gate feeding itself) instead of
+  /// settling, mirroring Logisim's oscillation error.
+  void evaluate();
+
+  /// Value of a wire as of the last evaluate().
+  [[nodiscard]] bool value(Wire w) const;
+
+  /// Read a bus as an unsigned integer (bit 0 = bus[0]).
+  [[nodiscard]] unsigned long long bus_value(const Bus& bus) const;
+
+  /// Number of nodes of every kind (inputs + constants + gates).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Number of gate nodes only — the "cost" of a student's design.
+  [[nodiscard]] std::size_t gate_count() const { return gate_count_; }
+
+ private:
+  enum class Kind { Input, Constant, Gate1, Gate2, Forward };
+  struct Node {
+    Kind kind;
+    GateKind gate{};
+    std::size_t a = 0, b = 0;  // operand node ids
+    bool value = false;
+    bool bound = false;  // Forward nodes: driver connected yet?
+  };
+
+  void check(Wire w) const;
+
+  std::vector<Node> nodes_;
+  std::size_t gate_count_ = 0;
+};
+
+/// Build an n-bit bus of fresh named inputs ("name0", "name1", ...).
+[[nodiscard]] Bus input_bus(Circuit& c, int width, const std::string& name = "");
+
+/// Truth-table helper for homework problems: evaluate `out` for every
+/// combination of the given inputs; row i's input bits are the binary
+/// digits of i (inputs[0] = least significant). Returns 2^n output bits.
+[[nodiscard]] std::vector<bool> truth_table(Circuit& c, const std::vector<Wire>& inputs,
+                                            Wire out);
+
+}  // namespace cs31::logic

@@ -1,0 +1,165 @@
+#include "logic/components.hpp"
+
+#include "common/error.hpp"
+
+namespace cs31::logic {
+
+AdderBit half_adder(Circuit& c, Wire a, Wire b) {
+  return {c.xor_(a, b), c.and_(a, b)};
+}
+
+AdderBit full_adder(Circuit& c, Wire a, Wire b, Wire carry_in) {
+  const AdderBit first = half_adder(c, a, b);
+  const AdderBit second = half_adder(c, first.sum, carry_in);
+  return {second.sum, c.or_(first.carry, second.carry)};
+}
+
+RippleAdder ripple_carry_adder(Circuit& c, const Bus& a, const Bus& b, Wire carry_in) {
+  require(!a.empty() && a.size() == b.size(), "adder operands must be equal nonzero width");
+  RippleAdder out;
+  out.sum.reserve(a.size());
+  Wire carry = carry_in;
+  out.carry_into_msb = carry_in;  // correct when width == 1
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 == a.size()) out.carry_into_msb = carry;
+    const AdderBit bit = full_adder(c, a[i], b[i], carry);
+    out.sum.push_back(bit.sum);
+    carry = bit.carry;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+Bus sign_extender(Circuit& c, const Bus& in, int out_width) {
+  require(!in.empty(), "sign_extender requires a nonempty input");
+  require(out_width >= static_cast<int>(in.size()), "sign_extender cannot narrow");
+  Bus out = in;
+  // Buffer the top bit through a pair of inverters so the output is a
+  // distinct net, as a real extender component would present.
+  const Wire top = c.not_(c.not_(in.back()));
+  while (static_cast<int>(out.size()) < out_width) out.push_back(top);
+  return out;
+}
+
+Wire mux2(Circuit& c, Wire sel, Wire a, Wire b) {
+  const Wire nsel = c.not_(sel);
+  return c.or_(c.and_(nsel, a), c.and_(sel, b));
+}
+
+Bus mux2_bus(Circuit& c, Wire sel, const Bus& a, const Bus& b) {
+  require(a.size() == b.size(), "mux2_bus requires equal widths");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(mux2(c, sel, a[i], b[i]));
+  return out;
+}
+
+Wire mux_n(Circuit& c, const Bus& sel, const std::vector<Wire>& choices) {
+  require(choices.size() == (std::size_t{1} << sel.size()),
+          "mux_n requires 2^sel choices");
+  // Recursive halving: select within each half, then between halves.
+  if (sel.size() == 1) return mux2(c, sel[0], choices[0], choices[1]);
+  const Bus low_sel(sel.begin(), sel.end() - 1);
+  const std::size_t half = choices.size() / 2;
+  const Wire a = mux_n(c, low_sel, {choices.begin(), choices.begin() + static_cast<long>(half)});
+  const Wire b = mux_n(c, low_sel, {choices.begin() + static_cast<long>(half), choices.end()});
+  return mux2(c, sel.back(), a, b);
+}
+
+std::vector<Wire> decoder(Circuit& c, const Bus& sel) {
+  require(!sel.empty() && sel.size() <= 8, "decoder select must be 1..8 bits");
+  std::vector<Wire> outs;
+  const std::size_t n = std::size_t{1} << sel.size();
+  outs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    Wire acc = ((v >> 0) & 1u) ? sel[0] : c.not_(sel[0]);
+    for (std::size_t i = 1; i < sel.size(); ++i) {
+      const Wire lit = ((v >> i) & 1u) ? sel[i] : c.not_(sel[i]);
+      acc = c.and_(acc, lit);
+    }
+    outs.push_back(acc);
+  }
+  return outs;
+}
+
+namespace {
+
+// Cross-coupled NOR pair with the feedback closed through a forward
+// wire. Built so the power-on state settles to Q = 0 when neither input
+// is asserted. Returns Q; *q_bar_out (optional) receives Q-bar.
+Wire nor_loop(Circuit& c, Wire set, Wire reset, Wire* q_bar_out = nullptr) {
+  const Wire q_fwd = c.forward();
+  const Wire q_bar = c.nor_(set, q_fwd);
+  const Wire q = c.nor_(reset, q_bar);
+  c.bind(q_fwd, q);
+  if (q_bar_out != nullptr) *q_bar_out = q_bar;
+  return q;
+}
+
+}  // namespace
+
+RsLatch rs_latch(Circuit& c) {
+  RsLatch latch;
+  latch.set = c.input("S");
+  latch.reset = c.input("R");
+  latch.q = nor_loop(c, latch.set, latch.reset, &latch.q_bar);
+  return latch;
+}
+
+DLatch d_latch(Circuit& c) {
+  DLatch latch;
+  latch.d = c.input("D");
+  latch.enable = c.input("EN");
+  // Gate D into R-S form: set = D AND EN, reset = NOT(D) AND EN, feeding
+  // the cross-coupled NOR pair; Q follows D while EN is high and holds
+  // when EN drops.
+  const Wire set = c.and_(latch.d, latch.enable);
+  const Wire reset = c.and_(c.not_(latch.d), latch.enable);
+  latch.q = nor_loop(c, set, reset);
+  return latch;
+}
+
+Register register_n(Circuit& c, int width) {
+  require(width >= 1 && width <= 64, "register width must be in [1, 64]");
+  Register reg;
+  reg.enable = c.input("WE");
+  for (int i = 0; i < width; ++i) {
+    const Wire d = c.input("D" + std::to_string(i));
+    const Wire set = c.and_(d, reg.enable);
+    const Wire reset = c.and_(c.not_(d), reg.enable);
+    reg.d.push_back(d);
+    reg.q.push_back(nor_loop(c, set, reset));
+  }
+  return reg;
+}
+
+RegisterFile register_file(Circuit& c, int width, int sel_bits) {
+  require(sel_bits >= 1 && sel_bits <= 4, "register file select must be 1..4 bits");
+  RegisterFile rf;
+  rf.write_data = input_bus(c, width, "wd");
+  rf.write_sel = input_bus(c, sel_bits, "ws");
+  rf.write_enable = c.input("we");
+  rf.read_sel = input_bus(c, sel_bits, "rs");
+  const std::vector<Wire> write_lines = decoder(c, rf.write_sel);
+  const std::size_t count = write_lines.size();
+  // Per-register storage: D latches gated by (write_enable AND decoded line).
+  std::vector<Bus> regs(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    const Wire en = c.and_(rf.write_enable, write_lines[r]);
+    for (int b = 0; b < width; ++b) {
+      const Wire set = c.and_(rf.write_data[static_cast<std::size_t>(b)], en);
+      const Wire reset = c.and_(c.not_(rf.write_data[static_cast<std::size_t>(b)]), en);
+      regs[r].push_back(nor_loop(c, set, reset));
+    }
+  }
+  // Read port: per-bit mux across registers.
+  for (int b = 0; b < width; ++b) {
+    std::vector<Wire> choices;
+    choices.reserve(count);
+    for (std::size_t r = 0; r < count; ++r) choices.push_back(regs[r][static_cast<std::size_t>(b)]);
+    rf.read_data.push_back(mux_n(c, rf.read_sel, choices));
+  }
+  return rf;
+}
+
+}  // namespace cs31::logic

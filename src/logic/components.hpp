@@ -1,0 +1,92 @@
+// Standard combinational and storage components, each built structurally
+// from Circuit gates — the exact progression of CS 31 Lab 3: small
+// standalone circuits (sign extender, one-bit adder), then composition
+// into larger units (ripple-carry adder, MUX, latches, registers).
+#pragma once
+
+#include "logic/circuit.hpp"
+
+namespace cs31::logic {
+
+/// Sum and carry-out of a 1-bit adder.
+struct AdderBit {
+  Wire sum;
+  Wire carry;
+};
+
+/// Half adder: sum = a XOR b, carry = a AND b.
+[[nodiscard]] AdderBit half_adder(Circuit& c, Wire a, Wire b);
+
+/// Full adder built from two half adders plus an OR (the Lab 3 design).
+[[nodiscard]] AdderBit full_adder(Circuit& c, Wire a, Wire b, Wire carry_in);
+
+/// Result buses of a multi-bit ripple-carry adder.
+struct RippleAdder {
+  Bus sum;        ///< same width as the operands
+  Wire carry_out; ///< carry out of the top bit
+  Wire carry_into_msb;  ///< carry into the top bit (for overflow: cout XOR cin_msb)
+};
+
+/// Chain full adders into a ripple-carry adder. Operand buses must have
+/// equal, nonzero width. Throws cs31::Error otherwise.
+[[nodiscard]] RippleAdder ripple_carry_adder(Circuit& c, const Bus& a, const Bus& b,
+                                             Wire carry_in);
+
+/// Sign extender: replicate the top bit of `in` to produce `out_width`
+/// wires (Lab 3's first standalone circuit). Throws when out_width is
+/// smaller than the input width.
+[[nodiscard]] Bus sign_extender(Circuit& c, const Bus& in, int out_width);
+
+/// 2-to-1 multiplexer for one bit: out = sel ? b : a.
+[[nodiscard]] Wire mux2(Circuit& c, Wire sel, Wire a, Wire b);
+
+/// 2-to-1 multiplexer across equal-width buses.
+[[nodiscard]] Bus mux2_bus(Circuit& c, Wire sel, const Bus& a, const Bus& b);
+
+/// N-to-1 single-bit multiplexer from a binary select bus
+/// (choices.size() must equal 1 << sel.size()).
+[[nodiscard]] Wire mux_n(Circuit& c, const Bus& sel, const std::vector<Wire>& choices);
+
+/// k-to-2^k decoder: exactly one output is high.
+[[nodiscard]] std::vector<Wire> decoder(Circuit& c, const Bus& sel);
+
+/// Cross-coupled NOR R-S latch. `q` holds state across evaluate() calls;
+/// setting both set and reset simultaneously is the classic illegal input.
+struct RsLatch {
+  Wire set;    ///< external input: drive high to set Q
+  Wire reset;  ///< external input: drive high to clear Q
+  Wire q;
+  Wire q_bar;
+};
+[[nodiscard]] RsLatch rs_latch(Circuit& c);
+
+/// Gated D latch built around the R-S latch: when `enable` is high, Q
+/// follows D; when low, Q holds.
+struct DLatch {
+  Wire d;       ///< external data input
+  Wire enable;  ///< external gate input
+  Wire q;
+};
+[[nodiscard]] DLatch d_latch(Circuit& c);
+
+/// A multi-bit register: `width` D latches sharing one write-enable —
+/// one entry of the Lab 3 register file.
+struct Register {
+  Bus d;        ///< external data inputs
+  Wire enable;  ///< external shared write enable
+  Bus q;
+};
+[[nodiscard]] Register register_n(Circuit& c, int width);
+
+/// Register file: 2^(sel width) registers with one shared write port and
+/// a read mux, completing the storage half of the Lab 3 CPU datapath.
+struct RegisterFile {
+  Bus write_data;   ///< external inputs
+  Bus write_sel;    ///< external register-number inputs for writing
+  Wire write_enable;
+  Bus read_sel;     ///< external register-number inputs for reading
+  Bus read_data;    ///< outputs
+};
+[[nodiscard]] RegisterFile register_file(Circuit& c, int width, int sel_bits);
+
+}  // namespace cs31::logic

@@ -1,0 +1,80 @@
+#include "logic/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cs31::logic {
+
+double StageLatencies::max_stage() const {
+  return std::max({fetch_ps, decode_ps, execute_ps, memory_ps, writeback_ps});
+}
+
+TimingResult time_sequential(const std::vector<ExecRecord>& trace,
+                             const StageLatencies& stages) {
+  TimingResult r;
+  r.instructions = trace.size();
+  r.cycles = trace.size();  // one long cycle per instruction
+  r.cycle_time_ps = stages.total();
+  return r;
+}
+
+TimingResult time_pipelined(const std::vector<ExecRecord>& trace,
+                            const PipelineConfig& config) {
+  require(config.branch_penalty >= 0, "branch penalty cannot be negative");
+  TimingResult r;
+  r.instructions = trace.size();
+  r.cycle_time_ps = config.stages.max_stage();
+  if (trace.empty()) return r;
+
+  // Cycle in which each instruction's EX stage runs; results are
+  // available at end of EX (ALU ops, forwarded) or end of MEM (loads).
+  // Without forwarding, results are only readable after writeback.
+  std::size_t cycle = 0;  // cycle when instruction i enters EX if no hazard
+  std::size_t total_stalls = 0;
+  std::size_t total_flushes = 0;
+
+  // ready_at[reg] = first cycle in which a dependent's EX may run.
+  std::vector<std::size_t> ready_at(MiniCpu::kNumRegs, 0);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const ExecRecord& rec = trace[i];
+    // Earliest EX cycle respecting source operands.
+    std::size_t ex = cycle;
+    for (unsigned src : rec.sources) {
+      ex = std::max(ex, ready_at[src]);
+    }
+    const std::size_t stall = ex - cycle;
+    total_stalls += stall;
+
+    if (rec.wrote_reg) {
+      std::size_t avail;
+      if (config.forwarding) {
+        // ALU results forward from EX/MEM; loads forward from MEM/WB
+        // (the classic one-bubble load-use delay).
+        avail = rec.is_load ? ex + 2 : ex + 1;
+      } else {
+        // Reader must wait for writeback + register read (2 stages after
+        // MEM), the textbook three-bubble worst case.
+        avail = ex + 3;
+      }
+      ready_at[rec.dest] = avail;
+    }
+
+    cycle = ex + 1;  // next instruction's default EX slot
+
+    if (rec.is_branch && rec.taken) {
+      cycle += static_cast<std::size_t>(config.branch_penalty);
+      total_flushes += static_cast<std::size_t>(config.branch_penalty);
+    }
+  }
+
+  // Total cycles: last EX slot + drain of MEM and WB + initial fill of
+  // IF and ID (2 cycles before the first EX).
+  r.cycles = cycle + 2 + 2;
+  r.stall_cycles = total_stalls;
+  r.flush_cycles = total_flushes;
+  return r;
+}
+
+}  // namespace cs31::logic

@@ -1,0 +1,158 @@
+#include "memhier/cache.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::memhier {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), rng_state_(config.random_seed | 1u) {
+  require(std::has_single_bit(config.block_bytes) && config.block_bytes >= 4,
+          "block size must be a power of two >= 4");
+  require(std::has_single_bit(config.num_lines), "line count must be a power of two");
+  require(config.associativity >= 1 && config.associativity <= config.num_lines,
+          "associativity must be in [1, num_lines]");
+  require(config.num_lines % config.associativity == 0,
+          "associativity must divide the line count");
+  require(std::has_single_bit(config.num_sets()), "set count must be a power of two");
+  lines_.resize(config.num_lines);
+}
+
+AddressParts Cache::split(std::uint32_t address) const {
+  AddressParts p;
+  p.offset_bits = std::countr_zero(config_.block_bytes);
+  p.index_bits = std::countr_zero(config_.num_sets());
+  p.tag_bits = 32 - p.offset_bits - p.index_bits;
+  p.offset = address & (config_.block_bytes - 1);
+  p.index = (address >> p.offset_bits) & (config_.num_sets() - 1);
+  p.tag = address >> (p.offset_bits + p.index_bits);
+  return p;
+}
+
+const Cache::Line* Cache::find(std::uint32_t address) const {
+  const AddressParts p = split(address);
+  const std::size_t base = static_cast<std::size_t>(p.index) * config_.associativity;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) return &line;
+  }
+  return nullptr;
+}
+
+std::uint32_t Cache::pick_victim(std::uint32_t set_index) {
+  const std::size_t base = static_cast<std::size_t>(set_index) * config_.associativity;
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!lines_[base + w].valid) return w;
+  }
+  switch (config_.replacement) {
+    case Replacement::Lru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+        if (lines_[base + w].last_used < lines_[base + victim].last_used) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::Fifo: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+        if (lines_[base + w].filled_at < lines_[base + victim].filled_at) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::Random:
+      rng_state_ = rng_state_ * 1664525u + 1013904223u;
+      return (rng_state_ >> 16) % config_.associativity;
+  }
+  return 0;
+}
+
+AccessResult Cache::access(std::uint32_t address, bool is_write) {
+  ++clock_;
+  ++stats_.accesses;
+  const AddressParts p = split(address);
+  const std::size_t base = static_cast<std::size_t>(p.index) * config_.associativity;
+  AccessResult result;
+  result.set_index = p.index;
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) {
+      ++stats_.hits;
+      line.last_used = clock_;
+      if (is_write) {
+        if (config_.write_policy == WritePolicy::WriteBack) {
+          line.dirty = true;
+        } else {
+          ++stats_.memory_writes;
+        }
+      }
+      result.hit = true;
+      result.way = w;
+      return result;
+    }
+  }
+
+  // Miss path.
+  ++stats_.misses;
+  if (is_write && !config_.write_allocate) {
+    // Write-no-allocate: the write goes straight to memory.
+    ++stats_.memory_writes;
+    return result;
+  }
+  const std::uint32_t w = pick_victim(p.index);
+  Line& line = lines_[base + w];
+  if (line.valid) {
+    ++stats_.evictions;
+    result.evicted = true;
+    if (line.dirty) {
+      ++stats_.writebacks;
+      result.writeback = true;
+    }
+  }
+  line.valid = true;
+  line.tag = p.tag;
+  line.last_used = clock_;
+  line.filled_at = clock_;
+  line.dirty = false;
+  if (is_write) {
+    if (config_.write_policy == WritePolicy::WriteBack) {
+      line.dirty = true;
+    } else {
+      ++stats_.memory_writes;
+    }
+  }
+  result.way = w;
+  return result;
+}
+
+bool Cache::contains(std::uint32_t address) const { return find(address) != nullptr; }
+
+bool Cache::dirty(std::uint32_t address) const {
+  const Line* line = find(address);
+  return line != nullptr && line->dirty;
+}
+
+void Cache::clear() {
+  for (Line& line : lines_) line = Line{};
+  stats_ = CacheStats{};
+  clock_ = 0;
+}
+
+std::string Cache::dump() const {
+  std::ostringstream out;
+  out << "set  way  V D tag\n";
+  for (std::uint32_t s = 0; s < config_.num_sets(); ++s) {
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+      const Line& line = lines_[static_cast<std::size_t>(s) * config_.associativity + w];
+      out << s << "    " << w << "    " << (line.valid ? 1 : 0) << ' '
+          << (line.dirty ? 1 : 0) << " 0x" << std::hex << line.tag << std::dec << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cs31::memhier

@@ -1,0 +1,121 @@
+// Configurable single-level cache simulator (CS 31 "Caching": direct-
+// mapped and set-associative designs, tag/index/offset address division,
+// LRU replacement, write policies, and hit/miss/eviction accounting —
+// the machinery behind the course's cache-tracing homeworks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cs31::memhier {
+
+/// Replacement policy for set-associative caches.
+enum class Replacement { Lru, Fifo, Random };
+
+/// Write-hit policy.
+enum class WritePolicy { WriteBack, WriteThrough };
+
+/// Geometry + policy of one cache.
+struct CacheConfig {
+  std::uint32_t block_bytes = 16;   ///< power of two
+  std::uint32_t num_lines = 64;     ///< total lines, power of two
+  std::uint32_t associativity = 1;  ///< ways; 1 = direct-mapped; = num_lines -> fully assoc.
+  Replacement replacement = Replacement::Lru;
+  WritePolicy write_policy = WritePolicy::WriteBack;
+  bool write_allocate = true;       ///< allocate on write miss?
+  std::uint32_t random_seed = 1;    ///< for Replacement::Random
+
+  [[nodiscard]] std::uint32_t num_sets() const { return num_lines / associativity; }
+  [[nodiscard]] std::uint32_t total_bytes() const { return block_bytes * num_lines; }
+};
+
+/// The course's tag/index/offset address division.
+struct AddressParts {
+  std::uint32_t tag = 0;
+  std::uint32_t index = 0;
+  std::uint32_t offset = 0;
+  int tag_bits = 0;
+  int index_bits = 0;
+  int offset_bits = 0;
+};
+
+/// What one access did.
+struct AccessResult {
+  bool hit = false;
+  bool evicted = false;            ///< a valid line was replaced
+  bool writeback = false;          ///< the evicted line was dirty
+  std::uint32_t set_index = 0;
+  std::uint32_t way = 0;           ///< way hit or filled
+};
+
+/// Cumulative statistics.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;       ///< dirty lines written on eviction
+  std::uint64_t memory_writes = 0;    ///< write-through traffic
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+  [[nodiscard]] double miss_rate() const { return accesses == 0 ? 0.0 : 1.0 - hit_rate(); }
+};
+
+/// Trace-driven cache. Construction validates the geometry (powers of
+/// two, associativity divides lines) and throws cs31::Error otherwise.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Split an address into tag/index/offset for this geometry — the
+  /// homework's "address division" questions.
+  [[nodiscard]] AddressParts split(std::uint32_t address) const;
+
+  /// Perform one read (is_write=false) or write access.
+  AccessResult access(std::uint32_t address, bool is_write);
+
+  /// Convenience wrappers.
+  AccessResult read(std::uint32_t address) { return access(address, false); }
+  AccessResult write(std::uint32_t address) { return access(address, true); }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  /// Is the block containing `address` currently cached? (Inspection
+  /// for tests and the homework's state-tracing tables.)
+  [[nodiscard]] bool contains(std::uint32_t address) const;
+
+  /// Is the cached block containing `address` dirty?
+  [[nodiscard]] bool dirty(std::uint32_t address) const;
+
+  /// Reset lines and statistics.
+  void clear();
+
+  /// Render the per-set line table (valid/dirty/tag), the view students
+  /// fill in while tracing accesses.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t tag = 0;
+    std::uint64_t last_used = 0;   // LRU clock
+    std::uint64_t filled_at = 0;   // FIFO clock
+  };
+
+  [[nodiscard]] const Line* find(std::uint32_t address) const;
+  std::uint32_t pick_victim(std::uint32_t set_index);
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // set-major: lines_[set * assoc + way]
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+  std::uint32_t rng_state_;
+};
+
+}  // namespace cs31::memhier

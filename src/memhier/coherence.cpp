@@ -1,0 +1,113 @@
+#include "memhier/coherence.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::memhier {
+
+std::string msi_name(MsiState state) {
+  switch (state) {
+    case MsiState::Invalid: return "I";
+    case MsiState::Shared: return "S";
+    case MsiState::Modified: return "M";
+  }
+  return "?";
+}
+
+MsiSystem::MsiSystem(unsigned cores, std::uint32_t block_bytes,
+                     std::uint32_t lines_per_core)
+    : block_bytes_(block_bytes), lines_per_core_(lines_per_core) {
+  require(cores >= 1 && cores <= 64, "cores must be in [1, 64]");
+  require(std::has_single_bit(block_bytes) && block_bytes >= 4,
+          "block size must be a power of two >= 4");
+  require(std::has_single_bit(lines_per_core), "lines must be a power of two");
+  caches_.assign(cores, std::vector<Line>(lines_per_core));
+}
+
+std::uint32_t MsiSystem::index_of(std::uint32_t address) const {
+  return (address / block_bytes_) % lines_per_core_;
+}
+
+std::uint32_t MsiSystem::tag_of(std::uint32_t address) const {
+  return (address / block_bytes_) / lines_per_core_;
+}
+
+CoherenceResult MsiSystem::access(unsigned core, std::uint32_t address, bool is_write) {
+  require(core < caches_.size(), "no such core");
+  ++stats_.accesses;
+  const std::uint32_t index = index_of(address);
+  const std::uint32_t tag = tag_of(address);
+  Line& line = caches_[core][index];
+  const bool present = line.state != MsiState::Invalid && line.tag == tag;
+
+  CoherenceResult result;
+
+  if (present && (line.state == MsiState::Modified ||
+                  (!is_write && line.state == MsiState::Shared))) {
+    // M serves everything; S serves reads — no bus traffic.
+    ++stats_.hits;
+    result.hit = true;
+    result.new_state = line.state;
+    return result;
+  }
+
+  // A bus transaction is needed: BusRdX for writes (and S->M upgrades),
+  // BusRd for reads. Every other cache snoops.
+  if (is_write) {
+    ++stats_.bus_read_exclusives;
+  } else {
+    ++stats_.bus_reads;
+  }
+  for (unsigned other = 0; other < caches_.size(); ++other) {
+    if (other == core) continue;
+    Line& snoop = caches_[other][index];
+    if (snoop.tag != tag || snoop.state == MsiState::Invalid) continue;
+    if (is_write) {
+      // BusRdX invalidates every other copy; M copies flush first.
+      if (snoop.state == MsiState::Modified) ++stats_.writebacks;
+      snoop.state = MsiState::Invalid;
+      ++stats_.invalidations;
+      result.invalidated_others = true;
+    } else if (snoop.state == MsiState::Modified) {
+      // BusRd downgrades M -> S with a flush.
+      ++stats_.writebacks;
+      snoop.state = MsiState::Shared;
+      result.downgraded_other = true;
+    }
+  }
+
+  // Evicting a modified line of a different block writes it back.
+  if (line.state == MsiState::Modified && line.tag != tag) ++stats_.writebacks;
+  line.tag = tag;
+  line.state = is_write ? MsiState::Modified : MsiState::Shared;
+  result.new_state = line.state;
+  return result;
+}
+
+MsiState MsiSystem::state(unsigned core, std::uint32_t address) const {
+  require(core < caches_.size(), "no such core");
+  const Line& line = caches_[core][index_of(address)];
+  if (line.state == MsiState::Invalid || line.tag != tag_of(address)) {
+    return MsiState::Invalid;
+  }
+  return line.state;
+}
+
+std::string MsiSystem::dump() const {
+  std::ostringstream out;
+  for (unsigned core = 0; core < caches_.size(); ++core) {
+    out << "core " << core << ":";
+    for (std::uint32_t i = 0; i < lines_per_core_; ++i) {
+      const Line& line = caches_[core][i];
+      if (line.state != MsiState::Invalid) {
+        out << " [" << i << ":" << msi_name(line.state) << " tag=" << line.tag << "]";
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cs31::memhier

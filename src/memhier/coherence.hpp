@@ -1,0 +1,80 @@
+// MSI snooping cache-coherence simulator (Table I's "consistency,
+// coherency" topics and the multicore unit's "which CPU components are
+// duplicated for each core and which are shared"): per-core private
+// caches kept coherent over a shared bus with the three-state
+// Modified / Shared / Invalid protocol. Trace-driven and deterministic;
+// the false-sharing bench (E-ablation) uses the invalidation counts to
+// explain why adjacent per-thread counters destroy speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs31::memhier {
+
+/// MSI line states.
+enum class MsiState { Invalid, Shared, Modified };
+
+[[nodiscard]] std::string msi_name(MsiState state);
+
+/// What one access triggered, protocol-wise.
+struct CoherenceResult {
+  bool hit = false;               ///< serviced without a bus transaction
+  bool invalidated_others = false;///< a write killed other cores' copies
+  bool downgraded_other = false;  ///< a read forced M -> S elsewhere
+  MsiState new_state = MsiState::Invalid;
+};
+
+/// Per-system statistics.
+struct CoherenceStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bus_reads = 0;        ///< BusRd transactions
+  std::uint64_t bus_read_exclusives = 0;  ///< BusRdX (write intent)
+  std::uint64_t invalidations = 0;    ///< copies killed in other caches
+  std::uint64_t writebacks = 0;       ///< M lines flushed on snoop/evict
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+/// A multicore system of private direct-mapped caches over one bus.
+/// Geometry is deliberately simple (the protocol is the lesson): each
+/// core has `lines_per_core` direct-mapped lines of `block_bytes`.
+class MsiSystem {
+ public:
+  /// Throws cs31::Error for zero cores, non-power-of-two geometry.
+  MsiSystem(unsigned cores, std::uint32_t block_bytes = 64,
+            std::uint32_t lines_per_core = 64);
+
+  /// Core `core` reads/writes `address`. Applies the MSI transitions
+  /// (including snooping in every other cache). Throws on a bad core.
+  CoherenceResult access(unsigned core, std::uint32_t address, bool is_write);
+
+  /// State of `address`'s block in `core`'s cache.
+  [[nodiscard]] MsiState state(unsigned core, std::uint32_t address) const;
+
+  [[nodiscard]] const CoherenceStats& stats() const { return stats_; }
+  [[nodiscard]] unsigned cores() const { return static_cast<unsigned>(caches_.size()); }
+
+  /// Render each core's lines holding valid state (debug view).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  struct Line {
+    MsiState state = MsiState::Invalid;
+    std::uint32_t tag = 0;
+  };
+
+  [[nodiscard]] std::uint32_t index_of(std::uint32_t address) const;
+  [[nodiscard]] std::uint32_t tag_of(std::uint32_t address) const;
+
+  std::uint32_t block_bytes_;
+  std::uint32_t lines_per_core_;
+  std::vector<std::vector<Line>> caches_;  // [core][index]
+  CoherenceStats stats_;
+};
+
+}  // namespace cs31::memhier

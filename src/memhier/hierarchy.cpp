@@ -1,0 +1,67 @@
+#include "memhier/hierarchy.hpp"
+
+#include "common/error.hpp"
+
+namespace cs31::memhier {
+
+const std::vector<StorageDevice>& canonical_hierarchy() {
+  static const std::vector<StorageDevice> kDevices = {
+      {"registers", 0.3, 256, 0, true},
+      {"L1 cache", 1.0, 64e3, 0, true},
+      {"L2 cache", 4.0, 512e3, 0, true},
+      {"L3 cache", 20.0, 16e6, 0, true},
+      {"DRAM", 100.0, 16e9, 4.0, true},
+      {"SSD", 60e3, 1e12, 0.10, false},
+      {"HDD", 8e6, 4e12, 0.02, false},
+      {"tape", 60e9, 1e13, 0.005, false},
+  };
+  return kDevices;
+}
+
+double effective_access_ns(double hit_rate, double upper_ns, double lower_ns) {
+  require(hit_rate >= 0.0 && hit_rate <= 1.0, "hit rate must be in [0, 1]");
+  return upper_ns + (1.0 - hit_rate) * lower_ns;
+}
+
+MultiLevelCache::MultiLevelCache(const std::vector<Level>& levels, double memory_latency_ns)
+    : memory_latency_ns_(memory_latency_ns) {
+  require(!levels.empty(), "hierarchy needs at least one cache level");
+  require(memory_latency_ns > 0, "memory latency must be positive");
+  for (const Level& level : levels) {
+    require(level.latency_ns > 0, "level latency must be positive");
+    caches_.emplace_back(level.config);
+    latencies_.push_back(level.latency_ns);
+  }
+}
+
+double MultiLevelCache::access(std::uint32_t address, bool is_write) {
+  ++accesses_;
+  double latency = 0;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    latency += latencies_[i];
+    if (caches_[i].access(address, is_write).hit) {
+      total_latency_ns_ += latency;
+      return latency;
+    }
+  }
+  latency += memory_latency_ns_;
+  total_latency_ns_ += latency;
+  return latency;
+}
+
+const CacheStats& MultiLevelCache::level_stats(std::size_t level) const {
+  require(level < caches_.size(), "no such cache level");
+  return caches_[level].stats();
+}
+
+double MultiLevelCache::amat_ns() const {
+  return accesses_ == 0 ? 0.0 : total_latency_ns_ / static_cast<double>(accesses_);
+}
+
+void MultiLevelCache::clear() {
+  for (Cache& c : caches_) c.clear();
+  total_latency_ns_ = 0;
+  accesses_ = 0;
+}
+
+}  // namespace cs31::memhier

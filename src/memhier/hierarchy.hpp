@@ -1,0 +1,67 @@
+// The memory-hierarchy model from CS 31's "Memory Hierarchy" unit: the
+// device pyramid (fast/low-density at the top, slow/high-density at the
+// bottom), primary vs secondary classification, and effective-access-
+// time analysis across levels — plus a multi-level cache simulator that
+// chains Cache instances into an L1/L2/... pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memhier/cache.hpp"
+
+namespace cs31::memhier {
+
+/// One storage technology in the pyramid.
+struct StorageDevice {
+  std::string name;
+  double latency_ns = 0;        ///< typical access latency
+  double capacity_bytes = 0;    ///< typical capacity
+  double dollars_per_gb = 0;    ///< cost density
+  bool primary = false;         ///< CPU-addressable (vs via OS calls)
+};
+
+/// The course's canonical device table (registers through tape),
+/// ordered top (fastest) to bottom.
+[[nodiscard]] const std::vector<StorageDevice>& canonical_hierarchy();
+
+/// Effective access time of a two-level pair:
+/// hit_rate * upper + (1 - hit_rate) * (upper + lower), the formula the
+/// course applies to caches, TLBs, and paging alike.
+[[nodiscard]] double effective_access_ns(double hit_rate, double upper_ns, double lower_ns);
+
+/// A multi-level cache hierarchy: access L1; on miss, L2; and so on,
+/// finally "memory". Latencies are per-level lookup costs.
+class MultiLevelCache {
+ public:
+  struct Level {
+    CacheConfig config;
+    double latency_ns = 1.0;
+  };
+
+  /// Throws cs31::Error when levels is empty or memory latency <= 0.
+  MultiLevelCache(const std::vector<Level>& levels, double memory_latency_ns);
+
+  /// Access an address; returns the total latency in ns (sum of lookup
+  /// costs down to the level that hits, inclusive).
+  double access(std::uint32_t address, bool is_write);
+
+  /// Per-level statistics.
+  [[nodiscard]] const CacheStats& level_stats(std::size_t level) const;
+  [[nodiscard]] std::size_t level_count() const { return caches_.size(); }
+
+  /// Average memory access time over all accesses so far.
+  [[nodiscard]] double amat_ns() const;
+
+  void clear();
+
+ private:
+  std::vector<Cache> caches_;
+  std::vector<double> latencies_;
+  double memory_latency_ns_;
+  double total_latency_ns_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace cs31::memhier

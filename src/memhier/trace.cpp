@@ -1,0 +1,117 @@
+#include "memhier/trace.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cs31::memhier {
+
+Trace row_major_trace(std::uint32_t base, std::uint32_t rows, std::uint32_t cols,
+                      std::uint32_t elem_bytes) {
+  require(elem_bytes > 0, "element size must be positive");
+  Trace t;
+  t.reserve(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      t.push_back({base + (r * cols + c) * elem_bytes, false});
+    }
+  }
+  return t;
+}
+
+Trace column_major_trace(std::uint32_t base, std::uint32_t rows, std::uint32_t cols,
+                         std::uint32_t elem_bytes) {
+  require(elem_bytes > 0, "element size must be positive");
+  Trace t;
+  t.reserve(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      t.push_back({base + (r * cols + c) * elem_bytes, false});
+    }
+  }
+  return t;
+}
+
+Trace strided_trace(std::uint32_t base, std::uint32_t count, std::uint32_t stride_bytes) {
+  require(stride_bytes > 0, "stride must be positive");
+  Trace t;
+  t.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    t.push_back({base + i * stride_bytes, false});
+  }
+  return t;
+}
+
+Trace random_trace(std::uint32_t base, std::uint32_t span, std::uint32_t count,
+                   std::uint32_t seed) {
+  require(span > 0, "span must be positive");
+  Trace t;
+  t.reserve(count);
+  std::uint32_t state = seed | 1u;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    state = state * 1664525u + 1013904223u;
+    t.push_back({base + (state >> 8) % span, false});
+  }
+  return t;
+}
+
+Trace working_set_trace(std::uint32_t base, std::uint32_t set_bytes, std::uint32_t passes,
+                        std::uint32_t stride_bytes) {
+  require(stride_bytes > 0 && set_bytes >= stride_bytes, "bad working set geometry");
+  Trace t;
+  const std::uint32_t per_pass = set_bytes / stride_bytes;
+  t.reserve(static_cast<std::size_t>(per_pass) * passes);
+  for (std::uint32_t p = 0; p < passes; ++p) {
+    for (std::uint32_t i = 0; i < per_pass; ++i) {
+      t.push_back({base + i * stride_bytes, false});
+    }
+  }
+  return t;
+}
+
+LocalityReport analyze_locality(const Trace& trace, std::uint32_t block_bytes) {
+  require(block_bytes > 0, "block size must be positive");
+  LocalityReport report;
+  if (trace.empty()) return report;
+
+  std::unordered_set<std::uint32_t> seen_addresses;
+  std::unordered_map<std::uint32_t, std::uint64_t> last_block_time;
+  std::uint64_t temporal = 0, spatial = 0;
+  double reuse_total = 0;
+  std::uint64_t reuse_count = 0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint32_t addr = trace[i].address;
+    if (seen_addresses.contains(addr)) ++temporal;
+    seen_addresses.insert(addr);
+
+    if (i > 0) {
+      const std::uint32_t prev = trace[i - 1].address;
+      const std::uint32_t delta = addr > prev ? addr - prev : prev - addr;
+      if (delta <= block_bytes) ++spatial;
+    }
+
+    const std::uint32_t block = addr / block_bytes;
+    if (const auto it = last_block_time.find(block); it != last_block_time.end()) {
+      reuse_total += static_cast<double>(i - it->second);
+      ++reuse_count;
+    }
+    last_block_time[block] = i;
+  }
+
+  const double n = static_cast<double>(trace.size());
+  report.temporal_reuse_fraction = static_cast<double>(temporal) / n;
+  report.spatial_fraction = trace.size() < 2 ? 0.0
+                                             : static_cast<double>(spatial) / (n - 1.0);
+  report.mean_reuse_distance =
+      reuse_count == 0 ? 0.0 : reuse_total / static_cast<double>(reuse_count);
+  return report;
+}
+
+CacheStats replay(Cache& cache, const Trace& trace) {
+  for (const Access& a : trace) cache.access(a.address, a.is_write);
+  return cache.stats();
+}
+
+}  // namespace cs31::memhier

@@ -1,0 +1,59 @@
+// Memory-access trace generators and locality analysis (CS 31's
+// "identify temporal and spatial locality" exercises and the nested-loop
+// stride experiment, E4). Traces are address sequences that feed the
+// cache and VM simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memhier/cache.hpp"
+
+namespace cs31::memhier {
+
+/// One memory reference.
+struct Access {
+  std::uint32_t address = 0;
+  bool is_write = false;
+};
+
+using Trace = std::vector<Access>;
+
+/// The classic pair of nested loops over a rows x cols int array at
+/// `base`: row-major order visits consecutive addresses (spatial
+/// locality), column-major strides by the row length.
+[[nodiscard]] Trace row_major_trace(std::uint32_t base, std::uint32_t rows,
+                                    std::uint32_t cols, std::uint32_t elem_bytes = 4);
+[[nodiscard]] Trace column_major_trace(std::uint32_t base, std::uint32_t rows,
+                                       std::uint32_t cols, std::uint32_t elem_bytes = 4);
+
+/// Fixed-stride sweep: `count` accesses starting at base, `stride_bytes`
+/// apart. Throws cs31::Error when stride is zero.
+[[nodiscard]] Trace strided_trace(std::uint32_t base, std::uint32_t count,
+                                  std::uint32_t stride_bytes);
+
+/// Deterministic pseudo-random accesses within [base, base + span).
+[[nodiscard]] Trace random_trace(std::uint32_t base, std::uint32_t span,
+                                 std::uint32_t count, std::uint32_t seed = 42);
+
+/// Repeat a working-set sweep `passes` times — the working-set-size
+/// experiment behind the hierarchy bench (E10).
+[[nodiscard]] Trace working_set_trace(std::uint32_t base, std::uint32_t set_bytes,
+                                      std::uint32_t passes, std::uint32_t stride_bytes = 4);
+
+/// Locality metrics over a trace.
+struct LocalityReport {
+  double temporal_reuse_fraction = 0;  ///< accesses whose exact address repeats earlier
+  double spatial_fraction = 0;         ///< accesses landing within `window` bytes of the previous access
+  double mean_reuse_distance = 0;      ///< mean distinct-block distance between reuses
+};
+
+/// Analyze a trace's locality; `block_bytes` defines spatial closeness
+/// and the reuse-distance granularity.
+[[nodiscard]] LocalityReport analyze_locality(const Trace& trace,
+                                              std::uint32_t block_bytes = 64);
+
+/// Feed every access of a trace to the cache; returns the final stats.
+CacheStats replay(Cache& cache, const Trace& trace);
+
+}  // namespace cs31::memhier

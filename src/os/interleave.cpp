@@ -1,0 +1,96 @@
+#include "os/interleave.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace cs31::os {
+
+namespace {
+
+void enumerate(const std::vector<std::vector<std::string>>& seqs,
+               std::vector<std::size_t>& pos, std::vector<std::string>& current,
+               std::set<std::vector<std::string>>& out, std::size_t limit) {
+  bool done = true;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    if (pos[i] < seqs[i].size()) {
+      done = false;
+      current.push_back(seqs[i][pos[i]]);
+      ++pos[i];
+      enumerate(seqs, pos, current, out, limit);
+      --pos[i];
+      current.pop_back();
+    }
+  }
+  if (done) {
+    out.insert(current);
+    require(out.size() <= limit, "interleaving enumeration exceeds the limit");
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> all_interleavings(
+    const std::vector<std::vector<std::string>>& sequences, std::size_t limit) {
+  std::vector<std::size_t> pos(sequences.size(), 0);
+  std::vector<std::string> current;
+  std::set<std::vector<std::string>> out;
+  enumerate(sequences, pos, current, out, limit);
+  return {out.begin(), out.end()};
+}
+
+bool is_possible_output(const std::vector<std::vector<std::string>>& sequences,
+                        const std::vector<std::string>& claimed) {
+  // Memoized DFS over position vectors.
+  std::map<std::vector<std::size_t>, bool> memo;
+  std::size_t total = 0;
+  for (const auto& s : sequences) total += s.size();
+  if (claimed.size() != total) return false;
+
+  std::vector<std::size_t> pos(sequences.size(), 0);
+
+  // Recursive lambda via explicit stack-free helper.
+  struct Solver {
+    const std::vector<std::vector<std::string>>& seqs;
+    const std::vector<std::string>& claimed;
+    std::map<std::vector<std::size_t>, bool>& memo;
+
+    bool solve(std::vector<std::size_t>& pos, std::size_t k) {
+      if (k == claimed.size()) return true;
+      const auto it = memo.find(pos);
+      if (it != memo.end()) return it->second;
+      bool ok = false;
+      for (std::size_t i = 0; i < seqs.size() && !ok; ++i) {
+        if (pos[i] < seqs[i].size() && seqs[i][pos[i]] == claimed[k]) {
+          ++pos[i];
+          ok = solve(pos, k + 1);
+          --pos[i];
+        }
+      }
+      memo[pos] = ok;
+      return ok;
+    }
+  };
+  Solver solver{sequences, claimed, memo};
+  return solver.solve(pos, 0);
+}
+
+std::uint64_t interleaving_count(const std::vector<std::vector<std::string>>& sequences) {
+  // Multinomial coefficient: (sum n_i)! / prod(n_i!) computed
+  // incrementally to dodge overflow for course-sized inputs.
+  std::uint64_t result = 1;
+  std::uint64_t placed = 0;
+  for (const auto& seq : sequences) {
+    for (std::uint64_t k = 1; k <= seq.size(); ++k) {
+      ++placed;
+      // result *= placed / k, keeping exactness: result * placed is
+      // always divisible by k at this point.
+      result = result * placed / k;
+    }
+  }
+  return result;
+}
+
+}  // namespace cs31::os

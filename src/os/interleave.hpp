@@ -1,0 +1,31 @@
+// Concurrency-outcome enumeration for the "identify possible outputs
+// from concurrent processes" homework: given the per-process output
+// sequences after a fork, enumerate every interleaving that respects
+// program order, and check whether a claimed output is possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs31::os {
+
+/// All distinct interleavings of the given sequences (each sequence's
+/// internal order preserved). Throws cs31::Error when the total number
+/// of interleavings would exceed `limit` (multinomial blow-up guard).
+[[nodiscard]] std::vector<std::vector<std::string>> all_interleavings(
+    const std::vector<std::vector<std::string>>& sequences, std::size_t limit = 100000);
+
+/// Is `claimed` one of the possible interleavings? Runs in
+/// O(product of positions) via memoized search, so it works even when
+/// enumerating everything would not.
+[[nodiscard]] bool is_possible_output(const std::vector<std::vector<std::string>>& sequences,
+                                      const std::vector<std::string>& claimed);
+
+/// Number of distinct interleavings (counting duplicates produced by
+/// equal items once each position choice is made — i.e. the multinomial
+/// count over positions, not deduplicated content).
+[[nodiscard]] std::uint64_t interleaving_count(
+    const std::vector<std::vector<std::string>>& sequences);
+
+}  // namespace cs31::os

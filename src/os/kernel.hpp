@@ -1,0 +1,175 @@
+// Simulated kernel for CS 31's operating-systems unit: the process
+// abstraction (PCBs, the process hierarchy), fork / exec / exit / wait
+// semantics with zombies and orphan reparenting, asynchronous signals
+// with user handlers (SIGCHLD and friends), and a round-robin
+// time-sliced scheduler demonstrating multiprogramming and context
+// switches.
+//
+// Processes run "programs" written in a small instruction language that
+// mirrors the course's C examples: print, compute, fork (with an
+// explicit child branch, like `if (fork() == 0) { ... }`), exec, wait,
+// exit, kill, and handler installation. Execution is fully deterministic
+// given the scheduler configuration, which makes every homework
+// exercise ("trace this fork program", "draw the hierarchy") checkable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cs31::os {
+
+/// Signals the course discusses.
+enum class Signal { Chld, Int, Usr1, Kill };
+
+[[nodiscard]] std::string signal_name(Signal s);
+
+struct Instr;
+using Program = std::vector<Instr>;
+
+/// Relative process designators for kill targets (programs are static,
+/// pids are dynamic).
+enum class Target { Self, Parent, LastChild };
+
+/// One program instruction.
+struct Instr {
+  enum class Op {
+    Print,    ///< append text to the output log
+    Compute,  ///< burn `value` scheduler ticks (CPU-bound work)
+    Fork,     ///< child runs `body` then exits 0; parent continues
+    ForkBoth, ///< both parent and child continue with the next instruction
+    Exec,     ///< replace the remaining program with `body`
+    Wait,     ///< block until a child terminates; reaps it
+    Exit,     ///< terminate with status `value`
+    Kill,     ///< send signal `sig` to `target`
+    Handler,  ///< install `body` as the handler for `sig`
+  };
+  Op op = Op::Print;
+  std::string text;
+  int value = 0;
+  Signal sig = Signal::Usr1;
+  Target target = Target::Self;
+  Program body;
+};
+
+/// Fluent program construction for tests and examples.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& print(std::string text);
+  ProgramBuilder& compute(int ticks);
+  ProgramBuilder& fork(Program child);
+  ProgramBuilder& fork_both();
+  ProgramBuilder& exec(Program replacement);
+  ProgramBuilder& wait();
+  ProgramBuilder& exit(int status);
+  ProgramBuilder& kill(Target target, Signal sig);
+  ProgramBuilder& handler(Signal sig, Program body);
+  [[nodiscard]] Program build() const { return program_; }
+
+ private:
+  Program program_;
+};
+
+/// Process lifecycle states (the course's state diagram).
+enum class ProcState { Ready, Running, Blocked, Zombie, Reaped };
+
+[[nodiscard]] std::string state_name(ProcState s);
+
+/// The public view of a PCB.
+struct ProcessInfo {
+  std::uint32_t pid = 0;
+  std::uint32_t ppid = 0;
+  ProcState state = ProcState::Ready;
+  int exit_status = 0;
+  std::vector<std::uint32_t> children;
+};
+
+/// One entry of the kernel's event log.
+struct Event {
+  std::uint64_t time = 0;
+  std::uint32_t pid = 0;
+  std::string what;  ///< "print:hello", "fork:5", "exit:0", "signal:SIGCHLD", ...
+};
+
+/// Scheduler/kernel configuration.
+struct KernelConfig {
+  std::uint32_t time_slice = 2;  ///< instructions per quantum
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config = {});
+
+  /// Create a top-level process (parented to the synthetic init, pid 1).
+  std::uint32_t spawn(Program program);
+
+  /// Execute one scheduler tick (one instruction of the running
+  /// process, or a context switch when the quantum expires / the
+  /// process blocks). Returns false when no runnable process remains.
+  bool tick();
+
+  /// Run until every process has terminated or `max_ticks` elapses
+  /// (throws cs31::Error when exceeded — runaway program).
+  std::uint64_t run(std::uint64_t max_ticks = 100000);
+
+  /// Send a signal from outside (e.g. the shell's kill command).
+  void deliver(std::uint32_t pid, Signal sig);
+
+  [[nodiscard]] const std::vector<std::string>& output() const { return output_; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t context_switches() const { return context_switches_; }
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+  /// Info for one pid (throws on unknown pid) and for all processes.
+  [[nodiscard]] ProcessInfo info(std::uint32_t pid) const;
+  [[nodiscard]] std::vector<ProcessInfo> all_processes() const;
+
+  /// Render the process hierarchy as an indented tree rooted at init —
+  /// the "draw the process hierarchy" homework.
+  [[nodiscard]] std::string hierarchy() const;
+
+  /// True when no process can make further progress.
+  [[nodiscard]] bool idle() const;
+
+  static constexpr std::uint32_t kInitPid = 1;
+
+ private:
+  struct Pcb {
+    std::uint32_t pid = 0;
+    std::uint32_t ppid = 0;
+    ProcState state = ProcState::Ready;
+    Program program;
+    std::size_t pc = 0;
+    int exit_status = 0;
+    int compute_left = 0;
+    std::uint32_t last_child = 0;
+    std::vector<std::uint32_t> children;
+    std::map<Signal, Program> handlers;
+    std::vector<Signal> pending;
+  };
+
+  Pcb& pcb(std::uint32_t pid);
+  [[nodiscard]] const Pcb& pcb(std::uint32_t pid) const;
+  void terminate(Pcb& p, int status);
+  void reap(Pcb& parent, Pcb& child);
+  bool try_wait(Pcb& p);
+  void execute_instruction(Pcb& p);
+  void dispatch_signals(Pcb& p);
+  std::optional<std::uint32_t> pick_next();
+  void log(std::uint32_t pid, std::string what);
+
+  KernelConfig config_;
+  std::map<std::uint32_t, Pcb> procs_;
+  std::vector<std::uint32_t> ready_queue_;
+  std::optional<std::uint32_t> running_;
+  std::uint32_t slice_left_ = 0;
+  std::uint32_t next_pid_ = 2;  // init is 1
+  std::uint64_t time_ = 0;
+  std::uint64_t context_switches_ = 0;
+  std::vector<std::string> output_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cs31::os

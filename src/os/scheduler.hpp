@@ -1,0 +1,63 @@
+// Comparative CPU scheduling simulator (CS 31's second theme: "the OS's
+// role in scheduling for efficiency"). Simulates a job set under FIFO,
+// round-robin, shortest-job-first, preemptive shortest-remaining-time,
+// and static priority, reporting the turnaround/response metrics the
+// course uses to compare policies. Deterministic and single-CPU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs31::os {
+
+/// One job to schedule.
+struct Job {
+  std::string name;
+  std::uint64_t arrival = 0;   ///< time the job enters the ready queue
+  std::uint64_t burst = 1;     ///< total CPU time required
+  int priority = 0;            ///< smaller value = more important (Priority policy)
+};
+
+enum class SchedPolicy { Fifo, RoundRobin, Sjf, Srtf, Priority };
+
+[[nodiscard]] std::string policy_name(SchedPolicy policy);
+
+/// Per-job outcome.
+struct JobMetrics {
+  std::string name;
+  std::uint64_t completion = 0;
+  std::uint64_t turnaround = 0;  ///< completion - arrival
+  std::uint64_t response = 0;    ///< first run - arrival
+  std::uint64_t waiting = 0;     ///< turnaround - burst
+};
+
+/// One contiguous run of a job on the CPU (a Gantt-chart segment).
+struct Slice {
+  std::string job;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+/// Full schedule result.
+struct Schedule {
+  std::vector<JobMetrics> jobs;     ///< in input order
+  std::vector<Slice> timeline;      ///< coalesced Gantt segments
+  std::uint64_t makespan = 0;
+  std::uint64_t context_switches = 0;
+
+  [[nodiscard]] double avg_turnaround() const;
+  [[nodiscard]] double avg_response() const;
+  [[nodiscard]] double avg_waiting() const;
+};
+
+/// Simulate the job set under a policy. `quantum` applies to RoundRobin
+/// only. Throws cs31::Error on an empty job set, zero bursts, duplicate
+/// names, or a zero quantum with RoundRobin.
+[[nodiscard]] Schedule schedule(const std::vector<Job>& jobs, SchedPolicy policy,
+                                std::uint64_t quantum = 2);
+
+/// Render the timeline as an ASCII Gantt chart.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule);
+
+}  // namespace cs31::os

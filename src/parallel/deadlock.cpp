@@ -1,0 +1,89 @@
+#include "parallel/deadlock.hpp"
+
+#include <algorithm>
+
+namespace cs31::parallel {
+
+void LockOrderRegistry::on_acquire(const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  std::vector<std::string>& held = held_[std::this_thread::get_id()];
+  for (const std::string& h : held) {
+    if (h != lock) edges_[h].insert(lock);
+  }
+  held.push_back(lock);
+}
+
+void LockOrderRegistry::on_release(const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  std::vector<std::string>& held = held_[std::this_thread::get_id()];
+  const auto it = std::find(held.rbegin(), held.rend(), lock);
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+std::map<std::string, std::set<std::string>> LockOrderRegistry::graph() const {
+  std::scoped_lock guard(mutex_);
+  return edges_;
+}
+
+std::vector<std::string> LockOrderRegistry::find_cycle() const {
+  const std::map<std::string, std::set<std::string>> edges = graph();
+
+  // Iterative DFS with colors; reconstruct the cycle from the stack.
+  enum class Color { White, Gray, Black };
+  std::map<std::string, Color> color;
+  for (const auto& [from, tos] : edges) {
+    color[from] = Color::White;
+    for (const std::string& to : tos) color.emplace(to, Color::White);
+  }
+
+  std::vector<std::string> path;
+
+  // Recursive helper as an explicit lambda-with-self.
+  struct Dfs {
+    const std::map<std::string, std::set<std::string>>& edges;
+    std::map<std::string, Color>& color;
+    std::vector<std::string>& path;
+
+    // Returns the node that closes a cycle, or "" when none found.
+    std::string visit(const std::string& node) {
+      color[node] = Color::Gray;
+      path.push_back(node);
+      if (const auto it = edges.find(node); it != edges.end()) {
+        for (const std::string& next : it->second) {
+          if (color[next] == Color::Gray) {
+            path.push_back(next);
+            return next;
+          }
+          if (color[next] == Color::White) {
+            const std::string hit = visit(next);
+            if (!hit.empty()) return hit;
+          }
+        }
+      }
+      color[node] = Color::Black;
+      path.pop_back();
+      return "";
+    }
+  };
+
+  Dfs dfs{edges, color, path};
+  for (const auto& [node, c] : color) {
+    if (c != Color::White) continue;
+    path.clear();
+    const std::string closer = dfs.visit(node);
+    if (!closer.empty()) {
+      // Trim the path to start at the closing node.
+      const auto it = std::find(path.begin(), path.end(), closer);
+      return {it, path.end()};
+    }
+  }
+  return {};
+}
+
+void LockOrderRegistry::clear() {
+  std::scoped_lock guard(mutex_);
+  held_.clear();
+  edges_.clear();
+}
+
+}  // namespace cs31::parallel

@@ -1,0 +1,77 @@
+// Deadlock analysis (CS 31: "once we introduce synchronization, we
+// discuss the potential for deadlock"): a lock-order registry that
+// records which locks each thread holds when it acquires another, builds
+// the lock-ordering graph, and reports cycles — the standard
+// order-inversion detector, usable both as a teaching visualization and
+// as a correctness check in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cs31::parallel {
+
+/// Records acquisition orderings between named locks.
+class LockOrderRegistry {
+ public:
+  /// Note that the calling thread acquired `lock`; any locks it already
+  /// holds gain an edge held -> lock in the ordering graph.
+  void on_acquire(const std::string& lock);
+
+  /// Note that the calling thread released `lock`.
+  void on_release(const std::string& lock);
+
+  /// Edges of the ordering graph (from -> set of to).
+  [[nodiscard]] std::map<std::string, std::set<std::string>> graph() const;
+
+  /// A cycle in the ordering graph, if any — the deadlock potential.
+  /// Empty vector when the graph is acyclic. The cycle lists the locks
+  /// in order, with the first repeated at the end.
+  [[nodiscard]] std::vector<std::string> find_cycle() const;
+
+  /// Convenience: true when find_cycle() is nonempty.
+  [[nodiscard]] bool deadlock_possible() const { return !find_cycle().empty(); }
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::thread::id, std::vector<std::string>> held_;
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+/// A named mutex that reports to a registry — drop-in for std::mutex in
+/// demonstrations (works with std::scoped_lock via lock()/unlock()).
+class TrackedMutex {
+ public:
+  TrackedMutex(std::string name, LockOrderRegistry& registry)
+      : name_(std::move(name)), registry_(registry) {}
+
+  void lock() {
+    mutex_.lock();
+    registry_.on_acquire(name_);
+  }
+  void unlock() {
+    registry_.on_release(name_);
+    mutex_.unlock();
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    registry_.on_acquire(name_);
+    return true;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  LockOrderRegistry& registry_;
+  std::mutex mutex_;
+};
+
+}  // namespace cs31::parallel

@@ -1,0 +1,78 @@
+#include "parallel/speedup.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cs31::parallel {
+
+double speedup(double serial_time, double parallel_time) {
+  require(parallel_time > 0, "parallel time must be positive");
+  require(serial_time >= 0, "serial time cannot be negative");
+  return serial_time / parallel_time;
+}
+
+double efficiency(double serial_time, double parallel_time, unsigned p) {
+  require(p >= 1, "need at least one processor");
+  return speedup(serial_time, parallel_time) / static_cast<double>(p);
+}
+
+double amdahl_speedup(double serial_fraction, unsigned p) {
+  require(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+          "serial fraction must be in [0, 1]");
+  require(p >= 1, "need at least one processor");
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / static_cast<double>(p));
+}
+
+double amdahl_limit(double serial_fraction) {
+  require(serial_fraction > 0.0 && serial_fraction <= 1.0,
+          "asymptote needs a serial fraction in (0, 1]");
+  return 1.0 / serial_fraction;
+}
+
+double gustafson_speedup(double serial_fraction, unsigned p) {
+  require(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+          "serial fraction must be in [0, 1]");
+  require(p >= 1, "need at least one processor");
+  return static_cast<double>(p) - serial_fraction * (static_cast<double>(p) - 1.0);
+}
+
+namespace {
+double log2_ceil(unsigned n) {
+  double v = 0;
+  unsigned x = 1;
+  while (x < n) {
+    x *= 2;
+    v += 1;
+  }
+  return v;
+}
+}  // namespace
+
+double modeled_time(const WorkloadModel& model, unsigned threads) {
+  require(threads >= 1, "need at least one thread");
+  require(model.rounds >= 1, "workload needs at least one round");
+  require(model.contention_factor >= 0 && model.barrier_cost >= 0 &&
+              model.critical_section >= 0,
+          "model costs cannot be negative");
+
+  const double work_per_round =
+      static_cast<double>(model.total_work) / static_cast<double>(model.rounds);
+  // The slowest thread of each round carries ceil(work / threads).
+  const double block = std::ceil(work_per_round / static_cast<double>(threads));
+  const double contention = 1.0 + model.contention_factor * static_cast<double>(threads - 1);
+
+  double per_round = block * contention;
+  if (threads > 1) {
+    per_round += model.barrier_cost * log2_ceil(threads);
+    per_round += model.critical_section * static_cast<double>(threads);
+  }
+  return static_cast<double>(model.serial_work) +
+         per_round * static_cast<double>(model.rounds);
+}
+
+double modeled_speedup(const WorkloadModel& model, unsigned threads) {
+  return modeled_time(model, 1) / modeled_time(model, threads);
+}
+
+}  // namespace cs31::parallel

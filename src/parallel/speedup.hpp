@@ -1,0 +1,61 @@
+// Speedup, efficiency, Amdahl's Law, and the deterministic multicore
+// cost model (CS 31's "speedup … resource contention can reduce observed
+// speedup from theoretical ideal linear speedup", experiments E3/E7).
+//
+// The MulticoreModel exists because the kit must reproduce the paper's
+// Lab 10 result — near-linear Game-of-Life speedup up to 16 threads —
+// on machines with any number of physical cores (including the 1-core
+// CI host): it prices a parallel computation in abstract cycles (work,
+// barriers, critical sections, serial setup) and reports the time a
+// p-core machine would take.
+#pragma once
+
+#include <cstdint>
+
+namespace cs31::parallel {
+
+/// speedup = T1 / Tp. Throws cs31::Error when parallel_time <= 0.
+[[nodiscard]] double speedup(double serial_time, double parallel_time);
+
+/// efficiency = speedup / p.
+[[nodiscard]] double efficiency(double serial_time, double parallel_time, unsigned p);
+
+/// Amdahl's Law: maximum speedup on p processors of a program whose
+/// serial fraction is f: 1 / (f + (1 - f) / p).
+/// Throws cs31::Error for f outside [0, 1] or p == 0.
+[[nodiscard]] double amdahl_speedup(double serial_fraction, unsigned p);
+
+/// Amdahl's asymptote: 1 / f (infinite processors).
+[[nodiscard]] double amdahl_limit(double serial_fraction);
+
+/// Gustafson's scaled speedup: p - f * (p - 1) (covered in the course's
+/// "defer a deeper dive" pointer to upper-level work; included for the
+/// extension bench).
+[[nodiscard]] double gustafson_speedup(double serial_fraction, unsigned p);
+
+/// Deterministic cost model of one parallel computation on a p-core
+/// shared-memory machine. All costs are in abstract cycles.
+struct WorkloadModel {
+  std::uint64_t total_work = 0;        ///< parallelizable work units
+  std::uint64_t serial_work = 0;       ///< un-parallelizable setup/teardown
+  std::uint64_t rounds = 1;            ///< barrier-separated phases (e.g. Life steps)
+  double barrier_cost = 0;             ///< cycles per barrier crossing, per thread count scaling below
+  double critical_section = 0;         ///< serialized cycles per thread per round
+  double contention_factor = 0;        ///< per-extra-thread memory slowdown fraction
+};
+
+/// Simulated execution time of the workload on `threads` threads.
+/// Model:
+///   work term      = ceil(total_work / rounds / threads) per round
+///                    (threads with the fat block dominate each round)
+///   barrier term   = barrier_cost * log2ceil(threads) per round
+///   critical term  = critical_section * threads per round (serialized)
+///   contention     = work term inflated by contention_factor*(threads-1)
+///   serial term    = serial_work, once
+/// Throws cs31::Error when threads == 0 or the model is degenerate.
+[[nodiscard]] double modeled_time(const WorkloadModel& model, unsigned threads);
+
+/// Modeled speedup relative to the same model on one thread.
+[[nodiscard]] double modeled_speedup(const WorkloadModel& model, unsigned threads);
+
+}  // namespace cs31::parallel

@@ -1,0 +1,165 @@
+#include "parallel/sync.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace cs31::parallel {
+
+Barrier::Barrier(std::size_t count) : count_(count) {
+  require(count >= 1, "barrier count must be at least 1");
+}
+
+bool Barrier::wait() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == count_) {
+    // Last arriver releases the cycle.
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  return false;
+}
+
+std::uint64_t Barrier::cycles() const {
+  std::scoped_lock lock(mutex_);
+  return generation_;
+}
+
+std::uint64_t SharedCounter::run(Mode mode, unsigned threads, std::uint64_t per_thread) {
+  require(threads >= 1, "need at least one thread");
+
+  // The shared state under test. `plain` is deliberately unprotected in
+  // Unsynchronized mode; volatile blocks the compiler from collapsing
+  // the read-modify-write loop so the race stays observable.
+  volatile std::uint64_t plain = 0;
+  std::atomic<std::uint64_t> atomic{0};
+  std::mutex mutex;
+  std::uint64_t merged = 0;
+
+  auto body = [&](unsigned) {
+    switch (mode) {
+      case Mode::Unsynchronized:
+        for (std::uint64_t i = 0; i < per_thread; ++i) plain = plain + 1;
+        break;
+      case Mode::MutexPerIncrement:
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          std::scoped_lock lock(mutex);
+          plain = plain + 1;
+        }
+        break;
+      case Mode::Atomic:
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          atomic.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case Mode::LocalThenMerge: {
+        std::uint64_t local = 0;
+        for (std::uint64_t i = 0; i < per_thread; ++i) ++local;
+        std::scoped_lock lock(mutex);
+        merged += local;
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) workers.emplace_back(body, t);
+  for (std::thread& w : workers) w.join();
+
+  switch (mode) {
+    case Mode::Unsynchronized:
+    case Mode::MutexPerIncrement:
+      return plain;
+    case Mode::Atomic:
+      return atomic.load();
+    case Mode::LocalThenMerge:
+      return merged;
+  }
+  return 0;
+}
+
+BoundedBuffer::BoundedBuffer(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
+  require(capacity >= 1, "buffer capacity must be at least 1");
+}
+
+void BoundedBuffer::put(std::int64_t item) {
+  std::unique_lock lock(mutex_);
+  require(!closed_, "put on a closed buffer");
+  if (count_ == capacity_) {
+    producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+    require(!closed_, "buffer closed while a producer was blocked");
+  }
+  ring_[tail_] = item;
+  tail_ = (tail_ + 1) % capacity_;
+  ++count_;
+  not_empty_.notify_one();
+}
+
+std::int64_t BoundedBuffer::get() {
+  std::unique_lock lock(mutex_);
+  if (count_ == 0) {
+    consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    not_empty_.wait(lock, [&] { return count_ > 0; });
+  }
+  const std::int64_t item = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  not_full_.notify_one();
+  return item;
+}
+
+bool BoundedBuffer::try_put(std::int64_t item) {
+  std::scoped_lock lock(mutex_);
+  require(!closed_, "put on a closed buffer");
+  if (count_ == capacity_) return false;
+  ring_[tail_] = item;
+  tail_ = (tail_ + 1) % capacity_;
+  ++count_;
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<std::int64_t> BoundedBuffer::try_get() {
+  std::scoped_lock lock(mutex_);
+  if (count_ == 0) return std::nullopt;
+  const std::int64_t item = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  not_full_.notify_one();
+  return item;
+}
+
+void BoundedBuffer::close() {
+  std::scoped_lock lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::optional<std::int64_t> BoundedBuffer::get_until_closed() {
+  std::unique_lock lock(mutex_);
+  if (count_ == 0 && !closed_) {
+    consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+  }
+  if (count_ == 0) return std::nullopt;  // closed and drained
+  const std::int64_t item = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  not_full_.notify_one();
+  return item;
+}
+
+std::size_t BoundedBuffer::size() const {
+  std::scoped_lock lock(mutex_);
+  return count_;
+}
+
+}  // namespace cs31::parallel

@@ -1,0 +1,109 @@
+// Synchronization primitives in the pthreads style CS 31 teaches: a
+// counting Barrier and a bounded-buffer producer/consumer queue built
+// from mutexes and condition variables (not std::barrier — the point is
+// the construction students learn), plus the shared-counter apparatus
+// used to demonstrate data races, critical sections, and atomic fixes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cs31::parallel {
+
+/// Cyclic barrier with pthread_barrier_wait semantics: every cycle,
+/// exactly one waiter is told it was the "serial thread" (the last to
+/// arrive), mirroring PTHREAD_BARRIER_SERIAL_THREAD.
+class Barrier {
+ public:
+  /// Throws cs31::Error when count == 0.
+  explicit Barrier(std::size_t count);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until `count` threads have arrived. Returns true for the
+  /// last arriver of this cycle.
+  bool wait();
+
+  /// Completed cycles so far (each round of a parallel simulation).
+  [[nodiscard]] std::uint64_t cycles() const;
+
+ private:
+  const std::size_t count_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// The lecture's shared-counter race demonstration: N threads each
+/// increment a counter `per_thread` times, with a selectable protection
+/// strategy. `run()` reports the final value so callers can observe the
+/// lost updates of the unsynchronized version.
+class SharedCounter {
+ public:
+  enum class Mode {
+    Unsynchronized,  ///< read-modify-write race (torn updates likely)
+    MutexPerIncrement,
+    Atomic,
+    LocalThenMerge,  ///< per-thread partial counts merged under one lock
+  };
+
+  /// Run the experiment with real threads. Returns the final counter.
+  /// A correct mode always returns threads * per_thread; the
+  /// unsynchronized mode usually returns less on real hardware.
+  static std::uint64_t run(Mode mode, unsigned threads, std::uint64_t per_thread);
+};
+
+/// Bounded buffer (the producer/consumer problem that closes the CS 31
+/// parallelism module), built from one mutex and two condition
+/// variables. Blocking counts are tracked so experiments can report
+/// contention (E9).
+class BoundedBuffer {
+ public:
+  /// Throws cs31::Error when capacity == 0.
+  explicit BoundedBuffer(std::size_t capacity);
+
+  BoundedBuffer(const BoundedBuffer&) = delete;
+  BoundedBuffer& operator=(const BoundedBuffer&) = delete;
+
+  /// Block while full, then enqueue.
+  void put(std::int64_t item);
+
+  /// Block while empty, then dequeue.
+  [[nodiscard]] std::int64_t get();
+
+  /// Nonblocking variants; nullopt/false when the buffer is empty/full.
+  bool try_put(std::int64_t item);
+  [[nodiscard]] std::optional<std::int64_t> try_get();
+
+  /// Close the buffer: blocked and future get() calls drain remaining
+  /// items, then return nullopt via get_until_closed().
+  void close();
+
+  /// Blocking get that returns nullopt once the buffer is closed and
+  /// drained — the consumer-loop idiom.
+  [[nodiscard]] std::optional<std::int64_t> get_until_closed();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t producer_blocks() const { return producer_blocks_.load(); }
+  [[nodiscard]] std::uint64_t consumer_blocks() const { return consumer_blocks_.load(); }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<std::int64_t> ring_;
+  std::size_t head_ = 0, tail_ = 0, count_ = 0;
+  bool closed_ = false;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::atomic<std::uint64_t> producer_blocks_{0};
+  std::atomic<std::uint64_t> consumer_blocks_{0};
+};
+
+}  // namespace cs31::parallel

@@ -1,0 +1,67 @@
+// Thread-team management and data partitioning in the pthreads idiom of
+// CS 31's shared-memory module: spawn N workers with ids, join them all,
+// and split 1-D ranges or 2-D grids into the per-thread blocks students
+// compute by hand in Lab 10 (vertical or horizontal grid partitioning).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cs31::parallel {
+
+/// Half-open index range [begin, end) owned by one thread.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Split [0, n) into `parts` contiguous blocks whose sizes differ by at
+/// most one (the first n % parts blocks get the extra element) — the
+/// partitioning rule Lab 10 asks students to derive. Throws cs31::Error
+/// when parts == 0.
+[[nodiscard]] std::vector<Range> block_partition(std::size_t n, std::size_t parts);
+
+/// 2-D grid partition: split rows (Horizontal) or columns (Vertical)
+/// among threads; each thread gets a band of complete rows/columns.
+enum class GridSplit { Horizontal, Vertical };
+
+struct GridRegion {
+  Range rows;
+  Range cols;
+  friend bool operator==(const GridRegion&, const GridRegion&) = default;
+};
+
+[[nodiscard]] std::vector<GridRegion> grid_partition(std::size_t rows, std::size_t cols,
+                                                     std::size_t parts, GridSplit split);
+
+/// pthread_create/pthread_join in miniature: run `body(thread_id)` on
+/// `count` threads and join them all. The destructor joins any threads
+/// still running (RAII; no detached threads in the kit).
+class ThreadTeam {
+ public:
+  /// Throws cs31::Error when count == 0.
+  ThreadTeam(std::size_t count, const std::function<void(std::size_t)>& body);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Join all workers (idempotent).
+  void join();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  std::vector<std::thread> workers_;
+};
+
+/// Fork-join parallel loop: split [0, n) into `threads` blocks and run
+/// `body(range, thread_id)` on real threads, joining before returning.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(Range, std::size_t)>& body);
+
+}  // namespace cs31::parallel

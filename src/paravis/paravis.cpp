@@ -1,0 +1,40 @@
+#include "paravis/paravis.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::paravis {
+
+int region_color(int owner) {
+  if (owner < 0) return 49;          // default background
+  return 41 + owner % 8;             // ANSI backgrounds 41..48
+}
+
+std::string render(const FrameSource& frame, const VisConfig& config) {
+  require(static_cast<bool>(frame.alive), "frame source needs an alive() callback");
+  require(frame.rows > 0 && frame.cols > 0, "frame must have nonzero size");
+  std::ostringstream out;
+  for (std::size_t r = 0; r < frame.rows; ++r) {
+    int current_color = -1;
+    for (std::size_t c = 0; c < frame.cols; ++c) {
+      if (config.ansi_colors && frame.owner) {
+        const int color = region_color(frame.owner(r, c));
+        if (color != current_color) {
+          out << "\x1b[" << color << 'm';
+          current_color = color;
+        }
+      }
+      out << (frame.alive(r, c) ? config.alive : config.dead);
+    }
+    if (config.ansi_colors) out << "\x1b[0m";
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Recorder::record(const FrameSource& frame, const VisConfig& config) {
+  frames_.push_back(render(frame, config));
+}
+
+}  // namespace cs31::paravis

@@ -1,0 +1,51 @@
+// ParaVis substitute: the course's visualization library (Danner,
+// Newhall, Webb, EduPar'19) renders a parallel application's 2-D grid
+// with each thread's region in a different color so students can *see*
+// their partitioning. This headless stand-in renders to ANSI-colored
+// text (or plain ASCII), preserving the debugging function: cell state
+// plus owning-thread region, frame by frame.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cs31::paravis {
+
+/// Rendering options.
+struct VisConfig {
+  bool ansi_colors = false;  ///< emit ANSI background colors per region
+  char alive = '@';
+  char dead = '.';
+};
+
+/// A frame: cell states plus the thread id owning each cell (-1 = no
+/// owner shading). Both callbacks are indexed (row, col).
+struct FrameSource {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::function<bool(std::size_t, std::size_t)> alive;
+  std::function<int(std::size_t, std::size_t)> owner;  ///< may be null
+};
+
+/// Render one frame to text. Throws cs31::Error when the source has no
+/// alive() callback or zero size.
+[[nodiscard]] std::string render(const FrameSource& frame, const VisConfig& config = {});
+
+/// The 8 distinct ANSI background color codes cycled across threads.
+[[nodiscard]] int region_color(int owner);
+
+/// Collects frames into an animation log (what a GUI would play back);
+/// useful in tests to assert on the evolution of a simulation.
+class Recorder {
+ public:
+  void record(const FrameSource& frame, const VisConfig& config = {});
+  [[nodiscard]] const std::vector<std::string>& frames() const { return frames_; }
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+
+ private:
+  std::vector<std::string> frames_;
+};
+
+}  // namespace cs31::paravis

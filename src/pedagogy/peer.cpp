@@ -1,0 +1,116 @@
+#include "pedagogy/peer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cs31::pedagogy {
+
+double PollResult::normalized_gain() const {
+  const double pre = first_rate();
+  const double post = second_rate();
+  if (pre >= 1.0) return 0.0;
+  return (post - pre) / (1.0 - pre);
+}
+
+std::vector<ClickerQuestion> question_bank(const core::Curriculum& course,
+                                           unsigned per_topic) {
+  require(per_topic >= 1, "need at least one question per topic");
+  std::vector<ClickerQuestion> bank;
+  for (const core::TcppTopic& topic : course.topics()) {
+    for (unsigned k = 0; k < per_topic; ++k) {
+      ClickerQuestion q;
+      q.topic = topic.name;
+      q.emphasis = topic.emphasis;
+      q.prompt = "Concept check #" + std::to_string(k + 1) + " on " + topic.name;
+      bank.push_back(std::move(q));
+    }
+  }
+  require(!bank.empty(), "curriculum has no topics");
+  return bank;
+}
+
+namespace {
+
+struct Rng {
+  std::uint32_t state;
+  double uniform() {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state >> 8) / 16777216.0;
+  }
+};
+
+}  // namespace
+
+std::vector<PollResult> run_session(const std::vector<ClickerQuestion>& bank,
+                                    const SessionConfig& config) {
+  require(!bank.empty(), "empty question bank");
+  require(config.students >= 1, "need at least one student");
+  require(config.group_size >= 1, "need a nonzero group size");
+  require(config.discussion_gain >= 0.0 && config.discussion_gain <= 1.0,
+          "discussion gain must be in [0, 1]");
+
+  Rng rng{config.seed | 1u};
+
+  // Per-student ability in [0,1), fixed for the session.
+  std::vector<double> ability(config.students);
+  for (double& a : ability) a = rng.uniform();
+
+  std::vector<PollResult> results;
+  results.reserve(bank.size());
+
+  for (const ClickerQuestion& q : bank) {
+    // First-vote correctness: ability scaled by how hard the course
+    // leans on the topic; a guessing floor of 1/options.
+    const double emphasis_boost = 0.2 * static_cast<double>(static_cast<int>(q.emphasis));
+    const double guess_floor = 1.0 / static_cast<double>(q.options);
+
+    PollResult poll;
+    poll.topic = q.topic;
+    poll.students = config.students;
+    std::vector<bool> correct(config.students);
+    for (unsigned s = 0; s < config.students; ++s) {
+      const double p = std::clamp(0.15 + emphasis_boost * (0.5 + ability[s]),
+                                  guess_floor, 0.98);
+      correct[s] = rng.uniform() < p;
+      if (correct[s]) ++poll.first_correct;
+    }
+
+    // Small-group discussion: a wrong student flips with probability
+    // discussion_gain if at least one group-mate voted correctly —
+    // the mechanism behind peer instruction's reliable second-round
+    // improvement (correct students essentially never flip to wrong).
+    for (unsigned g = 0; g * config.group_size < config.students; ++g) {
+      const unsigned begin = g * config.group_size;
+      const unsigned end = std::min<unsigned>(begin + config.group_size, config.students);
+      bool someone_right = false;
+      for (unsigned s = begin; s < end; ++s) someone_right = someone_right || correct[s];
+      for (unsigned s = begin; s < end; ++s) {
+        if (correct[s]) {
+          ++poll.second_correct;
+        } else if (someone_right && rng.uniform() < config.discussion_gain) {
+          ++poll.second_correct;
+        }
+      }
+    }
+    results.push_back(poll);
+  }
+  return results;
+}
+
+SessionSummary summarize(const std::vector<PollResult>& results) {
+  require(!results.empty(), "no polls to summarize");
+  SessionSummary s;
+  for (const PollResult& r : results) {
+    s.mean_first_rate += r.first_rate();
+    s.mean_second_rate += r.second_rate();
+    s.mean_normalized_gain += r.normalized_gain();
+  }
+  const double n = static_cast<double>(results.size());
+  s.mean_first_rate /= n;
+  s.mean_second_rate /= n;
+  s.mean_normalized_gain /= n;
+  return s;
+}
+
+}  // namespace cs31::pedagogy

@@ -1,0 +1,73 @@
+// Peer-instruction model (paper §II "Course Structure": "We adopt the
+// peer instruction teaching model and use student clicker devices to
+// poll the class" — individual vote, small-group discussion, second
+// vote, whole-class discussion). This module models that two-round
+// protocol quantitatively: a question bank tied to the curriculum's
+// TCPP topics, a cohort of students with per-topic mastery, and the
+// standard peer-instruction improvement dynamic where discussion lifts
+// second-vote correctness in proportion to how many peers already know
+// the answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/curriculum.hpp"
+
+namespace cs31::pedagogy {
+
+/// One clicker question.
+struct ClickerQuestion {
+  std::string topic;       ///< TCPP topic it drills
+  std::string prompt;
+  unsigned options = 4;    ///< answer choices (1 correct)
+  core::Emphasis emphasis = core::Emphasis::Cover;
+};
+
+/// Build a question bank covering every topic the given modules teach.
+/// Throws cs31::Error when the curriculum has no matching topics.
+[[nodiscard]] std::vector<ClickerQuestion> question_bank(const core::Curriculum& course,
+                                                         unsigned per_topic = 1);
+
+/// Outcome of one question's two-round poll.
+struct PollResult {
+  std::string topic;
+  unsigned students = 0;
+  unsigned first_correct = 0;   ///< individual votes
+  unsigned second_correct = 0;  ///< after small-group discussion
+
+  [[nodiscard]] double first_rate() const {
+    return students == 0 ? 0.0 : static_cast<double>(first_correct) / students;
+  }
+  [[nodiscard]] double second_rate() const {
+    return students == 0 ? 0.0 : static_cast<double>(second_correct) / students;
+  }
+  /// Hake-style normalized gain: (post - pre) / (1 - pre), 0 when pre=1.
+  [[nodiscard]] double normalized_gain() const;
+};
+
+/// Session configuration.
+struct SessionConfig {
+  unsigned students = 60;       ///< the paper's class size
+  unsigned group_size = 3;      ///< "discuss the question in small groups"
+  double discussion_gain = 0.8; ///< chance a wrong student flips when a
+                                ///  group-mate has the right answer
+  std::uint32_t seed = 31;
+};
+
+/// Simulate a class session over the question bank. Deterministic per
+/// seed. Throws cs31::Error on an empty bank, zero students, or a group
+/// size of zero.
+[[nodiscard]] std::vector<PollResult> run_session(const std::vector<ClickerQuestion>& bank,
+                                                  const SessionConfig& config = {});
+
+/// Aggregate view of a session.
+struct SessionSummary {
+  double mean_first_rate = 0;
+  double mean_second_rate = 0;
+  double mean_normalized_gain = 0;
+};
+[[nodiscard]] SessionSummary summarize(const std::vector<PollResult>& results);
+
+}  // namespace cs31::pedagogy

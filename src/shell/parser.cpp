@@ -1,0 +1,37 @@
+#include "shell/parser.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "cstr/cstring.hpp"
+
+namespace cs31::shell {
+
+ParsedCommand parse_command(const std::string& line) {
+  // Tokenize with the kit's own strtok_r over a mutable copy.
+  const std::unique_ptr<char[]> buffer = cstr::str_duplicate(line.c_str());
+  ParsedCommand cmd;
+  char* save = nullptr;
+  for (char* tok = cstr::str_token(buffer.get(), " \t\n", &save); tok != nullptr;
+       tok = cstr::str_token(nullptr, " \t\n", &save)) {
+    cmd.argv.emplace_back(tok);
+  }
+
+  // Background detection: '&' as the final token, or glued to it.
+  for (std::size_t i = 0; i < cmd.argv.size(); ++i) {
+    std::string& tok = cmd.argv[i];
+    const std::size_t amp = tok.find('&');
+    if (amp == std::string::npos) continue;
+    const bool last_token = i + 1 == cmd.argv.size();
+    require(last_token && amp == tok.size() - 1,
+            "'&' is only allowed at the end of a command");
+    cmd.background = true;
+    tok.erase(amp);
+    if (tok.empty()) cmd.argv.pop_back();
+    break;
+  }
+  require(!(cmd.background && cmd.argv.empty()), "'&' with no command");
+  return cmd;
+}
+
+}  // namespace cs31::shell

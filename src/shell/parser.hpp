@@ -1,0 +1,25 @@
+// Command parser library (CS 31 Lab 8): tokenize a command line into an
+// argv vector and detect the trailing ampersand that requests background
+// execution. Tokenization is built on the kit's own C string library
+// (str_token), the way the lab layers the parser over earlier work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cs31::shell {
+
+/// A parsed command line.
+struct ParsedCommand {
+  std::vector<std::string> argv;  ///< command name + arguments
+  bool background = false;        ///< trailing '&' present
+
+  [[nodiscard]] bool empty() const { return argv.empty(); }
+};
+
+/// Parse one command line. Whitespace separates tokens; a final "&"
+/// (either its own token or glued to the last one) marks a background
+/// command. Throws cs31::Error when '&' appears anywhere but the end.
+[[nodiscard]] ParsedCommand parse_command(const std::string& line);
+
+}  // namespace cs31::shell

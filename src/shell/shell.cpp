@@ -1,0 +1,218 @@
+#include "shell/shell.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::shell {
+
+Shell::Shell(os::Kernel& kernel) : kernel_(kernel) {}
+
+void Shell::install(const std::string& name, CommandFactory factory) {
+  commands_[name] = std::move(factory);
+}
+
+void Shell::install_standard_commands() {
+  install("echo", [](const std::vector<std::string>& argv) {
+    std::string text;
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      if (i > 1) text += ' ';
+      text += argv[i];
+    }
+    return os::ProgramBuilder().print(text).exit(0).build();
+  });
+  install("yes", [](const std::vector<std::string>& argv) {
+    const std::string word = argv.size() > 1 ? argv[1] : "y";
+    os::ProgramBuilder b;
+    for (int i = 0; i < 5; ++i) b.print(word);  // bounded, unlike the real one
+    return b.exit(0).build();
+  });
+  install("countdown", [](const std::vector<std::string>& argv) {
+    int n = 3;
+    if (argv.size() > 1) n = std::stoi(argv[1]);
+    os::ProgramBuilder b;
+    for (int i = n; i >= 1; --i) b.print(std::to_string(i));
+    return b.print("liftoff").exit(0).build();
+  });
+  install("spin", [](const std::vector<std::string>& argv) {
+    int ticks = 10;
+    if (argv.size() > 1) ticks = std::stoi(argv[1]);
+    return os::ProgramBuilder().compute(ticks).exit(0).build();
+  });
+  install("false", [](const std::vector<std::string>&) {
+    return os::ProgramBuilder().exit(1).build();
+  });
+}
+
+void Shell::remember(const std::string& line) {
+  history_.push_back(line);
+  ++next_history_id_;
+  if (history_.size() > kHistorySize) {
+    history_.pop_front();
+    ++history_base_;
+  }
+}
+
+std::size_t Shell::reap_background() {
+  std::size_t reaped = 0;
+  for (Job& job : jobs_) {
+    if (job.finished) continue;
+    const os::ProcessInfo info = kernel_.info(job.pid);
+    if (info.state == os::ProcState::Zombie || info.state == os::ProcState::Reaped) {
+      job.finished = true;
+      job.exit_status = info.exit_status;
+      ++reaped;
+    }
+  }
+  return reaped;
+}
+
+ShellResult Shell::run_foreground(const ParsedCommand& cmd, const std::string& line) {
+  (void)line;
+  ShellResult result;
+  const auto it = commands_.find(cmd.argv[0]);
+  if (it == commands_.end()) {
+    result.ok = false;
+    result.output = cmd.argv[0] + ": command not found\n";
+    return result;
+  }
+  const std::uint32_t pid = kernel_.spawn(it->second(cmd.argv));
+  // waitpid(pid, ...): drive the kernel until this child terminates.
+  // Background jobs keep running during the wait, exactly as on Unix.
+  while (true) {
+    const os::ProcessInfo info = kernel_.info(pid);
+    if (info.state == os::ProcState::Zombie || info.state == os::ProcState::Reaped) {
+      result.status = info.exit_status;
+      break;
+    }
+    if (!kernel_.tick()) break;  // nothing runnable: child is stuck/never
+  }
+  reap_background();
+  return result;
+}
+
+ShellResult Shell::run_background(const ParsedCommand& cmd, const std::string& line) {
+  ShellResult result;
+  const auto it = commands_.find(cmd.argv[0]);
+  if (it == commands_.end()) {
+    result.ok = false;
+    result.output = cmd.argv[0] + ": command not found\n";
+    return result;
+  }
+  const std::uint32_t pid = kernel_.spawn(it->second(cmd.argv));
+  jobs_.push_back(Job{pid, line, false, 0});
+  std::ostringstream out;
+  out << "[" << jobs_.size() << "] " << pid << "\n";
+  result.output = out.str();
+  return result;
+}
+
+ShellResult Shell::run_line(const std::string& line) {
+  ShellResult result;
+
+  // History expansion (!n) happens before anything else, like bash.
+  std::string effective = line;
+  {
+    ParsedCommand probe;
+    try {
+      probe = parse_command(line);
+    } catch (const Error& e) {
+      result.ok = false;
+      result.output = std::string(e.what()) + "\n";
+      return result;
+    }
+    if (!probe.empty() && probe.argv[0].size() > 1 && probe.argv[0][0] == '!') {
+      std::uint64_t id = 0;
+      try {
+        id = std::stoull(probe.argv[0].substr(1));
+      } catch (...) {
+        result.ok = false;
+        result.output = "history: bad event designator\n";
+        return result;
+      }
+      if (id < history_base_ || id >= history_base_ + history_.size()) {
+        result.ok = false;
+        result.output = "history: no such event: " + std::to_string(id) + "\n";
+        return result;
+      }
+      effective = history_[static_cast<std::size_t>(id - history_base_)];
+    }
+  }
+
+  ParsedCommand cmd;
+  try {
+    cmd = parse_command(effective);
+  } catch (const Error& e) {
+    result.ok = false;
+    result.output = std::string(e.what()) + "\n";
+    return result;
+  }
+  if (cmd.empty()) return result;
+
+  remember(effective);
+
+  // Builtins run in the shell itself (no fork), as the lab requires.
+  if (cmd.argv[0] == "exit") {
+    result.exited = true;
+    return result;
+  }
+  if (cmd.argv[0] == "history") {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      out << (history_base_ + i) << "  " << history_[i] << "\n";
+    }
+    result.output = out.str();
+    return result;
+  }
+  if (cmd.argv[0] == "kill") {
+    // kill %n — send SIGKILL to background job n (the signals unit
+    // applied to the lab shell).
+    if (cmd.argv.size() != 2 || cmd.argv[1].size() < 2 || cmd.argv[1][0] != '%') {
+      result.ok = false;
+      result.output = "usage: kill %<job>\n";
+      return result;
+    }
+    std::size_t job_number = 0;
+    try {
+      job_number = std::stoul(cmd.argv[1].substr(1));
+    } catch (...) {
+      job_number = 0;
+    }
+    if (job_number == 0 || job_number > jobs_.size()) {
+      result.ok = false;
+      result.output = "kill: no such job: " + cmd.argv[1] + "\n";
+      return result;
+    }
+    Job& job = jobs_[job_number - 1];
+    if (job.finished) {
+      result.output = "kill: job already done\n";
+      return result;
+    }
+    kernel_.deliver(job.pid, os::Signal::Kill);
+    // Let the kernel process the signal, then reap.
+    while (!kernel_.idle()) {
+      const os::ProcessInfo info = kernel_.info(job.pid);
+      if (info.state == os::ProcState::Zombie || info.state == os::ProcState::Reaped) {
+        break;
+      }
+      if (!kernel_.tick()) break;
+    }
+    reap_background();
+    result.output = "[" + std::to_string(job_number) + "] Killed\n";
+    return result;
+  }
+  if (cmd.argv[0] == "jobs") {
+    reap_background();
+    std::ostringstream out;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      out << "[" << (i + 1) << "] " << (jobs_[i].finished ? "Done      " : "Running   ")
+          << jobs_[i].command << "\n";
+    }
+    result.output = out.str();
+    return result;
+  }
+
+  return cmd.background ? run_background(cmd, effective) : run_foreground(cmd, effective);
+}
+
+}  // namespace cs31::shell

@@ -1,0 +1,82 @@
+// The Unix shell of CS 31 Lab 9, running on the kit's simulated kernel:
+// foreground commands block until the child terminates; background
+// commands ("cmd &") run concurrently and are reaped like a SIGCHLD
+// handler would; plus the lab's simplified history mechanism (`history`
+// lists recent commands, `!n` re-runs one).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "shell/parser.hpp"
+
+namespace cs31::shell {
+
+/// A "binary" the shell can exec: given argv, produce the kernel program
+/// to run (the stand-in for the filesystem's executables).
+using CommandFactory = std::function<os::Program(const std::vector<std::string>& argv)>;
+
+/// One background job.
+struct Job {
+  std::uint32_t pid = 0;
+  std::string command;
+  bool finished = false;
+  int exit_status = 0;
+};
+
+/// Result of running one command line.
+struct ShellResult {
+  bool ok = true;
+  bool exited = false;        ///< the `exit` builtin ran
+  int status = 0;             ///< foreground child's exit status
+  std::string output;         ///< builtin output / error text
+};
+
+class Shell {
+ public:
+  /// The shell drives (and does not own) a kernel.
+  explicit Shell(os::Kernel& kernel);
+
+  /// Register an executable name. Re-registering replaces it.
+  void install(const std::string& name, CommandFactory factory);
+
+  /// Install the standard demo binaries: echo, yes (bounded), countdown,
+  /// spin — enough to exercise fg/bg behaviour in examples and tests.
+  void install_standard_commands();
+
+  /// Run one command line end to end (parse, history, builtins,
+  /// fork/exec/wait semantics). Never throws for user errors; they are
+  /// reported in ShellResult.
+  ShellResult run_line(const std::string& line);
+
+  /// History, oldest first (bounded at kHistorySize).
+  [[nodiscard]] const std::deque<std::string>& history() const { return history_; }
+
+  /// Background jobs table (including finished ones).
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Reap finished background jobs (the waitpid(-1, WNOHANG) loop of the
+  /// lab's SIGCHLD handler); returns how many were newly reaped.
+  std::size_t reap_background();
+
+  static constexpr std::size_t kHistorySize = 10;
+
+ private:
+  ShellResult run_foreground(const ParsedCommand& cmd, const std::string& line);
+  ShellResult run_background(const ParsedCommand& cmd, const std::string& line);
+  void remember(const std::string& line);
+
+  os::Kernel& kernel_;
+  std::map<std::string, CommandFactory> commands_;
+  std::deque<std::string> history_;
+  std::vector<Job> jobs_;
+  std::uint64_t next_history_id_ = 1;
+  std::uint64_t history_base_ = 1;  ///< id of history_.front()
+};
+
+}  // namespace cs31::shell

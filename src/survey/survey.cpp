@@ -1,0 +1,126 @@
+#include "survey/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::survey {
+
+std::vector<SurveyTopic> figure1_topics() {
+  // The Figure 1 x-axis: the PDC-facing subset of the curriculum's
+  // topics, in roughly the course's presentation order.
+  static const char* kNames[] = {
+      "memory hierarchy", "caching", "locality", "instruction execution",
+      "pipelining", "multicore", "process ID", "signals",
+      "concurrency", "multithreading", "pthreads",
+      "shared memory parallelization", "race conditions", "critical sections",
+      "synchronization", "producer-consumer", "deadlock", "speedup",
+      "Amdahl's Law",
+  };
+  const core::Curriculum& course = core::Curriculum::cs31();
+  std::vector<SurveyTopic> topics;
+  for (const char* name : kNames) {
+    topics.push_back(SurveyTopic{name, course.topic(name).emphasis});
+  }
+  return topics;
+}
+
+unsigned rate_topic(core::Emphasis emphasis, double ability, unsigned semesters_ago,
+                    double retention_loss, double noise) {
+  require(ability >= -1.0 && ability <= 1.0, "ability must be in [-1, 1]");
+  require(retention_loss >= 0.0, "retention loss cannot be negative");
+  // Base mastery right after CS 31: Mention ~ 2 (can define), Cover ~ 3
+  // (can analyze), Emphasize ~ 4 (can apply) — the paper's expectation
+  // that heavy topics reach application level and everything reaches
+  // recognition.
+  const double base = 1.0 + static_cast<double>(static_cast<int>(emphasis));
+  double r = base + ability - retention_loss * static_cast<double>(semesters_ago) + noise;
+  r = std::clamp(r, 0.0, 4.0);
+  return static_cast<unsigned>(std::lround(r));
+}
+
+namespace {
+
+/// Deterministic uniform in [0,1).
+double uniform(std::uint32_t& state) {
+  state = state * 1664525u + 1013904223u;
+  return static_cast<double>(state >> 8) / 16777216.0;
+}
+
+/// Deterministic roughly-normal in [-1, 1] (sum of uniforms, scaled).
+double spread(std::uint32_t& state) {
+  const double s = uniform(state) + uniform(state) + uniform(state);
+  return std::clamp((s - 1.5) / 1.5, -1.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<TopicResult> simulate(const std::vector<SurveyTopic>& topics,
+                                  const CohortConfig& config) {
+  require(!topics.empty(), "survey needs at least one topic");
+  require(config.students_per_semester >= 1 && config.semesters >= 1,
+          "cohort must be nonempty");
+
+  std::vector<TopicResult> results;
+  results.reserve(topics.size());
+  for (const SurveyTopic& t : topics) results.push_back(TopicResult{t.name, 0, 0, {}});
+  for (TopicResult& r : results) r.histogram.assign(5, 0);
+
+  std::uint32_t state = config.seed | 1u;
+  std::vector<std::vector<unsigned>> ratings(topics.size());
+
+  for (unsigned semester = 0; semester < config.semesters; ++semester) {
+    // Older cohorts took CS 31 longer ago ("up to two years" ~ 4 semesters).
+    const unsigned semesters_ago = semester % 5;
+    for (unsigned s = 0; s < config.students_per_semester; ++s) {
+      const double ability = spread(state) * config.ability_spread;
+      for (std::size_t i = 0; i < topics.size(); ++i) {
+        const double noise = spread(state) * 0.5;
+        const unsigned r = rate_topic(topics[i].emphasis, std::clamp(ability, -1.0, 1.0),
+                                      semesters_ago, config.retention_loss_per_semester,
+                                      noise);
+        ratings[i].push_back(r);
+        ++results[i].histogram[r];
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    std::vector<unsigned>& rs = ratings[i];
+    std::sort(rs.begin(), rs.end());
+    double sum = 0;
+    for (const unsigned r : rs) sum += r;
+    results[i].average = sum / static_cast<double>(rs.size());
+    const std::size_t mid = rs.size() / 2;
+    results[i].median = rs.size() % 2 == 1
+                            ? rs[mid]
+                            : (static_cast<double>(rs[mid - 1]) + rs[mid]) / 2.0;
+  }
+  return results;
+}
+
+std::string render_figure1(const std::vector<TopicResult>& results) {
+  std::ostringstream out;
+  out << "Figure 1: self-rated understanding of PDC topics (0..4 Bloom scale)\n";
+  out << std::string(72, '-') << '\n';
+  for (const TopicResult& r : results) {
+    out << r.name;
+    for (std::size_t i = r.name.size(); i < 32; ++i) out << ' ';
+    const int avg_bar = static_cast<int>(std::lround(r.average * 8));
+    out << "avg " << std::fixed;
+    out.precision(2);
+    out << r.average << " |";
+    for (int i = 0; i < avg_bar; ++i) out << '#';
+    out << "\n";
+    for (std::size_t i = 0; i < 32; ++i) out << ' ';
+    const int med_bar = static_cast<int>(std::lround(r.median * 8));
+    out << "med " << r.median << " |";
+    for (int i = 0; i < med_bar; ++i) out << '=';
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cs31::survey

@@ -1,0 +1,67 @@
+// The Figure 1 evaluation, simulated (DESIGN.md substitution: we cannot
+// survey ~300 human students, so a cohort model stands in). The paper's
+// survey asked upper-level students to rate their understanding of PDC
+// topics introduced in CS 31 on a Bloom-taxonomy scale:
+//   0 do not recognize .. 4 could apply to a problem.
+// The paper reports, per topic, the average and median rating, and
+// observes that heavily-emphasized topics score at deeper levels while
+// everything stays at or above recognition.
+//
+// The simulator derives each topic's base mastery from the curriculum
+// model's emphasis weight, perturbs it per student (ability) and per
+// elapsed time since CS 31 (retention decay — "for some of the students
+// surveyed, it has been up to two years"), clamps to the 0-4 scale, and
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/curriculum.hpp"
+
+namespace cs31::survey {
+
+/// One surveyed topic with its curriculum emphasis.
+struct SurveyTopic {
+  std::string name;
+  core::Emphasis emphasis = core::Emphasis::Cover;
+};
+
+/// The topic list of Figure 1 (pulled from the curriculum model).
+[[nodiscard]] std::vector<SurveyTopic> figure1_topics();
+
+/// Cohort configuration (defaults match the paper: ~60 students per
+/// semester across 5 offerings).
+struct CohortConfig {
+  unsigned students_per_semester = 60;
+  unsigned semesters = 5;
+  std::uint32_t seed = 2022;
+  double retention_loss_per_semester = 0.18;  ///< rating points forgotten per semester elapsed
+  double ability_spread = 0.9;                ///< student-to-student std-dev-ish spread
+};
+
+/// Aggregated result for one topic — one bar pair of Figure 1.
+struct TopicResult {
+  std::string name;
+  double average = 0;
+  double median = 0;
+  std::vector<unsigned> histogram = std::vector<unsigned>(5, 0);  ///< counts of ratings 0..4
+};
+
+/// Run the simulated survey over all topics.
+[[nodiscard]] std::vector<TopicResult> simulate(const std::vector<SurveyTopic>& topics,
+                                                const CohortConfig& config = {});
+
+/// Individual rating model, exposed for property tests: the rating of a
+/// student with `ability` in [-1, 1] who took CS 31 `semesters_ago`
+/// semesters ago, for a topic with the given emphasis.
+[[nodiscard]] unsigned rate_topic(core::Emphasis emphasis, double ability,
+                                  unsigned semesters_ago, double retention_loss,
+                                  double noise);
+
+/// Render the Figure 1 bar chart as ASCII (one row per topic, bars for
+/// average and median).
+[[nodiscard]] std::string render_figure1(const std::vector<TopicResult>& results);
+
+}  // namespace cs31::survey

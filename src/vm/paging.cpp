@@ -1,0 +1,194 @@
+#include "vm/paging.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::vm {
+
+PagingSystem::PagingSystem(const PagingConfig& config) : config_(config) {
+  require(std::has_single_bit(config.page_bytes) && config.page_bytes >= 16,
+          "page size must be a power of two >= 16");
+  require(config.virtual_pages >= 1, "need at least one virtual page");
+  require(config.physical_frames >= 1, "need at least one physical frame");
+  frames_.resize(config.physical_frames);
+  if (config.tlb_entries > 0) tlb_.emplace(config.tlb_entries);
+}
+
+std::uint32_t PagingSystem::create_process() {
+  const std::uint32_t pid = next_pid_++;
+  processes_[pid].table.resize(config_.virtual_pages);
+  if (!current_) current_ = pid;
+  return pid;
+}
+
+void PagingSystem::switch_to(std::uint32_t pid) {
+  require(processes_.contains(pid), "no such process");
+  if (current_ == pid) return;
+  current_ = pid;
+  ++stats_.context_switches;
+  if (tlb_) tlb_->flush();
+}
+
+std::uint32_t PagingSystem::current_process() const {
+  require(current_.has_value(), "no process exists yet");
+  return *current_;
+}
+
+std::uint32_t PagingSystem::pick_victim() {
+  switch (config_.replacement) {
+    case PageReplacement::Lru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t f = 1; f < frames_.size(); ++f) {
+        if (frames_[f].last_used < frames_[victim].last_used) victim = f;
+      }
+      return victim;
+    }
+    case PageReplacement::Fifo: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t f = 1; f < frames_.size(); ++f) {
+        if (frames_[f].filled_at < frames_[victim].filled_at) victim = f;
+      }
+      return victim;
+    }
+    case PageReplacement::Clock: {
+      // Second chance: sweep, clearing referenced bits, until a frame
+      // whose page is unreferenced comes under the hand. Terminates
+      // within two sweeps because cleared bits stay cleared.
+      for (std::uint32_t step = 0; step < 2 * frames_.size() + 1; ++step) {
+        const std::uint32_t f = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % static_cast<std::uint32_t>(frames_.size());
+        PageTableEntry& entry = processes_.at(frames_[f].pid).table[frames_[f].vpn];
+        if (entry.referenced) {
+          entry.referenced = false;  // second chance granted
+        } else {
+          return f;
+        }
+      }
+      return clock_hand_;  // unreachable; appeases control-flow analysis
+    }
+  }
+  return 0;
+}
+
+std::uint32_t PagingSystem::handle_fault(std::uint32_t vpn) {
+  // Find a free frame, or evict per the configured policy.
+  std::uint32_t victim = 0;
+  bool found_free = false;
+  for (std::uint32_t f = 0; f < frames_.size(); ++f) {
+    if (!frames_[f].used) {
+      victim = f;
+      found_free = true;
+      break;
+    }
+  }
+  if (!found_free) {
+    victim = pick_victim();
+    Frame& old = frames_[victim];
+    PageTableEntry& old_entry = processes_.at(old.pid).table[old.vpn];
+    ++stats_.evictions;
+    if (old_entry.dirty) ++stats_.dirty_writebacks;
+    old_entry.valid = false;
+    old_entry.dirty = false;
+    old_entry.on_disk = true;
+    old_entry.frame = 0;
+    if (tlb_ && old.pid == *current_) tlb_->invalidate(old.vpn);
+  }
+  Frame& frame = frames_[victim];
+  frame.used = true;
+  frame.pid = *current_;
+  frame.vpn = vpn;
+  frame.last_used = clock_;
+  frame.filled_at = clock_;
+  PageTableEntry& entry = processes_.at(*current_).table[vpn];
+  entry.valid = true;
+  entry.frame = victim;
+  return victim;
+}
+
+VmAccessResult PagingSystem::access(std::uint32_t virtual_address, bool is_write) {
+  require(current_.has_value(), "create a process before accessing memory");
+  const std::uint32_t vpn = virtual_address / config_.page_bytes;
+  const std::uint32_t offset = virtual_address % config_.page_bytes;
+  require(vpn < config_.virtual_pages, "virtual address outside the address space");
+
+  ++clock_;
+  ++stats_.accesses;
+  VmAccessResult result;
+  Process& proc = processes_.at(*current_);
+  PageTableEntry& entry = proc.table[vpn];
+
+  if (tlb_) {
+    if (const std::optional<std::uint32_t> frame = tlb_->lookup(vpn)) {
+      // TLB hit: translation without touching the page table.
+      result.tlb_hit = true;
+      frames_[*frame].last_used = clock_;
+      entry.referenced = true;
+      if (is_write) entry.dirty = true;
+      result.physical_address = *frame * config_.page_bytes + offset;
+      return result;
+    }
+  }
+
+  if (!entry.valid) {
+    result.page_fault = true;
+    ++stats_.page_faults;
+    const std::uint64_t evictions_before = stats_.evictions;
+    const std::uint64_t writebacks_before = stats_.dirty_writebacks;
+    handle_fault(vpn);
+    result.evicted = stats_.evictions != evictions_before;
+    result.dirty_writeback = stats_.dirty_writebacks != writebacks_before;
+  }
+
+  entry.referenced = true;
+  if (is_write) entry.dirty = true;
+  frames_[entry.frame].last_used = clock_;
+  if (tlb_) tlb_->insert(vpn, entry.frame);
+  result.physical_address = entry.frame * config_.page_bytes + offset;
+  return result;
+}
+
+std::optional<std::uint32_t> PagingSystem::translate(std::uint32_t virtual_address) const {
+  require(current_.has_value(), "create a process before translating");
+  const std::uint32_t vpn = virtual_address / config_.page_bytes;
+  require(vpn < config_.virtual_pages, "virtual address outside the address space");
+  const PageTableEntry& entry = processes_.at(*current_).table[vpn];
+  if (!entry.valid) return std::nullopt;
+  return entry.frame * config_.page_bytes + virtual_address % config_.page_bytes;
+}
+
+const PageTableEntry& PagingSystem::entry(std::uint32_t pid, std::uint32_t vpn) const {
+  require(processes_.contains(pid), "no such process");
+  require(vpn < config_.virtual_pages, "virtual page number out of range");
+  return processes_.at(pid).table[vpn];
+}
+
+const TlbStats* PagingSystem::tlb_stats() const {
+  return tlb_ ? &tlb_->stats() : nullptr;
+}
+
+std::uint32_t PagingSystem::frames_used() const {
+  std::uint32_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.used) ++n;
+  }
+  return n;
+}
+
+std::string PagingSystem::dump_frames() const {
+  std::ostringstream out;
+  out << "frame  contents\n";
+  for (std::uint32_t f = 0; f < frames_.size(); ++f) {
+    out << f << "      ";
+    if (frames_[f].used) {
+      out << "pid " << frames_[f].pid << ", vpn " << frames_[f].vpn;
+    } else {
+      out << "(free)";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cs31::vm

@@ -1,0 +1,130 @@
+// Single-level paged virtual memory (CS 31 "Operating Systems" / the
+// "Virtual memory 1/2" homeworks): per-process page tables, virtual-to-
+// physical translation, demand paging with page faults, LRU frame
+// replacement across processes, dirty-page writeback, context switching
+// that changes the active page table (and flushes the TLB), and an
+// optional TLB accelerating translation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vm/tlb.hpp"
+
+namespace cs31::vm {
+
+/// Frame-replacement policy. The course teaches LRU; FIFO and Clock
+/// (second chance) exist for the ablation bench.
+enum class PageReplacement { Lru, Fifo, Clock };
+
+/// Geometry of the paging system.
+struct PagingConfig {
+  std::uint32_t page_bytes = 4096;    ///< power of two
+  std::uint32_t virtual_pages = 64;   ///< pages per address space
+  std::uint32_t physical_frames = 8;  ///< frames of RAM
+  std::uint32_t tlb_entries = 0;      ///< 0 = no TLB
+  PageReplacement replacement = PageReplacement::Lru;
+};
+
+/// One page-table entry, exactly the fields the homework tables carry.
+struct PageTableEntry {
+  bool valid = false;       ///< resident in RAM
+  bool dirty = false;
+  bool referenced = false;
+  bool on_disk = false;     ///< has been paged out at least once
+  std::uint32_t frame = 0;
+};
+
+/// What one memory access did.
+struct VmAccessResult {
+  std::uint32_t physical_address = 0;
+  bool page_fault = false;
+  bool evicted = false;          ///< another page lost its frame
+  bool dirty_writeback = false;  ///< the evicted page was dirty
+  bool tlb_hit = false;
+};
+
+/// Cumulative statistics.
+struct VmStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+  std::uint64_t context_switches = 0;
+
+  [[nodiscard]] double fault_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(page_faults) / static_cast<double>(accesses);
+  }
+};
+
+/// A paging system hosting multiple processes that share RAM frames.
+class PagingSystem {
+ public:
+  /// Throws cs31::Error for non-power-of-two pages or zero frames.
+  explicit PagingSystem(const PagingConfig& config);
+
+  /// Create a process (empty page table); returns its pid. The first
+  /// created process becomes current.
+  std::uint32_t create_process();
+
+  /// Context switch: subsequent accesses use this process's page table;
+  /// the TLB (if any) is flushed. Throws on unknown pid.
+  void switch_to(std::uint32_t pid);
+
+  [[nodiscard]] std::uint32_t current_process() const;
+
+  /// Access a virtual address in the current process. Faults in the
+  /// page on demand, evicting the globally least-recently-used page if
+  /// RAM is full. Throws cs31::Error when the address is outside the
+  /// virtual address space.
+  VmAccessResult access(std::uint32_t virtual_address, bool is_write);
+
+  /// Translate without faulting; nullopt when the page is not resident.
+  [[nodiscard]] std::optional<std::uint32_t> translate(std::uint32_t virtual_address) const;
+
+  /// Inspect a page-table entry of any process (homework tables).
+  [[nodiscard]] const PageTableEntry& entry(std::uint32_t pid, std::uint32_t vpn) const;
+
+  [[nodiscard]] const VmStats& stats() const { return stats_; }
+  [[nodiscard]] const TlbStats* tlb_stats() const;
+  [[nodiscard]] const PagingConfig& config() const { return config_; }
+
+  /// Number of frames currently in use.
+  [[nodiscard]] std::uint32_t frames_used() const;
+
+  /// Render the frame table (frame -> pid:vpn), the RAM column of the
+  /// homework's paging-trace tables.
+  [[nodiscard]] std::string dump_frames() const;
+
+ private:
+  struct Frame {
+    bool used = false;
+    std::uint32_t pid = 0;
+    std::uint32_t vpn = 0;
+    std::uint64_t last_used = 0;
+    std::uint64_t filled_at = 0;  // FIFO age
+  };
+
+  [[nodiscard]] std::uint32_t pick_victim();
+  struct Process {
+    std::vector<PageTableEntry> table;
+  };
+
+  std::uint32_t handle_fault(std::uint32_t vpn);
+
+  PagingConfig config_;
+  std::map<std::uint32_t, Process> processes_;
+  std::vector<Frame> frames_;
+  std::uint32_t next_pid_ = 1;
+  std::optional<std::uint32_t> current_;
+  std::optional<Tlb> tlb_;
+  std::uint64_t clock_ = 0;
+  std::uint32_t clock_hand_ = 0;  // Clock policy's sweep position
+  VmStats stats_;
+};
+
+}  // namespace cs31::vm

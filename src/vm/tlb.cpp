@@ -1,0 +1,65 @@
+#include "vm/tlb.hpp"
+
+#include "common/error.hpp"
+
+namespace cs31::vm {
+
+Tlb::Tlb(std::uint32_t entries) : entries_(entries), capacity_(entries) {
+  require(entries >= 1, "TLB needs at least one entry");
+}
+
+std::optional<std::uint32_t> Tlb::lookup(std::uint32_t vpn) {
+  ++clock_;
+  ++stats_.lookups;
+  for (Entry& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      ++stats_.hits;
+      e.last_used = clock_;
+      return e.frame;
+    }
+  }
+  return std::nullopt;
+}
+
+void Tlb::insert(std::uint32_t vpn, std::uint32_t frame) {
+  ++clock_;
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (e.valid && e.vpn == vpn) { victim = &e; break; }  // refresh existing
+    if (!e.valid && victim == nullptr) victim = &e;
+  }
+  if (victim == nullptr) {
+    victim = &entries_[0];
+    for (Entry& e : entries_) {
+      if (e.last_used < victim->last_used) victim = &e;
+    }
+  }
+  *victim = Entry{.valid = true, .vpn = vpn, .frame = frame, .last_used = clock_};
+}
+
+void Tlb::invalidate(std::uint32_t vpn) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.vpn == vpn) e.valid = false;
+  }
+}
+
+void Tlb::flush() {
+  for (Entry& e : entries_) e.valid = false;
+  ++stats_.flushes;
+}
+
+double effective_access_time_ns(double tlb_hit_rate, double fault_rate, double mem_ns,
+                                double tlb_ns, double fault_penalty_ns) {
+  require(tlb_hit_rate >= 0 && tlb_hit_rate <= 1, "TLB hit rate must be in [0, 1]");
+  require(fault_rate >= 0 && fault_rate <= 1, "fault rate must be in [0, 1]");
+  // Every access: TLB probe + the data access itself.
+  double eat = tlb_ns + mem_ns;
+  // TLB misses add a page-table walk (one extra memory access for the
+  // single-level tables the course teaches).
+  eat += (1.0 - tlb_hit_rate) * mem_ns;
+  // Faults add the demand-paging penalty.
+  eat += fault_rate * fault_penalty_ns;
+  return eat;
+}
+
+}  // namespace cs31::vm

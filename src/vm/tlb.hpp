@@ -1,0 +1,67 @@
+// Translation lookaside buffer (CS 31 "TLB caching of address
+// translations to speed-up effective memory access time"): a small,
+// fully-associative, LRU-replaced cache of VPN -> PFN mappings, flushed
+// on context switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cs31::vm {
+
+/// TLB statistics.
+struct TlbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t flushes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class Tlb {
+ public:
+  /// Throws cs31::Error when entries == 0.
+  explicit Tlb(std::uint32_t entries);
+
+  /// Look up a virtual page number; returns the frame on a hit.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(std::uint32_t vpn);
+
+  /// Install a translation (LRU-evicting if full).
+  void insert(std::uint32_t vpn, std::uint32_t frame);
+
+  /// Drop one translation (on page eviction).
+  void invalidate(std::uint32_t vpn);
+
+  /// Drop everything (on context switch).
+  void flush();
+
+  [[nodiscard]] const TlbStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t vpn = 0;
+    std::uint32_t frame = 0;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<Entry> entries_;
+  std::uint32_t capacity_;
+  std::uint64_t clock_ = 0;
+  TlbStats stats_;
+};
+
+/// The course's effective-access-time formula with both a TLB and the
+/// possibility of page faults:
+///   EAT = tlb_ns + mem_ns                          on a TLB hit
+///       + (1-tlb_hit)*mem_ns                       page-table walk
+///       + fault_rate * fault_penalty_ns            demand paging
+/// averaged over accesses.
+[[nodiscard]] double effective_access_time_ns(double tlb_hit_rate, double fault_rate,
+                                              double mem_ns, double tlb_ns,
+                                              double fault_penalty_ns);
+
+}  // namespace cs31::vm

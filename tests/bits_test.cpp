@@ -1,0 +1,330 @@
+// Unit and property tests for the bits module: two's-complement words,
+// width-limited arithmetic flags, base conversion, IEEE-754 fields, and
+// the C type model.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "bits/convert.hpp"
+#include "bits/ctypes.hpp"
+#include "bits/float32.hpp"
+#include "bits/integer.hpp"
+#include "common/error.hpp"
+
+namespace cs31::bits {
+namespace {
+
+TEST(Word, ConstructsAndReadsBothSignednesses) {
+  const Word w(0xFF, 8);
+  EXPECT_EQ(w.as_unsigned(), 255u);
+  EXPECT_EQ(w.as_signed(), -1);
+  EXPECT_TRUE(w.msb());
+}
+
+TEST(Word, RejectsBadWidthAndOverflowingPattern) {
+  EXPECT_THROW(Word(0, 0), Error);
+  EXPECT_THROW(Word(0, 65), Error);
+  EXPECT_THROW(Word(0x100, 8), Error);
+  EXPECT_NO_THROW(Word(0xFF, 8));
+}
+
+TEST(Word, FromSignedChecksRange) {
+  EXPECT_EQ(Word::from_signed(-128, 8).as_unsigned(), 0x80u);
+  EXPECT_EQ(Word::from_signed(127, 8).as_unsigned(), 0x7Fu);
+  EXPECT_THROW(Word::from_signed(128, 8), Error);
+  EXPECT_THROW(Word::from_signed(-129, 8), Error);
+}
+
+TEST(Word, FromUnsignedChecksRange) {
+  EXPECT_EQ(Word::from_unsigned(255, 8).as_unsigned(), 255u);
+  EXPECT_THROW(Word::from_unsigned(256, 8), Error);
+}
+
+TEST(Word, SignExtensionReplicatesTopBit) {
+  const Word neg = Word::from_signed(-5, 8);
+  EXPECT_EQ(neg.sign_extend(16).as_signed(), -5);
+  EXPECT_EQ(neg.sign_extend(16).as_unsigned(), 0xFFFBu);
+  const Word pos = Word::from_signed(5, 8);
+  EXPECT_EQ(pos.sign_extend(16).as_unsigned(), 5u);
+}
+
+TEST(Word, ZeroExtensionKeepsPattern) {
+  const Word w(0xFF, 8);
+  EXPECT_EQ(w.zero_extend(16).as_unsigned(), 0xFFu);
+  EXPECT_EQ(w.zero_extend(16).as_signed(), 255);
+}
+
+TEST(Word, TruncationIsNarrowingCast) {
+  const Word w(0x1FF, 16);
+  EXPECT_EQ(w.truncate(8).as_unsigned(), 0xFFu);
+  EXPECT_THROW(w.truncate(17), Error);
+}
+
+TEST(Word, BitAccess) {
+  const Word w(0b1010, 4);
+  EXPECT_FALSE(w.bit(0));
+  EXPECT_TRUE(w.bit(1));
+  EXPECT_FALSE(w.bit(2));
+  EXPECT_TRUE(w.bit(3));
+  EXPECT_THROW(w.bit(4), Error);
+  EXPECT_THROW(w.bit(-1), Error);
+}
+
+TEST(Arith, AddSetsCarryOnUnsignedOverflow) {
+  const ArithResult r = add(Word(0xFF, 8), Word(1, 8));
+  EXPECT_EQ(r.pattern, 0u);
+  EXPECT_TRUE(r.flags.carry);
+  EXPECT_TRUE(r.flags.zero);
+  EXPECT_FALSE(r.flags.overflow);  // -1 + 1 = 0 is fine in signed terms
+}
+
+TEST(Arith, AddSetsOverflowOnSignedOverflow) {
+  const ArithResult r = add(Word(0x7F, 8), Word(1, 8));  // 127 + 1
+  EXPECT_EQ(r.pattern, 0x80u);
+  EXPECT_TRUE(r.flags.overflow);
+  EXPECT_FALSE(r.flags.carry);
+  EXPECT_TRUE(r.flags.sign);
+}
+
+TEST(Arith, SubBorrow) {
+  const ArithResult r = sub(Word(0, 8), Word(1, 8));
+  EXPECT_EQ(r.pattern, 0xFFu);
+  EXPECT_TRUE(r.flags.carry);  // borrow
+  EXPECT_TRUE(r.flags.sign);
+}
+
+TEST(Arith, SubSignedOverflow) {
+  // -128 - 1 overflows at 8 bits.
+  const ArithResult r = sub(Word(0x80, 8), Word(1, 8));
+  EXPECT_EQ(r.pattern, 0x7Fu);
+  EXPECT_TRUE(r.flags.overflow);
+}
+
+TEST(Arith, WidthMismatchThrows) {
+  EXPECT_THROW(add(Word(0, 8), Word(0, 16)), Error);
+  EXPECT_THROW(sub(Word(0, 8), Word(0, 16)), Error);
+}
+
+TEST(Arith, NegateMinValueOverflows) {
+  const ArithResult r = Word(0x80, 8).negate();
+  EXPECT_EQ(r.pattern, 0x80u);  // -(-128) == -128 at 8 bits
+  EXPECT_TRUE(r.flags.overflow);
+}
+
+TEST(Arith, Width64CarryDetection) {
+  const Word max64 = Word::from_unsigned(~std::uint64_t{0}, 64);
+  const ArithResult r = add(max64, Word(1, 64));
+  EXPECT_EQ(r.pattern, 0u);
+  EXPECT_TRUE(r.flags.carry);
+}
+
+// Property sweep: at every width, signed arithmetic through Word matches
+// host arithmetic whenever the true result is representable, and flags
+// report exactly the unrepresentable cases.
+class ArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithProperty, AddMatchesHostWhenRepresentable) {
+  const int w = GetParam();
+  const std::int64_t lo = min_signed(w), hi = max_signed(w);
+  // Walk a grid of interesting values at this width.
+  std::vector<std::int64_t> samples;
+  for (const std::int64_t v : {lo, lo + 1, std::int64_t{-2}, std::int64_t{-1},
+                               std::int64_t{0}, std::int64_t{1}, std::int64_t{2},
+                               hi - 1, hi}) {
+    if (v >= lo && v <= hi) samples.push_back(v);
+  }
+  for (const std::int64_t a : samples) {
+    for (const std::int64_t b : samples) {
+      const ArithResult r = add(Word::from_signed(a, w), Word::from_signed(b, w));
+      const std::int64_t true_sum = a + b;  // samples are small enough at w<=62
+      const bool representable = true_sum >= lo && true_sum <= hi;
+      EXPECT_EQ(r.flags.overflow, !representable) << "w=" << w << " a=" << a << " b=" << b;
+      if (representable) {
+        EXPECT_EQ(Word(r.pattern, w).as_signed(), true_sum)
+            << "w=" << w << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(ArithProperty, SubIsAddOfNegation) {
+  const int w = GetParam();
+  std::vector<std::int64_t> samples;
+  for (const std::int64_t v :
+       {min_signed(w), std::int64_t{-3}, std::int64_t{0}, std::int64_t{1}, max_signed(w)}) {
+    if (v >= min_signed(w) && v <= max_signed(w)) samples.push_back(v);
+  }
+  for (const std::int64_t a : samples) {
+    for (const std::int64_t b : samples) {
+      const Word wa = Word::from_signed(a, w), wb = Word::from_signed(b, w);
+      const ArithResult d = sub(wa, wb);
+      // a - b and a + (-b) agree bit-for-bit (mod 2^w).
+      const std::uint64_t expected =
+          (wa.pattern() + (~wb.pattern() + 1)) & low_mask(w);
+      EXPECT_EQ(d.pattern, expected) << "w=" << w << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(ArithProperty, RangesAreConsistent) {
+  const int w = GetParam();
+  EXPECT_EQ(static_cast<std::uint64_t>(max_signed(w)) * 2 + 1, max_unsigned(w));
+  EXPECT_EQ(min_signed(w), -max_signed(w) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArithProperty,
+                         ::testing::Values(2, 3, 4, 7, 8, 12, 16, 24, 31, 32, 48, 62));
+
+TEST(Convert, BinaryRendering) {
+  EXPECT_EQ(to_binary(0b1010, 4), "1010");
+  EXPECT_EQ(to_binary(1, 8), "00000001");
+  EXPECT_EQ(to_binary_grouped(0xAB, 8), "1010 1011");
+  EXPECT_EQ(to_binary_grouped(0x15, 6), "01 0101");
+}
+
+TEST(Convert, HexRendering) {
+  EXPECT_EQ(to_hex(0xDEADBEEF, 32), "0xdeadbeef");
+  EXPECT_EQ(to_hex(0x5, 6), "0x05");  // rounds up to whole nibbles
+}
+
+TEST(Convert, ParseBinary) {
+  EXPECT_EQ(parse_binary("1010"), 10u);
+  EXPECT_EQ(parse_binary("0b1010"), 10u);
+  EXPECT_EQ(parse_binary("10 10"), 10u);
+  EXPECT_THROW(parse_binary(""), Error);
+  EXPECT_THROW(parse_binary("102"), Error);
+  EXPECT_THROW(parse_binary(std::string(65, '1')), Error);
+}
+
+TEST(Convert, ParseHex) {
+  EXPECT_EQ(parse_hex("0xFF"), 255u);
+  EXPECT_EQ(parse_hex("ff"), 255u);
+  EXPECT_EQ(parse_hex("DeadBeef"), 0xDEADBEEFu);
+  EXPECT_THROW(parse_hex("0xG"), Error);
+  EXPECT_THROW(parse_hex("11112222333344445"), Error);
+}
+
+TEST(Convert, ParseDecimalSignedAndUnsigned) {
+  EXPECT_EQ(parse_decimal("255", 8).as_unsigned(), 255u);
+  EXPECT_EQ(parse_decimal("-1", 8).as_unsigned(), 0xFFu);
+  EXPECT_EQ(parse_decimal("-128", 8).as_signed(), -128);
+  EXPECT_THROW(parse_decimal("-129", 8), Error);
+  EXPECT_THROW(parse_decimal("256", 8), Error);
+  EXPECT_THROW(parse_decimal("12a", 8), Error);
+  EXPECT_THROW(parse_decimal("", 8), Error);
+}
+
+TEST(Convert, RoundTripsAcrossBases) {
+  for (const std::uint64_t v : {0ull, 1ull, 0x7Full, 0x80ull, 0xFFull}) {
+    EXPECT_EQ(parse_binary(to_binary(v, 8)), v);
+    EXPECT_EQ(parse_hex(to_hex(v, 8)), v);
+  }
+}
+
+TEST(Convert, ConversionRowMatchesHomeworkExample) {
+  // The homework's canonical example: 0xA3 as an 8-bit value.
+  const ConversionRow row = conversion_row(Word(0xA3, 8));
+  EXPECT_EQ(row.binary, "1010 0011");
+  EXPECT_EQ(row.hex, "0xa3");
+  EXPECT_EQ(row.as_unsigned, 163u);
+  EXPECT_EQ(row.as_signed, -93);
+}
+
+TEST(Float32, DecomposesOne) {
+  const Float32Fields f = decompose(1.0f);
+  EXPECT_FALSE(f.sign);
+  EXPECT_EQ(f.exponent, 127u);
+  EXPECT_EQ(f.fraction, 0u);
+  EXPECT_EQ(f.cls, FloatClass::Normal);
+  EXPECT_EQ(f.unbiased_exponent(), 0);
+  EXPECT_DOUBLE_EQ(value_of(f), 1.0);
+}
+
+TEST(Float32, ClassifiesSpecials) {
+  EXPECT_EQ(decompose(0.0f).cls, FloatClass::Zero);
+  EXPECT_EQ(decompose(0x80000000u).cls, FloatClass::Zero);  // -0
+  EXPECT_EQ(decompose(0x7F800000u).cls, FloatClass::Infinity);
+  EXPECT_EQ(decompose(0x7F800001u).cls, FloatClass::NaN);
+  EXPECT_EQ(decompose(0x00000001u).cls, FloatClass::Denormal);
+}
+
+TEST(Float32, ValueMatchesBitCastForSamples) {
+  const float samples[] = {0.5f, -2.75f, 100.0f, 3.14159f, 1e-20f, -1e20f};
+  for (const float v : samples) {
+    EXPECT_NEAR(value_of(decompose(v)), static_cast<double>(v),
+                std::abs(static_cast<double>(v)) * 1e-7);
+  }
+}
+
+TEST(Float32, ComposeRoundTrips) {
+  const std::uint32_t pattern = std::bit_cast<std::uint32_t>(-2.5f);
+  const Float32Fields f = decompose(pattern);
+  EXPECT_EQ(compose(f.sign, f.exponent, f.fraction), pattern);
+  EXPECT_THROW(compose(false, 256, 0), Error);
+  EXPECT_THROW(compose(false, 0, 1u << 23), Error);
+}
+
+// Property sweep: for every exponent value and a band of fractions, the
+// textbook-formula value agrees with the hardware bit-cast reading.
+class Float32Sweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Float32Sweep, FormulaMatchesHardwareAcrossAllExponents) {
+  const std::uint32_t fraction = GetParam();
+  for (std::uint32_t exponent = 0; exponent <= 0xFF; ++exponent) {
+    for (const bool sign : {false, true}) {
+      const std::uint32_t pattern = compose(sign, exponent, fraction);
+      const Float32Fields f = decompose(pattern);
+      const float hw = std::bit_cast<float>(pattern);
+      if (f.cls == FloatClass::NaN) {
+        EXPECT_NE(hw, hw) << "hardware agrees it is NaN";
+        EXPECT_NE(value_of(f), value_of(f));
+        continue;
+      }
+      EXPECT_EQ(value_of(f), static_cast<double>(hw))
+          << "sign=" << sign << " exp=" << exponent << " frac=" << fraction;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionBand, Float32Sweep,
+                         ::testing::Values(0u, 1u, 0x400000u, 0x7FFFFFu, 0x155555u));
+
+TEST(Float32, DescribeMentionsClass) {
+  EXPECT_NE(describe(decompose(1.5f)).find("normal"), std::string::npos);
+  EXPECT_NE(describe(decompose(0.0f)).find("zero"), std::string::npos);
+}
+
+TEST(CTypes, SizesMatchCourseMachines) {
+  EXPECT_EQ(ctype_info(CType::Int).size_bytes, 4);
+  EXPECT_EQ(ctype_info(CType::Char).size_bytes, 1);
+  EXPECT_EQ(ctype_info(CType::Long).size_bytes, 8);
+  EXPECT_EQ(ctype_info(CType::Pointer).size_bytes, 8);
+}
+
+TEST(CTypes, RangesMatchTwoComplement) {
+  EXPECT_EQ(ctype_min(CType::Int), -2147483648ll);
+  EXPECT_EQ(ctype_max(CType::Int), 2147483647ull);
+  EXPECT_EQ(ctype_min(CType::UnsignedChar), 0);
+  EXPECT_EQ(ctype_max(CType::UnsignedChar), 255ull);
+  EXPECT_THROW(ctype_min(CType::Float), Error);
+}
+
+TEST(CTypes, IncrementWrapsAtTypeMax) {
+  // Lab 1's demonstration: INT_MAX + 1 wraps to INT_MIN.
+  const Word max_int = Word::from_signed(2147483647, 32);
+  const Word wrapped = ctype_increment(CType::Int, max_int);
+  EXPECT_EQ(wrapped.as_signed(), -2147483648ll);
+  EXPECT_THROW(ctype_increment(CType::Int, Word(0, 8)), Error);
+}
+
+TEST(CTypes, TableListsEveryType) {
+  const std::string table = ctype_table();
+  for (const CTypeInfo& info : all_ctypes()) {
+    EXPECT_NE(table.find(info.name), std::string::npos) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace cs31::bits

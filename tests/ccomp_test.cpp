@@ -1,0 +1,203 @@
+// Mini-C compiler tests: lexer, parser diagnostics, and — the real
+// grader — compile-and-run programs executed on the IA-32 subset
+// machine, cross-checked against natively computed expectations.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ccomp/codegen.hpp"
+#include "ccomp/lexer.hpp"
+#include "ccomp/parser.hpp"
+#include "common/error.hpp"
+
+namespace cs31::cc {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  const auto tokens = lex("int x = a <= 3 && b != ~4; // comment\nreturn x << 1;");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokKind::KwInt);
+  EXPECT_EQ(tokens[1].kind, TokKind::Ident);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[4].kind, TokKind::LessEq);
+  EXPECT_EQ(tokens[6].kind, TokKind::AmpAmp);
+  EXPECT_EQ(tokens.back().kind, TokKind::End);
+}
+
+TEST(Lexer, TracksLinesAndRejectsStrays) {
+  const auto tokens = lex("int a;\nint b;\n");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[3].line, 2);
+  EXPECT_THROW(lex("int @;"), Error);
+  EXPECT_THROW(lex("int x = 99999999999;"), Error);
+}
+
+TEST(Parser, BuildsPrecedenceCorrectly) {
+  const ProgramAst p = parse("int main() { return 2 + 3 * 4; }");
+  const Stmt& ret = *p.functions[0].body[0];
+  ASSERT_EQ(ret.kind, Stmt::Kind::Return);
+  EXPECT_EQ(ret.expr->bin_op, BinOp::Add);
+  EXPECT_EQ(ret.expr->rhs->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, DiagnosticsCarryLines) {
+  try {
+    (void)parse("int main() {\n  return 1 +;\n}");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)parse("int f() {} int f() {}"), Error);
+  EXPECT_THROW((void)parse(""), Error);
+  EXPECT_THROW((void)parse("int main() { return 6 / 2; }"), Error)
+      << "division is explicitly unsupported";
+}
+
+TEST(Codegen, EmitsTheCoursePrologue) {
+  const std::string assembly = compile_to_assembly("int main() { int x = 1; return x; }");
+  EXPECT_NE(assembly.find("pushl %ebp"), std::string::npos);
+  EXPECT_NE(assembly.find("movl %esp, %ebp"), std::string::npos);
+  EXPECT_NE(assembly.find("subl $4, %esp"), std::string::npos);
+  EXPECT_NE(assembly.find("-4(%ebp)"), std::string::npos);
+  EXPECT_NE(assembly.find("leave"), std::string::npos);
+}
+
+TEST(Codegen, SemanticErrors) {
+  EXPECT_THROW((void)run_mini_c("int main() { return y; }"), Error);
+  EXPECT_THROW((void)run_mini_c("int main() { int x; int x; return 0; }"), Error);
+  EXPECT_THROW((void)run_mini_c("int main() { return f(1); }"), Error);
+  EXPECT_THROW((void)run_mini_c("int f(int a) { return a; } int main() { return f(); }"),
+               Error);
+  EXPECT_THROW((void)run_mini_c("int f() { return 0; }"), Error) << "no main";
+  EXPECT_THROW((void)run_mini_c("int main(int a) { return a; }", {}), Error)
+      << "arity vs supplied args";
+}
+
+// ---- compile-and-run: every case runs on the emulated machine ----
+
+struct RunCase {
+  const char* name;
+  const char* source;
+  std::vector<std::int32_t> args;
+  std::int32_t expected;
+};
+
+class CompileAndRun : public ::testing::TestWithParam<RunCase> {};
+
+TEST_P(CompileAndRun, ProducesTheNativeAnswer) {
+  const RunCase& c = GetParam();
+  EXPECT_EQ(run_mini_c(c.source, c.args), c.expected) << c.source;
+}
+
+const RunCase kCases[] = {
+    {"constant", "int main() { return 42; }", {}, 42},
+    {"arith_precedence", "int main() { return 2 + 3 * 4 - 1; }", {}, 13},
+    {"parens", "int main() { return (2 + 3) * 4; }", {}, 20},
+    {"unary_neg", "int main() { return -7 + 10; }", {}, 3},
+    {"bitwise", "int main() { return (12 & 10) | (1 ^ 3); }", {}, 8 | 2},
+    {"bitnot", "int main() { return ~0; }", {}, -1},
+    {"shifts", "int main() { return (1 << 5) + (-16 >> 2); }", {}, 32 - 4},
+    {"locals_and_assign",
+     "int main() { int x = 3; int y; y = x * x; x = y + 1; return x; }", {}, 10},
+    {"comparisons",
+     "int main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5) + (5 == 5) + "
+     "(6 != 6); }",
+     {}, 3},
+    {"negative_compares", "int main() { return (0-1 < 1) + (0-5 > 0-3); }", {}, 1},
+    {"logical_and_or",
+     "int main() { return (1 && 2) + (0 || 0) + (0 && 1) + (3 || 0); }", {}, 2},
+    {"logical_not", "int main() { return !0 + !7; }", {}, 1},
+    {"if_else",
+     "int main(int n) { if (n > 10) { return 1; } else { return 2; } }", {11}, 1},
+    {"if_else_taken_else",
+     "int main(int n) { if (n > 10) { return 1; } else { return 2; } }", {9}, 2},
+    {"dangling_else",
+     "int main(int n) { if (n > 0) if (n > 5) return 1; else return 2; return 3; }",
+     {3}, 2},
+    {"while_sum", "int main(int n) { int s = 0; int i = 1; while (i <= n) { s = s + i; "
+                  "i = i + 1; } return s; }",
+     {100}, 5050},
+    {"args_order", "int main(int a, int b) { return a - b; }", {10, 3}, 7},
+    {"call_chain",
+     "int sq(int x) { return x * x; } int main(int n) { return sq(n) + sq(n + 1); }",
+     {3}, 25},
+    {"recursion_factorial",
+     "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } "
+     "int main(int n) { return fact(n); }",
+     {6}, 720},
+    {"recursion_fib",
+     "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); } "
+     "int main(int n) { return fib(n); }",
+     {12}, 144},
+    {"mutual_recursion",
+     "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); } "
+     "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); } "
+     "int main(int n) { return is_even(n); }",
+     {10}, 1},
+    {"gcd_by_subtraction",
+     "int gcd(int a, int b) { while (a != b) { if (a > b) { a = a - b; } else "
+     "{ b = b - a; } } return a; } int main() { return gcd(48, 36); }",
+     {}, 12},
+    {"implicit_return_zero", "int main() { int x = 5; x = x + 1; }", {}, 0},
+    {"void_return", "void side(int x) { return; } int main() { side(1); return 9; }",
+     {}, 9},
+    {"overflow_wraps",
+     "int main() { int x = 2147483647; return x + 1 < 0; }", {}, 1},
+    {"shadow_free_blocks",
+     "int main() { int total = 0; { int inner = 2; total = total + inner; } "
+     "return total; }",
+     {}, 2},
+    {"for_loop",
+     "int main(int n) { int s = 0; for (int i = 1; i <= n; i = i + 1) { s = s + i; } "
+     "return s; }",
+     {10}, 55},
+    {"for_empty_sections",
+     "int main() { int i = 0; for (;;) { i = i + 1; if (i == 7) return i; } }", {}, 7},
+    {"for_no_init",
+     "int main() { int i = 3; int s = 0; for (; i > 0; i = i - 1) s = s + i; "
+     "return s; }",
+     {}, 6},
+    {"nested_for",
+     "int main() { int s = 0; for (int r = 0; r < 4; r = r + 1) "
+     "for (int c = 0; c < 3; c = c + 1) s = s + 1; return s; }",
+     {}, 12},
+    {"three_args", "int f(int a, int b, int c) { return a * 100 + b * 10 + c; } "
+                   "int main() { return f(1, 2, 3); }",
+     {}, 123},
+    {"expression_args",
+     "int f(int a, int b) { return a - b; } int main() { return f(2 * 3, 1 + 1); }",
+     {}, 4},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, CompileAndRun, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<RunCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(CompileAndRun, MutualRecursionNeedsNoPrototypes) {
+  // All function names are visible program-wide (two-pass, like the
+  // assembler's labels).
+  EXPECT_EQ(run_mini_c("int a(int n) { if (n == 0) return 7; return b(n - 1); } "
+                       "int b(int n) { return a(n); } int main() { return a(5); }"),
+            7);
+}
+
+TEST(CompileAndRun, DeepRecursionUsesTheRealStack) {
+  // 1000 frames through the emulated stack.
+  EXPECT_EQ(run_mini_c("int depth(int n) { if (n == 0) return 0; "
+                       "return 1 + depth(n - 1); } int main() { return depth(1000); }"),
+            1000);
+}
+
+TEST(CompileAndRun, ShortCircuitSkipsSideEffects) {
+  // If && evaluated its rhs eagerly, g() would flip the global-ish
+  // variable via an argument round trip; encode with a counter carried
+  // through returns instead (mini-C has no globals).
+  EXPECT_EQ(run_mini_c("int boom(int x) { while (1) { x = x; } return x; } "
+                       "int main() { if (0 && boom(1)) { return 1; } return 2; }"),
+            2)
+      << "rhs must not run: boom() never terminates";
+}
+
+}  // namespace
+}  // namespace cs31::cc

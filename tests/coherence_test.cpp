@@ -1,0 +1,138 @@
+// MSI coherence protocol tests: the canonical state-transition table,
+// invalidation/downgrade behaviour, false-sharing accounting, and a
+// single-writer-or-readers invariant checked under random traffic.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "memhier/coherence.hpp"
+
+namespace cs31::memhier {
+namespace {
+
+TEST(Msi, ReadThenReadIsSharedEverywhere) {
+  MsiSystem sys(2);
+  const CoherenceResult r0 = sys.access(0, 0x100, false);
+  EXPECT_FALSE(r0.hit);
+  EXPECT_EQ(r0.new_state, MsiState::Shared);
+  const CoherenceResult r1 = sys.access(1, 0x100, false);
+  EXPECT_FALSE(r1.hit) << "first touch per core misses";
+  EXPECT_EQ(sys.state(0, 0x100), MsiState::Shared);
+  EXPECT_EQ(sys.state(1, 0x100), MsiState::Shared);
+  // Subsequent reads hit locally.
+  EXPECT_TRUE(sys.access(0, 0x100, false).hit);
+  EXPECT_TRUE(sys.access(1, 0x100, false).hit);
+}
+
+TEST(Msi, WriteInvalidatesOtherCopies) {
+  MsiSystem sys(3);
+  sys.access(0, 0x200, false);
+  sys.access(1, 0x200, false);
+  sys.access(2, 0x200, false);
+  const CoherenceResult w = sys.access(0, 0x200, true);
+  EXPECT_TRUE(w.invalidated_others);
+  EXPECT_EQ(sys.state(0, 0x200), MsiState::Modified);
+  EXPECT_EQ(sys.state(1, 0x200), MsiState::Invalid);
+  EXPECT_EQ(sys.state(2, 0x200), MsiState::Invalid);
+  EXPECT_EQ(sys.stats().invalidations, 2u);
+}
+
+TEST(Msi, ReadDowngradesModifiedWithWriteback) {
+  MsiSystem sys(2);
+  sys.access(0, 0x300, true);  // core 0: M
+  const CoherenceResult r = sys.access(1, 0x300, false);
+  EXPECT_TRUE(r.downgraded_other);
+  EXPECT_EQ(sys.state(0, 0x300), MsiState::Shared);
+  EXPECT_EQ(sys.state(1, 0x300), MsiState::Shared);
+  EXPECT_EQ(sys.stats().writebacks, 1u);
+}
+
+TEST(Msi, SharedToModifiedUpgradeCostsABusTransaction) {
+  MsiSystem sys(2);
+  sys.access(0, 0x400, false);  // S
+  const std::uint64_t rdx_before = sys.stats().bus_read_exclusives;
+  const CoherenceResult w = sys.access(0, 0x400, true);
+  EXPECT_FALSE(w.hit) << "S->M upgrade is not a silent hit";
+  EXPECT_EQ(sys.stats().bus_read_exclusives, rdx_before + 1);
+  // After M, writes are free.
+  EXPECT_TRUE(sys.access(0, 0x400, true).hit);
+  EXPECT_TRUE(sys.access(0, 0x400, false).hit);
+}
+
+TEST(Msi, PingPongOnSharedCounter) {
+  // The lecture's shared-counter picture at the protocol level: two
+  // cores alternately writing one block never hit.
+  MsiSystem sys(2);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_FALSE(sys.access(round % 2 == 0 ? 0u : 1u, 0x500, true).hit);
+  }
+  EXPECT_EQ(sys.stats().invalidations, 9u) << "every write after the first kills a copy";
+}
+
+TEST(Msi, FalseSharingVsPaddedCounters) {
+  // Two counters in ONE block ping-pong; padded to separate blocks they
+  // coexist in M. This is the ablation bench's kernel, verified.
+  MsiSystem shared_block(2, 64);
+  MsiSystem padded(2, 64);
+  for (int i = 0; i < 100; ++i) {
+    shared_block.access(0, 0x00, true);   // counter A, offset 0
+    shared_block.access(1, 0x04, true);   // counter B, offset 4 (same block!)
+    padded.access(0, 0x00, true);         // counter A, block 0
+    padded.access(1, 0x40, true);         // counter B, its own block
+  }
+  EXPECT_GT(shared_block.stats().invalidations, 150u);
+  EXPECT_EQ(padded.stats().invalidations, 0u);
+  EXPECT_GT(padded.stats().hit_rate(), 0.98);
+  EXPECT_LT(shared_block.stats().hit_rate(), 0.02);
+}
+
+TEST(Msi, EvictionOfModifiedLineWritesBack) {
+  MsiSystem sys(1, 64, 4);  // 4 lines: blocks 64*4 apart collide
+  sys.access(0, 0x000, true);
+  const std::uint64_t wb = sys.stats().writebacks;
+  sys.access(0, 64 * 4, false);  // same index, different tag
+  EXPECT_EQ(sys.stats().writebacks, wb + 1);
+}
+
+TEST(Msi, Validation) {
+  EXPECT_THROW(MsiSystem(0), Error);
+  EXPECT_THROW(MsiSystem(2, 48), Error);
+  MsiSystem sys(2);
+  EXPECT_THROW(sys.access(2, 0, false), Error);
+  EXPECT_THROW((void)sys.state(9, 0), Error);
+  EXPECT_FALSE(sys.dump().empty());
+}
+
+// Protocol invariant under random traffic: a block is either Modified
+// in exactly one cache (and Invalid elsewhere), or Shared/Invalid
+// everywhere — never two writers.
+class MsiInvariant : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MsiInvariant, SingleWriterOrManyReaders) {
+  MsiSystem sys(4);
+  std::uint32_t state = GetParam() | 1u;
+  auto rnd = [&](std::uint32_t mod) {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % mod;
+  };
+  const std::uint32_t blocks[] = {0x000, 0x040, 0x080, 0x1000};
+  for (int step = 0; step < 3000; ++step) {
+    sys.access(rnd(4), blocks[rnd(4)] + rnd(16) * 4, rnd(3) == 0);
+    for (const std::uint32_t block : blocks) {
+      int modified = 0, shared = 0;
+      for (unsigned core = 0; core < 4; ++core) {
+        const MsiState s = sys.state(core, block);
+        if (s == MsiState::Modified) ++modified;
+        if (s == MsiState::Shared) ++shared;
+      }
+      ASSERT_LE(modified, 1) << "two writers at step " << step;
+      if (modified == 1) {
+        ASSERT_EQ(shared, 0) << "writer coexisting with readers at step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsiInvariant, ::testing::Values(1u, 9u, 33u, 71u));
+
+}  // namespace
+}  // namespace cs31::memhier

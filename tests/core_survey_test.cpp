@@ -1,0 +1,237 @@
+// Curriculum-model (Table I) and survey-simulator (Figure 1) tests:
+// full TCPP coverage, topic lookups, and the shape properties the paper
+// reports for the survey results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/curriculum.hpp"
+#include "survey/survey.hpp"
+
+namespace cs31 {
+namespace {
+
+using core::Curriculum;
+using core::Emphasis;
+using core::TcppCategory;
+
+TEST(Curriculum, HasAllFourTcppCategories) {
+  const Curriculum& c = Curriculum::cs31();
+  for (const TcppCategory cat :
+       {TcppCategory::Pervasive, TcppCategory::Architecture, TcppCategory::Programming,
+        TcppCategory::Algorithms}) {
+    EXPECT_FALSE(c.topics_in(cat).empty()) << core::category_name(cat);
+  }
+  // Table I's counts: 4 pervasive topics, 14 architecture, 11
+  // programming, 6 algorithms.
+  EXPECT_EQ(c.topics_in(TcppCategory::Pervasive).size(), 4u);
+  EXPECT_EQ(c.topics_in(TcppCategory::Architecture).size(), 14u);
+  EXPECT_EQ(c.topics_in(TcppCategory::Programming).size(), 11u);
+  EXPECT_EQ(c.topics_in(TcppCategory::Algorithms).size(), 6u);
+}
+
+TEST(Curriculum, EveryTopicIsCoveredBySomeModule) {
+  EXPECT_TRUE(Curriculum::cs31().uncovered_topics().empty());
+}
+
+TEST(Curriculum, KeyTopicLookups) {
+  const Curriculum& c = Curriculum::cs31();
+  EXPECT_EQ(c.topic("pthreads").category, TcppCategory::Programming);
+  EXPECT_EQ(c.topic("pthreads").emphasis, Emphasis::Emphasize);
+  EXPECT_EQ(c.topic("Amdahl's Law").emphasis, Emphasis::Mention)
+      << "the paper defers the deeper Amdahl dive to upper-level courses";
+  EXPECT_THROW((void)c.topic("quantum computing"), Error);
+}
+
+TEST(Curriculum, CoverageTracesToModulesAndLabs) {
+  const Curriculum& c = Curriculum::cs31();
+  const auto caching_modules = c.covering_modules("caching");
+  ASSERT_FALSE(caching_modules.empty());
+  EXPECT_NE(std::find(caching_modules.begin(), caching_modules.end(),
+                      "Memory Hierarchy & Caching"),
+            caching_modules.end());
+  const auto pthread_labs = c.covering_labs("pthreads");
+  EXPECT_NE(std::find(pthread_labs.begin(), pthread_labs.end(), 10), pthread_labs.end())
+      << "Lab 10 is the pthreads lab";
+}
+
+TEST(Curriculum, ElevenLabsAndTwelveHomeworks) {
+  const Curriculum& c = Curriculum::cs31();
+  EXPECT_EQ(c.labs().size(), 11u);  // Lab 0 .. Lab 10
+  EXPECT_EQ(c.homeworks().size(), 12u);
+  EXPECT_EQ(c.labs().front().number, 0);
+  EXPECT_EQ(c.labs().back().number, 10);
+}
+
+TEST(Curriculum, Table1RendersEveryCategoryAndTopic) {
+  const std::string table = Curriculum::cs31().render_table1();
+  EXPECT_NE(table.find("Pervasive"), std::string::npos);
+  EXPECT_NE(table.find("Algorithms"), std::string::npos);
+  EXPECT_NE(table.find("pthreads"), std::string::npos);
+  EXPECT_NE(table.find("Amdahl's Law"), std::string::npos);
+}
+
+TEST(Curriculum, ScheduleFollowsThePaperArcAndIsConsistent) {
+  const Curriculum& c = Curriculum::cs31();
+  const auto& weeks = c.schedule();
+  ASSERT_EQ(weeks.size(), 14u);
+  // Week numbers are 1..14 in order.
+  for (std::size_t i = 0; i < weeks.size(); ++i) {
+    EXPECT_EQ(weeks[i].number, static_cast<int>(i + 1));
+  }
+  // Every scheduled module exists, and they appear in the paper's arc:
+  // binary before C before architecture before memory before OS before
+  // parallelism.
+  auto first_week_of = [&](const std::string& module) {
+    for (const core::Week& w : weeks) {
+      if (w.module == module) return w.number;
+    }
+    ADD_FAILURE() << module << " not scheduled";
+    return -1;
+  };
+  EXPECT_LT(first_week_of("Binary Representation"), first_week_of("C Programming"));
+  EXPECT_LT(first_week_of("C Programming"), first_week_of("Assembly Programming"));
+  EXPECT_LT(first_week_of("Assembly Programming"),
+            first_week_of("Memory Hierarchy & Caching"));
+  EXPECT_LT(first_week_of("Memory Hierarchy & Caching"),
+            first_week_of("Operating Systems"));
+  EXPECT_LT(first_week_of("Operating Systems"),
+            first_week_of("Shared Memory Parallelism"));
+  // Every lab 0..10 is due exactly once; every homework appears.
+  std::vector<int> lab_due_counts(11, 0);
+  for (const core::Week& w : weeks) {
+    if (w.lab_due >= 0) {
+      ASSERT_LT(w.lab_due, 11);
+      ++lab_due_counts[static_cast<std::size_t>(w.lab_due)];
+    }
+    if (!w.module.empty()) {
+      bool found = false;
+      for (const core::CourseModule& m : c.modules()) found = found || m.name == w.module;
+      EXPECT_TRUE(found) << w.module;
+    }
+    if (!w.homework.empty()) {
+      bool found = false;
+      for (const core::Homework& h : c.homeworks()) found = found || h.title == w.homework;
+      EXPECT_TRUE(found) << w.homework;
+    }
+  }
+  for (int lab = 0; lab <= 10; ++lab) {
+    EXPECT_EQ(lab_due_counts[static_cast<std::size_t>(lab)], 1) << "lab " << lab;
+  }
+}
+
+TEST(Survey, Figure1TopicsExistInCurriculum) {
+  const auto topics = survey::figure1_topics();
+  EXPECT_GE(topics.size(), 17u) << "Figure 1 plots a broad PDC topic set";
+  for (const auto& t : topics) {
+    EXPECT_NO_THROW((void)Curriculum::cs31().topic(t.name)) << t.name;
+  }
+}
+
+TEST(Survey, RatingModelRespectsScaleAndDecay) {
+  using survey::rate_topic;
+  for (const Emphasis e : {Emphasis::Mention, Emphasis::Cover, Emphasis::Emphasize}) {
+    for (const double ability : {-1.0, 0.0, 1.0}) {
+      for (const unsigned ago : {0u, 2u, 4u}) {
+        const unsigned r = rate_topic(e, ability, ago, 0.2, 0.0);
+        EXPECT_LE(r, 4u);
+      }
+    }
+  }
+  // Decay is monotone.
+  EXPECT_GE(rate_topic(Emphasis::Emphasize, 0, 0, 0.3, 0),
+            rate_topic(Emphasis::Emphasize, 0, 4, 0.3, 0));
+  // Emphasis is monotone.
+  EXPECT_GE(rate_topic(Emphasis::Emphasize, 0, 1, 0.2, 0),
+            rate_topic(Emphasis::Mention, 0, 1, 0.2, 0));
+  EXPECT_THROW(survey::rate_topic(Emphasis::Cover, 2.0, 0, 0.1, 0), Error);
+}
+
+TEST(Survey, SimulationReproducesFigure1Shape) {
+  const auto topics = survey::figure1_topics();
+  const auto results = survey::simulate(topics);
+  ASSERT_EQ(results.size(), topics.size());
+
+  double heavy_sum = 0, light_sum = 0;
+  int heavy_n = 0, light_n = 0;
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    // The paper: "students recognized all of these topics" — averages
+    // stay at or above recognition level (1).
+    EXPECT_GE(results[i].average, 1.0) << topics[i].name;
+    EXPECT_LE(results[i].average, 4.0);
+    EXPECT_GE(results[i].median, results[i].average - 1.0);
+    // Histogram accounts for every respondent.
+    unsigned total = 0;
+    for (const unsigned h : results[i].histogram) total += h;
+    EXPECT_EQ(total, 300u);  // 60 x 5 semesters
+    if (topics[i].emphasis == Emphasis::Emphasize) {
+      heavy_sum += results[i].average;
+      ++heavy_n;
+    }
+    if (topics[i].emphasis == Emphasis::Mention) {
+      light_sum += results[i].average;
+      ++light_n;
+    }
+  }
+  ASSERT_GT(heavy_n, 0);
+  ASSERT_GT(light_n, 0);
+  // "Topics that CS 31 emphasizes heavily ... rate their understanding
+  // at deeper levels."
+  EXPECT_GT(heavy_sum / heavy_n, light_sum / light_n + 0.5);
+  // Heavily-emphasized topics approach the analyze/apply levels.
+  EXPECT_GT(heavy_sum / heavy_n, 2.5);
+}
+
+TEST(Survey, SimulationIsDeterministicPerSeed) {
+  const auto topics = survey::figure1_topics();
+  survey::CohortConfig cfg;
+  const auto a = survey::simulate(topics, cfg);
+  const auto b = survey::simulate(topics, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].average, b[i].average);
+    EXPECT_DOUBLE_EQ(a[i].median, b[i].median);
+  }
+  cfg.seed = 777;
+  const auto c = survey::simulate(topics, cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].average != c[i].average;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Survey, RetentionLossLowersAverages) {
+  const auto topics = survey::figure1_topics();
+  survey::CohortConfig none;
+  none.retention_loss_per_semester = 0.0;
+  survey::CohortConfig heavy;
+  heavy.retention_loss_per_semester = 0.5;
+  const auto fresh = survey::simulate(topics, none);
+  const auto faded = survey::simulate(topics, heavy);
+  double fresh_mean = 0, faded_mean = 0;
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    fresh_mean += fresh[i].average;
+    faded_mean += faded[i].average;
+  }
+  EXPECT_GT(fresh_mean, faded_mean);
+}
+
+TEST(Survey, RenderShowsEveryTopicRow) {
+  const auto results = survey::simulate(survey::figure1_topics());
+  const std::string chart = survey::render_figure1(results);
+  EXPECT_NE(chart.find("Figure 1"), std::string::npos);
+  EXPECT_NE(chart.find("pthreads"), std::string::npos);
+  EXPECT_NE(chart.find("avg"), std::string::npos);
+  EXPECT_NE(chart.find("med"), std::string::npos);
+}
+
+TEST(Survey, ValidationErrors) {
+  EXPECT_THROW((void)survey::simulate({}), Error);
+  survey::CohortConfig cfg;
+  cfg.students_per_semester = 0;
+  EXPECT_THROW((void)survey::simulate(survey::figure1_topics(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace cs31

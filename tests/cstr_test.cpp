@@ -1,0 +1,152 @@
+// Lab 7 grader: every kit C-string function cross-checked against the
+// host <cstring> implementation, including the corner cases the course
+// quizzes on (strncpy padding, strncat termination, embedded searches).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "cstr/cstring.hpp"
+
+namespace cs31::cstr {
+namespace {
+
+const char* kSamples[] = {"", "a", "ab", "hello", "hello world",
+                          "a longer string, with punctuation!", "aaaabaaa"};
+
+TEST(Cstr, LengthMatchesHost) {
+  for (const char* s : kSamples) {
+    EXPECT_EQ(str_length(s), std::strlen(s)) << s;
+  }
+  EXPECT_THROW(str_length(nullptr), Error);
+}
+
+TEST(Cstr, CopyMatchesHost) {
+  for (const char* s : kSamples) {
+    char mine[64], theirs[64];
+    EXPECT_EQ(str_copy(mine, s), mine) << "returns dst";
+    std::strcpy(theirs, s);
+    EXPECT_STREQ(mine, theirs);
+  }
+}
+
+TEST(Cstr, NCopyPadsWithNulsAndMayNotTerminate) {
+  char mine[8], theirs[8];
+  // Shorter source: the trailing bytes must all be NUL.
+  std::memset(mine, 'X', sizeof mine);
+  std::memset(theirs, 'X', sizeof theirs);
+  str_ncopy(mine, "ab", 6);
+  std::strncpy(theirs, "ab", 6);
+  EXPECT_EQ(std::memcmp(mine, theirs, 6), 0);
+  EXPECT_EQ(mine[5], '\0');
+  // Longer source: exactly n bytes, no terminator.
+  str_ncopy(mine, "abcdefgh", 4);
+  std::strncpy(theirs, "abcdefgh", 4);
+  EXPECT_EQ(std::memcmp(mine, theirs, 4), 0);
+  EXPECT_EQ(mine[4], '\0') << "leftover from previous copy, not written by strncpy";
+}
+
+TEST(Cstr, ConcatMatchesHost) {
+  char mine[64] = "start-", theirs[64] = "start-";
+  str_concat(mine, "finish");
+  std::strcat(theirs, "finish");
+  EXPECT_STREQ(mine, theirs);
+}
+
+TEST(Cstr, NConcatAlwaysTerminates) {
+  char mine[64] = "ab", theirs[64] = "ab";
+  str_nconcat(mine, "cdefgh", 3);
+  std::strncat(theirs, "cdefgh", 3);
+  EXPECT_STREQ(mine, theirs);
+  EXPECT_STREQ(mine, "abcde");
+}
+
+TEST(Cstr, CompareSignsMatchHost) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"a", "a"}, {"a", "b"}, {"b", "a"}, {"abc", "abd"}, {"abc", "ab"},
+      {"ab", "abc"}, {"", ""}, {"", "x"}, {"\x80", "\x01"},  // unsigned-compare case
+  };
+  for (const auto& [a, b] : cases) {
+    const int mine = str_compare(a, b);
+    const int theirs = std::strcmp(a, b);
+    EXPECT_EQ(mine == 0, theirs == 0) << a << " vs " << b;
+    EXPECT_EQ(mine < 0, theirs < 0) << a << " vs " << b;
+    EXPECT_EQ(mine > 0, theirs > 0) << a << " vs " << b;
+  }
+}
+
+TEST(Cstr, NCompareStopsAtN) {
+  EXPECT_EQ(str_ncompare("abcX", "abcY", 3), 0);
+  EXPECT_NE(str_ncompare("abcX", "abcY", 4), 0);
+  EXPECT_EQ(str_ncompare("ab", "ab", 10), 0) << "stops at the NUL";
+}
+
+TEST(Cstr, FindCharMatchesHost) {
+  for (const char* s : kSamples) {
+    for (const char c : {'a', 'l', 'z', ' ', '\0'}) {
+      const char* mine = str_find_char(s, c);
+      const char* theirs = std::strchr(s, c);
+      EXPECT_EQ(mine, theirs) << "strchr('" << s << "', '" << c << "')";
+      EXPECT_EQ(str_rfind_char(s, c), std::strrchr(s, c)) << s;
+    }
+  }
+}
+
+TEST(Cstr, FindMatchesHost) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"hello world", "world"}, {"hello", "hello"}, {"hello", ""},
+      {"hello", "lo"}, {"hello", "xyz"}, {"aaaa", "aab"}, {"mississippi", "issip"},
+  };
+  for (const auto& [h, n] : cases) {
+    EXPECT_EQ(str_find(h, n), std::strstr(h, n)) << h << " / " << n;
+  }
+}
+
+TEST(Cstr, SpanMatchesHost) {
+  EXPECT_EQ(str_span("abcde", "abc"), std::strspn("abcde", "abc"));
+  EXPECT_EQ(str_span("xyz", "abc"), std::strspn("xyz", "abc"));
+  EXPECT_EQ(str_cspan("hello world", " "), std::strcspn("hello world", " "));
+  EXPECT_EQ(str_cspan("abc", "xyz"), std::strcspn("abc", "xyz"));
+}
+
+TEST(Cstr, TokenWalksLikeStrtokR) {
+  char mine[64] = "  one two,three  ";
+  char theirs[64] = "  one two,three  ";
+  char *ms = nullptr, *ts = nullptr;
+  char* mt = str_token(mine, " ,", &ms);
+  char* tt = strtok_r(theirs, " ,", &ts);
+  while (mt != nullptr || tt != nullptr) {
+    ASSERT_NE(mt, nullptr);
+    ASSERT_NE(tt, nullptr);
+    EXPECT_STREQ(mt, tt);
+    mt = str_token(nullptr, " ,", &ms);
+    tt = strtok_r(nullptr, " ,", &ts);
+  }
+}
+
+TEST(Cstr, TokenOnDelimiterOnlyStringYieldsNothing) {
+  char buf[8] = "  ,, ";
+  char* save = nullptr;
+  EXPECT_EQ(str_token(buf, " ,", &save), nullptr);
+}
+
+TEST(Cstr, DuplicateOwnsACopy) {
+  const auto dup = str_duplicate("copy me");
+  EXPECT_STREQ(dup.get(), "copy me");
+  EXPECT_THROW(str_duplicate(nullptr), Error);
+}
+
+TEST(Cstr, NullPointersAreDiagnosed) {
+  char buf[4] = "x";
+  EXPECT_THROW(str_copy(nullptr, "x"), Error);
+  EXPECT_THROW(str_copy(buf, nullptr), Error);
+  EXPECT_THROW(str_compare(nullptr, "x"), Error);
+  EXPECT_THROW(str_find(nullptr, "x"), Error);
+  char* save = nullptr;
+  EXPECT_THROW(str_token(buf, nullptr, &save), Error);
+  EXPECT_THROW(str_token(buf, " ", nullptr), Error);
+}
+
+}  // namespace
+}  // namespace cs31::cstr

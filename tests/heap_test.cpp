@@ -1,0 +1,269 @@
+// Heap allocator and memcheck tests: block mechanics, split/coalesce,
+// placement policies, accounting, the classic Valgrind-detectable bugs,
+// and a randomized-workload property test over the invariant checker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "heap/allocator.hpp"
+#include "heap/memcheck.hpp"
+
+namespace cs31::heap {
+namespace {
+
+TEST(Heap, ConstructionValidation) {
+  EXPECT_THROW(Heap(32), Error);
+  EXPECT_THROW(Heap(1u << 31), Error);
+  EXPECT_THROW(Heap(100), Error);  // unaligned
+  EXPECT_NO_THROW(Heap(1024));
+}
+
+TEST(Heap, MallocReturnsAlignedDistinctAddresses) {
+  Heap heap(1024);
+  const std::uint32_t a = heap.malloc(10);
+  const std::uint32_t b = heap.malloc(20);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % 4, 0u);  // payload starts after a 4-byte header
+  EXPECT_EQ(heap.allocation_size(a), 16u) << "rounded up to 8-byte multiple";
+  EXPECT_EQ(heap.allocation_size(b), 24u);
+  EXPECT_THROW(heap.malloc(0), Error);
+}
+
+TEST(Heap, WritesDoNotBleedBetweenBlocks) {
+  Heap heap(1024);
+  const std::uint32_t a = heap.malloc(8);
+  const std::uint32_t b = heap.malloc(8);
+  for (int i = 0; i < 8; ++i) heap.write8(a + i, 0xAA);
+  for (int i = 0; i < 8; ++i) heap.write8(b + i, 0x55);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(heap.read8(a + i), 0xAA);
+    EXPECT_EQ(heap.read8(b + i), 0x55);
+  }
+}
+
+TEST(Heap, OutOfMemoryReturnsNull) {
+  Heap heap(128);  // 120 usable
+  EXPECT_NE(heap.malloc(64), 0u);
+  EXPECT_EQ(heap.malloc(64), 0u);
+  EXPECT_EQ(heap.stats().failed_allocations, 1u);
+}
+
+TEST(Heap, FreeMakesSpaceReusable) {
+  Heap heap(192);  // 184 usable: fits one 104-byte block, not two
+  const std::uint32_t a = heap.malloc(100);
+  EXPECT_EQ(heap.malloc(100), 0u);
+  heap.free(a);
+  EXPECT_NE(heap.malloc(100), 0u);
+}
+
+TEST(Heap, CoalescingMergesNeighbors) {
+  Heap heap(1024);
+  const std::uint32_t a = heap.malloc(56);
+  const std::uint32_t b = heap.malloc(56);
+  const std::uint32_t c = heap.malloc(56);
+  (void)b;
+  // Free a and c (non-adjacent), then b: all three must merge with the
+  // trailing free space into one block.
+  heap.free(a);
+  heap.free(c);
+  heap.free(heap.is_allocated(b) ? b : a);
+  const HeapStats s = heap.stats();
+  EXPECT_EQ(s.free_blocks, 1u);
+  EXPECT_EQ(s.largest_free_block, s.free_bytes);
+  EXPECT_TRUE(heap.check_invariants());
+}
+
+TEST(Heap, DoubleFreeAndInvalidFreeThrow) {
+  Heap heap(256);
+  const std::uint32_t a = heap.malloc(16);
+  heap.free(a);
+  EXPECT_THROW(heap.free(a), Error);
+  EXPECT_THROW(heap.free(a + 4), Error);
+  EXPECT_THROW(heap.free(9999), Error);
+}
+
+TEST(Heap, UseAfterFreeAndWildAccessesThrow) {
+  Heap heap(256);
+  const std::uint32_t a = heap.malloc(16);
+  heap.write8(a, 1);
+  heap.free(a);
+  EXPECT_THROW((void)heap.read8(a), Error);
+  EXPECT_THROW(heap.write8(a, 2), Error);
+  Heap heap2(256);
+  const std::uint32_t b = heap2.malloc(8);
+  EXPECT_THROW((void)heap2.read8(b + 8), Error) << "one past the end";
+}
+
+TEST(Heap, StatsTrackUsageAndPeak) {
+  Heap heap(1024);
+  const std::uint32_t a = heap.malloc(64);
+  const std::uint32_t b = heap.malloc(128);
+  EXPECT_EQ(heap.stats().bytes_in_use, 192u);
+  heap.free(a);
+  EXPECT_EQ(heap.stats().bytes_in_use, 128u);
+  EXPECT_EQ(heap.stats().peak_bytes_in_use, 192u);
+  heap.free(b);
+  EXPECT_EQ(heap.stats().bytes_in_use, 0u);
+  EXPECT_EQ(heap.stats().allocations, 2u);
+  EXPECT_EQ(heap.stats().frees, 2u);
+}
+
+TEST(Heap, BestFitPrefersTightHoles) {
+  // Carve a small hole and a big hole; best fit should place a small
+  // request in the small hole, first fit in the first (big) one.
+  auto carve = [](Heap& heap, std::uint32_t& small_addr) {
+    const std::uint32_t big = heap.malloc(256);
+    const std::uint32_t sep1 = heap.malloc(8);
+    const std::uint32_t small = heap.malloc(16);
+    const std::uint32_t sep2 = heap.malloc(8);
+    (void)sep1;
+    (void)sep2;
+    heap.free(big);    // big hole first in address order
+    heap.free(small);  // then a 16-byte hole
+    small_addr = small;
+  };
+  Heap first(1024, FitPolicy::FirstFit);
+  Heap best(1024, FitPolicy::BestFit);
+  std::uint32_t small_first = 0, small_best = 0;
+  carve(first, small_first);
+  carve(best, small_best);
+  EXPECT_NE(first.malloc(16), small_first) << "first fit grabs the big early hole";
+  EXPECT_EQ(best.malloc(16), small_best) << "best fit reuses the tight hole";
+}
+
+TEST(Heap, NextFitRotatesPlacements) {
+  Heap heap(4096, FitPolicy::NextFit);
+  const std::uint32_t a = heap.malloc(32);
+  const std::uint32_t b = heap.malloc(32);
+  heap.free(a);
+  // Next fit resumes after b, so a's hole is skipped...
+  const std::uint32_t c = heap.malloc(32);
+  EXPECT_GT(c, b);
+  // ...until the scan wraps around.
+  std::uint32_t last = c;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t p = heap.malloc(32);
+    if (p == 0) break;
+    last = p;
+  }
+  (void)last;
+  EXPECT_TRUE(heap.check_invariants());
+}
+
+TEST(Heap, DumpShowsBlockList) {
+  Heap heap(256);
+  (void)heap.malloc(16);
+  const std::string dump = heap.dump();
+  EXPECT_NE(dump.find("allocated"), std::string::npos);
+  EXPECT_NE(dump.find("free"), std::string::npos);
+}
+
+// Randomized workload property: after any malloc/free sequence, the
+// block list is structurally sound and fully coalesced.
+class HeapWorkload
+    : public ::testing::TestWithParam<std::tuple<FitPolicy, std::uint32_t>> {};
+
+TEST_P(HeapWorkload, InvariantsHoldUnderRandomChurn) {
+  const auto [policy, seed] = GetParam();
+  Heap heap(8192, policy);
+  std::vector<std::uint32_t> live;
+  std::uint32_t state = seed | 1u;
+  auto rnd = [&] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rnd() % 2 == 0) {
+      const std::uint32_t address = heap.malloc(1 + rnd() % 200);
+      if (address != 0) live.push_back(address);
+    } else {
+      const std::size_t victim = rnd() % live.size();
+      heap.free(live[victim]);
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    ASSERT_TRUE(heap.check_invariants()) << "step " << step;
+  }
+  for (const std::uint32_t address : live) heap.free(address);
+  const HeapStats s = heap.stats();
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  EXPECT_EQ(s.free_blocks, 1u) << "full coalescing back to one block";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, HeapWorkload,
+    ::testing::Combine(::testing::Values(FitPolicy::FirstFit, FitPolicy::BestFit,
+                                         FitPolicy::NextFit),
+                       ::testing::Values(1u, 7u, 99u)));
+
+// ---- memcheck ----
+
+TEST(MemCheck, CleanRunReportsNoLeaks) {
+  MemCheck mc(1024);
+  const std::uint32_t a = mc.alloc(32, "setup");
+  mc.write8(a, 7);
+  EXPECT_EQ(mc.read8(a), 7);
+  mc.release(a);
+  const LeakReport r = mc.report();
+  EXPECT_TRUE(r.clean());
+  EXPECT_NE(mc.render_report().find("no leaks are possible"), std::string::npos);
+}
+
+TEST(MemCheck, LeaksAttributedToCallSites) {
+  MemCheck mc(1024);
+  (void)mc.alloc(16, "parse_grid");
+  (void)mc.alloc(48, "read_line");
+  const std::uint32_t freed = mc.alloc(8, "temp");
+  mc.release(freed);
+  const LeakReport r = mc.report();
+  EXPECT_EQ(r.leaked_blocks, 2u);
+  EXPECT_EQ(r.leaked_bytes, 16u + 48u);
+  const std::string text = mc.render_report();
+  EXPECT_NE(text.find("definitely lost: 64 bytes in 2 block(s)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("parse_grid"), std::string::npos);
+  EXPECT_EQ(text.find("temp"), std::string::npos) << "freed allocation is not a leak";
+}
+
+TEST(MemCheck, DoubleFreeBecomesDiagnostic) {
+  MemCheck mc(1024);
+  const std::uint32_t a = mc.alloc(16, "once");
+  mc.release(a);
+  mc.release(a);  // no throw
+  const LeakReport r = mc.report();
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].kind, Diagnostic::Kind::DoubleFree);
+  EXPECT_EQ(r.diagnostics[0].label, "once");
+}
+
+TEST(MemCheck, InvalidFreeAndAccessDiagnostics) {
+  MemCheck mc(1024);
+  mc.release(12345);
+  const std::uint32_t a = mc.alloc(8, "buf");
+  (void)mc.read8(a + 8);   // one past the end
+  mc.write8(a + 8, 1);
+  mc.release(a);
+  (void)mc.read8(a);       // use after free
+  const LeakReport r = mc.report();
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  EXPECT_EQ(r.diagnostics[0].kind, Diagnostic::Kind::InvalidFree);
+  EXPECT_EQ(r.diagnostics[1].kind, Diagnostic::Kind::InvalidRead);
+  EXPECT_EQ(r.diagnostics[2].kind, Diagnostic::Kind::InvalidWrite);
+  EXPECT_EQ(r.diagnostics[3].kind, Diagnostic::Kind::InvalidRead);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(MemCheck, AddressReuseIsNotADoubleFree) {
+  MemCheck mc(256);
+  const std::uint32_t a = mc.alloc(16, "first");
+  mc.release(a);
+  const std::uint32_t b = mc.alloc(16, "second");
+  EXPECT_EQ(a, b) << "first fit reuses the hole";
+  mc.release(b);
+  EXPECT_TRUE(mc.report().clean());
+}
+
+}  // namespace
+}  // namespace cs31::heap

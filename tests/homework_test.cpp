@@ -1,0 +1,156 @@
+// Homework generator tests: determinism per seed, keys that agree with
+// direct substrate simulation, and grading behaviour.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "homework/homework.hpp"
+#include "isa/machine.hpp"
+#include "memhier/cache.hpp"
+
+namespace cs31::homework {
+namespace {
+
+TEST(Conversion, KeysMatchBitsModule) {
+  for (const ConversionProblem& p : conversion_set(5, 10)) {
+    const bits::Word w(p.pattern, p.width);
+    EXPECT_EQ(p.as_signed, w.as_signed());
+    EXPECT_EQ(p.as_unsigned, w.as_unsigned());
+    EXPECT_FALSE(p.prompt.empty());
+    EXPECT_NE(p.prompt.find(p.hex), std::string::npos);
+  }
+}
+
+TEST(Conversion, DeterministicPerSeedVariedAcrossSeeds) {
+  const auto a = conversion_set(9, 5);
+  const auto b = conversion_set(9, 5);
+  const auto c = conversion_set(10, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].pattern, b[i].pattern);
+    EXPECT_EQ(a[i].width, b[i].width);
+  }
+  bool different = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    different = different || a[i].pattern != c[i].pattern || a[i].width != c[i].width;
+  }
+  EXPECT_TRUE(different);
+  EXPECT_THROW((void)conversion_set(1, 0), Error);
+}
+
+TEST(Arithmetic, FlagsComeFromTheAdder) {
+  for (const ArithmeticProblem& p : arithmetic_set(3, 10)) {
+    const bits::ArithResult expect = bits::add(bits::Word(p.a, 8), bits::Word(p.b, 8));
+    EXPECT_EQ(p.key.pattern, expect.pattern);
+    EXPECT_EQ(p.key.flags, expect.flags);
+  }
+}
+
+TEST(Circuit, TruthTableMatchesDescription) {
+  // Re-evaluate the described expression independently and compare.
+  for (const std::uint32_t seed : {1u, 5u, 9u, 42u}) {
+    const CircuitProblem p = circuit_problem(seed);
+    ASSERT_EQ(p.truth_table.size(), 8u);
+    auto apply = [](const std::string& op, bool x, bool y) {
+      if (op == "AND") return x && y;
+      if (op == "OR") return x || y;
+      if (op == "XOR") return x != y;
+      if (op == "NAND") return !(x && y);
+      if (op == "NOR") return !(x || y);
+      ADD_FAILURE() << "unknown op " << op;
+      return false;
+    };
+    // Parse "out = (a OP1 b) OP2 [NOT ]c".
+    std::istringstream in(p.description);
+    std::string tok, op1, op2;
+    in >> tok >> tok >> tok >> op1;  // "out" "=" "(a" OP1
+    in >> tok >> op2;                // "b)" OP2
+    std::string rest;
+    std::getline(in, rest);
+    const bool negate_c = rest.find("NOT") != std::string::npos;
+    for (unsigned row = 0; row < 8; ++row) {
+      const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+      const bool expect = apply(op2, apply(op1, a, b), negate_c ? !c : c);
+      EXPECT_EQ(p.truth_table[row], expect)
+          << p.description << " row " << row << " seed " << seed;
+    }
+  }
+}
+
+TEST(AsmTrace, KeysMatchReExecution) {
+  for (const AsmTraceProblem& p : asm_trace_set(7, 5)) {
+    isa::Machine machine;
+    machine.load(isa::assemble(p.source));
+    machine.run();
+    EXPECT_EQ(machine.reg(isa::Reg::Eax), p.eax);
+    EXPECT_EQ(machine.reg(isa::Reg::Ebx), p.ebx);
+    EXPECT_EQ(machine.reg(isa::Reg::Ecx), p.ecx);
+  }
+}
+
+TEST(CacheTrace, KeyMatchesFreshReplayAndBothAssociativities) {
+  for (const std::uint32_t assoc : {1u, 2u}) {
+    const CacheTraceProblem p = cache_trace_problem(11, assoc);
+    memhier::Cache cache(p.config);
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < p.addresses.size(); ++i) {
+      const auto r = cache.read(p.addresses[i]);
+      EXPECT_EQ(r.hit, p.key[i].hit) << "access " << i;
+      EXPECT_EQ(r.evicted, p.key[i].evicted) << "access " << i;
+      hits += r.hit ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(p.final_hit_rate,
+                     static_cast<double>(hits) / static_cast<double>(p.addresses.size()));
+  }
+}
+
+TEST(VmTrace, SingleAndTwoProcessKeysReplay) {
+  for (const bool two : {false, true}) {
+    const VmTraceProblem p = vm_trace_problem(13, two);
+    ASSERT_EQ(p.key.size(), p.accesses.size());
+    // First access is always a fault (cold start).
+    EXPECT_TRUE(p.key[0].fault);
+    // Frames stay within the configured range.
+    for (const auto& row : p.key) EXPECT_LT(row.frame, p.config.physical_frames);
+    EXPECT_NE(p.final_frames.find("frame"), std::string::npos);
+    if (two) {
+      bool saw_second = false;
+      for (const auto& a : p.accesses) saw_second = saw_second || a.process == 1;
+      EXPECT_TRUE(saw_second);
+    }
+  }
+}
+
+TEST(Fork, EnumerationMatchesInterleavingsAndGrades) {
+  const ForkProblem p = fork_problem(21);
+  ASSERT_FALSE(p.possible_outputs.empty());
+  // Every enumerated output grades as possible; a program-order
+  // violation grades as impossible.
+  for (const auto& output : p.possible_outputs) {
+    EXPECT_TRUE(grade_fork_answer(p, output));
+  }
+  std::vector<std::string> bad = p.possible_outputs.front();
+  std::swap(bad.front(), bad.back());
+  if (bad != p.possible_outputs.front()) {
+    // Swapping first/last breaks program order for sequences >= 2.
+    const bool graded = grade_fork_answer(p, bad);
+    bool enumerated = false;
+    for (const auto& output : p.possible_outputs) enumerated = enumerated || output == bad;
+    EXPECT_EQ(graded, enumerated);
+  }
+  EXPECT_NE(p.description.find("fork()"), std::string::npos);
+}
+
+TEST(Worksheet, RendersProblemsAndKeyConsistently) {
+  const Worksheet w = render_worksheet(2024);
+  EXPECT_NE(w.problems.find("1. "), std::string::npos);
+  EXPECT_NE(w.answer_key.find("1. "), std::string::npos);
+  EXPECT_NE(w.problems.find("fork()"), std::string::npos);
+  EXPECT_NE(w.answer_key.find("possible orderings"), std::string::npos);
+  // Deterministic.
+  const Worksheet again = render_worksheet(2024);
+  EXPECT_EQ(w.problems, again.problems);
+  EXPECT_EQ(w.answer_key, again.answer_key);
+  EXPECT_NE(render_worksheet(2025).problems, w.problems);
+}
+
+}  // namespace
+}  // namespace cs31::homework

@@ -1,0 +1,256 @@
+// Cross-module integration tests: the vertical slice the course itself
+// teaches — assembly programs feeding the cache simulator, the shell on
+// the kernel, parallel Life visualized through ParaVis, the ALU inside
+// the mini-CPU, and curriculum metadata pointing at real kit components.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ccomp/codegen.hpp"
+#include "core/curriculum.hpp"
+#include "heap/memcheck.hpp"
+#include "homework/homework.hpp"
+#include "isa/debugger.hpp"
+#include "isa/machine.hpp"
+#include "life/life.hpp"
+#include "logic/cpu.hpp"
+#include "logic/pipeline.hpp"
+#include "memhier/cache.hpp"
+#include "memhier/trace.hpp"
+#include "os/interleave.hpp"
+#include "os/kernel.hpp"
+#include "paravis/paravis.hpp"
+#include "parallel/speedup.hpp"
+#include "shell/shell.hpp"
+#include "survey/survey.hpp"
+#include "vm/paging.hpp"
+
+namespace cs31 {
+namespace {
+
+TEST(Integration, AssemblyProgramDrivesCacheSimulator) {
+  // Run an IA-32 subset program that scans an array, capture the
+  // addresses it touches, and replay them through a cache — a student's
+  // end-to-end "why is my loop slow" investigation.
+  isa::Machine machine;
+  machine.load(isa::assemble(R"(
+    movl $0x4000, %esi     # base
+    movl $0, %ecx          # i
+loop:
+    cmpl $64, %ecx
+    je done
+    movl (%esi,%ecx,4), %eax
+    incl %ecx
+    jmp loop
+done:
+    hlt
+)"));
+  // Instrument: track every data address by stepping and recomputing
+  // the effective address of the load each iteration.
+  memhier::Trace trace;
+  isa::Debugger dbg(machine);
+  dbg.break_at("loop");
+  while (dbg.cont() == isa::StopReason::Breakpoint) {
+    const std::uint32_t i = machine.reg(isa::Reg::Ecx);
+    if (i < 64) {
+      trace.push_back({machine.reg(isa::Reg::Esi) + i * 4, false});
+    }
+  }
+  ASSERT_EQ(trace.size(), 64u);
+  memhier::CacheConfig cfg;
+  cfg.block_bytes = 16;
+  cfg.num_lines = 16;
+  memhier::Cache cache(cfg);
+  const memhier::CacheStats stats = memhier::replay(cache, trace);
+  EXPECT_EQ(stats.misses, 16u) << "sequential scan: one miss per 16-byte block";
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.75);
+}
+
+TEST(Integration, MiniCpuTraceTimedOnPipeline) {
+  // The architecture module's full story: a program executes on the
+  // gate-level CPU, and its real trace shows the pipelining win.
+  logic::MiniCpu cpu;
+  for (unsigned i = 0; i < 32; ++i) cpu.set_mem(150 + i, 2);
+  cpu.load_program(logic::sample_sum_program(150, 32));
+  cpu.run();
+  EXPECT_EQ(cpu.reg(3), 64u);
+  const logic::StageLatencies stages;
+  const auto seq = logic::time_sequential(cpu.trace(), stages);
+  const auto pipe = logic::time_pipelined(cpu.trace(), logic::PipelineConfig{stages, true, 2});
+  EXPECT_GT(seq.time_ps() / pipe.time_ps(), 1.5);
+  EXPECT_GT(pipe.ipc(), seq.instructions == 0 ? 0 : 0.3);
+}
+
+TEST(Integration, ShellForegroundBackgroundAndProcessTree) {
+  os::Kernel kernel;
+  shell::Shell sh(kernel);
+  sh.install_standard_commands();
+  sh.run_line("countdown 3 &");
+  sh.run_line("echo fg done");
+  // Drain the background job (an interactive shell would keep ticking
+  // the kernel between prompts).
+  while (!kernel.idle()) kernel.tick();
+  // The kernel's event log shows spawn/exit for both commands, and the
+  // output interleaves legally.
+  EXPECT_TRUE(os::is_possible_output(
+      {{"3", "2", "1", "liftoff"}, {"fg done"}}, kernel.output()));
+  sh.reap_background();
+  ASSERT_EQ(sh.jobs().size(), 1u);
+  EXPECT_TRUE(sh.jobs()[0].finished);
+}
+
+TEST(Integration, ParallelLifeRenderedThroughParaVis) {
+  const life::Grid initial = life::Grid::random(16, 16, 0.3, 5);
+  life::ParallelLife sim(initial, 4);
+  sim.run(3);
+  paravis::VisConfig cfg;
+  cfg.ansi_colors = true;
+  paravis::FrameSource frame{
+      16, 16, [&](std::size_t r, std::size_t c) { return sim.grid().alive(r, c); },
+      [&](std::size_t r, std::size_t c) { return sim.owner(r, c); }};
+  const std::string out = paravis::render(frame, cfg);
+  // All four thread regions appear as distinct colors.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(out.find("\x1b[" + std::to_string(41 + t) + "m"), std::string::npos) << t;
+  }
+  // And the simulation result matches the serial reference.
+  life::SerialLife reference(initial);
+  reference.run(3);
+  EXPECT_EQ(sim.grid(), reference.grid());
+}
+
+TEST(Integration, VmBackedByCacheEatNumbers) {
+  // Combine the VM's fault rate with the hierarchy EAT formula, the way
+  // the course's VM unit chains its examples.
+  vm::PagingConfig cfg;
+  cfg.page_bytes = 256;
+  cfg.virtual_pages = 32;
+  cfg.physical_frames = 8;
+  cfg.tlb_entries = 4;
+  vm::PagingSystem vmm(cfg);
+  vmm.create_process();
+  for (std::uint32_t pass = 0; pass < 4; ++pass) {
+    for (std::uint32_t page = 0; page < 8; ++page) {
+      vmm.access(page * 256 + pass, false);
+    }
+  }
+  const double fault_rate = vmm.stats().fault_rate();
+  EXPECT_NEAR(fault_rate, 8.0 / 32.0, 1e-9) << "8 cold faults over 32 accesses";
+  const double eat =
+      vm::effective_access_time_ns(vmm.tlb_stats()->hit_rate(), fault_rate, 100, 1, 8e6);
+  EXPECT_GT(eat, 100.0);
+}
+
+TEST(Integration, CurriculumKitComponentsExist) {
+  // The curriculum names kit modules; every named module is one of the
+  // source libraries this repository builds.
+  const std::set<std::string> kit = {"bits", "logic", "isa",  "memhier", "vm",
+                                     "os",   "cstr",  "shell", "parallel", "life",
+                                     "paravis", "labs", "core", "survey"};
+  for (const core::CourseModule& m : core::Curriculum::cs31().modules()) {
+    EXPECT_TRUE(kit.contains(m.kit_module)) << m.name << " -> " << m.kit_module;
+  }
+}
+
+TEST(Integration, CurriculumEmphasisDrivesSurveyOrdering) {
+  // The evaluation pipeline end to end: curriculum emphasis -> survey
+  // simulation -> the Figure 1 property that pthreads (emphasized)
+  // outranks Amdahl's Law (mentioned).
+  const auto results = survey::simulate(survey::figure1_topics());
+  double pthreads_avg = -1, amdahl_avg = -1;
+  for (const auto& r : results) {
+    if (r.name == "pthreads") pthreads_avg = r.average;
+    if (r.name == "Amdahl's Law") amdahl_avg = r.average;
+  }
+  ASSERT_GE(pthreads_avg, 0);
+  ASSERT_GE(amdahl_avg, 0);
+  EXPECT_GT(pthreads_avg, amdahl_avg);
+}
+
+TEST(Integration, MiniCProgramThroughMachineIntoCache) {
+  // The full vertical slice, then one level deeper: compile C to the
+  // teaching ISA, execute it while recording data-memory traffic, and
+  // replay that traffic through the cache simulator. Recursive calls
+  // hammer a small stack window, so the cache should love it.
+  const char* source =
+      "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); } "
+      "int main() { return fib(14); }";
+  isa::Machine machine;
+  machine.load(cc::compile_with_entry(source, {}));
+  machine.set_trace_memory(true);
+  machine.run(5'000'000);
+  EXPECT_EQ(static_cast<std::int32_t>(machine.reg(isa::Reg::Eax)), 377);
+
+  const auto& accesses = machine.memory_trace();
+  ASSERT_GT(accesses.size(), 1000u) << "recursion generates real stack traffic";
+  memhier::CacheConfig cfg;
+  cfg.block_bytes = 64;
+  cfg.num_lines = 64;  // 4 KiB
+  memhier::Cache cache(cfg);
+  for (const auto& a : accesses) cache.access(a.address, a.is_write);
+  EXPECT_GT(cache.stats().hit_rate(), 0.95)
+      << "stack reuse is the course's temporal-locality example";
+}
+
+TEST(Integration, HomeworkKeysAgreeWithSubstratesEndToEnd) {
+  // The worksheet generator is only trustworthy if its keys re-derive
+  // from the same substrates the students' tools use.
+  const homework::CacheTraceProblem p = homework::cache_trace_problem(77, 2);
+  memhier::Cache cache(p.config);
+  for (std::size_t i = 0; i < p.addresses.size(); ++i) {
+    EXPECT_EQ(cache.read(p.addresses[i]).hit, p.key[i].hit);
+  }
+  const homework::ForkProblem fork_p = homework::fork_problem(5);
+  os::Kernel kernel;
+  // Execute the fork program for real; the kernel's output must be one
+  // of the enumerated possibilities.
+  os::ProgramBuilder child;
+  for (const std::string& line : fork_p.sequences[1]) child.print(line);
+  os::ProgramBuilder parent;
+  parent.fork(child.exit(0).build());
+  for (const std::string& line : fork_p.sequences[0]) parent.print(line);
+  kernel.spawn(parent.wait().build());
+  kernel.run();
+  EXPECT_TRUE(homework::grade_fork_answer(fork_p, kernel.output()));
+}
+
+TEST(Integration, AllocatorBacksAStringWorkload) {
+  // cstr + heap together: build strings inside the teaching heap via
+  // checked byte accesses, and leave one allocation behind for memcheck.
+  heap::MemCheck mc(4096);
+  const std::uint32_t a = mc.alloc(16, "greeting");
+  const char* text = "hello";
+  for (int i = 0; text[i] != '\0'; ++i) {
+    mc.write8(a + static_cast<std::uint32_t>(i), static_cast<std::uint8_t>(text[i]));
+  }
+  mc.write8(a + 5, 0);
+  // Read it back through the checked interface.
+  std::string read;
+  for (std::uint32_t i = 0;; ++i) {
+    const char c = static_cast<char>(mc.read8(a + i));
+    if (c == '\0') break;
+    read.push_back(c);
+  }
+  EXPECT_EQ(read, "hello");
+  (void)mc.alloc(32, "leaked_on_purpose");
+  mc.release(a);
+  const heap::LeakReport report = mc.report();
+  EXPECT_EQ(report.leaked_blocks, 1u);
+  EXPECT_EQ(report.leak_labels.at(0), "leaked_on_purpose");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Integration, AmdahlPredictsLifeModelSerialBehavior) {
+  // Tie E3 to E7: a Life-like workload with per-round serial swap time
+  // behaves like Amdahl up to the barrier overhead.
+  parallel::WorkloadModel model;
+  model.total_work = 512 * 512;
+  model.rounds = 1;
+  model.serial_work = static_cast<std::uint64_t>(512 * 512 * 0.02);
+  const double modeled = parallel::modeled_speedup(model, 8);
+  const double amdahl = parallel::amdahl_speedup(0.02 / 1.02, 8);
+  EXPECT_NEAR(modeled, amdahl, amdahl * 0.05);
+}
+
+}  // namespace
+}  // namespace cs31

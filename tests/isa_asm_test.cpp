@@ -1,0 +1,189 @@
+// Assembler tests: AT&T operand parsing, two-pass label resolution,
+// encode/decode round trips, disassembly, and diagnostics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/assembler.hpp"
+#include "isa/ia32.hpp"
+
+namespace cs31::isa {
+namespace {
+
+TEST(Operands, ParsesImmediates) {
+  EXPECT_EQ(parse_operand("$5"), Operand::immediate(5));
+  EXPECT_EQ(parse_operand("$-12"), Operand::immediate(-12));
+  EXPECT_EQ(parse_operand("$0x10"), Operand::immediate(16));
+}
+
+TEST(Operands, ParsesRegisters) {
+  EXPECT_EQ(parse_operand("%eax"), Operand::of_reg(Reg::Eax));
+  EXPECT_EQ(parse_operand("%ebp"), Operand::of_reg(Reg::Ebp));
+  EXPECT_THROW(parse_operand("%rax"), Error);
+}
+
+TEST(Operands, ParsesMemoryForms) {
+  {
+    const Operand o = parse_operand("8(%ebp)");
+    ASSERT_EQ(o.kind, Operand::Kind::Mem);
+    EXPECT_EQ(o.mem.disp, 8);
+    EXPECT_EQ(o.mem.base, Reg::Ebp);
+    EXPECT_FALSE(o.mem.index.has_value());
+  }
+  {
+    const Operand o = parse_operand("-4(%ebp)");
+    EXPECT_EQ(o.mem.disp, -4);
+  }
+  {
+    const Operand o = parse_operand("(%eax,%ebx,4)");
+    EXPECT_EQ(o.mem.disp, 0);
+    EXPECT_EQ(o.mem.base, Reg::Eax);
+    EXPECT_EQ(o.mem.index, Reg::Ebx);
+    EXPECT_EQ(o.mem.scale, 4);
+  }
+  {
+    const Operand o = parse_operand("16(,%ecx,2)");
+    EXPECT_FALSE(o.mem.base.has_value());
+    EXPECT_EQ(o.mem.index, Reg::Ecx);
+    EXPECT_EQ(o.mem.scale, 2);
+    EXPECT_EQ(o.mem.disp, 16);
+  }
+  {
+    const Operand o = parse_operand("0x1000");  // absolute
+    EXPECT_EQ(o.kind, Operand::Kind::Mem);
+    EXPECT_EQ(o.mem.disp, 0x1000);
+  }
+}
+
+TEST(Operands, RejectsMalformedMemory) {
+  EXPECT_THROW(parse_operand("8(%ebp"), Error);
+  EXPECT_THROW(parse_operand("(%eax,%ebx,3)"), Error);  // bad scale
+  EXPECT_THROW(parse_operand("()"), Error);
+  EXPECT_THROW(parse_operand(""), Error);
+}
+
+TEST(Assembler, AssemblesStraightLine) {
+  const Image img = assemble("movl $1, %eax\naddl $2, %eax\nhlt\n");
+  EXPECT_EQ(img.instruction_count(), 3u);
+  EXPECT_EQ(img.base, 0x1000u);
+  const Instruction first = decode(img.bytes.data());
+  EXPECT_EQ(first.op, Mnemonic::Mov);
+  EXPECT_EQ(first.src, Operand::immediate(1));
+  EXPECT_EQ(first.dst, Operand::of_reg(Reg::Eax));
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  const Image img = assemble(R"(
+start:
+    jmp forward
+back:
+    hlt
+forward:
+    jmp back
+)");
+  EXPECT_EQ(img.symbol("start"), img.base);
+  const Instruction j1 = decode(img.bytes.data());
+  EXPECT_EQ(j1.target, img.symbol("forward"));
+  const Instruction j2 = decode(img.bytes.data() + 2 * kInstrBytes);
+  EXPECT_EQ(j2.target, img.symbol("back"));
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const Image img = assemble("# full comment\n\n  movl $1, %eax  # tail comment\n");
+  EXPECT_EQ(img.instruction_count(), 1u);
+}
+
+TEST(Assembler, DiagnosticsCarryLineNumbers) {
+  try {
+    (void)assemble("movl $1, %eax\nbogus %eax\n");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Assembler, RejectsDuplicateLabelsAndUndefinedTargets) {
+  EXPECT_THROW((void)assemble("a:\na:\n"), Error);
+  EXPECT_THROW((void)assemble("jmp nowhere\n"), Error);
+}
+
+TEST(Assembler, RejectsWrongOperandCounts) {
+  EXPECT_THROW((void)assemble("movl $1\n"), Error);
+  EXPECT_THROW((void)assemble("pushl %eax, %ebx\n"), Error);
+  EXPECT_THROW((void)assemble("ret %eax\n"), Error);
+}
+
+TEST(Assembler, EncodeDecodeRoundTripsEveryMnemonic) {
+  const Image img = assemble(R"(
+top:
+    movl $5, %eax
+    addl %eax, %ebx
+    subl $1, %ecx
+    imull %edx, %eax
+    andl $15, %eax
+    orl %ebx, %eax
+    xorl %eax, %eax
+    notl %eax
+    negl %ebx
+    incl %ecx
+    decl %ecx
+    shll $2, %eax
+    shrl $1, %ebx
+    sarl $1, %ecx
+    leal 4(%eax,%ebx,2), %edx
+    cmpl $0, %eax
+    testl %eax, %eax
+    pushl %eax
+    popl %ebx
+    call top
+    leave
+    jmp top
+    je top
+    jne top
+    jg top
+    jge top
+    jl top
+    jle top
+    ja top
+    jae top
+    jb top
+    jbe top
+    js top
+    jns top
+    nop
+    ret
+    hlt
+)");
+  // Decoding every slot must succeed and re-encode identically.
+  for (std::size_t off = 0; off < img.bytes.size(); off += kInstrBytes) {
+    const Instruction ins = decode(img.bytes.data() + off);
+    const std::vector<std::uint8_t> re = encode(ins);
+    for (std::size_t i = 0; i < kInstrBytes; ++i) {
+      ASSERT_EQ(re[i], img.bytes[off + i]) << "offset " << off;
+    }
+  }
+}
+
+TEST(Disassembler, ShowsLabelsAndResolvedTargets) {
+  const Image img = assemble("main:\n  movl $3, %eax\nloop:\n  jmp loop\n");
+  const std::vector<DisasmLine> lines = disassemble(img);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].label, "main");
+  EXPECT_EQ(lines[0].text, "movl $3, %eax");
+  EXPECT_EQ(lines[1].label, "loop");
+  EXPECT_EQ(lines[1].text, "jmp loop");
+}
+
+TEST(Disassembler, RendersAttOperandOrderAndAddressing) {
+  const Image img = assemble("movl 8(%ebp), %eax\nleal (%eax,%ebx,4), %ecx\n");
+  const std::vector<DisasmLine> lines = disassemble(img);
+  EXPECT_EQ(lines[0].text, "movl 8(%ebp), %eax");
+  EXPECT_EQ(lines[1].text, "leal (%eax,%ebx,4), %ecx");
+}
+
+TEST(Image, SymbolLookupThrowsOnUnknown) {
+  const Image img = assemble("nop\n");
+  EXPECT_THROW((void)img.symbol("missing"), Error);
+}
+
+}  // namespace
+}  // namespace cs31::isa

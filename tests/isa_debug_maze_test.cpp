@@ -1,0 +1,249 @@
+// Debugger (GDB workflow) and binary-maze (Lab 5) tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/debugger.hpp"
+#include "isa/maze.hpp"
+
+namespace cs31::isa {
+namespace {
+
+Machine loaded(const std::string& src) {
+  Machine m;
+  m.load(assemble(src));
+  return m;
+}
+
+TEST(Debugger, BreakpointStopsContinue) {
+  Machine m = loaded(R"(
+    movl $1, %eax
+target:
+    movl $2, %eax
+    hlt
+)");
+  Debugger dbg(m);
+  dbg.break_at("target");
+  EXPECT_EQ(dbg.cont(), StopReason::Breakpoint);
+  EXPECT_EQ(m.reg(Reg::Eax), 1u) << "stopped before the breakpoint instruction";
+  EXPECT_EQ(dbg.cont(), StopReason::Halted);
+  EXPECT_EQ(m.reg(Reg::Eax), 2u);
+}
+
+TEST(Debugger, StepiExecutesExactlyN) {
+  Machine m = loaded("movl $1, %eax\nmovl $2, %ebx\nmovl $3, %ecx\nhlt\n");
+  Debugger dbg(m);
+  EXPECT_EQ(dbg.stepi(2), StopReason::Step);
+  EXPECT_EQ(m.reg(Reg::Ebx), 2u);
+  EXPECT_EQ(m.reg(Reg::Ecx), 0u);
+}
+
+TEST(Debugger, BreakpointValidation) {
+  Machine m = loaded("nop\nhlt\n");
+  Debugger dbg(m);
+  EXPECT_THROW(dbg.break_at(0u), Error);                 // outside image
+  EXPECT_THROW(dbg.break_at(m.image().base + 1), Error); // misaligned
+  EXPECT_THROW(dbg.break_at("nope"), Error);
+}
+
+TEST(Debugger, InfoRegistersAndExamine) {
+  Machine m = loaded("movl $42, %eax\nmovl $42, 0x2000\nhlt\n");
+  Debugger dbg(m);
+  dbg.cont();
+  const std::string regs = dbg.info_registers();
+  EXPECT_NE(regs.find("eax"), std::string::npos);
+  EXPECT_NE(regs.find("42"), std::string::npos);
+  EXPECT_EQ(dbg.examine(0x2000, 1).at(0), 42u);
+}
+
+TEST(Debugger, DisasMarksCurrentInstruction) {
+  Machine m = loaded("a:\n  movl $1, %eax\nb:\n  hlt\n");
+  Debugger dbg(m);
+  const std::string listing = dbg.disas();
+  EXPECT_NE(listing.find("=>"), std::string::npos);
+  EXPECT_NE(listing.find("a:"), std::string::npos);
+}
+
+TEST(Debugger, CommandInterpreterDrivesSession) {
+  Machine m = loaded(R"(
+    movl $7, %eax
+spot:
+    movl $8, %eax
+    hlt
+)");
+  Debugger dbg(m);
+  EXPECT_NE(dbg.execute("break spot").find("Breakpoint"), std::string::npos);
+  EXPECT_NE(dbg.execute("c").find("Breakpoint hit"), std::string::npos);
+  EXPECT_NE(dbg.execute("print $eax").find("7"), std::string::npos);
+  EXPECT_NE(dbg.execute("info registers").find("eip"), std::string::npos);
+  (void)dbg.execute("stepi");
+  EXPECT_NE(dbg.execute("p $eax").find("8"), std::string::npos);
+  EXPECT_THROW((void)dbg.execute("frobnicate"), Error);
+  EXPECT_THROW((void)dbg.execute(""), Error);
+}
+
+TEST(Debugger, ExamineCommandFormatsWords) {
+  Machine m = loaded("movl $1, 0x3000\nmovl $2, 0x3004\nhlt\n");
+  Debugger dbg(m);
+  dbg.cont();
+  const std::string out = dbg.execute("x/2w 0x3000");
+  EXPECT_NE(out.find("0x1"), std::string::npos);
+  EXPECT_NE(out.find("0x2"), std::string::npos);
+}
+
+TEST(Debugger, BacktraceWalksSavedEbpChain) {
+  Machine m = loaded(R"(
+main:
+    pushl %ebp
+    movl %esp, %ebp
+    call outer
+    leave
+    hlt
+outer:
+    pushl %ebp
+    movl %esp, %ebp
+    call inner
+    leave
+    ret
+inner:
+    pushl %ebp
+    movl %esp, %ebp
+.Lspot:
+    nop
+    leave
+    ret
+)");
+  Debugger dbg(m);
+  dbg.break_at(".Lspot");
+  ASSERT_EQ(dbg.cont(), StopReason::Breakpoint);
+  const std::vector<Debugger::Frame> frames = dbg.backtrace();
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].function, "inner");
+  EXPECT_EQ(frames[1].function, "outer");
+  EXPECT_EQ(frames[2].function, "main");
+  // Frame pointers grow toward the stack base as we unwind.
+  EXPECT_LT(frames[0].ebp, frames[1].ebp);
+  EXPECT_LT(frames[1].ebp, frames[2].ebp);
+  // The command interpreter renders the same walk.
+  const std::string bt = dbg.execute("bt");
+  EXPECT_NE(bt.find("#0"), std::string::npos);
+  EXPECT_NE(bt.find("outer"), std::string::npos);
+  EXPECT_NE(bt.find("main"), std::string::npos);
+}
+
+TEST(Debugger, BacktraceOnRecursiveMiniCDepth) {
+  // Deep frames via recursion written in assembly (countdown).
+  Machine m = loaded(R"(
+main:
+    pushl %ebp
+    movl %esp, %ebp
+    movl $5, %eax
+    pushl %eax
+    call down
+    leave
+    hlt
+down:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    cmpl $0, %eax
+    je .Lbottom
+    subl $1, %eax
+    pushl %eax
+    call down
+    addl $4, %esp
+    leave
+    ret
+.Lbottom:
+    nop
+    leave
+    ret
+)");
+  Debugger dbg(m);
+  dbg.break_at(".Lbottom");
+  ASSERT_EQ(dbg.cont(), StopReason::Breakpoint);
+  const auto frames = dbg.backtrace();
+  // bottom-of-recursion frame + 6 `down` frames (5..0) + main.
+  ASSERT_EQ(frames.size(), 7u);
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].function, "down") << i;
+  }
+  EXPECT_EQ(frames.back().function, "main");
+}
+
+// ---------- the binary maze ----------
+
+TEST(Maze, SolutionsPassEveryArchetype) {
+  const Maze maze(10, 0xBEEF);  // two full cycles of the 5 archetypes
+  for (unsigned k = 0; k < maze.floors(); ++k) {
+    const AttemptResult r = maze.attempt(k, maze.solution(k));
+    EXPECT_TRUE(r.passed) << "floor " << k;
+    EXPECT_FALSE(r.exploded) << "floor " << k;
+  }
+}
+
+TEST(Maze, WrongGuessesExplode) {
+  const Maze maze(10, 0xBEEF);
+  for (unsigned k = 0; k < maze.floors(); ++k) {
+    const AttemptResult r = maze.attempt(k, maze.solution(k) + 1);
+    EXPECT_FALSE(r.passed) << "floor " << k;
+    EXPECT_TRUE(r.exploded) << "floor " << k;
+  }
+}
+
+TEST(Maze, DeterministicPerSeedDistinctAcrossSeeds) {
+  const Maze a(5, 1), b(5, 1), c(5, 2);
+  for (unsigned k = 0; k < 5; ++k) {
+    EXPECT_EQ(a.solution(k), b.solution(k));
+  }
+  bool any_different = false;
+  for (unsigned k = 0; k < 5; ++k) {
+    any_different = any_different || a.solution(k) != c.solution(k);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Maze, PlayCountsConsecutivePasses) {
+  const Maze maze(5, 7);
+  std::vector<std::uint32_t> guesses;
+  for (unsigned k = 0; k < 5; ++k) guesses.push_back(maze.solution(k));
+  EXPECT_EQ(maze.play(guesses), 5u);
+  guesses[2] += 1;  // fail the third floor
+  EXPECT_EQ(maze.play(guesses), 2u);
+}
+
+TEST(Maze, SourceIsDisassemblableAndTraceable) {
+  const Maze maze(5, 3);
+  EXPECT_NE(maze.source().find("floor_0:"), std::string::npos);
+  EXPECT_NE(maze.source().find("maze_explode"), std::string::npos);
+  // A student workflow: set a breakpoint on floor_0 and step through.
+  Machine m;
+  m.load(maze.image());
+  m.set_reg(Reg::Eip, maze.image().symbol("floor_0"));
+  m.set_reg(Reg::Eax, maze.solution(0));
+  Debugger dbg(m);
+  while (!m.halted()) {
+    if (dbg.stepi() == StopReason::Halted) break;
+  }
+  EXPECT_GE(m.reg(Reg::Eip), maze.image().symbol("maze_pass"));
+  EXPECT_LT(m.reg(Reg::Eip), maze.image().symbol("maze_explode"));
+}
+
+TEST(Maze, LoopFloorGuardsAgainstHugeInputs) {
+  // Archetype 3 sits at floors 3, 8, ...: a huge guess must explode
+  // quickly instead of looping ~2^32 times.
+  const Maze maze(5, 11);
+  const AttemptResult r = maze.attempt(3, 0xFFFFFFFFu);
+  EXPECT_TRUE(r.exploded);
+  EXPECT_LT(r.instructions, 100u);
+}
+
+TEST(Maze, FloorCountValidation) {
+  EXPECT_THROW(Maze(0), Error);
+  EXPECT_THROW(Maze(17), Error);
+  const Maze maze(3);
+  EXPECT_THROW((void)maze.attempt(3, 0), Error);
+  EXPECT_THROW((void)maze.solution(3), Error);
+}
+
+}  // namespace
+}  // namespace cs31::isa

@@ -1,0 +1,260 @@
+// Machine (emulator) tests: arithmetic and flag semantics cross-checked
+// against host 32-bit arithmetic, addressing modes, the stack
+// discipline, call/ret/leave frames, and all conditional jumps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "isa/machine.hpp"
+
+namespace cs31::isa {
+namespace {
+
+/// Assemble, load, run to halt, and hand back the machine.
+Machine run_source(const std::string& src, std::size_t max_steps = 100000) {
+  Machine m;
+  m.load(assemble(src));
+  m.run(max_steps);
+  return m;
+}
+
+TEST(Machine, MovAndArithmetic) {
+  const Machine m = run_source(R"(
+    movl $20, %eax
+    movl $22, %ebx
+    addl %ebx, %eax
+    hlt
+)");
+  EXPECT_EQ(m.reg(Reg::Eax), 42u);
+}
+
+TEST(Machine, ImulSignedMultiply) {
+  const Machine m = run_source(R"(
+    movl $-6, %eax
+    movl $7, %ebx
+    imull %ebx, %eax
+    hlt
+)");
+  EXPECT_EQ(static_cast<std::int32_t>(m.reg(Reg::Eax)), -42);
+}
+
+// Flag semantics sweep: cmp against host comparison for signed and
+// unsigned relations, across a grid of interesting values.
+class CmpFlags : public ::testing::TestWithParam<std::pair<std::int32_t, std::int32_t>> {};
+
+TEST_P(CmpFlags, ConditionCodesMatchHostComparisons) {
+  const auto [a, b] = GetParam();
+  Machine m;
+  m.load(assemble("cmpl $" + std::to_string(b) + ", %eax\nhlt\n"));
+  m.set_reg(Reg::Eax, static_cast<std::uint32_t>(a));
+  m.run();
+  const Eflags f = m.flags();
+  const std::uint32_t ua = static_cast<std::uint32_t>(a), ub = static_cast<std::uint32_t>(b);
+  EXPECT_EQ(f.zf, a == b);
+  EXPECT_EQ(f.cf, ua < ub);                 // unsigned below
+  EXPECT_EQ(f.sf != f.of, a < b);           // signed less-than identity
+  EXPECT_EQ(!f.zf && f.sf == f.of, a > b);  // signed greater-than identity
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CmpFlags,
+    ::testing::Values(std::pair{0, 0}, std::pair{1, 2}, std::pair{2, 1},
+                      std::pair{-1, 1}, std::pair{1, -1}, std::pair{-5, -3},
+                      std::pair{-3, -5}, std::pair{2147483647, -2147483648},
+                      std::pair{-2147483648, 2147483647}, std::pair{-1, -1}));
+
+TEST(Machine, ConditionalJumpsFollowFlags) {
+  // Signed vs unsigned comparison: -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+  const Machine m = run_source(R"(
+    movl $-1, %eax
+    cmpl $1, %eax
+    jl signed_less
+    movl $0, %ebx
+    jmp unsigned_part
+signed_less:
+    movl $1, %ebx
+unsigned_part:
+    movl $-1, %eax
+    cmpl $1, %eax
+    ja unsigned_above
+    movl $0, %ecx
+    hlt
+unsigned_above:
+    movl $1, %ecx
+    hlt
+)");
+  EXPECT_EQ(m.reg(Reg::Ebx), 1u) << "-1 < 1 signed";
+  EXPECT_EQ(m.reg(Reg::Ecx), 1u) << "0xffffffff > 1 unsigned";
+}
+
+TEST(Machine, AddressingModes) {
+  Machine m;
+  m.load(assemble(R"(
+    movl $0x2000, %eax
+    movl $2, %ebx
+    movl $7, 0(%eax)
+    movl $8, 4(%eax)
+    movl $9, 8(%eax)
+    movl (%eax,%ebx,4), %ecx   # mem[0x2000 + 2*4] = 9
+    movl 4(%eax), %edx
+    hlt
+)"));
+  m.run();
+  EXPECT_EQ(m.reg(Reg::Ecx), 9u);
+  EXPECT_EQ(m.reg(Reg::Edx), 8u);
+  EXPECT_EQ(m.load32(0x2000), 7u);
+}
+
+TEST(Machine, LeaComputesWithoutMemoryAccess) {
+  const Machine m = run_source(R"(
+    movl $0x10, %eax
+    movl $3, %ebx
+    leal 5(%eax,%ebx,2), %ecx
+    hlt
+)");
+  EXPECT_EQ(m.reg(Reg::Ecx), 0x10u + 3 * 2 + 5);
+}
+
+TEST(Machine, PushPopStackDiscipline) {
+  Machine m;
+  m.load(assemble(R"(
+    movl $11, %eax
+    movl $22, %ebx
+    pushl %eax
+    pushl %ebx
+    popl %ecx
+    popl %edx
+    hlt
+)"));
+  const std::uint32_t esp0 = 0;  // captured after load below
+  m.run();
+  EXPECT_EQ(m.reg(Reg::Ecx), 22u) << "LIFO order";
+  EXPECT_EQ(m.reg(Reg::Edx), 11u);
+  (void)esp0;
+  // Balanced pushes/pops restore ESP to the load-time top.
+  Machine fresh;
+  fresh.load(assemble("hlt\n"));
+  EXPECT_EQ(m.reg(Reg::Esp), fresh.reg(Reg::Esp));
+}
+
+TEST(Machine, CallRetAndFramePointerDiscipline) {
+  // The canonical prologue/epilogue the course traces for a week.
+  const Machine m = run_source(R"(
+main:
+    movl $5, %eax
+    pushl %eax          # argument
+    call square
+    addl $4, %esp       # caller cleans up
+    hlt
+square:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx  # the argument
+    imull %ebx, %ebx
+    movl %ebx, %eax
+    leave
+    ret
+)");
+  EXPECT_EQ(m.reg(Reg::Eax), 25u);
+}
+
+TEST(Machine, NestedCallsReturnCorrectly) {
+  const Machine m = run_source(R"(
+main:
+    call f
+    hlt
+f:
+    pushl %ebp
+    movl %esp, %ebp
+    call g
+    addl $1, %eax
+    leave
+    ret
+g:
+    movl $10, %eax
+    ret
+)");
+  EXPECT_EQ(m.reg(Reg::Eax), 11u);
+}
+
+TEST(Machine, RetFromOutermostFrameHalts) {
+  Machine m;
+  m.load(assemble("movl $1, %eax\nret\n"));
+  m.run();
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.reg(Reg::Eax), 1u);
+}
+
+TEST(Machine, ShiftsSetCarryFromShiftedBit) {
+  const Machine m = run_source(R"(
+    movl $1, %eax
+    shll $31, %eax      # eax = 0x80000000
+    sarl $31, %eax      # arithmetic: eax = -1
+    movl $1, %ebx
+    shrl $1, %ebx       # logical: CF gets the 1
+    hlt
+)");
+  EXPECT_EQ(m.reg(Reg::Eax), 0xFFFFFFFFu);
+  EXPECT_TRUE(m.flags().cf);
+}
+
+TEST(Machine, IncDecPreserveCarry) {
+  Machine m;
+  m.load(assemble(R"(
+    movl $-1, %eax
+    addl $1, %eax       # sets CF
+    incl %ebx           # must not clear CF
+    hlt
+)"));
+  m.run();
+  EXPECT_TRUE(m.flags().cf);
+}
+
+TEST(Machine, TestAndCmpDoNotWriteOperands) {
+  const Machine m = run_source(R"(
+    movl $7, %eax
+    testl %eax, %eax
+    cmpl $3, %eax
+    hlt
+)");
+  EXPECT_EQ(m.reg(Reg::Eax), 7u);
+}
+
+TEST(Machine, SegfaultOnWildAccess) {
+  Machine m(4096);
+  m.load(assemble("movl $100000, %eax\nmovl (%eax), %ebx\nhlt\n", 0));
+  EXPECT_THROW(m.run(), Error);
+}
+
+TEST(Machine, EipOutsideImageThrows) {
+  Machine m;
+  m.load(assemble("nop\nnop\n"));  // falls off the end
+  EXPECT_THROW(m.run(), Error);
+}
+
+TEST(Machine, WritingToImmediateThrows) {
+  Machine m;
+  m.load(assemble("movl %eax, $5\nhlt\n"));
+  EXPECT_THROW(m.run(), Error);
+}
+
+TEST(Machine, StartSymbolSelectsEntryPoint) {
+  Machine m;
+  m.load(assemble("helper:\n  hlt\n_start:\n  movl $9, %eax\n  hlt\n"));
+  m.run();
+  EXPECT_EQ(m.reg(Reg::Eax), 9u);
+}
+
+TEST(Machine, RunawayGuardThrows) {
+  Machine m;
+  m.load(assemble("loop:\n  jmp loop\n"));
+  EXPECT_THROW(m.run(1000), Error);
+}
+
+TEST(Machine, TooSmallMemoryRejected) {
+  EXPECT_THROW(Machine(100), Error);
+}
+
+}  // namespace
+}  // namespace cs31::isa

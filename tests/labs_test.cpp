@@ -1,0 +1,109 @@
+// Lab 2 (sorting) and Lab 4.1 (file statistics) tests, with a
+// parameterized sweep comparing every sort against std::sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "labs/filestats.hpp"
+#include "labs/sorting.hpp"
+
+namespace cs31::labs {
+namespace {
+
+using SortFn = std::function<void(std::span<int>)>;
+
+struct SortCase {
+  const char* name;
+  SortFn fn;
+};
+
+class SortProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+ public:
+  static std::vector<SortCase> sorts() {
+    return {
+        {"bubble", [](std::span<int> d) { bubble_sort(d); }},
+        {"insertion", [](std::span<int> d) { insertion_sort(d); }},
+        {"selection", [](std::span<int> d) { selection_sort(d); }},
+        {"pmerge1", [](std::span<int> d) { parallel_merge_sort(d, 1); }},
+        {"pmerge4", [](std::span<int> d) { parallel_merge_sort(d, 4); }},
+        {"pmerge3-cutoff1", [](std::span<int> d) { parallel_merge_sort(d, 3, 1); }},
+    };
+  }
+};
+
+TEST_P(SortProperty, MatchesStdSortOnRandomData) {
+  const auto [seed, n] = GetParam();
+  for (const SortCase& sc : sorts()) {
+    std::vector<int> data(n);
+    fill_random(data, static_cast<std::uint32_t>(seed));
+    std::vector<int> expected = data;
+    std::sort(expected.begin(), expected.end());
+    sc.fn(data);
+    EXPECT_EQ(data, expected) << sc.name << " n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SortProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(0u, 1u, 2u, 17u, 100u,
+                                                              1000u)));
+
+TEST(Sorts, HandleSortedAndReversedInput) {
+  std::vector<int> asc = {1, 2, 3, 4, 5};
+  std::vector<int> desc = {5, 4, 3, 2, 1};
+  bubble_sort(asc);
+  EXPECT_TRUE(is_sorted(asc));
+  bubble_sort(desc);
+  EXPECT_EQ(desc, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Sorts, StableUnderDuplicates) {
+  std::vector<int> dups = {3, 1, 3, 1, 3, 1};
+  insertion_sort(dups);
+  EXPECT_EQ(dups, (std::vector<int>{1, 1, 1, 3, 3, 3}));
+}
+
+TEST(Sorts, IsSortedPredicate) {
+  EXPECT_TRUE(is_sorted(std::vector<int>{}));
+  EXPECT_TRUE(is_sorted(std::vector<int>{7}));
+  EXPECT_TRUE(is_sorted(std::vector<int>{1, 1, 2}));
+  EXPECT_FALSE(is_sorted(std::vector<int>{2, 1}));
+}
+
+TEST(Sorts, ParallelMergeSortValidation) {
+  std::vector<int> d = {3, 1, 2};
+  EXPECT_THROW(parallel_merge_sort(d, 0), cs31::Error);
+}
+
+TEST(Stats, ComputesMeanMedianMinMax) {
+  const Stats s = compute_stats({4, 1, 3, 2});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  const Stats odd = compute_stats({9, 1, 5});
+  EXPECT_DOUBLE_EQ(odd.median, 5);
+  EXPECT_THROW(compute_stats({}), cs31::Error);
+}
+
+TEST(Stats, ParsesLabFileFormat) {
+  const std::vector<double> v = parse_values("3\n1.5 2.5\n3.5\n");
+  EXPECT_EQ(v, (std::vector<double>{1.5, 2.5, 3.5}));
+  EXPECT_THROW(parse_values(""), cs31::Error);
+  EXPECT_THROW(parse_values("3\n1 2\n"), cs31::Error);   // count mismatch
+  EXPECT_THROW(parse_values("2\n1 2 3\n"), cs31::Error); // too many
+}
+
+TEST(Stats, EndToEndFromText) {
+  const Stats s = stats_from_text("5\n10 20 30 40 50\n");
+  EXPECT_DOUBLE_EQ(s.mean, 30);
+  EXPECT_DOUBLE_EQ(s.median, 30);
+}
+
+}  // namespace
+}  // namespace cs31::labs

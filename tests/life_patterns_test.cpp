@@ -1,0 +1,104 @@
+// Pattern-catalog tests: the engine verified against the documented
+// dynamics of canonical patterns — still lifes hold, oscillators cycle
+// with their period, ships translate by their displacement, and the
+// methuselah stays chaotic; all on both engines.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "life/life.hpp"
+#include "life/patterns.hpp"
+
+namespace cs31::life {
+namespace {
+
+/// Shift a grid by (dr, dc) on the torus.
+Grid shifted(const Grid& g, int dr, int dc) {
+  Grid out(g.rows(), g.cols());
+  const auto rows = static_cast<std::int64_t>(g.rows());
+  const auto cols = static_cast<std::int64_t>(g.cols());
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      if (!g.alive(r, c)) continue;
+      const std::size_t nr = static_cast<std::size_t>(
+          (static_cast<std::int64_t>(r) + dr % rows + rows) % rows);
+      const std::size_t nc = static_cast<std::size_t>(
+          (static_cast<std::int64_t>(c) + dc % cols + cols) % cols);
+      out.set(nr, nc, true);
+    }
+  }
+  return out;
+}
+
+class PatternDynamics : public ::testing::TestWithParam<Pattern> {};
+
+TEST_P(PatternDynamics, SerialEngineMatchesCatalog) {
+  const Pattern& p = GetParam();
+  const Grid initial = pattern_grid(p);
+  SerialLife sim(initial, EdgeRule::Torus);
+  switch (p.kind) {
+    case PatternKind::Still:
+      sim.run(6);
+      EXPECT_EQ(sim.grid(), initial) << p.name;
+      break;
+    case PatternKind::Oscillator: {
+      sim.run(static_cast<std::size_t>(p.period));
+      EXPECT_EQ(sim.grid(), initial) << p.name << " after one period";
+      // And it actually oscillates (differs mid-period).
+      SerialLife half(initial, EdgeRule::Torus);
+      half.run(1);
+      EXPECT_NE(half.grid(), initial) << p.name;
+      break;
+    }
+    case PatternKind::Ship: {
+      sim.run(static_cast<std::size_t>(p.period));
+      EXPECT_EQ(sim.grid(), shifted(initial, p.dr, p.dc)) << p.name;
+      // Two periods: twice the displacement.
+      sim.run(static_cast<std::size_t>(p.period));
+      EXPECT_EQ(sim.grid(), shifted(initial, 2 * p.dr, 2 * p.dc)) << p.name;
+      break;
+    }
+    case PatternKind::Methuselah:
+      sim.run(100);
+      EXPECT_GT(sim.grid().population(), 5u) << p.name << " must grow";
+      EXPECT_NE(sim.grid(), initial);
+      break;
+  }
+}
+
+TEST_P(PatternDynamics, ParallelEngineAgreesWithSerial) {
+  const Pattern& p = GetParam();
+  const Grid initial = pattern_grid(p);
+  const std::size_t generations = p.kind == PatternKind::Methuselah
+                                      ? 30
+                                      : static_cast<std::size_t>(p.period) * 3;
+  SerialLife serial(initial, EdgeRule::Torus);
+  const std::size_t threads = std::min<std::size_t>(4, initial.rows());
+  ParallelLife parallel_sim(initial, threads, parallel::GridSplit::Horizontal,
+                            EdgeRule::Torus);
+  serial.run(generations);
+  parallel_sim.run(generations);
+  EXPECT_EQ(parallel_sim.grid(), serial.grid()) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PatternDynamics,
+                         ::testing::ValuesIn(pattern_catalog()),
+                         [](const ::testing::TestParamInfo<Pattern>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PatternCatalog, LookupAndParse) {
+  EXPECT_GE(pattern_catalog().size(), 8u);
+  EXPECT_EQ(pattern("glider").kind, PatternKind::Ship);
+  EXPECT_THROW((void)pattern("galaxy"), cs31::Error);
+  for (const Pattern& p : pattern_catalog()) {
+    const Grid g = pattern_grid(p);
+    EXPECT_GT(g.population(), 0u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace cs31::life

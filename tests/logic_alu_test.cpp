@@ -1,0 +1,120 @@
+// The Lab 3 grader: exercise the gate-level ALU across all eight
+// operations and cross-check results and all five flags against the
+// bits-module arithmetic reference.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <tuple>
+
+#include "bits/integer.hpp"
+#include "common/error.hpp"
+#include "logic/alu.hpp"
+
+namespace cs31::logic {
+namespace {
+
+std::uint64_t reference_result(AluOp op, std::uint64_t a, std::uint64_t b, int w) {
+  const std::uint64_t mask = bits::low_mask(w);
+  switch (op) {
+    case AluOp::Add: return (a + b) & mask;
+    case AluOp::Sub: return (a - b) & mask;
+    case AluOp::And: return a & b;
+    case AluOp::Or: return a | b;
+    case AluOp::Xor: return a ^ b;
+    case AluOp::Not: return ~a & mask;
+    case AluOp::Shl: return (a << 1) & mask;
+    case AluOp::Sra: {
+      std::uint64_t r = a >> 1;
+      if ((a >> (w - 1)) & 1u) r |= std::uint64_t{1} << (w - 1);
+      return r;
+    }
+  }
+  return 0;
+}
+
+class AluExhaustive
+    : public ::testing::TestWithParam<std::tuple<int, AluOp>> {};
+
+TEST_P(AluExhaustive, MatchesReferenceAtWidth4) {
+  const auto [w, op] = GetParam();
+  Circuit c;
+  const Alu alu = build_alu(c, w);
+  const std::uint64_t limit = 1ull << w;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      const AluReading r = run_alu(c, alu, op, a, b);
+      const std::uint64_t expect = reference_result(op, a, b, w);
+      ASSERT_EQ(r.result, expect)
+          << "op=" << static_cast<int>(op) << " a=" << a << " b=" << b << " w=" << w;
+      ASSERT_EQ(r.zero, expect == 0);
+      ASSERT_EQ(r.negative, (expect >> (w - 1)) & 1u);
+      ASSERT_EQ(r.parity, std::popcount(expect) % 2 == 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, AluExhaustive,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or,
+                                         AluOp::Xor, AluOp::Not, AluOp::Shl, AluOp::Sra)));
+
+TEST(Alu, AddSubFlagsMatchBitsReference) {
+  constexpr int w = 8;
+  Circuit c;
+  const Alu alu = build_alu(c, w);
+  const std::uint64_t samples[] = {0, 1, 2, 0x7E, 0x7F, 0x80, 0x81, 0xFE, 0xFF};
+  for (const std::uint64_t a : samples) {
+    for (const std::uint64_t b : samples) {
+      const bits::ArithResult ref_add = bits::add(bits::Word(a, w), bits::Word(b, w));
+      const AluReading add_r = run_alu(c, alu, AluOp::Add, a, b);
+      EXPECT_EQ(add_r.carry, ref_add.flags.carry) << a << "+" << b;
+      EXPECT_EQ(add_r.overflow, ref_add.flags.overflow) << a << "+" << b;
+
+      const bits::ArithResult ref_sub = bits::sub(bits::Word(a, w), bits::Word(b, w));
+      const AluReading sub_r = run_alu(c, alu, AluOp::Sub, a, b);
+      EXPECT_EQ(sub_r.result, ref_sub.pattern) << a << "-" << b;
+      EXPECT_EQ(sub_r.carry, ref_sub.flags.carry) << a << "-" << b;
+      EXPECT_EQ(sub_r.overflow, ref_sub.flags.overflow) << a << "-" << b;
+    }
+  }
+}
+
+TEST(Alu, ShiftCarriesOutTheEdgeBit) {
+  Circuit c;
+  const Alu alu = build_alu(c, 8);
+  EXPECT_TRUE(run_alu(c, alu, AluOp::Shl, 0x80, 0).carry);
+  EXPECT_FALSE(run_alu(c, alu, AluOp::Shl, 0x40, 0).carry);
+  EXPECT_TRUE(run_alu(c, alu, AluOp::Sra, 0x01, 0).carry);
+  EXPECT_FALSE(run_alu(c, alu, AluOp::Sra, 0x02, 0).carry);
+}
+
+TEST(Alu, LogicOpsClearOverflow) {
+  Circuit c;
+  const Alu alu = build_alu(c, 8);
+  for (const AluOp op : {AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Not}) {
+    EXPECT_FALSE(run_alu(c, alu, op, 0xFF, 0xFF).overflow);
+    EXPECT_FALSE(run_alu(c, alu, op, 0xFF, 0xFF).carry);
+  }
+}
+
+TEST(Alu, SixteenBitSpotChecks) {
+  Circuit c;
+  const Alu alu = build_alu(c, 16);
+  EXPECT_EQ(run_alu(c, alu, AluOp::Add, 0xFFFF, 1).result, 0u);
+  EXPECT_TRUE(run_alu(c, alu, AluOp::Add, 0xFFFF, 1).carry);
+  EXPECT_EQ(run_alu(c, alu, AluOp::Sub, 5, 7).result, 0xFFFEu);
+  EXPECT_EQ(run_alu(c, alu, AluOp::Not, 0xAAAA, 0).result, 0x5555u);
+}
+
+TEST(Alu, RejectsBadWidthAndWideOperands) {
+  Circuit c;
+  EXPECT_THROW(build_alu(c, 1), cs31::Error);
+  EXPECT_THROW(build_alu(c, 65), cs31::Error);
+  Circuit c2;
+  const Alu alu = build_alu(c2, 8);
+  EXPECT_THROW(run_alu(c2, alu, AluOp::Add, 0x100, 0), cs31::Error);
+}
+
+}  // namespace
+}  // namespace cs31::logic

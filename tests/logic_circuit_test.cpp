@@ -1,0 +1,306 @@
+// Tests for the gate-level circuit simulator and the Lab 3 component
+// library: primitive gates, feedback (latches), adders, muxes, decoders,
+// registers, and the register file.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "logic/circuit.hpp"
+#include "logic/components.hpp"
+
+namespace cs31::logic {
+namespace {
+
+TEST(Circuit, PrimitiveGateTruthTables) {
+  Circuit c;
+  const Wire a = c.input("a"), b = c.input("b");
+  const Wire and_w = c.and_(a, b), or_w = c.or_(a, b), xor_w = c.xor_(a, b);
+  const Wire nand_w = c.nand_(a, b), nor_w = c.nor_(a, b), xnor_w = c.xnor_(a, b);
+  const Wire not_w = c.not_(a);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      c.set(a, va);
+      c.set(b, vb);
+      c.evaluate();
+      EXPECT_EQ(c.value(and_w), va && vb);
+      EXPECT_EQ(c.value(or_w), va || vb);
+      EXPECT_EQ(c.value(xor_w), va != vb);
+      EXPECT_EQ(c.value(nand_w), !(va && vb));
+      EXPECT_EQ(c.value(nor_w), !(va || vb));
+      EXPECT_EQ(c.value(xnor_w), va == vb);
+      EXPECT_EQ(c.value(not_w), !va);
+    }
+  }
+}
+
+TEST(Circuit, ApiMisuseThrows) {
+  Circuit c;
+  const Wire a = c.input();
+  EXPECT_THROW(c.gate(GateKind::Not, a, a), Error);       // NOT via 2-input API
+  EXPECT_THROW(c.set(c.constant(true), true), Error);     // set a non-input
+  EXPECT_THROW(c.value(Wire{999}), Error);                // dangling wire
+  EXPECT_THROW((void)c.gate(GateKind::And, a, Wire{999}), Error);
+}
+
+TEST(Circuit, OscillatorDetected) {
+  Circuit c;
+  const Wire fwd = c.forward();
+  const Wire inv = c.not_(fwd);
+  c.bind(fwd, inv);  // NOT gate feeding itself
+  EXPECT_THROW(c.evaluate(), Error);
+}
+
+TEST(Circuit, UnboundForwardDetected) {
+  Circuit c;
+  const Wire fwd = c.forward();
+  (void)c.not_(fwd);
+  EXPECT_THROW(c.evaluate(), Error);
+}
+
+TEST(Circuit, ForwardBindOnlyOnce) {
+  Circuit c;
+  const Wire fwd = c.forward();
+  const Wire k = c.constant(true);
+  c.bind(fwd, k);
+  EXPECT_THROW(c.bind(fwd, k), Error);
+  EXPECT_THROW(c.bind(k, k), Error);  // not a forward wire
+}
+
+TEST(Circuit, BusHelpers) {
+  Circuit c;
+  const Bus bus = input_bus(c, 8, "x");
+  c.set_bus(bus, 0xA5);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(bus), 0xA5u);
+  EXPECT_THROW(input_bus(c, 0), Error);
+}
+
+TEST(Circuit, TruthTableHelper) {
+  Circuit c;
+  const Wire a = c.input(), b = c.input();
+  const Wire out = c.and_(a, b);
+  const std::vector<bool> table = truth_table(c, {a, b}, out);
+  ASSERT_EQ(table.size(), 4u);
+  // Row index bit 0 = first input.
+  EXPECT_FALSE(table[0]);  // a=0 b=0
+  EXPECT_FALSE(table[1]);  // a=1 b=0
+  EXPECT_FALSE(table[2]);  // a=0 b=1
+  EXPECT_TRUE(table[3]);   // a=1 b=1
+}
+
+TEST(Components, HalfAdderTruthTable) {
+  Circuit c;
+  const Wire a = c.input(), b = c.input();
+  const AdderBit h = half_adder(c, a, b);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      c.set(a, va);
+      c.set(b, vb);
+      c.evaluate();
+      EXPECT_EQ(c.value(h.sum), (va + vb) % 2);
+      EXPECT_EQ(c.value(h.carry), va + vb >= 2);
+    }
+  }
+}
+
+TEST(Components, FullAdderTruthTable) {
+  Circuit c;
+  const Wire a = c.input(), b = c.input(), cin = c.input();
+  const AdderBit f = full_adder(c, a, b, cin);
+  for (int bits = 0; bits < 8; ++bits) {
+    const int va = bits & 1, vb = (bits >> 1) & 1, vc = (bits >> 2) & 1;
+    c.set(a, va);
+    c.set(b, vb);
+    c.set(cin, vc);
+    c.evaluate();
+    const int total = va + vb + vc;
+    EXPECT_EQ(c.value(f.sum), total % 2);
+    EXPECT_EQ(c.value(f.carry), total >= 2);
+  }
+}
+
+// Ripple-carry adder checked exhaustively at small widths.
+class AdderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderProperty, MatchesIntegerAddition) {
+  const int w = GetParam();
+  Circuit c;
+  const Bus a = input_bus(c, w), b = input_bus(c, w);
+  const Wire cin = c.constant(false);
+  const RippleAdder adder = ripple_carry_adder(c, a, b, cin);
+  const unsigned long long limit = 1ull << w;
+  for (unsigned long long va = 0; va < limit; ++va) {
+    for (unsigned long long vb = 0; vb < limit; ++vb) {
+      c.set_bus(a, va);
+      c.set_bus(b, vb);
+      c.evaluate();
+      EXPECT_EQ(c.bus_value(adder.sum), (va + vb) % limit);
+      EXPECT_EQ(c.value(adder.carry_out), va + vb >= limit);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, AdderProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Components, AdderRejectsMismatchedWidths) {
+  Circuit c;
+  const Bus a = input_bus(c, 4), b = input_bus(c, 5);
+  EXPECT_THROW(ripple_carry_adder(c, a, b, c.constant(false)), Error);
+}
+
+TEST(Components, SignExtender) {
+  Circuit c;
+  const Bus in = input_bus(c, 4);
+  const Bus out = sign_extender(c, in, 8);
+  ASSERT_EQ(out.size(), 8u);
+  c.set_bus(in, 0b1010);  // negative at 4 bits
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(out), 0b11111010u);
+  c.set_bus(in, 0b0101);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(out), 0b0101u);
+  EXPECT_THROW(sign_extender(c, in, 3), Error);
+}
+
+TEST(Components, Mux2AndBus) {
+  Circuit c;
+  const Wire sel = c.input();
+  const Bus a = input_bus(c, 4), b = input_bus(c, 4);
+  const Bus out = mux2_bus(c, sel, a, b);
+  c.set_bus(a, 0x3);
+  c.set_bus(b, 0xC);
+  c.set(sel, false);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(out), 0x3u);
+  c.set(sel, true);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(out), 0xCu);
+}
+
+TEST(Components, MuxNSelectsEveryChoice) {
+  Circuit c;
+  const Bus sel = input_bus(c, 3);
+  std::vector<Wire> choices;
+  for (int i = 0; i < 8; ++i) choices.push_back(c.input());
+  const Wire out = mux_n(c, sel, choices);
+  for (unsigned pick = 0; pick < 8; ++pick) {
+    for (unsigned i = 0; i < 8; ++i) c.set(choices[i], i == pick);
+    c.set_bus(sel, pick);
+    c.evaluate();
+    EXPECT_TRUE(c.value(out)) << pick;
+    // Flip the selected input; output must follow.
+    c.set(choices[pick], false);
+    c.evaluate();
+    EXPECT_FALSE(c.value(out)) << pick;
+  }
+  EXPECT_THROW(mux_n(c, sel, {choices[0]}), Error);
+}
+
+TEST(Components, DecoderOneHot) {
+  Circuit c;
+  const Bus sel = input_bus(c, 2);
+  const std::vector<Wire> outs = decoder(c, sel);
+  ASSERT_EQ(outs.size(), 4u);
+  for (unsigned v = 0; v < 4; ++v) {
+    c.set_bus(sel, v);
+    c.evaluate();
+    for (unsigned i = 0; i < 4; ++i) {
+      EXPECT_EQ(c.value(outs[i]), i == v) << "sel=" << v << " out=" << i;
+    }
+  }
+}
+
+TEST(Components, RsLatchSetsResetsAndHolds) {
+  Circuit c;
+  const RsLatch latch = rs_latch(c);
+  c.evaluate();
+  EXPECT_FALSE(c.value(latch.q));  // power-on state
+
+  c.set(latch.set, true);
+  c.evaluate();
+  EXPECT_TRUE(c.value(latch.q));
+  EXPECT_FALSE(c.value(latch.q_bar));
+
+  c.set(latch.set, false);  // hold
+  c.evaluate();
+  EXPECT_TRUE(c.value(latch.q));
+
+  c.set(latch.reset, true);
+  c.evaluate();
+  EXPECT_FALSE(c.value(latch.q));
+  EXPECT_TRUE(c.value(latch.q_bar));
+
+  c.set(latch.reset, false);  // hold again
+  c.evaluate();
+  EXPECT_FALSE(c.value(latch.q));
+}
+
+TEST(Components, DLatchFollowsWhenEnabledHoldsWhenNot) {
+  Circuit c;
+  const DLatch latch = d_latch(c);
+  c.set(latch.d, true);
+  c.set(latch.enable, true);
+  c.evaluate();
+  EXPECT_TRUE(c.value(latch.q));
+
+  c.set(latch.enable, false);
+  c.set(latch.d, false);  // D changes while gate closed
+  c.evaluate();
+  EXPECT_TRUE(c.value(latch.q)) << "latch must hold with enable low";
+
+  c.set(latch.enable, true);
+  c.evaluate();
+  EXPECT_FALSE(c.value(latch.q));
+}
+
+TEST(Components, RegisterStoresWord) {
+  Circuit c;
+  const Register reg = register_n(c, 8);
+  c.set_bus(reg.d, 0x5A);
+  c.set(reg.enable, true);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(reg.q), 0x5Au);
+
+  c.set(reg.enable, false);
+  c.set_bus(reg.d, 0xFF);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(reg.q), 0x5Au) << "register must ignore D when not enabled";
+}
+
+TEST(Components, RegisterFileWritesAndReadsIndependently) {
+  Circuit c;
+  const RegisterFile rf = register_file(c, 8, 2);  // 4 registers of 8 bits
+  // Write distinct values to all four registers.
+  for (unsigned r = 0; r < 4; ++r) {
+    c.set_bus(rf.write_sel, r);
+    c.set_bus(rf.write_data, 0x10 + r);
+    c.set(rf.write_enable, true);
+    c.evaluate();
+    c.set(rf.write_enable, false);
+    c.evaluate();
+  }
+  // Read them all back.
+  for (unsigned r = 0; r < 4; ++r) {
+    c.set_bus(rf.read_sel, r);
+    c.evaluate();
+    EXPECT_EQ(c.bus_value(rf.read_data), 0x10u + r) << "register " << r;
+  }
+  // Writing with enable low must not modify anything.
+  c.set_bus(rf.write_sel, 2);
+  c.set_bus(rf.write_data, 0xEE);
+  c.evaluate();
+  c.set_bus(rf.read_sel, 2);
+  c.evaluate();
+  EXPECT_EQ(c.bus_value(rf.read_data), 0x12u);
+}
+
+TEST(Components, GateCountGrowsWithAbstraction) {
+  // The abstraction-stacking story: a register file is built from many
+  // latches, which are built from gates.
+  Circuit c;
+  const std::size_t before = c.gate_count();
+  (void)register_file(c, 8, 2);
+  EXPECT_GT(c.gate_count() - before, 100u);
+}
+
+}  // namespace
+}  // namespace cs31::logic

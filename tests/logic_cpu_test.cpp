@@ -1,0 +1,241 @@
+// Tests for the mini-CPU (instruction encoding, execution through the
+// gate-level ALU, control flow, memory) and the pipeline timing model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "logic/cpu.hpp"
+#include "logic/pipeline.hpp"
+
+namespace cs31::logic {
+namespace {
+
+TEST(Encoding, RoundTripsRegisterFormat) {
+  const std::uint16_t word = encode_reg(Op::Add, 3, 4, 5);
+  const Decoded d = decode(word);
+  EXPECT_EQ(d.op, Op::Add);
+  EXPECT_EQ(d.rd, 3u);
+  EXPECT_EQ(d.rs, 4u);
+  EXPECT_EQ(d.rt, 5u);
+}
+
+TEST(Encoding, RoundTripsImmediates) {
+  for (const int imm : {-256, -1, 0, 1, 255}) {
+    const Decoded d = decode(encode_imm(Op::LoadI, 2, imm));
+    EXPECT_EQ(d.op, Op::LoadI);
+    EXPECT_EQ(d.rd, 2u);
+    EXPECT_EQ(d.imm, imm);
+  }
+  EXPECT_THROW(encode_imm(Op::LoadI, 0, 256), cs31::Error);
+  EXPECT_THROW(encode_imm(Op::LoadI, 0, -257), cs31::Error);
+  EXPECT_THROW(encode_imm(Op::LoadI, 8, 0), cs31::Error);
+}
+
+TEST(Encoding, RejectsUnknownOpcode) {
+  EXPECT_THROW(decode(0xF000), cs31::Error);
+}
+
+TEST(Encoding, ToStringShowsAssembly) {
+  EXPECT_EQ(to_string(decode(encode_reg(Op::Add, 1, 2, 3))), "add R1, R2, R3");
+  EXPECT_EQ(to_string(decode(encode_imm(Op::LoadI, 4, -7))), "loadi R4, -7");
+  EXPECT_EQ(to_string(decode(encode_jump(100))), "jmp 100");
+}
+
+TEST(MiniCpu, AluInstructionsComputeThroughGates) {
+  MiniCpu cpu;
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, 20),
+      encode_imm(Op::LoadI, 2, 22),
+      encode_reg(Op::Add, 3, 1, 2),
+      encode_reg(Op::Sub, 4, 1, 2),
+      encode_reg(Op::Xor, 5, 1, 2),
+      encode_reg(Op::Halt, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(3), 42u);
+  EXPECT_EQ(cpu.reg(4), static_cast<std::uint16_t>(-2));
+  EXPECT_EQ(cpu.reg(5), 20u ^ 22u);
+  EXPECT_TRUE(cpu.halted());
+}
+
+TEST(MiniCpu, LoadStoreRoundTrip) {
+  MiniCpu cpu;
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, 100),   // address
+      encode_imm(Op::LoadI, 2, 77),    // value
+      encode_reg(Op::Store, 1, 2, 0),  // mem[R1] = R2
+      encode_reg(Op::Load, 3, 1, 0),   // R3 = mem[R1]
+      encode_reg(Op::Halt, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.mem(100), 77u);
+  EXPECT_EQ(cpu.reg(3), 77u);
+}
+
+TEST(MiniCpu, BranchAndJumpControlFlow) {
+  // Countdown loop: R1 = 3; while (R1) R1 -= 1; R2 = 9.
+  MiniCpu cpu;
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, 3),
+      encode_imm(Op::LoadI, 5, 1),
+      encode_branch(Op::Beqz, 1, 5),  // 2: if R1 == 0 goto 5
+      encode_reg(Op::Sub, 1, 1, 5),   // 3
+      encode_jump(2),                 // 4
+      encode_imm(Op::LoadI, 2, 9),    // 5
+      encode_reg(Op::Halt, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_EQ(cpu.reg(1), 0u);
+  EXPECT_EQ(cpu.reg(2), 9u);
+}
+
+TEST(MiniCpu, SampleSumProgramSumsArray) {
+  MiniCpu cpu;
+  const unsigned base = 200, count = 10;
+  std::uint16_t expected = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    cpu.set_mem(base + i, static_cast<std::uint16_t>(i * 3 + 1));
+    expected = static_cast<std::uint16_t>(expected + i * 3 + 1);
+  }
+  cpu.load_program(sample_sum_program(base, count));
+  cpu.run();
+  EXPECT_EQ(cpu.reg(3), expected);
+}
+
+TEST(MiniCpu, TraceRecordsDataflow) {
+  MiniCpu cpu;
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, 5),
+      encode_reg(Op::Add, 2, 1, 1),
+      encode_reg(Op::Halt, 0, 0, 0),
+  });
+  cpu.run();
+  const auto& trace = cpu.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_TRUE(trace[0].wrote_reg);
+  EXPECT_EQ(trace[0].dest, 1u);
+  EXPECT_EQ(trace[1].sources, (std::vector<unsigned>{1, 1}));
+  EXPECT_FALSE(trace[2].wrote_reg);
+}
+
+TEST(MiniCpu, RunawayProgramThrows) {
+  MiniCpu cpu;
+  cpu.load_program({encode_jump(0)});
+  EXPECT_THROW(cpu.run(1000), cs31::Error);
+}
+
+TEST(MiniCpu, MemoryBoundsChecked) {
+  MiniCpu cpu;
+  EXPECT_THROW(cpu.set_mem(MiniCpu::kMemWords, 0), cs31::Error);
+  EXPECT_THROW((void)cpu.mem(MiniCpu::kMemWords), cs31::Error);
+  EXPECT_THROW((void)cpu.reg(8), cs31::Error);
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, -1),    // 0xFFFF as address
+      encode_reg(Op::Load, 2, 1, 0),
+  });
+  EXPECT_THROW(cpu.run(), cs31::Error);
+}
+
+TEST(MiniCpu, ConditionFlagsLatchedFromAlu) {
+  MiniCpu cpu;
+  cpu.load_program({
+      encode_imm(Op::LoadI, 1, 1),
+      encode_reg(Op::Sub, 2, 1, 1),  // 1 - 1 = 0
+      encode_reg(Op::Halt, 0, 0, 0),
+  });
+  cpu.run();
+  EXPECT_TRUE(cpu.last_alu().zero);
+  EXPECT_FALSE(cpu.last_alu().negative);
+}
+
+// ---------- pipeline timing model ----------
+
+std::vector<ExecRecord> straightline(std::size_t n) {
+  std::vector<ExecRecord> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i].wrote_reg = true;
+    t[i].dest = static_cast<unsigned>(i % 8);
+    // No sources: fully independent instructions.
+  }
+  return t;
+}
+
+TEST(Pipeline, SequentialTakesOneLongCyclePerInstruction) {
+  const StageLatencies stages;
+  const TimingResult r = time_sequential(straightline(100), stages);
+  EXPECT_EQ(r.cycles, 100u);
+  EXPECT_DOUBLE_EQ(r.cycle_time_ps, stages.total());
+  EXPECT_DOUBLE_EQ(r.ipc(), 1.0);
+}
+
+TEST(Pipeline, IndependentCodeApproachesIpcOne) {
+  PipelineConfig cfg;
+  const TimingResult r = time_pipelined(straightline(1000), cfg);
+  EXPECT_EQ(r.stall_cycles, 0u);
+  EXPECT_GT(r.ipc(), 0.99);
+  EXPECT_LE(r.ipc(), 1.0);
+}
+
+TEST(Pipeline, PipelinedBeatsSequentialOnTime) {
+  const std::vector<ExecRecord> trace = straightline(1000);
+  const StageLatencies stages;
+  const double seq = time_sequential(trace, stages).time_ps();
+  const double pipe = time_pipelined(trace, PipelineConfig{stages, true, 2}).time_ps();
+  // Ideal ratio approaches total/max = 1000/300; with fill/drain ~3.3x.
+  EXPECT_GT(seq / pipe, 3.0);
+}
+
+TEST(Pipeline, LoadUseHazardCostsOneBubbleWithForwarding) {
+  std::vector<ExecRecord> trace(2);
+  trace[0].wrote_reg = true;
+  trace[0].dest = 1;
+  trace[0].is_load = true;
+  trace[1].wrote_reg = true;
+  trace[1].dest = 2;
+  trace[1].sources = {1};
+  const TimingResult r = time_pipelined(trace, PipelineConfig{});
+  EXPECT_EQ(r.stall_cycles, 1u);
+}
+
+TEST(Pipeline, AluDependencyFreeWithForwardingCostlyWithout) {
+  std::vector<ExecRecord> trace(2);
+  trace[0].wrote_reg = true;
+  trace[0].dest = 1;
+  trace[1].sources = {1};
+  PipelineConfig fwd;
+  EXPECT_EQ(time_pipelined(trace, fwd).stall_cycles, 0u);
+  PipelineConfig no_fwd;
+  no_fwd.forwarding = false;
+  EXPECT_EQ(time_pipelined(trace, no_fwd).stall_cycles, 2u);
+}
+
+TEST(Pipeline, TakenBranchesFlush) {
+  std::vector<ExecRecord> trace(10);
+  trace[4].is_branch = true;
+  trace[4].taken = true;
+  PipelineConfig cfg;
+  cfg.branch_penalty = 2;
+  const TimingResult r = time_pipelined(trace, cfg);
+  EXPECT_EQ(r.flush_cycles, 2u);
+  const TimingResult base = time_pipelined(straightline(10), cfg);
+  EXPECT_EQ(r.cycles, base.cycles + 2);
+}
+
+TEST(Pipeline, RealCpuTraceShowsIpcGain) {
+  // Run the sample-sum program and time its real trace both ways.
+  MiniCpu cpu;
+  for (unsigned i = 0; i < 20; ++i) cpu.set_mem(100 + i, 1);
+  cpu.load_program(sample_sum_program(100, 20));
+  cpu.run();
+  const StageLatencies stages;
+  const double seq = time_sequential(cpu.trace(), stages).time_ps();
+  const double pipe = time_pipelined(cpu.trace(), PipelineConfig{stages, true, 2}).time_ps();
+  EXPECT_GT(seq / pipe, 1.5) << "pipelining must pay off even with loop hazards";
+}
+
+TEST(Pipeline, EmptyTraceIsZeroCycles) {
+  EXPECT_EQ(time_pipelined({}, PipelineConfig{}).cycles, 0u);
+  EXPECT_EQ(time_sequential({}, StageLatencies{}).cycles, 0u);
+}
+
+}  // namespace
+}  // namespace cs31::logic

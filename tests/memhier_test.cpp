@@ -1,0 +1,292 @@
+// Cache simulator, hierarchy, and trace/locality tests — the machinery
+// behind the caching homeworks and the stride experiment (E4).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "memhier/cache.hpp"
+#include "memhier/hierarchy.hpp"
+#include "memhier/trace.hpp"
+
+namespace cs31::memhier {
+namespace {
+
+CacheConfig dm(std::uint32_t block, std::uint32_t lines) {
+  CacheConfig c;
+  c.block_bytes = block;
+  c.num_lines = lines;
+  c.associativity = 1;
+  return c;
+}
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache(dm(3, 4)), Error);    // non power-of-two block
+  EXPECT_THROW(Cache(dm(16, 3)), Error);   // non power-of-two lines
+  CacheConfig c = dm(16, 4);
+  c.associativity = 3;                     // does not divide lines
+  EXPECT_THROW(Cache{c}, Error);
+  c.associativity = 8;                     // exceeds lines
+  EXPECT_THROW(Cache{c}, Error);
+}
+
+TEST(Cache, AddressDivisionMatchesHomework) {
+  // The classic setup: 16-byte blocks, 64 sets -> offset 4 bits, index 6.
+  const Cache cache(dm(16, 64));
+  const AddressParts p = cache.split(0x1234ABCD);
+  EXPECT_EQ(p.offset_bits, 4);
+  EXPECT_EQ(p.index_bits, 6);
+  EXPECT_EQ(p.tag_bits, 22);
+  EXPECT_EQ(p.offset, 0x1234ABCDu & 0xF);
+  EXPECT_EQ(p.index, (0x1234ABCDu >> 4) & 0x3F);
+  EXPECT_EQ(p.tag, 0x1234ABCDu >> 10);
+}
+
+TEST(Cache, ColdMissThenSpatialHits) {
+  Cache cache(dm(16, 4));
+  EXPECT_FALSE(cache.read(0x100).hit);
+  EXPECT_TRUE(cache.read(0x104).hit);  // same block
+  EXPECT_TRUE(cache.read(0x10F).hit);
+  EXPECT_FALSE(cache.read(0x110).hit);  // next block
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(Cache, DirectMappedConflictThrashing) {
+  // Two addresses that collide in a direct-mapped cache but coexist in
+  // a 2-way — the course's associativity motivation.
+  Cache direct(dm(16, 4));  // 4 sets: index bits 2
+  const std::uint32_t a = 0x000, b = 0x100;  // same index, different tag
+  direct.read(a);
+  direct.read(b);
+  EXPECT_FALSE(direct.read(a).hit) << "b evicted a";
+
+  CacheConfig cfg = dm(16, 4);
+  cfg.associativity = 2;
+  Cache assoc(cfg);
+  assoc.read(a);
+  assoc.read(b);
+  EXPECT_TRUE(assoc.read(a).hit) << "2-way keeps both";
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  CacheConfig cfg = dm(16, 2);
+  cfg.associativity = 2;  // one set, two ways
+  Cache cache(cfg);
+  cache.read(0x000);  // A
+  cache.read(0x010);  // B
+  cache.read(0x000);  // touch A: B becomes LRU
+  const AccessResult r = cache.read(0x020);  // C evicts B
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(cache.contains(0x000));
+  EXPECT_FALSE(cache.contains(0x010));
+  EXPECT_TRUE(cache.contains(0x020));
+}
+
+TEST(Cache, FifoIgnoresRecency) {
+  CacheConfig cfg = dm(16, 2);
+  cfg.associativity = 2;
+  cfg.replacement = Replacement::Fifo;
+  Cache cache(cfg);
+  cache.read(0x000);  // A filled first
+  cache.read(0x010);  // B
+  cache.read(0x000);  // touching A does not help under FIFO
+  cache.read(0x020);  // evicts A
+  EXPECT_FALSE(cache.contains(0x000));
+  EXPECT_TRUE(cache.contains(0x010));
+}
+
+TEST(Cache, RandomReplacementIsDeterministicPerSeed) {
+  CacheConfig cfg = dm(16, 4);
+  cfg.associativity = 4;
+  cfg.replacement = Replacement::Random;
+  cfg.random_seed = 99;
+  Cache a(cfg), b(cfg);
+  const Trace t = strided_trace(0, 64, 16);
+  replay(a, t);
+  replay(b, t);
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+}
+
+TEST(Cache, WriteBackDefersMemoryTraffic) {
+  Cache cache(dm(16, 2));
+  cache.write(0x000);
+  EXPECT_TRUE(cache.dirty(0x000));
+  EXPECT_EQ(cache.stats().memory_writes, 0u);
+  // Evict the dirty line: both 0x020 and 0x000 map to set 0 (2 lines,
+  // 16-byte blocks -> index bit 4).
+  const AccessResult r = cache.read(0x040);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughWritesEveryStore) {
+  CacheConfig cfg = dm(16, 2);
+  cfg.write_policy = WritePolicy::WriteThrough;
+  Cache cache(cfg);
+  cache.write(0x000);
+  cache.write(0x000);
+  EXPECT_EQ(cache.stats().memory_writes, 2u);
+  EXPECT_FALSE(cache.dirty(0x000));
+}
+
+TEST(Cache, WriteNoAllocateSkipsFill) {
+  CacheConfig cfg = dm(16, 2);
+  cfg.write_allocate = false;
+  cfg.write_policy = WritePolicy::WriteThrough;
+  Cache cache(cfg);
+  cache.write(0x000);
+  EXPECT_FALSE(cache.contains(0x000));
+  EXPECT_EQ(cache.stats().memory_writes, 1u);
+}
+
+TEST(Cache, DumpShowsValidAndDirtyBits) {
+  Cache cache(dm(16, 2));
+  cache.write(0x000);
+  const std::string dump = cache.dump();
+  EXPECT_NE(dump.find("V D tag"), std::string::npos);
+  EXPECT_NE(dump.find("1 1"), std::string::npos);
+}
+
+// Geometry sweep: total hit+miss bookkeeping and full-coverage fill.
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CacheSweep, SequentialFillHasExactlyOneMissPerBlock) {
+  const auto [block, lines, assoc] = GetParam();
+  CacheConfig cfg;
+  cfg.block_bytes = block;
+  cfg.num_lines = lines;
+  cfg.associativity = assoc;
+  Cache cache(cfg);
+  // One pass over exactly the cache's capacity in 4-byte reads.
+  const std::uint32_t total = cfg.total_bytes();
+  const Trace t = strided_trace(0, total / 4, 4);
+  const CacheStats s = replay(cache, t);
+  EXPECT_EQ(s.misses, total / block);
+  EXPECT_EQ(s.hits, s.accesses - s.misses);
+  EXPECT_EQ(s.evictions, 0u) << "working set fits exactly";
+  // A second pass is all hits.
+  Cache cache2(cfg);
+  replay(cache2, t);
+  const CacheStats before = cache2.stats();
+  replay(cache2, t);
+  EXPECT_EQ(cache2.stats().hits - before.hits, t.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(std::tuple{16u, 8u, 1u}, std::tuple{16u, 8u, 2u},
+                      std::tuple{32u, 16u, 4u}, std::tuple{64u, 64u, 1u},
+                      std::tuple{64u, 64u, 64u},  // fully associative
+                      std::tuple{4u, 4u, 2u}));
+
+TEST(Stride, RowMajorBeatsColumnMajor) {
+  // The E4 classroom exercise: same work, different stride.
+  Cache row_cache(dm(64, 64));
+  Cache col_cache(dm(64, 64));
+  const std::uint32_t rows = 64, cols = 64;
+  const CacheStats row = replay(row_cache, row_major_trace(0, rows, cols));
+  const CacheStats col = replay(col_cache, column_major_trace(0, rows, cols));
+  EXPECT_GT(row.hit_rate(), 0.9);
+  EXPECT_LT(col.hit_rate(), row.hit_rate());
+}
+
+TEST(Hierarchy, CanonicalTableOrderedFastToSlow) {
+  const std::vector<StorageDevice>& devices = canonical_hierarchy();
+  ASSERT_GE(devices.size(), 5u);
+  for (std::size_t i = 1; i < devices.size(); ++i) {
+    EXPECT_LE(devices[i - 1].latency_ns, devices[i].latency_ns);
+    EXPECT_LE(devices[i - 1].capacity_bytes, devices[i].capacity_bytes);
+  }
+  EXPECT_TRUE(devices.front().primary);
+  EXPECT_FALSE(devices.back().primary);
+}
+
+TEST(Hierarchy, EffectiveAccessTimeFormula) {
+  EXPECT_DOUBLE_EQ(effective_access_ns(1.0, 1.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(effective_access_ns(0.0, 1.0, 100.0), 101.0);
+  EXPECT_DOUBLE_EQ(effective_access_ns(0.9, 1.0, 100.0), 11.0);
+  EXPECT_THROW(effective_access_ns(1.5, 1, 1), Error);
+}
+
+TEST(Hierarchy, MultiLevelLatencyAccumulates) {
+  MultiLevelCache mlc({{dm(16, 2), 1.0}, {dm(16, 64), 10.0}}, 100.0);
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, false), 111.0);  // cold: L1+L2+mem
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, false), 1.0);    // L1 hit
+  // Evict from tiny L1 but not from L2.
+  mlc.access(0x100, false);
+  mlc.access(0x200, false);
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, false), 11.0);   // L1 miss, L2 hit
+  EXPECT_GT(mlc.amat_ns(), 0.0);
+}
+
+TEST(Hierarchy, MultiLevelValidation) {
+  EXPECT_THROW(MultiLevelCache({}, 100.0), Error);
+  EXPECT_THROW(MultiLevelCache({{dm(16, 2), 1.0}}, 0.0), Error);
+  MultiLevelCache mlc({{dm(16, 2), 1.0}}, 10.0);
+  EXPECT_THROW((void)mlc.level_stats(1), Error);
+}
+
+TEST(Hierarchy, WritePathAndClear) {
+  MultiLevelCache mlc({{dm(16, 2), 1.0}, {dm(16, 64), 10.0}}, 100.0);
+  // Cold write allocates through both levels.
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, true), 111.0);
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, true), 1.0);
+  EXPECT_EQ(mlc.level_stats(0).accesses, 2u);
+  mlc.clear();
+  EXPECT_DOUBLE_EQ(mlc.amat_ns(), 0.0);
+  EXPECT_EQ(mlc.level_stats(0).accesses, 0u);
+  EXPECT_DOUBLE_EQ(mlc.access(0x0, false), 111.0) << "cold again after clear";
+}
+
+TEST(Cache, ClearResetsLinesAndStats) {
+  Cache cache(dm(16, 4));
+  cache.write(0x0);
+  cache.read(0x100);
+  cache.clear();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_FALSE(cache.contains(0x0));
+  EXPECT_FALSE(cache.dirty(0x0));
+  EXPECT_FALSE(cache.read(0x0).hit) << "cold after clear";
+}
+
+TEST(Traces, GeneratorsProduceExpectedShapes) {
+  EXPECT_EQ(row_major_trace(0, 4, 8).size(), 32u);
+  EXPECT_EQ(row_major_trace(0, 2, 2)[1].address, 4u);
+  EXPECT_EQ(column_major_trace(0, 2, 2)[1].address, 8u);  // strides a row
+  EXPECT_EQ(strided_trace(100, 3, 8)[2].address, 116u);
+  EXPECT_THROW(strided_trace(0, 1, 0), Error);
+  EXPECT_EQ(working_set_trace(0, 64, 2, 4).size(), 32u);
+}
+
+TEST(Traces, RandomTraceDeterministicAndBounded) {
+  const Trace a = random_trace(1000, 512, 100, 7);
+  const Trace b = random_trace(1000, 512, 100, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].address, b[i].address);
+    EXPECT_GE(a[i].address, 1000u);
+    EXPECT_LT(a[i].address, 1512u);
+  }
+}
+
+TEST(Locality, SequentialScanIsSpatialNotTemporal) {
+  const LocalityReport r = analyze_locality(strided_trace(0, 256, 4), 64);
+  EXPECT_GT(r.spatial_fraction, 0.99);
+  EXPECT_EQ(r.temporal_reuse_fraction, 0.0);
+}
+
+TEST(Locality, RepeatedScanIsTemporal) {
+  const LocalityReport r = analyze_locality(working_set_trace(0, 64, 4, 4), 64);
+  EXPECT_GT(r.temporal_reuse_fraction, 0.7);  // 3 of 4 passes are reuse
+}
+
+TEST(Locality, EmptyTraceIsAllZero) {
+  const LocalityReport r = analyze_locality({}, 64);
+  EXPECT_EQ(r.temporal_reuse_fraction, 0.0);
+  EXPECT_EQ(r.spatial_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace cs31::memhier

@@ -1,0 +1,81 @@
+// ParaVis-substitute tests: rendering variants, region colors, custom
+// glyphs, the recorder, and validation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "paravis/paravis.hpp"
+
+namespace cs31::paravis {
+namespace {
+
+FrameSource checkerboard(std::size_t n) {
+  return FrameSource{n, n,
+                     [](std::size_t r, std::size_t c) { return (r + c) % 2 == 0; },
+                     nullptr};
+}
+
+TEST(Render, PlainAsciiShape) {
+  const std::string out = render(checkerboard(3));
+  EXPECT_EQ(out, "@.@\n.@.\n@.@\n");
+}
+
+TEST(Render, CustomGlyphs) {
+  VisConfig cfg;
+  cfg.alive = '#';
+  cfg.dead = ' ';
+  const std::string out = render(checkerboard(2), cfg);
+  EXPECT_EQ(out, "# \n #\n");
+}
+
+TEST(Render, AnsiWithoutOwnerCallbackEmitsNoColors) {
+  VisConfig cfg;
+  cfg.ansi_colors = true;
+  const std::string out = render(checkerboard(2), cfg);
+  EXPECT_EQ(out.find("\x1b[4"), std::string::npos) << "no owner -> no region colors";
+  EXPECT_NE(out.find("\x1b[0m"), std::string::npos) << "line resets still emitted";
+}
+
+TEST(Render, ColorChangesOnlyAtRegionBoundaries) {
+  FrameSource frame{1, 6, [](std::size_t, std::size_t) { return true; },
+                    [](std::size_t, std::size_t c) { return c < 3 ? 0 : 1; }};
+  VisConfig cfg;
+  cfg.ansi_colors = true;
+  const std::string out = render(frame, cfg);
+  // Exactly two color escapes (one per region) plus the reset.
+  std::size_t color_count = 0;
+  for (std::size_t pos = out.find("\x1b[4"); pos != std::string::npos;
+       pos = out.find("\x1b[4", pos + 1)) {
+    ++color_count;
+  }
+  EXPECT_EQ(color_count, 2u);
+}
+
+TEST(Render, Validation) {
+  EXPECT_THROW((void)render(FrameSource{2, 2, nullptr, nullptr}), Error);
+  EXPECT_THROW((void)render(FrameSource{0, 2, [](std::size_t, std::size_t) { return true; },
+                                        nullptr}),
+               Error);
+}
+
+TEST(RegionColor, CyclesAndHandlesNoOwner) {
+  EXPECT_EQ(region_color(-1), 49);
+  for (int owner = 0; owner < 16; ++owner) {
+    const int color = region_color(owner);
+    EXPECT_GE(color, 41);
+    EXPECT_LE(color, 48);
+    EXPECT_EQ(color, region_color(owner + 8)) << "palette cycles mod 8";
+  }
+}
+
+TEST(Recorder, AccumulatesDistinctFrames) {
+  Recorder rec;
+  rec.record(checkerboard(2));
+  FrameSource inverted{2, 2, [](std::size_t r, std::size_t c) { return (r + c) % 2 == 1; },
+                       nullptr};
+  rec.record(inverted);
+  ASSERT_EQ(rec.frame_count(), 2u);
+  EXPECT_NE(rec.frames()[0], rec.frames()[1]);
+}
+
+}  // namespace
+}  // namespace cs31::paravis

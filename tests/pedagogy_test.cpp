@@ -1,0 +1,113 @@
+// Peer-instruction model tests: the second vote never loses ground,
+// discussion gain drives the improvement, and the question bank covers
+// the curriculum.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pedagogy/peer.hpp"
+
+namespace cs31::pedagogy {
+namespace {
+
+TEST(QuestionBank, CoversEveryTcppTopic) {
+  const auto& course = core::Curriculum::cs31();
+  const auto bank = question_bank(course);
+  EXPECT_EQ(bank.size(), course.topics().size());
+  const auto doubled = question_bank(course, 2);
+  EXPECT_EQ(doubled.size(), 2 * course.topics().size());
+  for (const ClickerQuestion& q : bank) {
+    EXPECT_NO_THROW((void)course.topic(q.topic)) << q.topic;
+    EXPECT_FALSE(q.prompt.empty());
+  }
+  EXPECT_THROW((void)question_bank(course, 0), Error);
+}
+
+TEST(Session, SecondVoteNeverWorseThanFirst) {
+  const auto bank = question_bank(core::Curriculum::cs31());
+  for (const std::uint32_t seed : {1u, 7u, 31u, 99u}) {
+    SessionConfig cfg;
+    cfg.seed = seed;
+    for (const PollResult& poll : run_session(bank, cfg)) {
+      EXPECT_GE(poll.second_correct, poll.first_correct) << poll.topic;
+      EXPECT_LE(poll.second_correct, poll.students);
+      EXPECT_GE(poll.normalized_gain(), 0.0);
+      EXPECT_LE(poll.normalized_gain(), 1.0);
+    }
+  }
+}
+
+TEST(Session, DiscussionGainDrivesImprovement) {
+  const auto bank = question_bank(core::Curriculum::cs31());
+  SessionConfig no_discussion;
+  no_discussion.discussion_gain = 0.0;
+  SessionConfig strong;
+  strong.discussion_gain = 0.9;
+  const SessionSummary none = summarize(run_session(bank, no_discussion));
+  const SessionSummary lots = summarize(run_session(bank, strong));
+  EXPECT_DOUBLE_EQ(none.mean_normalized_gain, 0.0)
+      << "no discussion, no second-round movement";
+  EXPECT_GT(lots.mean_normalized_gain, 0.3);
+  EXPECT_GT(lots.mean_second_rate, lots.mean_first_rate);
+}
+
+TEST(Session, EmphasizedTopicsPollBetter) {
+  const auto& course = core::Curriculum::cs31();
+  const auto results = run_session(question_bank(course));
+  double heavy = 0, light = 0;
+  int heavy_n = 0, light_n = 0;
+  for (const PollResult& poll : results) {
+    const core::Emphasis e = course.topic(poll.topic).emphasis;
+    if (e == core::Emphasis::Emphasize) {
+      heavy += poll.first_rate();
+      ++heavy_n;
+    } else if (e == core::Emphasis::Mention) {
+      light += poll.first_rate();
+      ++light_n;
+    }
+  }
+  ASSERT_GT(heavy_n, 0);
+  ASSERT_GT(light_n, 0);
+  EXPECT_GT(heavy / heavy_n, light / light_n);
+}
+
+TEST(Session, DeterministicPerSeedAndValidated) {
+  const auto bank = question_bank(core::Curriculum::cs31());
+  const auto a = run_session(bank);
+  const auto b = run_session(bank);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first_correct, b[i].first_correct);
+    EXPECT_EQ(a[i].second_correct, b[i].second_correct);
+  }
+  EXPECT_THROW((void)run_session({}), Error);
+  SessionConfig bad;
+  bad.students = 0;
+  EXPECT_THROW((void)run_session(bank, bad), Error);
+  bad = SessionConfig{};
+  bad.discussion_gain = 1.5;
+  EXPECT_THROW((void)run_session(bank, bad), Error);
+  EXPECT_THROW((void)summarize({}), Error);
+}
+
+TEST(Session, GroupSizeOneMeansNoPeers) {
+  const auto bank = question_bank(core::Curriculum::cs31());
+  SessionConfig solo;
+  solo.group_size = 1;
+  const SessionSummary s = summarize(run_session(bank, solo));
+  EXPECT_DOUBLE_EQ(s.mean_normalized_gain, 0.0)
+      << "alone in your group, nobody can convince you";
+}
+
+TEST(NormalizedGain, EdgeCases) {
+  PollResult p;
+  p.students = 10;
+  p.first_correct = 10;
+  p.second_correct = 10;
+  EXPECT_DOUBLE_EQ(p.normalized_gain(), 0.0) << "pre == 1 guard";
+  p.first_correct = 5;
+  p.second_correct = 10;
+  EXPECT_DOUBLE_EQ(p.normalized_gain(), 1.0);
+}
+
+}  // namespace
+}  // namespace cs31::pedagogy

@@ -1,0 +1,195 @@
+// Labs 8-9 grader: command parsing (tokenization, '&' detection),
+// foreground/background execution on the simulated kernel, job reaping,
+// and the history mechanism.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "shell/parser.hpp"
+#include "shell/shell.hpp"
+
+namespace cs31::shell {
+namespace {
+
+TEST(Parser, TokenizesWhitespace) {
+  const ParsedCommand c = parse_command("  ls   -l  /tmp ");
+  EXPECT_EQ(c.argv, (std::vector<std::string>{"ls", "-l", "/tmp"}));
+  EXPECT_FALSE(c.background);
+}
+
+TEST(Parser, EmptyLineIsEmptyCommand) {
+  EXPECT_TRUE(parse_command("").empty());
+  EXPECT_TRUE(parse_command("   \t ").empty());
+}
+
+TEST(Parser, DetectsTrailingAmpersandAsOwnToken) {
+  const ParsedCommand c = parse_command("sleep 10 &");
+  EXPECT_EQ(c.argv, (std::vector<std::string>{"sleep", "10"}));
+  EXPECT_TRUE(c.background);
+}
+
+TEST(Parser, DetectsGluedAmpersand) {
+  const ParsedCommand c = parse_command("spin 5&");
+  EXPECT_EQ(c.argv, (std::vector<std::string>{"spin", "5"}));
+  EXPECT_TRUE(c.background);
+}
+
+TEST(Parser, RejectsAmpersandElsewhere) {
+  EXPECT_THROW(parse_command("a & b"), Error);
+  EXPECT_THROW(parse_command("a&b"), Error);
+  EXPECT_THROW(parse_command("&"), Error);
+}
+
+TEST(Shell, RunsForegroundCommandAndCollectsStatus) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  const ShellResult r = shell.run_line("echo hi there");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(kernel.output(), (std::vector<std::string>{"hi there"}));
+  EXPECT_EQ(shell.run_line("false").status, 1);
+}
+
+TEST(Shell, UnknownCommandReportsError) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  const ShellResult r = shell.run_line("nosuch");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.output.find("command not found"), std::string::npos);
+}
+
+TEST(Shell, BackgroundJobRunsConcurrentlyWithForeground) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  const ShellResult bg = shell.run_line("countdown 2 &");
+  EXPECT_TRUE(bg.ok);
+  EXPECT_NE(bg.output.find("[1]"), std::string::npos) << "prints job number and pid";
+  ASSERT_EQ(shell.jobs().size(), 1u);
+  EXPECT_FALSE(shell.jobs()[0].finished);
+  // A foreground command drives the kernel; the background job finishes
+  // during it and is reaped afterward.
+  shell.run_line("spin 20");
+  EXPECT_TRUE(shell.jobs()[0].finished);
+  // Both outputs interleaved in the kernel log.
+  EXPECT_EQ(kernel.output().size(), 3u);  // "2", "1", "liftoff"
+}
+
+TEST(Shell, JobsBuiltinListsRunningAndDone) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  shell.run_line("spin 50 &");
+  const ShellResult r1 = shell.run_line("jobs");
+  EXPECT_NE(r1.output.find("Running"), std::string::npos);
+  shell.run_line("spin 100");  // drives the kernel past the job's end
+  const ShellResult r2 = shell.run_line("jobs");
+  EXPECT_NE(r2.output.find("Done"), std::string::npos);
+}
+
+TEST(Shell, ExitBuiltin) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  EXPECT_TRUE(shell.run_line("exit").exited);
+}
+
+TEST(Shell, HistoryListsNumberedCommands) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  shell.run_line("echo one");
+  shell.run_line("echo two");
+  const ShellResult r = shell.run_line("history");
+  EXPECT_NE(r.output.find("1  echo one"), std::string::npos);
+  EXPECT_NE(r.output.find("2  echo two"), std::string::npos);
+  EXPECT_NE(r.output.find("3  history"), std::string::npos);
+}
+
+TEST(Shell, HistoryIsBounded) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  for (int i = 0; i < 15; ++i) {
+    shell.run_line("echo " + std::to_string(i));
+  }
+  EXPECT_EQ(shell.history().size(), Shell::kHistorySize);
+  EXPECT_EQ(shell.history().front(), "echo 5");
+}
+
+TEST(Shell, BangNReExecutes) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  shell.run_line("echo replay me");
+  const ShellResult r = shell.run_line("!1");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(kernel.output(), (std::vector<std::string>{"replay me", "replay me"}));
+  // The re-executed command line (not "!1") lands in history.
+  EXPECT_EQ(shell.history().back(), "echo replay me");
+}
+
+TEST(Shell, BangNOutOfRangeReportsError) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  EXPECT_FALSE(shell.run_line("!99").ok);
+  EXPECT_FALSE(shell.run_line("!abc").ok);
+}
+
+TEST(Shell, KillBuiltinTerminatesBackgroundJob) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  shell.run_line("spin 1000 &");
+  ASSERT_EQ(shell.jobs().size(), 1u);
+  const ShellResult r = shell.run_line("kill %1");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("Killed"), std::string::npos);
+  EXPECT_TRUE(shell.jobs()[0].finished);
+  EXPECT_LT(shell.jobs()[0].exit_status, 0) << "killed, not a clean exit";
+}
+
+TEST(Shell, KillValidatesItsArgument) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  EXPECT_FALSE(shell.run_line("kill").ok);
+  EXPECT_FALSE(shell.run_line("kill 1").ok);
+  EXPECT_FALSE(shell.run_line("kill %7").ok);
+  shell.run_line("echo x");  // no background jobs involved
+  EXPECT_FALSE(shell.run_line("kill %1").ok);
+}
+
+TEST(Shell, KillOnFinishedJobIsGraceful) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  shell.install_standard_commands();
+  shell.run_line("spin 5 &");
+  shell.run_line("spin 50");  // drives the job to completion
+  const ShellResult r = shell.run_line("kill %1");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("already done"), std::string::npos);
+}
+
+TEST(Shell, ParserErrorsAreReportedNotThrown) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  const ShellResult r = shell.run_line("a & b");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.output.empty());
+}
+
+TEST(Shell, CustomCommandsReceiveArgv) {
+  os::Kernel kernel;
+  Shell shell(kernel);
+  std::vector<std::string> seen;
+  shell.install("probe", [&](const std::vector<std::string>& argv) {
+    seen = argv;
+    return os::ProgramBuilder().exit(0).build();
+  });
+  shell.run_line("probe x y");
+  EXPECT_EQ(seen, (std::vector<std::string>{"probe", "x", "y"}));
+}
+
+}  // namespace
+}  // namespace cs31::shell

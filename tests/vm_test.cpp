@@ -1,0 +1,304 @@
+// Virtual memory tests: translation, demand paging, LRU frame
+// replacement, dirty writeback, multi-process context switching, TLB
+// behaviour, and the EAT formula — the VM1/VM2 homework machinery.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "vm/paging.hpp"
+#include "vm/tlb.hpp"
+
+namespace cs31::vm {
+namespace {
+
+PagingConfig small() {
+  PagingConfig c;
+  c.page_bytes = 256;
+  c.virtual_pages = 16;
+  c.physical_frames = 4;
+  return c;
+}
+
+TEST(Paging, ConfigValidation) {
+  PagingConfig c = small();
+  c.page_bytes = 100;
+  EXPECT_THROW(PagingSystem{c}, Error);
+  c = small();
+  c.physical_frames = 0;
+  EXPECT_THROW(PagingSystem{c}, Error);
+}
+
+TEST(Paging, FirstTouchFaultsThenHits) {
+  PagingSystem vm(small());
+  vm.create_process();
+  const VmAccessResult first = vm.access(0x123, false);
+  EXPECT_TRUE(first.page_fault);
+  const VmAccessResult second = vm.access(0x145, false);  // same page
+  EXPECT_FALSE(second.page_fault);
+  EXPECT_EQ(vm.stats().page_faults, 1u);
+}
+
+TEST(Paging, TranslationPreservesOffset) {
+  PagingSystem vm(small());
+  vm.create_process();
+  const VmAccessResult r = vm.access(3 * 256 + 77, false);
+  EXPECT_EQ(r.physical_address % 256, 77u);
+  EXPECT_EQ(vm.translate(3 * 256 + 10).value() % 256, 10u);
+  EXPECT_FALSE(vm.translate(9 * 256).has_value()) << "untouched page not resident";
+}
+
+TEST(Paging, AddressSpaceBoundsChecked) {
+  PagingSystem vm(small());
+  vm.create_process();
+  EXPECT_THROW(vm.access(16 * 256, false), Error);
+  EXPECT_THROW((void)vm.translate(16 * 256), Error);
+}
+
+TEST(Paging, LruEvictionWhenRamFull) {
+  PagingSystem vm(small());  // 4 frames
+  vm.create_process();
+  for (std::uint32_t p = 0; p < 4; ++p) vm.access(p * 256, false);
+  EXPECT_EQ(vm.frames_used(), 4u);
+  vm.access(0 * 256, false);  // refresh page 0: page 1 is now LRU
+  const VmAccessResult r = vm.access(5 * 256, false);
+  EXPECT_TRUE(r.page_fault);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_FALSE(vm.entry(vm.current_process(), 1).valid) << "page 1 evicted";
+  EXPECT_TRUE(vm.entry(vm.current_process(), 0).valid);
+  EXPECT_TRUE(vm.entry(vm.current_process(), 1).on_disk);
+}
+
+TEST(Paging, DirtyPagesWriteBackOnEviction) {
+  PagingSystem vm(small());
+  vm.create_process();
+  vm.access(0, true);  // dirty page 0
+  for (std::uint32_t p = 1; p <= 4; ++p) vm.access(p * 256, false);  // evict page 0
+  EXPECT_EQ(vm.stats().dirty_writebacks, 1u);
+  EXPECT_EQ(vm.stats().evictions, 1u);
+}
+
+TEST(Paging, EntryBitsTrackReferenceAndDirty) {
+  PagingSystem vm(small());
+  const std::uint32_t pid = vm.create_process();
+  vm.access(2 * 256, false);
+  EXPECT_TRUE(vm.entry(pid, 2).referenced);
+  EXPECT_FALSE(vm.entry(pid, 2).dirty);
+  vm.access(2 * 256, true);
+  EXPECT_TRUE(vm.entry(pid, 2).dirty);
+}
+
+TEST(Paging, ProcessesHavePrivateAddressSpaces) {
+  PagingSystem vm(small());
+  const std::uint32_t p1 = vm.create_process();
+  const std::uint32_t p2 = vm.create_process();
+  vm.switch_to(p1);
+  const std::uint32_t pa1 = vm.access(0, true).physical_address;
+  vm.switch_to(p2);
+  const std::uint32_t pa2 = vm.access(0, true).physical_address;
+  EXPECT_NE(pa1, pa2) << "same virtual page, different frames";
+  EXPECT_TRUE(vm.entry(p1, 0).valid);
+  EXPECT_TRUE(vm.entry(p2, 0).valid);
+}
+
+TEST(Paging, ContextSwitchCountsAndIsIdempotent) {
+  PagingSystem vm(small());
+  const std::uint32_t p1 = vm.create_process();
+  const std::uint32_t p2 = vm.create_process();
+  vm.switch_to(p2);
+  vm.switch_to(p2);  // no-op
+  vm.switch_to(p1);
+  EXPECT_EQ(vm.stats().context_switches, 2u);
+  EXPECT_THROW(vm.switch_to(999), Error);
+}
+
+TEST(Paging, VM2HomeworkScenario) {
+  // Two processes alternating under tight RAM, the VM2 exercise: verify
+  // cross-process eviction takes the *globally* least recent page.
+  PagingConfig cfg = small();
+  cfg.physical_frames = 2;
+  PagingSystem vm(cfg);
+  const std::uint32_t a = vm.create_process();
+  const std::uint32_t b = vm.create_process();
+  vm.switch_to(a);
+  vm.access(0, false);        // A:0 in frame
+  vm.switch_to(b);
+  vm.access(0, false);        // B:0 in frame; RAM full
+  vm.access(256, false);      // B:1 evicts A:0 (global LRU)
+  EXPECT_FALSE(vm.entry(a, 0).valid);
+  EXPECT_TRUE(vm.entry(b, 0).valid);
+  EXPECT_TRUE(vm.entry(b, 1).valid);
+}
+
+TEST(Paging, DumpFramesShowsOwners) {
+  PagingSystem vm(small());
+  const std::uint32_t pid = vm.create_process();
+  vm.access(0, false);
+  const std::string dump = vm.dump_frames();
+  EXPECT_NE(dump.find("pid " + std::to_string(pid)), std::string::npos);
+  EXPECT_NE(dump.find("(free)"), std::string::npos);
+}
+
+TEST(Tlb, HitAfterInsertMissAfterFlush) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.lookup(5).has_value());
+  tlb.insert(5, 2);
+  EXPECT_EQ(tlb.lookup(5).value(), 2u);
+  tlb.flush();
+  EXPECT_FALSE(tlb.lookup(5).has_value());
+  EXPECT_EQ(tlb.stats().flushes, 1u);
+  EXPECT_EQ(tlb.stats().lookups, 3u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(Tlb, LruReplacementAcrossEntries) {
+  Tlb tlb(2);
+  tlb.insert(1, 10);
+  tlb.insert(2, 20);
+  (void)tlb.lookup(1);  // 2 becomes LRU
+  tlb.insert(3, 30);
+  EXPECT_TRUE(tlb.lookup(1).has_value());
+  EXPECT_FALSE(tlb.lookup(2).has_value());
+  EXPECT_TRUE(tlb.lookup(3).has_value());
+}
+
+TEST(Tlb, InvalidateSingleEntry) {
+  Tlb tlb(4);
+  tlb.insert(1, 10);
+  tlb.insert(2, 20);
+  tlb.invalidate(1);
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  EXPECT_TRUE(tlb.lookup(2).has_value());
+  EXPECT_THROW(Tlb(0), Error);
+}
+
+TEST(PagingWithTlb, RepeatAccessesHitTlb) {
+  PagingConfig cfg = small();
+  cfg.tlb_entries = 4;
+  PagingSystem vm(cfg);
+  vm.create_process();
+  vm.access(0, false);
+  const VmAccessResult r = vm.access(4, false);
+  EXPECT_TRUE(r.tlb_hit);
+  ASSERT_NE(vm.tlb_stats(), nullptr);
+  EXPECT_EQ(vm.tlb_stats()->hits, 1u);
+}
+
+TEST(PagingWithTlb, ContextSwitchFlushesTlb) {
+  PagingConfig cfg = small();
+  cfg.tlb_entries = 4;
+  PagingSystem vm(cfg);
+  const std::uint32_t p1 = vm.create_process();
+  const std::uint32_t p2 = vm.create_process();
+  vm.switch_to(p1);
+  vm.access(0, false);
+  vm.access(0, false);  // TLB hit
+  vm.switch_to(p2);
+  vm.access(0, false);  // must NOT hit p1's translation
+  EXPECT_EQ(vm.tlb_stats()->flushes, 1u);  // p1 was already current; one real switch
+  EXPECT_EQ(vm.tlb_stats()->hits, 1u);
+}
+
+TEST(PagingWithTlb, EvictionInvalidatesTlbEntry) {
+  PagingConfig cfg = small();
+  cfg.physical_frames = 1;
+  cfg.tlb_entries = 4;
+  PagingSystem vm(cfg);
+  vm.create_process();
+  vm.access(0, false);
+  vm.access(256, false);  // evicts page 0's frame
+  const VmAccessResult r = vm.access(0, false);
+  EXPECT_FALSE(r.tlb_hit) << "stale translation must not survive eviction";
+  EXPECT_TRUE(r.page_fault);
+}
+
+TEST(Eat, FormulaMatchesCourseExamples) {
+  // No TLB miss, no faults: probe + access.
+  EXPECT_DOUBLE_EQ(effective_access_time_ns(1.0, 0.0, 100, 1, 1e6), 101.0);
+  // Always walking the table: probe + walk + access.
+  EXPECT_DOUBLE_EQ(effective_access_time_ns(0.0, 0.0, 100, 1, 1e6), 201.0);
+  // Faults dominate even at tiny rates.
+  EXPECT_GT(effective_access_time_ns(0.9, 0.001, 100, 1, 8e6),
+            effective_access_time_ns(0.9, 0.0, 100, 1, 8e6) + 1000);
+  EXPECT_THROW(effective_access_time_ns(2, 0, 1, 1, 1), Error);
+  EXPECT_THROW(effective_access_time_ns(0.5, -1, 1, 1, 1), Error);
+}
+
+TEST(PagingReplacement, FifoEvictsOldestRegardlessOfUse) {
+  PagingConfig cfg = small();
+  cfg.physical_frames = 2;
+  cfg.replacement = PageReplacement::Fifo;
+  PagingSystem vm(cfg);
+  const std::uint32_t pid = vm.create_process();
+  vm.access(0 * 256, false);  // page 0 filled first
+  vm.access(1 * 256, false);  // page 1
+  vm.access(0 * 256, false);  // touching page 0 does NOT protect it
+  vm.access(2 * 256, false);  // evicts page 0 under FIFO
+  EXPECT_FALSE(vm.entry(pid, 0).valid);
+  EXPECT_TRUE(vm.entry(pid, 1).valid);
+}
+
+TEST(PagingReplacement, LruProtectsRecentlyUsed) {
+  PagingConfig cfg = small();
+  cfg.physical_frames = 2;
+  PagingSystem vm(cfg);
+  const std::uint32_t pid = vm.create_process();
+  vm.access(0 * 256, false);
+  vm.access(1 * 256, false);
+  vm.access(0 * 256, false);  // page 0 is MRU
+  vm.access(2 * 256, false);  // evicts page 1 under LRU
+  EXPECT_TRUE(vm.entry(pid, 0).valid);
+  EXPECT_FALSE(vm.entry(pid, 1).valid);
+}
+
+TEST(PagingReplacement, ClockGrantsSecondChances) {
+  PagingConfig cfg = small();
+  cfg.physical_frames = 3;
+  cfg.replacement = PageReplacement::Clock;
+  PagingSystem vm(cfg);
+  const std::uint32_t pid = vm.create_process();
+  vm.access(0 * 256, false);
+  vm.access(1 * 256, false);
+  vm.access(2 * 256, false);
+  // All referenced bits set: the hand sweeps once clearing them, then
+  // evicts frame 0's page (page 0).
+  vm.access(3 * 256, false);
+  EXPECT_FALSE(vm.entry(pid, 0).valid);
+  EXPECT_TRUE(vm.entry(pid, 1).valid);
+  EXPECT_TRUE(vm.entry(pid, 2).valid);
+  // Now re-reference page 1 so it survives the next sweep; page 2's
+  // bit was cleared by the previous pass.
+  vm.access(1 * 256, false);
+  vm.access(4 * 256, false);
+  EXPECT_TRUE(vm.entry(pid, 1).valid) << "referenced page earned its second chance";
+}
+
+TEST(PagingReplacement, PoliciesDivergeOnLoopingWorkloads) {
+  // A 4-page loop with 3 frames: LRU always evicts the page needed next
+  // (0% reuse); FIFO behaves identically here; the interesting check is
+  // that all policies stay correct (translate faithfully) while fault
+  // counts differ from a locality-friendly trace.
+  for (const PageReplacement policy :
+       {PageReplacement::Lru, PageReplacement::Fifo, PageReplacement::Clock}) {
+    PagingConfig cfg = small();
+    cfg.physical_frames = 3;
+    cfg.replacement = policy;
+    PagingSystem vm(cfg);
+    vm.create_process();
+    for (int pass = 0; pass < 5; ++pass) {
+      for (std::uint32_t page = 0; page < 4; ++page) {
+        const auto r = vm.access(page * 256 + 5, false);
+        EXPECT_EQ(r.physical_address % 256, 5u);
+      }
+    }
+    EXPECT_GE(vm.stats().page_faults, 4u);
+    EXPECT_LE(vm.stats().page_faults, 20u);
+  }
+}
+
+TEST(Paging, RequiresAProcess) {
+  PagingSystem vm(small());
+  EXPECT_THROW(vm.access(0, false), Error);
+  EXPECT_THROW((void)vm.current_process(), Error);
+}
+
+}  // namespace
+}  // namespace cs31::vm
