@@ -1,0 +1,108 @@
+// race_detective — the lecture's buggy/fixed program pairs, run through
+// the cs31::race happens-before detector.
+//
+// The CS 31 synchronization module teaches races by *showing* them:
+// the shared counter that "usually returns less", the Game of Life
+// that corrupts without its barrier, the fork-homework's "which outputs
+// are possible?". Statistically observing a race is flaky (a fast or
+// single-core machine can hide it for a whole demo); the detector makes
+// the verdict deterministic — it follows from the happens-before
+// structure, not the scheduler's mood. Each act below runs a buggy
+// variant and its fix and prints the detector's reports.
+//
+// Usage: race_detective            (runs all three acts)
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "life/life.hpp"
+#include "life/traced.hpp"
+#include "parallel/sync.hpp"
+#include "race/replay.hpp"
+
+namespace {
+
+void heading(const std::string& title) {
+  std::cout << '\n' << std::string(66, '=') << '\n' << title << '\n'
+            << std::string(66, '=') << '\n';
+}
+
+void act1_shared_counter() {
+  using cs31::parallel::SharedCounter;
+  heading("Act 1 — the shared counter (two threads, 1000 increments each)");
+
+  std::cout << "\n[buggy] counter = counter + 1, no lock:\n";
+  const auto buggy = SharedCounter::run_traced(SharedCounter::Mode::Unsynchronized, 2, 1000);
+  std::cout << "  final count: " << buggy.value << " (exact would be 2000)\n"
+            << buggy.report << '\n';
+
+  std::cout << "\n[fixed] same loop with a mutex around the increment:\n";
+  const auto fixed =
+      SharedCounter::run_traced(SharedCounter::Mode::MutexPerIncrement, 2, 1000);
+  std::cout << "  final count: " << fixed.value << '\n' << "  " << fixed.report << '\n';
+}
+
+void act2_game_of_life() {
+  heading("Act 2 — parallel Game of Life (3 bands, 3 generations)");
+  const cs31::life::Grid initial = cs31::life::Grid::random(12, 12, 0.3, 2022);
+
+  std::cout << "\n[fixed] Lab 10 structure: compute, barrier, serial swap, barrier:\n";
+  const auto good = cs31::life::traced_life_check(initial, 3, 3, /*use_barrier=*/true);
+  std::cout << "  " << good.report << '\n';
+
+  std::cout << "\n[buggy] same run with the barriers deleted:\n";
+  const auto bad = cs31::life::traced_life_check(initial, 3, 3, /*use_barrier=*/false);
+  std::cout << "  " << bad.races.size() << " distinct races; the first:\n"
+            << bad.races.front().to_string() << '\n';
+}
+
+void act3_replay() {
+  using namespace cs31::race;
+  heading("Act 3 — every schedule of the homework's two processes");
+
+  const std::vector<std::vector<std::string>> unlocked = {
+      {"read balance", "write balance"},
+      {"read balance", "write balance"},
+  };
+  const auto racy = summarize(replay_all_interleavings(unlocked));
+  std::cout << "\n[buggy] both threads: read balance; write balance (no lock)\n"
+            << "  " << racy.racy << " of " << racy.schedules
+            << " schedules expose a race — the \"possible outputs\" homework\n"
+            << "  and race detection are the same question.\n";
+
+  // Show one flagged schedule end to end.
+  const auto results = replay_all_interleavings(unlocked);
+  for (const auto& r : results) {
+    if (r.race_free()) continue;
+    std::cout << "  one racy schedule:\n";
+    for (const auto& op : r.schedule) std::cout << "    " << op << '\n';
+    std::cout << r.races.front().to_string() << '\n';
+    break;
+  }
+
+  const std::vector<std::vector<std::string>> locked = {
+      {"lock m", "read balance", "write balance", "unlock m"},
+      {"lock m", "read balance", "write balance", "unlock m"},
+  };
+  const auto clean = summarize(replay_all_interleavings(locked));
+  std::cout << "\n[fixed] with lock m around each section:\n"
+            << "  " << clean.clean() << " of " << clean.schedules
+            << " schedules are race-free — exactly the two the mutex permits\n"
+            << "  (the other " << clean.racy
+            << " interleave inside the critical sections, which a real\n"
+            << "  mutex forbids: the enumerator over-approximates, and the\n"
+            << "  detector shows why those schedules must be excluded).\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "race_detective — vector-clock happens-before detection for CS 31\n";
+  act1_shared_counter();
+  act2_game_of_life();
+  act3_replay();
+  std::cout << "\nAll three acts: the bug is a missing happens-before edge;\n"
+               "the fix (lock, barrier, or channel) is that edge.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "life/traced.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "parallel/threads.hpp"
+
+namespace cs31::life {
+namespace {
+
+std::string cell_name(const char* grid, std::size_t r, std::size_t c) {
+  return std::string(grid) + '[' + std::to_string(r) + ',' + std::to_string(c) + ']';
+}
+
+}  // namespace
+
+TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
+                                   std::size_t rounds, bool use_barrier, EdgeRule rule) {
+  require(threads >= 1, "need at least one thread");
+  require(threads <= initial.rows(), "more threads than grid bands");
+
+  Grid cur = initial;
+  Grid next(initial.rows(), initial.cols());
+  const std::vector<parallel::GridRegion> regions = parallel::grid_partition(
+      initial.rows(), initial.cols(), threads, parallel::GridSplit::Horizontal);
+
+  race::Detector detector;
+  // Main (thread 0 of the detector) forks one worker per band, like the
+  // ThreadTeam in ParallelLife::run.
+  std::vector<race::ThreadId> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) workers.push_back(detector.fork(0));
+
+  const std::size_t rows = cur.rows(), cols = cur.cols();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::string round_tag = "round " + std::to_string(round);
+
+    // Compute phase: thread t reads its band plus a one-row halo from
+    // the current grid and writes its band of the next grid.
+    for (std::size_t t = 0; t < threads; ++t) {
+      const parallel::GridRegion& region = regions[t];
+      const std::string where = "step_region " + round_tag + " band " + std::to_string(t);
+      const std::int64_t lo = static_cast<std::int64_t>(region.rows.begin) - 1;
+      const std::int64_t hi = static_cast<std::int64_t>(region.rows.end);  // inclusive halo
+      for (std::int64_t rr = lo; rr <= hi; ++rr) {
+        std::int64_t row = rr;
+        if (rule == EdgeRule::Torus) {
+          row = (rr + static_cast<std::int64_t>(rows)) % static_cast<std::int64_t>(rows);
+        } else if (rr < 0 || rr >= static_cast<std::int64_t>(rows)) {
+          continue;
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+          detector.read(workers[t], cell_name("cur", static_cast<std::size_t>(row), c),
+                        where);
+        }
+      }
+      for (std::size_t r = region.rows.begin; r < region.rows.end; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          detector.write(workers[t], cell_name("next", r, c), where);
+        }
+      }
+      step_region(cur, next, region, rule);
+    }
+
+    if (use_barrier) detector.barrier(workers);
+
+    // Serial thread publishes the new generation: the swap rebinds every
+    // cell of both grids, so it is a write to all of them.
+    const std::string swap_where = "swap grids " + round_tag + " (serial thread)";
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        detector.write(workers[0], cell_name("cur", r, c), swap_where);
+        detector.write(workers[0], cell_name("next", r, c), swap_where);
+      }
+    }
+    std::swap(cur, next);
+
+    if (use_barrier) detector.barrier(workers);
+  }
+
+  for (const race::ThreadId w : workers) detector.join(0, w);
+
+  TracedLifeResult result{.grid = std::move(cur),
+                          .race_free = detector.race_free(),
+                          .races = detector.races(),
+                          .events = detector.events(),
+                          .report = detector.summary()};
+  return result;
+}
+
+}  // namespace cs31::life

@@ -1,0 +1,43 @@
+// Race-checked Game of Life: replays the access pattern of the Lab 10
+// parallel engine — each thread reads its band of the current grid plus
+// a one-row halo, writes its band of the next grid, then the serial
+// thread swaps the grids — through the cs31::race detector. With the
+// barrier edges in place the step is certifiably race-free; with the
+// barriers removed, the serial thread's swap races against the other
+// threads' band reads and writes, which is exactly the bug students
+// write when they forget the per-round barrier.
+//
+// The replay is sequential and deterministic: happens-before analysis
+// only needs the events and their program/synchronization order, not a
+// real scheduler, so the verdict never depends on timing. The grid is
+// really stepped while tracing, so the result can be checked against
+// SerialLife.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "life/life.hpp"
+#include "race/detector.hpp"
+
+namespace cs31::life {
+
+struct TracedLifeResult {
+  Grid grid;            ///< grid after `rounds` generations (really computed)
+  bool race_free = false;
+  std::vector<race::RaceReport> races;
+  std::uint64_t events = 0;   ///< accesses + sync events replayed
+  std::string report;         ///< detector summary
+};
+
+/// Replay `rounds` generations of the parallel engine's access pattern
+/// over `threads` horizontal bands. `use_barrier` reproduces the
+/// correct Lab 10 structure (compute, barrier, serial swap, barrier);
+/// false drops both barrier edges — the buggy variant the detector
+/// flags. Throws cs31::Error when threads == 0 or exceeds the rows.
+[[nodiscard]] TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
+                                                 std::size_t rounds, bool use_barrier,
+                                                 EdgeRule rule = EdgeRule::Torus);
+
+}  // namespace cs31::life

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "parallel/threads.hpp"
 
 namespace cs31::parallel {
 
@@ -13,8 +14,15 @@ Barrier::Barrier(std::size_t count) : count_(count) {
 bool Barrier::wait() {
   std::unique_lock lock(mutex_);
   const std::uint64_t my_generation = generation_;
+  if (tracer_ != nullptr) cycle_waiters_.push_back(tracer_->self());
   if (++arrived_ == count_) {
     // Last arriver releases the cycle.
+    if (tracer_ != nullptr) {
+      // The completed cycle orders every waiter's pre-barrier work
+      // before every waiter's post-barrier work.
+      tracer_->detector().barrier(cycle_waiters_);
+      cycle_waiters_.clear();
+    }
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
@@ -27,6 +35,11 @@ bool Barrier::wait() {
 std::uint64_t Barrier::cycles() const {
   std::scoped_lock lock(mutex_);
   return generation_;
+}
+
+void Barrier::attach_tracer(race::TraceContext& ctx) {
+  std::scoped_lock lock(mutex_);
+  tracer_ = &ctx;
 }
 
 std::uint64_t SharedCounter::run(Mode mode, unsigned threads, std::uint64_t per_thread) {
@@ -83,6 +96,57 @@ std::uint64_t SharedCounter::run(Mode mode, unsigned threads, std::uint64_t per_
   return 0;
 }
 
+SharedCounter::TracedRun SharedCounter::run_traced(Mode mode, unsigned threads,
+                                                  std::uint64_t per_thread) {
+  require(threads >= 1, "need at least one thread");
+
+  race::TraceContext ctx;
+  race::TracedVar<std::uint64_t> counter("counter", ctx, 0);
+  race::TracedMutex mutex("counter_mutex", ctx);
+
+  // The same four strategies as run(), expressed through the shadow
+  // layer so every logical access reaches the detector.
+  ThreadTeam team(threads, ctx, [&](std::size_t) {
+    switch (mode) {
+      case Mode::Unsynchronized:
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          const std::uint64_t v = counter.load("counter = counter + 1 (no lock)");
+          counter.store(v + 1, "counter = counter + 1 (no lock)");
+        }
+        break;
+      case Mode::MutexPerIncrement:
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          std::scoped_lock lock(mutex);
+          const std::uint64_t v = counter.load("counter = counter + 1 (mutexed)");
+          counter.store(v + 1, "counter = counter + 1 (mutexed)");
+        }
+        break;
+      case Mode::Atomic:
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          counter.fetch_add(1, "counter.fetch_add(1)");
+        }
+        break;
+      case Mode::LocalThenMerge: {
+        std::uint64_t local = 0;
+        for (std::uint64_t i = 0; i < per_thread; ++i) ++local;
+        std::scoped_lock lock(mutex);
+        const std::uint64_t v = counter.load("merged += local (mutexed)");
+        counter.store(v + local, "merged += local (mutexed)");
+        break;
+      }
+    }
+  });
+  team.join();
+
+  TracedRun result;
+  // The joins order every worker before this read — never itself a race.
+  result.value = counter.load("final read after join");
+  result.races = ctx.detector().races();
+  result.race_detected = !result.races.empty();
+  result.report = ctx.detector().summary();
+  return result;
+}
+
 BoundedBuffer::BoundedBuffer(std::size_t capacity)
     : capacity_(capacity), ring_(capacity) {
   require(capacity >= 1, "buffer capacity must be at least 1");
@@ -99,6 +163,7 @@ void BoundedBuffer::put(std::int64_t item) {
   ring_[tail_] = item;
   tail_ = (tail_ + 1) % capacity_;
   ++count_;
+  if (tracer_ != nullptr) tracer_->send(channel_name_);
   not_empty_.notify_one();
 }
 
@@ -111,6 +176,7 @@ std::int64_t BoundedBuffer::get() {
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
+  if (tracer_ != nullptr) tracer_->recv(channel_name_);
   not_full_.notify_one();
   return item;
 }
@@ -122,6 +188,7 @@ bool BoundedBuffer::try_put(std::int64_t item) {
   ring_[tail_] = item;
   tail_ = (tail_ + 1) % capacity_;
   ++count_;
+  if (tracer_ != nullptr) tracer_->send(channel_name_);
   not_empty_.notify_one();
   return true;
 }
@@ -132,6 +199,7 @@ std::optional<std::int64_t> BoundedBuffer::try_get() {
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
+  if (tracer_ != nullptr) tracer_->recv(channel_name_);
   not_full_.notify_one();
   return item;
 }
@@ -139,6 +207,9 @@ std::optional<std::int64_t> BoundedBuffer::try_get() {
 void BoundedBuffer::close() {
   std::scoped_lock lock(mutex_);
   closed_ = true;
+  // Closing publishes too: a consumer that wakes to "closed and
+  // drained" is still ordered after everything the closer did.
+  if (tracer_ != nullptr) tracer_->send(channel_name_);
   not_empty_.notify_all();
   not_full_.notify_all();
 }
@@ -149,10 +220,15 @@ std::optional<std::int64_t> BoundedBuffer::get_until_closed() {
     consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
     not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
   }
-  if (count_ == 0) return std::nullopt;  // closed and drained
+  if (count_ == 0) {
+    // Closed and drained: still observe the closer's publication.
+    if (tracer_ != nullptr) tracer_->recv(channel_name_);
+    return std::nullopt;
+  }
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
+  if (tracer_ != nullptr) tracer_->recv(channel_name_);
   not_full_.notify_one();
   return item;
 }
@@ -160,6 +236,12 @@ std::optional<std::int64_t> BoundedBuffer::get_until_closed() {
 std::size_t BoundedBuffer::size() const {
   std::scoped_lock lock(mutex_);
   return count_;
+}
+
+void BoundedBuffer::attach_tracer(race::TraceContext& ctx, std::string channel_name) {
+  std::scoped_lock lock(mutex_);
+  tracer_ = &ctx;
+  channel_name_ = std::move(channel_name);
 }
 
 }  // namespace cs31::parallel

@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
+
+#include "race/shadow.hpp"
 
 namespace cs31::parallel {
 
@@ -32,12 +35,20 @@ class Barrier {
   /// Completed cycles so far (each round of a parallel simulation).
   [[nodiscard]] std::uint64_t cycles() const;
 
+  /// Report each completed cycle to a race-detector context as a
+  /// happens-before edge among that cycle's waiters. Every thread that
+  /// calls wait() must be bound to `ctx` (e.g. spawned by a traced
+  /// ThreadTeam). Attach before the first wait().
+  void attach_tracer(race::TraceContext& ctx);
+
  private:
   const std::size_t count_;
   std::size_t arrived_ = 0;
   std::uint64_t generation_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  race::TraceContext* tracer_ = nullptr;
+  std::vector<race::ThreadId> cycle_waiters_;
 };
 
 /// The lecture's shared-counter race demonstration: N threads each
@@ -54,9 +65,31 @@ class SharedCounter {
   };
 
   /// Run the experiment with real threads. Returns the final counter.
-  /// A correct mode always returns threads * per_thread; the
-  /// unsynchronized mode usually returns less on real hardware.
+  ///
+  /// Guarantees (and the only safe assertions to make about them):
+  /// a correct mode always returns exactly threads * per_thread; the
+  /// Unsynchronized mode is only *bounded above* by that — lost updates
+  /// can drive the result arbitrarily low (even below per_thread: a
+  /// stale read can erase whole stretches of other threads' work), and
+  /// on a fast or single-core machine it can coincidentally be exact.
+  /// That statistical flakiness is why the race detector exists: use
+  /// run_traced() to get a deterministic verdict instead of eyeballing
+  /// the lost updates.
   static std::uint64_t run(Mode mode, unsigned threads, std::uint64_t per_thread);
+
+  /// run() with `detect_races` semantics: execute the same experiment
+  /// through the cs31::race shadow layer and return the detector's
+  /// verdict alongside the count. Detection is deterministic — it
+  /// depends on the happens-before structure of the mode, not on the
+  /// scheduler — so Unsynchronized is *always* flagged (with both
+  /// access sites) and the synchronized modes are always race-free.
+  struct TracedRun {
+    std::uint64_t value = 0;
+    bool race_detected = false;
+    std::vector<race::RaceReport> races;
+    std::string report;  ///< human-readable detector summary
+  };
+  static TracedRun run_traced(Mode mode, unsigned threads, std::uint64_t per_thread);
 };
 
 /// Bounded buffer (the producer/consumer problem that closes the CS 31
@@ -94,6 +127,13 @@ class BoundedBuffer {
   [[nodiscard]] std::uint64_t producer_blocks() const { return producer_blocks_.load(); }
   [[nodiscard]] std::uint64_t consumer_blocks() const { return consumer_blocks_.load(); }
 
+  /// Report puts/gets to a race-detector context as channel send/recv
+  /// events, mirroring the happens-before edge the buffer's internal
+  /// mutex really provides (a producer's work before put() is visible
+  /// to any consumer after the matching get()). Every thread using the
+  /// buffer must be bound to `ctx`.
+  void attach_tracer(race::TraceContext& ctx, std::string channel_name);
+
  private:
   const std::size_t capacity_;
   std::vector<std::int64_t> ring_;
@@ -104,6 +144,8 @@ class BoundedBuffer {
   std::condition_variable not_empty_;
   std::atomic<std::uint64_t> producer_blocks_{0};
   std::atomic<std::uint64_t> consumer_blocks_{0};
+  race::TraceContext* tracer_ = nullptr;
+  std::string channel_name_;
 };
 
 }  // namespace cs31::parallel

@@ -43,11 +43,32 @@ ThreadTeam::ThreadTeam(std::size_t count, const std::function<void(std::size_t)>
   }
 }
 
+ThreadTeam::ThreadTeam(std::size_t count, race::TraceContext& ctx,
+                       const std::function<void(std::size_t)>& body)
+    : tracer_(&ctx) {
+  require(count >= 1, "thread team needs at least one thread");
+  // Fork edges first (parent's clock flows to each child), then spawn;
+  // each worker binds its OS thread to its detector id before the body.
+  traced_ids_.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) traced_ids_.push_back(ctx.on_thread_create());
+  workers_.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    workers_.emplace_back([&ctx, body, t, tid = traced_ids_[t]] {
+      ctx.bind_self(tid);
+      body(t);
+    });
+  }
+}
+
 ThreadTeam::~ThreadTeam() { join(); }
 
 void ThreadTeam::join() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  if (tracer_ != nullptr && !trace_joined_) {
+    trace_joined_ = true;  // join edges once, matching the real joins
+    for (const race::ThreadId tid : traced_ids_) tracer_->on_thread_join(tid);
   }
 }
 

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "race/shadow.hpp"
+
 namespace cs31::parallel {
 
 /// Half-open index range [begin, end) owned by one thread.
@@ -45,18 +47,31 @@ class ThreadTeam {
  public:
   /// Throws cs31::Error when count == 0.
   ThreadTeam(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Traced variant: the spawning thread emits an on_thread_create hook
+  /// per worker (happens-before edge parent -> child), each worker binds
+  /// itself to its detector id before running `body`, and join() emits
+  /// on_thread_join (child -> parent). Everything `body` does through
+  /// `ctx` is then ordered correctly for race detection.
+  ThreadTeam(std::size_t count, race::TraceContext& ctx,
+             const std::function<void(std::size_t)>& body);
+
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;
   ThreadTeam& operator=(const ThreadTeam&) = delete;
 
-  /// Join all workers (idempotent).
+  /// Join all workers (idempotent: a second call is a no-op, as is a
+  /// destructor after an explicit join).
   void join();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
   std::vector<std::thread> workers_;
+  race::TraceContext* tracer_ = nullptr;
+  std::vector<race::ThreadId> traced_ids_;
+  bool trace_joined_ = false;
 };
 
 /// Fork-join parallel loop: split [0, n) into `threads` blocks and run

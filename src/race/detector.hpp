@@ -1,0 +1,161 @@
+// FastTrack-style happens-before data-race detector. The detector is an
+// event sink: the instrumentation layer (shadow.hpp) or the replay
+// engine (replay.hpp) feeds it fork/join/acquire/release/read/write/
+// barrier/channel events, and it maintains
+//   - one vector clock per thread   (what the thread has observed),
+//   - one vector clock per lock     (the last critical section's clock),
+//   - one vector clock per channel  (producer/consumer publication),
+//   - per traced variable: the last write as a single epoch plus the
+//     per-thread read clocks since that write.
+// Two conflicting accesses (same variable, at least one a write, from
+// different threads) race exactly when neither happens-before the other;
+// each race is reported as a structured RaceReport naming both access
+// sites, the involved threads, and the locks held at each side (the
+// lockset view — pedagogically, a race's locksets never intersect).
+//
+// Unlike a sampling/statistical demo, detection is deterministic: it
+// depends only on the happens-before order of the events, not on how
+// the OS timed the threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "race/vector_clock.hpp"
+
+namespace cs31::race {
+
+enum class AccessKind { Read, Write };
+
+[[nodiscard]] std::string to_string(AccessKind kind);
+
+/// One side of a race: which thread touched the variable, how, where in
+/// the program (a caller-supplied label), and under which locks.
+struct AccessSite {
+  ThreadId thread = 0;
+  AccessKind kind = AccessKind::Read;
+  std::string where;                    ///< source label, e.g. "counter += 1"
+  std::uint64_t event = 0;              ///< detector-global event number
+  std::vector<std::string> locks_held;  ///< names of locks held at the access
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A detected data race: two concurrent conflicting accesses to one
+/// variable. `first` is the older access (already recorded in the
+/// shadow state), `second` the access that completed the race.
+struct RaceReport {
+  std::string variable;
+  AccessSite first;
+  AccessSite second;
+  std::string explanation;  ///< human-readable why (no HB edge, disjoint locksets)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The detector proper. Thread-safe: every event takes an internal lock,
+/// so concurrent instrumented threads feed it a linearized event stream
+/// (which is exactly what happens-before analysis needs).
+class Detector {
+ public:
+  Detector();
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Register a root thread with no happens-before predecessor.
+  /// Thread 0 (the main thread) is pre-registered by the constructor.
+  [[nodiscard]] ThreadId register_thread();
+
+  /// pthread_create: child starts having observed everything the parent
+  /// has done so far (HB edge parent -> child). Returns the child id.
+  [[nodiscard]] ThreadId fork(ThreadId parent);
+
+  /// pthread_join: parent observes everything the child did
+  /// (HB edge child -> parent).
+  void join(ThreadId parent, ThreadId child);
+
+  /// Mutex acquire: the locker observes the last critical section.
+  void acquire(ThreadId t, const std::string& lock);
+
+  /// Mutex release: publish this thread's clock to the lock.
+  void release(ThreadId t, const std::string& lock);
+
+  /// A completed barrier cycle is a happens-before edge among ALL
+  /// waiters: afterwards every waiter has observed every other waiter's
+  /// pre-barrier work. Throws cs31::Error on an empty waiter set.
+  void barrier(const std::vector<ThreadId>& waiters);
+
+  /// Producer/consumer publication: send joins the sender's clock into
+  /// the channel; recv joins the channel into the receiver. A get that
+  /// follows a put is thereby ordered after it (the bounded buffer's
+  /// internal mutex provides this in the real runtime).
+  void channel_send(ThreadId t, const std::string& channel);
+  void channel_recv(ThreadId t, const std::string& channel);
+
+  /// A read/write of a traced variable. `where` labels the access site
+  /// in reports.
+  void read(ThreadId t, const std::string& var, const std::string& where = "");
+  void write(ThreadId t, const std::string& var, const std::string& where = "");
+
+  /// Races found so far, in detection order. At most one report per
+  /// (variable, unordered thread pair) so a racy loop does not flood
+  /// the report; `race_count()` still counts every racy access.
+  /// Returns a reference into the detector: read it only after the
+  /// instrumented threads have been joined (the other accessors take
+  /// the internal lock and are safe at any time).
+  [[nodiscard]] const std::vector<RaceReport>& races() const;
+  [[nodiscard]] bool race_free() const;
+  [[nodiscard]] std::uint64_t race_count() const;
+
+  /// Total events processed.
+  [[nodiscard]] std::uint64_t events() const;
+
+  /// Number of registered threads.
+  [[nodiscard]] std::size_t threads() const;
+
+  /// Current clock of a thread (teaching/diagnostic).
+  [[nodiscard]] VectorClock clock_of(ThreadId t) const;
+
+  /// Multi-line human-readable summary of all reports.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct ThreadState {
+    VectorClock vc;
+    std::vector<std::string> held;  // lock names, acquisition order
+  };
+
+  /// Shadow state of one traced variable (FastTrack's read/write
+  /// metadata, with full access sites kept for reporting).
+  struct VarState {
+    bool has_write = false;
+    Epoch write_epoch;            // last write as c@t
+    AccessSite write_site;
+    VectorClock write_vc;         // full clock of the last write (for reports)
+    VectorClock read_vc;          // per-thread clock of the last read
+    std::map<ThreadId, AccessSite> read_sites;  // last read per thread
+  };
+
+  ThreadState& state(ThreadId t);
+  void check_and_record(ThreadId t, const std::string& var, AccessKind kind,
+                        const std::string& where);
+  void report(const std::string& var, const AccessSite& first, const AccessSite& second,
+              const std::string& why);
+  AccessSite make_site(ThreadId t, AccessKind kind, const std::string& where) const;
+
+  mutable std::mutex mutex_;
+  std::vector<ThreadState> threads_;
+  std::map<std::string, VectorClock> locks_;
+  std::map<std::string, VectorClock> channels_;
+  std::map<std::string, VarState> vars_;
+  std::vector<RaceReport> races_;
+  std::map<std::string, std::uint64_t> reported_pairs_;  // "var|tmin|tmax" -> count
+  std::uint64_t race_count_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cs31::race

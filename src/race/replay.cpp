@@ -1,0 +1,116 @@
+#include "race/replay.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "os/interleave.hpp"
+
+namespace cs31::race {
+namespace {
+
+struct Op {
+  std::string tag;   // "t0", "t1", ...
+  std::string verb;  // read/write/lock/unlock/send/recv/barrier
+  std::string arg;   // variable/lock/channel name (empty for barrier)
+};
+
+Op parse_op(const std::string& text) {
+  std::istringstream in(text);
+  Op op;
+  in >> op.tag >> op.verb >> op.arg;
+  require(op.tag.size() >= 2 && op.tag[0] == 't', "replay op '" + text +
+                                                      "' is missing its thread tag (t<k>)");
+  require(!op.verb.empty(), "replay op '" + text + "' is missing a verb");
+  const bool needs_arg = op.verb != "barrier";
+  require(!needs_arg || !op.arg.empty(),
+          "replay op '" + text + "' needs an operand (variable/lock/channel)");
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> tag_threads(
+    const std::vector<std::vector<std::string>>& scripts) {
+  std::vector<std::vector<std::string>> tagged;
+  tagged.reserve(scripts.size());
+  for (std::size_t k = 0; k < scripts.size(); ++k) {
+    std::vector<std::string> ops;
+    ops.reserve(scripts[k].size());
+    for (const std::string& op : scripts[k]) {
+      ops.push_back("t" + std::to_string(k) + ' ' + op);
+    }
+    tagged.push_back(std::move(ops));
+  }
+  return tagged;
+}
+
+ReplayResult replay(const std::vector<std::string>& interleaving) {
+  // Pre-scan for the set of threads so a barrier knows its waiter count.
+  std::set<std::string> tags;
+  for (const std::string& text : interleaving) tags.insert(parse_op(text).tag);
+
+  Detector detector;
+  std::map<std::string, ThreadId> tids;
+  // Replay threads are concurrent roots: register in tag order for
+  // stable ids (t0 reuses the detector's pre-registered thread 0).
+  bool first = true;
+  for (const std::string& tag : tags) {
+    tids[tag] = first ? 0 : detector.register_thread();
+    first = false;
+  }
+
+  std::set<ThreadId> at_barrier;
+  for (const std::string& text : interleaving) {
+    const Op op = parse_op(text);
+    const ThreadId t = tids.at(op.tag);
+    if (op.verb == "read") {
+      detector.read(t, op.arg, text);
+    } else if (op.verb == "write") {
+      detector.write(t, op.arg, text);
+    } else if (op.verb == "lock") {
+      detector.acquire(t, op.arg);
+    } else if (op.verb == "unlock") {
+      detector.release(t, op.arg);
+    } else if (op.verb == "send") {
+      detector.channel_send(t, op.arg);
+    } else if (op.verb == "recv") {
+      detector.channel_recv(t, op.arg);
+    } else if (op.verb == "barrier") {
+      at_barrier.insert(t);
+      if (at_barrier.size() == tids.size()) {
+        detector.barrier(std::vector<ThreadId>(at_barrier.begin(), at_barrier.end()));
+        at_barrier.clear();
+      }
+    } else {
+      throw Error("replay op '" + text + "': unknown verb '" + op.verb + "'");
+    }
+  }
+
+  ReplayResult result;
+  result.races = detector.races();
+  result.events = detector.events();
+  result.schedule = interleaving;
+  return result;
+}
+
+std::vector<ReplayResult> replay_all_interleavings(
+    const std::vector<std::vector<std::string>>& scripts, std::size_t limit) {
+  const auto schedules = os::all_interleavings(tag_threads(scripts), limit);
+  std::vector<ReplayResult> results;
+  results.reserve(schedules.size());
+  for (const auto& schedule : schedules) results.push_back(replay(schedule));
+  return results;
+}
+
+ReplayStats summarize(const std::vector<ReplayResult>& results) {
+  ReplayStats stats;
+  stats.schedules = results.size();
+  for (const ReplayResult& r : results) {
+    if (!r.race_free()) ++stats.racy;
+  }
+  return stats;
+}
+
+}  // namespace cs31::race

@@ -1,0 +1,71 @@
+// Deterministic replay: run a specific interleaving of per-thread
+// operation scripts through the happens-before detector. This fuses two
+// CS 31 exercises — "identify the possible outputs of these concurrent
+// processes" (cs31::os::all_interleavings) and "find the data race" —
+// into one tool: write each thread's ops as a sequence of strings, let
+// the interleaving enumerator produce every schedule, and replay each
+// through the detector to see which schedules expose which races.
+//
+// Script grammar (one op per string, thread tag added by tag_threads or
+// already present in an interleaved stream):
+//   "t<k> read <var>"    read of a shared variable
+//   "t<k> write <var>"   write of a shared variable
+//   "t<k> lock <m>"      mutex acquire
+//   "t<k> unlock <m>"    mutex release
+//   "t<k> send <ch>"     producer publish into channel <ch>
+//   "t<k> recv <ch>"     consumer take from channel <ch>
+//   "t<k> barrier"       this thread arrives at the (single, implicit)
+//                        barrier; the HB edge forms when every thread
+//                        that ever appears in the schedule has arrived
+//
+// Replay threads are registered as concurrent roots (no fork edges):
+// exactly the model of the homework's already-running processes. Note
+// that replay models happens-before edges, not blocking — schedules
+// that real mutual exclusion would forbid (two threads "inside" one
+// lock at once) are still replayed, which is itself a talking point:
+// the enumerator over-approximates, the detector under-approximates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "race/detector.hpp"
+
+namespace cs31::race {
+
+/// Outcome of replaying one interleaving.
+struct ReplayResult {
+  std::vector<RaceReport> races;
+  std::uint64_t events = 0;
+  std::vector<std::string> schedule;  ///< the interleaving that was replayed
+  [[nodiscard]] bool race_free() const { return races.empty(); }
+};
+
+/// Prefix each op of script k with "t<k> " so the interleaving keeps its
+/// origin once the enumerator shuffles the streams together.
+[[nodiscard]] std::vector<std::vector<std::string>> tag_threads(
+    const std::vector<std::vector<std::string>>& scripts);
+
+/// Replay one tagged interleaving (e.g. one element of
+/// os::all_interleavings(tag_threads(scripts))). Throws cs31::Error on a
+/// malformed op.
+[[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving);
+
+/// Enumerate every interleaving of the scripts (program order preserved
+/// per thread) and replay each. `limit` bounds the multinomial blow-up,
+/// as in os::all_interleavings.
+[[nodiscard]] std::vector<ReplayResult> replay_all_interleavings(
+    const std::vector<std::vector<std::string>>& scripts, std::size_t limit = 100000);
+
+/// Counts over a batch of replays — the demo's punchline numbers
+/// ("12 of 20 schedules expose the race").
+struct ReplayStats {
+  std::size_t schedules = 0;
+  std::size_t racy = 0;
+  [[nodiscard]] std::size_t clean() const { return schedules - racy; }
+};
+
+[[nodiscard]] ReplayStats summarize(const std::vector<ReplayResult>& results);
+
+}  // namespace cs31::race

@@ -1,0 +1,46 @@
+#include "race/shadow.hpp"
+
+namespace cs31::race {
+
+TraceContext::TraceContext() {
+  // The detector pre-registers thread 0; bind it to the constructing
+  // OS thread.
+  std::scoped_lock lock(mutex_);
+  bindings_[std::this_thread::get_id()] = 0;
+}
+
+ThreadId TraceContext::self() const {
+  std::scoped_lock lock(mutex_);
+  const auto it = bindings_.find(std::this_thread::get_id());
+  require(it != bindings_.end(),
+          "calling thread is not bound to the trace context (spawn it through the "
+          "on_thread_create/bind_self hooks or a traced ThreadTeam)");
+  return it->second;
+}
+
+ThreadId TraceContext::on_thread_create() { return detector_.fork(self()); }
+
+void TraceContext::bind_self(ThreadId tid) {
+  std::scoped_lock lock(mutex_);
+  bindings_[std::this_thread::get_id()] = tid;
+}
+
+void TraceContext::on_thread_join(ThreadId child) { detector_.join(self(), child); }
+
+void TraceContext::read(const std::string& var, const std::string& where) {
+  detector_.read(self(), var, where);
+}
+
+void TraceContext::write(const std::string& var, const std::string& where) {
+  detector_.write(self(), var, where);
+}
+
+void TraceContext::acquire(const std::string& lock) { detector_.acquire(self(), lock); }
+
+void TraceContext::release(const std::string& lock) { detector_.release(self(), lock); }
+
+void TraceContext::send(const std::string& channel) { detector_.channel_send(self(), channel); }
+
+void TraceContext::recv(const std::string& channel) { detector_.channel_recv(self(), channel); }
+
+}  // namespace cs31::race

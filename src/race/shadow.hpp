@@ -1,0 +1,160 @@
+// Instrumentation ("shadow") layer between real running code and the
+// happens-before detector: a TraceContext that maps OS threads to dense
+// detector thread ids and mirrors thread create/join, plus traced
+// drop-ins — TracedMutex for std::mutex and TracedVar<T> for a shared
+// variable. The parallel runtime plugs in here: ThreadTeam has a traced
+// constructor (fork/join edges), Barrier::attach_tracer turns each
+// barrier cycle into a happens-before edge among its waiters, and
+// BoundedBuffer::attach_tracer reports put/get as channel send/recv.
+//
+// TracedVar guards its value with an internal mutex that is *not*
+// reported to the detector, so a deliberately "racy" demo is observable
+// (logical race reported) without committing real undefined behaviour —
+// the same trick ThreadSanitizer's shadow memory plays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "race/detector.hpp"
+
+namespace cs31::race {
+
+/// Owns a Detector and the OS-thread <-> ThreadId binding. One
+/// TraceContext per experiment; the main (constructing) thread is bound
+/// to ThreadId 0.
+class TraceContext {
+ public:
+  TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// The detector id bound to the calling OS thread. Throws cs31::Error
+  /// when the thread was never bound (spawned outside the hooks).
+  [[nodiscard]] ThreadId self() const;
+
+  /// on_thread_create hook: called by the *parent* before spawning;
+  /// returns the child's id (HB edge parent -> child).
+  [[nodiscard]] ThreadId on_thread_create();
+
+  /// Bind the calling OS thread to `tid` — the first statement a
+  /// spawned thread runs.
+  void bind_self(ThreadId tid);
+
+  /// on_thread_join hook: called by the parent after joining `child`
+  /// (HB edge child -> parent). Unbinds nothing; ids are never reused.
+  void on_thread_join(ThreadId child);
+
+  /// Convenience forwarders that use the calling thread's binding.
+  void read(const std::string& var, const std::string& where = "");
+  void write(const std::string& var, const std::string& where = "");
+  void acquire(const std::string& lock);
+  void release(const std::string& lock);
+  void send(const std::string& channel);
+  void recv(const std::string& channel);
+
+  [[nodiscard]] Detector& detector() { return detector_; }
+  [[nodiscard]] const Detector& detector() const { return detector_; }
+
+ private:
+  Detector detector_;
+  mutable std::mutex mutex_;
+  std::map<std::thread::id, ThreadId> bindings_;
+};
+
+/// std::mutex drop-in that reports acquire/release to the detector —
+/// the happens-before edges a lock actually provides. Works with
+/// std::scoped_lock / std::unique_lock via lock()/unlock()/try_lock().
+class TracedMutex {
+ public:
+  TracedMutex(std::string name, TraceContext& ctx)
+      : name_(std::move(name)), ctx_(ctx) {}
+
+  TracedMutex(const TracedMutex&) = delete;
+  TracedMutex& operator=(const TracedMutex&) = delete;
+
+  void lock() {
+    mutex_.lock();
+    ctx_.acquire(name_);
+  }
+  void unlock() {
+    ctx_.release(name_);
+    mutex_.unlock();
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    ctx_.acquire(name_);
+    return true;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceContext& ctx_;
+  std::mutex mutex_;
+};
+
+/// A shared variable whose every load/store is reported to the
+/// detector. The unsynchronized counter demo is
+///   const auto v = counter.load("read counter");
+///   counter.store(v + 1, "write counter");
+/// — a logical read-modify-write race the detector flags
+/// deterministically, whatever the scheduler did.
+template <typename T>
+class TracedVar {
+ public:
+  TracedVar(std::string name, TraceContext& ctx, T initial = T{})
+      : name_(std::move(name)), ctx_(ctx), value_(std::move(initial)) {}
+
+  TracedVar(const TracedVar&) = delete;
+  TracedVar& operator=(const TracedVar&) = delete;
+
+  [[nodiscard]] T load(const std::string& where = "") {
+    ctx_.read(name_, where.empty() ? "load " + name_ : where);
+    std::scoped_lock lock(guard_);
+    return value_;
+  }
+
+  void store(T v, const std::string& where = "") {
+    ctx_.write(name_, where.empty() ? "store " + name_ : where);
+    std::scoped_lock lock(guard_);
+    value_ = std::move(v);
+  }
+
+  /// Atomic fetch-add analogue: one indivisible read-modify-write that
+  /// creates the same happens-before edges a std::atomic RMW would.
+  /// The guard must be held across the *detector events* too, so the
+  /// acquire/read/write/release of two RMWs can never interleave in
+  /// the event stream — without that, a second thread's acquire could
+  /// slip in before the first one's release and the detector would see
+  /// (and correctly report!) an unordered conflict that the real
+  /// operation never allows.
+  T fetch_add(T delta, const std::string& where = "") {
+    std::scoped_lock lock(guard_);
+    ctx_.acquire("<atomic:" + name_ + ">");
+    ctx_.read(name_, where.empty() ? "fetch_add " + name_ : where);
+    ctx_.write(name_, where.empty() ? "fetch_add " + name_ : where);
+    ctx_.release("<atomic:" + name_ + ">");
+    const T old = value_;
+    value_ = value_ + delta;
+    return old;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceContext& ctx_;
+  T value_;
+  std::mutex guard_;  // protects the value only; invisible to the detector
+};
+
+}  // namespace cs31::race

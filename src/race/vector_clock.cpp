@@ -1,0 +1,52 @@
+#include "race/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cs31::race {
+
+Clock VectorClock::get(ThreadId t) const {
+  return t < clocks_.size() ? clocks_[t] : 0;
+}
+
+void VectorClock::set(ThreadId t, Clock c) {
+  if (t >= clocks_.size()) clocks_.resize(t + 1, 0);
+  clocks_[t] = c;
+}
+
+void VectorClock::tick(ThreadId t) { set(t, get(t) + 1); }
+
+void VectorClock::join(const VectorClock& other) {
+  if (other.clocks_.size() > clocks_.size()) clocks_.resize(other.clocks_.size(), 0);
+  for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+    clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (clocks_[i] > other.get(static_cast<ThreadId>(i))) return false;
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream out;
+  out << '<';
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << clocks_[i];
+  }
+  out << '>';
+  return out.str();
+}
+
+bool happens_before(const VectorClock& a, const VectorClock& b) {
+  return a.leq(b) && a != b;
+}
+
+bool concurrent(const VectorClock& a, const VectorClock& b) {
+  return !a.leq(b) && !b.leq(a);
+}
+
+}  // namespace cs31::race

@@ -4,6 +4,7 @@
 // the multicore cost model, and the deadlock detector.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -39,16 +40,50 @@ TEST(Barrier, AllThreadsLeaveTogetherEachCycle) {
 }
 
 TEST(Barrier, ExactlyOneSerialThreadPerCycle) {
+  // PTHREAD_BARRIER_SERIAL_THREAD semantics: per cycle, exactly one of
+  // the N waiters — not merely one on average — gets `true`. Count each
+  // cycle separately so two in one cycle and zero in the next cannot
+  // cancel out.
   constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 20;
   Barrier barrier(kThreads);
-  std::atomic<int> serial_count{0};
+  std::array<std::atomic<int>, kRounds> per_cycle{};
   ThreadTeam team(kThreads, [&](std::size_t) {
-    for (int r = 0; r < 20; ++r) {
-      if (barrier.wait()) serial_count.fetch_add(1);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      if (barrier.wait()) per_cycle[r].fetch_add(1);
     }
   });
   team.join();
-  EXPECT_EQ(serial_count.load(), 20);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(per_cycle[r].load(), 1) << "cycle " << r;
+  }
+  EXPECT_EQ(barrier.cycles(), kRounds);
+}
+
+TEST(Barrier, CyclesCountsEveryCompletedCycle) {
+  Barrier solo(1);
+  EXPECT_EQ(solo.cycles(), 0u);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(solo.wait()) << "sole waiter is always the serial thread";
+    EXPECT_EQ(solo.cycles(), static_cast<std::uint64_t>(i));
+  }
+
+  Barrier pair(2);
+  ThreadTeam team(2, [&](std::size_t) {
+    for (int r = 0; r < 5; ++r) pair.wait();
+  });
+  team.join();
+  EXPECT_EQ(pair.cycles(), 5u) << "a cycle completes once per full arrival set";
+}
+
+TEST(ThreadTeam, DoubleJoinIsIdempotent) {
+  std::atomic<int> ran{0};
+  ThreadTeam team(3, [&](std::size_t) { ran.fetch_add(1); });
+  team.join();
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_NO_THROW(team.join()) << "second join is a no-op";
+  EXPECT_EQ(team.size(), 3u);
+  // The destructor's implicit join after an explicit one is also a no-op.
 }
 
 TEST(Barrier, CountOfOneNeverBlocks) {
@@ -69,14 +104,21 @@ TEST(SharedCounter, SynchronizedModesAreExact) {
             kThreads * kPer);
 }
 
-TEST(SharedCounter, UnsynchronizedNeverExceedsAndUsuallyLoses) {
-  // The data race can lose updates but can never invent them.
+TEST(SharedCounter, UnsynchronizedIsOnlyBoundedAbove) {
+  // The data race can lose updates but can never invent them — and that
+  // upper bound is the ONLY sound assertion. The result can fall below
+  // per_thread (a stale read-modify-write can erase whole stretches of
+  // other threads' work), and on a fast or single-core machine it can
+  // coincidentally equal the exact count, so neither "usually loses"
+  // nor any lower bound is testable without flaking. The deterministic
+  // verdict lives in race_test.cpp: SharedCounter::run_traced flags the
+  // race on every run, whatever the scheduler does.
   constexpr unsigned kThreads = 4;
   constexpr std::uint64_t kPer = 50000;
   const std::uint64_t result =
       SharedCounter::run(SharedCounter::Mode::Unsynchronized, kThreads, kPer);
   EXPECT_LE(result, kThreads * kPer);
-  EXPECT_GE(result, kPer) << "at least one thread's updates land";
+  EXPECT_GE(result, 1u) << "the last increment's write always lands";
 }
 
 TEST(BoundedBuffer, FifoOrderSingleProducerSingleConsumer) {

@@ -1,0 +1,424 @@
+// cs31::race tests: vector-clock algebra, the FastTrack-style detector
+// over hand-fed event streams (fork/join, locks, barriers, channels),
+// the shadow instrumentation layer on real threads (traced counter,
+// traced Barrier/BoundedBuffer), the traced Game of Life certificates,
+// and the replay mode over os::all_interleavings schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "common/error.hpp"
+#include "life/traced.hpp"
+#include "os/interleave.hpp"
+#include "parallel/sync.hpp"
+#include "parallel/threads.hpp"
+#include "race/detector.hpp"
+#include "race/replay.hpp"
+#include "race/shadow.hpp"
+#include "race/vector_clock.hpp"
+
+namespace cs31::race {
+namespace {
+
+TEST(VectorClock, JoinTickCompare) {
+  VectorClock a, b;
+  a.tick(0);  // a = <1>
+  b.tick(1);  // b = <0, 1>
+  EXPECT_TRUE(concurrent(a, b)) << "independent events on different threads";
+
+  VectorClock c = a;
+  c.join(b);  // c = <1, 1>
+  EXPECT_TRUE(happens_before(a, c));
+  EXPECT_TRUE(happens_before(b, c));
+  EXPECT_FALSE(happens_before(c, a));
+  EXPECT_FALSE(concurrent(a, c));
+
+  EXPECT_EQ(c.get(0), 1u);
+  EXPECT_EQ(c.get(7), 0u) << "untouched components read as 0";
+  EXPECT_TRUE(c.contains(Epoch{1, 1}));
+  EXPECT_FALSE(c.contains(Epoch{1, 2}));
+  EXPECT_EQ(c.to_string(), "<1, 1>");
+}
+
+TEST(VectorClock, HappensBeforeIsStrict) {
+  VectorClock a;
+  a.tick(0);
+  VectorClock b = a;
+  EXPECT_FALSE(happens_before(a, b)) << "equal clocks are not strictly ordered";
+  EXPECT_TRUE(a.leq(b));
+  b.tick(0);
+  EXPECT_TRUE(happens_before(a, b));
+}
+
+TEST(Detector, ForkAndJoinOrderAccesses) {
+  Detector d;
+  const ThreadId child = d.fork(0);
+  d.write(0, "x", "parent init before fork");
+  // Oops — the write came *after* the fork edge was taken, so the child
+  // racing it is real: the parent's post-fork write is concurrent with
+  // the child. (Write first, then fork, and it would be clean — see
+  // below.)
+  d.read(child, "x", "child read");
+  EXPECT_FALSE(d.race_free());
+
+  Detector d2;
+  d2.write(0, "x", "parent init");
+  const ThreadId c2 = d2.fork(0);
+  d2.read(c2, "x", "child read");
+  EXPECT_TRUE(d2.race_free()) << "fork edge orders parent's earlier write";
+  d2.write(c2, "x", "child update");
+  d2.join(0, c2);
+  d2.read(0, "x", "parent read after join");
+  EXPECT_TRUE(d2.race_free()) << "join edge orders the child's write";
+}
+
+TEST(Detector, LockReleaseAcquireMakesHappensBefore) {
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  d.acquire(0, "m");
+  d.write(0, "x", "locked write");
+  d.release(0, "m");
+  d.acquire(t1, "m");
+  d.read(t1, "x", "locked read");
+  d.release(t1, "m");
+  EXPECT_TRUE(d.race_free()) << "release->acquire is an HB edge";
+
+  // The same accesses without the lock race.
+  Detector d2;
+  const ThreadId u = d2.register_thread();
+  d2.write(0, "x", "unlocked write");
+  d2.read(u, "x", "unlocked read");
+  ASSERT_FALSE(d2.race_free());
+  EXPECT_EQ(d2.races()[0].variable, "x");
+}
+
+TEST(Detector, TwoThreadUnsyncCounterAlwaysFlagged) {
+  // The lecture's shared-counter race, as an explicit event stream: two
+  // concurrent root threads each do read x; write x. Detection is a
+  // property of the happens-before structure, so ANY serialization of
+  // these events is flagged — no timing, no luck.
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  d.read(0, "counter", "counter = counter + 1 @ thread 0");
+  d.write(0, "counter", "counter = counter + 1 @ thread 0");
+  d.read(t1, "counter", "counter = counter + 1 @ thread 1");
+  d.write(t1, "counter", "counter = counter + 1 @ thread 1");
+
+  ASSERT_FALSE(d.race_free());
+  const RaceReport& r = d.races()[0];
+  EXPECT_EQ(r.variable, "counter");
+  // Both access sites are reported, from the two different threads.
+  EXPECT_NE(r.first.thread, r.second.thread);
+  EXPECT_FALSE(r.first.where.empty());
+  EXPECT_FALSE(r.second.where.empty());
+  EXPECT_TRUE(r.first.locks_held.empty());
+  EXPECT_TRUE(r.second.locks_held.empty());
+  EXPECT_NE(r.explanation.find("no lock in common"), std::string::npos);
+}
+
+TEST(Detector, BarrierCycleOrdersAllWaiters) {
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  const ThreadId t2 = d.register_thread();
+  d.write(0, "a", "phase 1");
+  d.write(t1, "b", "phase 1");
+  d.barrier({0, t1, t2});
+  // After the cycle every waiter may read every other waiter's work.
+  d.read(t2, "a", "phase 2");
+  d.read(t1, "a", "phase 2");
+  d.read(0, "b", "phase 2");
+  EXPECT_TRUE(d.race_free());
+  EXPECT_THROW(d.barrier({}), Error);
+}
+
+TEST(Detector, ChannelSendRecvOrders) {
+  Detector d;
+  const ThreadId consumer = d.register_thread();
+  d.write(0, "payload", "producer fills");
+  d.channel_send(0, "q");
+  d.channel_recv(consumer, "q");
+  d.read(consumer, "payload", "consumer uses");
+  EXPECT_TRUE(d.race_free());
+}
+
+TEST(Detector, ReadSharingThenRacyWrite) {
+  // Many concurrent readers are fine; a concurrent writer races them.
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  const ThreadId t2 = d.register_thread();
+  d.read(0, "x", "reader 0");
+  d.read(t1, "x", "reader 1");
+  EXPECT_TRUE(d.race_free()) << "read-read never conflicts";
+  d.write(t2, "x", "writer");
+  ASSERT_FALSE(d.race_free());
+  // Both readers race the write: distinct (var, pair) reports.
+  EXPECT_EQ(d.races().size(), 2u);
+  EXPECT_EQ(d.races()[0].second.kind, AccessKind::Write);
+}
+
+TEST(Detector, OneReportPerVariableAndPair) {
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  for (int i = 0; i < 10; ++i) {
+    d.write(0, "x", "hammer 0");
+    d.write(t1, "x", "hammer 1");
+  }
+  EXPECT_EQ(d.races().size(), 1u) << "deduped per (variable, thread pair)";
+  EXPECT_GT(d.race_count(), 1u) << "but every racy access is counted";
+}
+
+TEST(Detector, ReleaseOfUnheldLockThrows) {
+  Detector d;
+  EXPECT_THROW(d.release(0, "m"), Error);
+  EXPECT_THROW(d.read(99, "x"), Error) << "unknown thread id";
+}
+
+TEST(SharedCounterTraced, UnsynchronizedDeterministicallyFlagged) {
+  // The acceptance-criterion test: a two-thread unsynchronized counter
+  // is flagged on every run, with both access sites in the report —
+  // unlike the statistical lost-update demo, there is no timing
+  // dependence: the verdict follows from the absent HB edges.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto run = parallel::SharedCounter::run_traced(
+        parallel::SharedCounter::Mode::Unsynchronized, 2, 100);
+    EXPECT_TRUE(run.race_detected);
+    ASSERT_FALSE(run.races.empty());
+    const RaceReport& r = run.races[0];
+    EXPECT_EQ(r.variable, "counter");
+    EXPECT_NE(r.first.thread, r.second.thread);
+    EXPECT_NE(r.first.where.find("no lock"), std::string::npos);
+    EXPECT_NE(r.second.where.find("no lock"), std::string::npos);
+    EXPECT_LE(run.value, 200u) << "lost updates only, never invented ones";
+  }
+}
+
+TEST(SharedCounterTraced, SynchronizedModesCertifiedRaceFreeAndExact) {
+  using parallel::SharedCounter;
+  for (const auto mode : {SharedCounter::Mode::MutexPerIncrement, SharedCounter::Mode::Atomic,
+                          SharedCounter::Mode::LocalThenMerge}) {
+    const auto run = SharedCounter::run_traced(mode, 4, 200);
+    EXPECT_FALSE(run.race_detected) << run.report;
+    EXPECT_EQ(run.value, 4u * 200u) << "a correct mode is exact";
+    EXPECT_NE(run.report.find("race-free"), std::string::npos);
+  }
+}
+
+TEST(TracedPrimitives, MutexProtectedSharingIsClean) {
+  TraceContext ctx;
+  TracedMutex m("m", ctx);
+  TracedVar<int> shared("shared", ctx, 0);
+  parallel::ThreadTeam team(4, ctx, [&](std::size_t) {
+    for (int i = 0; i < 50; ++i) {
+      std::scoped_lock lock(m);
+      shared.store(shared.load() + 1);
+    }
+  });
+  team.join();
+  EXPECT_TRUE(ctx.detector().race_free());
+  EXPECT_EQ(shared.load(), 200);
+  EXPECT_GE(ctx.detector().threads(), 5u) << "main + 4 workers";
+}
+
+TEST(TracedPrimitives, LocksHeldAppearInTheReport) {
+  // One side locks, the other does not: still a race, and the report's
+  // lockset view shows the asymmetry (the pedagogical "your lock only
+  // helps if EVERY access path takes it").
+  TraceContext ctx;
+  TracedMutex m("half_lock", ctx);
+  TracedVar<int> shared("shared", ctx, 0);
+  parallel::ThreadTeam team(2, ctx, [&](std::size_t id) {
+    if (id == 0) {
+      std::scoped_lock lock(m);
+      shared.store(shared.load() + 1, "locked increment");
+    } else {
+      shared.store(shared.load() + 1, "unlocked increment");
+    }
+  });
+  team.join();
+  ASSERT_FALSE(ctx.detector().race_free());
+  const RaceReport& r = ctx.detector().races()[0];
+  const bool first_locked = !r.first.locks_held.empty();
+  const bool second_locked = !r.second.locks_held.empty();
+  EXPECT_NE(first_locked, second_locked) << "exactly one side holds half_lock";
+  const auto& held = first_locked ? r.first.locks_held : r.second.locks_held;
+  EXPECT_EQ(held, std::vector<std::string>{"half_lock"});
+}
+
+TEST(TracedPrimitives, UnboundThreadThrows) {
+  TraceContext ctx;
+  std::thread outsider([&] {
+    EXPECT_THROW(ctx.read("x"), Error);
+  });
+  outsider.join();
+}
+
+TEST(TracedBarrier, BarrierCyclesMakeRoundsRaceFree) {
+  // Round-structured sharing: each thread writes its slot, the barrier
+  // closes the round, then everyone reads every slot. Race-free only
+  // because Barrier::attach_tracer turns each cycle into an HB edge.
+  constexpr std::size_t kThreads = 4;
+  TraceContext ctx;
+  parallel::Barrier barrier(kThreads);
+  barrier.attach_tracer(ctx);
+  std::vector<TracedVar<int>*> slots;
+  std::vector<std::unique_ptr<TracedVar<int>>> storage;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    storage.push_back(std::make_unique<TracedVar<int>>("slot" + std::to_string(t), ctx, 0));
+    slots.push_back(storage.back().get());
+  }
+  parallel::ThreadTeam team(kThreads, ctx, [&](std::size_t id) {
+    for (int round = 0; round < 3; ++round) {
+      slots[id]->store(round, "fill my slot");
+      barrier.wait();
+      int sum = 0;
+      for (std::size_t t = 0; t < kThreads; ++t) sum += slots[t]->load("read all slots");
+      EXPECT_EQ(sum, static_cast<int>(kThreads) * round);
+      barrier.wait();  // separate the read phase from the next round's writes
+    }
+  });
+  team.join();
+  EXPECT_TRUE(ctx.detector().race_free()) << ctx.detector().summary();
+  EXPECT_EQ(barrier.cycles(), 6u);
+}
+
+TEST(TracedBoundedBuffer, ProducerConsumerHandoffIsClean) {
+  // Ownership handoff through the queue: the producer fills item_i and
+  // never touches it again; the consumer reads item_i only after
+  // get()ing its index. The put/get channel edges order every fill
+  // before the matching read.
+  constexpr int kItems = 8;
+  TraceContext ctx;
+  parallel::BoundedBuffer buffer(2);
+  buffer.attach_tracer(ctx, "queue");
+  std::vector<std::unique_ptr<TracedVar<int>>> items;
+  for (int i = 0; i < kItems; ++i) {
+    items.push_back(std::make_unique<TracedVar<int>>("item" + std::to_string(i), ctx, 0));
+  }
+  parallel::ThreadTeam team(2, ctx, [&](std::size_t id) {
+    if (id == 0) {
+      for (int i = 0; i < kItems; ++i) {
+        items[i]->store(i * 10, "producer fills");
+        buffer.put(i);
+      }
+    } else {
+      for (int i = 0; i < kItems; ++i) {
+        const auto item = static_cast<std::size_t>(buffer.get());
+        EXPECT_EQ(items[item]->load("consumer reads"), static_cast<int>(item) * 10);
+      }
+    }
+  });
+  team.join();
+  EXPECT_TRUE(ctx.detector().race_free()) << ctx.detector().summary();
+
+  TraceContext ctx2;
+  parallel::BoundedBuffer silent(2);  // no tracer: the handoff edge is invisible
+  TracedVar<int> payload2("payload", ctx2, 0);
+  parallel::ThreadTeam team2(2, ctx2, [&](std::size_t id) {
+    if (id == 0) {
+      payload2.store(1, "producer prepares");
+      silent.put(1);
+    } else {
+      (void)silent.get();
+      (void)payload2.load("consumer inspects");
+    }
+  });
+  team2.join();
+  EXPECT_FALSE(ctx2.detector().race_free())
+      << "without the channel edge the handoff cannot be proven ordered";
+}
+
+TEST(TracedLife, BarrierSynchronizedStepCertifiedRaceFree) {
+  // Acceptance criterion: the Lab 10 structure (compute, barrier, serial
+  // swap, barrier) is certified race-free, and the traced run really
+  // computes the same generations as the serial engine.
+  life::Grid initial = life::Grid::random(12, 12, 0.35, 31);
+  const auto traced = life::traced_life_check(initial, 3, 4, /*use_barrier=*/true);
+  EXPECT_TRUE(traced.race_free) << traced.report;
+  EXPECT_TRUE(traced.races.empty());
+  EXPECT_GT(traced.events, 0u);
+
+  life::SerialLife serial(initial);
+  serial.run(4);
+  EXPECT_EQ(traced.grid, serial.grid()) << "tracing does not change the simulation";
+}
+
+TEST(TracedLife, BarrierRemovedVariantIsFlagged) {
+  life::Grid initial = life::Grid::random(12, 12, 0.35, 31);
+  const auto traced = life::traced_life_check(initial, 3, 2, /*use_barrier=*/false);
+  EXPECT_FALSE(traced.race_free);
+  ASSERT_FALSE(traced.races.empty());
+  // The characteristic bug: the serial thread's swap races a band
+  // thread's access to the grid.
+  const auto swap_race = std::find_if(
+      traced.races.begin(), traced.races.end(), [](const RaceReport& r) {
+        return r.second.where.find("swap grids") != std::string::npos ||
+               r.first.where.find("swap grids") != std::string::npos;
+      });
+  ASSERT_NE(swap_race, traced.races.end());
+  EXPECT_NE(swap_race->first.thread, swap_race->second.thread);
+  EXPECT_THROW(life::traced_life_check(initial, 0, 1, true), Error);
+  EXPECT_THROW(life::traced_life_check(initial, 13, 1, true), Error);
+}
+
+TEST(Replay, RacyInterleavingFromAllInterleavingsIsFlagged) {
+  // Acceptance criterion: scripts through os::all_interleavings, each
+  // schedule replayed through the detector. Unlocked increments race in
+  // every schedule; the locked pair is clean in every schedule.
+  const std::vector<std::vector<std::string>> racy = {
+      {"read x", "write x"},
+      {"read x", "write x"},
+  };
+  const auto schedules = os::all_interleavings(tag_threads(racy));
+  ASSERT_EQ(schedules.size(), 6u);  // C(4,2) interleavings of 2+2 ops
+  std::size_t flagged = 0;
+  for (const auto& schedule : schedules) {
+    const ReplayResult result = replay(schedule);
+    if (!result.race_free()) ++flagged;
+    EXPECT_EQ(result.schedule, schedule);
+  }
+  EXPECT_EQ(flagged, schedules.size())
+      << "an unlocked read-modify-write races in every schedule";
+
+  const std::vector<std::vector<std::string>> locked = {
+      {"lock m", "read x", "write x", "unlock m"},
+      {"lock m", "read x", "write x", "unlock m"},
+  };
+  const auto locked_results = replay_all_interleavings(locked);
+  const ReplayStats stats = summarize(locked_results);
+  EXPECT_EQ(stats.schedules, 70u);  // C(8,4)
+  // Mutual exclusion forbids the overlapped schedules, so the feasible
+  // ones — where each critical section completes before the other
+  // begins — are exactly the clean ones the detector certifies.
+  EXPECT_EQ(stats.clean(), 2u) << "t0's section first, or t1's";
+  EXPECT_EQ(stats.racy, 68u) << "every overlapped (infeasible) schedule is flagged";
+}
+
+TEST(Replay, BarrierAndChannelOps) {
+  // Barrier op: both threads write their own cell, arrive, then read
+  // the other's. The schedule a real barrier enforces — both arrivals
+  // before either post-barrier read — is clean; a schedule where t0
+  // reads past a barrier only it has reached is one a real barrier
+  // would *block*, and the detector flags it (the enumerator
+  // over-approximates feasible schedules; see replay.hpp).
+  const ReplayResult synced = replay({"t0 write a", "t1 write b", "t0 barrier", "t1 barrier",
+                                      "t0 read b", "t1 read a"});
+  EXPECT_TRUE(synced.race_free())
+      << (synced.races.empty() ? "" : synced.races[0].to_string());
+  const ReplayResult jumped = replay({"t0 write a", "t0 barrier", "t0 read b", "t1 write b",
+                                      "t1 barrier", "t1 read a"});
+  EXPECT_FALSE(jumped.race_free()) << "t0 read b before t1 ever arrived";
+
+  const ReplayResult handoff = replay({"t0 write x", "t0 send q", "t1 recv q", "t1 read x"});
+  EXPECT_TRUE(handoff.race_free());
+  const ReplayResult no_handoff = replay({"t0 write x", "t1 read x"});
+  EXPECT_FALSE(no_handoff.race_free());
+
+  EXPECT_THROW(replay({"write x"}), Error) << "missing thread tag";
+  EXPECT_THROW(replay({"t0 frobnicate x"}), Error) << "unknown verb";
+  EXPECT_THROW(replay({"t0 read"}), Error) << "missing operand";
+}
+
+}  // namespace
+}  // namespace cs31::race
