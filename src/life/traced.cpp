@@ -1,6 +1,8 @@
 #include "life/traced.hpp"
 
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "parallel/threads.hpp"
@@ -12,10 +14,20 @@ std::string cell_name(const char* grid, std::size_t r, std::size_t c) {
   return std::string(grid) + '[' + std::to_string(r) + ',' + std::to_string(c) + ']';
 }
 
-}  // namespace
-
-TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
-                                   std::size_t rounds, bool use_barrier, EdgeRule rule) {
+// The Lab 10 access pattern, written once and instantiated twice: with
+// the FastTrack detector's interned id fast path (the product path) and
+// with the generic string interface over any EventSink (the comparison
+// path). `Ops` provides fork/join/barrier plus per-cell read/write
+// hooks; `finish` harvests the verdict.
+//
+// Site labels deliberately carry no round number: the race between the
+// serial thread's grid swap and band t's halo access is the same bug in
+// every round, and the per-(variable, site pair) report dedup then
+// keeps it to one report per run instead of one per round (the
+// regression test for that is TracedLife.BarrierlessRaceSetStableAcrossRounds).
+template <typename Ops>
+TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t threads,
+                                 std::size_t rounds, bool use_barrier, EdgeRule rule) {
   require(threads >= 1, "need at least one thread");
   require(threads <= initial.rows(), "more threads than grid bands");
 
@@ -24,22 +36,16 @@ TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
   const std::vector<parallel::GridRegion> regions = parallel::grid_partition(
       initial.rows(), initial.cols(), threads, parallel::GridSplit::Horizontal);
 
-  race::Detector detector;
   // Main (thread 0 of the detector) forks one worker per band, like the
   // ThreadTeam in ParallelLife::run.
-  std::vector<race::ThreadId> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) workers.push_back(detector.fork(0));
+  ops.fork_workers(threads);
 
   const std::size_t rows = cur.rows(), cols = cur.cols();
   for (std::size_t round = 0; round < rounds; ++round) {
-    const std::string round_tag = "round " + std::to_string(round);
-
     // Compute phase: thread t reads its band plus a one-row halo from
     // the current grid and writes its band of the next grid.
     for (std::size_t t = 0; t < threads; ++t) {
       const parallel::GridRegion& region = regions[t];
-      const std::string where = "step_region " + round_tag + " band " + std::to_string(t);
       const std::int64_t lo = static_cast<std::int64_t>(region.rows.begin) - 1;
       const std::int64_t hi = static_cast<std::int64_t>(region.rows.end);  // inclusive halo
       for (std::int64_t rr = lo; rr <= hi; ++rr) {
@@ -50,42 +56,152 @@ TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
           continue;
         }
         for (std::size_t c = 0; c < cols; ++c) {
-          detector.read(workers[t], cell_name("cur", static_cast<std::size_t>(row), c),
-                        where);
+          ops.read_cur(t, static_cast<std::size_t>(row), c);
         }
       }
       for (std::size_t r = region.rows.begin; r < region.rows.end; ++r) {
         for (std::size_t c = 0; c < cols; ++c) {
-          detector.write(workers[t], cell_name("next", r, c), where);
+          ops.write_next(t, r, c);
         }
       }
       step_region(cur, next, region, rule);
     }
 
-    if (use_barrier) detector.barrier(workers);
+    if (use_barrier) ops.barrier();
 
     // Serial thread publishes the new generation: the swap rebinds every
     // cell of both grids, so it is a write to all of them.
-    const std::string swap_where = "swap grids " + round_tag + " (serial thread)";
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t c = 0; c < cols; ++c) {
-        detector.write(workers[0], cell_name("cur", r, c), swap_where);
-        detector.write(workers[0], cell_name("next", r, c), swap_where);
+        ops.swap_write(r, c);
       }
     }
     std::swap(cur, next);
 
-    if (use_barrier) detector.barrier(workers);
+    if (use_barrier) ops.barrier();
   }
 
-  for (const race::ThreadId w : workers) detector.join(0, w);
+  ops.join_workers();
+  return ops.finish(std::move(cur));
+}
 
-  TracedLifeResult result{.grid = std::move(cur),
-                          .race_free = detector.race_free(),
-                          .races = detector.races(),
-                          .events = detector.events(),
-                          .report = detector.summary()};
-  return result;
+/// The product path: cell names and site labels interned into the
+/// FastTrack detector once, per-access events fired by id.
+struct FastOps {
+  race::Detector detector;
+  std::vector<race::ThreadId> workers;
+  std::vector<race::NameId> cur_ids;   // row-major cell ids for grid "cur"
+  std::vector<race::NameId> next_ids;  // and for grid "next"
+  std::vector<race::NameId> band_sites;
+  race::NameId swap_site = 0;
+  std::size_t cols = 0;
+
+  FastOps(std::size_t rows, std::size_t cols_in) : cols(cols_in) {
+    cur_ids.reserve(rows * cols);
+    next_ids.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        cur_ids.push_back(detector.intern_var(cell_name("cur", r, c)));
+        next_ids.push_back(detector.intern_var(cell_name("next", r, c)));
+      }
+    }
+    swap_site = detector.intern_site("swap grids (serial thread)");
+  }
+
+  void fork_workers(std::size_t threads) {
+    workers.reserve(threads);
+    band_sites.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.push_back(detector.fork(0));
+      band_sites.push_back(detector.intern_site("step_region band " + std::to_string(t)));
+    }
+  }
+  void read_cur(std::size_t t, std::size_t r, std::size_t c) {
+    detector.read(workers[t], cur_ids[r * cols + c], band_sites[t]);
+  }
+  void write_next(std::size_t t, std::size_t r, std::size_t c) {
+    detector.write(workers[t], next_ids[r * cols + c], band_sites[t]);
+  }
+  void swap_write(std::size_t r, std::size_t c) {
+    detector.write(workers[0], cur_ids[r * cols + c], swap_site);
+    detector.write(workers[0], next_ids[r * cols + c], swap_site);
+  }
+  void barrier() { detector.barrier(workers); }
+  void join_workers() {
+    for (const race::ThreadId w : workers) detector.join(0, w);
+  }
+  TracedLifeResult finish(Grid grid) {
+    return TracedLifeResult{std::move(grid), detector.race_free(), detector.races(),
+                            detector.events(), detector.summary()};
+  }
+};
+
+/// The comparison path: the same events through any EventSink via the
+/// string interface (names prebuilt once, so the sink's own lookup cost
+/// is what gets measured — for the reference detector, a string-keyed
+/// map walk per access).
+struct SinkOps {
+  race::EventSink& sink;
+  std::vector<race::ThreadId> workers;
+  std::vector<std::string> cur_names;
+  std::vector<std::string> next_names;
+  std::vector<std::string> band_sites;
+  std::string swap_site = "swap grids (serial thread)";
+  std::size_t cols = 0;
+
+  SinkOps(race::EventSink& sink_in, std::size_t rows, std::size_t cols_in)
+      : sink(sink_in), cols(cols_in) {
+    cur_names.reserve(rows * cols);
+    next_names.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        cur_names.push_back(cell_name("cur", r, c));
+        next_names.push_back(cell_name("next", r, c));
+      }
+    }
+  }
+
+  void fork_workers(std::size_t threads) {
+    workers.reserve(threads);
+    band_sites.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.push_back(sink.fork(0));
+      band_sites.push_back("step_region band " + std::to_string(t));
+    }
+  }
+  void read_cur(std::size_t t, std::size_t r, std::size_t c) {
+    sink.read(workers[t], cur_names[r * cols + c], band_sites[t]);
+  }
+  void write_next(std::size_t t, std::size_t r, std::size_t c) {
+    sink.write(workers[t], next_names[r * cols + c], band_sites[t]);
+  }
+  void swap_write(std::size_t r, std::size_t c) {
+    sink.write(workers[0], cur_names[r * cols + c], swap_site);
+    sink.write(workers[0], next_names[r * cols + c], swap_site);
+  }
+  void barrier() { sink.barrier(workers); }
+  void join_workers() {
+    for (const race::ThreadId w : workers) sink.join(0, w);
+  }
+  TracedLifeResult finish(Grid grid) {
+    return TracedLifeResult{std::move(grid), sink.race_free(), sink.races(), sink.events(),
+                            sink.summary()};
+  }
+};
+
+}  // namespace
+
+TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
+                                   std::size_t rounds, bool use_barrier, EdgeRule rule) {
+  FastOps ops(initial.rows(), initial.cols());
+  return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
+}
+
+TracedLifeResult traced_life_check_with(race::EventSink& sink, const Grid& initial,
+                                        std::size_t threads, std::size_t rounds,
+                                        bool use_barrier, EdgeRule rule) {
+  SinkOps ops(sink, initial.rows(), initial.cols());
+  return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
 }
 
 }  // namespace cs31::life

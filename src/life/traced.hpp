@@ -36,8 +36,24 @@ struct TracedLifeResult {
 /// correct Lab 10 structure (compute, barrier, serial swap, barrier);
 /// false drops both barrier edges — the buggy variant the detector
 /// flags. Throws cs31::Error when threads == 0 or exceeds the rows.
+///
+/// Uses the FastTrack detector's interned fast path: every cell name
+/// and site label is interned once up front, so the per-access cost is
+/// an epoch check, not a string lookup — which is what finally lets
+/// this scale past toy grids (bench_race_overhead has the numbers).
 [[nodiscard]] TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
                                                  std::size_t rounds, bool use_barrier,
                                                  EdgeRule rule = EdgeRule::Torus);
+
+/// Same access pattern, driven through any detector implementation via
+/// the generic (string) event interface. This is how bench_race_overhead
+/// replays the identical event stream through the PR 1 ReferenceDetector
+/// to quantify the compression, and how a differential check can compare
+/// verdicts on the real Lab 10 workload. The sink must be fresh.
+[[nodiscard]] TracedLifeResult traced_life_check_with(race::EventSink& sink,
+                                                      const Grid& initial,
+                                                      std::size_t threads, std::size_t rounds,
+                                                      bool use_barrier,
+                                                      EdgeRule rule = EdgeRule::Torus);
 
 }  // namespace cs31::life

@@ -33,6 +33,45 @@ std::string RaceReport::to_string() const {
   return out.str();
 }
 
+std::string race_pair_key(const std::string& variable, const AccessSite& a,
+                          const AccessSite& b) {
+  std::string side_a = std::to_string(a.thread) + '@' + a.where;
+  std::string side_b = std::to_string(b.thread) + '@' + b.where;
+  if (side_b < side_a) side_a.swap(side_b);  // unordered pair
+  return variable + '|' + side_a + '|' + side_b;
+}
+
+std::string explain_race(const AccessSite& first, const AccessSite& second,
+                         const std::string& why) {
+  // Lockset view for the explanation: a true race's held-lock sets are
+  // disjoint (had they shared a lock, release/acquire would have made a
+  // happens-before edge and we would not be here).
+  std::vector<std::string> common;
+  for (const std::string& l : first.locks_held) {
+    if (std::find(second.locks_held.begin(), second.locks_held.end(), l) !=
+        second.locks_held.end()) {
+      common.push_back(l);
+    }
+  }
+  std::ostringstream out;
+  out << why << ": no fork/join, lock, barrier, or channel edge orders thread "
+      << first.thread << "'s " << race::to_string(first.kind) << " before thread "
+      << second.thread << "'s " << race::to_string(second.kind);
+  if (common.empty()) {
+    out << "; the two sides hold no lock in common";
+  } else {
+    // Possible when a shared lock was released before the conflicting
+    // epoch was published — still worth surfacing for discussion.
+    out << "; note both sides hold {";
+    for (std::size_t i = 0; i < common.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << common[i];
+    }
+    out << '}';
+  }
+  return out.str();
+}
+
 Detector::Detector() {
   // Thread 0 is the main/root thread.
   ThreadState main;
@@ -70,23 +109,61 @@ void Detector::join(ThreadId parent, ThreadId child) {
   c.vc.tick(child);
 }
 
-void Detector::acquire(ThreadId t, const std::string& lock_name) {
+NameId Detector::intern_var(std::string_view name) {
   std::scoped_lock lock(mutex_);
+  const NameId id = var_names_.id(name);
+  if (id >= vars_.size()) vars_.resize(id + 1);
+  return id;
+}
+
+NameId Detector::intern_lock(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  const NameId id = lock_names_.id(name);
+  if (id >= locks_.size()) locks_.resize(id + 1);
+  return id;
+}
+
+NameId Detector::intern_channel(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  const NameId id = channel_names_.id(name);
+  if (id >= channels_.size()) channels_.resize(id + 1);
+  return id;
+}
+
+NameId Detector::intern_site(std::string_view label) {
+  std::scoped_lock lock(mutex_);
+  return site_names_.id(label);
+}
+
+void Detector::acquire(ThreadId t, const std::string& lock_name) {
+  acquire(t, intern_lock(lock_name));
+}
+
+void Detector::acquire(ThreadId t, NameId lock_id) {
+  std::scoped_lock lock(mutex_);
+  check_lock_id(lock_id);
   ++events_;
   ThreadState& ts = state(t);
-  ts.vc.join(locks_[lock_name]);  // observe the previous critical section
-  ts.held.push_back(lock_name);
+  ts.vc.join(locks_[lock_id]);  // observe the previous critical section
+  ts.held.push_back(lock_id);
 }
 
 void Detector::release(ThreadId t, const std::string& lock_name) {
+  release(t, intern_lock(lock_name));
+}
+
+void Detector::release(ThreadId t, NameId lock_id) {
   std::scoped_lock lock(mutex_);
+  check_lock_id(lock_id);
   ++events_;
   ThreadState& ts = state(t);
-  locks_[lock_name] = ts.vc;  // publish this critical section to the lock
+  const auto it = std::find(ts.held.rbegin(), ts.held.rend(), lock_id);
+  if (it == ts.held.rend()) {
+    throw Error("release of lock '" + lock_names_.name(lock_id) + "' not held by thread " +
+                std::to_string(t));
+  }
+  locks_[lock_id] = ts.vc;  // publish this critical section to the lock
   ts.vc.tick(t);
-  const auto it = std::find(ts.held.rbegin(), ts.held.rend(), lock_name);
-  require(it != ts.held.rend(), "release of lock '" + lock_name + "' not held by thread " +
-                                    std::to_string(t));
   ts.held.erase(std::next(it).base());
 }
 
@@ -104,120 +181,190 @@ void Detector::barrier(const std::vector<ThreadId>& waiters) {
 }
 
 void Detector::channel_send(ThreadId t, const std::string& channel) {
+  channel_send(t, intern_channel(channel));
+}
+
+void Detector::channel_send(ThreadId t, NameId channel_id) {
   std::scoped_lock lock(mutex_);
+  check_channel_id(channel_id);
   ++events_;
   ThreadState& ts = state(t);
-  channels_[channel].join(ts.vc);
+  channels_[channel_id].join(ts.vc);
   ts.vc.tick(t);
 }
 
 void Detector::channel_recv(ThreadId t, const std::string& channel) {
+  channel_recv(t, intern_channel(channel));
+}
+
+void Detector::channel_recv(ThreadId t, NameId channel_id) {
   std::scoped_lock lock(mutex_);
+  check_channel_id(channel_id);
   ++events_;
-  state(t).vc.join(channels_[channel]);
+  state(t).vc.join(channels_[channel_id]);
 }
 
 void Detector::read(ThreadId t, const std::string& var, const std::string& where) {
+  read(t, intern_var(var), intern_site(where));
+}
+
+void Detector::read(ThreadId t, NameId var, NameId site) {
   std::scoped_lock lock(mutex_);
-  check_and_record(t, var, AccessKind::Read, where);
+  check_and_record(t, var, AccessKind::Read, site);
 }
 
 void Detector::write(ThreadId t, const std::string& var, const std::string& where) {
-  std::scoped_lock lock(mutex_);
-  check_and_record(t, var, AccessKind::Write, where);
+  write(t, intern_var(var), intern_site(where));
 }
 
-void Detector::check_and_record(ThreadId t, const std::string& var, AccessKind kind,
-                                const std::string& where) {
+void Detector::write(ThreadId t, NameId var, NameId site) {
+  std::scoped_lock lock(mutex_);
+  check_and_record(t, var, AccessKind::Write, site);
+}
+
+void Detector::check_and_record(ThreadId t, NameId var, AccessKind kind,
+                                NameId site_label) {
+  if (var >= vars_.size()) {
+    throw Error("unknown variable id " + std::to_string(var));
+  }
   ++events_;
   ThreadState& ts = state(t);
   VarState& vs = vars_[var];
-  const AccessSite site = make_site(t, kind, where);
+  const CompactSite site = make_site(t, kind, site_label);
 
-  // Write-check (both kinds): is the last write ordered before us?
-  if (vs.has_write && vs.write_epoch.tid != t && !ts.vc.contains(vs.write_epoch)) {
+  // Write-check (both kinds): is the last write ordered before us? The
+  // single-epoch comparison stands in for a full clock comparison
+  // because the write epoch IS the writer's own component, and no other
+  // clock can exceed it (the to_clock/contains algebra in
+  // vector_clock.hpp, pinned by the property tests).
+  if (vs.write_epoch.valid() && vs.write_epoch.tid != t && !ts.vc.contains(vs.write_epoch)) {
     report(var, vs.write_site, site,
            kind == AccessKind::Read ? "write-read conflict" : "write-write conflict");
   }
 
   if (kind == AccessKind::Read) {
-    vs.read_vc.set(t, ts.vc.get(t));
-    vs.read_sites[t] = site;
+    if (vs.shared) {
+      // Already read-shared: update this thread's slot.
+      vs.shared->vc.set(t, ts.vc.get(t));
+      auto& sites = vs.shared->sites;
+      const auto it = std::lower_bound(
+          sites.begin(), sites.end(), t,
+          [](const auto& entry, ThreadId tid) { return entry.first < tid; });
+      if (it != sites.end() && it->first == t) {
+        it->second = site;
+      } else {
+        sites.insert(it, {t, site});
+      }
+    } else if (!vs.read_epoch.valid() || vs.read_epoch.tid == t) {
+      // The hot path: first reader since the write, or the same thread
+      // reading again — one epoch overwrite, O(1).
+      vs.read_epoch = Epoch{t, ts.vc.get(t)};
+      vs.read_site = site;
+    } else {
+      // A second thread is reading: inflate to the read-shared clock,
+      // keeping the previous reader's slot (see the file comment in
+      // detector.hpp for why ordered cross-thread reads inflate too).
+      auto shared = std::make_unique<ReadShared>();
+      shared->vc.set(vs.read_epoch.tid, vs.read_epoch.clock);
+      shared->vc.set(t, ts.vc.get(t));
+      shared->sites.emplace_back(vs.read_epoch.tid, std::move(vs.read_site));
+      shared->sites.emplace_back(t, site);
+      std::sort(shared->sites.begin(), shared->sites.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      vs.shared = std::move(shared);
+      vs.read_epoch = Epoch{};
+      vs.read_site = CompactSite{};
+    }
     return;
   }
 
   // Read-check (writes only): every read since the last write must be
   // ordered before this write.
-  for (const auto& [reader, read_site] : vs.read_sites) {
-    if (reader != t && vs.read_vc.get(reader) > ts.vc.get(reader)) {
-      report(var, read_site, site, "read-write conflict");
+  if (vs.shared) {
+    for (const auto& [reader, read_site] : vs.shared->sites) {
+      if (reader != t && vs.shared->vc.get(reader) > ts.vc.get(reader)) {
+        report(var, read_site, site, "read-write conflict");
+      }
     }
+  } else if (vs.read_epoch.valid() && vs.read_epoch.tid != t &&
+             vs.read_epoch.clock > ts.vc.get(vs.read_epoch.tid)) {
+    report(var, vs.read_site, site, "read-write conflict");
   }
 
-  vs.has_write = true;
+  // Record the write and deflate: reads before this write are subsumed
+  // (ordered ones can never race later accesses through it; unordered
+  // ones were just reported), so the read state resets to epoch-none.
   vs.write_epoch = Epoch{t, ts.vc.get(t)};
   vs.write_site = site;
-  vs.write_vc = ts.vc;
-  vs.read_vc = VectorClock{};  // reads before an ordered write are subsumed
-  vs.read_sites.clear();
+  vs.read_epoch = Epoch{};
+  vs.read_site = CompactSite{};
+  vs.shared.reset();
 }
 
-AccessSite Detector::make_site(ThreadId t, AccessKind kind, const std::string& where) const {
-  AccessSite site;
+Detector::CompactSite Detector::make_site(ThreadId t, AccessKind kind, NameId where) const {
+  CompactSite site;
   site.thread = t;
   site.kind = kind;
   site.where = where;
   site.event = events_;
-  site.locks_held = threads_[t].held;
+  if (!threads_[t].held.empty()) {
+    site.locks = std::make_shared<const std::vector<NameId>>(threads_[t].held);
+  }
   return site;
 }
 
-void Detector::report(const std::string& var, const AccessSite& first,
-                      const AccessSite& second, const std::string& why) {
+AccessSite Detector::materialize(const CompactSite& site) const {
+  AccessSite out;
+  out.thread = site.thread;
+  out.kind = site.kind;
+  out.where = site_names_.name(site.where);
+  out.event = site.event;
+  if (site.locks) {
+    out.locks_held.reserve(site.locks->size());
+    for (const NameId l : *site.locks) out.locks_held.push_back(lock_names_.name(l));
+  }
+  return out;
+}
+
+void Detector::report(NameId var, const CompactSite& first, const CompactSite& second,
+                      const char* why) {
   ++race_count_;
-  const ThreadId lo = std::min(first.thread, second.thread);
-  const ThreadId hi = std::max(first.thread, second.thread);
-  const std::string key = var + '|' + std::to_string(lo) + '|' + std::to_string(hi);
-  if (reported_pairs_[key]++ > 0) return;  // one report per (var, thread pair)
-
-  // Lockset view for the explanation: a true race's held-lock sets are
-  // disjoint (had they shared a lock, release/acquire would have made a
-  // happens-before edge and we would not be here).
-  std::vector<std::string> common;
-  for (const std::string& l : first.locks_held) {
-    if (std::find(second.locks_held.begin(), second.locks_held.end(), l) !=
-        second.locks_held.end()) {
-      common.push_back(l);
-    }
+  // Ids resolve back to names only here, on the cold path.
+  const std::string& variable = var_names_.name(var);
+  AccessSite first_site = materialize(first);
+  AccessSite second_site = materialize(second);
+  if (!reported_.insert(race_pair_key(variable, first_site, second_site)).second) {
+    return;  // one report per (variable, site pair)
   }
-  std::ostringstream why_out;
-  why_out << why << ": no fork/join, lock, barrier, or channel edge orders thread "
-          << first.thread << "'s " << race::to_string(first.kind) << " before thread "
-          << second.thread << "'s " << race::to_string(second.kind);
-  if (common.empty()) {
-    why_out << "; the two sides hold no lock in common";
-  } else {
-    // Possible when a shared lock was released before the conflicting
-    // epoch was published — still worth surfacing for discussion.
-    why_out << "; note both sides hold {";
-    for (std::size_t i = 0; i < common.size(); ++i) {
-      if (i > 0) why_out << ", ";
-      why_out << common[i];
-    }
-    why_out << '}';
-  }
-
   RaceReport r;
-  r.variable = var;
-  r.first = first;
-  r.second = second;
-  r.explanation = why_out.str();
+  r.variable = variable;
+  r.explanation = explain_race(first_site, second_site, why);
+  r.first = std::move(first_site);
+  r.second = std::move(second_site);
   races_.push_back(std::move(r));
 }
 
+// The per-event validity checks build their error message only on the
+// throwing path: `require(cond, "..." + to_string(x))` constructs the
+// message (two allocations) on every call, which at millions of events
+// per second was a measurable slice of the tracing overhead.
 Detector::ThreadState& Detector::state(ThreadId t) {
-  require(t < threads_.size(), "unknown thread id " + std::to_string(t));
+  if (t >= threads_.size()) {
+    throw Error("unknown thread id " + std::to_string(t));
+  }
   return threads_[t];
+}
+
+void Detector::check_lock_id(NameId lock_id) const {
+  if (lock_id >= locks_.size()) {
+    throw Error("unknown lock id " + std::to_string(lock_id));
+  }
+}
+
+void Detector::check_channel_id(NameId channel_id) const {
+  if (channel_id >= channels_.size()) {
+    throw Error("unknown channel id " + std::to_string(channel_id));
+  }
 }
 
 const std::vector<RaceReport>& Detector::races() const { return races_; }
@@ -240,6 +387,45 @@ std::uint64_t Detector::events() const {
 std::size_t Detector::threads() const {
   std::scoped_lock lock(mutex_);
   return threads_.size();
+}
+
+namespace {
+
+std::size_t clock_bytes(const VectorClock& vc) {
+  return sizeof(VectorClock) + vc.size() * sizeof(Clock);
+}
+
+}  // namespace
+
+std::size_t Detector::shadow_bytes() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const ThreadState& ts : threads_) {
+    total += clock_bytes(ts.vc) + sizeof(ts.held) + ts.held.capacity() * sizeof(NameId);
+  }
+  for (const VectorClock& vc : locks_) total += clock_bytes(vc);
+  for (const VectorClock& vc : channels_) total += clock_bytes(vc);
+  const auto site_bytes = [](const CompactSite& s) {
+    // A held lockset block may be shared by several sites; counting it
+    // per site keeps the estimate simple and conservative (an upper
+    // bound on the compressed side).
+    const std::size_t lockset =
+        s.locks ? sizeof(*s.locks) + s.locks->capacity() * sizeof(NameId) : 0;
+    return sizeof(CompactSite) + lockset;
+  };
+  for (const VarState& vs : vars_) {
+    total += sizeof(VarState) - 2 * sizeof(CompactSite);
+    total += site_bytes(vs.write_site) + site_bytes(vs.read_site);
+    if (vs.shared) {
+      total += sizeof(ReadShared) + clock_bytes(vs.shared->vc) - sizeof(VectorClock);
+      for (const auto& [tid, site] : vs.shared->sites) {
+        total += sizeof(tid) + site_bytes(site);
+      }
+    }
+  }
+  total += var_names_.bytes() + lock_names_.bytes() + channel_names_.bytes() +
+           site_names_.bytes();
+  return total;
 }
 
 VectorClock Detector::clock_of(ThreadId t) const {

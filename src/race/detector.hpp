@@ -1,29 +1,47 @@
-// FastTrack-style happens-before data-race detector. The detector is an
-// event sink: the instrumentation layer (shadow.hpp) or the replay
-// engine (replay.hpp) feeds it fork/join/acquire/release/read/write/
-// barrier/channel events, and it maintains
-//   - one vector clock per thread   (what the thread has observed),
-//   - one vector clock per lock     (the last critical section's clock),
-//   - one vector clock per channel  (producer/consumer publication),
-//   - per traced variable: the last write as a single epoch plus the
-//     per-thread read clocks since that write.
-// Two conflicting accesses (same variable, at least one a write, from
-// different threads) race exactly when neither happens-before the other;
-// each race is reported as a structured RaceReport naming both access
-// sites, the involved threads, and the locks held at each side (the
-// lockset view — pedagogically, a race's locksets never intersect).
+// Happens-before data-race detection: the event interface and the
+// FastTrack-compressed detector.
 //
-// Unlike a sampling/statistical demo, detection is deterministic: it
-// depends only on the happens-before order of the events, not on how
-// the OS timed the threads.
+// `EventSink` is the contract every detector implementation honours:
+// the instrumentation layer (shadow.hpp), the replay engine
+// (replay.hpp), and the fuzz-trace runner (trace_gen.hpp) all speak it,
+// so the same event stream can be fed to any implementation — which is
+// exactly what the differential harness in tests/race_diff_test.cpp
+// does with `Detector` (this file) and `ReferenceDetector`
+// (reference.hpp, PR 1's full-vector-clock algorithm, kept as the
+// executable specification).
+//
+// `Detector` is the production implementation, rebuilt around
+// FastTrack's observation (Flanagan & Freund, PLDI 2009) that almost
+// all accesses are totally ordered, so O(1) shadow state per variable
+// almost always suffices:
+//   - every variable, lock, channel, and site label is interned to a
+//     dense uint32 id; the hot path never hashes or compares strings,
+//     and names are resolved back only when a report is materialized;
+//   - the last write is a single epoch (c@t) — unchanged from PR 1;
+//   - the read state is a single epoch while one thread is reading; it
+//     inflates to a read-shared vector clock (plus per-reader sites)
+//     when a second thread reads without an intervening write, and
+//     deflates back to epoch-nothing on every write.
+// One deliberate deviation from the paper: FastTrack's READ EXCLUSIVE
+// rule overwrites the read epoch when the new read is *ordered after*
+// the old one, even across threads, which forgets the older reader and
+// can drop one of two racing (reader, writer) pairs from the reports.
+// We inflate on any second reading thread instead — the compressed
+// state stays exactly isomorphic to the reference detector's read map
+// (singleton map <=> epoch), so the differential harness can demand
+// bit-identical reports, not just "a race was found on the same
+// variable". Repeated reads by one thread — the actual hot case — are
+// still a single epoch overwrite.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "race/interner.hpp"
 #include "race/vector_clock.hpp"
 
 namespace cs31::race {
@@ -56,104 +74,195 @@ struct RaceReport {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// The detector proper. Thread-safe: every event takes an internal lock,
-/// so concurrent instrumented threads feed it a linearized event stream
-/// (which is exactly what happens-before analysis needs).
-class Detector {
+/// Dedup key of a race: the variable plus the unordered pair of
+/// (thread, site-label) endpoints. Every detector implementation — and
+/// the cross-schedule aggregation in replay.cpp — keys reports the same
+/// way, so "one report per (variable, site pair) per run" holds
+/// everywhere and the differential harness can compare report sets.
+[[nodiscard]] std::string race_pair_key(const std::string& variable, const AccessSite& a,
+                                        const AccessSite& b);
+
+/// The shared "why" text: names the missing happens-before edge and the
+/// lockset view of both sides (disjoint locksets for a true race).
+[[nodiscard]] std::string explain_race(const AccessSite& first, const AccessSite& second,
+                                       const std::string& why);
+
+/// The event interface every race-detector implementation honours. An
+/// implementation is an event sink: feed it fork/join/acquire/release/
+/// read/write/barrier/channel events and ask for the verdict. All
+/// implementations are thread-safe event sinks (events are internally
+/// serialized), but `races()` returns a reference into the sink — read
+/// it only once the instrumented threads are quiescent.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Register a root thread with no happens-before predecessor.
+  /// Thread 0 (the main thread) is pre-registered by the constructor.
+  [[nodiscard]] virtual ThreadId register_thread() = 0;
+
+  /// pthread_create: child starts having observed everything the parent
+  /// has done so far (HB edge parent -> child). Returns the child id.
+  [[nodiscard]] virtual ThreadId fork(ThreadId parent) = 0;
+
+  /// pthread_join: parent observes everything the child did
+  /// (HB edge child -> parent).
+  virtual void join(ThreadId parent, ThreadId child) = 0;
+
+  /// Mutex acquire: the locker observes the last critical section.
+  virtual void acquire(ThreadId t, const std::string& lock) = 0;
+
+  /// Mutex release: publish this thread's clock to the lock. Throws
+  /// cs31::Error when the thread does not hold the lock.
+  virtual void release(ThreadId t, const std::string& lock) = 0;
+
+  /// A completed barrier cycle is a happens-before edge among ALL
+  /// waiters: afterwards every waiter has observed every other waiter's
+  /// pre-barrier work. Throws cs31::Error on an empty waiter set.
+  virtual void barrier(const std::vector<ThreadId>& waiters) = 0;
+
+  /// Producer/consumer publication: send joins the sender's clock into
+  /// the channel; recv joins the channel into the receiver.
+  virtual void channel_send(ThreadId t, const std::string& channel) = 0;
+  virtual void channel_recv(ThreadId t, const std::string& channel) = 0;
+
+  /// A read/write of a traced variable. `where` labels the access site
+  /// in reports.
+  virtual void read(ThreadId t, const std::string& var, const std::string& where = "") = 0;
+  virtual void write(ThreadId t, const std::string& var, const std::string& where = "") = 0;
+
+  /// Races found so far, in detection order, deduplicated per
+  /// (variable, site pair) — see race_pair_key. `race_count()` still
+  /// counts every racy access.
+  [[nodiscard]] virtual const std::vector<RaceReport>& races() const = 0;
+  [[nodiscard]] virtual bool race_free() const = 0;
+  [[nodiscard]] virtual std::uint64_t race_count() const = 0;
+
+  /// Total events processed.
+  [[nodiscard]] virtual std::uint64_t events() const = 0;
+
+  /// Number of registered threads.
+  [[nodiscard]] virtual std::size_t threads() const = 0;
+
+  /// Approximate bytes of shadow state held right now (per-variable
+  /// metadata, lock/channel clocks, thread clocks, name storage) — the
+  /// number bench_race_overhead compares across implementations.
+  [[nodiscard]] virtual std::size_t shadow_bytes() const = 0;
+
+  /// Multi-line human-readable summary of all reports.
+  [[nodiscard]] virtual std::string summary() const = 0;
+};
+
+/// The FastTrack-compressed detector (see the file comment for the
+/// representation). Use the id-based fast path (`intern_*` once, then
+/// the NameId overloads per access) from instrumentation that fires
+/// many events per name; the string overloads intern on every call and
+/// exist for casual use and for interface parity with the reference.
+class Detector final : public EventSink {
  public:
   Detector();
 
   Detector(const Detector&) = delete;
   Detector& operator=(const Detector&) = delete;
 
-  /// Register a root thread with no happens-before predecessor.
-  /// Thread 0 (the main thread) is pre-registered by the constructor.
-  [[nodiscard]] ThreadId register_thread();
+  // --- EventSink (string API) ---
+  [[nodiscard]] ThreadId register_thread() override;
+  [[nodiscard]] ThreadId fork(ThreadId parent) override;
+  void join(ThreadId parent, ThreadId child) override;
+  void acquire(ThreadId t, const std::string& lock) override;
+  void release(ThreadId t, const std::string& lock) override;
+  void barrier(const std::vector<ThreadId>& waiters) override;
+  void channel_send(ThreadId t, const std::string& channel) override;
+  void channel_recv(ThreadId t, const std::string& channel) override;
+  void read(ThreadId t, const std::string& var, const std::string& where = "") override;
+  void write(ThreadId t, const std::string& var, const std::string& where = "") override;
 
-  /// pthread_create: child starts having observed everything the parent
-  /// has done so far (HB edge parent -> child). Returns the child id.
-  [[nodiscard]] ThreadId fork(ThreadId parent);
+  [[nodiscard]] const std::vector<RaceReport>& races() const override;
+  [[nodiscard]] bool race_free() const override;
+  [[nodiscard]] std::uint64_t race_count() const override;
+  [[nodiscard]] std::uint64_t events() const override;
+  [[nodiscard]] std::size_t threads() const override;
+  [[nodiscard]] std::size_t shadow_bytes() const override;
+  [[nodiscard]] std::string summary() const override;
 
-  /// pthread_join: parent observes everything the child did
-  /// (HB edge child -> parent).
-  void join(ThreadId parent, ThreadId child);
+  // --- id fast path ---
+  // Intern once (any thread; takes the detector lock), then fire events
+  // by id: no hashing, no string building, no allocation per access.
+  [[nodiscard]] NameId intern_var(std::string_view name);
+  [[nodiscard]] NameId intern_lock(std::string_view name);
+  [[nodiscard]] NameId intern_channel(std::string_view name);
+  [[nodiscard]] NameId intern_site(std::string_view label);
 
-  /// Mutex acquire: the locker observes the last critical section.
-  void acquire(ThreadId t, const std::string& lock);
-
-  /// Mutex release: publish this thread's clock to the lock.
-  void release(ThreadId t, const std::string& lock);
-
-  /// A completed barrier cycle is a happens-before edge among ALL
-  /// waiters: afterwards every waiter has observed every other waiter's
-  /// pre-barrier work. Throws cs31::Error on an empty waiter set.
-  void barrier(const std::vector<ThreadId>& waiters);
-
-  /// Producer/consumer publication: send joins the sender's clock into
-  /// the channel; recv joins the channel into the receiver. A get that
-  /// follows a put is thereby ordered after it (the bounded buffer's
-  /// internal mutex provides this in the real runtime).
-  void channel_send(ThreadId t, const std::string& channel);
-  void channel_recv(ThreadId t, const std::string& channel);
-
-  /// A read/write of a traced variable. `where` labels the access site
-  /// in reports.
-  void read(ThreadId t, const std::string& var, const std::string& where = "");
-  void write(ThreadId t, const std::string& var, const std::string& where = "");
-
-  /// Races found so far, in detection order. At most one report per
-  /// (variable, unordered thread pair) so a racy loop does not flood
-  /// the report; `race_count()` still counts every racy access.
-  /// Returns a reference into the detector: read it only after the
-  /// instrumented threads have been joined (the other accessors take
-  /// the internal lock and are safe at any time).
-  [[nodiscard]] const std::vector<RaceReport>& races() const;
-  [[nodiscard]] bool race_free() const;
-  [[nodiscard]] std::uint64_t race_count() const;
-
-  /// Total events processed.
-  [[nodiscard]] std::uint64_t events() const;
-
-  /// Number of registered threads.
-  [[nodiscard]] std::size_t threads() const;
+  void read(ThreadId t, NameId var, NameId site);
+  void write(ThreadId t, NameId var, NameId site);
+  void acquire(ThreadId t, NameId lock);
+  void release(ThreadId t, NameId lock);
+  void channel_send(ThreadId t, NameId channel);
+  void channel_recv(ThreadId t, NameId channel);
 
   /// Current clock of a thread (teaching/diagnostic).
   [[nodiscard]] VectorClock clock_of(ThreadId t) const;
 
-  /// Multi-line human-readable summary of all reports.
-  [[nodiscard]] std::string summary() const;
-
  private:
-  struct ThreadState {
-    VectorClock vc;
-    std::vector<std::string> held;  // lock names, acquisition order
+  /// Compact access site: everything AccessSite carries, as ids. Only
+  /// materialized into an AccessSite (strings) when a race is reported.
+  /// The lockset is null in the common lock-free case (no allocation,
+  /// 16 bytes inline) and shared on copy otherwise — two sites of one
+  /// critical section share one lockset block.
+  struct CompactSite {
+    ThreadId thread = 0;
+    AccessKind kind = AccessKind::Read;
+    NameId where = 0;
+    std::uint64_t event = 0;
+    std::shared_ptr<const std::vector<NameId>> locks;  ///< null when none held
   };
 
-  /// Shadow state of one traced variable (FastTrack's read/write
-  /// metadata, with full access sites kept for reporting).
+  /// Inflated read state: per-thread read clocks plus the matching
+  /// sites, kept sorted by thread id (reports iterate in tid order,
+  /// matching the reference detector's std::map walk).
+  struct ReadShared {
+    VectorClock vc;
+    std::vector<std::pair<ThreadId, CompactSite>> sites;
+  };
+
+  /// Shadow state of one traced variable. Exactly one of these holds
+  /// per variable:
+  ///   read_epoch.clock == 0, !shared  -> no reads since the last write
+  ///   read_epoch.clock != 0, !shared  -> one reading thread (epoch)
+  ///   shared != nullptr               -> read-shared (inflated)
   struct VarState {
-    bool has_write = false;
-    Epoch write_epoch;            // last write as c@t
-    AccessSite write_site;
-    VectorClock write_vc;         // full clock of the last write (for reports)
-    VectorClock read_vc;          // per-thread clock of the last read
-    std::map<ThreadId, AccessSite> read_sites;  // last read per thread
+    Epoch write_epoch;  ///< last write as c@t; clock 0 = never written
+    Epoch read_epoch;   ///< exclusive read as c@t; clock 0 = none
+    CompactSite write_site;
+    CompactSite read_site;
+    std::unique_ptr<ReadShared> shared;
+  };
+
+  struct ThreadState {
+    VectorClock vc;
+    std::vector<NameId> held;  ///< lock ids, acquisition order
   };
 
   ThreadState& state(ThreadId t);
-  void check_and_record(ThreadId t, const std::string& var, AccessKind kind,
-                        const std::string& where);
-  void report(const std::string& var, const AccessSite& first, const AccessSite& second,
-              const std::string& why);
-  AccessSite make_site(ThreadId t, AccessKind kind, const std::string& where) const;
+  void check_lock_id(NameId lock_id) const;
+  void check_channel_id(NameId channel_id) const;
+  void check_and_record(ThreadId t, NameId var, AccessKind kind, NameId site_label);
+  void report(NameId var, const CompactSite& first, const CompactSite& second,
+              const char* why);
+  [[nodiscard]] CompactSite make_site(ThreadId t, AccessKind kind, NameId where) const;
+  [[nodiscard]] AccessSite materialize(const CompactSite& site) const;
 
   mutable std::mutex mutex_;
   std::vector<ThreadState> threads_;
-  std::map<std::string, VectorClock> locks_;
-  std::map<std::string, VectorClock> channels_;
-  std::map<std::string, VarState> vars_;
+  std::vector<VectorClock> locks_;     // by lock id
+  std::vector<VectorClock> channels_;  // by channel id
+  std::vector<VarState> vars_;         // by variable id
+  Interner var_names_;
+  Interner lock_names_;
+  Interner channel_names_;
+  Interner site_names_;
   std::vector<RaceReport> races_;
-  std::map<std::string, std::uint64_t> reported_pairs_;  // "var|tmin|tmax" -> count
+  std::set<std::string> reported_;  // race_pair_key dedup
   std::uint64_t race_count_ = 0;
   std::uint64_t events_ = 0;
 };

@@ -47,17 +47,21 @@ std::vector<std::vector<std::string>> tag_threads(
 }
 
 ReplayResult replay(const std::vector<std::string>& interleaving) {
+  Detector detector;
+  return replay(interleaving, detector);
+}
+
+ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sink) {
   // Pre-scan for the set of threads so a barrier knows its waiter count.
   std::set<std::string> tags;
   for (const std::string& text : interleaving) tags.insert(parse_op(text).tag);
 
-  Detector detector;
   std::map<std::string, ThreadId> tids;
   // Replay threads are concurrent roots: register in tag order for
-  // stable ids (t0 reuses the detector's pre-registered thread 0).
+  // stable ids (the first tag reuses the sink's pre-registered thread 0).
   bool first = true;
   for (const std::string& tag : tags) {
-    tids[tag] = first ? 0 : detector.register_thread();
+    tids[tag] = first ? 0 : sink.register_thread();
     first = false;
   }
 
@@ -66,21 +70,21 @@ ReplayResult replay(const std::vector<std::string>& interleaving) {
     const Op op = parse_op(text);
     const ThreadId t = tids.at(op.tag);
     if (op.verb == "read") {
-      detector.read(t, op.arg, text);
+      sink.read(t, op.arg, text);
     } else if (op.verb == "write") {
-      detector.write(t, op.arg, text);
+      sink.write(t, op.arg, text);
     } else if (op.verb == "lock") {
-      detector.acquire(t, op.arg);
+      sink.acquire(t, op.arg);
     } else if (op.verb == "unlock") {
-      detector.release(t, op.arg);
+      sink.release(t, op.arg);
     } else if (op.verb == "send") {
-      detector.channel_send(t, op.arg);
+      sink.channel_send(t, op.arg);
     } else if (op.verb == "recv") {
-      detector.channel_recv(t, op.arg);
+      sink.channel_recv(t, op.arg);
     } else if (op.verb == "barrier") {
       at_barrier.insert(t);
       if (at_barrier.size() == tids.size()) {
-        detector.barrier(std::vector<ThreadId>(at_barrier.begin(), at_barrier.end()));
+        sink.barrier(std::vector<ThreadId>(at_barrier.begin(), at_barrier.end()));
         at_barrier.clear();
       }
     } else {
@@ -89,8 +93,8 @@ ReplayResult replay(const std::vector<std::string>& interleaving) {
   }
 
   ReplayResult result;
-  result.races = detector.races();
-  result.events = detector.events();
+  result.races = sink.races();
+  result.events = sink.events();
   result.schedule = interleaving;
   return result;
 }
@@ -110,7 +114,21 @@ ReplayStats summarize(const std::vector<ReplayResult>& results) {
   for (const ReplayResult& r : results) {
     if (!r.race_free()) ++stats.racy;
   }
+  stats.distinct = distinct_races(results).size();
   return stats;
+}
+
+std::vector<RaceReport> distinct_races(const std::vector<ReplayResult>& results) {
+  std::vector<RaceReport> out;
+  std::set<std::string> seen;
+  for (const ReplayResult& result : results) {
+    for (const RaceReport& r : result.races) {
+      if (seen.insert(race_pair_key(r.variable, r.first, r.second)).second) {
+        out.push_back(r);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace cs31::race

@@ -52,6 +52,13 @@ struct ReplayResult {
 /// malformed op.
 [[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving);
 
+/// Same, but through a caller-supplied detector implementation — the
+/// differential harness replays one schedule into both the FastTrack
+/// and the reference detector this way. The sink must be fresh (no
+/// prior events); thread tags are registered in tag order.
+[[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving,
+                                  EventSink& sink);
+
 /// Enumerate every interleaving of the scripts (program order preserved
 /// per thread) and replay each. `limit` bounds the multinomial blow-up,
 /// as in os::all_interleavings.
@@ -59,13 +66,22 @@ struct ReplayResult {
     const std::vector<std::vector<std::string>>& scripts, std::size_t limit = 100000);
 
 /// Counts over a batch of replays — the demo's punchline numbers
-/// ("12 of 20 schedules expose the race").
+/// ("12 of 20 schedules expose the race, all of them the same race").
 struct ReplayStats {
   std::size_t schedules = 0;
   std::size_t racy = 0;
+  std::size_t distinct = 0;  ///< distinct (variable, site pair) races across the batch
   [[nodiscard]] std::size_t clean() const { return schedules - racy; }
 };
 
 [[nodiscard]] ReplayStats summarize(const std::vector<ReplayResult>& results);
+
+/// The batch's distinct races: one representative report per
+/// (variable, site pair) — race_pair_key in detector.hpp — across ALL
+/// schedules, in first-seen order. 70 schedules all exposing the same
+/// unlocked increment collapse to one report here, which is what a
+/// student should read, not 70 copies.
+[[nodiscard]] std::vector<RaceReport> distinct_races(
+    const std::vector<ReplayResult>& results);
 
 }  // namespace cs31::race

@@ -43,4 +43,12 @@ void TraceContext::send(const std::string& channel) { detector_.channel_send(sel
 
 void TraceContext::recv(const std::string& channel) { detector_.channel_recv(self(), channel); }
 
+void TraceContext::read(NameId var, NameId site) { detector_.read(self(), var, site); }
+
+void TraceContext::write(NameId var, NameId site) { detector_.write(self(), var, site); }
+
+void TraceContext::acquire(NameId lock) { detector_.acquire(self(), lock); }
+
+void TraceContext::release(NameId lock) { detector_.release(self(), lock); }
+
 }  // namespace cs31::race

@@ -60,6 +60,15 @@ class TraceContext {
   void send(const std::string& channel);
   void recv(const std::string& channel);
 
+  /// Interned fast path: TracedVar/TracedMutex intern their names once
+  /// at construction and fire per-access events by id — no string
+  /// hashing on the hot path (the FastTrack compression only pays if
+  /// the instrumentation doesn't hand the detector strings per access).
+  void read(NameId var, NameId site);
+  void write(NameId var, NameId site);
+  void acquire(NameId lock);
+  void release(NameId lock);
+
   [[nodiscard]] Detector& detector() { return detector_; }
   [[nodiscard]] const Detector& detector() const { return detector_; }
 
@@ -75,22 +84,22 @@ class TraceContext {
 class TracedMutex {
  public:
   TracedMutex(std::string name, TraceContext& ctx)
-      : name_(std::move(name)), ctx_(ctx) {}
+      : name_(std::move(name)), ctx_(ctx), id_(ctx.detector().intern_lock(name_)) {}
 
   TracedMutex(const TracedMutex&) = delete;
   TracedMutex& operator=(const TracedMutex&) = delete;
 
   void lock() {
     mutex_.lock();
-    ctx_.acquire(name_);
+    ctx_.acquire(id_);
   }
   void unlock() {
-    ctx_.release(name_);
+    ctx_.release(id_);
     mutex_.unlock();
   }
   bool try_lock() {
     if (!mutex_.try_lock()) return false;
-    ctx_.acquire(name_);
+    ctx_.acquire(id_);
     return true;
   }
 
@@ -99,6 +108,7 @@ class TracedMutex {
  private:
   std::string name_;
   TraceContext& ctx_;
+  NameId id_;
   std::mutex mutex_;
 };
 
@@ -112,19 +122,34 @@ template <typename T>
 class TracedVar {
  public:
   TracedVar(std::string name, TraceContext& ctx, T initial = T{})
-      : name_(std::move(name)), ctx_(ctx), value_(std::move(initial)) {}
+      : name_(std::move(name)),
+        ctx_(ctx),
+        value_(std::move(initial)),
+        var_(ctx.detector().intern_var(name_)),
+        atomic_lock_(ctx.detector().intern_lock("<atomic:" + name_ + ">")),
+        load_site_(ctx.detector().intern_site("load " + name_)),
+        store_site_(ctx.detector().intern_site("store " + name_)),
+        rmw_site_(ctx.detector().intern_site("fetch_add " + name_)) {}
 
   TracedVar(const TracedVar&) = delete;
   TracedVar& operator=(const TracedVar&) = delete;
 
   [[nodiscard]] T load(const std::string& where = "") {
-    ctx_.read(name_, where.empty() ? "load " + name_ : where);
+    if (where.empty()) {
+      ctx_.read(var_, load_site_);  // interned fast path
+    } else {
+      ctx_.read(name_, where);
+    }
     std::scoped_lock lock(guard_);
     return value_;
   }
 
   void store(T v, const std::string& where = "") {
-    ctx_.write(name_, where.empty() ? "store " + name_ : where);
+    if (where.empty()) {
+      ctx_.write(var_, store_site_);  // interned fast path
+    } else {
+      ctx_.write(name_, where);
+    }
     std::scoped_lock lock(guard_);
     value_ = std::move(v);
   }
@@ -139,10 +164,15 @@ class TracedVar {
   /// operation never allows.
   T fetch_add(T delta, const std::string& where = "") {
     std::scoped_lock lock(guard_);
-    ctx_.acquire("<atomic:" + name_ + ">");
-    ctx_.read(name_, where.empty() ? "fetch_add " + name_ : where);
-    ctx_.write(name_, where.empty() ? "fetch_add " + name_ : where);
-    ctx_.release("<atomic:" + name_ + ">");
+    ctx_.acquire(atomic_lock_);
+    if (where.empty()) {
+      ctx_.read(var_, rmw_site_);
+      ctx_.write(var_, rmw_site_);
+    } else {
+      ctx_.read(name_, where);
+      ctx_.write(name_, where);
+    }
+    ctx_.release(atomic_lock_);
     const T old = value_;
     value_ = value_ + delta;
     return old;
@@ -154,6 +184,11 @@ class TracedVar {
   std::string name_;
   TraceContext& ctx_;
   T value_;
+  NameId var_;
+  NameId atomic_lock_;
+  NameId load_site_;
+  NameId store_site_;
+  NameId rmw_site_;
   std::mutex guard_;  // protects the value only; invisible to the detector
 };
 

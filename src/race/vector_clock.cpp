@@ -41,6 +41,16 @@ std::string VectorClock::to_string() const {
   return out.str();
 }
 
+std::string to_string(Epoch e) {
+  return std::to_string(e.clock) + '@' + std::to_string(e.tid);
+}
+
+VectorClock to_clock(Epoch e) {
+  VectorClock vc;
+  vc.set(e.tid, e.clock);
+  return vc;
+}
+
 bool happens_before(const VectorClock& a, const VectorClock& b) {
   return a.leq(b) && a != b;
 }

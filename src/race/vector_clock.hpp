@@ -21,12 +21,22 @@ using ThreadId = std::uint32_t;
 using Clock = std::uint32_t;
 
 /// One component of a vector clock: "clock c of thread t" — FastTrack's
-/// c@t. A variable's last write is summarized by a single epoch.
+/// c@t. A variable's last write is summarized by a single epoch, and
+/// (since PR 2) so is its read state while only one thread is reading.
+/// `clock == 0` doubles as "no such access yet": real thread clocks
+/// start at 1, so a zero clock can never name a real access.
 struct Epoch {
   ThreadId tid = 0;
   Clock clock = 0;
+
+  /// Does this epoch name a real access (clock >= 1)?
+  [[nodiscard]] bool valid() const { return clock != 0; }
+
   friend bool operator==(const Epoch&, const Epoch&) = default;
 };
+
+/// Render as FastTrack's "c@t" notation.
+[[nodiscard]] std::string to_string(Epoch e);
 
 /// Growable vector clock. Components default to 0 ("nothing of that
 /// thread observed yet"), so clocks over different thread counts
@@ -63,11 +73,23 @@ class VectorClock {
   /// Render as "<c0, c1, ...>" for reports and teaching output.
   [[nodiscard]] std::string to_string() const;
 
-  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+  /// Pointwise equality with implicit trailing zeros: <1, 0> and <1>
+  /// are the same logical time. (A defaulted vector compare would call
+  /// them different and make happens_before non-strict — caught by the
+  /// VectorClockProperty tests.)
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.leq(b) && b.leq(a);
+  }
 
  private:
   std::vector<Clock> clocks_;
 };
+
+/// The epoch viewed as a full vector clock with one nonzero component.
+/// `vc.contains(e)` is exactly `to_clock(e).leq(vc)` — the algebra the
+/// property tests pin down, and the reason an epoch comparison can
+/// stand in for a full-clock comparison in the detector's hot path.
+[[nodiscard]] VectorClock to_clock(Epoch e);
 
 /// Strict happens-before between two events' clocks: a <= b pointwise
 /// and a != b. Concurrency (the race condition) is !hb(a,b) && !hb(b,a).

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "common/error.hpp"
@@ -50,6 +52,89 @@ TEST(VectorClock, HappensBeforeIsStrict) {
   EXPECT_TRUE(a.leq(b));
   b.tick(0);
   EXPECT_TRUE(happens_before(a, b));
+}
+
+// ---- property tests over random clocks -------------------------------
+// A tiny deterministic PRNG (xorshift) so a failure is reproducible
+// from the fixed seed; clocks draw components over a handful of threads
+// with small values so equal/comparable/incomparable cases all occur.
+
+struct TinyRng {
+  std::uint64_t state;
+  std::uint32_t next(std::uint32_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::uint32_t>(state % bound);
+  }
+};
+
+VectorClock random_clock(TinyRng& rng) {
+  VectorClock vc;
+  const std::uint32_t threads = 1 + rng.next(4);
+  for (ThreadId t = 0; t < threads; ++t) vc.set(t, rng.next(4));
+  return vc;
+}
+
+VectorClock joined(const VectorClock& a, const VectorClock& b) {
+  VectorClock out = a;
+  out.join(b);
+  return out;
+}
+
+TEST(VectorClockProperty, JoinIsACommutativeIdempotentMonoid) {
+  TinyRng rng{2024};
+  for (int i = 0; i < 500; ++i) {
+    const VectorClock a = random_clock(rng);
+    const VectorClock b = random_clock(rng);
+    const VectorClock c = random_clock(rng);
+    EXPECT_EQ(joined(a, b), joined(b, a)) << "join is commutative";
+    EXPECT_EQ(joined(joined(a, b), c), joined(a, joined(b, c))) << "join is associative";
+    EXPECT_EQ(joined(a, a), a) << "join is idempotent";
+    EXPECT_EQ(joined(a, VectorClock{}), a) << "the empty clock is the identity";
+    EXPECT_TRUE(a.leq(joined(a, b))) << "join is an upper bound";
+    EXPECT_TRUE(b.leq(joined(a, b))) << "join is an upper bound";
+  }
+}
+
+TEST(VectorClockProperty, HappensBeforeIsAStrictPartialOrder) {
+  TinyRng rng{4044};
+  for (int i = 0; i < 500; ++i) {
+    const VectorClock a = random_clock(rng);
+    const VectorClock b = random_clock(rng);
+    const VectorClock c = random_clock(rng);
+    EXPECT_FALSE(happens_before(a, a)) << "irreflexive";
+    EXPECT_FALSE(happens_before(a, b) && happens_before(b, a)) << "asymmetric";
+    if (happens_before(a, b) && happens_before(b, c)) {
+      EXPECT_TRUE(happens_before(a, c)) << "transitive";
+    }
+    // Exactly one of: a -> b, b -> a, a == b, a || b.
+    const int cases = int(happens_before(a, b)) + int(happens_before(b, a)) +
+                      int(a == b) + int(concurrent(a, b));
+    EXPECT_EQ(cases, 1) << a.to_string() << " vs " << b.to_string();
+    // Chains built by join + tick are always ordered.
+    VectorClock later = joined(a, b);
+    later.tick(0);
+    EXPECT_TRUE(happens_before(a, later));
+  }
+}
+
+TEST(VectorClockProperty, EpochChecksAgreeWithFullClockChecks) {
+  // The FastTrack hot path replaces "write clock leq my clock" with
+  // "my clock contains the write epoch". Those agree exactly when the
+  // epoch is viewed as a one-component clock — the algebra that makes
+  // O(1) shadow state sound.
+  TinyRng rng{777};
+  for (int i = 0; i < 1000; ++i) {
+    const VectorClock vc = random_clock(rng);
+    const Epoch e{static_cast<ThreadId>(rng.next(5)), rng.next(5)};
+    EXPECT_EQ(vc.contains(e), to_clock(e).leq(vc))
+        << vc.to_string() << " vs epoch " << to_string(e);
+    EXPECT_EQ(e.valid(), e.clock != 0);
+  }
+  EXPECT_EQ(to_string(Epoch{3, 7}), "7@3");
+  EXPECT_EQ(to_clock(Epoch{2, 5}).get(2), 5u);
+  EXPECT_EQ(to_clock(Epoch{2, 5}).get(0), 0u);
 }
 
 TEST(Detector, ForkAndJoinOrderAccesses) {
@@ -165,8 +250,30 @@ TEST(Detector, OneReportPerVariableAndPair) {
     d.write(0, "x", "hammer 0");
     d.write(t1, "x", "hammer 1");
   }
-  EXPECT_EQ(d.races().size(), 1u) << "deduped per (variable, thread pair)";
+  EXPECT_EQ(d.races().size(), 1u) << "deduped per (variable, site pair)";
   EXPECT_GT(d.race_count(), 1u) << "but every racy access is counted";
+}
+
+TEST(Detector, DistinctSitePairsOfTheSameThreadsAreSeparateReports) {
+  // Dedup is per (variable, site pair), not per thread pair: the same
+  // two threads racing on x from two different places in the code are
+  // two different bugs, and both show up.
+  Detector d;
+  const ThreadId t1 = d.register_thread();
+  d.write(0, "x", "init in main");
+  d.write(t1, "x", "worker loop");  // race #1: init vs worker loop
+  d.write(0, "x", "teardown in main");
+  d.write(t1, "x", "worker loop");  // race #2: teardown vs worker loop
+  ASSERT_EQ(d.races().size(), 2u);
+  std::set<std::string> keys;
+  for (const RaceReport& r : d.races()) {
+    keys.insert(race_pair_key(r.variable, r.first, r.second));
+  }
+  EXPECT_EQ(keys.size(), 2u) << "distinct (variable, site pair) keys";
+  // Repeating the same pair adds nothing.
+  d.write(0, "x", "teardown in main");
+  d.write(t1, "x", "worker loop");
+  EXPECT_EQ(d.races().size(), 2u);
 }
 
 TEST(Detector, ReleaseOfUnheldLockThrows) {
@@ -418,6 +525,56 @@ TEST(Replay, BarrierAndChannelOps) {
   EXPECT_THROW(replay({"write x"}), Error) << "missing thread tag";
   EXPECT_THROW(replay({"t0 frobnicate x"}), Error) << "unknown verb";
   EXPECT_THROW(replay({"t0 read"}), Error) << "missing operand";
+}
+
+TEST(Replay, SameScheduleListTwiceGivesIdenticalReports) {
+  // Replay is a pure function of the schedule: running the same list of
+  // schedules twice yields report-for-report identical results — the
+  // whole point of replacing "run it and hope the race fires" with
+  // happens-before analysis.
+  const std::vector<std::vector<std::string>> scripts = {
+      {"read x", "write x", "lock m", "write y", "unlock m"},
+      {"write x", "lock m", "read y", "unlock m", "read x"},
+  };
+  const auto first_pass = replay_all_interleavings(scripts);
+  const auto second_pass = replay_all_interleavings(scripts);
+  ASSERT_EQ(first_pass.size(), second_pass.size());
+  for (std::size_t i = 0; i < first_pass.size(); ++i) {
+    EXPECT_EQ(first_pass[i].schedule, second_pass[i].schedule);
+    EXPECT_EQ(first_pass[i].events, second_pass[i].events);
+    ASSERT_EQ(first_pass[i].races.size(), second_pass[i].races.size());
+    for (std::size_t r = 0; r < first_pass[i].races.size(); ++r) {
+      EXPECT_EQ(first_pass[i].races[r].to_string(), second_pass[i].races[r].to_string());
+    }
+  }
+  const ReplayStats stats = summarize(first_pass);
+  EXPECT_EQ(stats.distinct, distinct_races(first_pass).size());
+  EXPECT_LE(stats.distinct, stats.racy)
+      << "distinct collapses duplicates across schedules";
+}
+
+TEST(TracedLife, BarrierlessRaceSetStableAcrossRounds) {
+  // Regression for report dedup: the barrier-less Life bug is the same
+  // race every round (site labels carry no round number), so running
+  // more rounds must not multiply the report list — only race_count,
+  // which counts every racy access, grows.
+  life::Grid initial = life::Grid::random(10, 10, 0.35, 7);
+  const auto one_round = life::traced_life_check(initial, 2, 1, /*use_barrier=*/false);
+  const auto three_rounds = life::traced_life_check(initial, 2, 3, /*use_barrier=*/false);
+  ASSERT_FALSE(one_round.race_free);
+  ASSERT_FALSE(three_rounds.race_free);
+
+  const auto keys = [](const std::vector<RaceReport>& races) {
+    std::set<std::string> out;
+    for (const RaceReport& r : races) out.insert(race_pair_key(r.variable, r.first, r.second));
+    return out;
+  };
+  const std::set<std::string> once = keys(one_round.races);
+  const std::set<std::string> thrice = keys(three_rounds.races);
+  EXPECT_EQ(keys(one_round.races).size(), one_round.races.size()) << "already deduped";
+  EXPECT_TRUE(std::includes(thrice.begin(), thrice.end(), once.begin(), once.end()))
+      << "more rounds can only re-expose the same (variable, site pair) races";
+  EXPECT_EQ(once, thrice) << "the bug set is stable across rounds, not multiplied by them";
 }
 
 }  // namespace
