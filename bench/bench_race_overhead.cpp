@@ -11,7 +11,15 @@
 //     acceptance criterion: >= 2x reduction in tracing overhead vs the
 //     PR 1 baseline (exit 1 on failure, so the tier-1 smoke run guards
 //     the claim);
-// (b) google-benchmark timings: untraced / FastTrack-traced /
+// (b) real-thread mode (the TraceContext capture layer): a traced
+//     4-thread 64x64 ParallelLife::run vs the untraced run, with the
+//     drained stream fed to the FastTrack Detector AND the Eraser-style
+//     LocksetDetector simultaneously; *asserts* <= 3x wall-clock
+//     overhead and the known verdicts (HB: race-free; lockset: flags
+//     its documented barrier false positive or agrees), and emits a
+//     second BENCH_race JSON line with per-thread buffer high-water
+//     marks;
+// (c) google-benchmark timings: untraced / FastTrack-traced /
 //     reference-traced Life steps (grids up to 64x64 — past the
 //     practical limit of the string-keyed PR 1 detector), and
 //     per-event throughput of both detectors on both API paths.
@@ -27,7 +35,10 @@
 #include "life/life.hpp"
 #include "life/traced.hpp"
 #include "race/detector.hpp"
+#include "race/lockset.hpp"
 #include "race/reference.hpp"
+#include "trace/context.hpp"
+#include "trace/metrics.hpp"
 
 namespace {
 
@@ -170,6 +181,94 @@ bool report_compression() {
   return ok;
 }
 
+/// The real-thread mode: trace an actual 4-thread barrier-synchronized
+/// ParallelLife::run through the capture layer, with the HB detector
+/// and the lockset detector consuming the identical drained stream.
+/// Returns false when the <= 3x overhead ceiling or a known verdict
+/// fails.
+bool report_realthread() {
+  constexpr std::size_t kSide = 64;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 10;
+  const Grid initial = Grid::random(kSide, kSide, 0.3, 7);
+
+  std::printf("==============================================================\n");
+  std::printf("real-thread capture: traced vs untraced ParallelLife::run\n");
+  std::printf("==============================================================\n\n");
+  std::printf("workload: %zux%zu Life, %zu real threads, %zu rounds, row granularity\n\n",
+              kSide, kSide, kThreads, kRounds);
+
+  const double untraced_s = min_seconds_of_3([&] {
+    cs31::life::ParallelLife life(initial, kThreads);
+    life.run(kRounds);
+  });
+
+  bool hb_race_free = false;
+  std::size_t lockset_reports = 0;
+  std::uint64_t captured = 0, drains = 0;
+  std::vector<cs31::trace::BufferStats> buffers;
+  const double traced_s = min_seconds_of_3([&] {
+    cs31::trace::TraceContext ctx;
+    cs31::race::LocksetDetector lockset;
+    cs31::trace::MetricsSink metrics;
+    ctx.attach_sink(lockset);
+    ctx.attach_sink(metrics);
+    cs31::life::ParallelLife life(initial, kThreads);
+    life.run(kRounds, {.ctx = &ctx, .report_barrier = true,
+                       .granularity = cs31::life::TraceGranularity::Row});
+    ctx.flush();
+    hb_race_free = ctx.detector().race_free();
+    lockset_reports = lockset.races().size();
+    captured = ctx.events_captured();
+    drains = ctx.drains();
+    buffers = ctx.buffer_stats();
+  });
+
+  const double overhead = traced_s / untraced_s;
+  std::printf("%-34s %12.2f\n", "untraced wall time (ms)", untraced_s * 1e3);
+  std::printf("%-34s %12.2f\n", "traced wall time (ms)", traced_s * 1e3);
+  std::printf("%-34s %12.2f\n", "overhead (x, ceiling 3.0)", overhead);
+  std::printf("%-34s %12llu\n", "events captured",
+              static_cast<unsigned long long>(captured));
+  std::printf("%-34s %12llu\n", "drains", static_cast<unsigned long long>(drains));
+  std::printf("%-34s %12s\n", "HB verdict", hb_race_free ? "race-free" : "RACES");
+  std::printf("%-34s %12zu  (barrier false positives — Eraser cannot see barriers)\n",
+              "lockset reports", lockset_reports);
+  std::printf("per-thread buffer high-water marks:\n");
+  for (const auto& b : buffers) {
+    std::printf("  T%u: captured %llu, high water %llu\n", b.thread,
+                static_cast<unsigned long long>(b.captured),
+                static_cast<unsigned long long>(b.high_water));
+  }
+
+  std::printf("\nBENCH_race {\"mode\":\"realthread\",\"grid\":%zu,\"threads\":%zu,"
+              "\"rounds\":%zu,\"untraced_ms\":%.3f,\"traced_ms\":%.3f,\"overhead_x\":%.2f,"
+              "\"events_captured\":%llu,\"drains\":%llu,\"hb_race_free\":%s,"
+              "\"lockset_reports\":%zu,\"buffer_high_water\":[",
+              kSide, kThreads, kRounds, untraced_s * 1e3, traced_s * 1e3, overhead,
+              static_cast<unsigned long long>(captured),
+              static_cast<unsigned long long>(drains), hb_race_free ? "true" : "false",
+              lockset_reports);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ",",
+                static_cast<unsigned long long>(buffers[i].high_water));
+  }
+  std::printf("]}\n\n");
+
+  bool ok = true;
+  if (!hb_race_free) {
+    std::fprintf(stderr, "FAIL: barrier-synchronized real-thread Life must be race-free "
+                         "under happens-before\n");
+    ok = false;
+  }
+  if (overhead > 3.0) {
+    std::fprintf(stderr, "FAIL: real-thread tracing overhead %.2fx exceeds the 3x ceiling\n",
+                 overhead);
+    ok = false;
+  }
+  return ok;
+}
+
 void BM_LifeStepUntraced(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
   cs31::life::SerialLife life(Grid::random(side, side, 0.3, 7));
@@ -268,6 +367,7 @@ BENCHMARK(BM_ReferenceEventThroughput);
 
 int main(int argc, char** argv) {
   if (!report_compression()) return 1;
+  if (!report_realthread()) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,7 +10,7 @@
 // structure, not the scheduler's mood. Each act below runs a buggy
 // variant and its fix and prints the detector's reports.
 //
-// Usage: race_detective            (runs all three acts)
+// Usage: race_detective            (runs all four acts)
 #include <cstddef>
 #include <iostream>
 #include <string>
@@ -19,7 +19,11 @@
 #include "life/life.hpp"
 #include "life/traced.hpp"
 #include "parallel/sync.hpp"
+#include "parallel/threads.hpp"
+#include "race/lockset.hpp"
 #include "race/replay.hpp"
+#include "trace/context.hpp"
+#include "trace/instrumented.hpp"
 
 namespace {
 
@@ -95,6 +99,81 @@ void act3_replay() {
             << "  detector shows why those schedules must be excluded).\n";
 }
 
+// Two detectives on the same evidence. Everything above used the
+// happens-before detector; Eraser's lockset algorithm is the other
+// classic, and the TraceContext lets both consume the identical
+// real-thread event stream. Where the program's discipline is "one lock
+// per shared variable" they agree; where the discipline is a barrier,
+// lockset cries wolf — it has no notion of ordering, only of locks —
+// and happens-before correctly stays quiet. That false positive *is*
+// the lecture point: the two algorithms check different invariants.
+void act4_two_detectives() {
+  using cs31::parallel::ThreadTeam;
+  using cs31::race::LocksetDetector;
+  using cs31::trace::TraceContext;
+  using cs31::trace::TracedMutex;
+  using cs31::trace::TracedVar;
+  heading("Act 4 — two detectives on real threads: happens-before vs lockset");
+
+  const auto verdicts = [](const TraceContext& ctx, const LocksetDetector& lockset) {
+    std::cout << "    happens-before: "
+              << (ctx.detector().race_free()
+                      ? "race-free"
+                      : std::to_string(ctx.detector().races().size()) + " race(s)")
+              << "\n    lockset:        "
+              << (lockset.race_free()
+                      ? "race-free"
+                      : std::to_string(lockset.races().size()) + " report(s)")
+              << '\n';
+  };
+
+  std::cout << "\n[agree: buggy] 2 real threads, counter = counter + 1, no lock:\n";
+  {
+    TraceContext ctx;
+    LocksetDetector lockset;
+    ctx.attach_sink(lockset);
+    TracedVar<int> counter("counter", ctx);
+    ThreadTeam team(2, ctx, [&](std::size_t) {
+      for (int i = 0; i < 50; ++i) counter.store(counter.load() + 1);
+    });
+    team.join();
+    ctx.flush();
+    verdicts(ctx, lockset);
+  }
+
+  std::cout << "\n[agree: fixed] same loop with a mutex around the increment:\n";
+  {
+    TraceContext ctx;
+    LocksetDetector lockset;
+    ctx.attach_sink(lockset);
+    TracedVar<int> counter("counter", ctx);
+    TracedMutex mutex("counter_lock", ctx);
+    ThreadTeam team(2, ctx, [&](std::size_t) {
+      for (int i = 0; i < 50; ++i) {
+        std::scoped_lock hold(mutex);
+        counter.store(counter.load() + 1);
+      }
+    });
+    team.join();
+    ctx.flush();
+    verdicts(ctx, lockset);
+  }
+
+  std::cout << "\n[disagree] barrier-synchronized Life, 3 real threads, 2 rounds:\n";
+  {
+    TraceContext ctx;
+    LocksetDetector lockset;
+    ctx.attach_sink(lockset);
+    cs31::life::ParallelLife life(cs31::life::Grid::random(12, 12, 0.3, 2022), 3);
+    life.run(2, {.ctx = &ctx});
+    ctx.flush();
+    verdicts(ctx, lockset);
+    std::cout << "  lockset's first report (a FALSE positive — the barrier is the\n"
+                 "  synchronization, but Eraser only understands locks):\n"
+              << lockset.races().front().to_string() << '\n';
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -102,7 +181,11 @@ int main() {
   act1_shared_counter();
   act2_game_of_life();
   act3_replay();
-  std::cout << "\nAll three acts: the bug is a missing happens-before edge;\n"
-               "the fix (lock, barrier, or channel) is that edge.\n";
+  act4_two_detectives();
+  std::cout << "\nActs 1-3: the bug is a missing happens-before edge;\n"
+               "the fix (lock, barrier, or channel) is that edge.\n"
+               "Act 4: an algorithm that can't see that edge (Eraser's lockset)\n"
+               "calls correct barrier code racy — check what invariant your\n"
+               "detector actually checks.\n";
   return 0;
 }

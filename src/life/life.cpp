@@ -129,6 +129,7 @@ ParallelLife::ParallelLife(Grid initial, std::size_t threads, parallel::GridSpli
     : current_(std::move(initial)),
       next_(current_.rows(), current_.cols()),
       rule_(rule),
+      split_(split),
       regions_(parallel::grid_partition(current_.rows(), current_.cols(), threads, split)) {
   require(threads >= 1, "need at least one thread");
   const std::size_t dim =
@@ -136,17 +137,141 @@ ParallelLife::ParallelLife(Grid initial, std::size_t threads, parallel::GridSpli
   require(threads <= dim, "more threads than grid bands");
 }
 
-void ParallelLife::run(std::size_t n) {
+void ParallelLife::run(std::size_t n) { run(n, LifeTraceOptions{}); }
+
+namespace {
+
+/// Interned ids a traced run fires per access: one id per band line
+/// (Row granularity) or per cell (Cell granularity), for each grid,
+/// plus the site labels. Names match the replay path in
+/// life/traced.cpp exactly, so the two certificates are comparable.
+struct LifeTraceIds {
+  std::vector<trace::NameId> cur, next;  ///< by line or by r*cols+c
+  std::vector<trace::NameId> band_sites;
+  trace::NameId swap_site = 0;
+};
+
+LifeTraceIds intern_life_ids(trace::TraceContext& ctx, std::size_t rows, std::size_t cols,
+                             std::size_t threads, bool cell, bool horizontal) {
+  LifeTraceIds ids;
+  const auto var = [&](const char* grid, const std::string& suffix) {
+    return ctx.intern_var(std::string(grid) + '[' + suffix + ']');
+  };
+  if (cell) {
+    ids.cur.reserve(rows * cols);
+    ids.next.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::string rc = std::to_string(r) + ',' + std::to_string(c);
+        ids.cur.push_back(var("cur", rc));
+        ids.next.push_back(var("next", rc));
+      }
+    }
+  } else {
+    const std::size_t lines = horizontal ? rows : cols;
+    ids.cur.reserve(lines);
+    ids.next.reserve(lines);
+    for (std::size_t l = 0; l < lines; ++l) {
+      ids.cur.push_back(var("cur", std::to_string(l)));
+      ids.next.push_back(var("next", std::to_string(l)));
+    }
+  }
+  ids.band_sites.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ids.band_sites.push_back(ctx.intern_site("step_region band " + std::to_string(t)));
+  }
+  ids.swap_site = ctx.intern_site("swap grids (serial thread)");
+  return ids;
+}
+
+}  // namespace
+
+void ParallelLife::run(std::size_t n, const LifeTraceOptions& options) {
   if (n == 0) return;
   const std::size_t t = regions_.size();
+  trace::TraceContext* ctx = options.ctx;
   parallel::Barrier barrier(t);
+  // The lab's shared-statistics mutex. Deliberately untraced even when
+  // ctx is set: the grid certificate then depends only on the grid
+  // access pattern (and matches the replay path's, which has no stats
+  // events); the mutex still really protects the merge.
   std::mutex stats_mutex;
 
+  const std::size_t rows = current_.rows(), cols = current_.cols();
+  const bool horizontal = split_ == parallel::GridSplit::Horizontal;
+  const bool cell = options.granularity == TraceGranularity::Cell;
+  LifeTraceIds ids;
+  if (ctx != nullptr) {
+    barrier.attach_tracer(*ctx, options.report_barrier);
+    ids = intern_life_ids(*ctx, rows, cols, t, cell, horizontal);
+  }
+
+  // What a worker reads each round: its band plus a one-line halo on
+  // each side in the split dimension (wrapping under Torus), mirroring
+  // the real neighbor reads step_region performs. Emitted before the
+  // compute so the captured order matches the replay path's.
+  const auto emit_compute = [&](std::size_t id) {
+    const parallel::GridRegion& region = regions_[id];
+    const parallel::Range band = horizontal ? region.rows : region.cols;
+    const std::size_t dim = horizontal ? rows : cols;
+    const std::size_t span = horizontal ? cols : rows;
+    const std::int64_t lo = static_cast<std::int64_t>(band.begin) - 1;
+    const std::int64_t hi = static_cast<std::int64_t>(band.end);  // inclusive halo
+    for (std::int64_t ll = lo; ll <= hi; ++ll) {
+      std::int64_t line = ll;
+      if (rule_ == EdgeRule::Torus) {
+        line = (ll + static_cast<std::int64_t>(dim)) % static_cast<std::int64_t>(dim);
+      } else if (ll < 0 || ll >= static_cast<std::int64_t>(dim)) {
+        continue;
+      }
+      const auto l = static_cast<std::size_t>(line);
+      if (cell) {
+        for (std::size_t s = 0; s < span; ++s) {
+          const std::size_t idx = horizontal ? l * cols + s : s * cols + l;
+          ctx->read(ids.cur[idx], ids.band_sites[id]);
+        }
+      } else {
+        ctx->read(ids.cur[l], ids.band_sites[id]);
+      }
+    }
+    for (std::size_t l = band.begin; l < band.end; ++l) {
+      if (cell) {
+        for (std::size_t s = 0; s < span; ++s) {
+          const std::size_t idx = horizontal ? l * cols + s : s * cols + l;
+          ctx->write(ids.next[idx], ids.band_sites[id]);
+        }
+      } else {
+        ctx->write(ids.next[l], ids.band_sites[id]);
+      }
+    }
+  };
+
+  // The swap rebinds every cell of both grids: a write to all of them
+  // by the serial thread.
+  const auto emit_swap = [&] {
+    if (cell) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          ctx->write(ids.cur[r * cols + c], ids.swap_site);
+          ctx->write(ids.next[r * cols + c], ids.swap_site);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < ids.cur.size(); ++l) {
+        ctx->write(ids.cur[l], ids.swap_site);
+        ctx->write(ids.next[l], ids.swap_site);
+      }
+    }
+  };
+
   // One thread team for the whole run; rounds are separated by two
-  // barrier crossings (compute -> swap -> next round), with thread 0
-  // doing the swap while the others wait — the Lab 10 structure.
-  parallel::ThreadTeam team(t, [&](std::size_t id) {
+  // barrier crossings (compute -> swap -> next round), with thread 0 as
+  // the serial thread doing the swap while the others wait — the Lab 10
+  // structure, with a fixed (not last-arriver) serial thread so traced
+  // runs are reproducible.
+  const auto body = [&](std::size_t id) {
     for (std::size_t round = 0; round < n; ++round) {
+      if (ctx != nullptr) emit_compute(id);
       const RegionDelta delta = step_region(current_, next_, regions_[id], rule_);
       {
         // The mutex-protected shared statistics of the lab.
@@ -154,8 +279,10 @@ void ParallelLife::run(std::size_t n) {
         stats_.births += delta.births;
         stats_.deaths += delta.deaths;
       }
-      if (barrier.wait()) {
+      barrier.wait();
+      if (id == 0) {
         // Serial thread of this cycle: publish the new generation.
+        if (ctx != nullptr) emit_swap();
         std::swap(current_, next_);
         ++generation_;
         stats_.max_population = std::max<std::uint64_t>(stats_.max_population,
@@ -163,8 +290,15 @@ void ParallelLife::run(std::size_t n) {
       }
       barrier.wait();  // everyone sees the swapped grid before continuing
     }
-  });
-  team.join();
+  };
+
+  if (ctx != nullptr) {
+    parallel::ThreadTeam team(t, *ctx, body);
+    team.join();
+  } else {
+    parallel::ThreadTeam team(t, body);
+    team.join();
+  }
 }
 
 int ParallelLife::owner(std::size_t r, std::size_t c) const {

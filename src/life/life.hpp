@@ -83,6 +83,28 @@ struct LifeStats {
   std::uint64_t max_population = 0;
 };
 
+/// How finely a traced ParallelLife::run captures grid accesses. Row
+/// traces one variable per band line (per row for a horizontal split) —
+/// cheap enough for real-thread overhead budgets; Cell traces every
+/// cell with the same names the replay path uses ("cur[r,c]"), so the
+/// real-thread certificate is directly comparable to
+/// life::traced_life_check's.
+enum class TraceGranularity { Row, Cell };
+
+/// Tracing options for ParallelLife::run. `ctx == nullptr` runs
+/// untraced.
+struct LifeTraceOptions {
+  trace::TraceContext* ctx = nullptr;
+  /// false is the "forgotten barrier" teaching mode: the real barrier
+  /// still runs every round (the execution stays well-defined — the
+  /// same trick TracedVar plays with its hidden guard), but its
+  /// happens-before edge is withheld from the sinks, so the detector
+  /// reports — deterministically — the races the program would have if
+  /// the student had forgotten the barrier.
+  bool report_barrier = true;
+  TraceGranularity granularity = TraceGranularity::Row;
+};
+
 /// Lab 10: the pthreads engine. Threads own grid bands (horizontal or
 /// vertical), synchronize each round on a barrier, and merge per-round
 /// statistics under a mutex.
@@ -94,8 +116,21 @@ class ParallelLife {
                EdgeRule rule = EdgeRule::Torus);
 
   /// Run `n` generations with real threads (one team for the whole run,
-  /// barrier-synchronized per round, as the lab requires).
+  /// barrier-synchronized per round, as the lab requires). Thread 0 is
+  /// the serial thread that publishes each generation between the two
+  /// barrier crossings — a fixed choice, so traced runs are
+  /// reproducible run to run.
   void run(std::size_t n);
+
+  /// The same run, captured through a TraceContext: workers record
+  /// their halo reads and band writes, thread 0 records the swap's
+  /// writes, the per-round barrier records its cycles (and drains the
+  /// buffers, bounding capture memory). The per-round statistics mutex
+  /// is deliberately *not* traced: the grid certificate then depends
+  /// only on the grid access pattern, byte-identical to the replay
+  /// path's. Call options.ctx->flush() after run() before reading any
+  /// sink's verdict.
+  void run(std::size_t n, const LifeTraceOptions& options);
 
   [[nodiscard]] const Grid& grid() const { return current_; }
   [[nodiscard]] std::size_t generation() const { return generation_; }
@@ -109,6 +144,7 @@ class ParallelLife {
   Grid current_;
   Grid next_;
   EdgeRule rule_;
+  parallel::GridSplit split_;
   std::vector<parallel::GridRegion> regions_;
   std::size_t generation_ = 0;
   LifeStats stats_;

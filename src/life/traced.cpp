@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "parallel/threads.hpp"
+#include "trace/context.hpp"
 
 namespace cs31::life {
 namespace {
@@ -14,19 +15,75 @@ std::string cell_name(const char* grid, std::size_t r, std::size_t c) {
   return std::string(grid) + '[' + std::to_string(r) + ',' + std::to_string(c) + ']';
 }
 
-// The Lab 10 access pattern, written once and instantiated twice: with
-// the FastTrack detector's interned id fast path (the product path) and
-// with the generic string interface over any EventSink (the comparison
-// path). `Ops` provides fork/join/barrier plus per-cell read/write
-// hooks; `finish` harvests the verdict.
+// The Lab 10 access pattern, replayed through the same trace::
+// TraceContext machinery the real-thread engine uses — one OS thread
+// plays every role via the scripted (*_as) API, so the verdict never
+// depends on timing. Flushing after every band and after the swap keeps
+// the dispatch order equal to the emission order, which keeps this
+// replay's reports bit-identical run to run (and lets the real-thread
+// path be checked against it).
 //
 // Site labels deliberately carry no round number: the race between the
 // serial thread's grid swap and band t's halo access is the same bug in
 // every round, and the per-(variable, site pair) report dedup then
 // keeps it to one report per run instead of one per round (the
 // regression test for that is TracedLife.BarrierlessRaceSetStableAcrossRounds).
-template <typename Ops>
-TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t threads,
+struct ReplayOps {
+  trace::TraceContext& ctx;
+  race::EventSink& verdict;  ///< the sink whose result is harvested
+  std::vector<trace::ThreadId> workers;
+  std::vector<trace::NameId> cur_ids;   // row-major cell ids for grid "cur"
+  std::vector<trace::NameId> next_ids;  // and for grid "next"
+  std::vector<trace::NameId> band_sites;
+  trace::NameId swap_site = 0;
+  std::size_t cols = 0;
+
+  ReplayOps(trace::TraceContext& ctx_in, race::EventSink& verdict_in, std::size_t rows,
+            std::size_t cols_in)
+      : ctx(ctx_in), verdict(verdict_in), cols(cols_in) {
+    cur_ids.reserve(rows * cols);
+    next_ids.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        cur_ids.push_back(ctx.intern_var(cell_name("cur", r, c)));
+        next_ids.push_back(ctx.intern_var(cell_name("next", r, c)));
+      }
+    }
+    swap_site = ctx.intern_site("swap grids (serial thread)");
+  }
+
+  void fork_workers(std::size_t threads) {
+    workers.reserve(threads);
+    band_sites.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.push_back(ctx.fork_thread(0));
+      band_sites.push_back(ctx.intern_site("step_region band " + std::to_string(t)));
+    }
+  }
+  void read_cur(std::size_t t, std::size_t r, std::size_t c) {
+    ctx.read_as(workers[t], cur_ids[r * cols + c], band_sites[t]);
+  }
+  void write_next(std::size_t t, std::size_t r, std::size_t c) {
+    ctx.write_as(workers[t], next_ids[r * cols + c], band_sites[t]);
+  }
+  void band_done() { ctx.flush(); }
+  void swap_write(std::size_t r, std::size_t c) {
+    ctx.write_as(workers[0], cur_ids[r * cols + c], swap_site);
+    ctx.write_as(workers[0], next_ids[r * cols + c], swap_site);
+  }
+  void swap_done() { ctx.flush(); }
+  void barrier() { ctx.barrier_cycle(workers); }
+  void join_workers() {
+    for (const trace::ThreadId w : workers) ctx.join_thread(0, w);
+  }
+  TracedLifeResult finish(Grid grid) {
+    ctx.flush();
+    return TracedLifeResult{std::move(grid), verdict.race_free(), verdict.races(),
+                            verdict.events(), verdict.summary()};
+  }
+};
+
+TracedLifeResult traced_life_run(ReplayOps& ops, const Grid& initial, std::size_t threads,
                                  std::size_t rounds, bool use_barrier, EdgeRule rule) {
   require(threads >= 1, "need at least one thread");
   require(threads <= initial.rows(), "more threads than grid bands");
@@ -36,7 +93,7 @@ TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t thre
   const std::vector<parallel::GridRegion> regions = parallel::grid_partition(
       initial.rows(), initial.cols(), threads, parallel::GridSplit::Horizontal);
 
-  // Main (thread 0 of the detector) forks one worker per band, like the
+  // Main (trace thread 0) forks one worker per band, like the
   // ThreadTeam in ParallelLife::run.
   ops.fork_workers(threads);
 
@@ -65,6 +122,7 @@ TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t thre
         }
       }
       step_region(cur, next, region, rule);
+      ops.band_done();
     }
 
     if (use_barrier) ops.barrier();
@@ -76,6 +134,7 @@ TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t thre
         ops.swap_write(r, c);
       }
     }
+    ops.swap_done();
     std::swap(cur, next);
 
     if (use_barrier) ops.barrier();
@@ -85,122 +144,21 @@ TracedLifeResult traced_life_run(Ops& ops, const Grid& initial, std::size_t thre
   return ops.finish(std::move(cur));
 }
 
-/// The product path: cell names and site labels interned into the
-/// FastTrack detector once, per-access events fired by id.
-struct FastOps {
-  race::Detector detector;
-  std::vector<race::ThreadId> workers;
-  std::vector<race::NameId> cur_ids;   // row-major cell ids for grid "cur"
-  std::vector<race::NameId> next_ids;  // and for grid "next"
-  std::vector<race::NameId> band_sites;
-  race::NameId swap_site = 0;
-  std::size_t cols = 0;
-
-  FastOps(std::size_t rows, std::size_t cols_in) : cols(cols_in) {
-    cur_ids.reserve(rows * cols);
-    next_ids.reserve(rows * cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        cur_ids.push_back(detector.intern_var(cell_name("cur", r, c)));
-        next_ids.push_back(detector.intern_var(cell_name("next", r, c)));
-      }
-    }
-    swap_site = detector.intern_site("swap grids (serial thread)");
-  }
-
-  void fork_workers(std::size_t threads) {
-    workers.reserve(threads);
-    band_sites.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      workers.push_back(detector.fork(0));
-      band_sites.push_back(detector.intern_site("step_region band " + std::to_string(t)));
-    }
-  }
-  void read_cur(std::size_t t, std::size_t r, std::size_t c) {
-    detector.read(workers[t], cur_ids[r * cols + c], band_sites[t]);
-  }
-  void write_next(std::size_t t, std::size_t r, std::size_t c) {
-    detector.write(workers[t], next_ids[r * cols + c], band_sites[t]);
-  }
-  void swap_write(std::size_t r, std::size_t c) {
-    detector.write(workers[0], cur_ids[r * cols + c], swap_site);
-    detector.write(workers[0], next_ids[r * cols + c], swap_site);
-  }
-  void barrier() { detector.barrier(workers); }
-  void join_workers() {
-    for (const race::ThreadId w : workers) detector.join(0, w);
-  }
-  TracedLifeResult finish(Grid grid) {
-    return TracedLifeResult{std::move(grid), detector.race_free(), detector.races(),
-                            detector.events(), detector.summary()};
-  }
-};
-
-/// The comparison path: the same events through any EventSink via the
-/// string interface (names prebuilt once, so the sink's own lookup cost
-/// is what gets measured — for the reference detector, a string-keyed
-/// map walk per access).
-struct SinkOps {
-  race::EventSink& sink;
-  std::vector<race::ThreadId> workers;
-  std::vector<std::string> cur_names;
-  std::vector<std::string> next_names;
-  std::vector<std::string> band_sites;
-  std::string swap_site = "swap grids (serial thread)";
-  std::size_t cols = 0;
-
-  SinkOps(race::EventSink& sink_in, std::size_t rows, std::size_t cols_in)
-      : sink(sink_in), cols(cols_in) {
-    cur_names.reserve(rows * cols);
-    next_names.reserve(rows * cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        cur_names.push_back(cell_name("cur", r, c));
-        next_names.push_back(cell_name("next", r, c));
-      }
-    }
-  }
-
-  void fork_workers(std::size_t threads) {
-    workers.reserve(threads);
-    band_sites.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      workers.push_back(sink.fork(0));
-      band_sites.push_back("step_region band " + std::to_string(t));
-    }
-  }
-  void read_cur(std::size_t t, std::size_t r, std::size_t c) {
-    sink.read(workers[t], cur_names[r * cols + c], band_sites[t]);
-  }
-  void write_next(std::size_t t, std::size_t r, std::size_t c) {
-    sink.write(workers[t], next_names[r * cols + c], band_sites[t]);
-  }
-  void swap_write(std::size_t r, std::size_t c) {
-    sink.write(workers[0], cur_names[r * cols + c], swap_site);
-    sink.write(workers[0], next_names[r * cols + c], swap_site);
-  }
-  void barrier() { sink.barrier(workers); }
-  void join_workers() {
-    for (const race::ThreadId w : workers) sink.join(0, w);
-  }
-  TracedLifeResult finish(Grid grid) {
-    return TracedLifeResult{std::move(grid), sink.race_free(), sink.races(), sink.events(),
-                            sink.summary()};
-  }
-};
-
 }  // namespace
 
 TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
                                    std::size_t rounds, bool use_barrier, EdgeRule rule) {
-  FastOps ops(initial.rows(), initial.cols());
+  trace::TraceContext ctx;  // owns the FastTrack detector
+  ReplayOps ops(ctx, ctx.detector(), initial.rows(), initial.cols());
   return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
 }
 
 TracedLifeResult traced_life_check_with(race::EventSink& sink, const Grid& initial,
                                         std::size_t threads, std::size_t rounds,
                                         bool use_barrier, EdgeRule rule) {
-  SinkOps ops(sink, initial.rows(), initial.cols());
+  trace::TraceContext ctx(trace::TraceContext::Options{.own_detector = false});
+  ctx.attach_sink(sink);
+  ReplayOps ops(ctx, sink, initial.rows(), initial.cols());
   return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
 }
 

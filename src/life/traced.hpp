@@ -12,6 +12,12 @@
 // real scheduler, so the verdict never depends on timing. The grid is
 // really stepped while tracing, so the result can be checked against
 // SerialLife.
+//
+// Since the TraceContext refactor this replay is just a scripted driver
+// of the same capture machinery the real-thread engine uses
+// (ParallelLife::run with LifeTraceOptions): both paths intern the same
+// names, emit the same events, and feed the same sinks — they differ
+// only in who pushes the events.
 #pragma once
 
 #include <cstdint>
@@ -37,10 +43,11 @@ struct TracedLifeResult {
 /// false drops both barrier edges — the buggy variant the detector
 /// flags. Throws cs31::Error when threads == 0 or exceeds the rows.
 ///
-/// Uses the FastTrack detector's interned fast path: every cell name
-/// and site label is interned once up front, so the per-access cost is
-/// an epoch check, not a string lookup — which is what finally lets
-/// this scale past toy grids (bench_race_overhead has the numbers).
+/// Every cell name and site label is interned once up front and the
+/// drain feeds the FastTrack detector through its id fast path, so the
+/// per-access cost is a buffer append plus an epoch check, not a string
+/// lookup — which is what lets this scale past toy grids
+/// (bench_race_overhead has the numbers).
 [[nodiscard]] TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
                                                  std::size_t rounds, bool use_barrier,
                                                  EdgeRule rule = EdgeRule::Torus);

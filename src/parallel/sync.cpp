@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "parallel/threads.hpp"
+#include "trace/instrumented.hpp"
 
 namespace cs31::parallel {
 
@@ -19,8 +20,10 @@ bool Barrier::wait() {
     // Last arriver releases the cycle.
     if (tracer_ != nullptr) {
       // The completed cycle orders every waiter's pre-barrier work
-      // before every waiter's post-barrier work.
-      tracer_->detector().barrier(cycle_waiters_);
+      // before every waiter's post-barrier work — and every other
+      // waiter is blocked in this barrier right now, so their buffers
+      // are safe to drain (bounded capture memory).
+      tracer_->barrier_cycle(std::move(cycle_waiters_), report_edges_);
       cycle_waiters_.clear();
     }
     arrived_ = 0;
@@ -37,9 +40,10 @@ std::uint64_t Barrier::cycles() const {
   return generation_;
 }
 
-void Barrier::attach_tracer(race::TraceContext& ctx) {
+void Barrier::attach_tracer(trace::TraceContext& ctx, bool report_edges) {
   std::scoped_lock lock(mutex_);
   tracer_ = &ctx;
+  report_edges_ = report_edges;
 }
 
 std::uint64_t SharedCounter::run(Mode mode, unsigned threads, std::uint64_t per_thread) {
@@ -100,12 +104,12 @@ SharedCounter::TracedRun SharedCounter::run_traced(Mode mode, unsigned threads,
                                                   std::uint64_t per_thread) {
   require(threads >= 1, "need at least one thread");
 
-  race::TraceContext ctx;
-  race::TracedVar<std::uint64_t> counter("counter", ctx, 0);
-  race::TracedMutex mutex("counter_mutex", ctx);
+  trace::TraceContext ctx;
+  trace::TracedVar<std::uint64_t> counter("counter", ctx, 0);
+  trace::TracedMutex mutex("counter_mutex", ctx);
 
-  // The same four strategies as run(), expressed through the shadow
-  // layer so every logical access reaches the detector.
+  // The same four strategies as run(), expressed through the capture
+  // layer so every logical access reaches the attached sinks.
   ThreadTeam team(threads, ctx, [&](std::size_t) {
     switch (mode) {
       case Mode::Unsynchronized:
@@ -141,6 +145,7 @@ SharedCounter::TracedRun SharedCounter::run_traced(Mode mode, unsigned threads,
   TracedRun result;
   // The joins order every worker before this read — never itself a race.
   result.value = counter.load("final read after join");
+  ctx.flush();  // drain the main thread's tail before reading verdicts
   result.races = ctx.detector().races();
   result.race_detected = !result.races.empty();
   result.report = ctx.detector().summary();
@@ -160,10 +165,13 @@ void BoundedBuffer::put(std::int64_t item) {
     not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
     require(!closed_, "buffer closed while a producer was blocked");
   }
+  const std::size_t slot = tail_;
   ring_[tail_] = item;
   tail_ = (tail_ + 1) % capacity_;
   ++count_;
-  if (tracer_ != nullptr) tracer_->send(channel_name_);
+  // Recorded under the buffer mutex, so the send's stamp order is the
+  // real publication order of this slot.
+  if (tracer_ != nullptr) tracer_->send(slot_channels_[slot]);
   not_empty_.notify_one();
 }
 
@@ -173,10 +181,12 @@ std::int64_t BoundedBuffer::get() {
     consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
     not_empty_.wait(lock, [&] { return count_ > 0; });
   }
+  const std::size_t slot = head_;
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
-  if (tracer_ != nullptr) tracer_->recv(channel_name_);
+  // Per-slot recv: ordered only after the sends through this slot.
+  if (tracer_ != nullptr) tracer_->recv(slot_channels_[slot]);
   not_full_.notify_one();
   return item;
 }
@@ -185,10 +195,11 @@ bool BoundedBuffer::try_put(std::int64_t item) {
   std::scoped_lock lock(mutex_);
   require(!closed_, "put on a closed buffer");
   if (count_ == capacity_) return false;
+  const std::size_t slot = tail_;
   ring_[tail_] = item;
   tail_ = (tail_ + 1) % capacity_;
   ++count_;
-  if (tracer_ != nullptr) tracer_->send(channel_name_);
+  if (tracer_ != nullptr) tracer_->send(slot_channels_[slot]);
   not_empty_.notify_one();
   return true;
 }
@@ -196,10 +207,11 @@ bool BoundedBuffer::try_put(std::int64_t item) {
 std::optional<std::int64_t> BoundedBuffer::try_get() {
   std::scoped_lock lock(mutex_);
   if (count_ == 0) return std::nullopt;
+  const std::size_t slot = head_;
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
-  if (tracer_ != nullptr) tracer_->recv(channel_name_);
+  if (tracer_ != nullptr) tracer_->recv(slot_channels_[slot]);
   not_full_.notify_one();
   return item;
 }
@@ -209,7 +221,7 @@ void BoundedBuffer::close() {
   closed_ = true;
   // Closing publishes too: a consumer that wakes to "closed and
   // drained" is still ordered after everything the closer did.
-  if (tracer_ != nullptr) tracer_->send(channel_name_);
+  if (tracer_ != nullptr) tracer_->send(close_channel_);
   not_empty_.notify_all();
   not_full_.notify_all();
 }
@@ -222,13 +234,14 @@ std::optional<std::int64_t> BoundedBuffer::get_until_closed() {
   }
   if (count_ == 0) {
     // Closed and drained: still observe the closer's publication.
-    if (tracer_ != nullptr) tracer_->recv(channel_name_);
+    if (tracer_ != nullptr) tracer_->recv(close_channel_);
     return std::nullopt;
   }
+  const std::size_t slot = head_;
   const std::int64_t item = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   --count_;
-  if (tracer_ != nullptr) tracer_->recv(channel_name_);
+  if (tracer_ != nullptr) tracer_->recv(slot_channels_[slot]);
   not_full_.notify_one();
   return item;
 }
@@ -238,10 +251,18 @@ std::size_t BoundedBuffer::size() const {
   return count_;
 }
 
-void BoundedBuffer::attach_tracer(race::TraceContext& ctx, std::string channel_name) {
+void BoundedBuffer::attach_tracer(trace::TraceContext& ctx, std::string channel_name) {
   std::scoped_lock lock(mutex_);
   tracer_ = &ctx;
   channel_name_ = std::move(channel_name);
+  // One channel per ring slot (plus one for close()): interned up front
+  // so put/get fire id-based events only.
+  slot_channels_.clear();
+  slot_channels_.reserve(capacity_);
+  for (std::size_t s = 0; s < capacity_; ++s) {
+    slot_channels_.push_back(ctx.intern_channel(channel_name_ + "[" + std::to_string(s) + "]"));
+  }
+  close_channel_ = ctx.intern_channel(channel_name_ + "[closed]");
 }
 
 }  // namespace cs31::parallel

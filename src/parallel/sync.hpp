@@ -13,7 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "race/shadow.hpp"
+#include "race/detector.hpp"
+#include "trace/context.hpp"
 
 namespace cs31::parallel {
 
@@ -35,11 +36,19 @@ class Barrier {
   /// Completed cycles so far (each round of a parallel simulation).
   [[nodiscard]] std::uint64_t cycles() const;
 
-  /// Report each completed cycle to a race-detector context as a
-  /// happens-before edge among that cycle's waiters. Every thread that
-  /// calls wait() must be bound to `ctx` (e.g. spawned by a traced
+  /// Report each completed cycle to a trace context as a happens-before
+  /// edge among that cycle's waiters, and drain their buffers (every
+  /// waiter is blocked in the barrier while the last arriver drains, so
+  /// a barrier is a natural bounded-memory drain point). Every thread
+  /// that calls wait() must be bound to `ctx` (e.g. spawned by a traced
   /// ThreadTeam). Attach before the first wait().
-  void attach_tracer(race::TraceContext& ctx);
+  ///
+  /// `report_edges = false` is the "forgotten barrier" teaching mode:
+  /// the real barrier still runs (the execution stays well-defined) but
+  /// the happens-before edge is withheld from the sinks, so the
+  /// detector sees — deterministically — exactly the races the program
+  /// would have without the barrier.
+  void attach_tracer(trace::TraceContext& ctx, bool report_edges = true);
 
  private:
   const std::size_t count_;
@@ -47,8 +56,9 @@ class Barrier {
   std::uint64_t generation_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  race::TraceContext* tracer_ = nullptr;
-  std::vector<race::ThreadId> cycle_waiters_;
+  trace::TraceContext* tracer_ = nullptr;
+  bool report_edges_ = true;
+  std::vector<trace::ThreadId> cycle_waiters_;
 };
 
 /// The lecture's shared-counter race demonstration: N threads each
@@ -78,7 +88,7 @@ class SharedCounter {
   static std::uint64_t run(Mode mode, unsigned threads, std::uint64_t per_thread);
 
   /// run() with `detect_races` semantics: execute the same experiment
-  /// through the cs31::race shadow layer and return the detector's
+  /// through the cs31::trace capture layer and return the detector's
   /// verdict alongside the count. Detection is deterministic — it
   /// depends on the happens-before structure of the mode, not on the
   /// scheduler — so Unsynchronized is *always* flagged (with both
@@ -127,12 +137,21 @@ class BoundedBuffer {
   [[nodiscard]] std::uint64_t producer_blocks() const { return producer_blocks_.load(); }
   [[nodiscard]] std::uint64_t consumer_blocks() const { return consumer_blocks_.load(); }
 
-  /// Report puts/gets to a race-detector context as channel send/recv
-  /// events, mirroring the happens-before edge the buffer's internal
-  /// mutex really provides (a producer's work before put() is visible
-  /// to any consumer after the matching get()). Every thread using the
-  /// buffer must be bound to `ctx`.
-  void attach_tracer(race::TraceContext& ctx, std::string channel_name);
+  /// Report puts/gets to a trace context as channel send/recv events,
+  /// mirroring the happens-before edge the buffer's internal mutex
+  /// really provides (a producer's work before put() is visible to any
+  /// consumer after the matching get()). Every thread using the buffer
+  /// must be bound to `ctx`.
+  ///
+  /// Precision is per *slot*, not per buffer: ring slot `s` is the
+  /// channel "name[s]", so a recv is ordered only after the sends that
+  /// went through the same slot — the put that produced this item and
+  /// earlier occupants of its slot, not every put ever. A misused
+  /// buffer (consumer reads an item the producer never published
+  /// through the buffer) is then localized to the exact item instead of
+  /// being hidden behind one conservative whole-buffer clock. close()
+  /// publishes on the dedicated "name[closed]" channel.
+  void attach_tracer(trace::TraceContext& ctx, std::string channel_name);
 
  private:
   const std::size_t capacity_;
@@ -144,8 +163,10 @@ class BoundedBuffer {
   std::condition_variable not_empty_;
   std::atomic<std::uint64_t> producer_blocks_{0};
   std::atomic<std::uint64_t> consumer_blocks_{0};
-  race::TraceContext* tracer_ = nullptr;
+  trace::TraceContext* tracer_ = nullptr;
   std::string channel_name_;
+  std::vector<trace::NameId> slot_channels_;  ///< "name[s]" per ring slot
+  trace::NameId close_channel_ = 0;
 };
 
 }  // namespace cs31::parallel

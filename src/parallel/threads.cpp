@@ -43,12 +43,12 @@ ThreadTeam::ThreadTeam(std::size_t count, const std::function<void(std::size_t)>
   }
 }
 
-ThreadTeam::ThreadTeam(std::size_t count, race::TraceContext& ctx,
+ThreadTeam::ThreadTeam(std::size_t count, trace::TraceContext& ctx,
                        const std::function<void(std::size_t)>& body)
     : tracer_(&ctx) {
   require(count >= 1, "thread team needs at least one thread");
   // Fork edges first (parent's clock flows to each child), then spawn;
-  // each worker binds its OS thread to its detector id before the body.
+  // each worker binds its OS thread to its trace id before the body.
   traced_ids_.reserve(count);
   for (std::size_t t = 0; t < count; ++t) traced_ids_.push_back(ctx.on_thread_create());
   workers_.reserve(count);
@@ -58,6 +58,12 @@ ThreadTeam::ThreadTeam(std::size_t count, race::TraceContext& ctx,
       body(t);
     });
   }
+  // The parent typically blocks in join() from here; parking it lets
+  // the workers' barrier drains dispatch each cycle instead of pooling
+  // behind the idle parent's watermark. A parent that does capture
+  // again (e.g. as a consumer of a traced BoundedBuffer) un-parks on
+  // its first access.
+  ctx.park_self();
 }
 
 ThreadTeam::~ThreadTeam() { join(); }
@@ -68,15 +74,23 @@ void ThreadTeam::join() {
   }
   if (tracer_ != nullptr && !trace_joined_) {
     trace_joined_ = true;  // join edges once, matching the real joins
-    for (const race::ThreadId tid : traced_ids_) tracer_->on_thread_join(tid);
+    // Joins are recorded in worker order by this (single) thread, so
+    // the drained stream is schedule-independent.
+    for (const trace::ThreadId tid : traced_ids_) tracer_->on_thread_join(tid);
   }
 }
 
 void parallel_for(std::size_t n, std::size_t threads,
-                  const std::function<void(Range, std::size_t)>& body) {
+                  const std::function<void(Range, std::size_t)>& body,
+                  trace::TraceContext* ctx) {
   require(threads >= 1, "parallel_for needs at least one thread");
   const std::vector<Range> ranges = block_partition(n, threads);
-  ThreadTeam team(threads, [&](std::size_t t) { body(ranges[t], t); });
+  if (ctx == nullptr) {
+    ThreadTeam team(threads, [&](std::size_t t) { body(ranges[t], t); });
+    team.join();
+    return;
+  }
+  ThreadTeam team(threads, *ctx, [&](std::size_t t) { body(ranges[t], t); });
   team.join();
 }
 

@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "race/shadow.hpp"
+#include "trace/context.hpp"
 
 namespace cs31::parallel {
 
@@ -48,12 +48,14 @@ class ThreadTeam {
   /// Throws cs31::Error when count == 0.
   ThreadTeam(std::size_t count, const std::function<void(std::size_t)>& body);
 
-  /// Traced variant: the spawning thread emits an on_thread_create hook
-  /// per worker (happens-before edge parent -> child), each worker binds
-  /// itself to its detector id before running `body`, and join() emits
-  /// on_thread_join (child -> parent). Everything `body` does through
-  /// `ctx` is then ordered correctly for race detection.
-  ThreadTeam(std::size_t count, race::TraceContext& ctx,
+  /// Traced variant: the spawning thread records a Fork edge per worker
+  /// (happens-before edge parent -> child, and the parent's buffer is
+  /// drained so a drain is always a consistent prefix), each worker
+  /// binds its OS thread to its trace id before running `body`, and
+  /// join() records Join edges (child -> parent) and drains each
+  /// child's buffer. Everything `body` captures through `ctx` is then
+  /// ordered correctly for every attached sink.
+  ThreadTeam(std::size_t count, trace::TraceContext& ctx,
              const std::function<void(std::size_t)>& body);
 
   ~ThreadTeam();
@@ -67,16 +69,27 @@ class ThreadTeam {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// The trace id of worker `t` (traced teams only; empty otherwise) —
+  /// lets a traced body name itself without calling ctx.self().
+  [[nodiscard]] const std::vector<trace::ThreadId>& traced_ids() const {
+    return traced_ids_;
+  }
+
  private:
   std::vector<std::thread> workers_;
-  race::TraceContext* tracer_ = nullptr;
-  std::vector<race::ThreadId> traced_ids_;
+  trace::TraceContext* tracer_ = nullptr;
+  std::vector<trace::ThreadId> traced_ids_;
   bool trace_joined_ = false;
 };
 
 /// Fork-join parallel loop: split [0, n) into `threads` blocks and run
 /// `body(range, thread_id)` on real threads, joining before returning.
+/// Pass a TraceContext to run the same loop traced: fork/join edges are
+/// recorded and whatever `body` captures through the context is
+/// correctly ordered for race detection (`ctx == nullptr` is the plain
+/// untraced loop).
 void parallel_for(std::size_t n, std::size_t threads,
-                  const std::function<void(Range, std::size_t)>& body);
+                  const std::function<void(Range, std::size_t)>& body,
+                  trace::TraceContext* ctx = nullptr);
 
 }  // namespace cs31::parallel

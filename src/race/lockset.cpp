@@ -1,0 +1,270 @@
+#include "race/lockset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::race {
+
+namespace {
+
+/// In-place intersection of two sorted id sets.
+void intersect(std::vector<NameId>& into, const std::vector<NameId>& other) {
+  std::vector<NameId> out;
+  std::set_intersection(into.begin(), into.end(), other.begin(), other.end(),
+                        std::back_inserter(out));
+  into = std::move(out);
+}
+
+}  // namespace
+
+LocksetDetector::LocksetDetector() { held_.emplace_back(); }
+
+void LocksetDetector::check_thread(ThreadId t) const {
+  if (t >= held_.size()) {
+    throw Error("lockset: unknown thread id " + std::to_string(t));
+  }
+}
+
+ThreadId LocksetDetector::register_thread() {
+  std::scoped_lock lock(mutex_);
+  held_.emplace_back();
+  return static_cast<ThreadId>(held_.size() - 1);
+}
+
+ThreadId LocksetDetector::fork(ThreadId parent) {
+  std::scoped_lock lock(mutex_);
+  check_thread(parent);
+  ++events_;
+  held_.emplace_back();
+  return static_cast<ThreadId>(held_.size() - 1);
+}
+
+void LocksetDetector::join(ThreadId parent, ThreadId child) {
+  std::scoped_lock lock(mutex_);
+  check_thread(parent);
+  check_thread(child);
+  ++events_;  // no ordering recorded — lockset is blind to join edges
+}
+
+void LocksetDetector::acquire(ThreadId t, const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  check_thread(t);
+  held_[t].push_back(lock_names_.id(lock));
+  ++events_;
+}
+
+void LocksetDetector::release(ThreadId t, const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  check_thread(t);
+  const NameId id = lock_names_.id(lock);
+  auto& held = held_[t];
+  const auto it = std::find(held.rbegin(), held.rend(), id);
+  require(it != held.rend(),
+          "lockset: thread releases lock '" + lock + "' it does not hold");
+  held.erase(std::next(it).base());
+  ++events_;
+}
+
+void LocksetDetector::barrier(const std::vector<ThreadId>& waiters) {
+  std::scoped_lock lock(mutex_);
+  require(!waiters.empty(), "barrier needs at least one waiter");
+  for (const ThreadId w : waiters) check_thread(w);
+  ++events_;  // deliberately no effect: Eraser cannot see barrier order
+}
+
+void LocksetDetector::channel_send(ThreadId t, const std::string& channel) {
+  std::scoped_lock lock(mutex_);
+  check_thread(t);
+  (void)channel;
+  ++events_;  // deliberately no effect
+}
+
+void LocksetDetector::channel_recv(ThreadId t, const std::string& channel) {
+  std::scoped_lock lock(mutex_);
+  check_thread(t);
+  (void)channel;
+  ++events_;  // deliberately no effect
+}
+
+void LocksetDetector::read(ThreadId t, const std::string& var, const std::string& where) {
+  on_access(t, var, AccessKind::Read, where);
+}
+
+void LocksetDetector::write(ThreadId t, const std::string& var, const std::string& where) {
+  on_access(t, var, AccessKind::Write, where);
+}
+
+LocksetDetector::Access LocksetDetector::make_access(ThreadId t, AccessKind kind,
+                                                     NameId where) {
+  Access a;
+  a.valid = true;
+  a.thread = t;
+  a.kind = kind;
+  a.where = where;
+  a.event = events_;
+  a.locks = held_[t];
+  return a;
+}
+
+void LocksetDetector::on_access(ThreadId t, const std::string& var, AccessKind kind,
+                                const std::string& where) {
+  std::scoped_lock guard(mutex_);
+  check_thread(t);
+  ++events_;
+  const NameId id = var_names_.id(var);
+  if (id >= vars_.size()) vars_.resize(id + 1);
+  VarState& v = vars_[id];
+  const Access access = make_access(t, kind, site_names_.id(where));
+
+  // The older endpoint of a potential report: the most recent access by
+  // a *different* thread.
+  const Access* prev = nullptr;
+  if (v.last.valid && v.last.thread != t) {
+    prev = &v.last;
+  } else if (v.last_other.valid && v.last_other.thread != t) {
+    prev = &v.last_other;
+  }
+
+  switch (v.state) {
+    case State::Virgin:
+      v.state = State::Exclusive;
+      v.owner = t;
+      break;
+    case State::Exclusive:
+      if (t != v.owner) {
+        // Second thread: the candidate lockset starts as the locks held
+        // right now, then only ever shrinks.
+        v.lockset = access.locks;
+        std::sort(v.lockset.begin(), v.lockset.end());
+        v.state = kind == AccessKind::Write ? State::SharedModified : State::Shared;
+      }
+      break;
+    case State::Shared:
+    case State::SharedModified: {
+      std::vector<NameId> now = access.locks;
+      std::sort(now.begin(), now.end());
+      intersect(v.lockset, now);
+      if (kind == AccessKind::Write) v.state = State::SharedModified;
+      break;
+    }
+  }
+
+  if (v.state == State::SharedModified && v.lockset.empty() && prev != nullptr) {
+    ++race_count_;
+    report(id, *prev, access);
+  }
+
+  if (v.last.valid && v.last.thread != t) v.last_other = v.last;
+  v.last = access;
+}
+
+AccessSite LocksetDetector::materialize(const Access& access) const {
+  AccessSite site;
+  site.thread = access.thread;
+  site.kind = access.kind;
+  site.where = site_names_.name(access.where);
+  site.event = access.event;
+  site.locks_held.reserve(access.locks.size());
+  for (const NameId l : access.locks) site.locks_held.push_back(lock_names_.name(l));
+  return site;
+}
+
+void LocksetDetector::report(NameId var, const Access& first, const Access& second) {
+  const std::string& variable = var_names_.name(var);
+  AccessSite first_site = materialize(first);
+  AccessSite second_site = materialize(second);
+  if (!reported_.insert(race_pair_key(variable, first_site, second_site)).second) {
+    return;  // one report per (variable, site pair)
+  }
+  std::ostringstream why;
+  why << "locking discipline violated: the candidate lockset of `" << variable
+      << "` is empty — no single lock protected every shared access (Eraser sees "
+         "no fork/join/barrier/channel order, so consistent locking is the only "
+         "discipline it can credit)";
+  RaceReport r;
+  r.variable = variable;
+  r.explanation = why.str();
+  r.first = std::move(first_site);
+  r.second = std::move(second_site);
+  races_.push_back(std::move(r));
+}
+
+const std::vector<RaceReport>& LocksetDetector::races() const {
+  std::scoped_lock lock(mutex_);
+  return races_;
+}
+
+bool LocksetDetector::race_free() const {
+  std::scoped_lock lock(mutex_);
+  return races_.empty();
+}
+
+std::uint64_t LocksetDetector::race_count() const {
+  std::scoped_lock lock(mutex_);
+  return race_count_;
+}
+
+std::uint64_t LocksetDetector::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t LocksetDetector::threads() const {
+  std::scoped_lock lock(mutex_);
+  return held_.size();
+}
+
+std::size_t LocksetDetector::shadow_bytes() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t bytes = held_.size() * sizeof(std::vector<NameId>);
+  for (const auto& h : held_) bytes += h.capacity() * sizeof(NameId);
+  bytes += vars_.size() * sizeof(VarState);
+  for (const VarState& v : vars_) {
+    bytes += v.lockset.capacity() * sizeof(NameId);
+    bytes += v.last.locks.capacity() * sizeof(NameId);
+    bytes += v.last_other.locks.capacity() * sizeof(NameId);
+  }
+  bytes += var_names_.bytes() + lock_names_.bytes() + site_names_.bytes();
+  return bytes;
+}
+
+std::string LocksetDetector::summary() const {
+  std::scoped_lock lock(mutex_);
+  std::ostringstream out;
+  if (races_.empty()) {
+    out << "lockset: no locking-discipline violations in " << events_ << " events across "
+        << held_.size() << " threads\n";
+    return out.str();
+  }
+  out << "lockset: " << races_.size() << " violation(s) (" << race_count_
+      << " flagged accesses) in " << events_ << " events:\n";
+  for (const RaceReport& r : races_) out << r.to_string() << '\n';
+  return out.str();
+}
+
+std::vector<std::string> LocksetDetector::candidate_lockset(const std::string& var) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  // Read-only probe: an unknown variable has no lockset yet.
+  for (NameId id = 0; id < vars_.size(); ++id) {
+    if (var_names_.name(id) == var) {
+      for (const NameId l : vars_[id].lockset) out.push_back(lock_names_.name(l));
+      return out;
+    }
+  }
+  return out;
+}
+
+bool LocksetDetector::lockset_defined(const std::string& var) const {
+  std::scoped_lock lock(mutex_);
+  for (NameId id = 0; id < vars_.size(); ++id) {
+    if (var_names_.name(id) == var) {
+      return vars_[id].state == State::Shared || vars_[id].state == State::SharedModified;
+    }
+  }
+  return false;
+}
+
+}  // namespace cs31::race

@@ -1,0 +1,112 @@
+// Eraser-style lockset race detection (Savage et al., SOSP 1997) as a
+// second EventSink implementation: instead of tracking happens-before
+// order, it checks the *locking discipline* — every shared variable
+// must be consistently protected by at least one common lock.
+//
+// Per variable the detector keeps a state machine
+//   Virgin -> Exclusive(first thread) -> Shared (second thread reads)
+//                                     -> Shared-Modified (second thread
+//                                        writes, or a write in Shared)
+// and, once out of Exclusive, a candidate lockset C(v) — initialized to
+// the locks held at the first shared access and intersected with the
+// locks held at every later one. An empty C(v) in Shared-Modified is
+// reported as a race.
+//
+// The point of having both detectors on one TraceContext is the
+// *disagreement*: lockset ignores fork/join/barrier/channel ordering
+// entirely, so it flags barrier-synchronized code (the Life grid) that
+// happens-before proves race-free — the classic Eraser false positive —
+// while catching inconsistent locking on every schedule, including ones
+// where HB got lucky. examples/race_detective.cpp walks the contrast.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "race/detector.hpp"
+#include "race/interner.hpp"
+
+namespace cs31::race {
+
+class LocksetDetector final : public EventSink {
+ public:
+  LocksetDetector();
+
+  LocksetDetector(const LocksetDetector&) = delete;
+  LocksetDetector& operator=(const LocksetDetector&) = delete;
+
+  // --- EventSink ---
+  [[nodiscard]] ThreadId register_thread() override;
+  /// fork/join/barrier/channel carry no lockset information — that
+  /// blindness is the algorithm, not an omission. They only maintain
+  /// thread ids and the event count.
+  [[nodiscard]] ThreadId fork(ThreadId parent) override;
+  void join(ThreadId parent, ThreadId child) override;
+  void acquire(ThreadId t, const std::string& lock) override;
+  void release(ThreadId t, const std::string& lock) override;
+  void barrier(const std::vector<ThreadId>& waiters) override;
+  void channel_send(ThreadId t, const std::string& channel) override;
+  void channel_recv(ThreadId t, const std::string& channel) override;
+  void read(ThreadId t, const std::string& var, const std::string& where = "") override;
+  void write(ThreadId t, const std::string& var, const std::string& where = "") override;
+
+  [[nodiscard]] const std::vector<RaceReport>& races() const override;
+  [[nodiscard]] bool race_free() const override;
+  [[nodiscard]] std::uint64_t race_count() const override;
+  [[nodiscard]] std::uint64_t events() const override;
+  [[nodiscard]] std::size_t threads() const override;
+  [[nodiscard]] std::size_t shadow_bytes() const override;
+  [[nodiscard]] std::string summary() const override;
+
+  /// The candidate lockset of `var` right now (lock names, sorted).
+  /// Empty result + `lockset_defined(var)` distinguishes "refined to
+  /// empty" from "still Exclusive/Virgin".
+  [[nodiscard]] std::vector<std::string> candidate_lockset(const std::string& var) const;
+  [[nodiscard]] bool lockset_defined(const std::string& var) const;
+
+ private:
+  enum class State : std::uint8_t { Virgin, Exclusive, Shared, SharedModified };
+
+  /// One recorded access, for the two endpoints of a report.
+  struct Access {
+    bool valid = false;
+    ThreadId thread = 0;
+    AccessKind kind = AccessKind::Read;
+    NameId where = 0;
+    std::uint64_t event = 0;
+    std::vector<NameId> locks;  ///< held at the access, acquisition order
+  };
+
+  struct VarState {
+    State state = State::Virgin;
+    ThreadId owner = 0;            ///< the Exclusive thread
+    std::vector<NameId> lockset;   ///< candidate lockset, sorted; defined
+                                   ///< once state > Exclusive
+    Access last;                   ///< most recent access
+    Access last_other;             ///< most recent access by a thread != last.thread
+  };
+
+  void on_access(ThreadId t, const std::string& var, AccessKind kind,
+                 const std::string& where);
+  void check_thread(ThreadId t) const;
+  [[nodiscard]] Access make_access(ThreadId t, AccessKind kind, NameId where);
+  [[nodiscard]] AccessSite materialize(const Access& access) const;
+  void report(NameId var, const Access& first, const Access& second);
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<NameId>> held_;  // by thread id, acquisition order
+  std::vector<VarState> vars_;             // by variable id
+  Interner var_names_;
+  Interner lock_names_;
+  Interner site_names_;
+  std::vector<RaceReport> races_;
+  std::set<std::string> reported_;  // race_pair_key dedup
+  std::uint64_t race_count_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cs31::race

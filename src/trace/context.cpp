@@ -1,0 +1,517 @@
+#include "trace/context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cs31::trace {
+
+namespace {
+
+/// Thread-local fast path: the calling thread's binding into one
+/// context, validated by (context address, generation) so a context
+/// reallocated at the same address can never hit a stale cache.
+struct TlsBinding {
+  const void* ctx = nullptr;
+  std::uint64_t generation = 0;
+  ThreadId tid = 0;
+  void* buffer = nullptr;
+  /// True when the thread may be parked (park_self, or a rebuilt cache
+  /// that cannot know) — the next capture takes the unpark slow path,
+  /// which is a no-op if the floor turns out not to be parked.
+  bool parked = false;
+};
+
+thread_local TlsBinding tls_binding;
+
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(Options options) : generation_(next_generation()) {
+  if (options.own_detector) {
+    owned_detector_ = std::make_unique<race::Detector>();
+    detector_ = owned_detector_.get();
+    attach_sink(*detector_);
+  }
+  // Site id 0 is the empty label, so `site = 0` means "no label" on
+  // every path without a special case.
+  (void)site_names_.id("");
+  // The constructing thread is context thread 0.
+  auto main = std::make_unique<ThreadBuffer>();
+  {
+    std::scoped_lock lock(registry_mutex_);
+    bindings_[std::this_thread::get_id()] = 0;
+    buffers_.push_back(std::move(main));
+  }
+  tls_binding = TlsBinding{this, generation_, 0, buffers_.front().get()};
+}
+
+TraceContext::~TraceContext() {
+  if (tls_binding.ctx == this) tls_binding = TlsBinding{};
+}
+
+void TraceContext::attach_sink(race::EventSink& sink) {
+  std::scoped_lock lock(stream_mutex_);
+  SinkBinding binding;
+  binding.sink = &sink;
+  binding.fast = dynamic_cast<race::Detector*>(&sink);
+  binding.tid_map.push_back(0);  // context thread 0 is sink thread 0
+  sinks_.push_back(std::move(binding));
+}
+
+race::Detector& TraceContext::detector() {
+  require(detector_ != nullptr, "trace context was built without its own detector");
+  return *detector_;
+}
+
+const race::Detector& TraceContext::detector() const {
+  require(detector_ != nullptr, "trace context was built without its own detector");
+  return *detector_;
+}
+
+NameId TraceContext::intern_var(std::string_view name) {
+  std::scoped_lock lock(intern_mutex_);
+  return var_names_.id(name);
+}
+
+NameId TraceContext::intern_lock(std::string_view name) {
+  std::scoped_lock lock(intern_mutex_);
+  return lock_names_.id(name);
+}
+
+NameId TraceContext::intern_channel(std::string_view name) {
+  std::scoped_lock lock(intern_mutex_);
+  return channel_names_.id(name);
+}
+
+NameId TraceContext::intern_site(std::string_view label) {
+  std::scoped_lock lock(intern_mutex_);
+  return site_names_.id(label);
+}
+
+ThreadId TraceContext::self() const {
+  if (tls_binding.ctx == this && tls_binding.generation == generation_) {
+    return tls_binding.tid;
+  }
+  std::scoped_lock lock(registry_mutex_);
+  const auto it = bindings_.find(std::this_thread::get_id());
+  require(it != bindings_.end(),
+          "calling thread is not bound to the trace context (spawn it through the "
+          "on_thread_create/bind_self hooks or a traced ThreadTeam)");
+  return it->second;
+}
+
+TraceContext::ThreadBuffer& TraceContext::buffer_of_self() {
+  if (tls_binding.ctx == this && tls_binding.generation == generation_) {
+    return *static_cast<ThreadBuffer*>(tls_binding.buffer);
+  }
+  const ThreadId tid = self();  // throws when unbound
+  ThreadBuffer& buf = buffer_of(tid);
+  // A rebuilt cache cannot know whether the thread parked itself, so
+  // the first capture re-checks (and clears the flag either way).
+  tls_binding = TlsBinding{this, generation_, tid, &buf, /*parked=*/true};
+  return buf;
+}
+
+TraceContext::ThreadBuffer& TraceContext::buffer_of(ThreadId t) {
+  std::scoped_lock lock(registry_mutex_);
+  if (t >= buffers_.size()) {
+    throw Error("unknown trace thread id " + std::to_string(t));
+  }
+  return *buffers_[t];
+}
+
+void TraceContext::bind_self(ThreadId tid) {
+  ThreadBuffer* buf = nullptr;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    require(tid < buffers_.size(), "bind_self: thread id was never forked");
+    bindings_[std::this_thread::get_id()] = tid;
+    buf = buffers_[tid].get();
+  }
+  tls_binding = TlsBinding{this, generation_, tid, buf};
+}
+
+ThreadId TraceContext::fork_locked(ThreadId parent) {
+  // Caller holds stream_mutex_.
+  const std::uint64_t stamp = ++next_stamp_;
+  ThreadId child = 0;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    require(parent < buffers_.size(), "fork from unknown thread id");
+    child = static_cast<ThreadId>(buffers_.size());
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->epoch = stamp;  // the child's first epoch is the fork's
+    buf->floor = stamp;  // and it cannot capture anything older
+    buffers_.push_back(std::move(buf));
+    buffers_[parent]->epoch = stamp;  // the parent's next epoch too
+  }
+  sync_stream_.push_back(Event{EventKind::Fork, parent, child, 0, stamp, 0});
+  return child;
+}
+
+ThreadId TraceContext::fork_thread(ThreadId parent) {
+  std::scoped_lock lock(stream_mutex_);
+  const ThreadId child = fork_locked(parent);
+  // Drain the parent's buffer so pre-fork accesses are dispatched
+  // before any partial (barrier) drain of the children — keeps every
+  // drain a consistent prefix of the execution.
+  drain_locked({parent}, /*all=*/false);
+  return child;
+}
+
+ThreadId TraceContext::on_thread_create() { return fork_thread(self()); }
+
+void TraceContext::join_thread(ThreadId parent, ThreadId child) {
+  std::scoped_lock lock(stream_mutex_);
+  (void)buffer_of(child);  // validate ids before recording
+  (void)buffer_of(parent);
+  const std::uint64_t stamp = ++next_stamp_;
+  buffer_of(parent).epoch = stamp;
+  sync_stream_.push_back(Event{EventKind::Join, parent, child, 0, stamp, 0});
+  // The child is finished: its buffer (and the stream, so the Join edge
+  // itself lands) drains now, and the child parks permanently — it will
+  // never capture again, so it must not hold back later drains.
+  drain_locked({child, parent}, /*all=*/false);
+  buffer_of(child).floor = kParkedFloor;
+}
+
+void TraceContext::on_thread_join(ThreadId child) { join_thread(self(), child); }
+
+void TraceContext::append_access(ThreadBuffer& buf, ThreadId t, EventKind kind, NameId id,
+                                 NameId site) {
+  buf.events.push_back(Event{kind, t, id, site, buf.epoch, buf.seq++});
+  ++buf.captured;
+}
+
+std::uint64_t TraceContext::record_sync(ThreadId t, EventKind kind, NameId id,
+                                        NameId site) {
+  std::scoped_lock lock(stream_mutex_);
+  const std::uint64_t stamp = ++next_stamp_;
+  sync_stream_.push_back(Event{kind, t, id, site, stamp, 0});
+  buffer_of(t).epoch = stamp;
+  return stamp;
+}
+
+// --- bound-thread capture ----------------------------------------------
+
+void TraceContext::read(NameId var, NameId site) {
+  ThreadBuffer& buf = buffer_of_self();
+  if (tls_binding.parked) unpark(buf);
+  append_access(buf, tls_binding.tid, EventKind::Read, var, site);
+}
+
+void TraceContext::write(NameId var, NameId site) {
+  ThreadBuffer& buf = buffer_of_self();
+  if (tls_binding.parked) unpark(buf);
+  append_access(buf, tls_binding.tid, EventKind::Write, var, site);
+}
+
+void TraceContext::unpark(ThreadBuffer& buf) {
+  std::scoped_lock lock(stream_mutex_);
+  // The buffer is empty while parked, so re-opening the floor at the
+  // current epoch covers everything this thread can capture from here.
+  if (buf.floor == kParkedFloor) buf.floor = buf.epoch;
+  tls_binding.parked = false;
+}
+
+void TraceContext::park_self() {
+  const ThreadId tid = self();
+  std::scoped_lock lock(stream_mutex_);
+  drain_locked({tid}, /*all=*/false);  // empty the buffer before going dormant
+  buffer_of(tid).floor = kParkedFloor;
+  if (tls_binding.ctx == this && tls_binding.generation == generation_) {
+    tls_binding.parked = true;
+  }
+}
+
+void TraceContext::acquire(NameId lock) { (void)record_sync(self(), EventKind::Acquire, lock); }
+
+void TraceContext::release(NameId lock) { (void)record_sync(self(), EventKind::Release, lock); }
+
+void TraceContext::send(NameId channel) {
+  (void)record_sync(self(), EventKind::ChannelSend, channel);
+}
+
+void TraceContext::recv(NameId channel) {
+  (void)record_sync(self(), EventKind::ChannelRecv, channel);
+}
+
+void TraceContext::read(const std::string& var, const std::string& where) {
+  read(intern_var(var), intern_site(where));
+}
+
+void TraceContext::write(const std::string& var, const std::string& where) {
+  write(intern_var(var), intern_site(where));
+}
+
+void TraceContext::acquire(const std::string& lock) { acquire(intern_lock(lock)); }
+
+void TraceContext::release(const std::string& lock) { release(intern_lock(lock)); }
+
+void TraceContext::send(const std::string& channel) { send(intern_channel(channel)); }
+
+void TraceContext::recv(const std::string& channel) { recv(intern_channel(channel)); }
+
+// --- scripted capture ---------------------------------------------------
+
+void TraceContext::read_as(ThreadId t, NameId var, NameId site) {
+  append_access(buffer_of(t), t, EventKind::Read, var, site);
+}
+
+void TraceContext::write_as(ThreadId t, NameId var, NameId site) {
+  append_access(buffer_of(t), t, EventKind::Write, var, site);
+}
+
+void TraceContext::acquire_as(ThreadId t, NameId lock) {
+  (void)record_sync(t, EventKind::Acquire, lock);
+}
+
+void TraceContext::release_as(ThreadId t, NameId lock) {
+  (void)record_sync(t, EventKind::Release, lock);
+}
+
+void TraceContext::send_as(ThreadId t, NameId channel) {
+  (void)record_sync(t, EventKind::ChannelSend, channel);
+}
+
+void TraceContext::recv_as(ThreadId t, NameId channel) {
+  (void)record_sync(t, EventKind::ChannelRecv, channel);
+}
+
+// --- barrier / drain -----------------------------------------------------
+
+void TraceContext::barrier_cycle(std::vector<ThreadId> waiters, bool report) {
+  require(!waiters.empty(), "barrier cycle needs at least one waiter");
+  // A fixed waiter order keeps the recorded stream — and therefore the
+  // certificate — independent of arrival order.
+  std::sort(waiters.begin(), waiters.end());
+  std::scoped_lock lock(stream_mutex_);
+  if (report) {
+    const std::uint64_t stamp = ++next_stamp_;
+    const auto set_index = static_cast<NameId>(waiter_sets_.size());
+    for (const ThreadId w : waiters) buffer_of(w).epoch = stamp;
+    sync_stream_.push_back(
+        Event{EventKind::BarrierCycle, waiters.front(), set_index, 0, stamp, 0});
+    waiter_sets_.push_back(waiters);
+  }
+  drain_locked(waiters, /*all=*/false);
+}
+
+void TraceContext::flush() {
+  std::scoped_lock lock(stream_mutex_);
+  drain_locked({}, /*all=*/true);
+}
+
+void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
+  // Caller holds stream_mutex_; every covered buffer's owner is
+  // quiescent (see the header's contract), so reading and clearing
+  // their vectors is safe. Buffers outside the drain are only consulted
+  // for their floor (stream_mutex_-guarded) — never their events.
+  std::vector<Event> merged;
+  merged.swap(pending_);
+  merged.insert(merged.end(), sync_stream_.begin(), sync_stream_.end());
+  sync_stream_.clear();
+
+  // The dispatch horizon: an undrained buffer may still hold — or, if
+  // its thread is running, still capture — events down to its floor, so
+  // nothing at or past the lowest such floor may be dispatched yet
+  // (except the floor stamp's own sync event, which drain_order places
+  // before every access that executed in it). Held-back events wait in
+  // pending_, already sorted; the dispatched sequence is therefore a
+  // prefix of the one globally ordered stream regardless of how the
+  // drains were batched.
+  std::uint64_t horizon = kParkedFloor;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    for (const ThreadId t : subset) {
+      if (t >= buffers_.size()) {
+        throw Error("drain of unknown trace thread id " + std::to_string(t));
+      }
+    }
+    std::vector<char> covered(buffers_.size(), all ? 1 : 0);
+    for (const ThreadId t : subset) covered[t] = 1;
+    for (ThreadId t = 0; t < buffers_.size(); ++t) {
+      ThreadBuffer& buf = *buffers_[t];
+      if (covered[t]) {
+        buf.high_water = std::max<std::uint64_t>(buf.high_water, buf.events.size());
+        merged.insert(merged.end(), buf.events.begin(), buf.events.end());
+        buf.events.clear();
+        if (buf.floor != kParkedFloor) buf.floor = buf.epoch;
+      } else {
+        horizon = std::min(horizon, buf.floor);
+      }
+    }
+  }
+  if (merged.empty()) return;
+  std::sort(merged.begin(), merged.end(), [](const Event& a, const Event& b) {
+    return drain_order(a, b);
+  });
+  std::size_t safe = 0;
+  while (safe < merged.size() &&
+         (merged[safe].stamp < horizon ||
+          (merged[safe].stamp == horizon && is_sync(merged[safe].kind)))) {
+    ++safe;
+  }
+  if (safe == 0) {
+    pending_ = std::move(merged);
+    return;
+  }
+  ++drains_;
+  for (std::size_t i = 0; i < safe; ++i) dispatch(merged[i]);
+  pending_.assign(merged.begin() + safe, merged.end());
+}
+
+void TraceContext::dispatch(const Event& event) {
+  for (SinkBinding& binding : sinks_) dispatch_to(binding, event);
+}
+
+namespace {
+
+/// Sink-side id for a context id, translating through `map` and
+/// interning into the sink on first sight.
+template <typename Intern>
+NameId translate(std::vector<NameId>& map, NameId id, Intern&& intern) {
+  constexpr NameId kUnset = static_cast<NameId>(-1);
+  if (id >= map.size()) map.resize(id + 1, kUnset);
+  if (map[id] == kUnset) map[id] = intern();
+  return map[id];
+}
+
+}  // namespace
+
+void TraceContext::dispatch_to(SinkBinding& binding, const Event& event) {
+  race::EventSink& sink = *binding.sink;
+  race::Detector* fast = binding.fast;
+  const ThreadId t = binding.tid_map[event.thread];
+
+  const auto name_of = [this](const race::Interner& names, NameId id) {
+    std::scoped_lock lock(intern_mutex_);
+    return names.name(id);  // returns a reference; copy before unlock
+  };
+
+  switch (event.kind) {
+    case EventKind::Read:
+    case EventKind::Write: {
+      if (fast != nullptr) {
+        const NameId var = translate(binding.var_map, event.id, [&] {
+          return fast->intern_var(name_of(var_names_, event.id));
+        });
+        const NameId site = translate(binding.site_map, event.site, [&] {
+          return fast->intern_site(name_of(site_names_, event.site));
+        });
+        if (event.kind == EventKind::Read) {
+          fast->read(t, var, site);
+        } else {
+          fast->write(t, var, site);
+        }
+      } else {
+        const std::string var = name_of(var_names_, event.id);
+        const std::string site = name_of(site_names_, event.site);
+        if (event.kind == EventKind::Read) {
+          sink.read(t, var, site);
+        } else {
+          sink.write(t, var, site);
+        }
+      }
+      return;
+    }
+    case EventKind::Acquire:
+    case EventKind::Release: {
+      if (fast != nullptr) {
+        const NameId lock = translate(binding.lock_map, event.id, [&] {
+          return fast->intern_lock(name_of(lock_names_, event.id));
+        });
+        if (event.kind == EventKind::Acquire) {
+          fast->acquire(t, lock);
+        } else {
+          fast->release(t, lock);
+        }
+      } else {
+        const std::string lock = name_of(lock_names_, event.id);
+        if (event.kind == EventKind::Acquire) {
+          sink.acquire(t, lock);
+        } else {
+          sink.release(t, lock);
+        }
+      }
+      return;
+    }
+    case EventKind::ChannelSend:
+    case EventKind::ChannelRecv: {
+      if (fast != nullptr) {
+        const NameId channel = translate(binding.channel_map, event.id, [&] {
+          return fast->intern_channel(name_of(channel_names_, event.id));
+        });
+        if (event.kind == EventKind::ChannelSend) {
+          fast->channel_send(t, channel);
+        } else {
+          fast->channel_recv(t, channel);
+        }
+      } else {
+        const std::string channel = name_of(channel_names_, event.id);
+        if (event.kind == EventKind::ChannelSend) {
+          sink.channel_send(t, channel);
+        } else {
+          sink.channel_recv(t, channel);
+        }
+      }
+      return;
+    }
+    case EventKind::Fork: {
+      const ThreadId child = sink.fork(t);
+      if (event.id >= binding.tid_map.size()) binding.tid_map.resize(event.id + 1, 0);
+      binding.tid_map[event.id] = child;
+      return;
+    }
+    case EventKind::Join:
+      sink.join(t, binding.tid_map[event.id]);
+      return;
+    case EventKind::BarrierCycle: {
+      const std::vector<ThreadId>& waiters = waiter_sets_[event.id];
+      std::vector<ThreadId> mapped;
+      mapped.reserve(waiters.size());
+      for (const ThreadId w : waiters) mapped.push_back(binding.tid_map[w]);
+      sink.barrier(mapped);
+      return;
+    }
+  }
+}
+
+std::vector<BufferStats> TraceContext::buffer_stats() const {
+  std::scoped_lock lock(registry_mutex_);
+  std::vector<BufferStats> stats;
+  stats.reserve(buffers_.size());
+  for (ThreadId t = 0; t < buffers_.size(); ++t) {
+    const ThreadBuffer& buf = *buffers_[t];
+    stats.push_back(BufferStats{
+        t, buf.captured,
+        std::max<std::uint64_t>(buf.high_water, buf.events.size())});
+  }
+  return stats;
+}
+
+std::uint64_t TraceContext::drains() const {
+  std::scoped_lock lock(stream_mutex_);
+  return drains_;
+}
+
+std::uint64_t TraceContext::events_captured() const {
+  std::uint64_t total = 0;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    for (const auto& buf : buffers_) total += buf->captured;
+  }
+  std::scoped_lock lock(stream_mutex_);
+  // Sync events live in the stream, not the per-thread buffers; count
+  // what has been stamped so far.
+  return total + next_stamp_;
+}
+
+}  // namespace cs31::trace

@@ -1,0 +1,249 @@
+// The parallel runtime's single instrumentation seam. A TraceContext is
+// three layers glued together:
+//
+//   capture   — per-thread append-only event buffers (event.hpp): a
+//               bound thread records an access as one vector push_back
+//               of a 32-byte POD, no locks, no strings, no detector
+//               work. Synchronization events (fork/join/acquire/
+//               release/channel/barrier) are rare and go through one
+//               mutex-serialized stream whose monotonically increasing
+//               stamps mirror the *real* order the runtime objects
+//               imposed (each stamp is taken while the corresponding
+//               mutex/barrier/buffer lock is held).
+//   drain     — at a barrier cycle, a join, or an explicit flush(), the
+//               quiescent threads' buffers and the sync stream merge
+//               into one deterministically ordered stream (Event::
+//               drain_order: stamp, sync-first, thread id, program
+//               order), which bounds buffer memory and makes repeated
+//               race-free runs produce byte-identical certificates.
+//   sinks     — every attached race::EventSink consumes the identical
+//               drained stream: the built-in FastTrack race::Detector
+//               (fed through its interned-id fast path), the
+//               ReferenceDetector, the Eraser-style LocksetDetector,
+//               a MetricsSink, anything else honouring the interface.
+//
+// The same context serves two execution styles with one code path:
+// real threads bind themselves (bind_self / a traced ThreadTeam) and
+// use the calling-thread API, while deterministic replays emit events
+// for scripted thread ids from a single OS thread (the *_as API) —
+// life::traced_life_check and ParallelLife::run(traced) differ only in
+// who pushes the events.
+//
+// Quiescence contract (checked by usage, not locks): a drain may only
+// cover buffers whose owning threads are blocked or finished — barrier
+// drains run while every waiter sits in the barrier (the caller holds
+// the barrier mutex), join drains run after pthread_join, flush() runs
+// when the caller knows all bound threads are done. Threads outside a
+// partial drain must be idle between their last drain and the next one
+// (the fork/join-structured teams in this kit satisfy that: the parent
+// drains its own buffer when it forks, then blocks in join()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "race/detector.hpp"
+#include "trace/event.hpp"
+
+namespace cs31::trace {
+
+/// Capture-side statistics for one thread's buffer — the numbers
+/// bench_race_overhead reports as per-thread high-water marks.
+struct BufferStats {
+  ThreadId thread = 0;
+  std::uint64_t captured = 0;    ///< lifetime events recorded
+  std::uint64_t high_water = 0;  ///< max buffered events seen at a drain
+};
+
+class TraceContext {
+ public:
+  struct Options {
+    /// Construct and attach the built-in FastTrack race::Detector. Turn
+    /// off to drive only externally attached sinks (e.g. timing the
+    /// ReferenceDetector alone).
+    bool own_detector = true;
+  };
+
+  TraceContext() : TraceContext(Options{}) {}
+  explicit TraceContext(Options options);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  // --- sinks -----------------------------------------------------------
+
+  /// Attach an additional sink. Every sink sees the identical drained
+  /// stream. Attach before the first event; the sink must outlive the
+  /// context's last drain.
+  void attach_sink(race::EventSink& sink);
+
+  /// The built-in detector. Throws cs31::Error when constructed with
+  /// own_detector = false. Read verdicts only after flush().
+  [[nodiscard]] race::Detector& detector();
+  [[nodiscard]] const race::Detector& detector() const;
+  [[nodiscard]] bool has_detector() const { return detector_ != nullptr; }
+
+  // --- interning -------------------------------------------------------
+  // Ids are context-owned; the drain translates them per sink. Safe
+  // from any thread, any time.
+  [[nodiscard]] NameId intern_var(std::string_view name);
+  [[nodiscard]] NameId intern_lock(std::string_view name);
+  [[nodiscard]] NameId intern_channel(std::string_view name);
+  [[nodiscard]] NameId intern_site(std::string_view label);
+
+  // --- thread lifecycle ------------------------------------------------
+
+  /// The context id bound to the calling OS thread. Throws cs31::Error
+  /// when the thread was never bound.
+  [[nodiscard]] ThreadId self() const;
+
+  /// Fork hook, bound-thread form: called by the *parent* before
+  /// spawning. Records the Fork edge, drains the parent's buffer, and
+  /// returns the child's id for bind_self.
+  [[nodiscard]] ThreadId on_thread_create();
+
+  /// Bind the calling OS thread to `tid` — the first statement a
+  /// spawned thread runs.
+  void bind_self(ThreadId tid);
+
+  /// Join hook, bound-thread form: called by the parent after joining
+  /// `child`. Records the Join edge and drains the child's buffer.
+  void on_thread_join(ThreadId child);
+
+  /// Scripted forms of the same edges, for replay-style emission where
+  /// one OS thread plays every role (no binding involved).
+  [[nodiscard]] ThreadId fork_thread(ThreadId parent);
+  void join_thread(ThreadId parent, ThreadId child);
+
+  // --- capture: bound-thread API --------------------------------------
+  void read(NameId var, NameId site = 0);
+  void write(NameId var, NameId site = 0);
+  void acquire(NameId lock);
+  void release(NameId lock);
+  void send(NameId channel);
+  void recv(NameId channel);
+
+  /// String conveniences (intern per call — casual use only).
+  void read(const std::string& var, const std::string& where = "");
+  void write(const std::string& var, const std::string& where = "");
+  void acquire(const std::string& lock);
+  void release(const std::string& lock);
+  void send(const std::string& channel);
+  void recv(const std::string& channel);
+
+  // --- capture: scripted (explicit-tid) API ---------------------------
+  // The caller guarantees thread `t` is not concurrently bound and
+  // running (single-threaded replay, or emission on behalf of a thread
+  // the caller controls).
+  void read_as(ThreadId t, NameId var, NameId site = 0);
+  void write_as(ThreadId t, NameId var, NameId site = 0);
+  void acquire_as(ThreadId t, NameId lock);
+  void release_as(ThreadId t, NameId lock);
+  void send_as(ThreadId t, NameId channel);
+  void recv_as(ThreadId t, NameId channel);
+
+  // --- barrier / drain -------------------------------------------------
+
+  /// A completed barrier cycle over `waiters`: records the cycle edge
+  /// (unless `report` is false — the "forgotten barrier" model: the
+  /// real barrier still ran, the detector is not told), advances every
+  /// waiter's epoch, and drains the waiters' buffers plus the sync
+  /// stream. All waiters must be blocked in the barrier (or scripted).
+  /// Throws cs31::Error on an empty waiter set.
+  void barrier_cycle(std::vector<ThreadId> waiters, bool report = true);
+
+  /// Drain every buffer and the sync stream. All bound threads must be
+  /// quiescent. Call before reading any sink's verdict.
+  void flush();
+
+  /// Declare the calling thread dormant: drain its buffer and stop it
+  /// constraining the dispatch horizon (see drain_locked) until its
+  /// next capture, which un-parks it automatically. A traced ThreadTeam
+  /// parks the parent after spawning — the parent then sits in join()
+  /// while the workers' barrier drains dispatch every cycle instead of
+  /// pooling behind the idle parent's watermark. Bound threads only;
+  /// do not mix with scripted (_as) emission for the same id.
+  void park_self();
+
+  // --- metrics ---------------------------------------------------------
+  [[nodiscard]] std::vector<BufferStats> buffer_stats() const;
+  [[nodiscard]] std::uint64_t drains() const;
+  [[nodiscard]] std::uint64_t events_captured() const;
+
+ private:
+  /// A parked thread's floor: it promises no further captures until it
+  /// un-parks, so it never holds back a drain.
+  static constexpr std::uint64_t kParkedFloor = ~std::uint64_t{0};
+
+  struct ThreadBuffer {
+    std::vector<Event> events;
+    std::uint64_t seq = 0;         ///< next per-thread sequence number
+    std::uint64_t epoch = 0;       ///< last observed sync stamp
+    /// Smallest stamp this thread could still capture or hold
+    /// undrained (guarded by stream_mutex_): its epoch as of its last
+    /// drain, kParkedFloor when parked or joined. A drain may dispatch
+    /// only events below every *undrained* buffer's floor — later
+    /// events wait in pending_ so dispatch order always equals the
+    /// global drain_order, whatever the drain batching was.
+    std::uint64_t floor = 0;
+    std::uint64_t captured = 0;    ///< lifetime events
+    std::uint64_t high_water = 0;  ///< max events.size() at a drain
+  };
+
+  /// Per-sink dispatch state: id translations are built lazily from the
+  /// context's interners, `fast` short-circuits to the detector's
+  /// interned-id path when the sink is a race::Detector.
+  struct SinkBinding {
+    race::EventSink* sink = nullptr;
+    race::Detector* fast = nullptr;
+    std::vector<ThreadId> tid_map;  ///< context tid -> sink tid
+    std::vector<NameId> var_map, lock_map, channel_map, site_map;
+  };
+
+  [[nodiscard]] ThreadBuffer& buffer_of_self();
+  [[nodiscard]] ThreadBuffer& buffer_of(ThreadId t);
+  void append_access(ThreadBuffer& buf, ThreadId t, EventKind kind, NameId id,
+                     NameId site);
+  /// Slow path of the first capture after park_self().
+  void unpark(ThreadBuffer& buf);
+  /// Record a sync event: assigns the next stamp under stream_mutex_,
+  /// appends to the stream, and advances `t`'s epoch. Returns the stamp.
+  std::uint64_t record_sync(ThreadId t, EventKind kind, NameId id, NameId site = 0);
+  ThreadId fork_locked(ThreadId parent);
+
+  /// Merge + sort + dispatch the given buffers and the sync stream.
+  /// `all` drains every buffer (flush/join); otherwise only `subset`.
+  void drain_locked(const std::vector<ThreadId>& subset, bool all);
+  void dispatch(const Event& event);
+  void dispatch_to(SinkBinding& binding, const Event& event);
+
+  const std::uint64_t generation_;  ///< thread-local cache validation
+  std::unique_ptr<race::Detector> owned_detector_;
+  race::Detector* detector_ = nullptr;  ///< == owned_detector_ when owned
+
+  /// Serializes sync-event capture and drains (stamps are assigned
+  /// under it, so stream order == stamp order == real sync order).
+  mutable std::mutex stream_mutex_;
+  std::vector<Event> sync_stream_;
+  std::vector<Event> pending_;  ///< sorted, beyond a past drain's horizon
+  std::uint64_t next_stamp_ = 0;
+  std::vector<std::vector<ThreadId>> waiter_sets_;  ///< BarrierCycle payloads
+  std::vector<SinkBinding> sinks_;
+  std::uint64_t drains_ = 0;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::thread::id, ThreadId> bindings_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  ///< by context tid
+
+  mutable std::mutex intern_mutex_;
+  race::Interner var_names_, lock_names_, channel_names_, site_names_;
+};
+
+}  // namespace cs31::trace

@@ -1,0 +1,69 @@
+// The capture layer's wire format: one POD event per runtime action,
+// everything interned to dense uint32 ids so a real thread can record
+// an access with a single vector push_back — no strings, no locks, no
+// detector work on the instrumented thread's hot path. Detection cost
+// moves to the drain points (barrier cycles, joins, explicit flush),
+// where the buffers are merged into one deterministic stream and fed to
+// every attached sink (see context.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "race/interner.hpp"
+#include "race/vector_clock.hpp"
+
+namespace cs31::trace {
+
+using race::NameId;
+using race::ThreadId;
+
+/// What happened. Read/Write/Acquire/Release/Send/Recv mirror the
+/// race::EventSink vocabulary; Fork/Join/BarrierCycle are the
+/// structural edges the runtime primitives emit.
+enum class EventKind : std::uint8_t {
+  Read,
+  Write,
+  Acquire,
+  Release,
+  ChannelSend,
+  ChannelRecv,
+  Fork,          ///< id = child thread; recorded by the parent
+  Join,          ///< id = child thread; recorded by the parent
+  BarrierCycle,  ///< id = index into the context's waiter-set table
+};
+
+[[nodiscard]] constexpr bool is_sync(EventKind kind) {
+  return kind >= EventKind::Acquire;
+}
+
+/// One captured event. `stamp` orders the merged stream: a sync event
+/// owns a fresh globally-unique stamp (taken while the corresponding
+/// runtime object is held, so stamps respect the real synchronization
+/// order); an access event carries the stamp of its thread's last
+/// observed sync event, i.e. the epoch it executed in. Within an
+/// epoch a thread's events keep program order via `seq`.
+struct Event {
+  EventKind kind = EventKind::Read;
+  ThreadId thread = 0;
+  NameId id = 0;    ///< variable / lock / channel; Fork/Join: child tid
+  NameId site = 0;  ///< access-site label (0 = the empty label)
+  std::uint64_t stamp = 0;
+  std::uint64_t seq = 0;  ///< per-thread sequence number
+};
+
+/// Deterministic merge order of the drained stream:
+///   1. stamp (the epoch an event executed in);
+///   2. the sync event that *created* a stamp precedes the accesses
+///      executing in it (there is exactly one such sync event);
+///   3. thread id (concurrent threads in one epoch are serialized
+///      low-to-high — any fixed choice yields the same verdicts, a
+///      fixed one also yields byte-identical certificates);
+///   4. per-thread sequence (program order).
+[[nodiscard]] constexpr bool drain_order(const Event& a, const Event& b) {
+  if (a.stamp != b.stamp) return a.stamp < b.stamp;
+  if (is_sync(a.kind) != is_sync(b.kind)) return is_sync(a.kind);
+  if (a.thread != b.thread) return a.thread < b.thread;
+  return a.seq < b.seq;
+}
+
+}  // namespace cs31::trace

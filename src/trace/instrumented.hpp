@@ -1,0 +1,133 @@
+// Traced drop-ins for the two primitives student code touches
+// directly: TracedMutex for std::mutex and TracedVar<T> for a shared
+// variable. Both intern their names once at construction and fire
+// per-access events by id — no string hashing on the hot path.
+//
+// TracedVar guards its value with an internal mutex that is *not*
+// reported to the trace, so a deliberately "racy" demo is observable
+// (logical race reported) without committing real undefined behaviour —
+// the same trick ThreadSanitizer's shadow memory plays.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "trace/context.hpp"
+
+namespace cs31::trace {
+
+/// std::mutex drop-in that reports acquire/release to the trace — the
+/// happens-before edges a lock actually provides. Works with
+/// std::scoped_lock / std::unique_lock via lock()/unlock()/try_lock().
+class TracedMutex {
+ public:
+  TracedMutex(std::string name, TraceContext& ctx)
+      : name_(std::move(name)), ctx_(ctx), id_(ctx.intern_lock(name_)) {}
+
+  TracedMutex(const TracedMutex&) = delete;
+  TracedMutex& operator=(const TracedMutex&) = delete;
+
+  void lock() {
+    mutex_.lock();
+    // Recorded while the mutex is held, so the acquire's stamp order
+    // is the real lock order.
+    ctx_.acquire(id_);
+  }
+  void unlock() {
+    ctx_.release(id_);
+    mutex_.unlock();
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    ctx_.acquire(id_);
+    return true;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceContext& ctx_;
+  NameId id_;
+  std::mutex mutex_;
+};
+
+/// A shared variable whose every load/store is captured. The
+/// unsynchronized counter demo is
+///   const auto v = counter.load("read counter");
+///   counter.store(v + 1, "write counter");
+/// — a logical read-modify-write race the detector flags
+/// deterministically, whatever the scheduler did.
+template <typename T>
+class TracedVar {
+ public:
+  TracedVar(std::string name, TraceContext& ctx, T initial = T{})
+      : name_(std::move(name)),
+        ctx_(ctx),
+        value_(std::move(initial)),
+        var_(ctx.intern_var(name_)),
+        atomic_lock_(ctx.intern_lock("<atomic:" + name_ + ">")),
+        load_site_(ctx.intern_site("load " + name_)),
+        store_site_(ctx.intern_site("store " + name_)),
+        rmw_site_(ctx.intern_site("fetch_add " + name_)) {}
+
+  TracedVar(const TracedVar&) = delete;
+  TracedVar& operator=(const TracedVar&) = delete;
+
+  [[nodiscard]] T load(const std::string& where = "") {
+    if (where.empty()) {
+      ctx_.read(var_, load_site_);  // interned fast path
+    } else {
+      ctx_.read(var_, ctx_.intern_site(where));
+    }
+    std::scoped_lock lock(guard_);
+    return value_;
+  }
+
+  void store(T v, const std::string& where = "") {
+    if (where.empty()) {
+      ctx_.write(var_, store_site_);  // interned fast path
+    } else {
+      ctx_.write(var_, ctx_.intern_site(where));
+    }
+    std::scoped_lock lock(guard_);
+    value_ = std::move(v);
+  }
+
+  /// Atomic fetch-add analogue: one indivisible read-modify-write that
+  /// creates the same happens-before edges a std::atomic RMW would.
+  /// The guard must be held across the *captured events* too: the
+  /// acquire's stamp is taken inside the guarded section, so two RMWs'
+  /// acquire/read/write/release sequences can never interleave in the
+  /// drained stream — without that, a second thread's acquire stamp
+  /// could land before the first one's release and the detector would
+  /// see (and correctly report!) an unordered conflict that the real
+  /// operation never allows.
+  T fetch_add(T delta, const std::string& where = "") {
+    std::scoped_lock lock(guard_);
+    ctx_.acquire(atomic_lock_);
+    const NameId site = where.empty() ? rmw_site_ : ctx_.intern_site(where);
+    ctx_.read(var_, site);
+    ctx_.write(var_, site);
+    ctx_.release(atomic_lock_);
+    const T old = value_;
+    value_ = value_ + delta;
+    return old;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceContext& ctx_;
+  T value_;
+  NameId var_;
+  NameId atomic_lock_;
+  NameId load_site_;
+  NameId store_site_;
+  NameId rmw_site_;
+  std::mutex guard_;  // protects the value only; invisible to the trace
+};
+
+}  // namespace cs31::trace

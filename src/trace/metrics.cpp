@@ -1,0 +1,158 @@
+#include "trace/metrics.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cs31::trace {
+
+using race::ThreadId;
+
+MetricsSink::MetricsSink() { threads_.emplace_back(); }
+
+ThreadMetrics& MetricsSink::of(ThreadId t) {
+  require(t < threads_.size(), "metrics: unknown thread id");
+  return threads_[t];
+}
+
+ThreadId MetricsSink::register_thread() {
+  std::scoped_lock lock(mutex_);
+  threads_.emplace_back();
+  return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+ThreadId MetricsSink::fork(ThreadId parent) {
+  std::scoped_lock lock(mutex_);
+  (void)of(parent);
+  ++events_;
+  threads_.emplace_back();
+  return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+void MetricsSink::join(ThreadId parent, ThreadId child) {
+  std::scoped_lock lock(mutex_);
+  (void)of(parent);
+  (void)of(child);
+  ++events_;
+}
+
+void MetricsSink::acquire(ThreadId t, const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  ++of(t).acquires;
+  const auto id = lock_names_.id(lock);
+  if (id >= lock_acquires_.size()) lock_acquires_.resize(id + 1, 0);
+  ++lock_acquires_[id];
+  ++events_;
+}
+
+void MetricsSink::release(ThreadId t, const std::string& lock) {
+  std::scoped_lock guard(mutex_);
+  (void)lock;
+  ++of(t).releases;
+  ++events_;
+}
+
+void MetricsSink::barrier(const std::vector<ThreadId>& waiters) {
+  std::scoped_lock guard(mutex_);
+  require(!waiters.empty(), "metrics: barrier needs at least one waiter");
+  for (const ThreadId w : waiters) ++of(w).barriers;
+  ++barrier_cycles_;
+  ++events_;
+}
+
+void MetricsSink::channel_send(ThreadId t, const std::string& channel) {
+  std::scoped_lock guard(mutex_);
+  (void)channel;
+  ++of(t).sends;
+  ++events_;
+}
+
+void MetricsSink::channel_recv(ThreadId t, const std::string& channel) {
+  std::scoped_lock guard(mutex_);
+  (void)channel;
+  ++of(t).recvs;
+  ++events_;
+}
+
+void MetricsSink::read(ThreadId t, const std::string& var, const std::string& where) {
+  std::scoped_lock guard(mutex_);
+  (void)var;
+  (void)where;
+  ++of(t).reads;
+  ++events_;
+}
+
+void MetricsSink::write(ThreadId t, const std::string& var, const std::string& where) {
+  std::scoped_lock guard(mutex_);
+  (void)var;
+  (void)where;
+  ++of(t).writes;
+  ++events_;
+}
+
+const std::vector<race::RaceReport>& MetricsSink::races() const {
+  static const std::vector<race::RaceReport> kNone;
+  return kNone;
+}
+
+std::uint64_t MetricsSink::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t MetricsSink::threads() const {
+  std::scoped_lock lock(mutex_);
+  return threads_.size();
+}
+
+std::size_t MetricsSink::shadow_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return threads_.size() * sizeof(ThreadMetrics) +
+         lock_acquires_.size() * sizeof(std::uint64_t);
+}
+
+std::string MetricsSink::summary() const {
+  std::scoped_lock lock(mutex_);
+  std::ostringstream out;
+  out << "per-thread event mix (" << threads_.size() << " threads, " << events_
+      << " events, " << barrier_cycles_ << " barrier cycles):\n";
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    const ThreadMetrics& m = threads_[t];
+    out << "  T" << t << ": " << m.reads << " reads, " << m.writes << " writes, "
+        << m.acquires << " acquires, " << m.sends << " sends, " << m.recvs
+        << " recvs, " << m.barriers << " barrier waits\n";
+  }
+  if (lock_acquires_.empty()) {
+    out << "  no locks acquired\n";
+  } else {
+    out << "lock acquire counts (contention proxy):\n";
+    for (std::size_t id = 0; id < lock_acquires_.size(); ++id) {
+      out << "  " << lock_names_.name(static_cast<race::NameId>(id)) << ": "
+          << lock_acquires_[id] << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<ThreadMetrics> MetricsSink::per_thread() const {
+  std::scoped_lock lock(mutex_);
+  return threads_;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsSink::lock_acquires() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(lock_acquires_.size());
+  for (std::size_t id = 0; id < lock_acquires_.size(); ++id) {
+    out.emplace_back(std::string(lock_names_.name(static_cast<race::NameId>(id))),
+                     lock_acquires_[id]);
+  }
+  return out;
+}
+
+std::uint64_t MetricsSink::barrier_cycles() const {
+  std::scoped_lock lock(mutex_);
+  return barrier_cycles_;
+}
+
+}  // namespace cs31::trace

@@ -1,0 +1,80 @@
+// A perf/metrics EventSink: consumes the same drained stream as the
+// race detectors but counts instead of checking — per-thread event
+// mix (reads/writes/sync operations) and per-lock acquire counts as a
+// contention proxy. Attach it next to a Detector on one TraceContext
+// and a single traced run yields both a race certificate and a
+// contention profile.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "race/detector.hpp"
+#include "race/interner.hpp"
+
+namespace cs31::trace {
+
+/// Event mix of one traced thread.
+struct ThreadMetrics {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t barriers = 0;  ///< barrier cycles this thread waited in
+
+  [[nodiscard]] std::uint64_t total() const {
+    return reads + writes + acquires + releases + sends + recvs + barriers;
+  }
+};
+
+class MetricsSink final : public race::EventSink {
+ public:
+  MetricsSink();
+
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
+
+  // --- EventSink ---
+  [[nodiscard]] race::ThreadId register_thread() override;
+  [[nodiscard]] race::ThreadId fork(race::ThreadId parent) override;
+  void join(race::ThreadId parent, race::ThreadId child) override;
+  void acquire(race::ThreadId t, const std::string& lock) override;
+  void release(race::ThreadId t, const std::string& lock) override;
+  void barrier(const std::vector<race::ThreadId>& waiters) override;
+  void channel_send(race::ThreadId t, const std::string& channel) override;
+  void channel_recv(race::ThreadId t, const std::string& channel) override;
+  void read(race::ThreadId t, const std::string& var, const std::string& where) override;
+  void write(race::ThreadId t, const std::string& var, const std::string& where) override;
+
+  /// A metrics sink never reports races.
+  [[nodiscard]] const std::vector<race::RaceReport>& races() const override;
+  [[nodiscard]] bool race_free() const override { return true; }
+  [[nodiscard]] std::uint64_t race_count() const override { return 0; }
+  [[nodiscard]] std::uint64_t events() const override;
+  [[nodiscard]] std::size_t threads() const override;
+  [[nodiscard]] std::size_t shadow_bytes() const override;
+  [[nodiscard]] std::string summary() const override;
+
+  // --- metrics ---
+  [[nodiscard]] std::vector<ThreadMetrics> per_thread() const;
+  /// (lock name, acquire count), by first-acquire order — the hotter a
+  /// lock, the more serialization it imposes.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> lock_acquires() const;
+  [[nodiscard]] std::uint64_t barrier_cycles() const;
+
+ private:
+  ThreadMetrics& of(race::ThreadId t);
+
+  mutable std::mutex mutex_;
+  std::vector<ThreadMetrics> threads_;
+  race::Interner lock_names_;
+  std::vector<std::uint64_t> lock_acquires_;  // by lock id
+  std::uint64_t barrier_cycles_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cs31::trace

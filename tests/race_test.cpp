@@ -18,11 +18,18 @@
 #include "parallel/threads.hpp"
 #include "race/detector.hpp"
 #include "race/replay.hpp"
-#include "race/shadow.hpp"
 #include "race/vector_clock.hpp"
+#include "trace/context.hpp"
+#include "trace/instrumented.hpp"
 
 namespace cs31::race {
 namespace {
+
+// The instrumentation layer moved into cs31::trace (the TraceContext
+// refactor); these tests exercise it through the same names as before.
+using trace::TraceContext;
+using trace::TracedMutex;
+using trace::TracedVar;
 
 TEST(VectorClock, JoinTickCompare) {
   VectorClock a, b;

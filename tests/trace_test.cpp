@@ -1,0 +1,336 @@
+// The TraceContext capture layer end to end: scripted and real-thread
+// capture, deterministic drain order (byte-identical certificates),
+// real-thread ParallelLife::run against the replay path, per-slot
+// BoundedBuffer precision, the Eraser-style LocksetDetector (including
+// its documented disagreement with happens-before), and the MetricsSink.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "life/life.hpp"
+#include "life/traced.hpp"
+#include "parallel/sync.hpp"
+#include "parallel/threads.hpp"
+#include "race/lockset.hpp"
+#include "trace/context.hpp"
+#include "trace/instrumented.hpp"
+#include "trace/metrics.hpp"
+
+namespace cs31::trace {
+namespace {
+
+std::set<std::string> race_keys(const std::vector<race::RaceReport>& races) {
+  std::set<std::string> keys;
+  for (const auto& r : races) keys.insert(race::race_pair_key(r.variable, r.first, r.second));
+  return keys;
+}
+
+// --- capture layer ----------------------------------------------------
+
+TEST(TraceCapture, InterningIsIdempotent) {
+  TraceContext ctx;
+  EXPECT_EQ(ctx.intern_var("v"), ctx.intern_var("v"));
+  EXPECT_EQ(ctx.intern_lock("m"), ctx.intern_lock("m"));
+  EXPECT_NE(ctx.intern_site("a"), ctx.intern_site("b"));
+  ctx.flush();
+  ctx.flush();  // flushing an idle context twice is harmless
+  EXPECT_TRUE(ctx.detector().race_free());
+}
+
+TEST(TraceCapture, ForkPublishesParentWritesToChild) {
+  TraceContext ctx;
+  const NameId v = ctx.intern_var("v");
+  ctx.write_as(0, v, ctx.intern_site("parent init"));
+  const ThreadId child = ctx.fork_thread(0);
+  ctx.read_as(child, v, ctx.intern_site("child read"));
+  ctx.join_thread(0, child);
+  ctx.flush();
+  EXPECT_TRUE(ctx.detector().race_free());
+}
+
+TEST(TraceCapture, UnorderedSiblingWritesRace) {
+  TraceContext ctx;
+  const NameId v = ctx.intern_var("v");
+  const ThreadId a = ctx.fork_thread(0);
+  const ThreadId b = ctx.fork_thread(0);
+  ctx.write_as(a, v, ctx.intern_site("a writes"));
+  ctx.write_as(b, v, ctx.intern_site("b writes"));
+  ctx.join_thread(0, a);
+  ctx.join_thread(0, b);
+  ctx.flush();
+  ASSERT_EQ(ctx.detector().races().size(), 1u);
+  EXPECT_EQ(ctx.detector().races().front().variable, "v");
+}
+
+TEST(TraceCapture, RealThreadsCaptureThroughATracedTeam) {
+  TraceContext ctx;
+  TracedVar<int> hits("hits", ctx);
+  TracedMutex mutex("hits_lock", ctx);
+  parallel::ThreadTeam team(4, ctx, [&](std::size_t) {
+    for (int i = 0; i < 25; ++i) {
+      std::scoped_lock hold(mutex);
+      hits.store(hits.load() + 1);
+    }
+  });
+  team.join();
+  const int total = hits.load();  // main observes all children via the joins
+  ctx.flush();
+  EXPECT_EQ(total, 100);
+  EXPECT_TRUE(ctx.detector().race_free());
+  EXPECT_EQ(ctx.buffer_stats().size(), 5u);  // main + 4 workers
+  EXPECT_GT(ctx.events_captured(), 0u);
+  EXPECT_GT(ctx.drains(), 0u);
+}
+
+TEST(TraceCapture, MetricsSinkCountsTheEventMix) {
+  TraceContext ctx(TraceContext::Options{.own_detector = false});
+  MetricsSink metrics;
+  ctx.attach_sink(metrics);
+  const NameId v = ctx.intern_var("v");
+  const NameId m = ctx.intern_lock("m");
+  const NameId ch = ctx.intern_channel("ch");
+  const ThreadId worker = ctx.fork_thread(0);
+  ctx.acquire_as(worker, m);
+  ctx.read_as(worker, v);
+  ctx.write_as(worker, v);
+  ctx.release_as(worker, m);
+  ctx.send_as(0, ch);
+  ctx.recv_as(worker, ch);
+  ctx.barrier_cycle({0, worker});
+  ctx.acquire_as(0, m);
+  ctx.read_as(0, v);
+  ctx.release_as(0, m);
+  ctx.join_thread(0, worker);
+  ctx.flush();
+
+  const auto per_thread = metrics.per_thread();
+  ASSERT_GE(per_thread.size(), 2u);
+  EXPECT_EQ(per_thread[0].reads, 1u);
+  EXPECT_EQ(per_thread[0].sends, 1u);
+  EXPECT_EQ(per_thread[0].acquires, 1u);
+  EXPECT_EQ(per_thread[0].barriers, 1u);
+  EXPECT_EQ(per_thread[1].reads, 1u);
+  EXPECT_EQ(per_thread[1].writes, 1u);
+  EXPECT_EQ(per_thread[1].recvs, 1u);
+  EXPECT_EQ(per_thread[1].barriers, 1u);
+  const auto locks = metrics.lock_acquires();
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_EQ(locks[0].first, "m");
+  EXPECT_EQ(locks[0].second, 2u);
+  EXPECT_EQ(metrics.barrier_cycles(), 1u);
+  EXPECT_TRUE(metrics.race_free());
+  EXPECT_TRUE(metrics.races().empty());
+}
+
+// --- real-thread traced ParallelLife ---------------------------------
+
+TEST(TracedParallelLifeReal, RaceFreeAndCorrectAcrossThreadCounts) {
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 99);
+  life::SerialLife serial(initial);
+  serial.run(3);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    TraceContext ctx;
+    life::ParallelLife parallel_life(initial, threads);
+    parallel_life.run(3, {.ctx = &ctx});
+    ctx.flush();
+    EXPECT_TRUE(ctx.detector().race_free()) << threads << " threads";
+    EXPECT_EQ(parallel_life.grid(), serial.grid()) << threads << " threads";
+  }
+}
+
+TEST(TracedParallelLifeReal, RepeatedRunsYieldByteIdenticalCertificates) {
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 7);
+  auto certificate = [&] {
+    TraceContext ctx;
+    life::ParallelLife parallel_life(initial, 4);
+    parallel_life.run(2, {.ctx = &ctx});
+    ctx.flush();
+    EXPECT_TRUE(ctx.detector().race_free());
+    return std::pair{ctx.detector().summary(), ctx.events_captured()};
+  };
+  const auto first = certificate();
+  const auto second = certificate();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(TracedParallelLifeReal, CellGranularityMatchesTheReplayCertificate) {
+  // The refactor's headline claim: a real-thread run and the scripted
+  // replay are the same machinery, so at Cell granularity they produce
+  // the same certificate on the same workload.
+  const life::Grid initial = life::Grid::random(9, 9, 0.4, 13);
+  const auto replay = life::traced_life_check(initial, 3, 2, /*use_barrier=*/true);
+  ASSERT_TRUE(replay.race_free);
+
+  TraceContext ctx;
+  life::ParallelLife parallel_life(initial, 3);
+  parallel_life.run(2, {.ctx = &ctx, .report_barrier = true,
+                        .granularity = life::TraceGranularity::Cell});
+  ctx.flush();
+  EXPECT_TRUE(ctx.detector().race_free());
+  EXPECT_EQ(ctx.detector().summary(), replay.report);
+  EXPECT_EQ(parallel_life.grid(), replay.grid);
+}
+
+TEST(TracedParallelLifeReal, ForgottenBarrierMatchesReplayRaceSet) {
+  // The "forgotten barrier" teaching mode on real threads must report
+  // the same race set as the replay-based regression path: the real
+  // barrier still runs (well-defined execution), only its edge is
+  // withheld from the sinks.
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 21);
+  const auto replay = life::traced_life_check(initial, 3, 2, /*use_barrier=*/false);
+  ASSERT_FALSE(replay.race_free);
+
+  TraceContext ctx;
+  life::ParallelLife parallel_life(initial, 3);
+  parallel_life.run(2, {.ctx = &ctx, .report_barrier = false,
+                        .granularity = life::TraceGranularity::Cell});
+  ctx.flush();
+  ASSERT_FALSE(ctx.detector().race_free());
+  EXPECT_EQ(race_keys(ctx.detector().races()), race_keys(replay.races));
+}
+
+// --- per-slot BoundedBuffer precision ---------------------------------
+
+TEST(TracedBoundedBufferSlots, RaceIsLocalizedToTheExactItem) {
+  // Producer: write x, put item A (slot 0), write y, put item B
+  // (slot 1). A consumer that dequeued only item A is ordered after
+  // "write x" but NOT after "write y" — a whole-buffer channel clock
+  // would merge both sends and hide the race on y; per-slot channels
+  // keep it, localized to the exact item.
+  TraceContext ctx;
+  parallel::BoundedBuffer buffer(2);
+  buffer.attach_tracer(ctx, "queue");
+  std::promise<void> both_in;
+  auto ready = both_in.get_future();
+
+  parallel::ThreadTeam team(1, ctx, [&](std::size_t) {
+    ctx.write("x", "producer writes x before item A");
+    buffer.put(10);  // slot 0
+    ctx.write("y", "producer writes y before item B");
+    buffer.put(20);  // slot 1
+    both_in.set_value();
+  });
+  ready.wait();  // untraced edge: only sequences the test, not the sinks
+  EXPECT_EQ(buffer.get(), 10);
+  ctx.read("x", "consumer reads x after item A");  // ordered via slot 0
+  ctx.read("y", "consumer reads y after item A");  // NOT ordered: the race
+  EXPECT_EQ(buffer.get(), 20);
+  ctx.read("y", "consumer reads y after item B");  // ordered via slot 1
+  team.join();
+  ctx.flush();
+
+  const auto& races = ctx.detector().races();
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races.front().variable, "y");
+  EXPECT_NE(races.front().second.where.find("after item A"), std::string::npos);
+}
+
+// --- the Eraser-style lockset detector --------------------------------
+
+TEST(LocksetDetectorTest, ConsistentLockingIsClean) {
+  race::LocksetDetector d;
+  const race::ThreadId t1 = d.fork(0);
+  d.acquire(0, "m");
+  d.write(0, "v", "first");
+  d.release(0, "m");
+  d.acquire(t1, "m");
+  d.write(t1, "v", "second");
+  d.release(t1, "m");
+  EXPECT_TRUE(d.race_free());
+  EXPECT_TRUE(d.lockset_defined("v"));
+  EXPECT_EQ(d.candidate_lockset("v"), std::vector<std::string>{"m"});
+}
+
+TEST(LocksetDetectorTest, EmptyIntersectionIsReported) {
+  race::LocksetDetector d;
+  const race::ThreadId t1 = d.fork(0);
+  d.acquire(0, "m1");
+  d.write(0, "v", "under m1");
+  d.release(0, "m1");
+  d.acquire(t1, "m2");
+  d.write(t1, "v", "under m2");  // candidate lockset becomes {m2}
+  d.release(t1, "m2");
+  EXPECT_TRUE(d.race_free());  // still non-empty — Eraser reports lazily
+  d.acquire(0, "m1");
+  d.write(0, "v", "under m1 again");  // {m2} ∩ {m1} = ∅ -> report
+  d.release(0, "m1");
+  ASSERT_EQ(d.races().size(), 1u);
+  EXPECT_EQ(d.races().front().variable, "v");
+  EXPECT_NE(d.races().front().explanation.find("locking discipline"), std::string::npos);
+  EXPECT_TRUE(d.candidate_lockset("v").empty());
+}
+
+TEST(LocksetDetectorTest, SharedReadsAloneAreNotReported) {
+  race::LocksetDetector d;
+  const race::ThreadId t1 = d.fork(0);
+  d.write(0, "v", "init");     // Exclusive
+  d.read(t1, "v", "reader 1");  // Shared, lockset {}
+  d.read(0, "v", "reader 2");
+  EXPECT_TRUE(d.race_free());  // empty lockset but never Shared-Modified
+  EXPECT_TRUE(d.lockset_defined("v"));
+  EXPECT_TRUE(d.candidate_lockset("v").empty());
+}
+
+TEST(LocksetDetectorTest, ReleaseWithoutHoldThrows) {
+  race::LocksetDetector d;
+  EXPECT_THROW(d.release(0, "m"), Error);
+}
+
+TEST(LocksetDetectorTest, BarrierBlindnessIsTheDocumentedFalsePositive) {
+  // The same stream into both algorithms: a write, a barrier, a write.
+  // Happens-before proves it ordered; lockset cannot see the barrier.
+  race::Detector hb;
+  race::LocksetDetector lockset;
+  for (race::EventSink* sink : {static_cast<race::EventSink*>(&hb),
+                                static_cast<race::EventSink*>(&lockset)}) {
+    const race::ThreadId t1 = sink->fork(0);
+    sink->write(0, "cell", "round 0");
+    sink->barrier({0, t1});
+    sink->write(t1, "cell", "round 1");
+  }
+  EXPECT_TRUE(hb.race_free());
+  ASSERT_FALSE(lockset.race_free());
+  EXPECT_EQ(lockset.races().front().variable, "cell");
+}
+
+TEST(LocksetDetectorTest, DisagreesWithHappensBeforeOnBarrierLife) {
+  // The differential check bench_race_overhead's real-thread mode
+  // relies on: barrier-synchronized Life is race-free under HB and
+  // flagged by lockset on the identical event stream.
+  const life::Grid initial = life::Grid::random(8, 8, 0.3, 5);
+  const auto hb = life::traced_life_check(initial, 2, 2, /*use_barrier=*/true);
+  EXPECT_TRUE(hb.race_free);
+  race::LocksetDetector lockset;
+  const auto ls = life::traced_life_check_with(lockset, initial, 2, 2, /*use_barrier=*/true);
+  EXPECT_FALSE(ls.race_free);
+  EXPECT_EQ(hb.events, ls.events);  // identical stream, different verdicts
+}
+
+TEST(LocksetDetectorTest, AgreesWithHappensBeforeOnLockDiscipline) {
+  // Where the program's discipline really is "one lock per variable",
+  // the two algorithms agree in both directions.
+  for (const bool locked : {false, true}) {
+    race::Detector hb;
+    race::LocksetDetector lockset;
+    for (race::EventSink* sink : {static_cast<race::EventSink*>(&hb),
+                                  static_cast<race::EventSink*>(&lockset)}) {
+      const race::ThreadId t1 = sink->fork(0);
+      for (const race::ThreadId t : {race::ThreadId{0}, t1}) {
+        if (locked) sink->acquire(t, "m");
+        sink->read(t, "counter", "load");
+        sink->write(t, "counter", "store");
+        if (locked) sink->release(t, "m");
+      }
+    }
+    EXPECT_EQ(hb.race_free(), locked);
+    EXPECT_EQ(lockset.race_free(), locked);
+  }
+}
+
+}  // namespace
+}  // namespace cs31::trace

@@ -1,0 +1,77 @@
+// tsan_crosscheck — one scenario per invocation, built for the
+// -DCS31_SANITIZE=thread tier (tests/CMakeLists.txt registers the ctest
+// entries only there). Each mode first gets the cs31::race verdict from
+// a traced run (deterministic, no real UB thanks to TracedVar's hidden
+// guard), then executes the *real* program so ThreadSanitizer can rule
+// on the same buggy/clean pair:
+//
+//   buggy — the unsynchronized shared counter. cs31::race must flag it;
+//           TSan must abort the raw run (the ctest entry is WILL_FAIL
+//           with TSAN_OPTIONS=exitcode=66).
+//   clean — the mutexed counter plus a traced real-thread barrier'd
+//           ParallelLife::run. Both detectors and TSan must stay
+//           silent — which also certifies the TraceContext capture
+//           layer itself (per-thread buffers, sync-stream stamping,
+//           barrier drains) as free of real races.
+#include <cstdio>
+#include <string>
+
+#include "life/life.hpp"
+#include "parallel/sync.hpp"
+#include "trace/context.hpp"
+
+namespace {
+
+using SC = cs31::parallel::SharedCounter;
+
+int run_buggy() {
+  const auto traced = SC::run_traced(SC::Mode::Unsynchronized, 2, 2000);
+  if (!traced.race_detected) {
+    std::fprintf(stderr, "FAIL: cs31::race missed the unsynchronized counter\n");
+    return 2;
+  }
+  // The real thing: an honestly racy read-modify-write for TSan.
+  const auto value = SC::run(SC::Mode::Unsynchronized, 2, 20000);
+  std::printf("buggy: cs31::race flagged it; raw final count %llu "
+              "(under TSan this run must have produced a report)\n",
+              static_cast<unsigned long long>(value));
+  return 0;  // nonzero only via TSAN_OPTIONS=exitcode — that's the check
+}
+
+int run_clean() {
+  const auto traced = SC::run_traced(SC::Mode::MutexPerIncrement, 2, 2000);
+  if (traced.race_detected) {
+    std::fprintf(stderr, "FAIL: cs31::race flagged the mutexed counter\n");
+    return 2;
+  }
+  const auto value = SC::run(SC::Mode::MutexPerIncrement, 2, 20000);
+  if (value != 40000) {
+    std::fprintf(stderr, "FAIL: mutexed counter lost updates (%llu)\n",
+                 static_cast<unsigned long long>(value));
+    return 3;
+  }
+
+  // A traced real-thread run: the capture layer's own synchronization
+  // (thread-local buffers, stamped sync stream, barrier drains) runs
+  // under TSan here and must be silent.
+  cs31::trace::TraceContext ctx;
+  cs31::life::ParallelLife life(cs31::life::Grid::random(12, 12, 0.3, 3), 3);
+  life.run(2, {.ctx = &ctx});
+  ctx.flush();
+  if (!ctx.detector().race_free()) {
+    std::fprintf(stderr, "FAIL: cs31::race flagged the barrier'd Life run\n");
+    return 4;
+  }
+  std::printf("clean: cs31::race and the raw runs agree — race-free\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "buggy") return run_buggy();
+  if (mode == "clean") return run_clean();
+  std::fprintf(stderr, "usage: tsan_crosscheck buggy|clean\n");
+  return 64;
+}
