@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "heap/allocator.hpp"
 
 namespace {
@@ -53,7 +54,12 @@ Outcome churn(FitPolicy policy, std::uint32_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_alloc", argc, argv);
+  json.workload("heap placement-policy churn: bimodal sizes, 55/45 alloc/free mix");
+  json.config("arena_bytes", 1u << 20);
+  json.config("ops", 60000);
+  json.config("seeds", 3);
   std::printf("==============================================================\n");
   std::printf("Ablation: heap placement policies (1 MiB arena, 60k ops)\n");
   std::printf("==============================================================\n\n");
@@ -74,6 +80,9 @@ int main() {
     }
     std::printf("%-10s %15.1f%% %10llu %12u %10.3f\n", name, 100 * frag,
                 static_cast<unsigned long long>(fails), peak, secs);
+    json.metric(std::string(name) + "_fit_fragmentation", frag);
+    json.metric(std::string(name) + "_fit_failures", fails);
+    json.metric(std::string(name) + "_fit_seconds", secs);
   }
   std::printf("\nshape: best fit reduces external fragmentation at extra scan cost;\n"
               "next fit spreads allocations (faster scans, more fragmentation).\n");

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <tuple>
 
+#include "bench_json.hpp"
 #include "memhier/cache.hpp"
 #include "memhier/trace.hpp"
 
@@ -19,7 +20,10 @@ double hit_rate_for(CacheConfig cfg, const Trace& trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_cache", argc, argv);
+  json.workload("cache design sweeps: associativity, replacement, write policy, block size");
+  json.config("cache_bytes", 4096);
   std::printf("==============================================================\n");
   std::printf("Ablation: cache design choices\n");
   std::printf("==============================================================\n\n");
@@ -35,7 +39,9 @@ int main() {
   std::printf("%8s %10s\n", "ways", "hit rate");
   for (const std::uint32_t ways : {1u, 2u, 4u, 8u, 64u}) {
     CacheConfig cfg{.block_bytes = 64, .num_lines = 64, .associativity = ways};
-    std::printf("%8u %9.1f%%\n", ways, 100 * hit_rate_for(cfg, mixed));
+    const double rate = hit_rate_for(cfg, mixed);
+    std::printf("%8u %9.1f%%\n", ways, 100 * rate);
+    json.metric("hit_rate_ways_" + std::to_string(ways), rate);
   }
 
   // Hot-set + streaming: 16 hot blocks touched every other access amid
@@ -56,9 +62,10 @@ int main() {
         std::pair{"random", Replacement::Random}}) {
     CacheConfig cfg{.block_bytes = 64, .num_lines = 64, .associativity = 4};
     cfg.replacement = policy;
-    std::printf("%10s %11.1f%% %11.1f%% %11.1f%%\n", name,
-                100 * hit_rate_for(cfg, hot_stream), 100 * hit_rate_for(cfg, loop_trace),
-                100 * hit_rate_for(cfg, random));
+    const double hot = hit_rate_for(cfg, hot_stream);
+    std::printf("%10s %11.1f%% %11.1f%% %11.1f%%\n", name, 100 * hot,
+                100 * hit_rate_for(cfg, loop_trace), 100 * hit_rate_for(cfg, random));
+    json.metric("hot_stream_hit_rate_" + std::string(name), hot);
   }
   std::printf("  (LRU protects the reused hot set from the stream; on a loop\n"
               "   slightly bigger than the cache, LRU evicts exactly what is\n"

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "ccomp/codegen.hpp"
 #include "isa/machine.hpp"
 
@@ -41,7 +42,10 @@ std::size_t dynamic_count(const std::string& source, const std::vector<std::int3
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_ccopt", argc, argv);
+  json.workload("mini-C optimizer on/off: static and executed instruction counts");
+  json.config("programs", 4);
   std::printf("==============================================================\n");
   std::printf("Ablation: mini-C optimizer (fold + strength-reduce + dead code)\n");
   std::printf("==============================================================\n\n");
@@ -75,6 +79,12 @@ int main() {
     std::printf("%-28s %12zu %12zu %14zu %14zu %7.2fx%s\n", c.name, s0, s1, d0, d1,
                 static_cast<double>(d0) / static_cast<double>(d1),
                 r0 == r1 ? "" : "  MISMATCH!");
+    std::string key = c.name;
+    for (char& ch : key) {
+      if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+    }
+    json.metric(key + "_dynamic_win", static_cast<double>(d0) / static_cast<double>(d1));
+    json.metric(key + "_results_agree", r0 == r1);
   }
   std::printf("\nshape: constant-heavy code shrinks the most; recursion barely\n"
               "changes (nothing to fold) — optimizations pay where the course\n"

@@ -5,6 +5,7 @@
 // simulator and the multicore model.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "life/life.hpp"
 #include "memhier/cache.hpp"
 #include "memhier/trace.hpp"
@@ -29,12 +30,17 @@ memhier::Trace band_trace(const parallel::GridRegion& region, std::size_t cols) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_partition", argc, argv);
+  json.workload("Life band partitioning: load balance, cache footprint, correctness");
+
+  constexpr std::size_t kRows = 256, kCols = 256, kThreads = 8;
+  json.config("rows", kRows);
+  json.config("cols", kCols);
+  json.config("threads", kThreads);
   std::printf("==============================================================\n");
   std::printf("Ablation: Life grid partitioning — horizontal vs vertical\n");
   std::printf("==============================================================\n\n");
-
-  constexpr std::size_t kRows = 256, kCols = 256, kThreads = 8;
 
   std::printf("(a) load balance (cells per thread, %zux%zu grid, %zu threads)\n",
               kRows, kCols, kThreads);
@@ -65,6 +71,8 @@ int main() {
     const memhier::LocalityReport loc = analyze_locality(trace, 64);
     std::printf("%-12s %9.1f%% %13.2f\n", name, 100 * stats.hit_rate(),
                 loc.spatial_fraction);
+    json.metric(std::string(name) + "_band_hit_rate", stats.hit_rate());
+    json.metric(std::string(name) + "_spatial_fraction", loc.spatial_fraction);
   }
   std::printf("  note: within a band both orders scan rows, but a vertical band's\n"
               "  rows are short (cols/threads), so each row change is a %zu-byte\n"
@@ -83,5 +91,7 @@ int main() {
   std::printf("  horizontal == serial: %s; vertical == serial: %s\n",
               horizontal.grid() == serial.grid() ? "yes" : "NO",
               vertical.grid() == serial.grid() ? "yes" : "NO");
+  json.metric("grids_match_serial",
+              horizontal.grid() == serial.grid() && vertical.grid() == serial.grid());
   return horizontal.grid() == serial.grid() && vertical.grid() == serial.grid() ? 0 : 1;
 }

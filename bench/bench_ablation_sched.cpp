@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "os/scheduler.hpp"
 
 namespace {
@@ -36,7 +37,8 @@ std::vector<Job> mixed_jobs() {
   return jobs;
 }
 
-void table(const char* name, const std::vector<Job>& jobs) {
+void table(const char* name, const std::vector<Job>& jobs, const char* key,
+           cs31::bench::JsonReport& json) {
   std::printf("%s (%zu jobs)\n", name, jobs.size());
   std::printf("%8s %14s %12s %12s %10s\n", "policy", "avg turnaround", "avg response",
               "avg waiting", "switches");
@@ -47,19 +49,24 @@ void table(const char* name, const std::vector<Job>& jobs) {
     std::printf("%8s %14.1f %12.1f %12.1f %10llu\n", policy_name(p).c_str(),
                 s.avg_turnaround(), s.avg_response(), s.avg_waiting(),
                 static_cast<unsigned long long>(s.context_switches));
+    json.metric(std::string(key) + "_" + policy_name(p) + "_avg_turnaround",
+                s.avg_turnaround());
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_sched", argc, argv);
+  json.workload("scheduling policies over batch/interactive/mixed job sets");
+  json.config("rr_quantum", 4);
   std::printf("==============================================================\n");
   std::printf("Ablation: CPU scheduling policies\n");
   std::printf("==============================================================\n\n");
-  table("(a) batch workload", batch_jobs());
-  table("(b) interactive workload", interactive_jobs());
-  table("(c) mixed workload (one compile + keystrokes)", mixed_jobs());
+  table("(a) batch workload", batch_jobs(), "batch", json);
+  table("(b) interactive workload", interactive_jobs(), "interactive", json);
+  table("(c) mixed workload (one compile + keystrokes)", mixed_jobs(), "mixed", json);
 
   std::printf("(d) round-robin quantum sweep on the mixed workload\n");
   std::printf("%9s %14s %12s %10s\n", "quantum", "avg turnaround", "avg response",

@@ -3,6 +3,7 @@
 // under tight RAM.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "vm/paging.hpp"
 
 namespace {
@@ -42,7 +43,11 @@ double fault_rate(PageReplacement policy, int workload, std::uint32_t frames) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("ablation_vm", argc, argv);
+  json.workload("page replacement fault rates across hot-set/loop/uniform workloads");
+  json.config("frames", 8);
+  json.config("accesses", 4000);
   std::printf("==============================================================\n");
   std::printf("Ablation: page replacement (LRU vs FIFO vs Clock), 8 frames\n");
   std::printf("==============================================================\n\n");
@@ -50,9 +55,10 @@ int main() {
   for (const auto [name, policy] : {std::pair{"LRU", PageReplacement::Lru},
                                     std::pair{"FIFO", PageReplacement::Fifo},
                                     std::pair{"Clock", PageReplacement::Clock}}) {
-    std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", name,
-                100 * fault_rate(policy, 0, 8), 100 * fault_rate(policy, 1, 8),
-                100 * fault_rate(policy, 2, 8));
+    const double hot = fault_rate(policy, 0, 8);
+    std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", name, 100 * hot,
+                100 * fault_rate(policy, 1, 8), 100 * fault_rate(policy, 2, 8));
+    json.metric(std::string(name) + "_hot_set_fault_rate", hot);
   }
   std::printf(
       "\nshape: LRU/Clock protect the hot set (recency matters); the loop one\n"

@@ -4,10 +4,14 @@
 // the course defers to upper-level work).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "parallel/speedup.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31::parallel;
+  cs31::bench::JsonReport json("amdahl", argc, argv);
+  json.workload("Amdahl/Gustafson curves and the contention model's droop");
+  json.config("max_cores", 32);
 
   std::printf("==============================================================\n");
   std::printf("E7: Amdahl's Law — theory vs contention-model reality\n");
@@ -55,6 +59,9 @@ int main() {
   std::printf("  (paper: \"resource contention can reduce observed speedup from\n"
               "   theoretical ideal linear speedup\" — droop grows with cores: %s)\n\n",
               droop_grows ? "yes" : "no");
+  json.metric("amdahl_limit_f05", amdahl_limit(0.05));
+  json.metric("modeled_speedup_32_cores", modeled_speedup(model, 32));
+  json.metric("droop_grows_with_cores", droop_grows);
 
   std::printf("(c) Gustafson's scaled speedup (extension)\n%8s %10s %10s\n", "cores",
               "amdahl.1", "gustafson.1");
@@ -62,5 +69,6 @@ int main() {
     std::printf("%8u %9.2fx %9.2fx\n", p, amdahl_speedup(0.1, p),
                 gustafson_speedup(0.1, p));
   }
+  json.metric("gustafson_speedup_32_f10", gustafson_speedup(0.1, 32));
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "memhier/cache.hpp"
 #include "memhier/trace.hpp"
 
@@ -18,7 +19,7 @@ namespace {
 
 constexpr std::uint32_t kRows = 256, kCols = 256;
 
-void report_simulated() {
+void report_simulated(cs31::bench::JsonReport& json) {
   using namespace cs31::memhier;
   std::printf("==============================================================\n");
   std::printf("E4: nested-loop stride patterns vs the cache (%ux%u int array)\n",
@@ -56,6 +57,9 @@ void report_simulated() {
               row_loc.spatial_fraction, col_loc.spatial_fraction);
   std::printf("shape check: row-major wins in every geometry: %s\n\n",
               row_always_wins ? "yes (matches the class exercise)" : "NO");
+  json.metric("row_major_spatial_fraction", row_loc.spatial_fraction);
+  json.metric("col_major_spatial_fraction", col_loc.spatial_fraction);
+  json.metric("row_major_wins_every_geometry", row_always_wins);
 }
 
 // (b) real timing of the two loop orders.
@@ -88,7 +92,11 @@ BENCHMARK(BM_ColumnMajor);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_simulated();
+  cs31::bench::JsonReport json("cache_stride", argc, argv);
+  json.workload("row-major vs column-major sweep: simulated hit rates + real timing");
+  json.config("rows", kRows);
+  json.config("cols", kCols);
+  report_simulated(json);
   std::printf("(b) real wall-clock on this host\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

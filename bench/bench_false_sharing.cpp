@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "memhier/coherence.hpp"
 
 namespace {
@@ -42,8 +43,12 @@ double time_layout(Layout& layout, Get get, unsigned threads, std::uint64_t per_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31::memhier;
+  cs31::bench::JsonReport json("false_sharing", argc, argv);
+  json.workload("adjacent vs padded per-thread counters: MSI model + real threads");
+  json.config("threads", 4);
+  json.config("increments_per_thread", 2'000'000);
 
   std::printf("==============================================================\n");
   std::printf("False sharing: adjacent vs padded per-thread counters\n");
@@ -69,6 +74,8 @@ int main() {
                   static_cast<unsigned long long>(sys->stats().bus_reads +
                                                   sys->stats().bus_read_exclusives));
     }
+    json.metric("msi_invalidations_adjacent", adjacent.stats().invalidations);
+    json.metric("msi_invalidations_padded", padded.stats().invalidations);
   }
 
   std::printf("\n(b) real threads on this host (4 threads x 2M increments)\n");
@@ -91,5 +98,9 @@ int main() {
   std::printf("  note: the gap needs multiple hardware cores to appear; this host\n"
               "  has %u. The MSI model in (a) shows the mechanism either way.\n",
               cores);
+  json.config("hardware_cores", cores);
+  json.metric("adjacent_seconds", t_packed);
+  json.metric("padded_seconds", t_padded);
+  json.metric("padded_speedup", t_packed / t_padded);
   return 0;
 }

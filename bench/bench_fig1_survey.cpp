@@ -5,12 +5,17 @@
 // checks the shape properties the paper reports.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "survey/survey.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31;
+  cs31::bench::JsonReport json("fig1_survey", argc, argv);
+  json.workload("Figure 1 reproduction: simulated cohort PDC self-ratings");
   const auto topics = survey::figure1_topics();
   survey::CohortConfig cfg;  // ~60 students x 5 semesters, like the paper
+  json.config("students_per_semester", cfg.students_per_semester);
+  json.config("semesters", cfg.semesters);
   const auto results = survey::simulate(topics, cfg);
 
   std::printf("==============================================================\n");
@@ -71,5 +76,8 @@ int main() {
   std::printf("  emphasized-topic mean %.2f vs mentioned-topic mean %.2f -> gap %.2f\n",
               heavy / heavy_n, light / light_n, heavy / heavy_n - light / light_n);
   std::printf("  (paper: heavily emphasized topics rate at deeper levels)\n");
+  json.metric("all_topics_recognized", all_recognized);
+  json.metric("emphasized_topic_mean", heavy / heavy_n);
+  json.metric("mentioned_topic_mean", light / light_n);
   return all_recognized && heavy / heavy_n > light / light_n ? 0 : 1;
 }

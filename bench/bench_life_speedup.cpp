@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.hpp"
 #include "life/life.hpp"
 #include "parallel/speedup.hpp"
 
@@ -28,8 +29,12 @@ double wall_seconds_for(const cs31::life::Grid& initial, std::size_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31;
+  cs31::bench::JsonReport json("life_speedup", argc, argv);
+  json.workload("parallel Life speedup: 16-core model + real threads on this host");
+  json.config("model_grid", "512x512");
+  json.config("real_grid", "128x128");
 
   std::printf("==============================================================\n");
   std::printf("E3: parallel Game of Life speedup, 1..16 threads (Lab 10)\n");
@@ -54,6 +59,7 @@ int main() {
   const double s16 = parallel::modeled_speedup(model, 16);
   std::printf("  -> 16-thread speedup %.2fx (paper: near-linear up to 16 threads)\n\n",
               s16);
+  json.metric("modeled_speedup_16_threads", s16);
 
   // (b) Real threads on this host.
   const unsigned cores = std::thread::hardware_concurrency();
@@ -65,7 +71,9 @@ int main() {
   for (const std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
     const double t = wall_seconds_for(initial, p, 40);
     std::printf("%8zu %12.4f %8.2fx\n", p, t, base / t);
+    json.metric("real_speedup_" + std::to_string(p) + "_threads", base / t);
   }
+  json.config("hardware_cores", cores);
   std::printf(
       "  note: with %u hardware core%s, real speedup cannot exceed ~%u; the\n"
       "  model in (a) is the paper-shape reproduction (DESIGN.md, E3).\n",

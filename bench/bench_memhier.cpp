@@ -4,11 +4,16 @@
 // showing the AMAT cliffs at each capacity boundary.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "memhier/hierarchy.hpp"
 #include "memhier/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31::memhier;
+  cs31::bench::JsonReport json("memhier", argc, argv);
+  json.workload("device pyramid, two-level EAT, working-set AMAT sweep");
+  json.config("l1_bytes", 4096);
+  json.config("l2_bytes", 65536);
 
   std::printf("==============================================================\n");
   std::printf("E10: the memory hierarchy — devices, EAT, and working sets\n");
@@ -42,6 +47,7 @@ int main() {
     std::printf("%13u KiB %9.1f%% %9.1f%% %12.2f\n", set_kib,
                 100 * mlc.level_stats(0).hit_rate(), 100 * mlc.level_stats(1).hit_rate(),
                 mlc.amat_ns());
+    json.metric("amat_ns_ws_" + std::to_string(set_kib) + "kib", mlc.amat_ns());
   }
   std::printf("  shape: AMAT steps up as the working set spills each level —\n"
               "  the figure every systems course draws; here regenerated from\n"

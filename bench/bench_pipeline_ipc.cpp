@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "logic/cpu.hpp"
 #include "logic/pipeline.hpp"
 
@@ -41,7 +42,10 @@ void row(const char* name, const std::vector<ExecRecord>& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("pipeline_ipc", argc, argv);
+  json.workload("5-stage pipeline vs sequential: IPC and time gain over MiniCpu traces");
+  json.config("stages", 5);
   std::printf("==============================================================\n");
   std::printf("E5: pipelining vs sequential execution (5-stage model)\n");
   std::printf("    sequential cycle = sum of stages; pipelined = max stage\n");
@@ -69,5 +73,7 @@ int main() {
       "\nshape check: pipelined IPC < 1 with hazards, > IPC_seq/5; time gain %.2fx\n"
       "(paper: pipelining presented as an efficiency win; no absolute numbers)\n",
       gain);
+  json.metric("sum_loop_250_time_gain", gain);
+  json.metric("sum_loop_250_pipelined_ipc", time_pipelined(trace, fwd).ipc());
   return gain > 1.5 ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "parallel/sync.hpp"
 
 namespace {
@@ -44,11 +45,14 @@ RunResult run(std::size_t capacity, int producers, int consumers, int items_per_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("prodcons", argc, argv);
+  json.workload("bounded-buffer throughput vs capacity and producer/consumer mix");
   std::printf("==============================================================\n");
   std::printf("E9: producer/consumer bounded buffer (real threads)\n");
   std::printf("==============================================================\n\n");
   constexpr int kItems = 20000;
+  json.config("items", kItems);
 
   std::printf("(a) throughput vs buffer capacity (1 producer, 1 consumer)\n");
   std::printf("%10s %12s %14s %12s %12s\n", "capacity", "seconds", "items/sec",
@@ -58,6 +62,7 @@ int main() {
     std::printf("%10zu %12.4f %14.0f %12llu %12llu\n", cap, r.seconds,
                 kItems / r.seconds, static_cast<unsigned long long>(r.producer_blocks),
                 static_cast<unsigned long long>(r.consumer_blocks));
+    json.metric("items_per_sec_cap_" + std::to_string(cap), kItems / r.seconds);
   }
   std::printf("  shape: tiny buffers force constant blocking; capacity amortizes it.\n\n");
 

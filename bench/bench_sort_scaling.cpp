@@ -4,8 +4,10 @@
 // parallel" lesson the course sets up with Big-O vs hardware costs).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "labs/sorting.hpp"
 
 namespace {
@@ -71,6 +73,37 @@ BENCHMARK(BM_Selection)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)
 BENCHMARK(BM_MergeSerial)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(5);
 BENCHMARK(BM_MergeParallel4)->Arg(kSmall)->Arg(kLarge)->Unit(benchmark::kMillisecond)->Iterations(5);
 
+// The headline ratio for the JSON report: at kLarge elements, how much
+// does the O(N log N) algorithm beat the O(N^2) one, and what does
+// 4-way parallelism add on top? (The tables above are the full data.)
+template <typename Sort>
+double seconds_of(Sort sort) {
+  std::vector<int> d = data_of(kLarge);
+  const auto t0 = std::chrono::steady_clock::now();
+  sort(d);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("sort_scaling", argc, argv);
+  json.workload("O(N^2) sorts vs serial vs 4-thread merge sort (lab 2 data sizes)");
+  json.config("small_n", kSmall);
+  json.config("large_n", kLarge);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  if (json.enabled()) {
+    const double bubble_s = seconds_of([](std::vector<int>& d) { bubble_sort(d); });
+    const double merge1_s =
+        seconds_of([](std::vector<int>& d) { parallel_merge_sort(d, 1); });
+    const double merge4_s =
+        seconds_of([](std::vector<int>& d) { parallel_merge_sort(d, 4); });
+    json.metric("bubble_seconds_large", bubble_s);
+    json.metric("merge_serial_seconds_large", merge1_s);
+    json.metric("merge_parallel4_seconds_large", merge4_s);
+    json.metric("algorithmic_win", bubble_s / merge1_s);
+    json.metric("parallel_win", merge1_s / merge4_s);
+  }
+  return 0;
+}

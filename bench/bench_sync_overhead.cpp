@@ -10,13 +10,14 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "parallel/sync.hpp"
 
 namespace {
 
 using cs31::parallel::SharedCounter;
 
-void report_correctness() {
+void report_correctness(cs31::bench::JsonReport& json) {
   constexpr unsigned kThreads = 4;
   constexpr std::uint64_t kPer = 100000;
   const std::uint64_t expected = kThreads * kPer;
@@ -39,11 +40,18 @@ void report_correctness() {
       {"atomic fetch_add", SharedCounter::Mode::Atomic},
       {"local then merge", SharedCounter::Mode::LocalThenMerge},
   };
+  json.config("threads", kThreads);
+  json.config("increments_per_thread", kPer);
   for (const Row& row : rows) {
     const std::uint64_t result = SharedCounter::run(row.mode, kThreads, kPer);
     std::printf("%-22s %12llu %12lld\n", row.name,
                 static_cast<unsigned long long>(result),
                 static_cast<long long>(expected - result));
+    std::string key = row.name;
+    for (char& c : key) {
+      if (c == ' ') c = '_';
+    }
+    json.metric(key + "_lost", static_cast<std::int64_t>(expected - result));
   }
   std::printf("  note: on a single-core host the unsynchronized race may lose\n"
               "  nothing (increments rarely interleave); the synchronized rows\n"
@@ -72,7 +80,9 @@ BENCHMARK(BM_Counter)
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_correctness();
+  cs31::bench::JsonReport json("sync_overhead", argc, argv);
+  json.workload("shared counter: lost updates + per-strategy synchronization cost");
+  report_correctness(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

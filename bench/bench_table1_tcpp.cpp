@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "core/curriculum.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31::core;
+  cs31::bench::JsonReport json("table1_tcpp", argc, argv);
+  json.workload("Table I reproduction: TCPP topic coverage of the CS 31 modules");
   const Curriculum& course = Curriculum::cs31();
 
   std::printf("==============================================================\n");
@@ -21,6 +24,7 @@ int main() {
                                  TcppCategory::Programming, TcppCategory::Algorithms}) {
     std::printf("  %-13s %zu topics\n", category_name(cat).c_str(),
                 course.topics_in(cat).size());
+    json.metric(category_name(cat) + "_topics", course.topics_in(cat).size());
   }
 
   std::printf("\nCoverage map: TCPP topic -> course modules (kit library) / labs\n");
@@ -43,5 +47,6 @@ int main() {
   const auto uncovered = course.uncovered_topics();
   std::printf("\nUncovered topics: %zu (paper claims full coverage; must be 0)\n",
               uncovered.size());
+  json.metric("uncovered_topics", uncovered.size());
   return uncovered.empty() ? 0 : 1;
 }

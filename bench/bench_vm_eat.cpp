@@ -5,17 +5,27 @@
 // at benchmark scale).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "vm/paging.hpp"
 #include "vm/tlb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs31::vm;
+  cs31::bench::JsonReport json("vm_eat", argc, argv);
+  json.workload("EAT vs TLB hit ratio and fault rate; two-process paging trace");
 
   std::printf("==============================================================\n");
   std::printf("E6: effective access time with TLB and demand paging\n");
   std::printf("==============================================================\n\n");
 
   const double mem_ns = 100, tlb_ns = 1, fault_ns = 8e6;
+  json.config("mem_ns", mem_ns);
+  json.config("tlb_ns", tlb_ns);
+  json.config("fault_ns", fault_ns);
+  json.metric("eat_ns_tlb_hit_98_no_faults",
+              effective_access_time_ns(0.98, 0, mem_ns, tlb_ns, fault_ns));
+  json.metric("eat_ns_tlb_hit_98_fault_1e4",
+              effective_access_time_ns(0.98, 1e-4, mem_ns, tlb_ns, fault_ns));
 
   std::printf("(a) EAT vs TLB hit ratio (no faults; mem=%.0fns tlb=%.0fns)\n", mem_ns,
               tlb_ns);
@@ -65,6 +75,10 @@ int main() {
                 static_cast<unsigned long long>(s.evictions),
                 vm.tlb_stats() ? 100 * vm.tlb_stats()->hit_rate() : 0.0,
                 static_cast<unsigned long long>(s.context_switches));
+    const char* key = tlb_entries == 0 ? "tlb_off" : "tlb_8";
+    json.metric(std::string(key) + "_page_faults", s.page_faults);
+    json.metric(std::string(key) + "_hit_rate",
+                vm.tlb_stats() ? vm.tlb_stats()->hit_rate() : 0.0);
   }
   std::printf(
       "\nshape check: TLB turns most translations into hits while faults and\n"

@@ -10,7 +10,7 @@
 // structure, not the scheduler's mood. Each act below runs a buggy
 // variant and its fix and prints the detector's reports.
 //
-// Usage: race_detective            (runs all four acts)
+// Usage: race_detective            (runs all five acts)
 #include <cstddef>
 #include <iostream>
 #include <string>
@@ -24,6 +24,7 @@
 #include "race/replay.hpp"
 #include "trace/context.hpp"
 #include "trace/instrumented.hpp"
+#include "trace/pipeline.hpp"
 
 namespace {
 
@@ -174,6 +175,44 @@ void act4_two_detectives() {
   }
 }
 
+// The detective's back office. Acts 1-4 ran analysis *inline*: the
+// draining thread replayed every event through the detector while the
+// workers waited. Act 5 moves the detective off the critical path — the
+// drain publishes batches to a bounded queue, a router broadcasts sync
+// events and shards accesses by variable, and N workers analyze private
+// slices of FastTrack shadow state. Partitioning the work is the
+// McKenney lesson; the punchline is that the verdict is byte-identical
+// to the inline one, whatever the shard count.
+void act5_pipelined_analysis() {
+  using cs31::life::TracedLifeOptions;
+  using cs31::trace::AnalysisPipeline;
+  heading("Act 5 — the off-critical-path detective (sharded pipeline)");
+  const cs31::life::Grid initial = cs31::life::Grid::random(12, 12, 0.3, 2022);
+
+  const auto inline_verdict = cs31::life::traced_life_check(initial, 3, 3, false);
+  std::cout << "\n[inline]   barrier-less Life: " << inline_verdict.races.size()
+            << " distinct races over " << inline_verdict.events << " events\n";
+
+  for (const std::size_t shards : {1, 2, 4}) {
+    AnalysisPipeline pipeline(
+        AnalysisPipeline::Options{.shards = shards, .queue_capacity = 4});
+    TracedLifeOptions options;
+    options.use_barrier = false;
+    options.pipeline = &pipeline;
+    const auto piped = cs31::life::traced_life_check(initial, 3, 3, options);
+    std::cout << "[" << shards << " shard" << (shards == 1 ? "] " : "s]")
+              << " same run, analyzed off-thread: " << piped.races.size()
+              << " races, report " << (piped.report == inline_verdict.report
+                                           ? "byte-identical to inline"
+                                           : "DIFFERS (bug!)")
+              << '\n';
+  }
+  std::cout << "  the shards never share mutable state: sync events broadcast so\n"
+               "  every shard holds the same happens-before clocks; each variable's\n"
+               "  shadow state lives on exactly one shard; the merge re-sorts\n"
+               "  reports into inline detection order.\n";
+}
+
 }  // namespace
 
 int main() {
@@ -182,6 +221,7 @@ int main() {
   act2_game_of_life();
   act3_replay();
   act4_two_detectives();
+  act5_pipelined_analysis();
   std::cout << "\nActs 1-3: the bug is a missing happens-before edge;\n"
                "the fix (lock, barrier, or channel) is that edge.\n"
                "Act 4: an algorithm that can't see that edge (Eraser's lockset)\n"

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "parallel/threads.hpp"
 #include "trace/context.hpp"
+#include "trace/pipeline.hpp"
 
 namespace cs31::life {
 namespace {
@@ -30,7 +31,8 @@ std::string cell_name(const char* grid, std::size_t r, std::size_t c) {
 // regression test for that is TracedLife.BarrierlessRaceSetStableAcrossRounds).
 struct ReplayOps {
   trace::TraceContext& ctx;
-  race::EventSink& verdict;  ///< the sink whose result is harvested
+  race::EventSink* verdict;             ///< the sink whose result is harvested, or
+  trace::AnalysisPipeline* pipeline;    ///< the pipeline it comes from instead
   std::vector<trace::ThreadId> workers;
   std::vector<trace::NameId> cur_ids;   // row-major cell ids for grid "cur"
   std::vector<trace::NameId> next_ids;  // and for grid "next"
@@ -38,9 +40,9 @@ struct ReplayOps {
   trace::NameId swap_site = 0;
   std::size_t cols = 0;
 
-  ReplayOps(trace::TraceContext& ctx_in, race::EventSink& verdict_in, std::size_t rows,
-            std::size_t cols_in)
-      : ctx(ctx_in), verdict(verdict_in), cols(cols_in) {
+  ReplayOps(trace::TraceContext& ctx_in, race::EventSink* verdict_in,
+            trace::AnalysisPipeline* pipeline_in, std::size_t rows, std::size_t cols_in)
+      : ctx(ctx_in), verdict(verdict_in), pipeline(pipeline_in), cols(cols_in) {
     cur_ids.reserve(rows * cols);
     next_ids.reserve(rows * cols);
     for (std::size_t r = 0; r < rows; ++r) {
@@ -77,9 +79,15 @@ struct ReplayOps {
     for (const trace::ThreadId w : workers) ctx.join_thread(0, w);
   }
   TracedLifeResult finish(Grid grid) {
-    ctx.flush();
-    return TracedLifeResult{std::move(grid), verdict.race_free(), verdict.races(),
-                            verdict.events(), verdict.summary()};
+    ctx.flush();  // with a pipeline attached this also waits for idle
+    if (pipeline != nullptr) {
+      return TracedLifeResult{std::move(grid),        pipeline->race_free(),
+                              pipeline->races(),      pipeline->events(),
+                              pipeline->summary(),    ctx.events_sampled_out()};
+    }
+    return TracedLifeResult{std::move(grid),       verdict->race_free(),
+                            verdict->races(),      verdict->events(),
+                            verdict->summary(),    ctx.events_sampled_out()};
   }
 };
 
@@ -148,9 +156,20 @@ TracedLifeResult traced_life_run(ReplayOps& ops, const Grid& initial, std::size_
 
 TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
                                    std::size_t rounds, bool use_barrier, EdgeRule rule) {
-  trace::TraceContext ctx;  // owns the FastTrack detector
-  ReplayOps ops(ctx, ctx.detector(), initial.rows(), initial.cols());
-  return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
+  return traced_life_check(initial, threads, rounds,
+                           TracedLifeOptions{.use_barrier = use_barrier, .rule = rule});
+}
+
+TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
+                                   std::size_t rounds, const TracedLifeOptions& options) {
+  trace::TraceContext::Options ctx_options;
+  ctx_options.sample_access_events = options.sample_rate;
+  ctx_options.own_detector = options.pipeline == nullptr;
+  trace::TraceContext ctx(ctx_options);
+  if (options.pipeline != nullptr) ctx.attach_pipeline(*options.pipeline);
+  ReplayOps ops(ctx, options.pipeline == nullptr ? &ctx.detector() : nullptr,
+                options.pipeline, initial.rows(), initial.cols());
+  return traced_life_run(ops, initial, threads, rounds, options.use_barrier, options.rule);
 }
 
 TracedLifeResult traced_life_check_with(race::EventSink& sink, const Grid& initial,
@@ -158,7 +177,7 @@ TracedLifeResult traced_life_check_with(race::EventSink& sink, const Grid& initi
                                         bool use_barrier, EdgeRule rule) {
   trace::TraceContext ctx(trace::TraceContext::Options{.own_detector = false});
   ctx.attach_sink(sink);
-  ReplayOps ops(ctx, sink, initial.rows(), initial.cols());
+  ReplayOps ops(ctx, &sink, nullptr, initial.rows(), initial.cols());
   return traced_life_run(ops, initial, threads, rounds, use_barrier, rule);
 }
 

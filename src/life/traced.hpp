@@ -27,6 +27,10 @@
 #include "life/life.hpp"
 #include "race/detector.hpp"
 
+namespace cs31::trace {
+class AnalysisPipeline;
+}
+
 namespace cs31::life {
 
 struct TracedLifeResult {
@@ -35,6 +39,21 @@ struct TracedLifeResult {
   std::vector<race::RaceReport> races;
   std::uint64_t events = 0;   ///< accesses + sync events replayed
   std::string report;         ///< detector summary
+  std::uint64_t sampled_out = 0;  ///< accesses dropped by sampling capture mode
+};
+
+/// How to run the replay. The defaults reproduce the classic
+/// traced_life_check(…, use_barrier = true) behaviour exactly.
+struct TracedLifeOptions {
+  bool use_barrier = true;
+  EdgeRule rule = EdgeRule::Torus;
+  /// Access-event sample rate (TraceContext::Options::sample_access_events).
+  double sample_rate = 1.0;
+  /// Analyze off the replay thread through this pipeline instead of the
+  /// context-owned inline detector (the verdict fields then come from
+  /// the pipeline's deterministic merge — byte-identical to inline).
+  /// The pipeline must be fresh and outlive the call.
+  trace::AnalysisPipeline* pipeline = nullptr;
 };
 
 /// Replay `rounds` generations of the parallel engine's access pattern
@@ -51,6 +70,12 @@ struct TracedLifeResult {
 [[nodiscard]] TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
                                                  std::size_t rounds, bool use_barrier,
                                                  EdgeRule rule = EdgeRule::Torus);
+
+/// Same replay with the full option set (sampling capture, pipelined
+/// off-thread analysis).
+[[nodiscard]] TracedLifeResult traced_life_check(const Grid& initial, std::size_t threads,
+                                                 std::size_t rounds,
+                                                 const TracedLifeOptions& options);
 
 /// Same access pattern, driven through any detector implementation via
 /// the generic (string) event interface. This is how bench_race_overhead

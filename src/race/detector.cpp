@@ -72,6 +72,42 @@ std::string explain_race(const AccessSite& first, const AccessSite& second,
   return out.str();
 }
 
+std::string summarize_races(const std::vector<RaceReport>& races, std::uint64_t race_count,
+                            std::uint64_t events, std::size_t threads) {
+  std::ostringstream out;
+  if (races.empty()) {
+    out << "race-free: no data races over " << events << " events, " << threads
+        << " threads";
+    return out.str();
+  }
+  out << races.size() << " distinct race(s), " << race_count << " racy access(es), over "
+      << events << " events:\n";
+  for (const RaceReport& r : races) out << r.to_string() << '\n';
+  return out.str();
+}
+
+std::vector<RaceReport> merge_shard_reports(std::vector<std::vector<RaceReport>> shards) {
+  std::vector<RaceReport> merged;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  merged.reserve(total);
+  for (auto& shard : shards) {
+    for (RaceReport& r : shard) merged.push_back(std::move(r));
+  }
+  std::stable_sort(merged.begin(), merged.end(), [](const RaceReport& a, const RaceReport& b) {
+    return a.second.event < b.second.event;
+  });
+  std::set<std::string> seen;
+  std::vector<RaceReport> deduped;
+  deduped.reserve(merged.size());
+  for (RaceReport& r : merged) {
+    if (seen.insert(race_pair_key(r.variable, r.first, r.second)).second) {
+      deduped.push_back(std::move(r));
+    }
+  }
+  return deduped;
+}
+
 Detector::Detector() {
   // Thread 0 is the main/root thread.
   ThreadState main;
@@ -436,16 +472,12 @@ VectorClock Detector::clock_of(ThreadId t) const {
 
 std::string Detector::summary() const {
   std::scoped_lock lock(mutex_);
-  std::ostringstream out;
-  if (races_.empty()) {
-    out << "race-free: no data races over " << events_ << " events, "
-        << threads_.size() << " threads";
-    return out.str();
-  }
-  out << races_.size() << " distinct race(s), " << race_count_ << " racy access(es), over "
-      << events_ << " events:\n";
-  for (const RaceReport& r : races_) out << r.to_string() << '\n';
-  return out.str();
+  return summarize_races(races_, race_count_, events_, threads_.size());
+}
+
+void Detector::set_event_clock(std::uint64_t seen) {
+  std::scoped_lock lock(mutex_);
+  events_ = seen;
 }
 
 }  // namespace cs31::race

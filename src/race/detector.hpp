@@ -87,6 +87,27 @@ struct RaceReport {
 [[nodiscard]] std::string explain_race(const AccessSite& first, const AccessSite& second,
                                        const std::string& why);
 
+/// The one summary format every verdict path prints (Detector::summary
+/// and trace::AnalysisPipeline::summary both call it), so a sharded
+/// analysis can be compared byte-for-byte against the inline one.
+[[nodiscard]] std::string summarize_races(const std::vector<RaceReport>& races,
+                                          std::uint64_t race_count, std::uint64_t events,
+                                          std::size_t threads);
+
+/// Deterministic merge of per-shard report lists into the order the
+/// inline detector would have produced. Because a report is keyed by
+/// the *second* access — the one that completed the race — and every
+/// detector stamps that access with its detector-global event number
+/// (which a sharded run overrides to the router's global numbering via
+/// set_event_clock), a stable sort on `second.event` reconstructs
+/// detection order exactly: two reports never share a stamp unless they
+/// fired on the same event, i.e. in the same shard, where input order
+/// already matches. Re-applies the race_pair_key dedup across shards as
+/// a safety net for caller-assembled lists (disjoint variable shards
+/// never need it).
+[[nodiscard]] std::vector<RaceReport> merge_shard_reports(
+    std::vector<std::vector<RaceReport>> shards);
+
 /// The event interface every race-detector implementation honours. An
 /// implementation is an event sink: feed it fork/join/acquire/release/
 /// read/write/barrier/channel events and ask for the verdict. All
@@ -202,6 +223,14 @@ class Detector final : public EventSink {
 
   /// Current clock of a thread (teaching/diagnostic).
   [[nodiscard]] VectorClock clock_of(ThreadId t) const;
+
+  /// Pin the event clock so the *next* event is numbered `seen + 1`.
+  /// A sharded analysis (trace::AnalysisPipeline) calls this before
+  /// every event with the router's global event index: each shard sees
+  /// only a slice of the stream, but its AccessSite.event values — and
+  /// therefore its reports — come out identical to an inline detector
+  /// that saw everything.
+  void set_event_clock(std::uint64_t seen);
 
  private:
   /// Compact access site: everything AccessSite carries, as ids. Only

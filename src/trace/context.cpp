@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
+#include "trace/pipeline.hpp"
 
 namespace cs31::trace {
 
@@ -31,9 +33,27 @@ std::uint64_t next_generation() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+/// Keep-threshold on the 32-bit xorshift output for a sample rate.
+std::uint32_t sample_threshold_for(double rate) {
+  require(rate >= 0.0 && rate <= 1.0 && !std::isnan(rate),
+          "sample_access_events must be in [0, 1]");
+  if (rate >= 1.0) return ~std::uint32_t{0};
+  return static_cast<std::uint32_t>(rate * 4294967296.0);
+}
+
+/// Per-thread sampling seed: any fixed nonzero function of the context
+/// tid keeps the decision stream deterministic per thread.
+std::uint32_t sample_seed(ThreadId t) {
+  const std::uint32_t seed = (static_cast<std::uint32_t>(t) + 1u) * 2654435761u;
+  return seed == 0 ? 1u : seed;
+}
+
 }  // namespace
 
-TraceContext::TraceContext(Options options) : generation_(next_generation()) {
+TraceContext::TraceContext(Options options)
+    : generation_(next_generation()),
+      sample_threshold_(sample_threshold_for(options.sample_access_events)),
+      sampling_(options.sample_access_events < 1.0) {
   if (options.own_detector) {
     owned_detector_ = std::make_unique<race::Detector>();
     detector_ = owned_detector_.get();
@@ -44,6 +64,7 @@ TraceContext::TraceContext(Options options) : generation_(next_generation()) {
   (void)site_names_.id("");
   // The constructing thread is context thread 0.
   auto main = std::make_unique<ThreadBuffer>();
+  main->rng = sample_seed(0);
   {
     std::scoped_lock lock(registry_mutex_);
     bindings_[std::this_thread::get_id()] = 0;
@@ -58,11 +79,24 @@ TraceContext::~TraceContext() {
 
 void TraceContext::attach_sink(race::EventSink& sink) {
   std::scoped_lock lock(stream_mutex_);
+  require(pipeline_ == nullptr,
+          "a pipelined trace context runs no inline sinks — attach them to the "
+          "pipeline side instead");
   SinkBinding binding;
   binding.sink = &sink;
   binding.fast = dynamic_cast<race::Detector*>(&sink);
   binding.tid_map.push_back(0);  // context thread 0 is sink thread 0
   sinks_.push_back(std::move(binding));
+}
+
+void TraceContext::attach_pipeline(AnalysisPipeline& pipeline) {
+  std::scoped_lock lock(stream_mutex_);
+  require(pipeline_ == nullptr, "trace context already has an analysis pipeline");
+  require(detector_ == nullptr && sinks_.empty(),
+          "attach_pipeline needs a context without inline sinks (own_detector = false, "
+          "nothing attached)");
+  require(next_stamp_ == 0 && drains_ == 0, "attach the pipeline before the first event");
+  pipeline_ = &pipeline;
 }
 
 race::Detector& TraceContext::detector() {
@@ -149,6 +183,7 @@ ThreadId TraceContext::fork_locked(ThreadId parent) {
     auto buf = std::make_unique<ThreadBuffer>();
     buf->epoch = stamp;  // the child's first epoch is the fork's
     buf->floor = stamp;  // and it cannot capture anything older
+    buf->rng = sample_seed(child);
     buffers_.push_back(std::move(buf));
     buffers_[parent]->epoch = stamp;  // the parent's next epoch too
   }
@@ -203,14 +238,27 @@ std::uint64_t TraceContext::record_sync(ThreadId t, EventKind kind, NameId id,
 
 void TraceContext::read(NameId var, NameId site) {
   ThreadBuffer& buf = buffer_of_self();
+  if (sampling_ && !sample_keep(buf)) return;
   if (tls_binding.parked) unpark(buf);
   append_access(buf, tls_binding.tid, EventKind::Read, var, site);
 }
 
 void TraceContext::write(NameId var, NameId site) {
   ThreadBuffer& buf = buffer_of_self();
+  if (sampling_ && !sample_keep(buf)) return;
   if (tls_binding.parked) unpark(buf);
   append_access(buf, tls_binding.tid, EventKind::Write, var, site);
+}
+
+bool TraceContext::sample_keep(ThreadBuffer& buf) {
+  std::uint32_t x = buf.rng;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  buf.rng = x;
+  if (x < sample_threshold_) return true;
+  ++buf.sampled_out;
+  return false;
 }
 
 void TraceContext::unpark(ThreadBuffer& buf) {
@@ -262,11 +310,15 @@ void TraceContext::recv(const std::string& channel) { recv(intern_channel(channe
 // --- scripted capture ---------------------------------------------------
 
 void TraceContext::read_as(ThreadId t, NameId var, NameId site) {
-  append_access(buffer_of(t), t, EventKind::Read, var, site);
+  ThreadBuffer& buf = buffer_of(t);
+  if (sampling_ && !sample_keep(buf)) return;
+  append_access(buf, t, EventKind::Read, var, site);
 }
 
 void TraceContext::write_as(ThreadId t, NameId var, NameId site) {
-  append_access(buffer_of(t), t, EventKind::Write, var, site);
+  ThreadBuffer& buf = buffer_of(t);
+  if (sampling_ && !sample_keep(buf)) return;
+  append_access(buf, t, EventKind::Write, var, site);
 }
 
 void TraceContext::acquire_as(ThreadId t, NameId lock) {
@@ -305,8 +357,14 @@ void TraceContext::barrier_cycle(std::vector<ThreadId> waiters, bool report) {
 }
 
 void TraceContext::flush() {
-  std::scoped_lock lock(stream_mutex_);
-  drain_locked({}, /*all=*/true);
+  {
+    std::scoped_lock lock(stream_mutex_);
+    drain_locked({}, /*all=*/true);
+  }
+  // "Flush, then read the verdict" must keep holding with a pipeline:
+  // wait (outside the stream mutex — the pipeline never needs it) until
+  // every published event has been analyzed.
+  if (pipeline_ != nullptr) pipeline_->wait_idle();
 }
 
 void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
@@ -364,8 +422,45 @@ void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
     return;
   }
   ++drains_;
-  for (std::size_t i = 0; i < safe; ++i) dispatch(merged[i]);
+  if (pipeline_ != nullptr) {
+    publish_locked(merged, safe);
+  } else {
+    for (std::size_t i = 0; i < safe; ++i) dispatch(merged[i]);
+  }
   pending_.assign(merged.begin() + safe, merged.end());
+}
+
+void TraceContext::publish_locked(const std::vector<Event>& events, std::size_t count) {
+  EventBatch batch;
+  batch.events.assign(events.begin(), events.begin() + count);
+  {
+    // Snapshot the name tails interned since the last publish: every id
+    // an event carries was interned before the event was captured, so
+    // the batch is self-contained — pipeline threads never call back
+    // into the context.
+    std::scoped_lock lock(intern_mutex_);
+    for (; published_vars_ < var_names_.size(); ++published_vars_) {
+      batch.new_vars.push_back(var_names_.name(static_cast<NameId>(published_vars_)));
+    }
+    for (; published_locks_ < lock_names_.size(); ++published_locks_) {
+      batch.new_locks.push_back(lock_names_.name(static_cast<NameId>(published_locks_)));
+    }
+    for (; published_channels_ < channel_names_.size(); ++published_channels_) {
+      batch.new_channels.push_back(
+          channel_names_.name(static_cast<NameId>(published_channels_)));
+    }
+    for (; published_sites_ < site_names_.size(); ++published_sites_) {
+      batch.new_sites.push_back(site_names_.name(static_cast<NameId>(published_sites_)));
+    }
+  }
+  for (; published_waiters_ < waiter_sets_.size(); ++published_waiters_) {
+    batch.new_waiter_sets.push_back(waiter_sets_[published_waiters_]);
+  }
+  // May block on backpressure (holding stream_mutex_): capture threads
+  // trying to record sync events then wait too, which is exactly the
+  // memory cap the bounded queue promises. The pipeline's consumers
+  // never take stream_mutex_, so this cannot deadlock.
+  pipeline_->publish(std::move(batch));
 }
 
 void TraceContext::dispatch(const Event& event) {
@@ -491,10 +586,17 @@ std::vector<BufferStats> TraceContext::buffer_stats() const {
   for (ThreadId t = 0; t < buffers_.size(); ++t) {
     const ThreadBuffer& buf = *buffers_[t];
     stats.push_back(BufferStats{
-        t, buf.captured,
-        std::max<std::uint64_t>(buf.high_water, buf.events.size())});
+        t, buf.captured, std::max<std::uint64_t>(buf.high_water, buf.events.size()),
+        buf.sampled_out});
   }
   return stats;
+}
+
+std::uint64_t TraceContext::events_sampled_out() const {
+  std::scoped_lock lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->sampled_out;
+  return total;
 }
 
 std::uint64_t TraceContext::drains() const {

@@ -53,12 +53,15 @@
 
 namespace cs31::trace {
 
+class AnalysisPipeline;
+
 /// Capture-side statistics for one thread's buffer — the numbers
 /// bench_race_overhead reports as per-thread high-water marks.
 struct BufferStats {
   ThreadId thread = 0;
-  std::uint64_t captured = 0;    ///< lifetime events recorded
-  std::uint64_t high_water = 0;  ///< max buffered events seen at a drain
+  std::uint64_t captured = 0;     ///< lifetime events recorded
+  std::uint64_t high_water = 0;   ///< max buffered events seen at a drain
+  std::uint64_t sampled_out = 0;  ///< access events dropped by sampling
 };
 
 class TraceContext {
@@ -66,8 +69,19 @@ class TraceContext {
   struct Options {
     /// Construct and attach the built-in FastTrack race::Detector. Turn
     /// off to drive only externally attached sinks (e.g. timing the
-    /// ReferenceDetector alone).
+    /// ReferenceDetector alone) or an AnalysisPipeline.
     bool own_detector = true;
+
+    /// Sampling capture mode: keep each *access* event with this
+    /// probability (sync events are always kept — dropping one would
+    /// invent false races by erasing a real happens-before edge). The
+    /// per-thread decision stream is a counter-free xorshift seeded by
+    /// the thread's context id, so a given rate drops the *same*
+    /// accesses run after run: sampled verdicts are reproducible, and
+    /// rate 1.0 is bit-for-bit the unsampled capture path.
+    /// bench_race_overhead quantifies the detection-probability /
+    /// overhead trade-off (EXPERIMENTS.md has the curve).
+    double sample_access_events = 1.0;
   };
 
   TraceContext() : TraceContext(Options{}) {}
@@ -89,6 +103,17 @@ class TraceContext {
   [[nodiscard]] race::Detector& detector();
   [[nodiscard]] const race::Detector& detector() const;
   [[nodiscard]] bool has_detector() const { return detector_ != nullptr; }
+
+  /// Route drains through `pipeline` instead of inline sinks: a drain
+  /// publishes its dispatched prefix as one self-contained batch and
+  /// returns — analysis happens on the pipeline's threads, off the
+  /// parallel hot path (see pipeline.hpp). Requires a context with no
+  /// inline sinks (own_detector = false, nothing attached) and no
+  /// events yet; flush() then additionally waits for the pipeline to go
+  /// idle, so "flush, then read the verdict" keeps working. The
+  /// pipeline must outlive the context.
+  void attach_pipeline(AnalysisPipeline& pipeline);
+  [[nodiscard]] bool has_pipeline() const { return pipeline_ != nullptr; }
 
   // --- interning -------------------------------------------------------
   // Ids are context-owned; the drain translates them per sink. Safe
@@ -176,6 +201,8 @@ class TraceContext {
   [[nodiscard]] std::vector<BufferStats> buffer_stats() const;
   [[nodiscard]] std::uint64_t drains() const;
   [[nodiscard]] std::uint64_t events_captured() const;
+  /// Access events dropped by the sampling capture mode (0 at rate 1.0).
+  [[nodiscard]] std::uint64_t events_sampled_out() const;
 
  private:
   /// A parked thread's floor: it promises no further captures until it
@@ -186,6 +213,8 @@ class TraceContext {
     std::vector<Event> events;
     std::uint64_t seq = 0;         ///< next per-thread sequence number
     std::uint64_t epoch = 0;       ///< last observed sync stamp
+    std::uint32_t rng = 1;         ///< sampling decision stream (per-thread, seeded by tid)
+    std::uint64_t sampled_out = 0; ///< access events dropped by sampling
     /// Smallest stamp this thread could still capture or hold
     /// undrained (guarded by stream_mutex_): its epoch as of its last
     /// drain, kParkedFloor when parked or joined. A drain may dispatch
@@ -211,6 +240,9 @@ class TraceContext {
   [[nodiscard]] ThreadBuffer& buffer_of(ThreadId t);
   void append_access(ThreadBuffer& buf, ThreadId t, EventKind kind, NameId id,
                      NameId site);
+  /// Advance `buf`'s sampling stream one step; false means drop the
+  /// access (and count it). Only called when sampling is enabled.
+  [[nodiscard]] bool sample_keep(ThreadBuffer& buf);
   /// Slow path of the first capture after park_self().
   void unpark(ThreadBuffer& buf);
   /// Record a sync event: assigns the next stamp under stream_mutex_,
@@ -223,10 +255,19 @@ class TraceContext {
   void drain_locked(const std::vector<ThreadId>& subset, bool all);
   void dispatch(const Event& event);
   void dispatch_to(SinkBinding& binding, const Event& event);
+  /// Publish `events[0..count)` plus the name/waiter-set deltas interned
+  /// since the last publish to the attached pipeline (may block on
+  /// backpressure). Caller holds stream_mutex_.
+  void publish_locked(const std::vector<Event>& events, std::size_t count);
 
   const std::uint64_t generation_;  ///< thread-local cache validation
+  /// Sampling threshold on the xorshift output: keep while below. ~0
+  /// disables the sampling branch entirely (rate 1.0).
+  const std::uint32_t sample_threshold_;
+  const bool sampling_;
   std::unique_ptr<race::Detector> owned_detector_;
   race::Detector* detector_ = nullptr;  ///< == owned_detector_ when owned
+  AnalysisPipeline* pipeline_ = nullptr;  ///< set once, before the first event
 
   /// Serializes sync-event capture and drains (stamps are assigned
   /// under it, so stream order == stamp order == real sync order).
@@ -237,6 +278,10 @@ class TraceContext {
   std::vector<std::vector<ThreadId>> waiter_sets_;  ///< BarrierCycle payloads
   std::vector<SinkBinding> sinks_;
   std::uint64_t drains_ = 0;
+  /// Table prefixes already shipped to the pipeline (guarded by
+  /// stream_mutex_; the interners themselves by intern_mutex_).
+  std::size_t published_vars_ = 0, published_locks_ = 0, published_channels_ = 0,
+              published_sites_ = 0, published_waiters_ = 0;
 
   mutable std::mutex registry_mutex_;
   std::map<std::thread::id, ThreadId> bindings_;

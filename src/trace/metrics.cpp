@@ -155,4 +155,30 @@ std::uint64_t MetricsSink::barrier_cycles() const {
   return barrier_cycles_;
 }
 
+void MetricsSink::merge(const MetricsDelta& delta,
+                        const std::vector<std::string>& lock_names) {
+  std::scoped_lock lock(mutex_);
+  if (delta.threads.size() > threads_.size()) threads_.resize(delta.threads.size());
+  for (std::size_t t = 0; t < delta.threads.size(); ++t) {
+    const ThreadMetrics& d = delta.threads[t];
+    ThreadMetrics& m = threads_[t];
+    m.reads += d.reads;
+    m.writes += d.writes;
+    m.acquires += d.acquires;
+    m.releases += d.releases;
+    m.sends += d.sends;
+    m.recvs += d.recvs;
+    m.barriers += d.barriers;
+  }
+  for (std::size_t id = 0; id < delta.lock_acquires.size(); ++id) {
+    if (delta.lock_acquires[id] == 0) continue;
+    require(id < lock_names.size(), "metrics merge: delta lock id has no name");
+    const auto own = lock_names_.id(lock_names[id]);
+    if (own >= lock_acquires_.size()) lock_acquires_.resize(own + 1, 0);
+    lock_acquires_[own] += delta.lock_acquires[id];
+  }
+  barrier_cycles_ += delta.barrier_cycles;
+  events_ += delta.events;
+}
+
 }  // namespace cs31::trace

@@ -31,6 +31,34 @@ struct ThreadMetrics {
   }
 };
 
+/// Lock-free per-worker accumulator for pipelined analysis: a shard
+/// worker (or the router, for sync events) counts into its own delta —
+/// plain integers, no shared atomics on the hot path — and the deltas
+/// are merged into the MetricsSink under its one lock when the pipeline
+/// goes idle. Thread ids and lock ids are the *context's* ids; lock
+/// names are resolved at merge time via the name table the merger
+/// passes in.
+struct MetricsDelta {
+  std::vector<ThreadMetrics> threads;          ///< by context thread id
+  std::vector<std::uint64_t> lock_acquires;    ///< by context lock id
+  std::uint64_t barrier_cycles = 0;
+  std::uint64_t events = 0;
+
+  [[nodiscard]] ThreadMetrics& of(race::ThreadId t) {
+    if (t >= threads.size()) threads.resize(t + 1);
+    return threads[t];
+  }
+  void count_acquire(race::ThreadId t, race::NameId lock) {
+    ++of(t).acquires;
+    if (lock >= lock_acquires.size()) lock_acquires.resize(lock + 1, 0);
+    ++lock_acquires[lock];
+    ++events;
+  }
+  [[nodiscard]] bool empty() const {
+    return threads.empty() && lock_acquires.empty() && barrier_cycles == 0 && events == 0;
+  }
+};
+
 class MetricsSink final : public race::EventSink {
  public:
   MetricsSink();
@@ -65,6 +93,11 @@ class MetricsSink final : public race::EventSink {
   /// lock, the more serialization it imposes.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> lock_acquires() const;
   [[nodiscard]] std::uint64_t barrier_cycles() const;
+
+  /// Fold one worker's delta into the totals (one lock acquisition per
+  /// *flush*, not per event). `lock_names[id]` names the delta's lock
+  /// ids; a merged run's totals equal the inline sink's exactly.
+  void merge(const MetricsDelta& delta, const std::vector<std::string>& lock_names);
 
  private:
   ThreadMetrics& of(race::ThreadId t);

@@ -1,0 +1,353 @@
+#include "trace/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cs31::trace {
+
+// --- BoundedQueue --------------------------------------------------------
+
+template <typename T>
+void AnalysisPipeline::BoundedQueue<T>::push(T item) {
+  std::unique_lock lock(mutex);
+  require(!closed, "analysis pipeline: publish after shutdown");
+  if (items.size() >= capacity) {
+    ++waits;
+    not_full.wait(lock, [&] { return items.size() < capacity; });
+  }
+  items.push_back(std::move(item));
+  high_water = std::max<std::uint64_t>(high_water, items.size());
+  not_empty.notify_all();
+}
+
+template <typename T>
+bool AnalysisPipeline::BoundedQueue<T>::pop(T& out) {
+  std::unique_lock lock(mutex);
+  not_empty.wait(lock, [&] { return !items.empty() || closed; });
+  if (items.empty()) return false;
+  out = std::move(items.front());
+  items.pop_front();
+  consumer_busy = true;
+  not_full.notify_all();
+  return true;
+}
+
+template <typename T>
+void AnalysisPipeline::BoundedQueue<T>::done() {
+  std::scoped_lock lock(mutex);
+  consumer_busy = false;
+  // wait_drained waits on not_full too (an empty queue is "not full").
+  not_full.notify_all();
+}
+
+template <typename T>
+void AnalysisPipeline::BoundedQueue<T>::close() {
+  std::scoped_lock lock(mutex);
+  closed = true;
+  not_empty.notify_all();
+  not_full.notify_all();
+}
+
+template <typename T>
+void AnalysisPipeline::BoundedQueue<T>::wait_drained() {
+  std::unique_lock lock(mutex);
+  not_full.wait(lock, [&] { return items.empty() && !consumer_busy; });
+}
+
+// --- pipeline ------------------------------------------------------------
+
+AnalysisPipeline::AnalysisPipeline(Options options) : options_(options) {
+  require(options_.shards >= 1, "analysis pipeline needs at least one shard");
+  require(options_.queue_capacity >= 1, "analysis pipeline queue capacity must be >= 1");
+  batches_.capacity = options_.queue_capacity;
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+    shards_.back()->stats.shard = s;
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    shard->worker = std::thread([this, s] { shard_main(*s); });
+  }
+  router_ = std::thread([this] { router_main(); });
+}
+
+AnalysisPipeline::~AnalysisPipeline() {
+  // Graceful drain: closed queues still deliver what they hold, so
+  // everything published before destruction is analyzed.
+  batches_.close();
+  if (router_.joinable()) router_.join();
+  for (auto& shard : shards_) {
+    shard->queue.close();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void AnalysisPipeline::attach_metrics(MetricsSink& sink) {
+  std::scoped_lock lock(metrics_mutex_);
+  require(metrics_sink_ == nullptr, "analysis pipeline already has a metrics sink");
+  metrics_sink_ = &sink;
+}
+
+void AnalysisPipeline::publish(EventBatch batch) { batches_.push(std::move(batch)); }
+
+void AnalysisPipeline::router_main() {
+  EventBatch batch;
+  std::vector<ShardChunk> staging(shards_.size());
+  while (batches_.pop(batch)) {
+    // Table deltas go to every shard (each keeps private copies) and to
+    // the router's own metrics tables.
+    lock_names_.insert(lock_names_.end(), batch.new_locks.begin(), batch.new_locks.end());
+    waiter_sets_.insert(waiter_sets_.end(), batch.new_waiter_sets.begin(),
+                        batch.new_waiter_sets.end());
+    for (ShardChunk& chunk : staging) {
+      chunk.new_vars = batch.new_vars;
+      chunk.new_locks = batch.new_locks;
+      chunk.new_channels = batch.new_channels;
+      chunk.new_sites = batch.new_sites;
+      chunk.new_waiter_sets = batch.new_waiter_sets;
+    }
+    for (const Event& event : batch.events) {
+      const std::uint64_t index = ++next_index_;
+      if (!is_sync(event.kind)) {
+        // Access event: exactly one shard owns this variable's shadow
+        // state. (Shard metrics count it, so nothing is counted twice.)
+        staging[event.id % shards_.size()].events.push_back(StampedEvent{event, index});
+        continue;
+      }
+      // Sync event: broadcast — every shard advances the same
+      // happens-before state an inline detector would hold.
+      for (ShardChunk& chunk : staging) chunk.events.push_back(StampedEvent{event, index});
+      ++router_metrics_.events;
+      switch (event.kind) {
+        case EventKind::Acquire:
+          // count_acquire bumps events itself; undo the generic bump.
+          --router_metrics_.events;
+          router_metrics_.count_acquire(event.thread, event.id);
+          break;
+        case EventKind::Release:
+          ++router_metrics_.of(event.thread).releases;
+          break;
+        case EventKind::ChannelSend:
+          ++router_metrics_.of(event.thread).sends;
+          break;
+        case EventKind::ChannelRecv:
+          ++router_metrics_.of(event.thread).recvs;
+          break;
+        case EventKind::Fork:
+          (void)router_metrics_.of(event.id);  // the child gets a row
+          break;
+        case EventKind::Join:
+          break;
+        case EventKind::BarrierCycle:
+          for (const ThreadId w : waiter_sets_[event.id]) ++router_metrics_.of(w).barriers;
+          ++router_metrics_.barrier_cycles;
+          break;
+        default:
+          break;
+      }
+    }
+    for (std::size_t s = 0; s < staging.size(); ++s) {
+      ShardChunk& chunk = staging[s];
+      const bool has_deltas = !chunk.new_vars.empty() || !chunk.new_locks.empty() ||
+                              !chunk.new_channels.empty() || !chunk.new_sites.empty() ||
+                              !chunk.new_waiter_sets.empty();
+      if (chunk.events.empty() && !has_deltas) continue;
+      shards_[s]->queue.push(std::move(chunk));
+      staging[s] = ShardChunk{};
+    }
+    batch = EventBatch{};
+    batches_.done();
+  }
+}
+
+namespace {
+
+/// Sink-side id for a context id, translating through `map` and
+/// interning into the shard's detector on first sight (the same scheme
+/// the inline SinkBinding uses).
+template <typename Intern>
+NameId translate(std::vector<NameId>& map, NameId id, Intern&& intern) {
+  constexpr NameId kUnset = static_cast<NameId>(-1);
+  if (id >= map.size()) map.resize(id + 1, kUnset);
+  if (map[id] == kUnset) map[id] = intern();
+  return map[id];
+}
+
+}  // namespace
+
+void AnalysisPipeline::shard_main(Shard& shard) {
+  ShardChunk chunk;
+  while (shard.queue.pop(chunk)) {
+    const auto begin = std::chrono::steady_clock::now();
+    shard.vars.insert(shard.vars.end(), chunk.new_vars.begin(), chunk.new_vars.end());
+    shard.locks.insert(shard.locks.end(), chunk.new_locks.begin(), chunk.new_locks.end());
+    shard.channels.insert(shard.channels.end(), chunk.new_channels.begin(),
+                          chunk.new_channels.end());
+    shard.sites.insert(shard.sites.end(), chunk.new_sites.begin(), chunk.new_sites.end());
+    shard.waiter_sets.insert(shard.waiter_sets.end(), chunk.new_waiter_sets.begin(),
+                             chunk.new_waiter_sets.end());
+    for (const StampedEvent& stamped : chunk.events) apply(shard, stamped);
+    ++shard.stats.chunks;
+    shard.stats.busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+    chunk = ShardChunk{};
+    shard.queue.done();
+  }
+}
+
+void AnalysisPipeline::apply(Shard& shard, const StampedEvent& stamped) {
+  const Event& event = stamped.event;
+  race::Detector& detector = shard.detector;
+  // Pin the detector's event clock to the router's global numbering, so
+  // this shard's AccessSite.event values — and therefore its reports —
+  // match what an inline detector seeing the whole stream would record.
+  detector.set_event_clock(stamped.index - 1);
+  const ThreadId t = shard.tid_map[event.thread];
+  switch (event.kind) {
+    case EventKind::Read:
+    case EventKind::Write: {
+      const NameId var = translate(shard.var_map, event.id,
+                                   [&] { return detector.intern_var(shard.vars[event.id]); });
+      const NameId site = translate(shard.site_map, event.site, [&] {
+        return detector.intern_site(shard.sites[event.site]);
+      });
+      if (event.kind == EventKind::Read) {
+        detector.read(t, var, site);
+        ++shard.metrics.of(event.thread).reads;
+      } else {
+        detector.write(t, var, site);
+        ++shard.metrics.of(event.thread).writes;
+      }
+      ++shard.metrics.events;
+      ++shard.stats.access_events;
+      return;
+    }
+    case EventKind::Acquire:
+    case EventKind::Release: {
+      const NameId lock = translate(shard.lock_map, event.id, [&] {
+        return detector.intern_lock(shard.locks[event.id]);
+      });
+      if (event.kind == EventKind::Acquire) {
+        detector.acquire(t, lock);
+      } else {
+        detector.release(t, lock);
+      }
+      break;
+    }
+    case EventKind::ChannelSend:
+    case EventKind::ChannelRecv: {
+      const NameId channel = translate(shard.channel_map, event.id, [&] {
+        return detector.intern_channel(shard.channels[event.id]);
+      });
+      if (event.kind == EventKind::ChannelSend) {
+        detector.channel_send(t, channel);
+      } else {
+        detector.channel_recv(t, channel);
+      }
+      break;
+    }
+    case EventKind::Fork: {
+      const ThreadId child = detector.fork(t);
+      if (event.id >= shard.tid_map.size()) shard.tid_map.resize(event.id + 1, 0);
+      shard.tid_map[event.id] = child;
+      break;
+    }
+    case EventKind::Join:
+      detector.join(t, shard.tid_map[event.id]);
+      break;
+    case EventKind::BarrierCycle: {
+      const std::vector<ThreadId>& waiters = shard.waiter_sets[event.id];
+      std::vector<ThreadId> mapped;
+      mapped.reserve(waiters.size());
+      for (const ThreadId w : waiters) mapped.push_back(shard.tid_map[w]);
+      detector.barrier(mapped);
+      break;
+    }
+  }
+  ++shard.stats.sync_events;
+}
+
+void AnalysisPipeline::wait_idle() {
+  // Stage order matters: once the batch queue is drained the router has
+  // pushed every chunk, so draining each shard queue afterwards proves
+  // every published event was analyzed.
+  batches_.wait_drained();
+  for (auto& shard : shards_) shard->queue.wait_drained();
+  std::scoped_lock lock(metrics_mutex_);
+  merge_metrics_locked();
+}
+
+void AnalysisPipeline::merge_metrics_locked() {
+  if (metrics_sink_ == nullptr) return;
+  // The workers are idle (wait_idle just proved it), so their deltas
+  // are stable; merging clears them so the next idle point only adds
+  // what is new.
+  if (!router_metrics_.empty()) {
+    metrics_sink_->merge(router_metrics_, lock_names_);
+    router_metrics_ = MetricsDelta{};
+  }
+  static const std::vector<std::string> kNoLocks;
+  for (auto& shard : shards_) {
+    if (shard->metrics.empty()) continue;
+    metrics_sink_->merge(shard->metrics, kNoLocks);
+    shard->metrics = MetricsDelta{};
+  }
+}
+
+std::vector<race::RaceReport> AnalysisPipeline::races() const {
+  std::vector<std::vector<race::RaceReport>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) per_shard.push_back(shard->detector.races());
+  return race::merge_shard_reports(std::move(per_shard));
+}
+
+bool AnalysisPipeline::race_free() const {
+  for (const auto& shard : shards_) {
+    if (!shard->detector.race_free()) return false;
+  }
+  return true;
+}
+
+std::uint64_t AnalysisPipeline::race_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector.race_count();
+  return total;
+}
+
+std::uint64_t AnalysisPipeline::events() const { return next_index_; }
+
+std::string AnalysisPipeline::summary() const {
+  return race::summarize_races(races(), race_count(), events(),
+                               shards_.front()->detector.threads());
+}
+
+std::vector<ShardStats> AnalysisPipeline::shard_stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats);
+  return stats;
+}
+
+std::uint64_t AnalysisPipeline::publish_waits() const {
+  std::uint64_t total = 0;
+  {
+    std::scoped_lock lock(batches_.mutex);
+    total += batches_.waits;
+  }
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->queue.mutex);
+    total += shard->queue.waits;
+  }
+  return total;
+}
+
+std::uint64_t AnalysisPipeline::batch_high_water() const {
+  std::scoped_lock lock(batches_.mutex);
+  return batches_.high_water;
+}
+
+}  // namespace cs31::trace

@@ -1,0 +1,203 @@
+// Off-critical-path race analysis. Inline sinks run on the *draining*
+// thread — every Life worker sits blocked in the barrier while one
+// thread replays the whole drained stream through every detector, so
+// analysis cost lands squarely on the parallel hot path. An
+// AnalysisPipeline moves that work off the path: a drain publishes its
+// dispatched prefix as one EventBatch to a bounded MPSC queue and
+// returns, shrinking the barrier stall to queue-publish cost. Behind
+// the queue:
+//
+//   route  — a router thread pops batches in order, assigns each event
+//            its global index (the position it would have had in the
+//            inline dispatch sequence), BROADCASTS sync events to every
+//            shard and ROUTES access events by interned variable id
+//            (var % shards) to exactly one shard.
+//   shard  — N workers, each owning a private race::Detector — a
+//            disjoint slice of FastTrack shadow state. Per-variable
+//            VarState makes the split exact; thread/lock/channel
+//            vector clocks evolve only on the broadcast sync stream, so
+//            every shard holds the same happens-before state an inline
+//            detector would, and the shards never share a mutable byte.
+//   merge  — per-shard reports carry the router's global event numbers
+//            (Detector::set_event_clock), so race::merge_shard_reports
+//            reconstructs inline detection order exactly: reports,
+//            race_count, events, and summary() are byte-identical to
+//            inline mode for ANY shard count and ANY queue capacity.
+//
+// Backpressure: both the batch queue and the per-shard chunk queues are
+// bounded; a publisher that finds its queue full BLOCKS until the
+// consumer catches up, so buffer memory stays capped no matter how far
+// analysis falls behind (publish_waits() counts how often that bit).
+//
+// Determinism contract: batches arrive in drain order (the publisher
+// holds the context's stream mutex), the router consumes them FIFO, and
+// each shard consumes its chunks FIFO — so every shard sees its slice
+// of the one globally ordered stream in order, and the merge is a pure
+// function of that stream. Queue capacities and thread scheduling can
+// change *when* analysis happens, never its result.
+//
+// Lifetime: construct the pipeline BEFORE the TraceContext that feeds
+// it (destruction then stops the workers after the context's last
+// drain). Batches are self-contained — events plus the name-table and
+// waiter-set deltas interned since the previous publish — so pipeline
+// threads never call back into the context.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "race/detector.hpp"
+#include "trace/event.hpp"
+#include "trace/metrics.hpp"
+
+namespace cs31::trace {
+
+/// One drain's dispatched prefix, in drain order, plus everything the
+/// events reference that the pipeline has not seen yet (names and
+/// barrier waiter sets are append-only tables; the delta is the tail
+/// grown since the last publish).
+struct EventBatch {
+  std::vector<Event> events;
+  std::vector<std::string> new_vars, new_locks, new_channels, new_sites;
+  std::vector<std::vector<ThreadId>> new_waiter_sets;
+};
+
+/// Per-shard throughput accounting, for the shard-scaling measurement
+/// in bench_race_overhead: `busy_seconds` is time spent analyzing (not
+/// blocked on the queue), so total events / max busy_seconds is the
+/// pipeline's analysis capacity with this shard count.
+struct ShardStats {
+  std::size_t shard = 0;
+  std::uint64_t access_events = 0;  ///< routed here exclusively
+  std::uint64_t sync_events = 0;    ///< broadcast to every shard
+  std::uint64_t chunks = 0;
+  double busy_seconds = 0.0;
+};
+
+class AnalysisPipeline {
+ public:
+  struct Options {
+    std::size_t shards = 2;         ///< analysis workers (>= 1)
+    std::size_t queue_capacity = 8; ///< max pending batches/chunks per queue (>= 1)
+  };
+
+  AnalysisPipeline() : AnalysisPipeline(Options{}) {}
+  explicit AnalysisPipeline(Options options);
+  ~AnalysisPipeline();
+
+  AnalysisPipeline(const AnalysisPipeline&) = delete;
+  AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;
+
+  /// Also maintain event-mix metrics: the router and each shard count
+  /// into private MetricsDeltas (no shared state on the hot path),
+  /// merged into `sink` each time the pipeline goes idle. Attach before
+  /// the first publish; the sink must outlive the pipeline.
+  void attach_metrics(MetricsSink& sink);
+
+  // --- producer side (called by TraceContext) --------------------------
+
+  /// Enqueue one drained batch. Blocks while the queue is full — the
+  /// backpressure that caps memory. Order across publishers is the
+  /// caller's job (TraceContext publishes under its stream mutex).
+  void publish(EventBatch batch);
+
+  /// Block until every published event has been routed and analyzed
+  /// (and metrics deltas merged). TraceContext::flush calls this, so
+  /// the read-the-verdict rule is unchanged: flush, then read.
+  void wait_idle();
+
+  // --- results (valid while idle) --------------------------------------
+
+  /// Merged reports in inline detection order (see file comment).
+  [[nodiscard]] std::vector<race::RaceReport> races() const;
+  [[nodiscard]] bool race_free() const;
+  [[nodiscard]] std::uint64_t race_count() const;
+  /// Total events routed — equals the inline detector's events().
+  [[nodiscard]] std::uint64_t events() const;
+  /// Byte-identical to the inline Detector::summary() for the same run.
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+  /// How often a publisher blocked on a full queue (batch + chunk).
+  [[nodiscard]] std::uint64_t publish_waits() const;
+  [[nodiscard]] std::uint64_t batch_high_water() const;
+
+ private:
+  struct StampedEvent {
+    Event event;
+    std::uint64_t index = 0;  ///< 1-based global event number
+  };
+
+  /// What the router hands a shard: its slice of one batch, plus the
+  /// table deltas (each shard keeps private copies — duplication buys
+  /// zero sharing between analysis threads).
+  struct ShardChunk {
+    std::vector<StampedEvent> events;
+    std::vector<std::string> new_vars, new_locks, new_channels, new_sites;
+    std::vector<std::vector<ThreadId>> new_waiter_sets;
+  };
+
+  /// A bounded FIFO with blocking push — the backpressure primitive
+  /// (one for the batch queue, one per shard).
+  template <typename T>
+  struct BoundedQueue {
+    mutable std::mutex mutex;
+    std::condition_variable not_full, not_empty;
+    std::deque<T> items;
+    std::size_t capacity = 8;
+    bool closed = false;
+    bool consumer_busy = false;
+    std::uint64_t waits = 0;       ///< producer blocks on full
+    std::uint64_t high_water = 0;
+
+    void push(T item);
+    /// False when closed and drained; sets consumer_busy while an item
+    /// is out (cleared by done()).
+    bool pop(T& out);
+    void done();
+    void close();
+    void wait_drained();
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t cap) { queue.capacity = cap; }
+    BoundedQueue<ShardChunk> queue;
+    std::thread worker;
+    race::Detector detector;
+    // Context-id translation state, mirroring the inline SinkBinding.
+    std::vector<ThreadId> tid_map{0};  ///< context tid -> detector tid
+    std::vector<NameId> var_map, lock_map, channel_map, site_map;
+    std::vector<std::string> vars, locks, channels, sites;  ///< by context id
+    std::vector<std::vector<ThreadId>> waiter_sets;
+    MetricsDelta metrics;
+    ShardStats stats;
+  };
+
+  void router_main();
+  void shard_main(Shard& shard);
+  void apply(Shard& shard, const StampedEvent& stamped);
+  void merge_metrics_locked();
+
+  const Options options_;
+  BoundedQueue<EventBatch> batches_;
+  std::thread router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Router-owned (no lock needed: only the router thread touches them
+  // while running; readers wait for idle first).
+  std::uint64_t next_index_ = 0;
+  std::vector<std::string> lock_names_;  ///< for the metrics merge
+  std::vector<std::vector<ThreadId>> waiter_sets_;  ///< for barrier metrics
+  MetricsDelta router_metrics_;
+
+  std::mutex metrics_mutex_;
+  MetricsSink* metrics_sink_ = nullptr;  ///< set once, before first publish
+};
+
+}  // namespace cs31::trace

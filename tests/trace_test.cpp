@@ -2,10 +2,15 @@
 // capture, deterministic drain order (byte-identical certificates),
 // real-thread ParallelLife::run against the replay path, per-slot
 // BoundedBuffer precision, the Eraser-style LocksetDetector (including
-// its documented disagreement with happens-before), and the MetricsSink.
+// its documented disagreement with happens-before), the MetricsSink,
+// and the PR 4 AnalysisPipeline (sharded off-thread analysis whose
+// certificates must be byte-identical to inline mode, under any shard
+// count, under backpressure, and with merged metrics equal to the
+// inline sink's).
 #include <gtest/gtest.h>
 
 #include <future>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -19,6 +24,7 @@
 #include "trace/context.hpp"
 #include "trace/instrumented.hpp"
 #include "trace/metrics.hpp"
+#include "trace/pipeline.hpp"
 
 namespace cs31::trace {
 namespace {
@@ -228,6 +234,261 @@ TEST(TracedBoundedBufferSlots, RaceIsLocalizedToTheExactItem) {
   ASSERT_EQ(races.size(), 1u);
   EXPECT_EQ(races.front().variable, "y");
   EXPECT_NE(races.front().second.where.find("after item A"), std::string::npos);
+}
+
+// --- the sharded analysis pipeline (PR 4) -----------------------------
+
+// Mutex-bearing test objects live on the heap throughout this section:
+// libstdc++'s std::mutex never calls pthread_mutex_destroy, so TSan
+// cannot tell when a stack slot is reused by a different mutex in a
+// later test, and its cumulative lock-order graph then reports cycles
+// spanning unrelated tests. Freed heap memory resets that metadata.
+life::TracedLifeResult piped_life(const life::Grid& initial, bool use_barrier,
+                                  std::size_t shards, std::size_t queue_capacity = 8) {
+  const auto pipeline = std::make_unique<AnalysisPipeline>(
+      AnalysisPipeline::Options{.shards = shards, .queue_capacity = queue_capacity});
+  life::TracedLifeOptions options;
+  options.use_barrier = use_barrier;
+  options.pipeline = pipeline.get();
+  return life::traced_life_check(initial, 3, 3, options);
+}
+
+TEST(AnalysisPipelineTest, RaceReportsByteIdenticalAcrossShardCounts) {
+  // The determinism contract: the barrier-less Life's full race report
+  // — every reported pair, in inline detection order, with inline event
+  // numbers — survives any sharding of the analysis.
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 2022);
+  const auto inline_run = life::traced_life_check(initial, 3, 3, /*use_barrier=*/false);
+  ASSERT_FALSE(inline_run.race_free);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const auto piped = piped_life(initial, /*use_barrier=*/false, shards);
+    EXPECT_EQ(piped.report, inline_run.report) << shards << " shards";
+    EXPECT_EQ(piped.races.size(), inline_run.races.size()) << shards << " shards";
+    EXPECT_EQ(piped.events, inline_run.events) << shards << " shards";
+  }
+}
+
+TEST(AnalysisPipelineTest, RaceFreeCertificateByteIdenticalAcrossShardCounts) {
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 2022);
+  const auto inline_run = life::traced_life_check(initial, 3, 3, /*use_barrier=*/true);
+  ASSERT_TRUE(inline_run.race_free);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const auto piped = piped_life(initial, /*use_barrier=*/true, shards);
+    EXPECT_TRUE(piped.race_free) << shards << " shards";
+    EXPECT_EQ(piped.report, inline_run.report) << shards << " shards";
+    EXPECT_EQ(piped.grid, inline_run.grid) << shards << " shards";
+  }
+}
+
+TEST(AnalysisPipelineTest, CapacityTwoQueueForcesBackpressureAndStaysExact) {
+  // Pre-built batches published back-to-back: the producer's cost per
+  // batch is a queue push, the pipeline's is FastTrack analysis of
+  // every event in it, so a capacity-2 queue must fill and block the
+  // producer — and the verdict must not care. (Driving this through a
+  // TraceContext would pace the producer with the drain's own merge
+  // cost, which is exactly what the pipeline exists to get off the
+  // critical path.)
+  constexpr int kBatches = 48;
+  constexpr int kPerBatch = 1500;
+  constexpr std::uint32_t kVars = 8;
+
+  // Two crafted threads (context tids 1 and 2, forked in batch 0) write
+  // and read the same variables with no ordering — every variable
+  // races, and the vars spread across both shards.
+  const auto make_batch = [&](int batch_index) {
+    EventBatch batch;
+    if (batch_index == 0) {
+      batch.new_sites = {""};  // site-table slot 0: the empty label
+      for (std::uint32_t v = 0; v < kVars; ++v)
+        batch.new_vars.push_back("v" + std::to_string(v));
+      batch.events.push_back(Event{.kind = EventKind::Fork, .thread = 0, .id = 1});
+      batch.events.push_back(Event{.kind = EventKind::Fork, .thread = 0, .id = 2});
+    }
+    for (int i = 0; i < kPerBatch; ++i) {
+      const auto var = static_cast<NameId>(i % kVars);
+      batch.events.push_back(Event{.kind = EventKind::Write, .thread = 1, .id = var});
+      batch.events.push_back(Event{.kind = EventKind::Read, .thread = 2, .id = var});
+    }
+    return batch;
+  };
+
+  // Inline reference: the identical stream through one Detector, which
+  // numbers events exactly like the router does.
+  const auto inline_detector = std::make_unique<race::Detector>();
+  {
+    std::vector<NameId> var_ids;
+    for (std::uint32_t v = 0; v < kVars; ++v)
+      var_ids.push_back(inline_detector->intern_var("v" + std::to_string(v)));
+    const NameId site = inline_detector->intern_site("");
+    const race::ThreadId t1 = inline_detector->fork(0);
+    const race::ThreadId t2 = inline_detector->fork(0);
+    for (int b = 0; b < kBatches; ++b) {
+      for (int i = 0; i < kPerBatch; ++i) {
+        inline_detector->write(t1, var_ids[i % kVars], site);
+        inline_detector->read(t2, var_ids[i % kVars], site);
+      }
+    }
+  }
+  ASSERT_FALSE(inline_detector->race_free());
+
+  const auto pipeline = std::make_unique<AnalysisPipeline>(
+      AnalysisPipeline::Options{.shards = 2, .queue_capacity = 2});
+  for (int b = 0; b < kBatches; ++b) pipeline->publish(make_batch(b));
+  pipeline->wait_idle();
+
+  EXPECT_GT(pipeline->publish_waits(), 0u)
+      << "the capacity-2 queue never filled — backpressure untested";
+  EXPECT_GE(pipeline->batch_high_water(), 2u);
+  EXPECT_EQ(pipeline->summary(), inline_detector->summary());
+  EXPECT_EQ(pipeline->events(), 2u + std::uint64_t{kBatches} * kPerBatch * 2);
+}
+
+TEST(AnalysisPipelineTest, RealThreadLifeCertificateMatchesInline) {
+  // The capture side is real threads (ParallelLife::run); the analysis
+  // side is the off-thread pipeline. The certificate must equal the
+  // inline detector's from an identical run.
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 7);
+  const auto inline_ctx = std::make_unique<TraceContext>();
+  life::ParallelLife inline_life(initial, 3);
+  inline_life.run(2, {.ctx = inline_ctx.get()});
+  inline_ctx->flush();
+  ASSERT_TRUE(inline_ctx->detector().race_free());
+
+  const auto pipeline = std::make_unique<AnalysisPipeline>(
+      AnalysisPipeline::Options{.shards = 2, .queue_capacity = 4});
+  const auto ctx = std::make_unique<TraceContext>(
+      TraceContext::Options{.own_detector = false});
+  ctx->attach_pipeline(*pipeline);
+  life::ParallelLife life(initial, 3);
+  life.run(2, {.ctx = ctx.get()});
+  ctx->flush();
+
+  EXPECT_TRUE(pipeline->race_free());
+  EXPECT_EQ(pipeline->summary(), inline_ctx->detector().summary());
+  EXPECT_EQ(life.grid(), inline_life.grid());
+}
+
+TEST(AnalysisPipelineTest, MergedMetricsEqualTheInlineSink) {
+  // Per-shard MetricsDelta accumulation, merged at wait_idle, must
+  // reproduce the inline MetricsSink's totals exactly — threads, locks,
+  // barrier cycles, event count.
+  const auto script = [](TraceContext& ctx) {
+    TracedVar<int> x("x", ctx);
+    TracedMutex m("m", ctx);
+    parallel::ThreadTeam team(3, ctx, [&](std::size_t) {
+      for (int i = 0; i < 50; ++i) {
+        std::scoped_lock hold(m);
+        x.store(x.load() + 1);
+      }
+    });
+    team.join();
+    ctx.flush();
+  };
+
+  const auto inline_metrics = std::make_unique<MetricsSink>();
+  {
+    const auto ctx = std::make_unique<TraceContext>(
+        TraceContext::Options{.own_detector = false});
+    ctx->attach_sink(*inline_metrics);
+    script(*ctx);
+  }
+
+  const auto piped_metrics = std::make_unique<MetricsSink>();
+  {
+    const auto pipeline = std::make_unique<AnalysisPipeline>(
+        AnalysisPipeline::Options{.shards = 2, .queue_capacity = 4});
+    pipeline->attach_metrics(*piped_metrics);
+    const auto ctx = std::make_unique<TraceContext>(
+        TraceContext::Options{.own_detector = false});
+    ctx->attach_pipeline(*pipeline);
+    script(*ctx);
+  }
+
+  EXPECT_EQ(piped_metrics->events(), inline_metrics->events());
+  EXPECT_EQ(piped_metrics->barrier_cycles(), inline_metrics->barrier_cycles());
+  EXPECT_EQ(piped_metrics->lock_acquires(), inline_metrics->lock_acquires());
+  const auto inline_threads = inline_metrics->per_thread();
+  const auto piped_threads = piped_metrics->per_thread();
+  ASSERT_EQ(piped_threads.size(), inline_threads.size());
+  for (std::size_t t = 0; t < inline_threads.size(); ++t) {
+    EXPECT_EQ(piped_threads[t].reads, inline_threads[t].reads) << "thread " << t;
+    EXPECT_EQ(piped_threads[t].writes, inline_threads[t].writes) << "thread " << t;
+    EXPECT_EQ(piped_threads[t].acquires, inline_threads[t].acquires) << "thread " << t;
+    EXPECT_EQ(piped_threads[t].releases, inline_threads[t].releases) << "thread " << t;
+    EXPECT_EQ(piped_threads[t].barriers, inline_threads[t].barriers) << "thread " << t;
+  }
+}
+
+TEST(AnalysisPipelineTest, PipelineRequiresAFreshContext) {
+  const auto pipeline =
+      std::make_unique<AnalysisPipeline>(AnalysisPipeline::Options{.shards = 1});
+  const auto with_detector =  // owns an inline detector already
+      std::make_unique<TraceContext>();
+  EXPECT_THROW(with_detector->attach_pipeline(*pipeline), Error);
+  EXPECT_THROW(AnalysisPipeline(AnalysisPipeline::Options{.shards = 0}), Error);
+}
+
+// --- sampling capture mode --------------------------------------------
+
+TEST(SamplingCaptureTest, SameRateIsDeterministic) {
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 5);
+  const auto run = [&] {
+    life::TracedLifeOptions options;
+    options.use_barrier = false;
+    options.sample_rate = 0.25;
+    return life::traced_life_check(initial, 3, 3, options);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(first.sampled_out, 0u);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.sampled_out, second.sampled_out);
+  EXPECT_EQ(race_keys(first.races), race_keys(second.races));
+}
+
+TEST(SamplingCaptureTest, RateOneIsExactlyTheUnsampledRun) {
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 5);
+  const auto plain = life::traced_life_check(initial, 3, 3, /*use_barrier=*/false);
+  life::TracedLifeOptions options;
+  options.use_barrier = false;
+  options.sample_rate = 1.0;
+  const auto sampled = life::traced_life_check(initial, 3, 3, options);
+  EXPECT_EQ(sampled.sampled_out, 0u);
+  EXPECT_EQ(sampled.report, plain.report);
+  EXPECT_EQ(sampled.events, plain.events);
+}
+
+TEST(SamplingCaptureTest, SyncEventsAreNeverSampledOut) {
+  // At rate 0 every access is dropped but the happens-before skeleton
+  // (forks, joins, barriers) still flows — the run ends race-free with
+  // only sync events analyzed, not empty.
+  life::TracedLifeOptions options;
+  options.use_barrier = true;
+  options.sample_rate = 0.0;
+  const auto run =
+      life::traced_life_check(life::Grid::random(12, 12, 0.3, 5), 3, 2, options);
+  EXPECT_TRUE(run.race_free);
+  EXPECT_GT(run.events, 0u);       // the sync skeleton
+  EXPECT_GT(run.sampled_out, 0u);  // every access
+}
+
+TEST(SamplingCaptureTest, SamplingComposesWithThePipeline) {
+  // Sampling happens at capture, sharding at analysis; a sampled
+  // pipelined run must equal the sampled inline run byte for byte.
+  const life::Grid initial = life::Grid::random(12, 12, 0.3, 5);
+  life::TracedLifeOptions inline_options;
+  inline_options.use_barrier = false;
+  inline_options.sample_rate = 0.5;
+  const auto inline_run = life::traced_life_check(initial, 3, 3, inline_options);
+
+  const auto pipeline = std::make_unique<AnalysisPipeline>(
+      AnalysisPipeline::Options{.shards = 2, .queue_capacity = 4});
+  life::TracedLifeOptions piped_options = inline_options;
+  piped_options.pipeline = pipeline.get();
+  const auto piped = life::traced_life_check(initial, 3, 3, piped_options);
+  EXPECT_EQ(piped.report, inline_run.report);
+  EXPECT_EQ(piped.sampled_out, inline_run.sampled_out);
 }
 
 // --- the Eraser-style lockset detector --------------------------------

@@ -9,16 +9,21 @@
 //           TSan must abort the raw run (the ctest entry is WILL_FAIL
 //           with TSAN_OPTIONS=exitcode=66).
 //   clean — the mutexed counter plus a traced real-thread barrier'd
-//           ParallelLife::run. Both detectors and TSan must stay
-//           silent — which also certifies the TraceContext capture
-//           layer itself (per-thread buffers, sync-stream stamping,
-//           barrier drains) as free of real races.
+//           ParallelLife::run, first with the inline detector, then
+//           again through a sharded AnalysisPipeline. Both detectors
+//           and TSan must stay silent — which certifies the
+//           TraceContext capture layer (per-thread buffers, sync-stream
+//           stamping, barrier drains) AND the pipeline's own threading
+//           (bounded queues, router handoff, shard workers, metrics
+//           merge) as free of real races.
 #include <cstdio>
 #include <string>
 
 #include "life/life.hpp"
 #include "parallel/sync.hpp"
 #include "trace/context.hpp"
+#include "trace/metrics.hpp"
+#include "trace/pipeline.hpp"
 
 namespace {
 
@@ -62,7 +67,37 @@ int run_clean() {
     std::fprintf(stderr, "FAIL: cs31::race flagged the barrier'd Life run\n");
     return 4;
   }
-  std::printf("clean: cs31::race and the raw runs agree — race-free\n");
+
+  // The same run with analysis off the critical path: capture threads
+  // publish into the pipeline's bounded queues while the router and two
+  // shard workers consume — every handoff in that machinery is real
+  // concurrency TSan must find clean, and the certificate must still be
+  // byte-identical to the inline detector's.
+  {
+    cs31::trace::AnalysisPipeline pipeline(
+        cs31::trace::AnalysisPipeline::Options{.shards = 2, .queue_capacity = 2});
+    cs31::trace::MetricsSink metrics;
+    pipeline.attach_metrics(metrics);
+    cs31::trace::TraceContext piped_ctx(
+        cs31::trace::TraceContext::Options{.own_detector = false});
+    piped_ctx.attach_pipeline(pipeline);
+    cs31::life::ParallelLife piped_life(cs31::life::Grid::random(12, 12, 0.3, 3), 3);
+    piped_life.run(2, {.ctx = &piped_ctx});
+    piped_ctx.flush();
+    if (!pipeline.race_free()) {
+      std::fprintf(stderr, "FAIL: the pipelined detector flagged the barrier'd Life run\n");
+      return 5;
+    }
+    if (pipeline.summary() != ctx.detector().summary()) {
+      std::fprintf(stderr, "FAIL: pipelined certificate differs from inline\n");
+      return 6;
+    }
+    if (metrics.events() != pipeline.events()) {
+      std::fprintf(stderr, "FAIL: merged metrics lost events\n");
+      return 7;
+    }
+  }
+  std::printf("clean: cs31::race, the pipeline, and the raw runs agree — race-free\n");
   return 0;
 }
 
