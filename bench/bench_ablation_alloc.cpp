@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   std::printf("==============================================================\n\n");
   std::printf("%-10s %16s %10s %12s %10s\n", "policy", "fragmentation", "failures",
               "peak bytes", "seconds");
-  for (const auto [name, policy] : {std::pair{"first", FitPolicy::FirstFit},
+  for (const auto& [name, policy] : {std::pair{"first", FitPolicy::FirstFit},
                                     std::pair{"best", FitPolicy::BestFit},
                                     std::pair{"next", FitPolicy::NextFit}}) {
     double frag = 0, secs = 0;

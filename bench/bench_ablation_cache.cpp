@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n(b) replacement policy (4 KiB, 4-way) across access patterns\n");
   std::printf("%10s %12s %12s %12s\n", "policy", "hot+stream", "big loop", "random");
-  for (const auto [name, policy] :
+  for (const auto& [name, policy] :
        {std::pair{"LRU", Replacement::Lru}, std::pair{"FIFO", Replacement::Fifo},
         std::pair{"random", Replacement::Random}}) {
     CacheConfig cfg{.block_bytes = 64, .num_lines = 64, .associativity = 4};

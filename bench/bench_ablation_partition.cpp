@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   std::printf("(a) load balance (cells per thread, %zux%zu grid, %zu threads)\n",
               kRows, kCols, kThreads);
-  for (const auto [name, split] :
+  for (const auto& [name, split] :
        {std::pair{"horizontal", parallel::GridSplit::Horizontal},
         std::pair{"vertical", parallel::GridSplit::Vertical}}) {
     const auto regions = parallel::grid_partition(kRows, kCols, kThreads, split);
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n(b) one thread's cache behaviour over its band (32 KiB, 64 B blocks)\n");
   std::printf("%-12s %10s %14s\n", "split", "hit rate", "spatial frac");
-  for (const auto [name, split] :
+  for (const auto& [name, split] :
        {std::pair{"horizontal", parallel::GridSplit::Horizontal},
         std::pair{"vertical", parallel::GridSplit::Vertical}}) {
     const auto regions = parallel::grid_partition(kRows, kCols, kThreads, split);

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::printf("Ablation: page replacement (LRU vs FIFO vs Clock), 8 frames\n");
   std::printf("==============================================================\n\n");
   std::printf("%8s %12s %14s %12s\n", "policy", "hot-set", "loop (RAM+1)", "uniform");
-  for (const auto [name, policy] : {std::pair{"LRU", PageReplacement::Lru},
+  for (const auto& [name, policy] : {std::pair{"LRU", PageReplacement::Lru},
                                     std::pair{"FIFO", PageReplacement::Fifo},
                                     std::pair{"Clock", PageReplacement::Clock}}) {
     const double hot = fault_rate(policy, 0, 8);

@@ -1,0 +1,127 @@
+// Static-analysis throughput: how fast cs31::analyze turns programs
+// into findings, at both levels it owns.
+//
+// (a) mini-C: a synthesized program of realistic functions (loops,
+//     branches, short-circuit conditions) through the full
+//     analyze_program pass stack — CFG build, forward init lattice,
+//     backward liveness, reachability, constant folding, return-path
+//     check — reported as functions/s.
+// (b) teaching ISA: lint_image over a deep maze image and over the
+//     compiled image of the same mini-C program — CFG + leaders,
+//     callee-save summaries, register-state and stack-depth lattices,
+//     coverage — reported as instructions/s.
+//
+// Numbers answer the practical course question: is the analyzer cheap
+// enough to run on every compile (it sits on by default in the ccomp
+// pipeline) and on every `lint` in the debugger? --json emits
+// BENCH_analyze.json for the harness.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analyze/checks_c.hpp"
+#include "analyze/checks_isa.hpp"
+#include "bench_json.hpp"
+#include "ccomp/codegen.hpp"
+#include "ccomp/parser.hpp"
+#include "isa/assembler.hpp"
+#include "isa/maze.hpp"
+
+namespace {
+
+using namespace cs31;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// A program of `count` distinct functions with the statement mix the
+/// checks actually work on: nested control flow, short-circuit
+/// conditions, a call, and enough locals to make the lattices earn
+/// their keep. Every function is clean — we measure analysis, not
+/// rendering.
+std::string synthesize_mini_c(int count) {
+  std::string src = "int leaf(int a, int b) { return a * 3 + b; }\n";
+  for (int k = 0; k < count; ++k) {
+    const std::string name = "worker_" + std::to_string(k);
+    src +=
+        "int " + name + "(int a, int b) {\n"
+        "  int s = 0;\n"
+        "  int i = 0;\n"
+        "  while (i < a) {\n"
+        "    if ((i & 1) && b > 0 || i > 100) { s = s + leaf(i, b); }\n"
+        "    else { s = s - b; }\n"
+        "    i = i + 1;\n"
+        "  }\n"
+        "  if (s < 0) { s = 0 - s; }\n"
+        "  return s;\n"
+        "}\n";
+  }
+  src += "int main(int a, int b) { return worker_0(a, b); }\n";
+  return src;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("analyze", argc, argv);
+  json.workload("cs31::analyze throughput: mini-C functions/s and ISA instructions/s");
+
+  const int kFunctions = 60;
+  const int kCReps = 50;
+  const int kIsaReps = 50;
+  const unsigned kMazeFloors = 16;
+  json.config("functions", kFunctions);
+  json.config("c_reps", kCReps);
+  json.config("isa_reps", kIsaReps);
+  json.config("maze_floors", kMazeFloors);
+
+  std::printf("=========================================================\n");
+  std::printf("cs31::analyze throughput (on-by-default budget check)\n");
+  std::printf("=========================================================\n\n");
+
+  // (a) mini-C pass stack.
+  const std::string source = synthesize_mini_c(kFunctions);
+  const cc::ProgramAst program = cc::parse(source);
+  std::size_t findings = 0;
+  const auto c_start = std::chrono::steady_clock::now();
+  for (int r = 0; r < kCReps; ++r) {
+    findings += analyze::analyze_program(program).size();
+  }
+  const double c_secs = seconds_since(c_start);
+  const double fn_total = static_cast<double>(program.functions.size()) * kCReps;
+  const double fns_per_sec = fn_total / c_secs;
+  std::printf("mini-C   : %4zu functions x %d reps  %8.3f s  %12.0f functions/s\n",
+              program.functions.size(), kCReps, c_secs, fns_per_sec);
+  if (findings != 0) {
+    std::fprintf(stderr, "FAIL: the synthesized corpus should analyze clean\n");
+    return 1;
+  }
+  json.metric("c_seconds", c_secs);
+  json.metric("c_functions_per_sec", fns_per_sec);
+
+  // (b) ISA lint, over a maze and over the compiled corpus.
+  const isa::Maze maze(kMazeFloors);
+  const isa::Image compiled = cc::compile(source);
+  const std::size_t instr_total = maze.image().instruction_count() + compiled.instruction_count();
+  std::size_t isa_findings = 0;
+  const auto isa_start = std::chrono::steady_clock::now();
+  for (int r = 0; r < kIsaReps; ++r) {
+    isa_findings += analyze::lint_image(maze.image()).size();
+    isa_findings += analyze::lint_image(compiled).size();
+  }
+  const double isa_secs = seconds_since(isa_start);
+  const double instrs_per_sec = static_cast<double>(instr_total) * kIsaReps / isa_secs;
+  std::printf("ISA lint : %4zu instrs    x %d reps  %8.3f s  %12.0f instructions/s\n",
+              instr_total, kIsaReps, isa_secs, instrs_per_sec);
+  if (isa_findings != 0) {
+    std::fprintf(stderr, "FAIL: the maze and the compiled corpus should lint clean\n");
+    return 1;
+  }
+  json.metric("isa_instructions", instr_total);
+  json.metric("isa_seconds", isa_secs);
+  json.metric("isa_instructions_per_sec", instrs_per_sec);
+
+  std::printf("\nboth levels clean; analysis cost is per-compile noise, not a tax\n");
+  return json.write() ? 0 : 1;
+}

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
         padded.access(core, core * 64, true);     // one block per core
       }
     }
-    for (const auto [name, sys] :
+    for (const auto& [name, sys] :
          {std::pair<const char*, const MsiSystem*>{"adjacent (one block)", &adjacent},
           std::pair<const char*, const MsiSystem*>{"padded (64 B apart)", &padded}}) {
       std::printf("%-22s %9.1f%% %14llu %12llu\n", name, 100 * sys->stats().hit_rate(),

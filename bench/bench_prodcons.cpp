@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
 
   std::printf("(b) producer/consumer mixes (capacity 16, %d total items)\n", kItems);
   std::printf("%6s %6s %12s %14s\n", "prod", "cons", "seconds", "items/sec");
-  for (const auto [p, c] : {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 1},
+  for (const auto& [p, c] : {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 1},
                             std::pair{1, 4}, std::pair{4, 4}}) {
     const RunResult r = run(16, p, c, kItems / p);
     const int total = (kItems / p) * p;

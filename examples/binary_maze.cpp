@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/checks_isa.hpp"
 #include "isa/debugger.hpp"
 #include "isa/maze.hpp"
 
@@ -33,6 +34,10 @@ int main(int argc, char** argv) {
   machine.set_reg(Reg::Eip, maze.image().symbol("floor_0"));
   machine.set_reg(Reg::Eax, 42);  // a guess
   Debugger dbg(machine);
+  cs31::analyze::attach_lint(dbg, maze.image());
+  // Lint before stepping: a clean bill of health means every BOOM ahead
+  // is a wrong guess, not a broken binary.
+  std::printf("(maze) lint\n%s", dbg.execute("lint").c_str());
   std::printf("(maze) disas\n%s", dbg.disas(0, 2).c_str());
   std::printf("(maze) stepi\n%s", dbg.execute("stepi").c_str());
   std::printf("(maze) info registers\n%s", dbg.execute("info registers").c_str());

@@ -1,0 +1,167 @@
+// lint_detective — the course's classic undefined-behaviour and
+// broken-assembly bugs, caught *before* running anything, by the
+// cs31::analyze static-analysis tier.
+//
+// The race_detective's pitch was determinism for concurrency bugs; the
+// same pitch applies one layer down. "It printed garbage once" is a
+// flaky demo of an uninitialized variable, and a smashed stack is a
+// miserable thing to debug one stepi at a time. The analyzer's verdict
+// follows from the control-flow graph, not from which stack garbage a
+// run happened to inherit. Each act shows a buggy program, the
+// findings, and the fixed program coming back clean.
+//
+// Usage: lint_detective            (runs all four acts)
+#include <iostream>
+#include <string>
+
+#include "analyze/checks_c.hpp"
+#include "analyze/checks_isa.hpp"
+#include "analyze/diagnostic.hpp"
+#include "ccomp/driver.hpp"
+#include "ccomp/parser.hpp"
+#include "common/error.hpp"
+#include "isa/assembler.hpp"
+#include "isa/debugger.hpp"
+#include "isa/machine.hpp"
+
+namespace {
+
+void heading(const std::string& title) {
+  std::cout << '\n' << std::string(66, '=') << '\n' << title << '\n'
+            << std::string(66, '=') << '\n';
+}
+
+void act1_uninitialized_sum() {
+  heading("Act 1 — the uninitialized accumulator (mini-C)");
+
+  const std::string buggy =
+      "int sum_to(int n) {\n"
+      "  int s;\n"
+      "  int i = 0;\n"
+      "  while (i < n) {\n"
+      "    s = s + i;\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n"
+      "int main(int n) { return sum_to(n); }\n";
+  std::cout << "\n[buggy] int s; never gets a first value:\n\n" << buggy << '\n';
+  const auto diags = cs31::analyze::analyze_program(cs31::cc::parse(buggy));
+  std::cout << cs31::analyze::render(diags);
+  std::cout << "\n(the run would 'work' whenever the stack slot happens to hold 0 —\n"
+               " the worst kind of bug; the lattice sees every path at once)\n";
+
+  const std::string fixed =
+      "int sum_to(int n) {\n"
+      "  int s = 0;\n"
+      "  int i = 0;\n"
+      "  while (i < n) { s = s + i; i = i + 1; }\n"
+      "  return s;\n"
+      "}\n"
+      "int main(int n) { return sum_to(n); }\n";
+  const auto clean = cs31::analyze::analyze_program(cs31::cc::parse(fixed));
+  std::cout << "\n[fixed] int s = 0; -> " << (clean.empty() ? "no findings\n" : "findings?!\n");
+}
+
+void act2_dead_logic() {
+  heading("Act 2 — stores nobody reads, code nobody runs (mini-C)");
+
+  const std::string buggy =
+      "int classify(int x) {\n"
+      "  int verdict = 0 - 1;\n"
+      "  while (0) { x = x + 1; }\n"
+      "  if (x >= 0) { verdict = 1; } else { verdict = 0; }\n"
+      "  return verdict;\n"
+      "  verdict = 99;\n"
+      "}\n"
+      "int main(int x) { return classify(x); }\n";
+  std::cout << "\n[buggy] a pile of harmless-looking lines:\n\n" << buggy << '\n';
+  const auto diags = cs31::analyze::analyze_program(cs31::cc::parse(buggy));
+  std::cout << cs31::analyze::render(diags);
+
+  const std::string fixed =
+      "int classify(int x) {\n"
+      "  if (x >= 0) { return 1; }\n"
+      "  return 0;\n"
+      "}\n"
+      "int main(int x) { return classify(x); }\n";
+  const auto clean = cs31::analyze::analyze_program(cs31::cc::parse(fixed));
+  std::cout << "\n[fixed] the three-line version -> "
+            << (clean.empty() ? "no findings\n" : "findings?!\n");
+}
+
+void act3_strict_mode() {
+  heading("Act 3 — strict mode: the pipeline refuses to build bugs");
+
+  const std::string buggy = "int main() {\n  int x;\n  return x;\n}\n";
+  std::cout << "\ncompile_pipeline(source, {.werror = true}) on a use-before-init:\n\n";
+  cs31::cc::PipelineOptions strict;
+  strict.werror = true;
+  try {
+    (void)cs31::cc::compile_pipeline(buggy, strict);
+    std::cout << "it compiled?!\n";
+  } catch (const cs31::Error& e) {
+    std::cout << e.what() << "\n\n(the default mode warns and compiles anyway;\n"
+                 " -Werror is how the autograder runs it)\n";
+  }
+}
+
+void act4_assembly_lint() {
+  heading("Act 4 — hand-written assembly under the debugger's `lint`");
+
+  const std::string buggy =
+      "_start:\n"
+      "    movl $21, %ebx\n"
+      "    call doubler\n"
+      "    addl %ebx, %eax\n"
+      "    hlt\n"
+      "doubler:\n"
+      "    pushl $0\n"
+      "    movl $2, %ebx\n"
+      "    movl 8(%ebp), %eax\n"
+      "    ret\n";
+  std::cout << "\n[buggy] a student's first cdecl routine (three distinct bugs):\n\n"
+            << buggy << '\n';
+  const cs31::isa::Image image = cs31::isa::assemble(buggy);
+  cs31::isa::Machine machine;
+  machine.load(image);
+  cs31::isa::Debugger dbg(machine);
+  cs31::analyze::attach_lint(dbg, image);
+  std::cout << "(dbg) lint\n" << dbg.execute("lint");
+  std::cout << "\n(stepping into that ret would teach the same lesson in twenty\n"
+               " minutes; the depth lattice teaches it in zero)\n";
+
+  const std::string fixed =
+      "_start:\n"
+      "    movl $21, %ebx\n"
+      "    call doubler\n"
+      "    addl %eax, %eax\n"
+      "    hlt\n"
+      "doubler:\n"
+      "    pushl %ebx\n"
+      "    movl $2, %ebx\n"
+      "    movl %ebx, %eax\n"
+      "    popl %ebx\n"
+      "    ret\n";
+  const cs31::isa::Image fixed_image = cs31::isa::assemble(fixed);
+  cs31::isa::Machine machine2;
+  machine2.load(fixed_image);
+  cs31::isa::Debugger dbg2(machine2);
+  cs31::analyze::attach_lint(dbg2, fixed_image);
+  std::cout << "\n[fixed] save %ebx, balance the stack:\n(dbg) lint\n"
+            << dbg2.execute("lint");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "lint_detective: the static-analysis tier on the course's bug parade\n";
+  act1_uninitialized_sum();
+  act2_dead_logic();
+  act3_strict_mode();
+  act4_assembly_lint();
+  std::cout << "\nAll acts done. The same passes run on every compile (mini_c),\n"
+               "on demand in the debugger (`lint`), and over the whole sample set\n"
+               "in ctest (analyze_selflint_smoke).\n";
+  return 0;
+}

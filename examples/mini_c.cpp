@@ -3,8 +3,14 @@
 // machine. Pass a filename to compile your own mini-C program (main may
 // take int arguments, supplied after the filename).
 //
+// The compiler front door runs cs31::analyze on every compile: warnings
+// (use-before-init, dead stores, unreachable code, constant conditions,
+// missing returns) print before the assembly; --werror makes them fatal
+// and --no-analyze turns the stage off.
+//
 //   ./build/examples/mini_c                 # built-in demo
 //   ./build/examples/mini_c prog.c 6        # your file, main(6)
+//   ./build/examples/mini_c --werror prog.c # refuse to run buggy code
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -12,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "ccomp/codegen.hpp"
+#include "ccomp/driver.hpp"
+#include "common/error.hpp"
 
 namespace {
 
@@ -39,25 +48,49 @@ int main(int n) {
 int main(int argc, char** argv) {
   using namespace cs31::cc;
 
+  PipelineOptions options;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--no-analyze") {
+      options.analyze = false;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   std::string source = kDemo;
   std::vector<std::int32_t> args = {0x3F};  // six set bits -> returns 36
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (!positional.empty()) {
+    std::ifstream in(positional[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", positional[0]);
       return 1;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
     source = buf.str();
     args.clear();
-    for (int i = 2; i < argc; ++i) {
-      args.push_back(static_cast<std::int32_t>(std::strtol(argv[i], nullptr, 0)));
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      args.push_back(static_cast<std::int32_t>(std::strtol(positional[i], nullptr, 0)));
     }
   }
 
   std::printf("=== mini-C source ===\n%s\n", source.c_str());
-  const std::string assembly = compile_to_assembly(source);
+  std::string assembly;
+  try {
+    const PipelineResult compiled = compile_pipeline(source, options);
+    if (!compiled.diagnostics.empty()) {
+      std::printf("=== analysis ===\n%s\n",
+                  cs31::analyze::render(compiled.diagnostics).c_str());
+    }
+    assembly = compiled.assembly;
+  } catch (const cs31::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   std::printf("=== compiled IA-32 subset (AT&T) ===\n%s\n", assembly.c_str());
 
   std::printf("=== running main(");

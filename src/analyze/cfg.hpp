@@ -1,0 +1,153 @@
+// Control-flow graphs over both program representations the kit owns.
+//
+// Mini-C side: one CFG per function over the parsed AST. Straight-line
+// statements (declarations, expression statements) accumulate into
+// blocks; If/While terminate blocks, and their conditions lower into
+// *short-circuit chains* — `if (a && b)` becomes two condition blocks
+// with the same edges the code generator emits, so a dataflow pass sees
+// an assignment buried in `b` only on the paths that actually evaluate
+// it. Block 0 is the entry, block 1 the synthetic exit; a Return edge
+// and a fall-off-the-end edge into the exit are distinguishable, which
+// is exactly what the missing-return check needs.
+//
+// ISA side: one CFG per loaded Image over the decoded instruction
+// stream. Leaders are the image entry, every jump target, and every
+// instruction after a control transfer; call instructions fall through
+// (the callee is a separate function) and their targets are collected
+// as the call graph. Roots — the places analysis may assume control
+// arrives from outside — are the image entry, every call target, and
+// every label no jump targets (exported routines like the Lab 4
+// samples, or maze floors entered by pointing EIP at them).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccomp/ast.hpp"
+#include "isa/assembler.hpp"
+
+namespace cs31::analyze {
+
+// ---------------------------------------------------------------------------
+// Mini-C
+// ---------------------------------------------------------------------------
+
+/// One basic block of a mini-C function.
+struct CBlock {
+  /// Straight-line statements, in order (Decl / ExprStmt only; control
+  /// statements live in the terminator).
+  std::vector<const cc::Stmt*> stmts;
+
+  enum class Term {
+    Jump,    ///< unconditional edge to `next`
+    Cond,    ///< evaluate `cond`; true -> on_true, false -> on_false
+    Return,  ///< `owner` is the Return stmt; edge to the exit block
+    Exit,    ///< the synthetic exit block (no out-edges)
+  };
+  Term term = Term::Jump;
+
+  /// The If/While/Return statement that produced this terminator
+  /// (nullptr for plain jumps and the exit block). Several blocks of
+  /// one short-circuit chain share the same owner.
+  const cc::Stmt* owner = nullptr;
+
+  /// Short-circuit leaf condition evaluated by a Cond terminator: never
+  /// a LogicalAnd/LogicalOr (those were lowered into the chain).
+  const cc::Expr* cond = nullptr;
+
+  int next = -1;
+  int on_true = -1;
+  int on_false = -1;
+
+  std::vector<int> preds;  ///< filled in by build_cfg
+
+  /// All successors, in a stable order.
+  [[nodiscard]] std::vector<int> succs() const;
+};
+
+/// CFG of one mini-C function. blocks[0] = entry, blocks[1] = exit.
+struct CFuncCfg {
+  const cc::Function* fn = nullptr;
+  std::vector<CBlock> blocks;
+
+  /// Every statement's home block: straight-line statements map to the
+  /// block holding them; If/While/Return map to the (first) block whose
+  /// terminator they own. Block containers are not statements here —
+  /// their children are. This is the partition the structural tests
+  /// verify.
+  std::map<const cc::Stmt*, int> home;
+};
+
+[[nodiscard]] CFuncCfg build_cfg(const cc::Function& fn);
+
+/// The statement universe the CFG must partition: every non-Block node
+/// of the function's statement tree, in source order.
+[[nodiscard]] std::vector<const cc::Stmt*> all_statements(const cc::Function& fn);
+
+// ---------------------------------------------------------------------------
+// Teaching ISA
+// ---------------------------------------------------------------------------
+
+/// One decoded instruction plus its code address.
+struct IsaInstr {
+  std::uint32_t addr = 0;
+  isa::Instruction ins;
+};
+
+/// One basic block of an image.
+struct IsaBlock {
+  std::uint32_t start = 0;
+  std::vector<IsaInstr> instrs;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// A root: an address where control may arrive from outside the image's
+/// own jumps (entry point, call target, un-jumped label).
+struct IsaRoot {
+  std::string name;  ///< best label for reports ("_start", "array_sum", ...)
+  std::uint32_t addr = 0;
+  bool is_call_target = false;  ///< some `call` in the image targets it
+};
+
+/// CFG of a whole image.
+struct IsaCfg {
+  const isa::Image* image = nullptr;
+  std::vector<IsaBlock> blocks;           ///< sorted by start address
+  std::map<std::uint32_t, int> block_at;  ///< start address -> block index
+  std::vector<IsaRoot> roots;             ///< sorted by address
+  std::vector<std::uint32_t> call_targets;  ///< deduplicated, sorted
+
+  /// Entry address the Machine would start at (prefers _start, then
+  /// main, then the load base).
+  std::uint32_t entry = 0;
+
+  /// Index of the block containing `addr` (which need not be a block
+  /// start). Returns -1 when the address is outside the image.
+  [[nodiscard]] int block_containing(std::uint32_t addr) const;
+
+  /// Best label for an address: the nearest symbol at or before it
+  /// (the debugger's backtrace convention), or a hex rendering.
+  [[nodiscard]] std::string label_for(std::uint32_t addr) const;
+};
+
+/// Decode the image and build its CFG. Throws cs31::Error when the
+/// image contains bytes that do not decode (the teaching encoding has
+/// no data sections, so an undecodable image is malformed input).
+[[nodiscard]] IsaCfg build_cfg(const isa::Image& image);
+
+/// Blocks reachable from `root` following jump and fallthrough edges
+/// only (call edges stay in the call graph): the intraprocedural view
+/// the per-function ISA checks run on. Indices in discovery (BFS)
+/// order, starting with the root's block.
+[[nodiscard]] std::vector<int> function_blocks(const IsaCfg& cfg, std::uint32_t root);
+
+/// Does any path from `root` (intraprocedural, as function_blocks)
+/// reach a `ret`? Distinguishes callable routines from raw entry
+/// fragments that end in hlt — the latter are exempt from the cdecl
+/// contract checks.
+[[nodiscard]] bool function_returns(const IsaCfg& cfg, std::uint32_t root);
+
+}  // namespace cs31::analyze

@@ -1,0 +1,452 @@
+#include "analyze/checks_c.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analyze/cfg.hpp"
+#include "analyze/dataflow.hpp"
+
+namespace cs31::analyze {
+
+namespace {
+
+using cc::BinOp;
+using cc::Expr;
+using cc::Function;
+using cc::Stmt;
+using cc::UnOp;
+
+// ---------------------------------------------------------------------------
+// Shared per-function context: the variable universe (params + every
+// declaration; mini-C locals are function-scoped, as the code
+// generator's frame layout is) and the CFG adapters.
+// ---------------------------------------------------------------------------
+
+struct FnContext {
+  const Function* fn = nullptr;
+  CFuncCfg cfg;
+  FlowGraph graph;
+  std::vector<bool> reach;
+  std::map<std::string, int> var_index;  ///< name -> dense index
+  std::vector<std::string> var_names;    ///< index -> name
+  std::size_t param_count = 0;
+
+  [[nodiscard]] int index_of(const std::string& name) const {
+    const auto it = var_index.find(name);
+    return it == var_index.end() ? -1 : it->second;
+  }
+};
+
+void collect_decls(const Stmt& stmt, FnContext& ctx) {
+  if (stmt.kind == Stmt::Kind::Decl && !ctx.var_index.contains(stmt.name)) {
+    ctx.var_index[stmt.name] = static_cast<int>(ctx.var_names.size());
+    ctx.var_names.push_back(stmt.name);
+  }
+  for (const cc::StmtPtr& s : stmt.body) collect_decls(*s, ctx);
+  if (stmt.then_branch) collect_decls(*stmt.then_branch, ctx);
+  if (stmt.else_branch) collect_decls(*stmt.else_branch, ctx);
+  if (stmt.loop_body) collect_decls(*stmt.loop_body, ctx);
+}
+
+FnContext make_context(const Function& fn) {
+  FnContext ctx;
+  ctx.fn = &fn;
+  ctx.cfg = build_cfg(fn);
+  ctx.graph = flow_graph(ctx.cfg);
+  ctx.reach = reachable(ctx.graph);
+  for (const std::string& p : fn.params) {
+    if (!ctx.var_index.contains(p)) {
+      ctx.var_index[p] = static_cast<int>(ctx.var_names.size());
+      ctx.var_names.push_back(p);
+    }
+  }
+  ctx.param_count = ctx.var_names.size();
+  for (const cc::StmtPtr& s : fn.body) collect_decls(*s, ctx);
+  return ctx;
+}
+
+Diagnostic make_diag(const FnContext& ctx, const std::string& pass, int line,
+                     std::string message) {
+  Diagnostic d;
+  d.pass = pass;
+  d.function = ctx.fn->name;
+  d.line = line;
+  d.message = std::move(message);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// use-before-init: forward, one lattice cell per variable.
+// ---------------------------------------------------------------------------
+
+// Cell values. Top is the meet identity (path never reached); Init and
+// Uninit meet to Maybe.
+enum InitCell : std::uint8_t { kTop = 0, kInit, kUninit, kMaybe };
+
+InitCell meet_cell(InitCell a, InitCell b) {
+  if (a == kTop) return b;
+  if (b == kTop) return a;
+  return a == b ? a : kMaybe;
+}
+
+struct InitProblem {
+  using State = std::vector<std::uint8_t>;
+  const FnContext* ctx;
+  std::vector<Diagnostic>* sink = nullptr;  ///< set only on the reporting walk
+
+  [[nodiscard]] State top() const { return State(ctx->var_names.size(), kTop); }
+
+  [[nodiscard]] State boundary() const {
+    State s(ctx->var_names.size(), kUninit);
+    for (std::size_t i = 0; i < ctx->param_count; ++i) s[i] = kInit;
+    return s;
+  }
+
+  void meet(State& into, const State& from) const {
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      into[i] = meet_cell(static_cast<InitCell>(into[i]), static_cast<InitCell>(from[i]));
+    }
+  }
+
+  void sim_read(State& s, const Expr& e) const {
+    const int idx = ctx->index_of(e.name);
+    if (idx < 0) return;  // undeclared: codegen reports that as an error
+    if (sink == nullptr) return;
+    const auto cell = static_cast<InitCell>(s[static_cast<std::size_t>(idx)]);
+    if (cell == kUninit) {
+      sink->push_back(make_diag(*ctx, "use-before-init", e.line,
+                                "'" + e.name + "' is read before anything is assigned to it"));
+    } else if (cell == kMaybe) {
+      Diagnostic d = make_diag(*ctx, "use-before-init", e.line,
+                               "'" + e.name + "' may be read uninitialized (no assignment "
+                               "reaches this use on at least one path)");
+      d.notes.push_back("initialize '" + e.name + "' at its declaration to close every path");
+      sink->push_back(std::move(d));
+    }
+  }
+
+  void sim_expr(State& s, const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return;
+      case Expr::Kind::Var:
+        sim_read(s, e);
+        return;
+      case Expr::Kind::Unary:
+        sim_expr(s, *e.lhs);
+        return;
+      case Expr::Kind::Binary:
+        if (e.bin_op == BinOp::LogicalAnd || e.bin_op == BinOp::LogicalOr) {
+          // The right operand runs on only one of the two out-paths.
+          sim_expr(s, *e.lhs);
+          State taken = s;
+          sim_expr(taken, *e.rhs);
+          meet(s, taken);
+          return;
+        }
+        sim_expr(s, *e.lhs);
+        sim_expr(s, *e.rhs);
+        return;
+      case Expr::Kind::Assign: {
+        sim_expr(s, *e.rhs);
+        const int idx = ctx->index_of(e.name);
+        if (idx >= 0) s[static_cast<std::size_t>(idx)] = kInit;
+        return;
+      }
+      case Expr::Kind::Call:
+        // cdecl evaluation order: rightmost argument first, as the code
+        // generator pushes them.
+        for (auto it = e.args.rbegin(); it != e.args.rend(); ++it) sim_expr(s, **it);
+        return;
+    }
+  }
+
+  void sim_stmt(State& s, const Stmt& stmt) const {
+    switch (stmt.kind) {
+      case Stmt::Kind::ExprStmt:
+        sim_expr(s, *stmt.expr);
+        return;
+      case Stmt::Kind::Decl: {
+        const int idx = ctx->index_of(stmt.name);
+        if (stmt.expr) {
+          sim_expr(s, *stmt.expr);
+          if (idx >= 0) s[static_cast<std::size_t>(idx)] = kInit;
+        } else if (idx >= 0) {
+          // Re-executing a declaration (a loop body) makes the slot
+          // fresh again, exactly as a new C scope would.
+          s[static_cast<std::size_t>(idx)] = kUninit;
+        }
+        return;
+      }
+      default:
+        return;  // control statements live in terminators
+    }
+  }
+
+  [[nodiscard]] State transfer(int node, const State& in) const {
+    State s = in;
+    const CBlock& b = ctx->cfg.blocks[static_cast<std::size_t>(node)];
+    for (const Stmt* stmt : b.stmts) sim_stmt(s, *stmt);
+    if (b.term == CBlock::Term::Cond && b.cond != nullptr) sim_expr(s, *b.cond);
+    if (b.term == CBlock::Term::Return && b.owner != nullptr && b.owner->expr) {
+      sim_expr(s, *b.owner->expr);
+    }
+    return s;
+  }
+};
+
+void check_use_before_init(const FnContext& ctx, std::vector<Diagnostic>& out) {
+  InitProblem problem{&ctx, nullptr};
+  const auto sol = solve(ctx.graph, problem);
+  problem.sink = &out;
+  for (std::size_t b = 0; b < ctx.graph.size(); ++b) {
+    if (!ctx.reach[b]) continue;  // never-propagated states carry no facts
+    (void)problem.transfer(static_cast<int>(b), sol.in[b]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dead-store: backward liveness, one bit per variable.
+// ---------------------------------------------------------------------------
+
+struct LiveProblem {
+  using State = std::vector<std::uint8_t>;  // 1 = may be read later
+  const FnContext* ctx;
+  std::vector<Diagnostic>* sink = nullptr;
+
+  [[nodiscard]] State top() const { return State(ctx->var_names.size(), 0); }
+  [[nodiscard]] State boundary() const { return top(); }  // locals die at exit
+
+  void meet(State& into, const State& from) const {
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      into[i] = static_cast<std::uint8_t>(into[i] | from[i]);
+    }
+  }
+
+  void store(State& s, const std::string& name, int line, const char* what) const {
+    const int idx = ctx->index_of(name);
+    if (idx < 0) return;
+    if (sink != nullptr && s[static_cast<std::size_t>(idx)] == 0) {
+      sink->push_back(make_diag(*ctx, "dead-store", line,
+                                std::string(what) + " '" + name + "' is never read"));
+    }
+    s[static_cast<std::size_t>(idx)] = 0;
+  }
+
+  /// Walk an expression in *reverse* evaluation order: kills before the
+  /// gens that feed them, so `x = x + 1` leaves x live-in.
+  void back_expr(State& s, const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return;
+      case Expr::Kind::Var: {
+        const int idx = ctx->index_of(e.name);
+        if (idx >= 0) s[static_cast<std::size_t>(idx)] = 1;
+        return;
+      }
+      case Expr::Kind::Unary:
+        back_expr(s, *e.lhs);
+        return;
+      case Expr::Kind::Binary:
+        if (e.bin_op == BinOp::LogicalAnd || e.bin_op == BinOp::LogicalOr) {
+          // The right operand may not run: its kills are conditional
+          // (union the two paths), its gens still count.
+          State taken = s;
+          back_expr(taken, *e.rhs);
+          meet(s, taken);
+          back_expr(s, *e.lhs);
+          return;
+        }
+        back_expr(s, *e.rhs);
+        back_expr(s, *e.lhs);
+        return;
+      case Expr::Kind::Assign:
+        store(s, e.name, e.line, "the value stored to");
+        back_expr(s, *e.rhs);
+        return;
+      case Expr::Kind::Call:
+        // Reverse of the right-to-left evaluation: leftmost arg first.
+        for (const cc::ExprPtr& arg : e.args) back_expr(s, *arg);
+        return;
+    }
+  }
+
+  void back_stmt(State& s, const Stmt& stmt) const {
+    switch (stmt.kind) {
+      case Stmt::Kind::ExprStmt:
+        back_expr(s, *stmt.expr);
+        return;
+      case Stmt::Kind::Decl:
+        if (stmt.expr) {
+          store(s, stmt.name, stmt.line, "the initial value of");
+          back_expr(s, *stmt.expr);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  [[nodiscard]] State transfer(int node, const State& in) const {
+    // `in` is the live-out of the block (the graph is reversed).
+    State s = in;
+    const CBlock& b = ctx->cfg.blocks[static_cast<std::size_t>(node)];
+    if (b.term == CBlock::Term::Cond && b.cond != nullptr) back_expr(s, *b.cond);
+    if (b.term == CBlock::Term::Return && b.owner != nullptr && b.owner->expr) {
+      back_expr(s, *b.owner->expr);
+    }
+    for (auto it = b.stmts.rbegin(); it != b.stmts.rend(); ++it) back_stmt(s, **it);
+    return s;
+  }
+};
+
+void check_dead_store(const FnContext& ctx, std::vector<Diagnostic>& out) {
+  LiveProblem problem{&ctx, nullptr};
+  const FlowGraph backward = reverse(ctx.graph, {1});
+  const auto sol = solve(backward, problem);
+  problem.sink = &out;
+  for (std::size_t b = 0; b < ctx.graph.size(); ++b) {
+    if (!ctx.reach[b]) continue;  // unreachable code gets its own pass
+    (void)problem.transfer(static_cast<int>(b), sol.in[b]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unreachable: report the first statement of every unreachable region.
+// ---------------------------------------------------------------------------
+
+void check_unreachable(const FnContext& ctx, std::vector<Diagnostic>& out) {
+  bool prev_unreachable = false;
+  for (const Stmt* stmt : all_statements(*ctx.fn)) {
+    const auto it = ctx.cfg.home.find(stmt);
+    const bool unreachable =
+        it != ctx.cfg.home.end() && !ctx.reach[static_cast<std::size_t>(it->second)];
+    if (unreachable && !prev_unreachable) {
+      out.push_back(make_diag(ctx, "unreachable", stmt->line,
+                              "statement can never execute (no path from the function "
+                              "entry reaches it)"));
+    }
+    prev_unreachable = unreachable;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// constant-condition: fold each short-circuit leaf the CFG branches on.
+// ---------------------------------------------------------------------------
+
+std::optional<std::int32_t> fold(const Expr& e) {
+  const auto wrap = [](std::int64_t v) {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(v));
+  };
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      return e.value;
+    case Expr::Kind::Unary: {
+      const auto v = fold(*e.lhs);
+      if (!v) return std::nullopt;
+      switch (e.un_op) {
+        case UnOp::Neg: return wrap(-static_cast<std::int64_t>(*v));
+        case UnOp::BitNot: return ~*v;
+        case UnOp::LogicalNot: return *v == 0 ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::Binary: {
+      const auto a = fold(*e.lhs);
+      const auto b = fold(*e.rhs);
+      if (!a || !b) return std::nullopt;
+      const std::int64_t x = *a, y = *b;
+      switch (e.bin_op) {
+        case BinOp::Add: return wrap(x + y);
+        case BinOp::Sub: return wrap(x - y);
+        case BinOp::Mul: return wrap(x * y);
+        case BinOp::BitAnd: return *a & *b;
+        case BinOp::BitOr: return *a | *b;
+        case BinOp::BitXor: return *a ^ *b;
+        case BinOp::Shl:
+          if (y < 0 || y > 31) return std::nullopt;
+          return wrap(static_cast<std::int64_t>(static_cast<std::uint32_t>(*a)) << y);
+        case BinOp::Shr:  // arithmetic, matching the generated sarl
+          if (y < 0 || y > 31) return std::nullopt;
+          return static_cast<std::int32_t>(*a >> y);
+        case BinOp::Lt: return x < y ? 1 : 0;
+        case BinOp::Gt: return x > y ? 1 : 0;
+        case BinOp::Le: return x <= y ? 1 : 0;
+        case BinOp::Ge: return x >= y ? 1 : 0;
+        case BinOp::Eq: return x == y ? 1 : 0;
+        case BinOp::Ne: return x != y ? 1 : 0;
+        case BinOp::LogicalAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+        case BinOp::LogicalOr: return (*a != 0 || *b != 0) ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;  // Var / Assign / Call depend on state
+  }
+}
+
+void check_constant_condition(const FnContext& ctx, std::vector<Diagnostic>& out) {
+  for (std::size_t b = 0; b < ctx.cfg.blocks.size(); ++b) {
+    const CBlock& block = ctx.cfg.blocks[b];
+    if (block.term != CBlock::Term::Cond || block.cond == nullptr) continue;
+    if (!ctx.reach[b]) continue;
+    const auto v = fold(*block.cond);
+    if (!v) continue;
+    const bool is_while = block.owner != nullptr && block.owner->kind == Stmt::Kind::While;
+    Diagnostic d = make_diag(ctx, "constant-condition", block.cond->line,
+                             std::string("condition is always ") +
+                                 (*v != 0 ? "true" : "false"));
+    if (is_while && *v != 0) {
+      d.notes.push_back("the loop can only exit through a return inside its body");
+    }
+    out.push_back(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// missing-return: a reachable fall-off-the-end edge in a non-void fn.
+// ---------------------------------------------------------------------------
+
+void check_missing_return(const FnContext& ctx, std::vector<Diagnostic>& out) {
+  if (ctx.fn->returns_void) return;
+  for (std::size_t b = 0; b < ctx.cfg.blocks.size(); ++b) {
+    const CBlock& block = ctx.cfg.blocks[b];
+    if (!ctx.reach[b]) continue;
+    if (block.term == CBlock::Term::Jump && block.next == 1) {
+      Diagnostic d = make_diag(ctx, "missing-return", ctx.fn->line,
+                               "control can reach the end of '" + ctx.fn->name +
+                                   "' without returning a value");
+      d.notes.push_back("the generated code returns 0 on that path, silently");
+      out.push_back(std::move(d));
+      return;  // one report per function, whatever the path count
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze_function(const Function& fn) {
+  const FnContext ctx = make_context(fn);
+  std::vector<Diagnostic> out;
+  check_use_before_init(ctx, out);
+  check_dead_store(ctx, out);
+  check_unreachable(ctx, out);
+  check_constant_condition(ctx, out);
+  check_missing_return(ctx, out);
+  return out;
+}
+
+std::vector<Diagnostic> analyze_program(const cc::ProgramAst& program) {
+  std::vector<Diagnostic> out;
+  for (const Function& fn : program.functions) {
+    auto fn_diags = analyze_function(fn);
+    out.insert(out.end(), std::make_move_iterator(fn_diags.begin()),
+               std::make_move_iterator(fn_diags.end()));
+  }
+  normalize(out);
+  return out;
+}
+
+}  // namespace cs31::analyze

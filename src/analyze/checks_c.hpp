@@ -1,0 +1,40 @@
+// The mini-C static checks, all built on the CFG (cfg.hpp) and the
+// generic dataflow engine (dataflow.hpp):
+//
+//   use-before-init    forward  — read of a local on a path where no
+//                                 assignment has reached it yet; the
+//                                 short-circuit CFG edges make `if (c &&
+//                                 (x = f()))` precise.
+//   dead-store         backward — an assignment (or initializer) whose
+//                                 value no later read can observe.
+//   unreachable        —          statements whose home block no path
+//                                 from the function entry reaches
+//                                 (code after a return, mostly).
+//   constant-condition —          an If/While condition leaf that folds
+//                                 to a compile-time constant, so one arm
+//                                 can never run.
+//   missing-return     —          a non-void function with a reachable
+//                                 fall-off-the-end edge into the exit
+//                                 block.
+//
+// These are the CS 31 "invisible until it runs" bugs: the generated
+// code assembles and executes fine (an uninitialized slot reads as
+// whatever the stack held), which is exactly why the course needs a
+// static tier in front of the tracer.
+#pragma once
+
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "ccomp/ast.hpp"
+
+namespace cs31::analyze {
+
+/// All mini-C passes over one function. Diagnostics are not yet
+/// normalized (analyze_program does that once, over the whole unit).
+[[nodiscard]] std::vector<Diagnostic> analyze_function(const cc::Function& fn);
+
+/// All passes over every function of the unit; sorted + deduplicated.
+[[nodiscard]] std::vector<Diagnostic> analyze_program(const cc::ProgramAst& program);
+
+}  // namespace cs31::analyze

@@ -1,0 +1,562 @@
+#include "analyze/checks_isa.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyze/cfg.hpp"
+#include "analyze/dataflow.hpp"
+#include "isa/debugger.hpp"
+#include "isa/ia32.hpp"
+
+namespace cs31::analyze {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+constexpr std::size_t kRegCount = 8;  // Eax..Edi; Eip never participates
+
+std::size_t ridx(Reg r) { return static_cast<std::size_t>(r); }
+
+bool is_callee_save(Reg r) {
+  return r == Reg::Ebx || r == Reg::Esi || r == Reg::Edi || r == Reg::Ebp;
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction def/use extraction. The conventions come straight
+// from Machine::step: two-operand ALU ops read src+dst and write dst;
+// single-operand ops (not/neg/inc/dec/push/pop) live in the dst field.
+// ---------------------------------------------------------------------------
+
+struct UseDef {
+  std::vector<Reg> uses;   ///< registers whose *value* the instruction needs
+  std::vector<Reg> defs;   ///< registers written (memory writes excluded)
+  bool is_save_push = false;  ///< `pushl %reg` of a callee-save register
+};
+
+void addr_regs(const Operand& o, std::vector<Reg>& out) {
+  if (o.kind != Operand::Kind::Mem) return;
+  if (o.mem.base) out.push_back(*o.mem.base);
+  if (o.mem.index) out.push_back(*o.mem.index);
+}
+
+void value_regs(const Operand& o, std::vector<Reg>& out) {
+  if (o.kind == Operand::Kind::Reg) out.push_back(o.reg);
+  else addr_regs(o, out);  // a memory operand's value needs its address
+}
+
+void def_reg(const Operand& o, std::vector<Reg>& out) {
+  if (o.kind == Operand::Kind::Reg) out.push_back(o.reg);
+}
+
+UseDef use_def(const Instruction& ins) {
+  UseDef ud;
+  switch (ins.op) {
+    case Mnemonic::Mov:
+      value_regs(ins.src, ud.uses);
+      addr_regs(ins.dst, ud.uses);
+      def_reg(ins.dst, ud.defs);
+      break;
+    case Mnemonic::Lea:
+      addr_regs(ins.src, ud.uses);
+      def_reg(ins.dst, ud.defs);
+      break;
+    case Mnemonic::Add:
+    case Mnemonic::Sub:
+    case Mnemonic::Imul:
+    case Mnemonic::And:
+    case Mnemonic::Or:
+    case Mnemonic::Xor:
+    case Mnemonic::Shl:
+    case Mnemonic::Shr:
+    case Mnemonic::Sar:
+      // `xorl %r, %r` and `subl %r, %r` are the classic zeroing idioms:
+      // they define the register without caring what it held.
+      if ((ins.op == Mnemonic::Xor || ins.op == Mnemonic::Sub) &&
+          ins.src.kind == Operand::Kind::Reg && ins.dst.kind == Operand::Kind::Reg &&
+          ins.src.reg == ins.dst.reg) {
+        ud.defs.push_back(ins.dst.reg);
+        break;
+      }
+      value_regs(ins.src, ud.uses);
+      value_regs(ins.dst, ud.uses);
+      def_reg(ins.dst, ud.defs);
+      break;
+    case Mnemonic::Cmp:
+    case Mnemonic::Test:
+      value_regs(ins.src, ud.uses);
+      value_regs(ins.dst, ud.uses);
+      break;
+    case Mnemonic::Not:
+    case Mnemonic::Neg:
+    case Mnemonic::Inc:
+    case Mnemonic::Dec:
+      value_regs(ins.dst, ud.uses);
+      def_reg(ins.dst, ud.defs);
+      break;
+    case Mnemonic::Push:
+      value_regs(ins.dst, ud.uses);
+      ud.is_save_push =
+          ins.dst.kind == Operand::Kind::Reg && is_callee_save(ins.dst.reg);
+      break;
+    case Mnemonic::Pop:
+      addr_regs(ins.dst, ud.uses);
+      def_reg(ins.dst, ud.defs);
+      break;
+    case Mnemonic::Leave:
+      ud.uses.push_back(Reg::Ebp);
+      ud.defs.push_back(Reg::Esp);
+      ud.defs.push_back(Reg::Ebp);
+      break;
+    case Mnemonic::Call:
+    case Mnemonic::Ret:
+    case Mnemonic::Jmp:
+    case Mnemonic::Je: case Mnemonic::Jne: case Mnemonic::Jg: case Mnemonic::Jge:
+    case Mnemonic::Jl: case Mnemonic::Jle: case Mnemonic::Ja: case Mnemonic::Jae:
+    case Mnemonic::Jb: case Mnemonic::Jbe: case Mnemonic::Js: case Mnemonic::Jns:
+    case Mnemonic::Nop:
+    case Mnemonic::Hlt:
+      break;
+  }
+  return ud;
+}
+
+std::string hex(std::uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", addr);
+  return buf;
+}
+
+Diagnostic isa_diag(const std::string& pass, const std::string& function,
+                    std::uint32_t addr, std::string message) {
+  Diagnostic d;
+  d.pass = pass;
+  d.function = function;
+  d.addr = addr;
+  d.has_addr = true;
+  d.message = std::move(message);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Callee clobber summaries: which callee-save registers does calling
+// `target` destroy? A register counts as saved when the routine both
+// pushes and pops it (leave restores %ebp); clobbers of a routine's own
+// callees propagate unless it saves around them, so the summaries close
+// over the call graph by fixed point.
+// ---------------------------------------------------------------------------
+
+using ClobSet = std::array<bool, kRegCount>;
+
+std::map<std::uint32_t, ClobSet> callee_summaries(const IsaCfg& cfg) {
+  struct Raw {
+    ClobSet writes{};
+    ClobSet saved{};
+    std::vector<std::uint32_t> callees;
+  };
+  std::map<std::uint32_t, Raw> raw;
+  for (const std::uint32_t target : cfg.call_targets) {
+    Raw r;
+    ClobSet pushed{}, popped{};
+    bool has_leave = false;
+    for (const int b : function_blocks(cfg, target)) {
+      for (const IsaInstr& ii : cfg.blocks[static_cast<std::size_t>(b)].instrs) {
+        const Instruction& ins = ii.ins;
+        if (ins.op == Mnemonic::Push && ins.dst.kind == Operand::Kind::Reg) {
+          pushed[ridx(ins.dst.reg)] = true;
+          continue;
+        }
+        if (ins.op == Mnemonic::Pop && ins.dst.kind == Operand::Kind::Reg) {
+          popped[ridx(ins.dst.reg)] = true;
+        }
+        if (ins.op == Mnemonic::Leave) has_leave = true;
+        if (ins.op == Mnemonic::Call) r.callees.push_back(ins.target);
+        for (const Reg d : use_def(ins).defs) r.writes[ridx(d)] = true;
+      }
+    }
+    for (const Reg reg : {Reg::Ebx, Reg::Esi, Reg::Edi, Reg::Ebp}) {
+      const std::size_t i = ridx(reg);
+      r.saved[i] = pushed[i] && (popped[i] || (reg == Reg::Ebp && has_leave));
+    }
+    raw.emplace(target, std::move(r));
+  }
+
+  std::map<std::uint32_t, ClobSet> summary;
+  for (const auto& [target, r] : raw) {
+    ClobSet s{};
+    for (const Reg reg : {Reg::Ebx, Reg::Esi, Reg::Edi, Reg::Ebp}) {
+      s[ridx(reg)] = r.writes[ridx(reg)] && !r.saved[ridx(reg)];
+    }
+    summary[target] = s;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [target, r] : raw) {
+      ClobSet& s = summary[target];
+      for (const std::uint32_t callee : r.callees) {
+        for (const Reg reg : {Reg::Ebx, Reg::Esi, Reg::Edi, Reg::Ebp}) {
+          const std::size_t i = ridx(reg);
+          if (summary[callee][i] && !r.saved[i] && !s[i]) {
+            s[i] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// uninit-register + callee-save: one forward pass over each root's
+// intraprocedural slice.
+// ---------------------------------------------------------------------------
+
+// Per-register cell. Meet is element-wise max: a register is as suspect
+// as the worst path reaching the block.
+enum RegCell : std::uint8_t {
+  kRegTop = 0,      ///< block not reached yet
+  kRegDef,          ///< some instruction wrote it
+  kRegClobCaller,   ///< %ecx/%edx after a call: caller-saved
+  kRegClobCallee,   ///< callee-save register a callee clobbers
+  kRegUndef,        ///< never written since the routine's entry
+};
+
+struct RegProblem {
+  using State = std::array<std::uint8_t, kRegCount>;
+  const IsaCfg* cfg;
+  const IsaSlice* slice;
+  const IsaRoot* root;
+  const std::map<std::uint32_t, ClobSet>* summaries;
+  std::vector<Diagnostic>* sink = nullptr;
+
+  [[nodiscard]] State top() const {
+    State s{};
+    return s;
+  }
+
+  [[nodiscard]] State boundary() const {
+    State s{};
+    if (root->is_call_target) {
+      // cdecl entry: arguments live on the stack; only %esp means
+      // anything. An unwritten %ebp here catches a missing prologue.
+      s.fill(kRegUndef);
+      s[ridx(Reg::Esp)] = kRegDef;
+    } else {
+      // Raw entry points and un-jumped labels (maze floors) are entered
+      // with whatever the harness staged — assume all registers hold
+      // intended values.
+      s.fill(kRegDef);
+    }
+    return s;
+  }
+
+  void meet(State& into, const State& from) const {
+    for (std::size_t i = 0; i < kRegCount; ++i) {
+      into[i] = std::max(into[i], from[i]);
+    }
+  }
+
+  void report_read(const IsaInstr& ii, Reg reg, std::uint8_t cell) const {
+    if (sink == nullptr) return;
+    const std::string name = isa::reg_name(reg);
+    if (cell == kRegUndef) {
+      Diagnostic d = isa_diag("uninit-register", root->name, ii.addr,
+                              "read of " + name + ", which no instruction on this path "
+                              "from '" + root->name + "' has written");
+      d.notes.push_back("a register holds stack garbage until the routine writes it");
+      sink->push_back(std::move(d));
+    } else if (cell == kRegClobCaller) {
+      Diagnostic d = isa_diag("callee-save", root->name, ii.addr,
+                              "read of " + name + " after a call: " + name +
+                                  " is caller-saved and does not survive the call");
+      d.notes.push_back("copy the value to the stack or a saved register before the call");
+      sink->push_back(std::move(d));
+    } else if (cell == kRegClobCallee) {
+      Diagnostic d = isa_diag("callee-save", root->name, ii.addr,
+                              "read of " + name + " after a call whose callee writes " +
+                                  name + " without saving it");
+      d.notes.push_back("the callee must pushl/popl " + name +
+                        " around its use, or the caller must not rely on it");
+      sink->push_back(std::move(d));
+    }
+  }
+
+  void sim(State& s, const IsaInstr& ii) const {
+    const Instruction& ins = ii.ins;
+    if (ins.op == Mnemonic::Call) {
+      s[ridx(Reg::Eax)] = kRegDef;  // return value
+      for (const Reg r : {Reg::Ecx, Reg::Edx}) {
+        s[ridx(r)] = std::max(s[ridx(r)], static_cast<std::uint8_t>(kRegClobCaller));
+      }
+      const auto it = summaries->find(ins.target);
+      if (it != summaries->end()) {
+        for (const Reg r : {Reg::Ebx, Reg::Esi, Reg::Edi, Reg::Ebp}) {
+          if (it->second[ridx(r)]) {
+            s[ridx(r)] = std::max(s[ridx(r)], static_cast<std::uint8_t>(kRegClobCallee));
+          }
+        }
+      }
+      return;
+    }
+    const UseDef ud = use_def(ins);
+    if (!ud.is_save_push) {  // saving a register is fine whatever it holds
+      for (const Reg r : ud.uses) report_read(ii, r, s[ridx(r)]);
+    }
+    for (const Reg r : ud.defs) s[ridx(r)] = kRegDef;
+  }
+
+  [[nodiscard]] State transfer(int node, const State& in) const {
+    State s = in;
+    const int global = slice->global[static_cast<std::size_t>(node)];
+    for (const IsaInstr& ii : cfg->blocks[static_cast<std::size_t>(global)].instrs) {
+      sim(s, ii);
+    }
+    return s;
+  }
+};
+
+void check_registers(const IsaCfg& cfg, const IsaSlice& slice, const IsaRoot& root,
+                     const std::map<std::uint32_t, ClobSet>& summaries,
+                     std::vector<Diagnostic>& out) {
+  RegProblem problem{&cfg, &slice, &root, &summaries, nullptr};
+  const auto sol = solve(slice.graph, problem);
+  problem.sink = &out;
+  for (std::size_t n = 0; n < slice.graph.size(); ++n) {
+    (void)problem.transfer(static_cast<int>(n), sol.in[n]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stack-balance: track the net bytes pushed since the routine's entry.
+// ---------------------------------------------------------------------------
+
+struct Depth {
+  enum Kind : std::uint8_t { kTop = 0, kKnown, kUnknown, kConflict } kind = kTop;
+  std::int32_t value = 0;  ///< meaningful for kKnown only
+
+  static Depth known(std::int32_t v) { return {kKnown, v}; }
+  static Depth unknown() { return {kUnknown, 0}; }
+  static Depth conflict() { return {kConflict, 0}; }
+
+  friend bool operator==(const Depth&, const Depth&) = default;
+};
+
+Depth meet_depth(const Depth& a, const Depth& b) {
+  if (a.kind == Depth::kTop) return b;
+  if (b.kind == Depth::kTop) return a;
+  if (a.kind == Depth::kConflict || b.kind == Depth::kConflict) return Depth::conflict();
+  if (a.kind == Depth::kUnknown || b.kind == Depth::kUnknown) return Depth::unknown();
+  return a.value == b.value ? a : Depth::conflict();
+}
+
+struct StackProblem {
+  struct State {
+    Depth esp;  ///< bytes pushed since entry (push -> +4)
+    Depth ebp;  ///< the esp depth captured by `movl %esp, %ebp`
+    friend bool operator==(const State&, const State&) = default;
+  };
+  const IsaCfg* cfg;
+  const IsaSlice* slice;
+  const IsaRoot* root;
+  std::vector<Diagnostic>* sink = nullptr;
+
+  [[nodiscard]] State top() const { return {}; }
+  [[nodiscard]] State boundary() const {
+    return {Depth::known(0), Depth::unknown()};
+  }
+  void meet(State& into, const State& from) const {
+    into.esp = meet_depth(into.esp, from.esp);
+    into.ebp = meet_depth(into.ebp, from.ebp);
+  }
+
+  void sim(State& s, const IsaInstr& ii) const {
+    const Instruction& ins = ii.ins;
+    const auto bump = [&](std::int32_t delta) {
+      if (s.esp.kind == Depth::kKnown) s.esp.value += delta;
+    };
+    const auto dst_is = [&](Reg r) {
+      return ins.dst.kind == Operand::Kind::Reg && ins.dst.reg == r;
+    };
+    const auto src_is = [&](Reg r) {
+      return ins.src.kind == Operand::Kind::Reg && ins.src.reg == r;
+    };
+    switch (ins.op) {
+      case Mnemonic::Push:
+        bump(+4);
+        return;
+      case Mnemonic::Pop:
+        bump(-4);
+        if (dst_is(Reg::Ebp)) s.ebp = Depth::unknown();
+        if (dst_is(Reg::Esp)) s.esp = Depth::unknown();
+        return;
+      case Mnemonic::Call:
+        return;  // the callee pops its own return address (cdecl)
+      case Mnemonic::Leave:
+        // esp := ebp (frame teardown), then pop %ebp.
+        s.esp = s.ebp.kind == Depth::kConflict ? Depth::unknown() : s.ebp;
+        bump(-4);
+        s.ebp = Depth::unknown();
+        return;
+      case Mnemonic::Ret:
+        if (sink != nullptr && s.esp.kind == Depth::kKnown && s.esp.value != 0) {
+          const std::int32_t off = s.esp.value;
+          Diagnostic d = isa_diag(
+              "stack-balance", root->name, ii.addr,
+              off > 0
+                  ? "ret with " + std::to_string(off) + " byte(s) still pushed: the "
+                    "routine pushes more than it pops, so ret pops a data word as "
+                    "the return address"
+                  : "ret after popping " + std::to_string(-off) + " byte(s) past the "
+                    "frame: the routine pops more than it pushes");
+          d.notes.push_back("every pushl needs a matching popl (or addl to %esp) "
+                            "before ret");
+          sink->push_back(std::move(d));
+        }
+        return;
+      case Mnemonic::Mov:
+        if (dst_is(Reg::Ebp)) {
+          s.ebp = src_is(Reg::Esp)
+                      ? (s.esp.kind == Depth::kConflict ? Depth::unknown() : s.esp)
+                      : Depth::unknown();
+        } else if (dst_is(Reg::Esp)) {
+          s.esp = src_is(Reg::Ebp)
+                      ? (s.ebp.kind == Depth::kConflict ? Depth::unknown() : s.ebp)
+                      : Depth::unknown();
+        }
+        return;
+      case Mnemonic::Add:
+      case Mnemonic::Sub:
+        if (dst_is(Reg::Esp)) {
+          if (ins.src.kind == Operand::Kind::Imm) {
+            bump(ins.op == Mnemonic::Sub ? ins.src.imm : -ins.src.imm);
+          } else {
+            s.esp = Depth::unknown();
+          }
+        } else if (dst_is(Reg::Ebp)) {
+          s.ebp = Depth::unknown();
+        }
+        return;
+      default:
+        for (const Reg r : use_def(ins).defs) {
+          if (r == Reg::Esp) s.esp = Depth::unknown();
+          if (r == Reg::Ebp) s.ebp = Depth::unknown();
+        }
+        return;
+    }
+  }
+
+  [[nodiscard]] State transfer(int node, const State& in) const {
+    State s = in;
+    const int global = slice->global[static_cast<std::size_t>(node)];
+    for (const IsaInstr& ii : cfg->blocks[static_cast<std::size_t>(global)].instrs) {
+      sim(s, ii);
+    }
+    return s;
+  }
+};
+
+void check_stack(const IsaCfg& cfg, const IsaSlice& slice, const IsaRoot& root,
+                 std::vector<Diagnostic>& out) {
+  StackProblem problem{&cfg, &slice, &root, nullptr};
+  const auto sol = solve(slice.graph, problem);
+  problem.sink = &out;
+  for (std::size_t n = 0; n < slice.graph.size(); ++n) {
+    // A conflict born at this merge (no predecessor already carried one)
+    // means the paths arriving here disagree about the stack depth.
+    if (sol.in[n].esp.kind == Depth::kConflict) {
+      bool inherited = false;
+      std::set<std::int32_t> depths;
+      for (const int p : slice.graph.preds[n]) {
+        const Depth& pd = sol.out[static_cast<std::size_t>(p)].esp;
+        if (pd.kind == Depth::kConflict) inherited = true;
+        if (pd.kind == Depth::kKnown) depths.insert(pd.value);
+      }
+      if (!inherited) {
+        const int global = slice.global[n];
+        const IsaBlock& block = cfg.blocks[static_cast<std::size_t>(global)];
+        std::string list;
+        for (const std::int32_t d : depths) {
+          if (!list.empty()) list += ", ";
+          list += std::to_string(d);
+        }
+        Diagnostic d = isa_diag("stack-balance", root.name, block.start,
+                                "paths reach " + hex(block.start) +
+                                    " with different stack depths (" + list +
+                                    " bytes pushed)");
+        d.notes.push_back("a push or pop on one branch has no counterpart on the other");
+        out.push_back(std::move(d));
+      }
+    }
+    (void)problem.transfer(static_cast<int>(n), sol.in[n]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unreachable-block: code no root can reach, grouped into runs.
+// ---------------------------------------------------------------------------
+
+void check_unreachable_blocks(const IsaCfg& cfg, const std::set<int>& covered,
+                              std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < cfg.blocks.size();) {
+    if (covered.contains(static_cast<int>(i))) {
+      ++i;
+      continue;
+    }
+    // Extend the run over address-adjacent uncovered blocks.
+    std::size_t j = i;
+    std::size_t instrs = 0;
+    while (j < cfg.blocks.size() && !covered.contains(static_cast<int>(j))) {
+      const IsaBlock& b = cfg.blocks[j];
+      if (j > i) {
+        const IsaBlock& prev = cfg.blocks[j - 1];
+        const std::uint32_t prev_end =
+            prev.instrs.back().addr + isa::kInstrBytes;
+        if (b.start != prev_end) break;
+      }
+      instrs += b.instrs.size();
+      ++j;
+    }
+    const std::uint32_t start = cfg.blocks[i].start;
+    Diagnostic d = isa_diag("unreachable-block", cfg.label_for(start), start,
+                            std::to_string(instrs) + " instruction(s) starting at " +
+                                hex(start) + " are unreachable from every entry "
+                                "point, call target, and label");
+    out.push_back(std::move(d));
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_image(const isa::Image& image) {
+  const IsaCfg cfg = build_cfg(image);
+  const auto summaries = callee_summaries(cfg);
+  std::vector<Diagnostic> out;
+  std::set<int> covered;
+  for (const IsaRoot& root : cfg.roots) {
+    const IsaSlice slice = flow_graph(cfg, root.addr);
+    for (const int b : slice.global) covered.insert(b);
+    check_registers(cfg, slice, root, summaries, out);
+    check_stack(cfg, slice, root, out);
+  }
+  check_unreachable_blocks(cfg, covered, out);
+  normalize(out);
+  return out;
+}
+
+void attach_lint(isa::Debugger& debugger, const isa::Image& image) {
+  debugger.register_command("lint", [&image] {
+    const std::vector<Diagnostic> diags = lint_image(image);
+    if (diags.empty()) return std::string("lint: no findings\n");
+    return render(diags);
+  });
+}
+
+}  // namespace cs31::analyze

@@ -1,0 +1,51 @@
+// The teaching-ISA static checks, run over a loaded Image's CFG:
+//
+//   stack-balance      forward  — tracks the net bytes pushed since
+//                                 function entry; a `ret` reached with a
+//                                 nonzero delta (or a merge point whose
+//                                 incoming paths disagree) breaks the
+//                                 cdecl contract Lab 4 drills.
+//   uninit-register    forward  — a read of a register no instruction
+//                                 on any path from the routine's entry
+//                                 has written. Call-target roots start
+//                                 with only %esp defined (arguments
+//                                 arrive on the stack); raw entry points
+//                                 and un-jumped labels (the maze floors,
+//                                 entered by pointing EIP at them) start
+//                                 fully defined.
+//   callee-save        forward  — a read, after a `call`, of a register
+//                                 the call destroyed: %ecx/%edx always
+//                                 (caller-saved), %ebx/%esi/%edi/%ebp
+//                                 when the callee's own code writes them
+//                                 without the push/pop save idiom. The
+//                                 check sits with the *caller* — the Lab
+//                                 4 samples deliberately clobber scratch
+//                                 registers, which is fine until some
+//                                 caller relies on them surviving.
+//   unreachable-block  —          code no root (entry, call target,
+//                                 un-jumped label) can reach.
+//
+// All addresses in diagnostics are real code addresses; `function` is
+// the root label the finding was discovered under.
+#pragma once
+
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "isa/assembler.hpp"
+
+namespace cs31::isa {
+class Debugger;
+}
+
+namespace cs31::analyze {
+
+/// Run every ISA check over the image; sorted + deduplicated.
+[[nodiscard]] std::vector<Diagnostic> lint_image(const isa::Image& image);
+
+/// Register a `lint` command on a debugger: it runs lint_image over
+/// `image` (which must outlive the debugger) and prints the findings,
+/// so a student can ask "is this binary suspicious?" before stepping.
+void attach_lint(isa::Debugger& debugger, const isa::Image& image);
+
+}  // namespace cs31::analyze

@@ -1,0 +1,62 @@
+#include "analyze/dataflow.hpp"
+
+#include <set>
+
+namespace cs31::analyze {
+
+FlowGraph flow_graph(const CFuncCfg& cfg) {
+  FlowGraph g;
+  g.succs.resize(cfg.blocks.size());
+  g.preds.resize(cfg.blocks.size());
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    g.succs[i] = cfg.blocks[i].succs();
+    g.preds[i] = cfg.blocks[i].preds;
+  }
+  g.entries = {0};
+  return g;
+}
+
+IsaSlice flow_graph(const IsaCfg& cfg, std::uint32_t root) {
+  IsaSlice slice;
+  slice.global = function_blocks(cfg, root);
+  std::vector<int> local(cfg.blocks.size(), -1);
+  for (std::size_t i = 0; i < slice.global.size(); ++i) {
+    local[static_cast<std::size_t>(slice.global[i])] = static_cast<int>(i);
+  }
+  slice.graph.succs.resize(slice.global.size());
+  slice.graph.preds.resize(slice.global.size());
+  for (std::size_t i = 0; i < slice.global.size(); ++i) {
+    for (const int s : cfg.blocks[static_cast<std::size_t>(slice.global[i])].succs) {
+      const int ls = local[static_cast<std::size_t>(s)];
+      if (ls < 0) continue;  // edge leaves the slice
+      slice.graph.succs[i].push_back(ls);
+      slice.graph.preds[static_cast<std::size_t>(ls)].push_back(static_cast<int>(i));
+    }
+  }
+  if (!slice.global.empty()) slice.graph.entries = {0};
+  return slice;
+}
+
+std::vector<bool> reachable(const FlowGraph& g) {
+  std::vector<bool> seen(g.size(), false);
+  std::vector<int> stack;
+  for (const int e : g.entries) {
+    if (!seen[static_cast<std::size_t>(e)]) {
+      seen[static_cast<std::size_t>(e)] = true;
+      stack.push_back(e);
+    }
+  }
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    for (const int s : g.succs[static_cast<std::size_t>(n)]) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace cs31::analyze

@@ -1,0 +1,123 @@
+// The generic iterative dataflow engine every check is built on.
+//
+// A check adapts its CFG to a FlowGraph (plain successor/predecessor
+// lists plus the boundary nodes facts flow in from), defines a Problem
+// (a state type with equality, a top element, a meet, and a per-node
+// transfer function), and calls solve(). The engine runs the classic
+// worklist algorithm to a fixed point — meet over predecessors, then
+// transfer — and hands back the in/out state of every node, which the
+// check then replays once to attach diagnostics to lines or addresses.
+//
+// Direction is handled by construction rather than by flag: a backward
+// problem (liveness) solves over reverse(graph) with the exits as
+// boundary nodes, and writes its transfer to scan the block backwards.
+// That keeps the engine ~60 lines and every pass close to the textbook
+// presentation a CS 31 staff member would recognise.
+#pragma once
+
+#include <vector>
+
+#include "analyze/cfg.hpp"
+
+namespace cs31::analyze {
+
+/// A CFG reduced to what the solver needs. Node indices are dense
+/// [0, size()); `entries` are the nodes seeded with the problem's
+/// boundary state (facts still meet in from predecessors, so a loop
+/// edge back to an entry behaves correctly).
+struct FlowGraph {
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+  std::vector<int> entries;
+
+  [[nodiscard]] std::size_t size() const { return succs.size(); }
+};
+
+/// Flip every edge; the boundary moves to `new_entries` (typically the
+/// original exits). This is how backward problems reuse the solver.
+[[nodiscard]] inline FlowGraph reverse(const FlowGraph& g, std::vector<int> new_entries) {
+  FlowGraph r;
+  r.succs = g.preds;
+  r.preds = g.succs;
+  r.entries = std::move(new_entries);
+  return r;
+}
+
+/// Adapt a mini-C function CFG. Entry = block 0 (build_cfg's entry).
+[[nodiscard]] FlowGraph flow_graph(const CFuncCfg& cfg);
+
+/// Adapt the intraprocedural slice of an image CFG rooted at `root`.
+/// Local node i corresponds to global block `global[i]`; node 0 is the
+/// root's block. Edges leaving the slice are dropped.
+struct IsaSlice {
+  FlowGraph graph;
+  std::vector<int> global;
+};
+[[nodiscard]] IsaSlice flow_graph(const IsaCfg& cfg, std::uint32_t root);
+
+/// Nodes reachable from the graph's entries (used directly by the
+/// unreachable checks, and by reporting walks that must ignore states
+/// the solver never propagated into).
+[[nodiscard]] std::vector<bool> reachable(const FlowGraph& g);
+
+/// Fixed-point solution: the state flowing into and out of every node,
+/// in the graph's own orientation (for a reversed graph, `in` holds the
+/// facts at the original block *end*).
+template <typename State>
+struct Solution {
+  std::vector<State> in;
+  std::vector<State> out;
+};
+
+/// Iterate `problem` over `g` to a fixed point.
+///
+/// Problem requirements:
+///   using State = ...;                     // with operator==
+///   State top() const;                     // identity of meet; initial guess
+///   State boundary() const;                // state injected at g.entries
+///   void meet(State& into, const State& from) const;
+///   State transfer(int node, const State& in) const;
+///
+/// transfer receives the node in *graph* indices (use IsaSlice::global
+/// to get back to image blocks). Monotone transfer + finite-height
+/// lattice terminate, as usual.
+template <typename Problem>
+Solution<typename Problem::State> solve(const FlowGraph& g, const Problem& problem) {
+  using State = typename Problem::State;
+  const std::size_t n = g.size();
+  Solution<State> sol;
+  sol.in.assign(n, problem.top());
+  sol.out.assign(n, problem.top());
+
+  std::vector<bool> is_entry(n, false);
+  for (const int e : g.entries) is_entry[static_cast<std::size_t>(e)] = true;
+
+  std::vector<int> worklist;
+  std::vector<bool> queued(n, true);
+  for (std::size_t i = 0; i < n; ++i) worklist.push_back(static_cast<int>(i));
+
+  while (!worklist.empty()) {
+    const int node = worklist.back();
+    worklist.pop_back();
+    queued[static_cast<std::size_t>(node)] = false;
+
+    State in = is_entry[static_cast<std::size_t>(node)] ? problem.boundary()
+                                                        : problem.top();
+    for (const int p : g.preds[static_cast<std::size_t>(node)]) {
+      problem.meet(in, sol.out[static_cast<std::size_t>(p)]);
+    }
+    State out = problem.transfer(node, in);
+    sol.in[static_cast<std::size_t>(node)] = std::move(in);
+    if (out == sol.out[static_cast<std::size_t>(node)]) continue;
+    sol.out[static_cast<std::size_t>(node)] = std::move(out);
+    for (const int s : g.succs[static_cast<std::size_t>(node)]) {
+      if (!queued[static_cast<std::size_t>(s)]) {
+        queued[static_cast<std::size_t>(s)] = true;
+        worklist.push_back(s);
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace cs31::analyze

@@ -1,0 +1,88 @@
+// The diagnostic model every static-analysis pass reports through: one
+// Diagnostic per finding, carrying the pass name, the severity, and a
+// location in whichever program representation the pass examined — a
+// mini-C source line or a teaching-ISA code address. Diagnostics have a
+// stable total order (location, pass, message), duplicate findings
+// collapse, and the set renders both as compiler-style text ("mini_c:7:
+// warning: ...") and as one machine-readable JSON line per finding, so
+// drivers, tests, and graders all consume the same stream.
+//
+// Expected-finding annotations close the loop for corpora that are
+// *supposed* to trip a pass: a fixture marks each seeded bug with an
+// "expect:" comment, and verify_expected() reports both unexpected
+// diagnostics and expectations that no pass satisfied. The self-lint
+// smoke test runs every bundled sample and fixture through this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs31::analyze {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string to_string(Severity severity);
+
+/// One finding from one pass.
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string pass;      ///< stable pass slug, e.g. "use-before-init"
+  std::string function;  ///< enclosing function / root label ("" = whole unit)
+  int line = 0;          ///< mini-C source line (0 when the finding is ISA-side)
+  std::uint32_t addr = 0;    ///< ISA code address (valid when has_addr)
+  bool has_addr = false;
+  std::string message;
+  std::vector<std::string> notes;  ///< secondary lines (related locations, hints)
+
+  /// "warning[dead-store] line 4 in 'main': ..." or
+  /// "warning[stack-balance] 0x1040 in 'array_sum': ...".
+  [[nodiscard]] std::string to_string() const;
+
+  /// One JSON object: {"pass":...,"severity":...,"line":...,...}.
+  [[nodiscard]] std::string to_json() const;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Stable order: location (line, then addr), pass, function, message.
+/// Severity does not participate — a finding's place in the listing
+/// should not move when a driver upgrades warnings to errors.
+[[nodiscard]] bool diagnostic_less(const Diagnostic& a, const Diagnostic& b);
+
+/// Sort into the stable order and drop exact duplicates in place.
+void normalize(std::vector<Diagnostic>& diagnostics);
+
+/// Multi-line text rendering of a whole run; "" when clean.
+[[nodiscard]] std::string render(const std::vector<Diagnostic>& diagnostics);
+
+/// JSON array of the findings (machine-readable rendering).
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diagnostics);
+
+/// An annotated expectation: this pass should fire here. Line 0 matches
+/// any line (used by assembly fixtures, where findings carry addresses
+/// the source text cannot name).
+struct Expectation {
+  std::string pass;
+  int line = 0;
+
+  friend bool operator==(const Expectation&, const Expectation&) = default;
+};
+
+/// Scan source text for expectation annotations. The syntax is the same
+/// for mini-C and assembly (both comment styles pass through):
+///   // expect: use-before-init@7      (pass must fire on line 7)
+///   # expect: callee-save             (pass must fire anywhere)
+/// Multiple annotations per file (and per line) are fine.
+[[nodiscard]] std::vector<Expectation> parse_expectations(const std::string& source);
+
+/// Match findings against expectations. Every diagnostic must be
+/// claimed by some expectation (pass equal, line equal or wildcard) and
+/// every expectation must claim at least one diagnostic; returns a
+/// human-readable complaint per violation ("" … empty vector = all
+/// good). Notes never need an expectation.
+[[nodiscard]] std::vector<std::string> verify_expected(
+    const std::vector<Diagnostic>& diagnostics,
+    const std::vector<Expectation>& expectations);
+
+}  // namespace cs31::analyze

@@ -50,6 +50,7 @@ struct Function {
   std::string name;
   std::vector<std::string> params;
   std::vector<StmtPtr> body;
+  bool returns_void = false;  ///< declared `void` (exempt from missing-return)
   int line = 0;
 };
 

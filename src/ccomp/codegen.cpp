@@ -184,6 +184,26 @@ class Generator {
 
   // ---- statements ----
 
+  /// Does this statement return on every path through it? Used to elide
+  /// jumps and fall-off padding that could never execute, so compiled
+  /// images come out clean under the unreachable-block lint.
+  static bool stmt_returns(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::Return:
+        return true;
+      case Stmt::Kind::Block:
+        for (const StmtPtr& s : stmt.body) {
+          if (stmt_returns(*s)) return true;
+        }
+        return false;
+      case Stmt::Kind::If:
+        return stmt.else_branch != nullptr && stmt_returns(*stmt.then_branch) &&
+               stmt_returns(*stmt.else_branch);
+      default:
+        return false;  // a While's condition may be false on entry
+    }
+  }
+
   void emit_stmt(const Stmt& stmt) {
     switch (stmt.kind) {
       case Stmt::Kind::ExprStmt:
@@ -210,7 +230,8 @@ class Generator {
         emit("cmpl $0, %eax");
         emit("je " + else_label);
         emit_stmt(*stmt.then_branch);
-        emit("jmp " + end);
+        // No jump over the else arm when the then arm already returned.
+        if (!stmt_returns(*stmt.then_branch)) emit("jmp " + end);
         emit_label(else_label);
         if (stmt.else_branch) emit_stmt(*stmt.else_branch);
         emit_label(end);
@@ -224,12 +245,16 @@ class Generator {
         emit("cmpl $0, %eax");
         emit("je " + end);
         emit_stmt(*stmt.loop_body);
-        emit("jmp " + cond);
+        // A body that returns on every path never takes the back edge.
+        if (!stmt_returns(*stmt.loop_body)) emit("jmp " + cond);
         emit_label(end);
         return;
       }
       case Stmt::Kind::Block:
-        for (const StmtPtr& s : stmt.body) emit_stmt(*s);
+        for (const StmtPtr& s : stmt.body) {
+          emit_stmt(*s);
+          if (stmt_returns(*s)) return;  // the rest can never execute
+        }
         return;
     }
   }
@@ -259,8 +284,17 @@ class Generator {
     if (!locals.empty()) {
       emit("subl $" + std::to_string(4 * locals.size()) + ", %esp");
     }
-    for (const StmtPtr& s : fn.body) emit_stmt(*s);
-    emit("movl $0, %eax");  // implicit return 0 when falling off the end
+    bool falls_off = true;
+    for (const StmtPtr& s : fn.body) {
+      emit_stmt(*s);
+      if (stmt_returns(*s)) {
+        falls_off = false;
+        break;
+      }
+    }
+    if (falls_off) {
+      emit("movl $0, %eax");  // implicit return 0 when falling off the end
+    }
     emit_label(return_label_);
     emit("leave");
     emit("ret");

@@ -54,7 +54,10 @@ class Parser {
   Function parse_function() {
     Function fn;
     fn.line = peek().line;
-    if (!eat_if(TokKind::KwInt)) eat(TokKind::KwVoid);
+    if (!eat_if(TokKind::KwInt)) {
+      eat(TokKind::KwVoid);
+      fn.returns_void = true;
+    }
     fn.name = eat(TokKind::Ident).text;
     eat(TokKind::LParen);
     if (!eat_if(TokKind::RParen)) {

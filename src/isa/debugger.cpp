@@ -142,6 +142,11 @@ std::string Debugger::execute(const std::string& command) {
   require(!tok.empty(), "empty command");
   const std::string& cmd = tok[0];
 
+  if (const auto it = extra_commands_.find(cmd); it != extra_commands_.end()) {
+    require(tok.size() == 1, "usage: " + cmd);
+    return it->second();
+  }
+
   auto parse_addr_or_reg = [&](const std::string& text) -> std::uint32_t {
     if (!text.empty() && text[0] == '$') return machine_.reg(parse_reg("%" + text.substr(1)));
     if (text.rfind("0x", 0) == 0) {
@@ -226,6 +231,16 @@ std::string Debugger::execute(const std::string& command) {
     return out.str();
   }
   throw Error("unknown debugger command '" + cmd + "'");
+}
+
+void Debugger::register_command(const std::string& name,
+                                std::function<std::string()> handler) {
+  static const std::set<std::string> kReserved = {
+      "break", "b", "delete", "continue", "c",     "stepi", "si",
+      "info",  "print", "p",  "x",        "disas", "disassemble",
+      "backtrace", "bt"};
+  require(!kReserved.contains(name), "'" + name + "' is a built-in debugger command");
+  extra_commands_[name] = std::move(handler);
 }
 
 }  // namespace cs31::isa

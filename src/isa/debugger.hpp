@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -62,13 +64,20 @@ class Debugger {
   /// One GDB-flavored command line; returns its printed output.
   /// Supported: break <label|0xaddr>, delete <0xaddr>, continue | c,
   /// stepi [n] | si [n], info registers, print $reg | p $reg,
-  /// x/<n>w <0xaddr|$reg>, disas, backtrace | bt. Throws cs31::Error
-  /// for anything else.
+  /// x/<n>w <0xaddr|$reg>, disas, backtrace | bt, plus any commands
+  /// added via register_command. Throws cs31::Error for anything else.
   std::string execute(const std::string& command);
+
+  /// Extend the interpreter with a custom zero-argument command (the
+  /// static-analysis tier registers "lint" this way, so higher layers
+  /// can plug in without this class depending on them). A re-registered
+  /// name replaces the earlier handler; built-in names stay reserved.
+  void register_command(const std::string& name, std::function<std::string()> handler);
 
  private:
   Machine& machine_;
   std::set<std::uint32_t> breakpoints_;
+  std::map<std::string, std::function<std::string()>> extra_commands_;
 };
 
 }  // namespace cs31::isa

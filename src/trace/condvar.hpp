@@ -1,0 +1,77 @@
+// TracedCondVar: a std::condition_variable drop-in that reports the
+// happens-before edge a condition variable actually provides — from the
+// signaller to the waiter it wakes.
+//
+// The edge rides the trace's channel primitive: notify_one/notify_all
+// `send` on the condvar's channel *before* signalling (while the sender
+// still holds the state it published), and a waiter `recv`s right after
+// its predicate-satisfying wakeup, while it holds the mutex. Send joins
+// the signaller's clock into the channel; recv joins the channel into
+// the waiter — exactly the edge the memory model gives a real condvar
+// (signal happens-before the wakeup it caused).
+//
+// The deliberate teaching contrast: a "buggy" pairing that shares state
+// through a flag *without* wait/notify (spin + sleep) has no edge, and
+// cs31::race reports the flag and payload accesses as unordered — the
+// missed-wakeup bug class from the course's producer/consumer unit.
+//
+// Waiting uses std::condition_variable_any over TracedMutex, so the
+// mutex's own acquire/release edges keep being reported while the wait
+// releases and reacquires it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "trace/instrumented.hpp"
+
+namespace cs31::trace {
+
+class TracedCondVar {
+ public:
+  TracedCondVar(std::string name, TraceContext& ctx)
+      : name_(std::move(name)), ctx_(ctx), channel_(ctx.intern_channel(name_)) {}
+
+  TracedCondVar(const TracedCondVar&) = delete;
+  TracedCondVar& operator=(const TracedCondVar&) = delete;
+
+  /// Record the signal edge, then wake. Call with the associated mutex
+  /// held (as the course teaches: publish state, then notify) so the
+  /// send's stamp is ordered with the protected writes it covers.
+  void notify_one() {
+    ctx_.send(channel_);
+    cv_.notify_one();
+  }
+  void notify_all() {
+    ctx_.send(channel_);
+    cv_.notify_all();
+  }
+
+  /// Wait until `pred()` holds. On return the calling thread has
+  /// received the signaller's clock: everything that happened before
+  /// the notify happens-before everything after this wait.
+  template <typename Predicate>
+  void wait(std::unique_lock<TracedMutex>& lock, Predicate pred) {
+    cv_.wait(lock, std::move(pred));
+    // Recorded while the mutex is held, as the awakened waiter.
+    ctx_.recv(channel_);
+  }
+
+  /// Bare wait (no predicate): one sleep/wakeup cycle; spurious wakeups
+  /// are possible, exactly as with std::condition_variable.
+  void wait(std::unique_lock<TracedMutex>& lock) {
+    cv_.wait(lock);
+    ctx_.recv(channel_);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceContext& ctx_;
+  NameId channel_;
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cs31::trace

@@ -59,7 +59,7 @@ TEST(Word, ZeroExtensionKeepsPattern) {
 TEST(Word, TruncationIsNarrowingCast) {
   const Word w(0x1FF, 16);
   EXPECT_EQ(w.truncate(8).as_unsigned(), 0xFFu);
-  EXPECT_THROW(w.truncate(17), Error);
+  EXPECT_THROW((void)w.truncate(17), Error);
 }
 
 TEST(Word, BitAccess) {
@@ -68,8 +68,8 @@ TEST(Word, BitAccess) {
   EXPECT_TRUE(w.bit(1));
   EXPECT_FALSE(w.bit(2));
   EXPECT_TRUE(w.bit(3));
-  EXPECT_THROW(w.bit(4), Error);
-  EXPECT_THROW(w.bit(-1), Error);
+  EXPECT_THROW((void)w.bit(4), Error);
+  EXPECT_THROW((void)w.bit(-1), Error);
 }
 
 TEST(Arith, AddSetsCarryOnUnsignedOverflow) {
@@ -103,8 +103,8 @@ TEST(Arith, SubSignedOverflow) {
 }
 
 TEST(Arith, WidthMismatchThrows) {
-  EXPECT_THROW(add(Word(0, 8), Word(0, 16)), Error);
-  EXPECT_THROW(sub(Word(0, 8), Word(0, 16)), Error);
+  EXPECT_THROW((void)add(Word(0, 8), Word(0, 16)), Error);
+  EXPECT_THROW((void)sub(Word(0, 8), Word(0, 16)), Error);
 }
 
 TEST(Arith, NegateMinValueOverflows) {
@@ -193,27 +193,27 @@ TEST(Convert, ParseBinary) {
   EXPECT_EQ(parse_binary("1010"), 10u);
   EXPECT_EQ(parse_binary("0b1010"), 10u);
   EXPECT_EQ(parse_binary("10 10"), 10u);
-  EXPECT_THROW(parse_binary(""), Error);
-  EXPECT_THROW(parse_binary("102"), Error);
-  EXPECT_THROW(parse_binary(std::string(65, '1')), Error);
+  EXPECT_THROW((void)parse_binary(""), Error);
+  EXPECT_THROW((void)parse_binary("102"), Error);
+  EXPECT_THROW((void)parse_binary(std::string(65, '1')), Error);
 }
 
 TEST(Convert, ParseHex) {
   EXPECT_EQ(parse_hex("0xFF"), 255u);
   EXPECT_EQ(parse_hex("ff"), 255u);
   EXPECT_EQ(parse_hex("DeadBeef"), 0xDEADBEEFu);
-  EXPECT_THROW(parse_hex("0xG"), Error);
-  EXPECT_THROW(parse_hex("11112222333344445"), Error);
+  EXPECT_THROW((void)parse_hex("0xG"), Error);
+  EXPECT_THROW((void)parse_hex("11112222333344445"), Error);
 }
 
 TEST(Convert, ParseDecimalSignedAndUnsigned) {
   EXPECT_EQ(parse_decimal("255", 8).as_unsigned(), 255u);
   EXPECT_EQ(parse_decimal("-1", 8).as_unsigned(), 0xFFu);
   EXPECT_EQ(parse_decimal("-128", 8).as_signed(), -128);
-  EXPECT_THROW(parse_decimal("-129", 8), Error);
-  EXPECT_THROW(parse_decimal("256", 8), Error);
-  EXPECT_THROW(parse_decimal("12a", 8), Error);
-  EXPECT_THROW(parse_decimal("", 8), Error);
+  EXPECT_THROW((void)parse_decimal("-129", 8), Error);
+  EXPECT_THROW((void)parse_decimal("256", 8), Error);
+  EXPECT_THROW((void)parse_decimal("12a", 8), Error);
+  EXPECT_THROW((void)parse_decimal("", 8), Error);
 }
 
 TEST(Convert, RoundTripsAcrossBases) {
@@ -262,8 +262,8 @@ TEST(Float32, ComposeRoundTrips) {
   const std::uint32_t pattern = std::bit_cast<std::uint32_t>(-2.5f);
   const Float32Fields f = decompose(pattern);
   EXPECT_EQ(compose(f.sign, f.exponent, f.fraction), pattern);
-  EXPECT_THROW(compose(false, 256, 0), Error);
-  EXPECT_THROW(compose(false, 0, 1u << 23), Error);
+  EXPECT_THROW((void)compose(false, 256, 0), Error);
+  EXPECT_THROW((void)compose(false, 0, 1u << 23), Error);
 }
 
 // Property sweep: for every exponent value and a band of fractions, the
@@ -308,7 +308,7 @@ TEST(CTypes, RangesMatchTwoComplement) {
   EXPECT_EQ(ctype_max(CType::Int), 2147483647ull);
   EXPECT_EQ(ctype_min(CType::UnsignedChar), 0);
   EXPECT_EQ(ctype_max(CType::UnsignedChar), 255ull);
-  EXPECT_THROW(ctype_min(CType::Float), Error);
+  EXPECT_THROW((void)ctype_min(CType::Float), Error);
 }
 
 TEST(CTypes, IncrementWrapsAtTypeMax) {
@@ -316,7 +316,7 @@ TEST(CTypes, IncrementWrapsAtTypeMax) {
   const Word max_int = Word::from_signed(2147483647, 32);
   const Word wrapped = ctype_increment(CType::Int, max_int);
   EXPECT_EQ(wrapped.as_signed(), -2147483648ll);
-  EXPECT_THROW(ctype_increment(CType::Int, Word(0, 8)), Error);
+  EXPECT_THROW((void)ctype_increment(CType::Int, Word(0, 8)), Error);
 }
 
 TEST(CTypes, TableListsEveryType) {

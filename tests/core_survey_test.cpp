@@ -145,7 +145,7 @@ TEST(Survey, RatingModelRespectsScaleAndDecay) {
   // Emphasis is monotone.
   EXPECT_GE(rate_topic(Emphasis::Emphasize, 0, 1, 0.2, 0),
             rate_topic(Emphasis::Mention, 0, 1, 0.2, 0));
-  EXPECT_THROW(survey::rate_topic(Emphasis::Cover, 2.0, 0, 0.1, 0), Error);
+  EXPECT_THROW((void)survey::rate_topic(Emphasis::Cover, 2.0, 0, 0.1, 0), Error);
 }
 
 TEST(Survey, SimulationReproducesFigure1Shape) {

@@ -29,7 +29,7 @@ TEST(Heap, MallocReturnsAlignedDistinctAddresses) {
   EXPECT_EQ(a % 4, 0u);  // payload starts after a 4-byte header
   EXPECT_EQ(heap.allocation_size(a), 16u) << "rounded up to 8-byte multiple";
   EXPECT_EQ(heap.allocation_size(b), 24u);
-  EXPECT_THROW(heap.malloc(0), Error);
+  EXPECT_THROW((void)heap.malloc(0), Error);
 }
 
 TEST(Heap, WritesDoNotBleedBetweenBlocks) {

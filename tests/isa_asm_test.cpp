@@ -18,7 +18,7 @@ TEST(Operands, ParsesImmediates) {
 TEST(Operands, ParsesRegisters) {
   EXPECT_EQ(parse_operand("%eax"), Operand::of_reg(Reg::Eax));
   EXPECT_EQ(parse_operand("%ebp"), Operand::of_reg(Reg::Ebp));
-  EXPECT_THROW(parse_operand("%rax"), Error);
+  EXPECT_THROW((void)parse_operand("%rax"), Error);
 }
 
 TEST(Operands, ParsesMemoryForms) {
@@ -55,10 +55,10 @@ TEST(Operands, ParsesMemoryForms) {
 }
 
 TEST(Operands, RejectsMalformedMemory) {
-  EXPECT_THROW(parse_operand("8(%ebp"), Error);
-  EXPECT_THROW(parse_operand("(%eax,%ebx,3)"), Error);  // bad scale
-  EXPECT_THROW(parse_operand("()"), Error);
-  EXPECT_THROW(parse_operand(""), Error);
+  EXPECT_THROW((void)parse_operand("8(%ebp"), Error);
+  EXPECT_THROW((void)parse_operand("(%eax,%ebx,3)"), Error);  // bad scale
+  EXPECT_THROW((void)parse_operand("()"), Error);
+  EXPECT_THROW((void)parse_operand(""), Error);
 }
 
 TEST(Assembler, AssemblesStraightLine) {

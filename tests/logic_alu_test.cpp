@@ -113,7 +113,7 @@ TEST(Alu, RejectsBadWidthAndWideOperands) {
   EXPECT_THROW(build_alu(c, 65), cs31::Error);
   Circuit c2;
   const Alu alu = build_alu(c2, 8);
-  EXPECT_THROW(run_alu(c2, alu, AluOp::Add, 0x100, 0), cs31::Error);
+  EXPECT_THROW((void)run_alu(c2, alu, AluOp::Add, 0x100, 0), cs31::Error);
 }
 
 }  // namespace

@@ -25,13 +25,13 @@ TEST(Encoding, RoundTripsImmediates) {
     EXPECT_EQ(d.rd, 2u);
     EXPECT_EQ(d.imm, imm);
   }
-  EXPECT_THROW(encode_imm(Op::LoadI, 0, 256), cs31::Error);
-  EXPECT_THROW(encode_imm(Op::LoadI, 0, -257), cs31::Error);
-  EXPECT_THROW(encode_imm(Op::LoadI, 8, 0), cs31::Error);
+  EXPECT_THROW((void)encode_imm(Op::LoadI, 0, 256), cs31::Error);
+  EXPECT_THROW((void)encode_imm(Op::LoadI, 0, -257), cs31::Error);
+  EXPECT_THROW((void)encode_imm(Op::LoadI, 8, 0), cs31::Error);
 }
 
 TEST(Encoding, RejectsUnknownOpcode) {
-  EXPECT_THROW(decode(0xF000), cs31::Error);
+  EXPECT_THROW((void)decode(0xF000), cs31::Error);
 }
 
 TEST(Encoding, ToStringShowsAssembly) {

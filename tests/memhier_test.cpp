@@ -207,7 +207,7 @@ TEST(Hierarchy, EffectiveAccessTimeFormula) {
   EXPECT_DOUBLE_EQ(effective_access_ns(1.0, 1.0, 100.0), 1.0);
   EXPECT_DOUBLE_EQ(effective_access_ns(0.0, 1.0, 100.0), 101.0);
   EXPECT_DOUBLE_EQ(effective_access_ns(0.9, 1.0, 100.0), 11.0);
-  EXPECT_THROW(effective_access_ns(1.5, 1, 1), Error);
+  EXPECT_THROW((void)effective_access_ns(1.5, 1, 1), Error);
 }
 
 TEST(Hierarchy, MultiLevelLatencyAccumulates) {

@@ -248,8 +248,8 @@ TEST(ParallelFor, SumsViaRealThreads) {
 TEST(Speedup, BasicFormulas) {
   EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
   EXPECT_DOUBLE_EQ(efficiency(10.0, 2.0, 5), 1.0);
-  EXPECT_THROW(speedup(1.0, 0.0), Error);
-  EXPECT_THROW(efficiency(1.0, 1.0, 0), Error);
+  EXPECT_THROW((void)speedup(1.0, 0.0), Error);
+  EXPECT_THROW((void)efficiency(1.0, 1.0, 0), Error);
 }
 
 TEST(Amdahl, KnownValuesAndLimit) {
@@ -258,8 +258,8 @@ TEST(Amdahl, KnownValuesAndLimit) {
   EXPECT_NEAR(amdahl_speedup(0.1, 16), 6.4, 0.01);
   EXPECT_NEAR(amdahl_speedup(0.05, 16), 9.1429, 0.001);
   EXPECT_DOUBLE_EQ(amdahl_limit(0.1), 10.0);
-  EXPECT_THROW(amdahl_speedup(1.5, 2), Error);
-  EXPECT_THROW(amdahl_limit(0.0), Error);
+  EXPECT_THROW((void)amdahl_speedup(1.5, 2), Error);
+  EXPECT_THROW((void)amdahl_limit(0.0), Error);
 }
 
 TEST(Amdahl, MonotoneInPAndBoundedByLimit) {
@@ -321,10 +321,10 @@ TEST(MulticoreModel, SerialFractionMatchesAmdahlShape) {
 TEST(MulticoreModel, Validation) {
   WorkloadModel bad;
   bad.rounds = 0;
-  EXPECT_THROW(modeled_time(bad, 1), Error);
+  EXPECT_THROW((void)modeled_time(bad, 1), Error);
   WorkloadModel ok;
   ok.total_work = 10;
-  EXPECT_THROW(modeled_time(ok, 0), Error);
+  EXPECT_THROW((void)modeled_time(ok, 0), Error);
 }
 
 TEST(Deadlock, OrderInversionDetected) {

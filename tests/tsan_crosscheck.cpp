@@ -16,12 +16,25 @@
 //           stamping, barrier drains) AND the pipeline's own threading
 //           (bounded queues, router handoff, shard workers, metrics
 //           merge) as free of real races.
+//   cv-clean — a producer/consumer handoff with correct wait/notify
+//           discipline, traced through TracedCondVar (cs31::race must
+//           be silent) and then raw through std::condition_variable
+//           (TSan must be silent).
+//   cv-buggy — the same handoff through a bare spin-on-a-flag, no
+//           wait/notify: cs31::race must flag the payload, and the raw
+//           run hands TSan an honest unsynchronized flag+payload pair.
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "life/life.hpp"
 #include "parallel/sync.hpp"
+#include "parallel/threads.hpp"
+#include "trace/condvar.hpp"
 #include "trace/context.hpp"
+#include "trace/instrumented.hpp"
 #include "trace/metrics.hpp"
 #include "trace/pipeline.hpp"
 
@@ -101,12 +114,108 @@ int run_clean() {
   return 0;
 }
 
+// Traced producer/consumer handoff; `use_condvar` picks the correct
+// wait/notify pairing or the buggy spin. Returns the race verdict.
+bool traced_handoff_races(bool use_condvar) {
+  cs31::trace::TraceContext ctx;
+  cs31::trace::TracedVar<int> payload("payload", ctx);
+  if (use_condvar) {
+    cs31::trace::TracedMutex mutex("cv_mutex", ctx);
+    cs31::trace::TracedCondVar cv("cv:ready", ctx);
+    bool ready = false;
+    cs31::parallel::ThreadTeam team(2, ctx, [&](std::size_t id) {
+      if (id == 0) {
+        payload.store(42, "produce");
+        std::unique_lock<cs31::trace::TracedMutex> lock(mutex);
+        ready = true;
+        cv.notify_one();
+      } else {
+        std::unique_lock<cs31::trace::TracedMutex> lock(mutex);
+        cv.wait(lock, [&] { return ready; });
+        (void)payload.load("consume");
+      }
+    });
+    team.join();
+  } else {
+    cs31::trace::TracedVar<int> flag("ready_flag", ctx);
+    cs31::parallel::ThreadTeam team(2, ctx, [&](std::size_t id) {
+      if (id == 0) {
+        payload.store(42, "produce");
+        flag.store(1, "publish flag");
+      } else {
+        int spins = 0;
+        while (flag.load("poll flag") == 0 && spins < 200000) {
+          ++spins;
+          std::this_thread::yield();
+        }
+        (void)payload.load("consume");
+      }
+    });
+    team.join();
+  }
+  ctx.flush();
+  return !ctx.detector().race_free();
+}
+
+int run_cv_clean() {
+  if (traced_handoff_races(/*use_condvar=*/true)) {
+    std::fprintf(stderr, "FAIL: cs31::race flagged the wait/notify handoff\n");
+    return 2;
+  }
+  // The real thing: std::condition_variable with the same discipline.
+  // TSan must stay silent.
+  int payload = 0;
+  bool ready = false;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread consumer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready; });
+    if (payload != 42) std::fprintf(stderr, "FAIL: lost the payload\n");
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    payload = 42;
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  std::printf("cv-clean: cs31::race and the raw wait/notify run agree — race-free\n");
+  return 0;
+}
+
+int run_cv_buggy() {
+  if (!traced_handoff_races(/*use_condvar=*/false)) {
+    std::fprintf(stderr, "FAIL: cs31::race missed the spin-on-a-flag handoff\n");
+    return 2;
+  }
+  // The real thing: an honest flag+payload pair with no synchronization
+  // (volatile keeps the spin observing the store without making the
+  // accesses atomic — TSan must report both variables).
+  static int payload = 0;
+  static volatile bool ready = false;
+  std::thread producer([&] {
+    payload = 42;
+    ready = true;
+  });
+  int spins = 0;
+  while (!ready && spins < 200000000) ++spins;
+  const int got = payload;
+  producer.join();
+  std::printf("cv-buggy: cs31::race flagged it; raw spin read %d "
+              "(under TSan this run must have produced a report)\n",
+              got);
+  return 0;  // nonzero only via TSAN_OPTIONS=exitcode — that's the check
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "";
   if (mode == "buggy") return run_buggy();
   if (mode == "clean") return run_clean();
-  std::fprintf(stderr, "usage: tsan_crosscheck buggy|clean\n");
+  if (mode == "cv-buggy") return run_cv_buggy();
+  if (mode == "cv-clean") return run_cv_clean();
+  std::fprintf(stderr, "usage: tsan_crosscheck buggy|clean|cv-buggy|cv-clean\n");
   return 64;
 }

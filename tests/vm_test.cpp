@@ -218,8 +218,8 @@ TEST(Eat, FormulaMatchesCourseExamples) {
   // Faults dominate even at tiny rates.
   EXPECT_GT(effective_access_time_ns(0.9, 0.001, 100, 1, 8e6),
             effective_access_time_ns(0.9, 0.0, 100, 1, 8e6) + 1000);
-  EXPECT_THROW(effective_access_time_ns(2, 0, 1, 1, 1), Error);
-  EXPECT_THROW(effective_access_time_ns(0.5, -1, 1, 1, 1), Error);
+  EXPECT_THROW((void)effective_access_time_ns(2, 0, 1, 1, 1), Error);
+  EXPECT_THROW((void)effective_access_time_ns(0.5, -1, 1, 1, 1), Error);
 }
 
 TEST(PagingReplacement, FifoEvictsOldestRegardlessOfUse) {
