@@ -1,0 +1,151 @@
+// Sustained grading throughput, cold vs. warm: the "millions of users"
+// measurement for cs31::grader.
+//
+//   (a) cold vs warm     a steady batch of distinct submissions graded
+//                        by a fresh service (every verdict is a full
+//                        toolchain run), then the identical batch again
+//                        (every verdict is a cache hit). The warm/cold
+//                        ratio is the cache's leverage — the perf-smoke
+//                        mode asserts it stays >= 5x.
+//   (b) duplicate storm  deadline hour: a batch that is ~97% duplicates
+//                        of a handful of bodies. Cold throughput here
+//                        already approaches warm rates, because the
+//                        collapse does most grading by cache lookup.
+//   (c) worker scaling   cold steady throughput at 1/2/4 workers.
+//   (d) poison           hostile submissions (spins, syntax errors,
+//                        malformed configs) mixed into the batch; the
+//                        pool must grade everything and stay intact.
+//
+// Usage: bench_grader [--perf-smoke] [--json[=DIR]] [--timestamp=T]
+//   --perf-smoke   smaller batches, assert the >=5x warm/cold floor and
+//                  poison completeness, nonzero exit on violation (the
+//                  tier-1 ctest entry).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "grader/loadgen.hpp"
+#include "grader/service.hpp"
+
+namespace {
+
+using cs31::grader::GraderService;
+using cs31::grader::LoadPlan;
+using cs31::grader::make_scenario;
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+}
+
+GraderService::Options service_options(std::size_t workers) {
+  GraderService::Options options;
+  options.workers = workers;
+  options.queue_capacity = 64;
+  // Deterministic budget well under the wall-clock backstop: a poison
+  // spin costs exactly 200k emulated instructions, not 5 s.
+  options.limits = cs31::grader::ToolchainLimits{200'000, 5.0};
+  return options;
+}
+
+/// Submit the plan, wait idle, and return submissions/second.
+double grade_batch(GraderService& service, const LoadPlan& plan) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (const auto& submission : plan.submissions) service.submit(submission);
+  service.wait_idle();
+  return static_cast<double>(plan.submissions.size()) / seconds_since(begin);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cs31::bench::JsonReport json("grader", argc, argv);
+  json.workload(
+      "batch grading service: steady/storm/poison scenarios, cold vs warm cache, "
+      "worker scaling");
+
+  bool perf_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-smoke") == 0) perf_smoke = true;
+  }
+
+  const std::size_t batch = perf_smoke ? 180 : 900;
+  const std::size_t workers = 4;
+  json.config("batch", batch);
+  json.config("workers", workers);
+  json.config("perf_smoke", perf_smoke);
+
+  // (a) cold vs warm ------------------------------------------------------
+  const LoadPlan steady = make_scenario("steady", batch, 1);
+  GraderService service(service_options(workers));
+  const double cold_rate = grade_batch(service, steady);
+  const double warm_rate = grade_batch(service, steady);  // same bytes: all hits
+  const auto warm_stats = service.stats();
+  const double warm_over_cold = warm_rate / cold_rate;
+  std::printf("(a) cold vs warm, %zu distinct submissions, %zu workers\n", batch, workers);
+  std::printf("    cold  %10.0f submissions/s   (%" PRIu64 " toolchain runs)\n", cold_rate,
+              warm_stats.toolchain_runs);
+  std::printf("    warm  %10.0f submissions/s   (%" PRIu64 " cache hits)\n", warm_rate,
+              warm_stats.cache.hits);
+  std::printf("    warm/cold %.1fx\n\n", warm_over_cold);
+  json.metric("cold_rate", cold_rate);
+  json.metric("warm_rate", warm_rate);
+  json.metric("warm_over_cold", warm_over_cold);
+  json.metric("toolchain_runs", warm_stats.toolchain_runs);
+
+  // (b) duplicate storm ---------------------------------------------------
+  const LoadPlan storm = make_scenario("duplicate_storm", batch, 1);
+  GraderService storm_service(service_options(workers));
+  const double storm_rate = grade_batch(storm_service, storm);
+  const auto storm_stats = storm_service.stats();
+  std::printf("(b) duplicate storm, %zu submissions, %" PRIu64 " distinct bodies\n", batch,
+              storm_stats.cache.misses);
+  std::printf("    cold storm %7.0f submissions/s (%" PRIu64
+              " toolchain runs, %" PRIu64 " hits, %" PRIu64 " collapsed)\n\n",
+              storm_rate, storm_stats.toolchain_runs, storm_stats.cache.hits,
+              storm_stats.cache.collapsed);
+  json.metric("storm_rate", storm_rate);
+  json.metric("storm_toolchain_runs", storm_stats.toolchain_runs);
+  json.metric("storm_collapsed", storm_stats.cache.collapsed);
+
+  // (c) worker scaling ----------------------------------------------------
+  std::printf("(c) cold steady throughput vs worker count\n");
+  for (const std::size_t w : {1u, 2u, 4u}) {
+    GraderService scaled(service_options(w));
+    const double rate = grade_batch(scaled, steady);
+    std::printf("    %zu worker%s %9.0f submissions/s\n", w, w == 1 ? " " : "s", rate);
+    json.metric("cold_rate_w" + std::to_string(w), rate);
+  }
+  std::printf("\n");
+
+  // (d) poison ------------------------------------------------------------
+  const LoadPlan poison = make_scenario("poison", perf_smoke ? 48 : 240, 1);
+  GraderService poison_service(service_options(workers));
+  const double poison_rate = grade_batch(poison_service, poison);
+  const auto poison_stats = poison_service.stats();
+  const bool pool_intact = poison_stats.graded == poison.submissions.size();
+  std::printf("(d) poison scenario: %" PRIu64 "/%zu graded, pool %s, %7.0f submissions/s\n\n",
+              poison_stats.graded, poison.submissions.size(),
+              pool_intact ? "intact" : "LOST WORK", poison_rate);
+  json.metric("poison_graded", poison_stats.graded);
+  json.metric("poison_pool_intact", pool_intact);
+  json.metric("poison_rate", poison_rate);
+
+  // Floors (always reported; enforced in the smoke so tier-1 catches a
+  // cache or pool regression).
+  bool ok = true;
+  if (warm_over_cold < 5.0) {
+    std::fprintf(stderr, "FAIL: warm/cold %.2fx below the 5x floor\n", warm_over_cold);
+    ok = false;
+  }
+  if (!pool_intact) {
+    std::fprintf(stderr, "FAIL: poison scenario lost submissions\n");
+    ok = false;
+  }
+  if (perf_smoke && !ok) return 1;
+  std::printf("floors: warm/cold >= 5x %s, poison pool intact %s\n",
+              warm_over_cold >= 5.0 ? "PASS" : "FAIL", pool_intact ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The kit's backpressure primitive: a bounded FIFO with a blocking
+// push, shared by every producer/consumer stage that must cap its
+// memory no matter how far the consumer falls behind. Extracted from
+// trace::AnalysisPipeline (which pioneered it as the batch and
+// per-shard chunk queue) so cs31::grader's ingest and worker queues are
+// the same implementation, not a copy.
+//
+// Semantics (unchanged from the pipeline original):
+//   push          blocks while the queue is full — that block IS the
+//                 backpressure; `waits` counts how often it happened.
+//                 Throws cs31::Error after close().
+//   pop           blocks until an item or close; returns false only
+//                 when closed AND drained, so a closed queue still
+//                 delivers everything it holds. Marks the consumer
+//                 busy until done().
+//   done          the consumer finished the popped item. wait_drained
+//                 needs this: "empty" alone would declare a queue
+//                 drained while its consumer still chews the last item.
+//   wait_drained  blocks until the queue is empty and the consumer is
+//                 idle — the building block for a stage-ordered
+//                 wait_idle across a multi-queue topology.
+//   close         wakes everyone; pending items still drain.
+//
+// MPSC discipline: any number of pushers, one popper. (Multiple
+// poppers would not corrupt the queue, but consumer_busy tracks only
+// one outstanding item, so wait_drained's guarantee assumes a single
+// consumer thread.)
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace cs31::common {
+
+template <typename T>
+struct BoundedQueue {
+  mutable std::mutex mutex;
+  std::condition_variable not_full, not_empty;
+  std::deque<T> items;
+  std::size_t capacity = 8;
+  bool closed = false;
+  bool consumer_busy = false;
+  std::uint64_t waits = 0;       ///< producer blocks on full
+  std::uint64_t high_water = 0;  ///< max queue depth observed
+
+  BoundedQueue() = default;
+  explicit BoundedQueue(std::size_t cap) : capacity(cap) {}
+
+  void push(T item) {
+    std::unique_lock lock(mutex);
+    require(!closed, "bounded queue: push after close");
+    if (items.size() >= capacity) {
+      ++waits;
+      not_full.wait(lock, [&] { return items.size() < capacity || closed; });
+      require(!closed, "bounded queue: push after close");
+    }
+    items.push_back(std::move(item));
+    high_water = std::max<std::uint64_t>(high_water, items.size());
+    not_empty.notify_all();
+  }
+
+  /// False when closed and drained; sets consumer_busy while an item
+  /// is out (cleared by done()).
+  bool pop(T& out) {
+    std::unique_lock lock(mutex);
+    not_empty.wait(lock, [&] { return !items.empty() || closed; });
+    if (items.empty()) return false;
+    out = std::move(items.front());
+    items.pop_front();
+    consumer_busy = true;
+    not_full.notify_all();
+    return true;
+  }
+
+  void done() {
+    std::scoped_lock lock(mutex);
+    consumer_busy = false;
+    // wait_drained waits on not_full too (an empty queue is "not full").
+    not_full.notify_all();
+  }
+
+  void close() {
+    std::scoped_lock lock(mutex);
+    closed = true;
+    not_empty.notify_all();
+    not_full.notify_all();
+  }
+
+  void wait_drained() {
+    std::unique_lock lock(mutex);
+    not_full.wait(lock, [&] { return items.empty() && !consumer_busy; });
+  }
+};
+
+}  // namespace cs31::common

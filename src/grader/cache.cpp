@@ -1,0 +1,55 @@
+#include "grader/cache.hpp"
+
+namespace cs31::grader {
+
+Verdict VerdictCache::get_or_compute(ContentHash hash,
+                                     const std::function<Verdict()>& compute) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(hash);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      entry = it->second;
+      ++misses_;
+      // Fall through to compute below, outside the lock.
+    } else {
+      entry = it->second;
+      if (entry->ready) {
+        ++hits_;
+        return entry->verdict;
+      }
+      ++collapsed_;
+      ready_cv_.wait(lock, [&] { return entry->ready; });
+      return entry->verdict;
+    }
+  }
+
+  Verdict verdict;
+  try {
+    verdict = compute();
+  } catch (const std::exception& e) {
+    verdict.status = "grader_error";
+    verdict.score = 0;
+    verdict.notes = {e.what()};
+  } catch (...) {
+    verdict.status = "grader_error";
+    verdict.score = 0;
+    verdict.notes = {"unknown exception in toolchain"};
+  }
+
+  {
+    std::scoped_lock lock(mutex_);
+    entry->verdict = std::move(verdict);
+    entry->ready = true;
+  }
+  ready_cv_.notify_all();
+  return entry->verdict;
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  return Stats{hits_, misses_, collapsed_, entries_.size()};
+}
+
+}  // namespace cs31::grader

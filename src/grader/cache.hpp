@@ -1,0 +1,66 @@
+// The content-hash verdict cache: hash → Verdict, with in-flight
+// collapse. A grading service's best workload is its most redundant
+// one — a deadline-hour "duplicate storm" where thousands of students
+// submit the starter code, the posted solution, or their own unchanged
+// file — and a sound cache turns all of it into one toolchain run.
+//
+// Soundness rests on the toolchain contract (toolchain.hpp): a verdict
+// is a pure deterministic function of (kind, body), so a cached verdict
+// is indistinguishable from recomputing.
+//
+// In-flight collapse: the first thread to miss on a hash inserts a
+// pending entry and computes OUTSIDE the cache lock (compute is the
+// whole toolchain — seconds, potentially); later arrivals for the same
+// hash find the pending entry and wait on it instead of computing
+// again. N concurrent identical submissions cost exactly one toolchain
+// run, not min(N, workers). Distinct hashes never wait on each other.
+//
+// Accounting distinguishes the three outcomes a lookup can have:
+//   miss       this call ran the toolchain
+//   hit        a ready verdict was served immediately
+//   collapsed  waited for another thread's in-flight compute
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "grader/submission.hpp"
+#include "grader/toolchain.hpp"
+
+namespace cs31::grader {
+
+class VerdictCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collapsed = 0;  ///< waited on an in-flight compute
+    std::size_t entries = 0;      ///< distinct hashes resident
+  };
+
+  /// Return the verdict for `hash`, running `compute` exactly once per
+  /// distinct hash across all concurrent callers. If compute throws,
+  /// the exception is converted into a (cached) "grader_error" verdict
+  /// so waiters never deadlock on an entry that will never fill — a
+  /// grader bug poisons one hash's verdict, not the service.
+  Verdict get_or_compute(ContentHash hash, const std::function<Verdict()>& compute);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    bool ready = false;
+    Verdict verdict;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<ContentHash, std::shared_ptr<Entry>> entries_;
+  std::uint64_t hits_ = 0, misses_ = 0, collapsed_ = 0;
+};
+
+}  // namespace cs31::grader

@@ -1,0 +1,73 @@
+// Deterministic load generation for the grading service: named
+// scenarios that manufacture realistic submission batches without any
+// corpus on disk. Every scenario is a pure function of (count, seed),
+// so benches and tests replay byte-identical workloads.
+//
+//   steady           an even mix of distinct, well-formed submissions —
+//                    mini-C programs, assembly routines, traced-Life
+//                    scenarios — the baseline throughput workload.
+//   bursty           the same mix, but arrivals come in bursts (the
+//                    plan's burst sizes alternate deadline spikes with
+//                    lulls); drivers submit burst-by-burst.
+//   duplicate_storm  a handful of distinct bodies duplicated across the
+//                    whole batch in shuffled order — deadline hour,
+//                    everyone submitting the starter code. The cache's
+//                    showcase: N submissions, a handful of toolchain runs.
+//   poison           the steady mix with hostile submissions woven in:
+//                    infinite loops (assembly and mini-C), a malformed
+//                    scenario config, a syntax error. The pool must
+//                    report every one of them and keep grading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grader/submission.hpp"
+
+namespace cs31::grader {
+
+/// A generated workload: the submissions in arrival order, plus the
+/// burst structure (consecutive group sizes summing to
+/// submissions.size(); a single burst for non-bursty scenarios).
+struct LoadPlan {
+  std::vector<Submission> submissions;
+  std::vector<std::size_t> bursts;
+};
+
+/// The scenario registry, in presentation order.
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+/// Generate `count` submissions for the named scenario. Throws
+/// cs31::Error for unknown names. Deterministic in (name, count, seed).
+[[nodiscard]] LoadPlan make_scenario(const std::string& name, std::size_t count,
+                                     std::uint32_t seed = 1);
+
+// --- individual body generators (tests use these directly) -------------
+
+/// A distinct, lint-clean mini-C program (loop + helper call) whose
+/// return value varies with `variant`.
+[[nodiscard]] std::string mini_c_body(std::uint32_t variant);
+
+/// A distinct, lint-clean assembly program (counted loop) halting with
+/// a variant-dependent %eax.
+[[nodiscard]] std::string assembly_body(std::uint32_t variant);
+
+/// A traced-Life scenario config over a deterministic soup.
+/// `with_barrier=false` reproduces the forgotten-barrier bug the
+/// detector flags (verdict "race_found").
+[[nodiscard]] std::string life_body(std::uint32_t variant, bool with_barrier);
+
+/// An assembly program that never halts (reported as `timeout`).
+[[nodiscard]] std::string poison_spin_assembly();
+
+/// A mini-C program that never halts (reported as `timeout`).
+[[nodiscard]] std::string poison_spin_mini_c();
+
+/// A scenario config the parser rejects (reported as `invalid`).
+[[nodiscard]] std::string poison_bad_life();
+
+/// A mini-C body the compiler rejects (reported as `compile_error`).
+[[nodiscard]] std::string poison_bad_mini_c();
+
+}  // namespace cs31::grader

@@ -1,0 +1,126 @@
+// The batch grading service: the course toolchain as a high-throughput
+// backend. Topology (the same bounded-MPSC/router/shard architecture
+// as trace::AnalysisPipeline, on the shared common::BoundedQueue):
+//
+//   submit  — stamps each submission with an arrival sequence number
+//             and its content hash, then pushes it onto one bounded
+//             ingest queue (MPSC: any number of front-end threads).
+//             A full queue BLOCKS the submitter — backpressure, so a
+//             burst can never balloon memory.
+//   route   — one router thread pops arrivals FIFO and routes each to
+//             worker `hash % workers`. Routing by content hash (not
+//             round-robin) means identical bodies always land on the
+//             same worker, so a duplicate storm serializes behind one
+//             toolchain run on one worker while every other worker
+//             keeps grading distinct work.
+//   grade   — N workers, each popping its own bounded queue, grading
+//             through the shared VerdictCache (one toolchain run per
+//             distinct hash, service-wide), and writing the finished
+//             report line into its arrival-numbered slot. A worker
+//             never dies: toolchain verdicts absorb submission defects,
+//             the cache absorbs toolchain exceptions, and a last-resort
+//             catch turns anything else into a "grader_error" report.
+//   merge   — report_stream() reads the slots in arrival order. Because
+//             a verdict is a pure function of (kind, body) and the
+//             envelope (id, kind, hash) rides with the submission, the
+//             stream is BYTE-IDENTICAL for any worker count, any queue
+//             capacity, and cache on or off — only wall-clock changes.
+//
+// Lifecycle: submit from any threads, wait_idle(), then read reports
+// and stats (the same flush-then-read rule as the analysis pipeline).
+// The destructor drains gracefully: everything submitted is graded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "grader/cache.hpp"
+#include "grader/submission.hpp"
+#include "grader/toolchain.hpp"
+
+namespace cs31::grader {
+
+class GraderService {
+ public:
+  struct Options {
+    std::size_t workers = 2;          ///< grading workers (>= 1)
+    std::size_t queue_capacity = 64;  ///< ingest + per-worker queue bound (>= 1)
+    bool use_cache = true;            ///< content-hash verdict cache
+    ToolchainLimits limits;           ///< per-execution resource budget
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t graded = 0;
+    std::uint64_t toolchain_runs = 0;  ///< actual compiles/executions (≤ graded when caching)
+    VerdictCache::Stats cache;
+    std::uint64_t publish_waits = 0;   ///< blocks on full ingest/worker queues
+    std::vector<std::uint64_t> graded_per_worker;
+  };
+
+  GraderService() : GraderService(Options{}) {}
+  explicit GraderService(Options options);
+  ~GraderService();
+
+  GraderService(const GraderService&) = delete;
+  GraderService& operator=(const GraderService&) = delete;
+
+  /// Enqueue one submission. Blocks while the ingest queue is full.
+  void submit(Submission submission);
+
+  /// Convenience: submit a whole batch in order.
+  void submit_all(std::vector<Submission> submissions);
+
+  /// Block until every submitted report is finished.
+  void wait_idle();
+
+  // --- results (valid while idle) --------------------------------------
+
+  /// One JSON report line per submission, in arrival order — the
+  /// deterministic merge (see file comment).
+  [[nodiscard]] std::string report_stream() const;
+
+  /// The same lines, unjoined (tests index into them).
+  [[nodiscard]] std::vector<std::string> report_lines() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;  ///< arrival number; indexes the report slot
+    ContentHash hash = 0;
+    Submission submission;
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t cap) : queue(cap) {}
+    common::BoundedQueue<Job> queue;
+    std::thread thread;
+    std::uint64_t graded = 0;  ///< worker-thread private until idle
+  };
+
+  void router_main();
+  void worker_main(Worker& worker);
+  void finish(const Job& job, const Verdict& verdict);
+
+  const Options options_;
+  VerdictCache cache_;
+  common::BoundedQueue<Job> ingest_;
+  std::thread router_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> toolchain_runs_{0};
+
+  mutable std::mutex reports_mutex_;
+  std::vector<std::string> reports_;  ///< indexed by seq
+  std::uint64_t graded_ = 0;
+};
+
+}  // namespace cs31::grader

@@ -1,0 +1,250 @@
+#include "grader/toolchain.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analyze/checks_isa.hpp"
+#include "ccomp/codegen.hpp"
+#include "ccomp/driver.hpp"
+#include "common/error.hpp"
+#include "isa/machine.hpp"
+#include "life/traced.hpp"
+
+namespace cs31::grader {
+
+namespace {
+
+/// Deterministic rubric: full marks for a clean run, a small deduction
+/// per lint finding (floored — lint never fails a working program), and
+/// fixed scores for the failure buckets so reports are comparable
+/// across batches.
+int clean_score(std::size_t findings) {
+  const int deducted = 100 - static_cast<int>(findings) * 5;
+  return deducted < 60 ? 60 : deducted;
+}
+
+/// `// args: 1 2 3` (first match wins) supplies main's cdecl arguments.
+std::vector<std::int32_t> parse_args_directive(const std::string& body) {
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto at = line.find("// args:");
+    if (at == std::string::npos) continue;
+    std::istringstream rest(line.substr(at + 8));
+    std::vector<std::int32_t> args;
+    std::int32_t v = 0;
+    while (rest >> v) args.push_back(v);
+    return args;
+  }
+  return {};
+}
+
+/// Run a loaded machine under the budget and fill the execution half of
+/// the verdict. `findings` is the lint count already in `notes`.
+void execute(isa::Machine& machine, const ToolchainLimits& limits, std::size_t findings,
+             Verdict& verdict) {
+  try {
+    const auto outcome =
+        machine.run_limited({limits.max_instructions, limits.max_seconds});
+    verdict.instructions = outcome.instructions;
+    if (outcome.reason == isa::Machine::StopReason::Halted) {
+      verdict.result = static_cast<std::int32_t>(machine.reg(isa::Reg::Eax));
+      verdict.status = findings == 0 ? "ok" : "ok_with_findings";
+      verdict.score = clean_score(findings);
+    } else {
+      verdict.status = "timeout";
+      verdict.score = 5;
+      verdict.notes.push_back(outcome.reason == isa::Machine::StopReason::InstructionLimit
+                                  ? "instruction budget exhausted (runaway loop?)"
+                                  : "wall-clock budget exhausted");
+    }
+  } catch (const Error& e) {
+    verdict.instructions = machine.instructions_executed();
+    verdict.status = "runtime_error";
+    verdict.score = 10;
+    verdict.notes.push_back(e.what());
+  }
+}
+
+Verdict grade_mini_c(const std::string& body, const ToolchainLimits& limits) {
+  Verdict verdict;
+  std::vector<std::int32_t> args = parse_args_directive(body);
+  isa::Image image;
+  try {
+    // The pipeline's analyze stage produces the lint findings; the
+    // entry-stub compile makes the image runnable (push args, call
+    // main). Both parse the same body, so diagnostics always describe
+    // exactly what runs.
+    cc::PipelineResult compiled = cc::compile_pipeline(body);
+    for (const analyze::Diagnostic& d : compiled.diagnostics) {
+      verdict.notes.push_back(d.to_string());
+    }
+    image = cc::compile_with_entry(body, args);
+  } catch (const Error& e) {
+    verdict.status = "compile_error";
+    verdict.score = 0;
+    verdict.notes.push_back(e.what());
+    return verdict;
+  }
+  const std::size_t findings = verdict.notes.size();
+  isa::Machine machine;
+  machine.load(image);
+  execute(machine, limits, findings, verdict);
+  return verdict;
+}
+
+Verdict grade_assembly(const std::string& body, const ToolchainLimits& limits) {
+  Verdict verdict;
+  isa::Image image;
+  try {
+    image = isa::assemble(body);
+    for (const analyze::Diagnostic& d : analyze::lint_image(image)) {
+      verdict.notes.push_back(d.to_string());
+    }
+  } catch (const Error& e) {
+    verdict.status = "compile_error";
+    verdict.score = 0;
+    verdict.notes.push_back(e.what());
+    return verdict;
+  }
+  const std::size_t findings = verdict.notes.size();
+  isa::Machine machine;
+  machine.load(image);
+  execute(machine, limits, findings, verdict);
+  return verdict;
+}
+
+/// Scenario config: `key=value` header lines (threads, rounds, barrier,
+/// rule), then the lab's grid file format (life::Grid::parse).
+struct LifeScenario {
+  std::size_t threads = 2;
+  std::size_t rounds = 1;
+  bool barrier = true;
+  life::EdgeRule rule = life::EdgeRule::Torus;
+  life::Grid grid{1, 1};
+};
+
+LifeScenario parse_life_scenario(const std::string& body) {
+  LifeScenario scenario;
+  std::istringstream lines(body);
+  std::string line, grid_text;
+  bool in_grid = false;
+  while (std::getline(lines, line)) {
+    if (!in_grid) {
+      if (line.empty()) continue;
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        if (key == "threads") {
+          scenario.threads = static_cast<std::size_t>(std::stoul(value));
+        } else if (key == "rounds") {
+          scenario.rounds = static_cast<std::size_t>(std::stoul(value));
+        } else if (key == "barrier") {
+          require(value == "0" || value == "1", "life scenario: barrier must be 0 or 1");
+          scenario.barrier = value == "1";
+        } else if (key == "rule") {
+          require(value == "torus" || value == "bounded",
+                  "life scenario: rule must be torus or bounded");
+          scenario.rule =
+              value == "torus" ? life::EdgeRule::Torus : life::EdgeRule::Bounded;
+        } else {
+          throw Error("life scenario: unknown key '" + key + "'");
+        }
+        continue;
+      }
+      in_grid = true;  // first non-header line starts the grid block
+    }
+    grid_text += line;
+    grid_text += '\n';
+  }
+  require(!grid_text.empty(), "life scenario: missing grid");
+  scenario.grid = life::Grid::parse(grid_text);
+  return scenario;
+}
+
+Verdict grade_life_trace(const std::string& body) {
+  Verdict verdict;
+  try {
+    const LifeScenario scenario = parse_life_scenario(body);
+    const life::TracedLifeResult result = life::traced_life_check(
+        scenario.grid, scenario.threads, scenario.rounds, scenario.barrier, scenario.rule);
+    verdict.result = static_cast<std::int32_t>(result.grid.population());
+    verdict.events = result.events;
+    verdict.races = result.races.size();
+    if (result.race_free) {
+      verdict.status = "race_free";
+      verdict.score = 100;
+    } else {
+      verdict.status = "race_found";
+      verdict.score = 30;
+      // One deterministic line per race (capped — a barrier-less run
+      // names every band boundary; four localize the bug).
+      const std::size_t cap = verdict.races < 4 ? verdict.races : 4;
+      for (std::size_t i = 0; i < cap; ++i) {
+        const race::RaceReport& race = result.races[i];
+        verdict.notes.push_back("race on " + race.variable + ": " + race.first.where +
+                                " vs " + race.second.where);
+      }
+    }
+  } catch (const std::exception& e) {
+    // std::exception, not just cs31::Error: std::stoul in the header
+    // parser throws std:: exceptions on garbage numbers, and a
+    // malformed config is an `invalid` verdict either way.
+    verdict.status = "invalid";
+    verdict.score = 0;
+    verdict.notes.push_back(e.what());
+  }
+  return verdict;
+}
+
+}  // namespace
+
+Verdict run_toolchain(const Submission& submission, const ToolchainLimits& limits) {
+  switch (submission.kind) {
+    case SubmissionKind::MiniC: return grade_mini_c(submission.body, limits);
+    case SubmissionKind::Assembly: return grade_assembly(submission.body, limits);
+    case SubmissionKind::LifeTrace: return grade_life_trace(submission.body);
+  }
+  throw Error("unknown submission kind");
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Verdict::to_json() const {
+  std::string out = "{\"status\":" + json_quote(status);
+  out += ",\"score\":" + std::to_string(score);
+  out += ",\"result\":" + std::to_string(result);
+  out += ",\"instructions\":" + std::to_string(instructions);
+  out += ",\"events\":" + std::to_string(events);
+  out += ",\"races\":" + std::to_string(races);
+  out += ",\"notes\":[";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_quote(notes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cs31::grader

@@ -1,0 +1,76 @@
+// One submission through the course toolchain, to a verdict:
+//
+//   mini_c      parse → analyze (lint) → codegen → assemble → execute
+//               on an isa::Machine under resource limits
+//   assembly    assemble → analyze::lint_image → execute under limits
+//   life_trace  parse scenario config → life::traced_life_check →
+//               FastTrack race verdict
+//
+// The verdict is a PURE, DETERMINISTIC function of (kind, body): no
+// timestamps, no hostnames, no wall-clock measurements leak into it.
+// That property is what makes the content-hash cache sound (a cached
+// verdict is indistinguishable from a fresh one) and what lets the
+// service promise byte-identical report streams for any worker count.
+// The one caveat is the wall-clock execution limit: a poison submission
+// that loops forever is stopped by whichever budget runs out first, so
+// the service keeps the (deterministic) instruction budget far below
+// the wall-clock budget and the wall clock only fires on a machine so
+// loaded the instruction budget could not be consumed in time.
+//
+// Every failure mode of the *submission* — syntax errors, lint
+// findings, segfaults, runaway loops, malformed scenario configs — is
+// an ordinary verdict, not an exception; run_toolchain only lets a
+// defect of the grader itself escape (and the worker pool catches even
+// those, reporting status "grader_error" rather than dying).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grader/submission.hpp"
+
+namespace cs31::grader {
+
+/// Execution budget per graded program (both kinds of limit; see the
+/// file comment for why the instruction budget should stay the binding
+/// one).
+struct ToolchainLimits {
+  std::size_t max_instructions = 2'000'000;
+  double max_seconds = 5.0;
+};
+
+/// What grading one submission produced. `status` is one of:
+///   ok               compiled/assembled clean and ran to completion
+///   ok_with_findings ran to completion, but lint found something
+///   compile_error    the toolchain rejected the body
+///   runtime_error    the program faulted (segmentation violation, ...)
+///   timeout          a resource limit stopped it (poison submission)
+///   race_free        life_trace: certified free of data races
+///   race_found       life_trace: the detector reported races
+///   invalid          life_trace: malformed scenario config
+struct Verdict {
+  std::string status = "invalid";
+  int score = 0;                  ///< 0..100, deterministic rubric
+  std::int32_t result = 0;        ///< program return value (%eax) / final population
+  std::uint64_t instructions = 0; ///< executed (mini_c / assembly)
+  std::uint64_t events = 0;       ///< trace events analyzed (life_trace)
+  std::uint64_t races = 0;        ///< distinct races reported (life_trace)
+  std::vector<std::string> notes; ///< lint findings, fault text, race sites
+
+  /// One deterministic JSON object (fixed key order, sorted content).
+  [[nodiscard]] std::string to_json() const;
+
+  friend bool operator==(const Verdict&, const Verdict&) = default;
+};
+
+/// Grade one submission. Deterministic; never throws for submission
+/// defects (see file comment).
+[[nodiscard]] Verdict run_toolchain(const Submission& submission,
+                                    const ToolchainLimits& limits = {});
+
+/// JSON-string escape shared by the report paths (quotes + control
+/// characters, matching bench_json's encoding).
+[[nodiscard]] std::string json_quote(const std::string& text);
+
+}  // namespace cs31::grader

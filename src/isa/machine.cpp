@@ -1,5 +1,7 @@
 #include "isa/machine.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 
 namespace cs31::isa {
@@ -315,6 +317,36 @@ std::size_t Machine::run(std::size_t max_steps) {
     ++steps;
   }
   return steps;
+}
+
+Machine::RunOutcome Machine::run_limited(const RunLimits& limits) {
+  require(limits.max_instructions > 0 || limits.max_seconds > 0.0,
+          "run_limited needs at least one limit (an unlimited runaway never returns)");
+  // Stride between wall-clock reads: a steady_clock::now() per
+  // instruction would dominate the interpreter, so the deadline is
+  // polled every kStride instructions (and on every stop decision).
+  constexpr std::size_t kStride = 4096;
+  const bool timed = limits.max_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timed ? limits.max_seconds : 0.0));
+  RunOutcome outcome;
+  while (!halted_) {
+    if (limits.max_instructions > 0 && outcome.instructions >= limits.max_instructions) {
+      outcome.reason = StopReason::InstructionLimit;
+      return outcome;
+    }
+    if (timed && outcome.instructions % kStride == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      outcome.reason = StopReason::TimeLimit;
+      return outcome;
+    }
+    step();
+    ++outcome.instructions;
+  }
+  outcome.reason = StopReason::Halted;
+  return outcome;
 }
 
 }  // namespace cs31::isa

@@ -45,6 +45,35 @@ class Machine {
   /// Run until halt or `max_steps` (throws when exceeded).
   std::size_t run(std::size_t max_steps = 1000000);
 
+  /// Why a limited run stopped.
+  enum class StopReason {
+    Halted,            ///< the program finished on its own
+    InstructionLimit,  ///< max_instructions executed without halting
+    TimeLimit,         ///< wall clock ran out first
+  };
+
+  /// Resource budget for run_limited. Zero means "unlimited" for either
+  /// knob (but at least one must be set — an unlimited run of a runaway
+  /// program would never return).
+  struct RunLimits {
+    std::size_t max_instructions = 1'000'000;  ///< 0 = unlimited
+    double max_seconds = 0.0;                  ///< wall clock; 0 = unlimited
+  };
+
+  struct RunOutcome {
+    StopReason reason = StopReason::Halted;
+    std::size_t instructions = 0;  ///< executed by this run
+  };
+
+  /// Run until halt or a resource limit. Unlike run(), hitting a limit
+  /// is an outcome, not an exception — a grading service reports a
+  /// poison submission's infinite loop as `timeout`, it does not treat
+  /// it as a caller mistake. The wall clock is checked every few
+  /// thousand instructions, so max_seconds is a soft ceiling with
+  /// microsecond-scale overshoot. Throws cs31::Error only for machine
+  /// faults (bad memory, EIP off the image) and when both limits are 0.
+  RunOutcome run_limited(const RunLimits& limits);
+
   [[nodiscard]] bool halted() const { return halted_; }
 
   // Register/flag/memory access (the debugger's "info registers" etc.).

@@ -8,56 +8,10 @@
 
 namespace cs31::trace {
 
-// --- BoundedQueue --------------------------------------------------------
-
-template <typename T>
-void AnalysisPipeline::BoundedQueue<T>::push(T item) {
-  std::unique_lock lock(mutex);
-  require(!closed, "analysis pipeline: publish after shutdown");
-  if (items.size() >= capacity) {
-    ++waits;
-    not_full.wait(lock, [&] { return items.size() < capacity; });
-  }
-  items.push_back(std::move(item));
-  high_water = std::max<std::uint64_t>(high_water, items.size());
-  not_empty.notify_all();
-}
-
-template <typename T>
-bool AnalysisPipeline::BoundedQueue<T>::pop(T& out) {
-  std::unique_lock lock(mutex);
-  not_empty.wait(lock, [&] { return !items.empty() || closed; });
-  if (items.empty()) return false;
-  out = std::move(items.front());
-  items.pop_front();
-  consumer_busy = true;
-  not_full.notify_all();
-  return true;
-}
-
-template <typename T>
-void AnalysisPipeline::BoundedQueue<T>::done() {
-  std::scoped_lock lock(mutex);
-  consumer_busy = false;
-  // wait_drained waits on not_full too (an empty queue is "not full").
-  not_full.notify_all();
-}
-
-template <typename T>
-void AnalysisPipeline::BoundedQueue<T>::close() {
-  std::scoped_lock lock(mutex);
-  closed = true;
-  not_empty.notify_all();
-  not_full.notify_all();
-}
-
-template <typename T>
-void AnalysisPipeline::BoundedQueue<T>::wait_drained() {
-  std::unique_lock lock(mutex);
-  not_full.wait(lock, [&] { return items.empty() && !consumer_busy; });
-}
-
-// --- pipeline ------------------------------------------------------------
+// The backpressure primitive lives in common/bounded_queue.hpp now
+// (grader's ingest/worker queues share it); the pipeline only wires
+// the topology: one batch queue into the router, one chunk queue per
+// shard.
 
 AnalysisPipeline::AnalysisPipeline(Options options) : options_(options) {
   require(options_.shards >= 1, "analysis pipeline needs at least one shard");

@@ -43,15 +43,14 @@
 // threads never call back into the context.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/bounded_queue.hpp"
 #include "race/detector.hpp"
 #include "trace/event.hpp"
 #include "trace/metrics.hpp"
@@ -143,31 +142,9 @@ class AnalysisPipeline {
     std::vector<std::vector<ThreadId>> new_waiter_sets;
   };
 
-  /// A bounded FIFO with blocking push — the backpressure primitive
-  /// (one for the batch queue, one per shard).
-  template <typename T>
-  struct BoundedQueue {
-    mutable std::mutex mutex;
-    std::condition_variable not_full, not_empty;
-    std::deque<T> items;
-    std::size_t capacity = 8;
-    bool closed = false;
-    bool consumer_busy = false;
-    std::uint64_t waits = 0;       ///< producer blocks on full
-    std::uint64_t high_water = 0;
-
-    void push(T item);
-    /// False when closed and drained; sets consumer_busy while an item
-    /// is out (cleared by done()).
-    bool pop(T& out);
-    void done();
-    void close();
-    void wait_drained();
-  };
-
   struct Shard {
     explicit Shard(std::size_t cap) { queue.capacity = cap; }
-    BoundedQueue<ShardChunk> queue;
+    common::BoundedQueue<ShardChunk> queue;
     std::thread worker;
     race::Detector detector;
     // Context-id translation state, mirroring the inline SinkBinding.
@@ -185,7 +162,7 @@ class AnalysisPipeline {
   void merge_metrics_locked();
 
   const Options options_;
-  BoundedQueue<EventBatch> batches_;
+  common::BoundedQueue<EventBatch> batches_;
   std::thread router_;
   std::vector<std::unique_ptr<Shard>> shards_;
 

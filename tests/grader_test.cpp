@@ -1,0 +1,465 @@
+// cs31::grader tests: the toolchain verdicts, the content-hash cache
+// (determinism, accounting, in-flight collapse), the service's
+// determinism contract — byte-identical report streams across worker
+// counts and queue capacities — poison resilience, and the toolchain
+// re-entrancy audit (concurrent compiles byte-identical to serial).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ccomp/codegen.hpp"
+#include "common/error.hpp"
+#include "grader/cache.hpp"
+#include "grader/loadgen.hpp"
+#include "grader/service.hpp"
+#include "grader/submission.hpp"
+#include "grader/toolchain.hpp"
+
+namespace cs31::grader {
+namespace {
+
+/// Fast deterministic budget for tests: poison spins cost ~20k emulated
+/// instructions instead of the service default 2M.
+ToolchainLimits test_limits() { return ToolchainLimits{20'000, 10.0}; }
+
+// --- content hash ------------------------------------------------------
+
+TEST(Hash, DeterministicAndContentSensitive) {
+  const std::string body = mini_c_body(7);
+  EXPECT_EQ(content_hash(SubmissionKind::MiniC, body),
+            content_hash(SubmissionKind::MiniC, body));
+  EXPECT_NE(content_hash(SubmissionKind::MiniC, body),
+            content_hash(SubmissionKind::MiniC, body + " "));
+  // Same bytes under a different toolchain must not share a verdict.
+  EXPECT_NE(content_hash(SubmissionKind::MiniC, body),
+            content_hash(SubmissionKind::Assembly, body));
+  EXPECT_EQ(hash_hex(content_hash(SubmissionKind::MiniC, body)).size(), 18u);
+}
+
+TEST(Hash, IgnoresTheSubmissionId) {
+  Submission a{"alice/try1", SubmissionKind::Assembly, assembly_body(3)};
+  Submission b{"bob/try9", SubmissionKind::Assembly, assembly_body(3)};
+  EXPECT_EQ(content_hash(a), content_hash(b));
+}
+
+// --- toolchain verdicts ------------------------------------------------
+
+TEST(Toolchain, MiniCCleanRunMatchesDirectExecution) {
+  const std::string body = mini_c_body(1);
+  const Verdict v = run_toolchain({"s", SubmissionKind::MiniC, body}, test_limits());
+  EXPECT_EQ(v.status, "ok") << v.to_json();
+  EXPECT_EQ(v.score, 100);
+  EXPECT_GT(v.instructions, 0u);
+  EXPECT_EQ(v.result, cc::run_mini_c(body));
+}
+
+TEST(Toolchain, MiniCArgsDirectiveFeedsMain) {
+  const std::string body = "// args: 30 12\nint main(int a, int b) { return a + b; }\n";
+  const Verdict v = run_toolchain({"s", SubmissionKind::MiniC, body}, test_limits());
+  EXPECT_EQ(v.status, "ok") << v.to_json();
+  EXPECT_EQ(v.result, 42);
+}
+
+TEST(Toolchain, MiniCSyntaxErrorIsAVerdict) {
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::MiniC, poison_bad_mini_c()}, test_limits());
+  EXPECT_EQ(v.status, "compile_error");
+  EXPECT_EQ(v.score, 0);
+  ASSERT_FALSE(v.notes.empty());
+}
+
+TEST(Toolchain, MiniCLintFindingsDeductButRun) {
+  const std::string body =
+      "int main() {\n  int x = 5;\n  x = 6;\n  return x;\n}\n";  // dead store on line 2
+  const Verdict v = run_toolchain({"s", SubmissionKind::MiniC, body}, test_limits());
+  EXPECT_EQ(v.status, "ok_with_findings") << v.to_json();
+  EXPECT_LT(v.score, 100);
+  EXPECT_GE(v.score, 60);
+  EXPECT_EQ(v.result, 6);
+  ASSERT_FALSE(v.notes.empty());
+  EXPECT_NE(v.notes[0].find("dead-store"), std::string::npos) << v.notes[0];
+}
+
+TEST(Toolchain, MiniCPoisonSpinTimesOutDeterministically) {
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::MiniC, poison_spin_mini_c()}, test_limits());
+  EXPECT_EQ(v.status, "timeout") << v.to_json();
+  EXPECT_EQ(v.instructions, test_limits().max_instructions);
+  ASSERT_FALSE(v.notes.empty());
+  EXPECT_NE(v.notes[0].find("instruction budget"), std::string::npos);
+}
+
+TEST(Toolchain, AssemblyCleanRun) {
+  // assembly_body sums base + iters + iters-1 + ... + 1.
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::Assembly, assembly_body(0)}, test_limits());
+  EXPECT_EQ(v.status, "ok") << v.to_json();
+  EXPECT_EQ(v.score, 100);
+  EXPECT_EQ(v.result, 0 + 3 + 2 + 1);
+}
+
+TEST(Toolchain, AssemblySpinTimesOut) {
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::Assembly, poison_spin_assembly()}, test_limits());
+  EXPECT_EQ(v.status, "timeout");
+  EXPECT_EQ(v.score, 5);
+}
+
+TEST(Toolchain, AssemblySegfaultIsRuntimeError) {
+  const std::string body =
+      "_start:\n    movl $0, %eax\n    movl 2000000000(%eax), %ebx\n    hlt\n";
+  const Verdict v = run_toolchain({"s", SubmissionKind::Assembly, body}, test_limits());
+  EXPECT_EQ(v.status, "runtime_error") << v.to_json();
+  EXPECT_EQ(v.score, 10);
+  ASSERT_FALSE(v.notes.empty());
+  EXPECT_NE(v.notes.back().find("segmentation"), std::string::npos) << v.notes.back();
+}
+
+TEST(Toolchain, LifeBarrieredScenarioIsRaceFree) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::LifeTrace, life_body(4, /*with_barrier=*/true)}, test_limits());
+  EXPECT_EQ(v.status, "race_free") << v.to_json();
+  EXPECT_EQ(v.score, 100);
+  EXPECT_EQ(v.races, 0u);
+  EXPECT_GT(v.events, 0u);
+}
+
+TEST(Toolchain, LifeForgottenBarrierIsCaught) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::LifeTrace, life_body(4, /*with_barrier=*/false)}, test_limits());
+  EXPECT_EQ(v.status, "race_found") << v.to_json();
+  EXPECT_GT(v.races, 0u);
+  ASSERT_FALSE(v.notes.empty());
+  EXPECT_NE(v.notes[0].find("race on"), std::string::npos);
+}
+
+TEST(Toolchain, LifeMalformedConfigIsInvalid) {
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::LifeTrace, poison_bad_life()}, test_limits());
+  EXPECT_EQ(v.status, "invalid");
+  EXPECT_EQ(v.score, 0);
+}
+
+TEST(Toolchain, VerdictJsonIsStable) {
+  const Verdict v =
+      run_toolchain({"s", SubmissionKind::Assembly, assembly_body(9)}, test_limits());
+  EXPECT_EQ(v.to_json(), run_toolchain({"other-id", SubmissionKind::Assembly,
+                                        assembly_body(9)}, test_limits())
+                             .to_json());
+  EXPECT_EQ(v.to_json().find("{\"status\":"), 0u);
+}
+
+// --- verdict cache -----------------------------------------------------
+
+TEST(Cache, HitMissAccounting) {
+  VerdictCache cache;
+  const ContentHash h1 = 11, h2 = 22;
+  const auto make = [](int score) {
+    return [score] {
+      Verdict v;
+      v.status = "ok";
+      v.score = score;
+      return v;
+    };
+  };
+  EXPECT_EQ(cache.get_or_compute(h1, make(100)).score, 100);
+  EXPECT_EQ(cache.get_or_compute(h1, make(50)).score, 100) << "hit must not recompute";
+  EXPECT_EQ(cache.get_or_compute(h2, make(70)).score, 70);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.collapsed, 0u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Cache, ConcurrentIdenticalLookupsComputeOnce) {
+  // The duplicate-storm kernel: N threads race on one hash; exactly one
+  // runs the (slow) compute, the rest either collapse onto it or hit
+  // the finished entry.
+  VerdictCache cache;
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Verdict> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t] = cache.get_or_compute(777, [&] {
+        computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        Verdict v;
+        v.status = "ok";
+        v.score = 88;
+        return v;
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const Verdict& v : seen) EXPECT_EQ(v.score, 88);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.collapsed, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Cache, ComputeExceptionBecomesCachedGraderError) {
+  VerdictCache cache;
+  const Verdict v = cache.get_or_compute(5, []() -> Verdict {
+    throw std::runtime_error("toolchain bug");
+  });
+  EXPECT_EQ(v.status, "grader_error");
+  ASSERT_FALSE(v.notes.empty());
+  EXPECT_EQ(v.notes[0], "toolchain bug");
+  // Waiters and later lookups get the same verdict — no deadlock, no
+  // retry storm.
+  EXPECT_EQ(cache.get_or_compute(5, [] { return Verdict{}; }).status, "grader_error");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// --- the service: determinism, storms, poison --------------------------
+
+std::string grade_stream(const LoadPlan& plan, GraderService::Options options) {
+  GraderService service(options);
+  service.submit_all(plan.submissions);
+  service.wait_idle();
+  return service.report_stream();
+}
+
+GraderService::Options test_options(std::size_t workers, std::size_t capacity = 64,
+                                    bool use_cache = true) {
+  GraderService::Options options;
+  options.workers = workers;
+  options.queue_capacity = capacity;
+  options.use_cache = use_cache;
+  options.limits = test_limits();
+  return options;
+}
+
+TEST(Service, ReportStreamByteIdenticalAcrossWorkerCounts) {
+  // The acceptance bar: same batch -> byte-identical stream for any
+  // worker count, any queue capacity, cache on or off.
+  const LoadPlan plan = make_scenario("steady", 48, /*seed=*/3);
+  const std::string reference = grade_stream(plan, test_options(1));
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    EXPECT_EQ(grade_stream(plan, test_options(workers)), reference)
+        << workers << " workers diverged";
+  }
+  EXPECT_EQ(grade_stream(plan, test_options(4, /*capacity=*/2)), reference)
+      << "capacity-2 backpressured queue diverged";
+  EXPECT_EQ(grade_stream(plan, test_options(4, 64, /*use_cache=*/false)), reference)
+      << "cache off diverged";
+}
+
+TEST(Service, StreamCoversEverySubmissionInArrivalOrder) {
+  const LoadPlan plan = make_scenario("steady", 30, 1);
+  GraderService service(test_options(4));
+  service.submit_all(plan.submissions);
+  service.wait_idle();
+  const auto lines = service.report_lines();
+  ASSERT_EQ(lines.size(), plan.submissions.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find("{\"id\":" + json_quote(plan.submissions[i].id)), 0u)
+        << "line " << i << " out of arrival order: " << lines[i];
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, plan.submissions.size());
+  EXPECT_EQ(stats.graded, plan.submissions.size());
+  std::uint64_t per_worker_total = 0;
+  for (const std::uint64_t graded : stats.graded_per_worker) per_worker_total += graded;
+  EXPECT_EQ(per_worker_total, stats.graded);
+}
+
+TEST(Service, DuplicateStormCollapsesToOneToolchainRun) {
+  // N identical bodies -> 1 toolchain run, N reports identical except
+  // for the envelope id.
+  constexpr std::size_t kCount = 64;
+  std::vector<Submission> storm;
+  const std::string body = mini_c_body(12);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    storm.push_back({"storm/" + std::to_string(i), SubmissionKind::MiniC, body});
+  }
+  GraderService service(test_options(4));
+  service.submit_all(std::move(storm));
+  service.wait_idle();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.graded, kCount);
+  EXPECT_EQ(stats.toolchain_runs, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.collapsed, kCount - 1);
+  // Identical verdicts: strip the id field (everything from "kind" on
+  // must match byte-for-byte).
+  const auto lines = service.report_lines();
+  const auto tail = [](const std::string& line) {
+    return line.substr(line.find("\"kind\""));
+  };
+  for (const std::string& line : lines) EXPECT_EQ(tail(line), tail(lines[0]));
+}
+
+TEST(Service, MixedStormStillCollapsesPerBody) {
+  const LoadPlan plan = make_scenario("duplicate_storm", 96, 2);
+  std::set<ContentHash> distinct;
+  for (const Submission& s : plan.submissions) distinct.insert(content_hash(s));
+  GraderService service(test_options(4));
+  service.submit_all(plan.submissions);
+  service.wait_idle();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.graded, plan.submissions.size());
+  EXPECT_EQ(stats.toolchain_runs, distinct.size());
+  EXPECT_EQ(stats.cache.misses, distinct.size());
+}
+
+TEST(Service, PoisonSubmissionsNeverTakeDownThePool) {
+  // Spins, syntax errors, and malformed configs ride along with good
+  // submissions; every single one must come back with a report and the
+  // service must stay usable afterwards.
+  const LoadPlan plan = make_scenario("poison", 48, 5);
+  GraderService service(test_options(4, /*capacity=*/8));
+  service.submit_all(plan.submissions);
+  service.wait_idle();
+  const auto lines = service.report_lines();
+  ASSERT_EQ(lines.size(), plan.submissions.size());
+  std::size_t timeouts = 0, invalids = 0, compile_errors = 0, good = 0;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    if (line.find("\"status\":\"timeout\"") != std::string::npos) ++timeouts;
+    if (line.find("\"status\":\"invalid\"") != std::string::npos) ++invalids;
+    if (line.find("\"status\":\"compile_error\"") != std::string::npos) ++compile_errors;
+    if (line.find("\"status\":\"ok\"") != std::string::npos ||
+        line.find("\"status\":\"ok_with_findings\"") != std::string::npos ||
+        line.find("\"status\":\"race_free\"") != std::string::npos ||
+        line.find("\"status\":\"race_found\"") != std::string::npos) {
+      ++good;
+    }
+  }
+  EXPECT_GT(timeouts, 0u);
+  EXPECT_GT(invalids, 0u);
+  EXPECT_GT(compile_errors, 0u);
+  EXPECT_EQ(good, plan.submissions.size() - timeouts - invalids - compile_errors);
+  // The pool survived: a fresh submission still grades.
+  service.submit({"after/0", SubmissionKind::Assembly, assembly_body(1)});
+  service.wait_idle();
+  EXPECT_EQ(service.stats().graded, plan.submissions.size() + 1);
+  EXPECT_NE(service.report_lines().back().find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(Service, SingleWorkerCapacityOneBackpressures) {
+  GraderService service(test_options(1, /*capacity=*/1));
+  std::vector<Submission> batch;
+  for (std::size_t i = 0; i < 16; ++i) {
+    batch.push_back({"bp/" + std::to_string(i), SubmissionKind::MiniC, mini_c_body(i)});
+  }
+  service.submit_all(std::move(batch));
+  service.wait_idle();
+  EXPECT_EQ(service.stats().graded, 16u);
+}
+
+TEST(Service, BurstyPlanGradesEveryBurst) {
+  const LoadPlan plan = make_scenario("bursty", 40, 4);
+  std::size_t total = 0;
+  for (const std::size_t burst : plan.bursts) total += burst;
+  ASSERT_EQ(total, plan.submissions.size());
+  GraderService service(test_options(2, /*capacity=*/4));
+  std::size_t next = 0;
+  for (const std::size_t burst : plan.bursts) {
+    for (std::size_t i = 0; i < burst; ++i) {
+      service.submit(plan.submissions[next++]);
+    }
+    service.wait_idle();  // the lull between deadline spikes
+  }
+  EXPECT_EQ(service.stats().graded, plan.submissions.size());
+}
+
+// --- toolchain re-entrancy audit (satellite: shared-state check) -------
+
+TEST(Reentrancy, EightConcurrentCompileRunsMatchSerialByteForByte) {
+  // The audit's executable form: 8 distinct submissions compiled and
+  // executed from 8 threads at once must produce the same assembly text
+  // and the same results as the serial pass. Any hidden shared state in
+  // the lexer/parser/codegen/assembler/machine would show up here (and
+  // under TSan in the sanitizer tier).
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::string> sources;
+  for (std::size_t i = 0; i < kThreads; ++i) sources.push_back(mini_c_body(100 + i));
+
+  std::vector<std::string> serial_asm(kThreads);
+  std::vector<std::int32_t> serial_result(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    serial_asm[i] = cc::compile_to_assembly(sources[i]);
+    serial_result[i] = cc::run_mini_c(sources[i]);
+  }
+
+  std::vector<std::string> threaded_asm(kThreads);
+  std::vector<std::int32_t> threaded_result(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      threaded_asm[i] = cc::compile_to_assembly(sources[i]);
+      threaded_result[i] = cc::run_mini_c(sources[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(threaded_asm[i], serial_asm[i]) << "source " << i;
+    EXPECT_EQ(threaded_result[i], serial_result[i]) << "source " << i;
+  }
+}
+
+TEST(Reentrancy, ConcurrentFullToolchainVerdictsMatchSerial) {
+  // Same audit one level up: the whole grading toolchain (including
+  // lint, the assembler, and traced Life) from 8 threads at once.
+  const LoadPlan plan = make_scenario("steady", 8, 9);
+  std::vector<Verdict> serial;
+  serial.reserve(plan.submissions.size());
+  for (const Submission& s : plan.submissions) {
+    serial.push_back(run_toolchain(s, test_limits()));
+  }
+  std::vector<Verdict> threaded(plan.submissions.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < plan.submissions.size(); ++i) {
+    threads.emplace_back(
+        [&, i] { threaded[i] = run_toolchain(plan.submissions[i], test_limits()); });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < plan.submissions.size(); ++i) {
+    EXPECT_EQ(threaded[i].to_json(), serial[i].to_json()) << "submission " << i;
+  }
+}
+
+// --- load generator ----------------------------------------------------
+
+TEST(LoadGen, ScenariosAreDeterministicInSeed) {
+  for (const std::string& name : scenario_names()) {
+    const LoadPlan a = make_scenario(name, 24, 7);
+    const LoadPlan b = make_scenario(name, 24, 7);
+    ASSERT_EQ(a.submissions.size(), 24u) << name;
+    EXPECT_EQ(a.bursts, b.bursts) << name;
+    for (std::size_t i = 0; i < a.submissions.size(); ++i) {
+      EXPECT_EQ(a.submissions[i].id, b.submissions[i].id) << name;
+      EXPECT_EQ(a.submissions[i].body, b.submissions[i].body) << name;
+    }
+  }
+  EXPECT_THROW((void)make_scenario("no-such-scenario", 4, 1), Error);
+}
+
+TEST(LoadGen, SteadyBodiesAreDistinct) {
+  const LoadPlan plan = make_scenario("steady", 30, 1);
+  std::set<ContentHash> hashes;
+  for (const Submission& s : plan.submissions) hashes.insert(content_hash(s));
+  EXPECT_EQ(hashes.size(), plan.submissions.size());
+}
+
+TEST(LoadGen, DuplicateStormIsMostlyDuplicates) {
+  const LoadPlan plan = make_scenario("duplicate_storm", 128, 1);
+  std::set<ContentHash> hashes;
+  for (const Submission& s : plan.submissions) hashes.insert(content_hash(s));
+  EXPECT_LT(hashes.size(), plan.submissions.size() / 8);
+}
+
+}  // namespace
+}  // namespace cs31::grader

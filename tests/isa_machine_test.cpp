@@ -256,5 +256,64 @@ TEST(Machine, TooSmallMemoryRejected) {
   EXPECT_THROW(Machine(100), Error);
 }
 
+// --- run_limited: the grading service's resource budgets ---------------
+
+TEST(RunLimited, HaltedWellUnderBothLimits) {
+  Machine m;
+  m.load(assemble("movl $5, %eax\n  hlt\n"));
+  const auto outcome = m.run_limited({1000, 10.0});
+  EXPECT_EQ(outcome.reason, Machine::StopReason::Halted);
+  EXPECT_EQ(outcome.instructions, 2u);
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.reg(Reg::Eax), 5u);
+}
+
+TEST(RunLimited, InstructionLimitIsAnOutcomeNotAnException) {
+  Machine m;
+  m.load(assemble("loop:\n  jmp loop\n"));
+  const auto outcome = m.run_limited({1000, 0.0});
+  EXPECT_EQ(outcome.reason, Machine::StopReason::InstructionLimit);
+  EXPECT_EQ(outcome.instructions, 1000u);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(RunLimited, WallClockLimitStopsARunawayLoop) {
+  Machine m;
+  m.load(assemble("loop:\n  jmp loop\n"));
+  // No instruction limit at all: only the wall clock can stop this.
+  const auto outcome = m.run_limited({0, 0.05});
+  EXPECT_EQ(outcome.reason, Machine::StopReason::TimeLimit);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(RunLimited, InstructionLimitBindsBeforeAGenerousWallClock) {
+  // The grading service's configuration: a deterministic instruction
+  // budget far below a generous wall-clock backstop must be the limit
+  // that fires, or report streams would depend on machine load.
+  Machine m;
+  m.load(assemble("loop:\n  jmp loop\n"));
+  const auto outcome = m.run_limited({5000, 60.0});
+  EXPECT_EQ(outcome.reason, Machine::StopReason::InstructionLimit);
+  EXPECT_EQ(outcome.instructions, 5000u);
+}
+
+TEST(RunLimited, BothLimitsZeroRejected) {
+  Machine m;
+  m.load(assemble("hlt\n"));
+  EXPECT_THROW(m.run_limited({0, 0.0}), Error);
+}
+
+TEST(RunLimited, ResumableAfterALimitStop) {
+  // A limited run leaves the machine in a valid paused state: granting
+  // more budget continues from where it stopped.
+  Machine m;
+  m.load(assemble("movl $0, %eax\nloop:\n  incl %eax\n  cmpl $100, %eax\n  jne loop\n  hlt\n"));
+  const auto first = m.run_limited({10, 0.0});
+  EXPECT_EQ(first.reason, Machine::StopReason::InstructionLimit);
+  const auto rest = m.run_limited({100000, 0.0});
+  EXPECT_EQ(rest.reason, Machine::StopReason::Halted);
+  EXPECT_EQ(m.reg(Reg::Eax), 100u);
+}
+
 }  // namespace
 }  // namespace cs31::isa
