@@ -1,0 +1,48 @@
+// The predecoded threaded-dispatch execution core.
+//
+// FastCore drives a Machine through whole predecoded basic blocks —
+// one function-pointer call per instruction, no per-step decode, no
+// per-step bounds-message construction — while keeping every piece of
+// architectural state (registers, flags, memory, instruction counts,
+// call depth, fault points) bit-identical to the switch interpreter in
+// machine.cpp. Machine::run and Machine::run_limited route here by
+// default; Machine::step stays on the switch interpreter, so the
+// debugger's teaching view is untouched. The identity contract is
+// enforced by tests/isa_diff_fuzz_test.cpp (differential fuzzing) and
+// the golden-trace regression suite.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "isa/machine.hpp"
+
+namespace cs31::isa {
+
+class FastCore {
+ public:
+  /// Machine::run on the fast core: run to halt, throw the
+  /// interpreter's runaway error when max_steps is exhausted first.
+  /// Returns the number of instructions executed by this call.
+  static std::size_t run(Machine& m, std::size_t max_steps);
+
+  /// Machine::run_limited on the fast core: limits are outcomes, not
+  /// exceptions. Instruction budgets stop at exactly the same point
+  /// (same eip, same counts) the switch interpreter stops at; the
+  /// wall-clock deadline is polled at block boundaries on the same
+  /// ~4096-instruction stride, so max_seconds stays the soft ceiling
+  /// it always was.
+  static Machine::RunOutcome run_limited(Machine& m, const Machine::RunLimits& limits);
+
+ private:
+  /// The block-walk loop both entry points share. Executes up to
+  /// `budget` instructions (SIZE_MAX = unbounded), polling `deadline`
+  /// at block boundaries every ~kStride instructions when `timed`.
+  /// Returns how many instructions ran; `time_up` reports a deadline
+  /// stop. Syncs all architectural state back into the Machine on
+  /// every exit, including exceptional ones.
+  static std::size_t drive(Machine& m, std::size_t budget, bool timed,
+                           std::chrono::steady_clock::time_point deadline, bool& time_up);
+};
+
+}  // namespace cs31::isa

@@ -26,6 +26,18 @@ enum class Reg : std::uint8_t {
 /// AT&T register name ("%eax"), as the course's GDB sessions show.
 [[nodiscard]] std::string reg_name(Reg r);
 
+/// The four condition codes the course teaches. Lives here (not in
+/// machine.hpp) so both execution cores — the teaching switch
+/// interpreter and the predecoded fast core — share one definition.
+struct Eflags {
+  bool cf = false;  ///< carry
+  bool zf = false;  ///< zero
+  bool sf = false;  ///< sign
+  bool of = false;  ///< signed overflow
+
+  friend bool operator==(const Eflags&, const Eflags&) = default;
+};
+
 /// Parse "%eax" (or "eax"). Throws cs31::Error on an unknown name.
 [[nodiscard]] Reg parse_reg(const std::string& name);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "isa/exec_fast.hpp"
 
 namespace cs31::isa {
 
@@ -12,9 +13,21 @@ Machine::Machine(std::uint32_t mem_bytes) : memory_(mem_bytes, 0) {
 
 void Machine::load(const Image& image) {
   require(image.base + image.bytes.size() <= memory_.size(), "image does not fit in memory");
-  image_ = image;
-  for (std::size_t i = 0; i < image.bytes.size(); ++i) {
-    memory_[image.base + i] = image.bytes[i];
+  // Reloading the program already in memory (the maze-attempt and
+  // grader-regrade pattern: fresh run, same image) keeps the predecoded
+  // block cache warm. The cache is always consistent with the code
+  // bytes currently in memory — self-modifying stores invalidate it on
+  // the spot — so if those bytes equal the incoming image's, every
+  // cached block is still exact.
+  const bool code_unchanged =
+      image_.base == image.base && image_.bytes.size() == image.bytes.size() &&
+      !image_.bytes.empty() &&
+      std::equal(image.bytes.begin(), image.bytes.end(), memory_.begin() + image.base);
+  if (!(code_unchanged && image_.symbols == image.symbols)) image_ = image;
+  if (!code_unchanged) {
+    for (std::size_t i = 0; i < image.bytes.size(); ++i) {
+      memory_[image_.base + i] = image_.bytes[i];
+    }
   }
   regs_.fill(0);
   flags_ = Eflags{};
@@ -28,6 +41,9 @@ void Machine::load(const Image& image) {
   halted_ = false;
   executed_ = 0;
   call_depth_ = 0;
+  if (!code_unchanged) {
+    code_cache_.reset(image_.base, static_cast<std::uint32_t>(image_.bytes.size()));
+  }
 }
 
 std::uint32_t Machine::reg(Reg r) const {
@@ -54,6 +70,11 @@ void Machine::store32(std::uint32_t addr, std::uint32_t value) {
           "segmentation violation: write of 4 bytes at 0x" + std::to_string(addr));
   if (trace_memory_) mem_trace_.push_back(MemAccess{addr, true});
   for (int i = 0; i < 4; ++i) memory_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  // External pokes into loaded code (the debugger's `set`, test
+  // fixtures staging data over an image) must drop predecoded blocks.
+  if (addr < image_.base + image_.bytes.size() && addr + 4 > image_.base) {
+    code_cache_.invalidate();
+  }
 }
 
 std::uint8_t Machine::load8(std::uint32_t addr) const {
@@ -64,6 +85,9 @@ std::uint8_t Machine::load8(std::uint32_t addr) const {
 void Machine::store8(std::uint32_t addr, std::uint8_t value) {
   require(addr < memory_.size(), "segmentation violation: write at 0x" + std::to_string(addr));
   memory_[addr] = value;
+  if (addr >= image_.base && addr < image_.base + image_.bytes.size()) {
+    code_cache_.invalidate();
+  }
 }
 
 std::uint32_t Machine::effective_address(const MemRef& m) const {
@@ -310,6 +334,7 @@ bool Machine::step() {
 }
 
 std::size_t Machine::run(std::size_t max_steps) {
+  if (use_fast_core()) return FastCore::run(*this, max_steps);
   std::size_t steps = 0;
   while (!halted_) {
     require(steps < max_steps, "instruction limit exceeded (runaway program?)");
@@ -322,6 +347,7 @@ std::size_t Machine::run(std::size_t max_steps) {
 Machine::RunOutcome Machine::run_limited(const RunLimits& limits) {
   require(limits.max_instructions > 0 || limits.max_seconds > 0.0,
           "run_limited needs at least one limit (an unlimited runaway never returns)");
+  if (use_fast_core()) return FastCore::run_limited(*this, limits);
   // Stride between wall-clock reads: a steady_clock::now() per
   // instruction would dominate the interpreter, so the deadline is
   // polled every kStride instructions (and on every stop decision).

@@ -9,18 +9,14 @@
 
 #include "isa/assembler.hpp"
 #include "isa/ia32.hpp"
+#include "isa/predecode.hpp"
 
 namespace cs31::isa {
 
-/// The four condition codes the course teaches.
-struct Eflags {
-  bool cf = false;  ///< carry
-  bool zf = false;  ///< zero
-  bool sf = false;  ///< sign
-  bool of = false;  ///< signed overflow
+class FastCore;
 
-  friend bool operator==(const Eflags&, const Eflags&) = default;
-};
+// Eflags lives in ia32.hpp (shared by both execution cores); machine.hpp
+// re-exports it through that include for existing users.
 
 /// A running machine: load an Image, then step or run. Memory size is
 /// configurable; the stack starts at the top and grows down, exactly the
@@ -39,8 +35,25 @@ class Machine {
   /// Execute one instruction. Returns false if halted (hlt, or ret with
   /// an empty call stack). Throws cs31::Error on memory faults
   /// ("segmentation violations"), bad operand shapes, or division of the
-  /// instruction stream (EIP outside the loaded image).
+  /// instruction stream (EIP outside the loaded image). Always executes
+  /// on the switch interpreter: single-stepping is the debugger's
+  /// teaching view, and the reference semantics.
   bool step();
+
+  /// Which execution core run()/run_limited() use. Both cores are
+  /// bit-identical on all architectural state (the differential fuzz
+  /// harness proves it); Predecoded is the default because it is ~an
+  /// order of magnitude faster. Switch is the reference interpreter —
+  /// tests pin the fast core against it, and memory-trace capture
+  /// always uses it (the trace is defined by the reference's access
+  /// order).
+  enum class Core {
+    Predecoded,  ///< predecoded blocks, function-pointer threaded dispatch
+    Switch,      ///< per-step decode + switch (the teaching interpreter)
+  };
+
+  void set_core(Core core) { core_ = core; }
+  [[nodiscard]] Core core() const { return core_; }
 
   /// Run until halt or `max_steps` (throws when exceeded).
   std::size_t run(std::size_t max_steps = 1000000);
@@ -113,7 +126,21 @@ class Machine {
   /// The image currently loaded (for disassembly in the debugger).
   [[nodiscard]] const Image& image() const { return image_; }
 
+  /// Block-cache counters of the predecoded core (tests use these to
+  /// observe invalidation on self-modifying stores and block reuse on
+  /// mid-block jump entry).
+  [[nodiscard]] const predecode::CacheStats& code_cache_stats() const {
+    return code_cache_.stats();
+  }
+
  private:
+  friend class FastCore;
+
+  [[nodiscard]] bool use_fast_core() const {
+    // Memory-trace capture stays on the reference interpreter: the
+    // trace's access order is defined by its exact read/write sequence.
+    return core_ == Core::Predecoded && !trace_memory_;
+  }
   [[nodiscard]] std::uint32_t read_operand(const Operand& o) const;
   void write_operand(const Operand& o, std::uint32_t value);
   void push(std::uint32_t value);
@@ -130,6 +157,8 @@ class Machine {
   std::size_t executed_ = 0;
   Image image_;
   std::size_t call_depth_ = 0;
+  Core core_ = Core::Predecoded;
+  predecode::BlockCache code_cache_;
   bool trace_memory_ = false;
   // mutable so the const read path can record; tracing is observability,
   // not machine state.
