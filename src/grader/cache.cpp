@@ -11,19 +11,23 @@ Verdict VerdictCache::get_or_compute(ContentHash hash,
     if (inserted) {
       it->second = std::make_shared<Entry>();
       entry = it->second;
-      ++misses_;
-      // Fall through to compute below, outside the lock.
+      // Fall through to compute below, outside the lock (counted
+      // outside it, too).
     } else {
       entry = it->second;
       if (entry->ready) {
-        ++hits_;
+        // A ready entry never changes again, so the verdict can be
+        // read (and the hit counted) after dropping the map lock.
+        lock.unlock();
+        hits_.add();
         return entry->verdict;
       }
-      ++collapsed_;
+      collapsed_.add();
       ready_cv_.wait(lock, [&] { return entry->ready; });
       return entry->verdict;
     }
   }
+  misses_.add();
 
   Verdict verdict;
   try {
@@ -48,8 +52,10 @@ Verdict VerdictCache::get_or_compute(ContentHash hash,
 }
 
 VerdictCache::Stats VerdictCache::stats() const {
+  Stats stats{hits_.value(), misses_.value(), collapsed_.value(), 0};
   std::scoped_lock lock(mutex_);
-  return Stats{hits_, misses_, collapsed_, entries_.size()};
+  stats.entries = entries_.size();
+  return stats;
 }
 
 }  // namespace cs31::grader

@@ -19,6 +19,12 @@
 //   miss       this call ran the toolchain
 //   hit        a ready verdict was served immediately
 //   collapsed  waited for another thread's in-flight compute
+//
+// The outcome counters are common::ShardedCounter instances bumped
+// *outside* the map mutex: under a duplicate storm every worker hits
+// the same hash, and hammering three shared integers inside the one
+// lock that serializes lookups was measurable contention for what is
+// only statistics. The map lock now does map work only.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +34,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/sharded_counter.hpp"
 #include "grader/submission.hpp"
 #include "grader/toolchain.hpp"
 
@@ -57,10 +64,10 @@ class VerdictCache {
     Verdict verdict;
   };
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< guards entries_ only
   std::condition_variable ready_cv_;
   std::unordered_map<ContentHash, std::shared_ptr<Entry>> entries_;
-  std::uint64_t hits_ = 0, misses_ = 0, collapsed_ = 0;
+  common::ShardedCounter hits_, misses_, collapsed_;
 };
 
 }  // namespace cs31::grader

@@ -26,10 +26,7 @@
 
 #include "life/life.hpp"
 #include "race/detector.hpp"
-
-namespace cs31::trace {
-class AnalysisPipeline;
-}
+#include "trace/context.hpp"
 
 namespace cs31::life {
 
@@ -54,6 +51,9 @@ struct TracedLifeOptions {
   /// the pipeline's deterministic merge — byte-identical to inline).
   /// The pipeline must be fresh and outlive the call.
   trace::AnalysisPipeline* pipeline = nullptr;
+  /// Sync-event capture design (TraceContext::Options::capture). The
+  /// verdict is capture-mode-independent; only the hot-path cost moves.
+  trace::CaptureMode capture = trace::CaptureMode::lockfree;
 };
 
 /// Replay `rounds` generations of the parallel engine's access pattern

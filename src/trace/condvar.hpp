@@ -18,6 +18,13 @@
 // Waiting uses std::condition_variable_any over TracedMutex, so the
 // mutex's own acquire/release edges keep being reported while the wait
 // releases and reacquires it.
+//
+// Stamping contract under lock-free capture: both the send (mutex held
+// by the signaller) and the recv (mutex held by the awakened waiter)
+// draw their global stamp and the channel's per-object seq inside the
+// associated mutex's critical section, so stamp order on the channel
+// equals the real signal/wakeup order and the drained stream matches
+// the mutex-serialized design byte for byte (DESIGN §7).
 #pragma once
 
 #include <condition_variable>

@@ -50,10 +50,40 @@ std::uint32_t sample_seed(ThreadId t) {
 
 }  // namespace
 
+// --- SyncSeqTable --------------------------------------------------------
+
+TraceContext::SyncSeqTable::~SyncSeqTable() {
+  for (auto& slot : chunks_) delete slot.load(std::memory_order_relaxed);
+}
+
+void TraceContext::SyncSeqTable::ensure(std::size_t count) {
+  const std::size_t chunks = (count + kChunkSize - 1) / kChunkSize;
+  require(chunks <= kMaxChunks, "trace context: per-object sync counter table is full");
+  for (std::size_t i = 0; i < chunks; ++i) {
+    if (chunks_[i].load(std::memory_order_relaxed) == nullptr) {
+      // Publish a whole zeroed chunk; it never moves afterwards, so the
+      // capture path's acquire load below sees fully constructed slots.
+      chunks_[i].store(new Chunk{}, std::memory_order_release);
+    }
+  }
+}
+
+std::atomic<std::uint64_t>& TraceContext::SyncSeqTable::counter(NameId id) const {
+  Chunk* chunk = chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    throw Error("sync on lock/channel id " + std::to_string(id) +
+                " that was never interned through this context");
+  }
+  return chunk->slots[id % kChunkSize];
+}
+
+// --- construction --------------------------------------------------------
+
 TraceContext::TraceContext(Options options)
     : generation_(next_generation()),
       sample_threshold_(sample_threshold_for(options.sample_access_events)),
-      sampling_(options.sample_access_events < 1.0) {
+      sampling_(options.sample_access_events < 1.0),
+      lockfree_(options.capture == CaptureMode::lockfree) {
   if (options.own_detector) {
     owned_detector_ = std::make_unique<race::Detector>();
     detector_ = owned_detector_.get();
@@ -95,7 +125,8 @@ void TraceContext::attach_pipeline(AnalysisPipeline& pipeline) {
   require(detector_ == nullptr && sinks_.empty(),
           "attach_pipeline needs a context without inline sinks (own_detector = false, "
           "nothing attached)");
-  require(next_stamp_ == 0 && drains_ == 0, "attach the pipeline before the first event");
+  require(sync_clock_.load(std::memory_order_relaxed) == 0 && drains_ == 0,
+          "attach the pipeline before the first event");
   pipeline_ = &pipeline;
 }
 
@@ -116,12 +147,16 @@ NameId TraceContext::intern_var(std::string_view name) {
 
 NameId TraceContext::intern_lock(std::string_view name) {
   std::scoped_lock lock(intern_mutex_);
-  return lock_names_.id(name);
+  const NameId id = lock_names_.id(name);
+  lock_seqs_.ensure(lock_names_.size());
+  return id;
 }
 
 NameId TraceContext::intern_channel(std::string_view name) {
   std::scoped_lock lock(intern_mutex_);
-  return channel_names_.id(name);
+  const NameId id = channel_names_.id(name);
+  channel_seqs_.ensure(channel_names_.size());
+  return id;
 }
 
 NameId TraceContext::intern_site(std::string_view label) {
@@ -158,6 +193,10 @@ TraceContext::ThreadBuffer& TraceContext::buffer_of(ThreadId t) {
   if (t >= buffers_.size()) {
     throw Error("unknown trace thread id " + std::to_string(t));
   }
+  if (buffers_[t] == nullptr) {
+    throw Error("trace thread id " + std::to_string(t) +
+                " was joined and its buffer retired");
+  }
   return *buffers_[t];
 }
 
@@ -165,7 +204,8 @@ void TraceContext::bind_self(ThreadId tid) {
   ThreadBuffer* buf = nullptr;
   {
     std::scoped_lock lock(registry_mutex_);
-    require(tid < buffers_.size(), "bind_self: thread id was never forked");
+    require(tid < buffers_.size() && buffers_[tid] != nullptr,
+            "bind_self: thread id was never forked (or already retired)");
     bindings_[std::this_thread::get_id()] = tid;
     buf = buffers_[tid].get();
   }
@@ -174,20 +214,24 @@ void TraceContext::bind_self(ThreadId tid) {
 
 ThreadId TraceContext::fork_locked(ThreadId parent) {
   // Caller holds stream_mutex_.
-  const std::uint64_t stamp = ++next_stamp_;
+  const std::uint64_t stamp = sync_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   ThreadId child = 0;
   {
     std::scoped_lock lock(registry_mutex_);
-    require(parent < buffers_.size(), "fork from unknown thread id");
+    require(parent < buffers_.size() && buffers_[parent] != nullptr,
+            "fork from unknown or retired thread id");
     child = static_cast<ThreadId>(buffers_.size());
     auto buf = std::make_unique<ThreadBuffer>();
     buf->epoch = stamp;  // the child's first epoch is the fork's
     buf->floor = stamp;  // and it cannot capture anything older
     buf->rng = sample_seed(child);
+    buf->qepoch.store(reclaim_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     buffers_.push_back(std::move(buf));
     buffers_[parent]->epoch = stamp;  // the parent's next epoch too
   }
   sync_stream_.push_back(Event{EventKind::Fork, parent, child, 0, stamp, 0});
+  ++structural_syncs_;
   return child;
 }
 
@@ -203,18 +247,43 @@ ThreadId TraceContext::fork_thread(ThreadId parent) {
 
 ThreadId TraceContext::on_thread_create() { return fork_thread(self()); }
 
+void TraceContext::retire_buffer_locked(ThreadId child) {
+  // Caller holds stream_mutex_; the child is joined (its OS thread is
+  // gone) and its buffer was just drained.
+  std::scoped_lock lock(registry_mutex_);
+  std::unique_ptr<ThreadBuffer>& slot = buffers_[child];
+  if (slot == nullptr) return;  // already retired
+  const ThreadBuffer& buf = *slot;
+  retired_stats_[child] = BufferStats{
+      child, buf.captured, std::max<std::uint64_t>(buf.high_water, buf.events.size()),
+      buf.sampled_out};
+  // Drop the dead OS thread's binding so a later std::thread reusing
+  // the same native id cannot resolve to the retired tid.
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    it = (it->second == child) ? bindings_.erase(it) : std::next(it);
+  }
+  // The grace period starts here: only when every live unparked thread
+  // has been seen quiescent at (or after) this epoch may the buffer be
+  // freed — see advance_and_reclaim_locked.
+  const std::uint64_t epoch = reclaim_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  retired_.push_back(RetiredBuffer{std::move(slot), epoch});
+}
+
 void TraceContext::join_thread(ThreadId parent, ThreadId child) {
   std::scoped_lock lock(stream_mutex_);
   (void)buffer_of(child);  // validate ids before recording
   (void)buffer_of(parent);
-  const std::uint64_t stamp = ++next_stamp_;
+  const std::uint64_t stamp = sync_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   buffer_of(parent).epoch = stamp;
   sync_stream_.push_back(Event{EventKind::Join, parent, child, 0, stamp, 0});
+  ++structural_syncs_;
   // The child is finished: its buffer (and the stream, so the Join edge
-  // itself lands) drains now, and the child parks permanently — it will
-  // never capture again, so it must not hold back later drains.
+  // itself lands) drains now; then the buffer retires — parked forever
+  // (it must not hold back later drains) and queued for reclamation
+  // after its grace period.
   drain_locked({child, parent}, /*all=*/false);
   buffer_of(child).floor = kParkedFloor;
+  retire_buffer_locked(child);
 }
 
 void TraceContext::on_thread_join(ThreadId child) { join_thread(self(), child); }
@@ -225,13 +294,55 @@ void TraceContext::append_access(ThreadBuffer& buf, ThreadId t, EventKind kind, 
   ++buf.captured;
 }
 
-std::uint64_t TraceContext::record_sync(ThreadId t, EventKind kind, NameId id,
-                                        NameId site) {
+void TraceContext::append_sync_lockfree(ThreadBuffer& buf, ThreadId t, EventKind kind,
+                                        NameId id, const SyncSeqTable& seqs) {
+  // The lock-free hot path: two relaxed fetch_adds and an append to the
+  // capturing thread's own buffer. Relaxed suffices for the ordering
+  // contract because the caller holds the traced primitive: successive
+  // critical sections on one object are ordered by the object's real
+  // mutex, and RMWs on a single atomic take increasing values along
+  // happens-before — so per object, seq order == stamp order == the
+  // real synchronization order (the drain asserts it).
+  const std::uint64_t oseq = seqs.counter(id).fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t stamp = sync_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  buf.events.push_back(Event{kind, t, id, static_cast<NameId>(oseq), stamp, 0});
+  buf.epoch = stamp;
+  ++buf.captured;
+}
+
+void TraceContext::record_sync_stream(ThreadId t, EventKind kind, NameId id,
+                                      const SyncSeqTable& seqs) {
+  // Reference mode: one global mutex-ordered stream. The per-object seq
+  // is drawn under the same lock, so the same execution produces records
+  // matching the lock-free mode's byte for byte.
   std::scoped_lock lock(stream_mutex_);
-  const std::uint64_t stamp = ++next_stamp_;
-  sync_stream_.push_back(Event{kind, t, id, site, stamp, 0});
-  buffer_of(t).epoch = stamp;
-  return stamp;
+  const std::uint64_t oseq = seqs.counter(id).fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t stamp = sync_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sync_stream_.push_back(Event{kind, t, id, static_cast<NameId>(oseq), stamp, 0});
+  ThreadBuffer& buf = buffer_of(t);
+  buf.epoch = stamp;
+  ++buf.captured;
+}
+
+void TraceContext::sync_bound(EventKind kind, NameId id, const SyncSeqTable& seqs) {
+  if (lockfree_) {
+    ThreadBuffer& buf = buffer_of_self();
+    // A sync record must not hide in a buffer whose parked floor says
+    // "nothing here" — un-park first, exactly like an access.
+    if (tls_binding.parked) unpark(buf);
+    append_sync_lockfree(buf, tls_binding.tid, kind, id, seqs);
+    return;
+  }
+  record_sync_stream(self(), kind, id, seqs);
+}
+
+void TraceContext::sync_as(ThreadId t, EventKind kind, NameId id,
+                           const SyncSeqTable& seqs) {
+  if (lockfree_) {
+    append_sync_lockfree(buffer_of(t), t, kind, id, seqs);
+    return;
+  }
+  record_sync_stream(t, kind, id, seqs);
 }
 
 // --- bound-thread capture ----------------------------------------------
@@ -266,6 +377,10 @@ void TraceContext::unpark(ThreadBuffer& buf) {
   // The buffer is empty while parked, so re-opening the floor at the
   // current epoch covers everything this thread can capture from here.
   if (buf.floor == kParkedFloor) buf.floor = buf.epoch;
+  // Returning to activity is a quiescent point: the thread holds no
+  // references to any retired buffer here.
+  buf.qepoch.store(reclaim_epoch_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   tls_binding.parked = false;
 }
 
@@ -279,16 +394,20 @@ void TraceContext::park_self() {
   }
 }
 
-void TraceContext::acquire(NameId lock) { (void)record_sync(self(), EventKind::Acquire, lock); }
+void TraceContext::acquire(NameId lock) {
+  sync_bound(EventKind::Acquire, lock, lock_seqs_);
+}
 
-void TraceContext::release(NameId lock) { (void)record_sync(self(), EventKind::Release, lock); }
+void TraceContext::release(NameId lock) {
+  sync_bound(EventKind::Release, lock, lock_seqs_);
+}
 
 void TraceContext::send(NameId channel) {
-  (void)record_sync(self(), EventKind::ChannelSend, channel);
+  sync_bound(EventKind::ChannelSend, channel, channel_seqs_);
 }
 
 void TraceContext::recv(NameId channel) {
-  (void)record_sync(self(), EventKind::ChannelRecv, channel);
+  sync_bound(EventKind::ChannelRecv, channel, channel_seqs_);
 }
 
 void TraceContext::read(const std::string& var, const std::string& where) {
@@ -322,19 +441,19 @@ void TraceContext::write_as(ThreadId t, NameId var, NameId site) {
 }
 
 void TraceContext::acquire_as(ThreadId t, NameId lock) {
-  (void)record_sync(t, EventKind::Acquire, lock);
+  sync_as(t, EventKind::Acquire, lock, lock_seqs_);
 }
 
 void TraceContext::release_as(ThreadId t, NameId lock) {
-  (void)record_sync(t, EventKind::Release, lock);
+  sync_as(t, EventKind::Release, lock, lock_seqs_);
 }
 
 void TraceContext::send_as(ThreadId t, NameId channel) {
-  (void)record_sync(t, EventKind::ChannelSend, channel);
+  sync_as(t, EventKind::ChannelSend, channel, channel_seqs_);
 }
 
 void TraceContext::recv_as(ThreadId t, NameId channel) {
-  (void)record_sync(t, EventKind::ChannelRecv, channel);
+  sync_as(t, EventKind::ChannelRecv, channel, channel_seqs_);
 }
 
 // --- barrier / drain -----------------------------------------------------
@@ -346,11 +465,12 @@ void TraceContext::barrier_cycle(std::vector<ThreadId> waiters, bool report) {
   std::sort(waiters.begin(), waiters.end());
   std::scoped_lock lock(stream_mutex_);
   if (report) {
-    const std::uint64_t stamp = ++next_stamp_;
+    const std::uint64_t stamp = sync_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     const auto set_index = static_cast<NameId>(waiter_sets_.size());
     for (const ThreadId w : waiters) buffer_of(w).epoch = stamp;
     sync_stream_.push_back(
         Event{EventKind::BarrierCycle, waiters.front(), set_index, 0, stamp, 0});
+    ++structural_syncs_;
     waiter_sets_.push_back(waiters);
   }
   drain_locked(waiters, /*all=*/false);
@@ -372,10 +492,28 @@ void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
   // quiescent (see the header's contract), so reading and clearing
   // their vectors is safe. Buffers outside the drain are only consulted
   // for their floor (stream_mutex_-guarded) — never their events.
-  std::vector<Event> merged;
-  merged.swap(pending_);
-  merged.insert(merged.end(), sync_stream_.begin(), sync_stream_.end());
-  sync_stream_.clear();
+  //
+  // Every source is already drain_order-sorted — pending_ by
+  // construction, the sync stream by stamp, and each per-thread buffer
+  // because one thread's stamps are nondecreasing in program order with
+  // seq breaking ties (and a sync precedes the accesses that run in its
+  // epoch) — so the merge is a cascade of sorted-run merges, not a
+  // sort: O(n · runs) with mostly-sequential access, and a run that
+  // lands entirely past the current tail is a plain append.
+  std::vector<Event> merged = std::move(pending_);
+  pending_.clear();
+  const auto less = [](const Event& a, const Event& b) { return drain_order(a, b); };
+  const auto merge_run = [&merged, &less](std::vector<Event>& run) {
+    if (run.empty()) return;
+    const std::size_t mid = merged.size();
+    merged.insert(merged.end(), run.begin(), run.end());
+    run.clear();
+    if (mid == 0 || !less(merged[mid], merged[mid - 1])) return;  // pure append
+    std::inplace_merge(merged.begin(),
+                       merged.begin() + static_cast<std::ptrdiff_t>(mid), merged.end(),
+                       less);
+  };
+  merge_run(sync_stream_);
 
   // The dispatch horizon: an undrained buffer may still hold — or, if
   // its thread is running, still capture — events down to its floor, so
@@ -389,28 +527,26 @@ void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
   {
     std::scoped_lock lock(registry_mutex_);
     for (const ThreadId t : subset) {
-      if (t >= buffers_.size()) {
-        throw Error("drain of unknown trace thread id " + std::to_string(t));
+      if (t >= buffers_.size() || buffers_[t] == nullptr) {
+        throw Error("drain of unknown or retired trace thread id " + std::to_string(t));
       }
     }
-    std::vector<char> covered(buffers_.size(), all ? 1 : 0);
-    for (const ThreadId t : subset) covered[t] = 1;
+    covered_scratch_.assign(buffers_.size(), all ? 1 : 0);
+    for (const ThreadId t : subset) covered_scratch_[t] = 1;
     for (ThreadId t = 0; t < buffers_.size(); ++t) {
+      if (buffers_[t] == nullptr) continue;  // retired: no events, no constraint
       ThreadBuffer& buf = *buffers_[t];
-      if (covered[t]) {
+      if (covered_scratch_[t]) {
         buf.high_water = std::max<std::uint64_t>(buf.high_water, buf.events.size());
-        merged.insert(merged.end(), buf.events.begin(), buf.events.end());
-        buf.events.clear();
+        merge_run(buf.events);
         if (buf.floor != kParkedFloor) buf.floor = buf.epoch;
       } else {
         horizon = std::min(horizon, buf.floor);
       }
     }
+    advance_and_reclaim_locked(covered_scratch_);
   }
   if (merged.empty()) return;
-  std::sort(merged.begin(), merged.end(), [](const Event& a, const Event& b) {
-    return drain_order(a, b);
-  });
   std::size_t safe = 0;
   while (safe < merged.size() &&
          (merged[safe].stamp < horizon ||
@@ -422,17 +558,74 @@ void TraceContext::drain_locked(const std::vector<ThreadId>& subset, bool all) {
     return;
   }
   ++drains_;
+  check_object_seqs(merged, safe);
   if (pipeline_ != nullptr) {
-    publish_locked(merged, safe);
+    if (safe < merged.size()) {
+      pending_.assign(merged.begin() + static_cast<std::ptrdiff_t>(safe), merged.end());
+      merged.resize(safe);
+    }
+    publish_locked(std::move(merged));
   } else {
     for (std::size_t i = 0; i < safe; ++i) dispatch(merged[i]);
+    pending_.assign(merged.begin() + static_cast<std::ptrdiff_t>(safe), merged.end());
   }
-  pending_.assign(merged.begin() + safe, merged.end());
 }
 
-void TraceContext::publish_locked(const std::vector<Event>& events, std::size_t count) {
+void TraceContext::advance_and_reclaim_locked(const std::vector<char>& covered) {
+  // Caller holds stream_mutex_ and registry_mutex_. A drain is every
+  // covered thread's buffer-publish point: its owner is blocked in the
+  // barrier/join/flush that triggered the drain, holding no reference
+  // into any buffer — so its quiescence epoch advances to the current
+  // reclamation epoch on its behalf.
+  const std::uint64_t now = reclaim_epoch_.load(std::memory_order_relaxed);
+  for (ThreadId t = 0; t < buffers_.size(); ++t) {
+    if (buffers_[t] != nullptr && covered[t]) {
+      buffers_[t]->qepoch.store(now, std::memory_order_relaxed);
+    }
+  }
+  if (retired_.empty()) return;
+  // Grace period: a retired buffer may be freed only once every live
+  // unparked buffer has been quiescent at (or after) its retirement
+  // epoch. Parked buffers promised no further captures, so they cannot
+  // hold references and do not gate the grace period.
+  std::uint64_t min_q = now;
+  for (const auto& buf : buffers_) {
+    if (buf == nullptr || buf->floor == kParkedFloor) continue;
+    min_q = std::min(min_q, buf->qepoch.load(std::memory_order_relaxed));
+  }
+  const auto reclaimable = std::remove_if(
+      retired_.begin(), retired_.end(),
+      [min_q](const RetiredBuffer& r) { return r.retire_epoch <= min_q; });
+  buffers_reclaimed_ += static_cast<std::uint64_t>(retired_.end() - reclaimable);
+  retired_.erase(reclaimable, retired_.end());  // frees the ThreadBuffers
+}
+
+void TraceContext::check_object_seqs(const std::vector<Event>& events, std::size_t count) {
+  // The merge-integrity witness (see the header's ordering argument):
+  // restricted to one lock or channel, dispatch order must walk that
+  // object's per-object sequence numbers 0,1,2,… — anything else means
+  // a sync record was lost, duplicated, or reordered across capture
+  // modes, and a silent pass here is what makes "byte-identical to the
+  // mutex-ordered stream" a checked property rather than a hope.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& e = events[i];
+    if (!is_object_sync(e.kind)) continue;
+    const bool is_lock = e.kind == EventKind::Acquire || e.kind == EventKind::Release;
+    std::vector<std::uint64_t>& next = is_lock ? next_lock_seq_ : next_channel_seq_;
+    if (e.id >= next.size()) next.resize(e.id + 1, 0);
+    const std::uint64_t expected = next[e.id]++;
+    if (e.site != static_cast<NameId>(expected)) {
+      throw Error("trace capture lost or reordered a sync record on " +
+                  std::string(is_lock ? "lock" : "channel") + " id " +
+                  std::to_string(e.id) + ": expected per-object seq " +
+                  std::to_string(expected) + ", got " + std::to_string(e.site));
+    }
+  }
+}
+
+void TraceContext::publish_locked(std::vector<Event>&& events) {
   EventBatch batch;
-  batch.events.assign(events.begin(), events.begin() + count);
+  batch.events = std::move(events);
   {
     // Snapshot the name tails interned since the last publish: every id
     // an event carries was interned before the event was captured, so
@@ -584,6 +777,10 @@ std::vector<BufferStats> TraceContext::buffer_stats() const {
   std::vector<BufferStats> stats;
   stats.reserve(buffers_.size());
   for (ThreadId t = 0; t < buffers_.size(); ++t) {
+    if (buffers_[t] == nullptr) {
+      stats.push_back(retired_stats_.at(t));  // final snapshot of a retired buffer
+      continue;
+    }
     const ThreadBuffer& buf = *buffers_[t];
     stats.push_back(BufferStats{
         t, buf.captured, std::max<std::uint64_t>(buf.high_water, buf.events.size()),
@@ -595,7 +792,10 @@ std::vector<BufferStats> TraceContext::buffer_stats() const {
 std::uint64_t TraceContext::events_sampled_out() const {
   std::scoped_lock lock(registry_mutex_);
   std::uint64_t total = 0;
-  for (const auto& buf : buffers_) total += buf->sampled_out;
+  for (const auto& buf : buffers_) {
+    if (buf != nullptr) total += buf->sampled_out;
+  }
+  for (const auto& [tid, stats] : retired_stats_) total += stats.sampled_out;
   return total;
 }
 
@@ -604,16 +804,24 @@ std::uint64_t TraceContext::drains() const {
   return drains_;
 }
 
+std::uint64_t TraceContext::buffers_reclaimed() const {
+  std::scoped_lock lock(registry_mutex_);
+  return buffers_reclaimed_;
+}
+
 std::uint64_t TraceContext::events_captured() const {
   std::uint64_t total = 0;
   {
     std::scoped_lock lock(registry_mutex_);
-    for (const auto& buf : buffers_) total += buf->captured;
+    for (const auto& buf : buffers_) {
+      if (buf != nullptr) total += buf->captured;
+    }
+    for (const auto& [tid, stats] : retired_stats_) total += stats.captured;
   }
   std::scoped_lock lock(stream_mutex_);
-  // Sync events live in the stream, not the per-thread buffers; count
-  // what has been stamped so far.
-  return total + next_stamp_;
+  // Object syncs are counted in their thread's `captured` (both modes);
+  // only the structural fork/join/barrier edges live outside buffers.
+  return total + structural_syncs_;
 }
 
 }  // namespace cs31::trace

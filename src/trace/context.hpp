@@ -4,23 +4,62 @@
 //   capture   — per-thread append-only event buffers (event.hpp): a
 //               bound thread records an access as one vector push_back
 //               of a 32-byte POD, no locks, no strings, no detector
-//               work. Synchronization events (fork/join/acquire/
-//               release/channel/barrier) are rare and go through one
-//               mutex-serialized stream whose monotonically increasing
-//               stamps mirror the *real* order the runtime objects
-//               imposed (each stamp is taken while the corresponding
-//               mutex/barrier/buffer lock is held).
+//               work. In the default lock-free mode, acquire/release/
+//               send/recv land in the *same* per-thread buffers: the
+//               capturing thread takes one global stamp (an atomic
+//               fetch_add performed while the traced primitive is
+//               held, so stamps respect the real synchronization
+//               order) plus the object's own sequence number (a second
+//               fetch_add on the primitive's counter), and appends —
+//               no mutex anywhere on the sync hot path. Only the rare
+//               structural edges (fork/join/barrier cycles) take the
+//               serialized slow path, which they need anyway to mutate
+//               the thread registry. CaptureMode::mutex_stream keeps
+//               the original design — every sync event stamped and
+//               appended to one global stream under stream_mutex_ — as
+//               the reference implementation the differential harness
+//               compares against.
 //   drain     — at a barrier cycle, a join, or an explicit flush(), the
-//               quiescent threads' buffers and the sync stream merge
-//               into one deterministically ordered stream (Event::
-//               drain_order: stamp, sync-first, thread id, program
-//               order), which bounds buffer memory and makes repeated
-//               race-free runs produce byte-identical certificates.
+//               quiescent threads' buffers (and, in mutex_stream mode,
+//               the sync stream) merge into one deterministically
+//               ordered stream (Event::drain_order: stamp, sync-first,
+//               thread id, program order). Each source is already
+//               drain-ordered, so the merge is a cascade of sorted-run
+//               merges, not a sort. Drains bound buffer memory and make
+//               repeated race-free runs produce byte-identical
+//               certificates — in either capture mode: see "Ordering"
+//               below for why the lock-free merge reproduces the
+//               mutex-ordered stream exactly.
 //   sinks     — every attached race::EventSink consumes the identical
 //               drained stream: the built-in FastTrack race::Detector
 //               (fed through its interned-id fast path), the
 //               ReferenceDetector, the Eraser-style LocksetDetector,
 //               a MetricsSink, anything else honouring the interface.
+//
+// Ordering (why lock-free capture drains byte-identically):
+//   1. Stamps are fetch_adds on one atomic, so they are unique and
+//      totally ordered; drain_order is the same function either mode.
+//   2. A sync's stamp is taken while its object is held. Two syncs on
+//      the same object are ordered by the object's own mutex, and that
+//      happens-before edge orders their two fetch_adds on *both*
+//      atomics (RMWs on one atomic take increasing values along
+//      happens-before) — so per object, stamp order == per-object seq
+//      order == the real synchronization order. The drain asserts the
+//      (object id, seq) pairs run 0,1,2,… per object as it dispatches;
+//      a violated assertion would mean a lost or reordered record.
+//      mutex_stream takes both counters under stream_mutex_, so the
+//      same records carry the same numbers — Event streams, not just
+//      verdicts, are comparable byte-for-byte across modes.
+//   3. The dispatch-horizon machinery below is mode-independent: an
+//      undrained buffer's events all carry stamps >= that buffer's
+//      floor, and any *future* capture (access or sync) gets a stamp >=
+//      the floor too (accesses reuse the thread's epoch, new syncs draw
+//      a fresh stamp above every floor). So dispatching strictly below
+//      the minimum uncovered floor — plus the floor stamp's own sync
+//      event, which drain_order places before the accesses executing in
+//      it — can never be contradicted by a later capture, and every
+//      drain dispatches a prefix of the one global drain_order stream,
+//      whatever the drain batching was.
 //
 // The same context serves two execution styles with one code path:
 // real threads bind themselves (bind_self / a traced ThreadTeam) and
@@ -37,8 +76,25 @@
 // partial drain must be idle between their last drain and the next one
 // (the fork/join-structured teams in this kit satisfy that: the parent
 // drains its own buffer when it forks, then blocks in join()).
+//
+// Buffer reclamation: a joined thread's buffer is *retired*, not freed
+// — epoch-based reclamation (perfbook ch. 9) frees it only after a
+// grace period. Retirement bumps a global reclamation epoch; each live
+// buffer carries the last epoch its thread was observed quiescent at
+// (drains advance it for every covered buffer — the buffer-publish
+// point — and unpark advances it on the capture side); a retired
+// buffer is freed once every live, unparked buffer has been quiescent
+// at or after its retirement epoch. Within this kit's structured
+// fork/join model the locks already exclude drain-vs-drain races, so
+// the grace period is defense in depth — but it is exactly the
+// discipline a capture path without those locks needs, it keeps drains
+// scanning O(live threads) instead of O(threads ever forked), and it
+// bounds memory for long-lived contexts with thread churn. The asan
+// tier runs the churn path to prove no use-after-reclaim.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,8 +111,26 @@ namespace cs31::trace {
 
 class AnalysisPipeline;
 
+/// How sync events are captured. Access events are lock-free per-thread
+/// appends in both modes; the modes differ only in how acquire/release/
+/// send/recv are stamped and stored. Drained streams are byte-identical
+/// across modes (see the file comment's ordering argument, and
+/// tests/trace_capture_diff_test.cpp for the proof-by-harness).
+enum class CaptureMode : std::uint8_t {
+  /// Sync events go into the capturing thread's own buffer, stamped by
+  /// two atomic fetch_adds (global stamp + per-object seq) taken while
+  /// the traced primitive is held. The default.
+  lockfree,
+  /// The original design: every sync event is stamped and appended to
+  /// one global stream under stream_mutex_. Kept as the reference
+  /// implementation for differential testing and the mutex-vs-lock-free
+  /// teaching contrast (examples/race_detective).
+  mutex_stream,
+};
+
 /// Capture-side statistics for one thread's buffer — the numbers
-/// bench_race_overhead reports as per-thread high-water marks.
+/// bench_race_overhead reports as per-thread high-water marks. Retired
+/// (reclaimed) buffers keep reporting their final snapshot.
 struct BufferStats {
   ThreadId thread = 0;
   std::uint64_t captured = 0;     ///< lifetime events recorded
@@ -82,6 +156,11 @@ class TraceContext {
     /// bench_race_overhead quantifies the detection-probability /
     /// overhead trade-off (EXPERIMENTS.md has the curve).
     double sample_access_events = 1.0;
+
+    /// Sync-event capture design; see CaptureMode. Verdicts, reports,
+    /// certificates, and drained streams do not depend on the choice —
+    /// only the capture hot path's cost does.
+    CaptureMode capture = CaptureMode::lockfree;
   };
 
   TraceContext() : TraceContext(Options{}) {}
@@ -90,6 +169,10 @@ class TraceContext {
 
   TraceContext(const TraceContext&) = delete;
   TraceContext& operator=(const TraceContext&) = delete;
+
+  [[nodiscard]] CaptureMode capture_mode() const {
+    return lockfree_ ? CaptureMode::lockfree : CaptureMode::mutex_stream;
+  }
 
   // --- sinks -----------------------------------------------------------
 
@@ -117,7 +200,9 @@ class TraceContext {
 
   // --- interning -------------------------------------------------------
   // Ids are context-owned; the drain translates them per sink. Safe
-  // from any thread, any time.
+  // from any thread, any time. Interning a lock or channel also grows
+  // its per-object sequence counter (the lock-free capture path reads
+  // the counter table without locks; growth happens only here).
   [[nodiscard]] NameId intern_var(std::string_view name);
   [[nodiscard]] NameId intern_lock(std::string_view name);
   [[nodiscard]] NameId intern_channel(std::string_view name);
@@ -139,7 +224,8 @@ class TraceContext {
   void bind_self(ThreadId tid);
 
   /// Join hook, bound-thread form: called by the parent after joining
-  /// `child`. Records the Join edge and drains the child's buffer.
+  /// `child`. Records the Join edge, drains the child's buffer, and
+  /// retires it (freed after a grace period; see the file comment).
   void on_thread_join(ThreadId child);
 
   /// Scripted forms of the same edges, for replay-style emission where
@@ -203,6 +289,9 @@ class TraceContext {
   [[nodiscard]] std::uint64_t events_captured() const;
   /// Access events dropped by the sampling capture mode (0 at rate 1.0).
   [[nodiscard]] std::uint64_t events_sampled_out() const;
+  /// Joined threads' buffers freed so far (each was retired at its
+  /// join and reclaimed at a later drain, after the grace period).
+  [[nodiscard]] std::uint64_t buffers_reclaimed() const;
 
  private:
   /// A parked thread's floor: it promises no further captures until it
@@ -224,6 +313,40 @@ class TraceContext {
     std::uint64_t floor = 0;
     std::uint64_t captured = 0;    ///< lifetime events
     std::uint64_t high_water = 0;  ///< max events.size() at a drain
+    /// Reclamation: the last global reclamation epoch this thread was
+    /// observed quiescent at (advanced by drains covering the buffer
+    /// and by unpark). Retired buffers are freed only once every live
+    /// unparked buffer's qepoch has reached their retirement epoch.
+    std::atomic<std::uint64_t> qepoch{0};
+  };
+
+  /// Lock-free lookup table of per-object sync sequence counters, one
+  /// per interned lock/channel id. Readers (the capture hot path) do
+  /// two dependent loads and no locks; growth happens only under
+  /// intern_mutex_, at intern time, by publishing whole chunks — a
+  /// published chunk never moves, so a reader can never see a counter
+  /// relocate mid-fetch_add.
+  class SyncSeqTable {
+   public:
+    static constexpr std::size_t kChunkSize = 256;
+    static constexpr std::size_t kMaxChunks = 1024;  ///< 256Ki objects
+
+    SyncSeqTable() = default;
+    SyncSeqTable(const SyncSeqTable&) = delete;
+    SyncSeqTable& operator=(const SyncSeqTable&) = delete;
+    ~SyncSeqTable();
+
+    /// Make ids [0, count) addressable. Caller holds intern_mutex_.
+    void ensure(std::size_t count);
+    /// The counter for `id`. Throws cs31::Error when `id` was never
+    /// interned through this context.
+    [[nodiscard]] std::atomic<std::uint64_t>& counter(NameId id) const;
+
+   private:
+    struct Chunk {
+      std::array<std::atomic<std::uint64_t>, kChunkSize> slots{};
+    };
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
   };
 
   /// Per-sink dispatch state: id translations are built lazily from the
@@ -236,6 +359,12 @@ class TraceContext {
     std::vector<NameId> var_map, lock_map, channel_map, site_map;
   };
 
+  /// A joined thread's buffer awaiting its grace period.
+  struct RetiredBuffer {
+    std::unique_ptr<ThreadBuffer> buffer;
+    std::uint64_t retire_epoch = 0;
+  };
+
   [[nodiscard]] ThreadBuffer& buffer_of_self();
   [[nodiscard]] ThreadBuffer& buffer_of(ThreadId t);
   void append_access(ThreadBuffer& buf, ThreadId t, EventKind kind, NameId id,
@@ -245,39 +374,82 @@ class TraceContext {
   [[nodiscard]] bool sample_keep(ThreadBuffer& buf);
   /// Slow path of the first capture after park_self().
   void unpark(ThreadBuffer& buf);
-  /// Record a sync event: assigns the next stamp under stream_mutex_,
-  /// appends to the stream, and advances `t`'s epoch. Returns the stamp.
-  std::uint64_t record_sync(ThreadId t, EventKind kind, NameId id, NameId site = 0);
+  // Object-sync capture (acquire/release/send/recv; the caller holds
+  // the traced primitive — see the ordering argument up top). `seqs` is
+  // the object category's counter table. sync_bound resolves the
+  // calling thread's buffer through the TLS fast path; sync_as uses the
+  // scripted registry lookup. In lock-free mode both land the record in
+  // the thread's own buffer via append_sync_lockfree (stamp + per-
+  // object seq, two relaxed fetch_adds, no mutex); mutex_stream mode
+  // stamps under stream_mutex_ into the global stream.
+  void sync_bound(EventKind kind, NameId id, const SyncSeqTable& seqs);
+  void sync_as(ThreadId t, EventKind kind, NameId id, const SyncSeqTable& seqs);
+  void append_sync_lockfree(ThreadBuffer& buf, ThreadId t, EventKind kind, NameId id,
+                            const SyncSeqTable& seqs);
+  void record_sync_stream(ThreadId t, EventKind kind, NameId id,
+                          const SyncSeqTable& seqs);
   ThreadId fork_locked(ThreadId parent);
+  /// Retire `child`'s buffer (caller holds stream_mutex_): snapshot its
+  /// stats, unregister it, and queue it for reclamation after a grace
+  /// period.
+  void retire_buffer_locked(ThreadId child);
 
-  /// Merge + sort + dispatch the given buffers and the sync stream.
+  /// Merge + dispatch the given buffers and the sync stream.
   /// `all` drains every buffer (flush/join); otherwise only `subset`.
   void drain_locked(const std::vector<ThreadId>& subset, bool all);
+  /// Grace-period bookkeeping, called inside drain_locked's registry
+  /// section: advance covered buffers' quiescence epochs, then free
+  /// every retired buffer whose retirement epoch all live unparked
+  /// buffers have since been quiescent at.
+  void advance_and_reclaim_locked(const std::vector<char>& covered);
+  /// Per-object continuity check on a dispatched prefix: object-sync
+  /// events on each lock/channel must carry seq 0,1,2,… in dispatch
+  /// order — the witness that the merge reproduced the real per-object
+  /// sync order. Caller holds stream_mutex_.
+  void check_object_seqs(const std::vector<Event>& events, std::size_t count);
   void dispatch(const Event& event);
   void dispatch_to(SinkBinding& binding, const Event& event);
-  /// Publish `events[0..count)` plus the name/waiter-set deltas interned
-  /// since the last publish to the attached pipeline (may block on
-  /// backpressure). Caller holds stream_mutex_.
-  void publish_locked(const std::vector<Event>& events, std::size_t count);
+  /// Publish `events` (consumed) plus the name/waiter-set deltas
+  /// interned since the last publish to the attached pipeline (may
+  /// block on backpressure). Caller holds stream_mutex_.
+  void publish_locked(std::vector<Event>&& events);
 
   const std::uint64_t generation_;  ///< thread-local cache validation
   /// Sampling threshold on the xorshift output: keep while below. ~0
   /// disables the sampling branch entirely (rate 1.0).
   const std::uint32_t sample_threshold_;
   const bool sampling_;
+  const bool lockfree_;  ///< CaptureMode::lockfree
   std::unique_ptr<race::Detector> owned_detector_;
   race::Detector* detector_ = nullptr;  ///< == owned_detector_ when owned
   AnalysisPipeline* pipeline_ = nullptr;  ///< set once, before the first event
 
-  /// Serializes sync-event capture and drains (stamps are assigned
-  /// under it, so stream order == stamp order == real sync order).
+  /// The one stamp source, both modes. Lock-free capture fetch_adds it
+  /// directly (while holding the traced primitive); mutex_stream and
+  /// the structural edges fetch_add it under stream_mutex_.
+  std::atomic<std::uint64_t> sync_clock_{0};
+
+  /// Per-object sequence counters (locks and channels are separate id
+  /// spaces). Grown at intern time; read lock-free on the capture path.
+  SyncSeqTable lock_seqs_, channel_seqs_;
+
+  /// Global reclamation epoch: bumped by each buffer retirement.
+  std::atomic<std::uint64_t> reclaim_epoch_{0};
+
+  /// Serializes drains and the structural sync edges (and, in
+  /// mutex_stream mode, every sync capture — that serialization *is*
+  /// that mode's design).
   mutable std::mutex stream_mutex_;
-  std::vector<Event> sync_stream_;
+  std::vector<Event> sync_stream_;  ///< mutex_stream mode only
   std::vector<Event> pending_;  ///< sorted, beyond a past drain's horizon
-  std::uint64_t next_stamp_ = 0;
+  std::uint64_t structural_syncs_ = 0;  ///< fork/join/barrier edges recorded
   std::vector<std::vector<ThreadId>> waiter_sets_;  ///< BarrierCycle payloads
   std::vector<SinkBinding> sinks_;
   std::uint64_t drains_ = 0;
+  /// Dispatch-side per-object continuity state (next expected seq per
+  /// lock/channel id), and the scratch covered[] map drains reuse.
+  std::vector<std::uint64_t> next_lock_seq_, next_channel_seq_;
+  std::vector<char> covered_scratch_;
   /// Table prefixes already shipped to the pipeline (guarded by
   /// stream_mutex_; the interners themselves by intern_mutex_).
   std::size_t published_vars_ = 0, published_locks_ = 0, published_channels_ = 0,
@@ -285,7 +457,10 @@ class TraceContext {
 
   mutable std::mutex registry_mutex_;
   std::map<std::thread::id, ThreadId> bindings_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  ///< by context tid
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  ///< by context tid; null = retired
+  std::vector<RetiredBuffer> retired_;  ///< awaiting their grace period
+  std::map<ThreadId, BufferStats> retired_stats_;  ///< final snapshots
+  std::uint64_t buffers_reclaimed_ = 0;
 
   mutable std::mutex intern_mutex_;
   race::Interner var_names_, lock_names_, channel_names_, site_names_;

@@ -36,17 +36,35 @@ enum class EventKind : std::uint8_t {
   return kind >= EventKind::Acquire;
 }
 
+/// Sync events that name a runtime *object* (a lock or a channel) and
+/// therefore carry that object's per-object sequence number — as
+/// opposed to the structural edges (Fork/Join/BarrierCycle), which
+/// stay on the context's locked slow path.
+[[nodiscard]] constexpr bool is_object_sync(EventKind kind) {
+  return kind >= EventKind::Acquire && kind <= EventKind::ChannelRecv;
+}
+
 /// One captured event. `stamp` orders the merged stream: a sync event
 /// owns a fresh globally-unique stamp (taken while the corresponding
 /// runtime object is held, so stamps respect the real synchronization
 /// order); an access event carries the stamp of its thread's last
 /// observed sync event, i.e. the epoch it executed in. Within an
 /// epoch a thread's events keep program order via `seq`.
+///
+/// Field reuse keeps the POD at 32 bytes: access events use `site` for
+/// their access-site label; object-sync events (is_object_sync) have no
+/// site, so `site` carries the low 32 bits of the object's per-object
+/// sequence number instead — the k-th sync operation ever performed on
+/// that lock/channel, numbered by a fetch_add taken while the object is
+/// held. The drain's merge asserts these run 0,1,2,… per object in
+/// stamp order, which is the witness that the merged order reproduces
+/// each object's real synchronization order (context.hpp has the
+/// argument).
 struct Event {
   EventKind kind = EventKind::Read;
   ThreadId thread = 0;
   NameId id = 0;    ///< variable / lock / channel; Fork/Join: child tid
-  NameId site = 0;  ///< access-site label (0 = the empty label)
+  NameId site = 0;  ///< access: site label (0 = empty); object sync: per-object seq
   std::uint64_t stamp = 0;
   std::uint64_t seq = 0;  ///< per-thread sequence number
 };

@@ -7,6 +7,17 @@
 // reported to the trace, so a deliberately "racy" demo is observable
 // (logical race reported) without committing real undefined behaviour —
 // the same trick ThreadSanitizer's shadow memory plays.
+//
+// Stamping contract (what "recorded while the mutex is held" buys):
+// under lock-free capture a sync record is two relaxed fetch_adds — a
+// global stamp plus the object's own sequence number — appended to the
+// recording thread's buffer. Because both counters are drawn inside
+// the primitive's critical section, stamp order on any one object
+// equals the real lock order, and the drain's merge reconstructs the
+// same total sync order the old mutex-serialized stream recorded —
+// byte-identical certificates, no recorder serialization between
+// threads that never share a lock (see DESIGN §7 for the proof
+// sketch, and tests/trace_capture_diff_test.cpp for the evidence).
 #pragma once
 
 #include <mutex>

@@ -8,86 +8,122 @@ namespace cs31::trace {
 
 using race::ThreadId;
 
-MetricsSink::MetricsSink() { threads_.emplace_back(); }
+MetricsSink::MetricsSink() {
+  std::scoped_lock lock(mutex_);
+  grow_locked(1);  // the constructing context's thread 0
+}
 
-ThreadMetrics& MetricsSink::of(ThreadId t) {
-  require(t < threads_.size(), "metrics: unknown thread id");
-  return threads_[t];
+MetricsSink::~MetricsSink() {
+  for (auto& slot : chunks_) delete slot.load(std::memory_order_relaxed);
+}
+
+void MetricsSink::grow_locked(std::size_t count) {
+  const std::size_t chunks = (count + kRowsPerChunk - 1) / kRowsPerChunk;
+  require(chunks <= kMaxChunks, "metrics: too many threads");
+  for (std::size_t i = 0; i < chunks; ++i) {
+    if (chunks_[i].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[i].store(new Chunk{}, std::memory_order_release);
+    }
+  }
+  // Publish the count last: any thread that can name id t < count can
+  // also see t's (release-published) chunk.
+  thread_count_.store(count, std::memory_order_release);
+}
+
+MetricsSink::AtomicThreadMetrics& MetricsSink::row(ThreadId t) const {
+  require(t < thread_count_.load(std::memory_order_acquire),
+          "metrics: unknown thread id");
+  Chunk* chunk = chunks_[t / kRowsPerChunk].load(std::memory_order_acquire);
+  return chunk->rows[t % kRowsPerChunk];
+}
+
+ThreadMetrics MetricsSink::snapshot_row(ThreadId t) const {
+  const AtomicThreadMetrics& r = row(t);
+  ThreadMetrics m;
+  m.reads = r.reads.load(std::memory_order_relaxed);
+  m.writes = r.writes.load(std::memory_order_relaxed);
+  m.acquires = r.acquires.load(std::memory_order_relaxed);
+  m.releases = r.releases.load(std::memory_order_relaxed);
+  m.sends = r.sends.load(std::memory_order_relaxed);
+  m.recvs = r.recvs.load(std::memory_order_relaxed);
+  m.barriers = r.barriers.load(std::memory_order_relaxed);
+  return m;
 }
 
 ThreadId MetricsSink::register_thread() {
   std::scoped_lock lock(mutex_);
-  threads_.emplace_back();
-  return static_cast<ThreadId>(threads_.size() - 1);
+  const std::size_t count = thread_count_.load(std::memory_order_relaxed);
+  grow_locked(count + 1);
+  return static_cast<ThreadId>(count);
 }
 
 ThreadId MetricsSink::fork(ThreadId parent) {
   std::scoped_lock lock(mutex_);
-  (void)of(parent);
-  ++events_;
-  threads_.emplace_back();
-  return static_cast<ThreadId>(threads_.size() - 1);
+  (void)row(parent);  // validate
+  events_.add();
+  const std::size_t count = thread_count_.load(std::memory_order_relaxed);
+  grow_locked(count + 1);
+  return static_cast<ThreadId>(count);
 }
 
 void MetricsSink::join(ThreadId parent, ThreadId child) {
-  std::scoped_lock lock(mutex_);
-  (void)of(parent);
-  (void)of(child);
-  ++events_;
+  (void)row(parent);  // validate
+  (void)row(child);
+  events_.add();
 }
 
 void MetricsSink::acquire(ThreadId t, const std::string& lock) {
+  row(t).acquires.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
+  // Only the name->count map needs the mutex (the interner is not
+  // concurrent); acquires are rare next to accesses, so this is off the
+  // contended path by construction.
   std::scoped_lock guard(mutex_);
-  ++of(t).acquires;
   const auto id = lock_names_.id(lock);
   if (id >= lock_acquires_.size()) lock_acquires_.resize(id + 1, 0);
   ++lock_acquires_[id];
-  ++events_;
 }
 
 void MetricsSink::release(ThreadId t, const std::string& lock) {
-  std::scoped_lock guard(mutex_);
   (void)lock;
-  ++of(t).releases;
-  ++events_;
+  row(t).releases.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
 }
 
 void MetricsSink::barrier(const std::vector<ThreadId>& waiters) {
-  std::scoped_lock guard(mutex_);
   require(!waiters.empty(), "metrics: barrier needs at least one waiter");
-  for (const ThreadId w : waiters) ++of(w).barriers;
+  for (const ThreadId w : waiters) {
+    row(w).barriers.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_.add();
+  std::scoped_lock guard(mutex_);
   ++barrier_cycles_;
-  ++events_;
 }
 
 void MetricsSink::channel_send(ThreadId t, const std::string& channel) {
-  std::scoped_lock guard(mutex_);
   (void)channel;
-  ++of(t).sends;
-  ++events_;
+  row(t).sends.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
 }
 
 void MetricsSink::channel_recv(ThreadId t, const std::string& channel) {
-  std::scoped_lock guard(mutex_);
   (void)channel;
-  ++of(t).recvs;
-  ++events_;
+  row(t).recvs.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
 }
 
 void MetricsSink::read(ThreadId t, const std::string& var, const std::string& where) {
-  std::scoped_lock guard(mutex_);
   (void)var;
   (void)where;
-  ++of(t).reads;
-  ++events_;
+  row(t).reads.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
 }
 
 void MetricsSink::write(ThreadId t, const std::string& var, const std::string& where) {
-  std::scoped_lock guard(mutex_);
   (void)var;
   (void)where;
-  ++of(t).writes;
-  ++events_;
+  row(t).writes.fetch_add(1, std::memory_order_relaxed);
+  events_.add();
 }
 
 const std::vector<race::RaceReport>& MetricsSink::races() const {
@@ -95,29 +131,26 @@ const std::vector<race::RaceReport>& MetricsSink::races() const {
   return kNone;
 }
 
-std::uint64_t MetricsSink::events() const {
-  std::scoped_lock lock(mutex_);
-  return events_;
-}
+std::uint64_t MetricsSink::events() const { return events_.value(); }
 
 std::size_t MetricsSink::threads() const {
-  std::scoped_lock lock(mutex_);
-  return threads_.size();
+  return thread_count_.load(std::memory_order_acquire);
 }
 
 std::size_t MetricsSink::shadow_bytes() const {
   std::scoped_lock lock(mutex_);
-  return threads_.size() * sizeof(ThreadMetrics) +
+  return thread_count_.load(std::memory_order_relaxed) * sizeof(AtomicThreadMetrics) +
          lock_acquires_.size() * sizeof(std::uint64_t);
 }
 
 std::string MetricsSink::summary() const {
   std::scoped_lock lock(mutex_);
+  const std::size_t count = thread_count_.load(std::memory_order_relaxed);
   std::ostringstream out;
-  out << "per-thread event mix (" << threads_.size() << " threads, " << events_
+  out << "per-thread event mix (" << count << " threads, " << events_.value()
       << " events, " << barrier_cycles_ << " barrier cycles):\n";
-  for (std::size_t t = 0; t < threads_.size(); ++t) {
-    const ThreadMetrics& m = threads_[t];
+  for (std::size_t t = 0; t < count; ++t) {
+    const ThreadMetrics m = snapshot_row(static_cast<ThreadId>(t));
     out << "  T" << t << ": " << m.reads << " reads, " << m.writes << " writes, "
         << m.acquires << " acquires, " << m.sends << " sends, " << m.recvs
         << " recvs, " << m.barriers << " barrier waits\n";
@@ -135,8 +168,13 @@ std::string MetricsSink::summary() const {
 }
 
 std::vector<ThreadMetrics> MetricsSink::per_thread() const {
-  std::scoped_lock lock(mutex_);
-  return threads_;
+  const std::size_t count = thread_count_.load(std::memory_order_acquire);
+  std::vector<ThreadMetrics> out;
+  out.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    out.push_back(snapshot_row(static_cast<ThreadId>(t)));
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsSink::lock_acquires() const {
@@ -158,17 +196,19 @@ std::uint64_t MetricsSink::barrier_cycles() const {
 void MetricsSink::merge(const MetricsDelta& delta,
                         const std::vector<std::string>& lock_names) {
   std::scoped_lock lock(mutex_);
-  if (delta.threads.size() > threads_.size()) threads_.resize(delta.threads.size());
+  if (delta.threads.size() > thread_count_.load(std::memory_order_relaxed)) {
+    grow_locked(delta.threads.size());
+  }
   for (std::size_t t = 0; t < delta.threads.size(); ++t) {
     const ThreadMetrics& d = delta.threads[t];
-    ThreadMetrics& m = threads_[t];
-    m.reads += d.reads;
-    m.writes += d.writes;
-    m.acquires += d.acquires;
-    m.releases += d.releases;
-    m.sends += d.sends;
-    m.recvs += d.recvs;
-    m.barriers += d.barriers;
+    AtomicThreadMetrics& m = row(static_cast<ThreadId>(t));
+    m.reads.fetch_add(d.reads, std::memory_order_relaxed);
+    m.writes.fetch_add(d.writes, std::memory_order_relaxed);
+    m.acquires.fetch_add(d.acquires, std::memory_order_relaxed);
+    m.releases.fetch_add(d.releases, std::memory_order_relaxed);
+    m.sends.fetch_add(d.sends, std::memory_order_relaxed);
+    m.recvs.fetch_add(d.recvs, std::memory_order_relaxed);
+    m.barriers.fetch_add(d.barriers, std::memory_order_relaxed);
   }
   for (std::size_t id = 0; id < delta.lock_acquires.size(); ++id) {
     if (delta.lock_acquires[id] == 0) continue;
@@ -178,7 +218,7 @@ void MetricsSink::merge(const MetricsDelta& delta,
     lock_acquires_[own] += delta.lock_acquires[id];
   }
   barrier_cycles_ += delta.barrier_cycles;
-  events_ += delta.events;
+  events_.add(delta.events);
 }
 
 }  // namespace cs31::trace

@@ -4,13 +4,29 @@
 // contention proxy. Attach it next to a Detector on one TraceContext
 // and a single traced run yields both a race certificate and a
 // contention profile.
+//
+// Counting is lock-free on the per-event path: each thread's metrics
+// row is a cache-line-aligned block of relaxed atomics living in
+// chunked stable storage (rows never move once published), and the
+// event total is a common::ShardedCounter. The sink's one mutex guards
+// only structure — registering/forking threads, the lock-name map an
+// acquire must consult, barrier-cycle bookkeeping, and readers — so a
+// read/write/release/send/recv costs two uncontended fetch_adds, not a
+// mutex round-trip per event. (The sink used to take its mutex on
+// every event; with several pipeline shards merging or an inline drain
+// racing a metrics poll, that lock was pure serialization for what is
+// statistically-mergeable counting — exactly the per-CPU-counter case
+// from McKenney ch. 5.)
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sharded_counter.hpp"
 #include "race/detector.hpp"
 #include "race/interner.hpp"
 
@@ -34,10 +50,9 @@ struct ThreadMetrics {
 /// Lock-free per-worker accumulator for pipelined analysis: a shard
 /// worker (or the router, for sync events) counts into its own delta —
 /// plain integers, no shared atomics on the hot path — and the deltas
-/// are merged into the MetricsSink under its one lock when the pipeline
-/// goes idle. Thread ids and lock ids are the *context's* ids; lock
-/// names are resolved at merge time via the name table the merger
-/// passes in.
+/// are merged into the MetricsSink when the pipeline goes idle. Thread
+/// ids and lock ids are the *context's* ids; lock names are resolved at
+/// merge time via the name table the merger passes in.
 struct MetricsDelta {
   std::vector<ThreadMetrics> threads;          ///< by context thread id
   std::vector<std::uint64_t> lock_acquires;    ///< by context lock id
@@ -62,6 +77,7 @@ struct MetricsDelta {
 class MetricsSink final : public race::EventSink {
  public:
   MetricsSink();
+  ~MetricsSink() override;
 
   MetricsSink(const MetricsSink&) = delete;
   MetricsSink& operator=(const MetricsSink&) = delete;
@@ -88,6 +104,9 @@ class MetricsSink final : public race::EventSink {
   [[nodiscard]] std::string summary() const override;
 
   // --- metrics ---
+  // Readers sum the atomics: exact once writers are quiescent (after a
+  // flush / wait_idle); a read racing live counting may miss in-flight
+  // increments but never double-counts — the ShardedCounter contract.
   [[nodiscard]] std::vector<ThreadMetrics> per_thread() const;
   /// (lock name, acquire count), by first-acquire order — the hotter a
   /// lock, the more serialization it imposes.
@@ -100,14 +119,38 @@ class MetricsSink final : public race::EventSink {
   void merge(const MetricsDelta& delta, const std::vector<std::string>& lock_names);
 
  private:
-  ThreadMetrics& of(race::ThreadId t);
+  /// One thread's counters. Same layout cost as ThreadMetrics, but each
+  /// field is independently updatable with a relaxed fetch_add, and the
+  /// row is line-aligned so two threads' rows never share a cache line.
+  struct alignas(64) AtomicThreadMetrics {
+    std::atomic<std::uint64_t> reads{0}, writes{0}, acquires{0}, releases{0},
+        sends{0}, recvs{0}, barriers{0};
+  };
+  static constexpr std::size_t kRowsPerChunk = 64;
+  static constexpr std::size_t kMaxChunks = 1024;  ///< 64Ki threads
+  struct Chunk {
+    std::array<AtomicThreadMetrics, kRowsPerChunk> rows{};
+  };
 
+  /// The row for `t`; throws cs31::Error on an unregistered id. Safe
+  /// without the mutex: a row is published (release) before the thread
+  /// count that makes it addressable, and published chunks never move.
+  [[nodiscard]] AtomicThreadMetrics& row(race::ThreadId t) const;
+  [[nodiscard]] ThreadMetrics snapshot_row(race::ThreadId t) const;
+  /// Ensure rows [0, count) exist and publish the new count. Caller
+  /// holds mutex_.
+  void grow_locked(std::size_t count);
+
+  /// Guards structure only: thread registration, the lock-name map,
+  /// barrier bookkeeping, merges, and multi-value readers. Never taken
+  /// by read/write/release/send/recv.
   mutable std::mutex mutex_;
-  std::vector<ThreadMetrics> threads_;
+  std::atomic<std::size_t> thread_count_{0};
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  common::ShardedCounter events_;
   race::Interner lock_names_;
-  std::vector<std::uint64_t> lock_acquires_;  // by lock id
-  std::uint64_t barrier_cycles_ = 0;
-  std::uint64_t events_ = 0;
+  std::vector<std::uint64_t> lock_acquires_;  // by lock id; guarded by mutex_
+  std::uint64_t barrier_cycles_ = 0;          // guarded by mutex_
 };
 
 }  // namespace cs31::trace

@@ -41,7 +41,7 @@ AnalysisPipeline::~AnalysisPipeline() {
 }
 
 void AnalysisPipeline::attach_metrics(MetricsSink& sink) {
-  std::scoped_lock lock(metrics_mutex_);
+  std::scoped_lock lock(merge_mutex_);
   require(metrics_sink_ == nullptr, "analysis pipeline already has a metrics sink");
   metrics_sink_ = &sink;
 }
@@ -231,7 +231,7 @@ void AnalysisPipeline::wait_idle() {
   // every published event was analyzed.
   batches_.wait_drained();
   for (auto& shard : shards_) shard->queue.wait_drained();
-  std::scoped_lock lock(metrics_mutex_);
+  std::scoped_lock lock(merge_mutex_);
   merge_metrics_locked();
 }
 

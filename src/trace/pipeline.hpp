@@ -173,7 +173,13 @@ class AnalysisPipeline {
   std::vector<std::vector<ThreadId>> waiter_sets_;  ///< for barrier metrics
   MetricsDelta router_metrics_;
 
-  std::mutex metrics_mutex_;
+  /// Serializes only the idle-point delta merge (two concurrent
+  /// wait_idle callers must not fold the same delta twice) and sink
+  /// attachment. No per-event or per-batch path takes it: workers count
+  /// into their private deltas, and MetricsSink itself counts through
+  /// per-shard atomics — the metrics totals are per-shard counters
+  /// merged on read, never a hot-path lock.
+  std::mutex merge_mutex_;
   MetricsSink* metrics_sink_ = nullptr;  ///< set once, before first publish
 };
 

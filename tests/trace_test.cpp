@@ -593,5 +593,63 @@ TEST(LocksetDetectorTest, AgreesWithHappensBeforeOnLockDiscipline) {
   }
 }
 
+// --- epoch-based buffer reclamation ----------------------------------
+
+TEST(EpochReclaim, JoinedBuffersAreFreedAfterAGracePeriod) {
+  TraceContext ctx;
+  constexpr std::size_t kWorkers = 4;
+  const NameId var = ctx.intern_var("x");
+  {
+    parallel::ThreadTeam team(kWorkers, ctx, [&](std::size_t) { ctx.read(var); });
+    team.join();
+  }
+  // A retired buffer is only freed once every live thread has advanced
+  // past its retirement — with the main thread still short of the last
+  // retirement epoch, at least that buffer must still be held.
+  EXPECT_LT(ctx.buffers_reclaimed(), kWorkers);
+  ctx.flush();  // the drain advances main's epoch past every retirement
+  EXPECT_EQ(ctx.buffers_reclaimed(), kWorkers);
+  // Reclamation frees the buffer memory, not the accounting: the
+  // retired threads' capture stats survive for buffer_stats readers.
+  EXPECT_EQ(ctx.buffer_stats().size(), kWorkers + 1);
+}
+
+TEST(EpochReclaim, ScriptedForkJoinChurnReclaimsEveryBuffer) {
+  TraceContext ctx;
+  const NameId var = ctx.intern_var("x");
+  const NameId site = ctx.intern_site("churn");
+  constexpr std::uint64_t kChurn = 50;
+  for (std::uint64_t i = 0; i < kChurn; ++i) {
+    const ThreadId child = ctx.fork_thread(0);
+    ctx.write_as(child, var, site);
+    ctx.join_thread(0, child);
+  }
+  ctx.flush();
+  EXPECT_EQ(ctx.buffers_reclaimed(), kChurn);
+  // Exactly one writer at a time, joined in between: race-free.
+  EXPECT_TRUE(ctx.detector().race_free());
+}
+
+TEST(EpochReclaim, RecordingAsAJoinedThreadThrows) {
+  TraceContext ctx;
+  const ThreadId child = ctx.fork_thread(0);
+  ctx.join_thread(0, child);
+  EXPECT_THROW(ctx.read_as(child, ctx.intern_var("x"), 0), cs31::Error);
+}
+
+TEST(EpochReclaim, MutexStreamModeReclaimsIdentically) {
+  TraceContext::Options options;
+  options.capture = CaptureMode::mutex_stream;
+  TraceContext ctx(options);
+  const NameId var = ctx.intern_var("x");
+  for (int i = 0; i < 8; ++i) {
+    const ThreadId child = ctx.fork_thread(0);
+    ctx.write_as(child, var, 0);
+    ctx.join_thread(0, child);
+  }
+  ctx.flush();
+  EXPECT_EQ(ctx.buffers_reclaimed(), 8u);
+}
+
 }  // namespace
 }  // namespace cs31::trace

@@ -23,11 +23,18 @@
 //   cv-buggy — the same handoff through a bare spin-on-a-flag, no
 //           wait/notify: cs31::race must flag the payload, and the raw
 //           run hands TSan an honest unsynchronized flag+payload pair.
+//   storm — the lock-free capture design under pressure: concurrent
+//           sync records on private and shared TracedMutexes, barrier-
+//           free drains, and fork/join churn that exercises epoch-based
+//           buffer reclamation. TSan rules on the capture machinery
+//           itself.
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "life/life.hpp"
 #include "parallel/sync.hpp"
@@ -208,6 +215,66 @@ int run_cv_buggy() {
   return 0;  // nonzero only via TSAN_OPTIONS=exitcode — that's the check
 }
 
+// The lock-free capture layer under maximum concurrent pressure: real
+// threads hammering sync records (the global stamp counter and the
+// per-object seq counters via their traced primitives), interleaved
+// drains (the barrier forces them mid-run), a joined-and-retired buffer
+// per round of thread churn, and accesses riding the TLS-bound fast
+// path — everything the refactor moved off the stream mutex. TSan must
+// find no real race in the capture machinery itself, and the verdict
+// must be race-free both capture modes.
+int run_storm() {
+  for (const auto mode : {cs31::trace::CaptureMode::lockfree,
+                          cs31::trace::CaptureMode::mutex_stream}) {
+    cs31::trace::TraceContext ctx(cs31::trace::TraceContext::Options{.capture = mode});
+    constexpr std::size_t kThreads = 4;
+    constexpr int kIters = 2000;
+    std::vector<std::unique_ptr<cs31::trace::TracedMutex>> mutexes;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      mutexes.push_back(std::make_unique<cs31::trace::TracedMutex>(
+          "storm_m" + std::to_string(t), ctx));
+    }
+    // One shared traced mutex too, so per-object seq counters see real
+    // cross-thread contention, not just thread-private increments.
+    auto shared = std::make_unique<cs31::trace::TracedMutex>("storm_shared", ctx);
+    const cs31::trace::NameId var = ctx.intern_var("storm_var");
+    const cs31::trace::NameId site = ctx.intern_site("storm");
+    {
+      cs31::parallel::ThreadTeam team(kThreads, ctx, [&](std::size_t who) {
+        for (int i = 0; i < kIters; ++i) {
+          mutexes[who]->lock();
+          mutexes[who]->unlock();
+          shared->lock();
+          ctx.write(var, site);
+          shared->unlock();
+        }
+      });
+      team.join();
+    }
+    // Thread churn: fork/join cycles retire buffers while the main
+    // thread keeps recording — epoch reclamation runs under TSan.
+    for (int round = 0; round < 8; ++round) {
+      cs31::parallel::ThreadTeam churn(2, ctx, [&](std::size_t) {
+        shared->lock();
+        ctx.write(var, site);
+        shared->unlock();
+      });
+      churn.join();
+    }
+    ctx.flush();
+    if (!ctx.detector().race_free()) {
+      std::fprintf(stderr, "FAIL: cs31::race flagged the mutex-disciplined storm\n");
+      return 2;
+    }
+    if (mode == cs31::trace::CaptureMode::lockfree && ctx.buffers_reclaimed() == 0) {
+      std::fprintf(stderr, "FAIL: epoch reclamation never freed a retired buffer\n");
+      return 3;
+    }
+  }
+  std::printf("storm: lock-free capture, drains, and reclamation are TSan-clean\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,6 +283,7 @@ int main(int argc, char** argv) {
   if (mode == "clean") return run_clean();
   if (mode == "cv-buggy") return run_cv_buggy();
   if (mode == "cv-clean") return run_cv_clean();
-  std::fprintf(stderr, "usage: tsan_crosscheck buggy|clean|cv-buggy|cv-clean\n");
+  if (mode == "storm") return run_storm();
+  std::fprintf(stderr, "usage: tsan_crosscheck buggy|clean|cv-buggy|cv-clean|storm\n");
   return 64;
 }
