@@ -13,18 +13,21 @@
 //                 when closed AND drained, so a closed queue still
 //                 delivers everything it holds. Marks the consumer
 //                 busy until done().
-//   done          the consumer finished the popped item. wait_drained
+//   try_pop       non-blocking pop: false when nothing is available
+//                 right now. Same busy-until-done() contract as pop.
+//   done          the consumer finished a popped item. wait_drained
 //                 needs this: "empty" alone would declare a queue
-//                 drained while its consumer still chews the last item.
-//   wait_drained  blocks until the queue is empty and the consumer is
+//                 drained while a consumer still chews the last item.
+//   wait_drained  blocks until the queue is empty and every consumer is
 //                 idle — the building block for a stage-ordered
 //                 wait_idle across a multi-queue topology.
 //   close         wakes everyone; pending items still drain.
 //
-// MPSC discipline: any number of pushers, one popper. (Multiple
-// poppers would not corrupt the queue, but consumer_busy tracks only
-// one outstanding item, so wait_drained's guarantee assumes a single
-// consumer thread.)
+// Any number of pushers. Consumers: `consumers_active` counts every
+// popped-but-not-done() item, so a shared pool of poppers (the race
+// explorer's replay workers all pop one queue) keeps wait_drained
+// honest — it was a single bool when the pipeline and grader owned one
+// consumer thread per queue.
 #pragma once
 
 #include <algorithm>
@@ -44,7 +47,7 @@ struct BoundedQueue {
   std::deque<T> items;
   std::size_t capacity = 8;
   bool closed = false;
-  bool consumer_busy = false;
+  std::size_t consumers_active = 0;  ///< popped items not yet done()
   std::uint64_t waits = 0;       ///< producer blocks on full
   std::uint64_t high_water = 0;  ///< max queue depth observed
 
@@ -64,22 +67,34 @@ struct BoundedQueue {
     not_empty.notify_all();
   }
 
-  /// False when closed and drained; sets consumer_busy while an item
-  /// is out (cleared by done()).
+  /// False when closed and drained; counts the consumer as busy while
+  /// the item is out (cleared by done()).
   bool pop(T& out) {
     std::unique_lock lock(mutex);
     not_empty.wait(lock, [&] { return !items.empty() || closed; });
     if (items.empty()) return false;
     out = std::move(items.front());
     items.pop_front();
-    consumer_busy = true;
+    ++consumers_active;
+    not_full.notify_all();
+    return true;
+  }
+
+  /// Non-blocking pop: false when nothing is available *right now*
+  /// (empty, whether or not closed). Same done() contract as pop.
+  bool try_pop(T& out) {
+    std::scoped_lock lock(mutex);
+    if (items.empty()) return false;
+    out = std::move(items.front());
+    items.pop_front();
+    ++consumers_active;
     not_full.notify_all();
     return true;
   }
 
   void done() {
     std::scoped_lock lock(mutex);
-    consumer_busy = false;
+    if (consumers_active > 0) --consumers_active;
     // wait_drained waits on not_full too (an empty queue is "not full").
     not_full.notify_all();
   }
@@ -93,7 +108,7 @@ struct BoundedQueue {
 
   void wait_drained() {
     std::unique_lock lock(mutex);
-    not_full.wait(lock, [&] { return items.empty() && !consumer_busy; });
+    not_full.wait(lock, [&] { return items.empty() && consumers_active == 0; });
   }
 };
 

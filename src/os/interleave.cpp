@@ -10,34 +10,58 @@ namespace cs31::os {
 
 namespace {
 
-void enumerate(const std::vector<std::vector<std::string>>& seqs,
-               std::vector<std::size_t>& pos, std::vector<std::string>& current,
-               std::set<std::vector<std::string>>& out, std::size_t limit) {
-  bool done = true;
-  for (std::size_t i = 0; i < seqs.size(); ++i) {
-    if (pos[i] < seqs[i].size()) {
-      done = false;
-      current.push_back(seqs[i][pos[i]]);
-      ++pos[i];
-      enumerate(seqs, pos, current, out, limit);
-      --pos[i];
-      current.pop_back();
+/// Depth-first walk over the position-choice space; streams each
+/// complete interleaving to the callback instead of accumulating.
+struct Streamer {
+  const std::vector<std::vector<std::string>>& seqs;
+  const std::function<bool(const std::vector<std::string>&)>& visit;
+  std::uint64_t limit = 0;  // 0 = unbounded
+  std::uint64_t visited = 0;
+  std::vector<std::size_t> pos;
+  std::vector<std::string> current;
+
+  /// False propagates a stop request (visit said no, or limit hit).
+  bool walk() {
+    bool leaf = true;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      if (pos[i] < seqs[i].size()) {
+        leaf = false;
+        current.push_back(seqs[i][pos[i]]);
+        ++pos[i];
+        const bool keep_going = walk();
+        --pos[i];
+        current.pop_back();
+        if (!keep_going) return false;
+      }
     }
+    if (leaf) {
+      if (limit != 0 && visited >= limit) return false;
+      ++visited;
+      if (!visit(current)) return false;
+    }
+    return true;
   }
-  if (done) {
-    out.insert(current);
-    require(out.size() <= limit, "interleaving enumeration exceeds the limit");
-  }
-}
+};
 
 }  // namespace
 
+bool for_each_interleaving(
+    const std::vector<std::vector<std::string>>& sequences,
+    const std::function<bool(const std::vector<std::string>&)>& visit,
+    std::uint64_t limit) {
+  Streamer streamer{sequences, visit, limit, 0, {}, {}};
+  streamer.pos.assign(sequences.size(), 0);
+  return streamer.walk();
+}
+
 std::vector<std::vector<std::string>> all_interleavings(
     const std::vector<std::vector<std::string>>& sequences, std::size_t limit) {
-  std::vector<std::size_t> pos(sequences.size(), 0);
-  std::vector<std::string> current;
   std::set<std::vector<std::string>> out;
-  enumerate(sequences, pos, current, out, limit);
+  (void)for_each_interleaving(sequences, [&](const std::vector<std::string>& order) {
+    out.insert(order);
+    require(out.size() <= limit, "interleaving enumeration exceeds the limit");
+    return true;
+  });
   return {out.begin(), out.end()};
 }
 
@@ -77,20 +101,35 @@ bool is_possible_output(const std::vector<std::vector<std::string>>& sequences,
   return solver.solve(pos, 0);
 }
 
-std::uint64_t interleaving_count(const std::vector<std::vector<std::string>>& sequences) {
+std::uint64_t interleaving_count(const std::vector<std::vector<std::string>>& sequences,
+                                 bool& saturated) {
   // Multinomial coefficient: (sum n_i)! / prod(n_i!) computed
-  // incrementally to dodge overflow for course-sized inputs.
+  // incrementally; the running value is always an exact binomial, so
+  // result * placed is divisible by k. Checked multiplication: once the
+  // intermediate product would overflow uint64, latch UINT64_MAX (the
+  // true count only grows from there — every remaining factor
+  // placed/k is >= 1).
+  saturated = false;
   std::uint64_t result = 1;
   std::uint64_t placed = 0;
   for (const auto& seq : sequences) {
     for (std::uint64_t k = 1; k <= seq.size(); ++k) {
       ++placed;
-      // result *= placed / k, keeping exactness: result * placed is
-      // always divisible by k at this point.
-      result = result * placed / k;
+      std::uint64_t scaled = 0;
+      if (saturated || __builtin_mul_overflow(result, placed, &scaled)) {
+        saturated = true;
+        result = UINT64_MAX;
+      } else {
+        result = scaled / k;
+      }
     }
   }
   return result;
+}
+
+std::uint64_t interleaving_count(const std::vector<std::vector<std::string>>& sequences) {
+  bool saturated = false;
+  return interleaving_count(sequences, saturated);
 }
 
 }  // namespace cs31::os

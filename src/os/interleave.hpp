@@ -5,14 +5,38 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace cs31::os {
 
-/// All distinct interleavings of the given sequences (each sequence's
-/// internal order preserved). Throws cs31::Error when the total number
-/// of interleavings would exceed `limit` (multinomial blow-up guard).
+/// Stream every interleaving of the given sequences (each sequence's
+/// internal order preserved) to `visit`, one at a time, without ever
+/// materializing the full set — the race explorer and the replay engine
+/// walk million-interleaving spaces through this. Visit order is the
+/// depth-first position-choice order (always advance the lowest-indexed
+/// sequence first), which is deterministic but NOT sorted.
+///
+/// Duplicates: enumeration is over position choices (the multinomial
+/// space), so when two *different* sequences share equal items the same
+/// output vector can be visited once per choice path. Callers that need
+/// distinct outputs dedup themselves (`all_interleavings` does);
+/// thread-tagged replay scripts never collide because the tag makes
+/// every sequence's items unique to it.
+///
+/// `visit` returns false to stop early. `limit` (0 = unbounded) caps
+/// the number of visits. Returns true iff enumeration ran to
+/// completion — false means `visit` said stop or the limit bound.
+[[nodiscard]] bool for_each_interleaving(
+    const std::vector<std::vector<std::string>>& sequences,
+    const std::function<bool(const std::vector<std::string>&)>& visit,
+    std::uint64_t limit = 0);
+
+/// All distinct interleavings, materialized and sorted — a thin
+/// collecting wrapper over for_each_interleaving. Throws cs31::Error
+/// when the number of *distinct* interleavings would exceed `limit`
+/// (multinomial blow-up guard).
 [[nodiscard]] std::vector<std::vector<std::string>> all_interleavings(
     const std::vector<std::vector<std::string>>& sequences, std::size_t limit = 100000);
 
@@ -24,7 +48,15 @@ namespace cs31::os {
 
 /// Number of distinct interleavings (counting duplicates produced by
 /// equal items once each position choice is made — i.e. the multinomial
-/// count over positions, not deduplicated content).
+/// count over positions, not deduplicated content). Saturates at
+/// UINT64_MAX instead of silently wrapping; `saturated` reports when it
+/// did, so callers can print ">1.8e19" honestly instead of a garbage
+/// exact-looking number.
+[[nodiscard]] std::uint64_t interleaving_count(
+    const std::vector<std::vector<std::string>>& sequences, bool& saturated);
+
+/// Convenience overload when the caller does not care about saturation
+/// (the value is still saturating, never wrapped).
 [[nodiscard]] std::uint64_t interleaving_count(
     const std::vector<std::vector<std::string>>& sequences);
 

@@ -1,0 +1,646 @@
+#include "race/explore.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/bounded_queue.hpp"
+#include "common/error.hpp"
+#include "os/interleave.hpp"
+
+namespace cs31::race {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parsed op model. Mirrors replay.cpp's grammar exactly; parsing happens
+// once in the Explorer constructor so the walk and the dependence checks
+// never touch strings, and malformed scripts fail before any thread is
+// spawned.
+// ---------------------------------------------------------------------
+
+enum class Verb : std::uint8_t { Read, Write, Lock, Unlock, Send, Recv, Barrier };
+enum class ObjKind : std::uint8_t { Var, Mutex, Channel, Barrier };
+
+struct POp {
+  Verb verb = Verb::Read;
+  ObjKind okind = ObjKind::Var;
+  std::uint32_t obj = 0;  ///< interned per ObjKind
+  std::string text;       ///< the tagged op string fed to replay()
+};
+
+/// Two ops of different threads are dependent iff reordering them could
+/// change the detector's verdict (see the soundness sketch in
+/// DESIGN.md §11). Barrier arrivals are dependent with everything: the
+/// completing arrival joins every waiter's clock, and which arrival
+/// completes is schedule-dependent.
+bool dependent(const POp& a, const POp& b) {
+  if (a.verb == Verb::Barrier || b.verb == Verb::Barrier) return true;
+  if (a.okind != b.okind || a.obj != b.obj) return false;
+  if (a.okind == ObjKind::Var) {
+    return a.verb == Verb::Write || b.verb == Verb::Write;  // read/read commutes
+  }
+  return true;  // mutex and channel ops on the same object
+}
+
+struct OpInterner {
+  std::map<std::string, std::uint32_t> ids;
+  std::uint32_t intern(const std::string& name) {
+    const auto [it, inserted] = ids.emplace(name, static_cast<std::uint32_t>(ids.size()));
+    (void)inserted;
+    return it->second;
+  }
+};
+
+/// Parse one tagged op ("t0 write balance"). Same checks as
+/// replay.cpp's parse_op; interning per object kind on top.
+POp parse_op(const std::string& text, OpInterner& vars, OpInterner& mutexes,
+             OpInterner& channels) {
+  std::istringstream in(text);
+  std::string tag, verb, arg;
+  in >> tag >> verb >> arg;
+  require(tag.size() >= 2 && tag[0] == 't',
+          "explore op '" + text + "' is missing its thread tag (t<k>)");
+  require(!verb.empty(), "explore op '" + text + "' is missing a verb");
+  POp op;
+  op.text = text;
+  if (verb == "read" || verb == "write") {
+    require(!arg.empty(), "explore op '" + text + "' needs a variable");
+    op.verb = verb == "read" ? Verb::Read : Verb::Write;
+    op.okind = ObjKind::Var;
+    op.obj = vars.intern(arg);
+  } else if (verb == "lock" || verb == "unlock") {
+    require(!arg.empty(), "explore op '" + text + "' needs a mutex");
+    op.verb = verb == "lock" ? Verb::Lock : Verb::Unlock;
+    op.okind = ObjKind::Mutex;
+    op.obj = mutexes.intern(arg);
+  } else if (verb == "send" || verb == "recv") {
+    require(!arg.empty(), "explore op '" + text + "' needs a channel");
+    op.verb = verb == "send" ? Verb::Send : Verb::Recv;
+    op.okind = ObjKind::Channel;
+    op.obj = channels.intern(arg);
+  } else if (verb == "barrier") {
+    op.verb = Verb::Barrier;
+    op.okind = ObjKind::Barrier;
+    op.obj = 0;
+  } else {
+    throw Error("explore op '" + text + "': unknown verb '" + verb + "'");
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------
+// Work items between the sequential walk and the replay workers.
+// ---------------------------------------------------------------------
+
+struct ScheduleResult {
+  std::vector<RaceReport> races;
+  std::uint64_t events = 0;
+};
+
+struct Batch {
+  std::uint64_t first_index = 0;
+  std::vector<std::vector<std::string>> schedules;
+};
+
+struct BatchResult {
+  std::uint64_t first_index = 0;
+  std::vector<ScheduleResult> items;
+};
+
+// ---------------------------------------------------------------------
+// The engine: one run() owns the walk, the worker pool, and the merge.
+// ---------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine(const std::vector<std::vector<POp>>& ops, const ExploreOptions& options,
+         std::uint64_t total, bool total_saturated)
+      : ops_(ops),
+        options_(options),
+        threads_(ops.size()),
+        work_(std::max<std::size_t>(1, options.queue_capacity)),
+        // Sized to hold every result the settle window allows in flight
+        // at once — counted in SCHEDULES, not batches, because the
+        // settle loop can flush partial (down to single-schedule)
+        // batches. A worker can therefore never block pushing a result
+        // while the walk blocks pushing work, the one cycle that could
+        // deadlock this topology.
+        results_(options.settle_window + options.queue_capacity +
+                 std::max<std::size_t>(1, options.workers) + 4) {
+    result_.interleavings_total = total;
+    result_.total_saturated = total_saturated;
+    pos_.assign(threads_, 0);
+    last_event_of_.assign(threads_, -1);
+    total_ops_ = 0;
+    for (const auto& script : ops_) total_ops_ += script.size();
+    for (const RaceReport& hint : options_.hints) {
+      add_hint(hint.first.where, hint.second.where);
+    }
+  }
+
+  ExploreResult run() {
+    const std::size_t worker_count = std::max<std::size_t>(1, options_.workers);
+    std::vector<std::thread> pool;
+    pool.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      pool.emplace_back([this] { worker_main(); });
+    }
+
+    // Always close + join, even when the walk throws (a worker failure
+    // closes the result queue, which surfaces in the walk's merge as an
+    // Error) — a dangling std::thread would terminate the process.
+    std::exception_ptr walk_error;
+    try {
+      explore(std::set<std::uint32_t>{});
+      flush_batch();
+    } catch (...) {
+      walk_error = std::current_exception();
+    }
+    work_.close();
+    for (auto& t : pool) t.join();
+    {
+      std::scoped_lock lock(error_mutex_);
+      require(worker_error_.empty(), "explore worker failed: " + worker_error_);
+    }
+    if (walk_error) std::rethrow_exception(walk_error);
+    // Everything is pushed; drain the tail strictly in emission order.
+    while (merged_ < emitted_) merge_next();
+
+    result_.schedules_replayed = emitted_;
+    result_.complete = !truncated_;
+    return std::move(result_);
+  }
+
+ private:
+  // --- the DPOR walk (sequential, deterministic) ---
+
+  struct Event {
+    std::uint32_t tid = 0;
+    const POp* op = nullptr;
+    int prev_last = -1;               ///< last_event_of_[tid] before this event
+    std::vector<std::uint32_t> clock; ///< trace happens-before clock
+  };
+
+  struct Frame {
+    std::set<std::uint32_t> backtrack;
+    std::set<std::uint32_t> sleep;
+    std::set<std::uint32_t> explored;
+  };
+
+  bool enabled(std::uint32_t t) const { return pos_[t] < ops_[t].size(); }
+
+  const POp& next_op(std::uint32_t t) const { return ops_[t][pos_[t]]; }
+
+  /// Did executed event i happen-before (program order + dependence,
+  /// transitively) some already-executed event of thread p?
+  bool happens_before_thread(std::size_t i, std::uint32_t p) const {
+    const int lp = last_event_of_[p];
+    if (lp < 0) return false;
+    const Event& ei = executed_[i];
+    return executed_[static_cast<std::size_t>(lp)].clock[ei.tid] >= ei.clock[ei.tid];
+  }
+
+  void execute(std::uint32_t p) {
+    Event ev;
+    ev.tid = p;
+    ev.op = &next_op(p);
+    ev.prev_last = last_event_of_[p];
+    if (ev.prev_last >= 0) {
+      ev.clock = executed_[static_cast<std::size_t>(ev.prev_last)].clock;
+    } else {
+      ev.clock.assign(threads_, 0);
+    }
+    for (const Event& prior : executed_) {
+      if (prior.tid == p || !dependent(*prior.op, *ev.op)) continue;
+      for (std::size_t k = 0; k < threads_; ++k) {
+        ev.clock[k] = std::max(ev.clock[k], prior.clock[k]);
+      }
+    }
+    ev.clock[p] += 1;
+    last_event_of_[p] = static_cast<int>(executed_.size());
+    executed_.push_back(std::move(ev));
+    ++pos_[p];
+  }
+
+  void undo(std::uint32_t p) {
+    --pos_[p];
+    last_event_of_[p] = executed_.back().prev_last;
+    executed_.pop_back();
+  }
+
+  /// Guidance score for choosing thread p next. 2: p's next op labels a
+  /// hinted site pair whose partner is still pending elsewhere (this
+  /// choice orders the pair right now); 1: a hinted op is pending later
+  /// in p's script (run p toward it); 0: no hint says anything.
+  int score(std::uint32_t p) const {
+    if (hint_labels_.empty()) return 0;
+    const POp& np = next_op(p);
+    if (hint_labels_.count(np.text) != 0) {
+      for (const auto& [a, b] : hint_pairs_) {
+        const std::string* partner = nullptr;
+        if (a == np.text) partner = &b;
+        else if (b == np.text) partner = &a;
+        if (partner != nullptr && label_pending(*partner, p)) return 2;
+      }
+      return 1;
+    }
+    for (std::size_t j = pos_[p] + 1; j < ops_[p].size(); ++j) {
+      if (hint_labels_.count(ops_[p][j].text) != 0) return 1;
+    }
+    return 0;
+  }
+
+  /// Is an op labelled `label` still unexecuted in a thread other than
+  /// `self`?
+  bool label_pending(const std::string& label, std::uint32_t self) const {
+    for (std::uint32_t q = 0; q < threads_; ++q) {
+      if (q == self) continue;
+      for (std::size_t j = pos_[q]; j < ops_[q].size(); ++j) {
+        if (ops_[q][j].text == label) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Highest-score (then lowest-tid) member of `candidates`.
+  std::uint32_t pick(const std::vector<std::uint32_t>& candidates) const {
+    std::uint32_t best = candidates.front();
+    int best_score = score(best);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const int s = score(candidates[i]);
+      if (s > best_score) {
+        best = candidates[i];
+        best_score = s;
+      }
+    }
+    return best;
+  }
+
+  void explore(std::set<std::uint32_t> sleep) {
+    if (stop_) return;
+    ++result_.nodes_visited;
+    const std::size_t depth = executed_.size();
+
+    if (depth == total_ops_) {
+      emit();
+      return;
+    }
+
+    // Race analysis (Flanagan–Godefroid): for every enabled thread p,
+    // find the most recent executed event that is dependent with
+    // next(p) and not already ordered before p, and add p to the
+    // backtrack set of the state that event executed from.
+    for (std::uint32_t p = 0; p < threads_; ++p) {
+      if (!enabled(p)) continue;
+      const POp& np = next_op(p);
+      for (std::size_t i = depth; i-- > 0;) {
+        const Event& ev = executed_[i];
+        if (ev.tid == p || !dependent(*ev.op, np)) continue;
+        // An ordered dependent event is not a reversible race — keep
+        // scanning for an earlier unordered one (the max of the
+        // qualifying set, per the algorithm).
+        if (happens_before_thread(i, p)) continue;
+        if (frames_[i].backtrack.insert(p).second) ++result_.backtrack_points;
+        break;
+      }
+    }
+
+    frames_.emplace_back();
+    frames_.back().sleep = std::move(sleep);
+
+    // Seed: the best-priority enabled thread not slept here. All
+    // enabled threads asleep = this whole subtree re-derives schedules
+    // a sibling already covers — prune.
+    {
+      std::vector<std::uint32_t> awake;
+      for (std::uint32_t p = 0; p < threads_; ++p) {
+        if (enabled(p) && frames_[depth].sleep.count(p) == 0) awake.push_back(p);
+      }
+      if (awake.empty()) {
+        ++result_.sleep_pruned;
+        frames_.pop_back();
+        return;
+      }
+      frames_[depth].backtrack.insert(pick(awake));
+    }
+
+    while (!stop_) {
+      // Re-read every iteration: descendants add backtrack points here.
+      std::vector<std::uint32_t> todo;
+      for (const std::uint32_t p : frames_[depth].backtrack) {
+        if (frames_[depth].sleep.count(p) == 0 && frames_[depth].explored.count(p) == 0) {
+          todo.push_back(p);
+        }
+      }
+      if (todo.empty()) break;
+      const std::uint32_t p = pick(todo);
+      const POp& op = next_op(p);
+
+      std::set<std::uint32_t> child_sleep;
+      for (const std::uint32_t q : frames_[depth].sleep) {
+        if (!dependent(next_op(q), op)) child_sleep.insert(q);
+      }
+
+      execute(p);
+      explore(std::move(child_sleep));
+      undo(p);
+
+      frames_[depth].explored.insert(p);
+      frames_[depth].sleep.insert(p);
+    }
+    frames_.pop_back();
+  }
+
+  // --- emission, batching, and the deterministic merge ---
+
+  void emit() {
+    if (options_.max_schedules != 0 && emitted_ >= options_.max_schedules) {
+      truncated_ = true;
+      stop_ = true;
+      return;
+    }
+    if (options_.max_events != 0 &&
+        events_emitted_ + total_ops_ > options_.max_events) {
+      truncated_ = true;
+      stop_ = true;
+      return;
+    }
+
+    // Determinism contract: before emitting schedule k, exactly the
+    // results of schedules 0..k-window-1 are merged (never more, never
+    // fewer), so the hint set steering every later decision is a pure
+    // function of the emission order.
+    while (emitted_ - merged_ > options_.settle_window) {
+      // Flush the local buffer only when the next merge target sits in
+      // it (everything older is already with the workers) — keeps
+      // batches full-sized in the steady state.
+      if (!batch_.schedules.empty() && merged_ >= batch_.first_index) flush_batch();
+      merge_next();
+    }
+
+    std::vector<std::string> schedule;
+    schedule.reserve(total_ops_);
+    for (const Event& ev : executed_) schedule.push_back(ev.op->text);
+    if (batch_.schedules.empty()) batch_.first_index = emitted_;
+    batch_.schedules.push_back(std::move(schedule));
+    ++emitted_;
+    events_emitted_ += total_ops_;
+    if (batch_.schedules.size() >= std::max<std::size_t>(1, options_.batch)) {
+      flush_batch();
+    }
+  }
+
+  void flush_batch() {
+    if (batch_.schedules.empty()) return;
+    work_.push(std::move(batch_));
+    batch_ = Batch{};
+  }
+
+  /// Merge the next emission-ordered result, blocking on the workers if
+  /// it has not arrived yet.
+  void merge_next() {
+    while (reorder_.count(merged_) == 0) {
+      BatchResult r;
+      const bool ok = results_.pop(r);
+      require(ok, "explore: result stream closed before all schedules merged");
+      for (std::size_t i = 0; i < r.items.size(); ++i) {
+        reorder_.emplace(r.first_index + i, std::move(r.items[i]));
+      }
+      results_.done();
+    }
+    const auto it = reorder_.find(merged_);
+    ScheduleResult res = std::move(it->second);
+    reorder_.erase(it);
+
+    result_.events_replayed += res.events;
+    if (!res.races.empty()) {
+      ++result_.racy_schedules;
+      if (result_.first_race_at == ExploreResult::kNoRace) {
+        result_.first_race_at = merged_;
+      }
+    }
+    for (RaceReport& r : res.races) {
+      if (seen_.insert(race_pair_key(r.variable, r.first, r.second)).second) {
+        if (options_.reprioritize_on_discovery) add_hint(r.first.where, r.second.where);
+        result_.races.push_back(std::move(r));
+      }
+    }
+    ++merged_;
+  }
+
+  void add_hint(const std::string& a, const std::string& b) {
+    if (a.empty() || b.empty()) return;
+    hint_labels_.insert(a);
+    hint_labels_.insert(b);
+    hint_pairs_.emplace_back(a, b);
+  }
+
+  // --- the replay workers ---
+
+  void worker_main() {
+    Batch batch;
+    while (work_.pop(batch)) {
+      try {
+        BatchResult out;
+        out.first_index = batch.first_index;
+        out.items.reserve(batch.schedules.size());
+        for (const auto& schedule : batch.schedules) {
+          ReplayResult rr = replay(schedule);
+          out.items.push_back({std::move(rr.races), rr.events});
+        }
+        results_.push(std::move(out));
+        work_.done();
+      } catch (const std::exception& e) {
+        // Scripts are prevalidated, so this is a bug, not user error.
+        // Record it, close the result stream so the walk's merge stops
+        // waiting (its pop then fails a require), and bail.
+        {
+          std::scoped_lock lock(error_mutex_);
+          if (worker_error_.empty()) worker_error_ = e.what();
+        }
+        results_.close();
+        work_.done();
+        return;
+      }
+    }
+  }
+
+  const std::vector<std::vector<POp>>& ops_;
+  const ExploreOptions& options_;
+  std::size_t threads_;
+  std::size_t total_ops_ = 0;
+
+  // Walk state.
+  std::vector<std::size_t> pos_;
+  std::vector<int> last_event_of_;
+  std::vector<Event> executed_;
+  std::vector<Frame> frames_;
+  bool stop_ = false;
+  bool truncated_ = false;
+
+  // Guidance state (mutated only at deterministic merge points).
+  std::set<std::string> hint_labels_;
+  std::vector<std::pair<std::string, std::string>> hint_pairs_;
+
+  // Emission / merge state.
+  std::uint64_t emitted_ = 0;
+  std::uint64_t events_emitted_ = 0;
+  std::uint64_t merged_ = 0;
+  Batch batch_;
+  std::map<std::uint64_t, ScheduleResult> reorder_;
+  std::set<std::string> seen_;
+
+  common::BoundedQueue<Batch> work_;
+  common::BoundedQueue<BatchResult> results_;
+  std::mutex error_mutex_;
+  std::string worker_error_;
+
+  ExploreResult result_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------
+
+Explorer::Explorer(std::vector<std::vector<std::string>> scripts, ExploreOptions options)
+    : scripts_(std::move(scripts)), options_(std::move(options)) {
+  // Validate eagerly: parse every op and check per-thread lock
+  // discipline (an unlock with no program-order lock would make the
+  // detector throw mid-replay inside a worker).
+  OpInterner vars, mutexes, channels;
+  const auto tagged = tag_threads(scripts_);
+  for (const auto& script : tagged) {
+    std::multiset<std::uint32_t> held;
+    for (const std::string& text : script) {
+      const POp op = parse_op(text, vars, mutexes, channels);
+      if (op.verb == Verb::Lock) held.insert(op.obj);
+      if (op.verb == Verb::Unlock) {
+        const auto it = held.find(op.obj);
+        require(it != held.end(),
+                "explore op '" + text + "' releases a mutex its thread never locked");
+        held.erase(it);
+      }
+    }
+  }
+}
+
+ExploreResult Explorer::run() {
+  const auto tagged = tag_threads(scripts_);
+  OpInterner vars, mutexes, channels;
+  std::vector<std::vector<POp>> ops(tagged.size());
+  for (std::size_t t = 0; t < tagged.size(); ++t) {
+    ops[t].reserve(tagged[t].size());
+    for (const std::string& text : tagged[t]) {
+      ops[t].push_back(parse_op(text, vars, mutexes, channels));
+    }
+  }
+  bool saturated = false;
+  const std::uint64_t total = os::interleaving_count(tagged, saturated);
+  Engine engine(ops, options_, total, saturated);
+  return engine.run();
+}
+
+ExploreResult explore_races(const std::vector<std::vector<std::string>>& scripts,
+                            ExploreOptions options) {
+  return Explorer(scripts, std::move(options)).run();
+}
+
+std::string ExploreResult::summary() const {
+  std::ostringstream out;
+  out << "explored " << schedules_replayed << " of ";
+  if (total_saturated) {
+    out << ">1.8e19 (count saturated)";
+  } else {
+    out << interleavings_total;
+  }
+  out << " interleavings (" << (complete ? "complete" : "budget hit") << "): "
+      << racy_schedules << " racy, " << races.size() << " distinct race(s), "
+      << events_replayed << " events replayed";
+  if (first_race_at != kNoRace) out << "; first race at schedule " << first_race_at;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Seeded script generator (splitmix64, the trace_gen pattern)
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> generate_script(std::uint64_t seed,
+                                                      ScriptGenConfig config) {
+  SplitMix64 rng{seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull};
+  std::vector<std::vector<std::string>> scripts(config.threads);
+  for (std::size_t t = 0; t < config.threads; ++t) {
+    std::vector<std::uint32_t> held;  // lock ids, acquisition order
+    auto& script = scripts[t];
+    while (script.size() < config.ops_per_thread) {
+      switch (rng.below(8)) {
+        case 0:
+        case 1: {  // shared-variable access, the racy surface
+          const std::string var = "z" + std::to_string(rng.below(config.shared_vars));
+          script.push_back((rng.below(2) == 0 ? "read " : "write ") + var);
+          break;
+        }
+        case 2: {  // private-variable access (independent with everything)
+          if (config.private_vars == 0) break;
+          const std::string var = "p" + std::to_string(t) + "_" +
+                                  std::to_string(rng.below(config.private_vars));
+          script.push_back((rng.below(2) == 0 ? "read " : "write ") + var);
+          break;
+        }
+        case 3:
+        case 4: {  // lock or unlock, respecting per-thread discipline
+          if (config.locks == 0) break;
+          if (!held.empty() && rng.below(2) == 0) {
+            script.push_back("unlock m" + std::to_string(held.back()));
+            held.pop_back();
+          } else {
+            const auto m = static_cast<std::uint32_t>(rng.below(config.locks));
+            if (std::find(held.begin(), held.end(), m) != held.end()) break;
+            script.push_back("lock m" + std::to_string(m));
+            held.push_back(m);
+          }
+          break;
+        }
+        case 5:
+        case 6: {  // channel send/recv
+          if (config.channels == 0) break;
+          const std::string ch = "q" + std::to_string(rng.below(config.channels));
+          script.push_back((rng.below(2) == 0 ? "send " : "recv ") + ch);
+          break;
+        }
+        default: {  // another shared access; keeps verdicts mixed
+          const std::string var = "z" + std::to_string(rng.below(config.shared_vars));
+          script.push_back("write " + var);
+          break;
+        }
+      }
+    }
+    while (!held.empty()) {  // balance: release everything still held
+      script.push_back("unlock m" + std::to_string(held.back()));
+      held.pop_back();
+    }
+    if (config.barriers) script.push_back("barrier");
+  }
+  return scripts;
+}
+
+}  // namespace cs31::race

@@ -1,0 +1,163 @@
+// Detector-guided DPOR schedule exploration — the pruned, prioritized,
+// parallel replacement for exhaustively replaying os::all_interleavings.
+//
+// The fused homework ("identify the possible outputs" × "find the data
+// race") used to replay every interleaving of the per-thread op scripts
+// through the happens-before detector, which walks into the multinomial
+// wall fast: 2 threads × 10 ops each is already 184756 schedules. But
+// most of those schedules are equivalent evidence: swapping two
+// adjacent *independent* ops (different threads, no conflicting object)
+// cannot change which races the detector reports. `Explorer` replays
+// exactly one representative per such Mazurkiewicz equivalence class
+// using dynamic partial-order reduction (Flanagan & Godefroid, POPL
+// 2005: backtrack sets + sleep sets), so the `distinct_races` verdict
+// is provably identical to the exhaustive sweep at a fraction of the
+// schedules — the differential tier in tests/race_explore_test.cpp
+// asserts exactly that on an exhaustively-enumerable corpus.
+//
+// Dependence relation (derived from the script grammar in replay.hpp;
+// two ops of different threads are dependent iff):
+//   - read/write or write/write on the same variable (read/read
+//     commutes: the detector keeps reader sites sorted by thread id);
+//   - lock/unlock on the same mutex (release publishes the lock clock);
+//   - send/recv on the same channel (send mutates the channel clock);
+//   - either op is a barrier arrival: the *completing* arrival joins
+//     EVERY waiter's clock, so a barrier op is conservatively dependent
+//     with every other thread's ops, not just other arrivals.
+// Conservative over-approximation is sound: extra dependence only costs
+// schedules, never coverage.
+//
+// Detector guidance: prior RaceReports (or a previous ExploreResult)
+// seed a priority over exploration order — backtrack choices whose next
+// op labels a reported site pair, or lead toward one, are explored
+// first, so a budgeted re-run confirms known races in a handful of
+// schedules. New discoveries re-prioritize the remaining frontier
+// mid-run (after a fixed settle window; see the determinism contract).
+//
+// Parallel replay, deterministic output: the DPOR tree walk itself is
+// sequential — a subtree's exploration can add backtrack points at ANY
+// ancestor, so subtrees are not independent units of tree growth — but
+// the walk is the cheap part (position vectors + clock joins). The
+// expensive part, replaying each emitted schedule through a fresh
+// FastTrack detector, fans out in batches over a shared
+// common::BoundedQueue to N workers, and results merge strictly by
+// emission index (the PR 4/PR 6 arrival-index pattern). Guidance
+// feedback folds in only once a result is merged, and merging is
+// clamped to a fixed settle window behind emission, so the hint set at
+// every decision point — and therefore every byte of the output — is
+// identical across {1,2,4,8} workers, budgeted or not.
+//
+// Budgeted mode: `max_schedules` / `max_events` replace the exhaustive
+// path's hard multinomial throw. When a budget binds, the result says
+// so honestly (`complete == false`, and summary() reports schedules
+// covered out of the — saturating — total) instead of pretending the
+// space was covered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "race/replay.hpp"
+
+namespace cs31::race {
+
+struct ExploreOptions {
+  std::size_t workers = 1;  ///< replay worker threads (the walk stays sequential)
+
+  /// Budgets; 0 = unbounded. Replaces replay_all_interleavings' throw:
+  /// the explorer stops emitting when a budget binds and reports
+  /// partial coverage instead.
+  std::uint64_t max_schedules = 0;
+  std::uint64_t max_events = 0;
+
+  /// Prior reports whose (first.where, second.where) site pairs seed
+  /// the exploration priority — e.g. yesterday's ExploreResult.races.
+  std::vector<RaceReport> hints;
+
+  /// Fold newly discovered races into the priority mid-run (after the
+  /// settle window). Off = only the seeded hints steer.
+  bool reprioritize_on_discovery = true;
+
+  std::size_t batch = 8;           ///< schedules per worker claim
+  std::size_t queue_capacity = 4;  ///< work-queue capacity, in batches
+
+  /// Emissions a replay result may trail the walk before the walk
+  /// blocks on it. Fixed (worker-count-independent) so the hint set at
+  /// emission k is always exactly f(results 0..k-window-1) — the
+  /// determinism contract.
+  std::size_t settle_window = 32;
+};
+
+struct ExploreResult {
+  static constexpr std::uint64_t kNoRace = ~std::uint64_t{0};
+
+  /// Distinct races (one per race_pair_key), first-seen in emission
+  /// order — byte-identical across worker counts, and set-identical to
+  /// distinct_races(replay_all_interleavings(...)) when complete.
+  std::vector<RaceReport> races;
+
+  std::uint64_t schedules_replayed = 0;
+  std::uint64_t events_replayed = 0;
+  std::uint64_t racy_schedules = 0;
+  std::uint64_t first_race_at = kNoRace;  ///< emission index of first racy schedule
+
+  std::uint64_t interleavings_total = 0;  ///< multinomial count (saturating)
+  bool total_saturated = false;           ///< count hit UINT64_MAX
+  bool complete = false;  ///< full reduced tree explored (no budget bound)
+
+  // Walk statistics (deterministic, for the bench/demo narrative).
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t sleep_pruned = 0;       ///< sleep-blocked leaves (redundant suffixes cut)
+  std::uint64_t backtrack_points = 0;   ///< race-analysis additions
+
+  /// One honest line: "explored 31 of 3432 interleavings (complete): 18
+  /// racy, 2 distinct race(s), 434 events" — says "budget hit after N"
+  /// and ">1.8e19 (saturated)" when that is the truth.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The DPOR explorer over untagged per-thread scripts (same input shape
+/// as replay_all_interleavings; tagging happens internally). The
+/// constructor parses and validates every op up front — malformed ops
+/// or a release without a program-order acquire throw here, never from
+/// a worker mid-run.
+class Explorer {
+ public:
+  explicit Explorer(std::vector<std::vector<std::string>> scripts,
+                    ExploreOptions options = {});
+
+  /// Run one exploration. Deterministic: same scripts + options (modulo
+  /// `workers`, `batch`, `queue_capacity`) give byte-identical results.
+  [[nodiscard]] ExploreResult run();
+
+  [[nodiscard]] const ExploreOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::vector<std::string>> scripts_;
+  ExploreOptions options_;
+};
+
+/// One-shot convenience: Explorer(scripts, options).run().
+[[nodiscard]] ExploreResult explore_races(
+    const std::vector<std::vector<std::string>>& scripts, ExploreOptions options = {});
+
+/// Seeded random-script generator for the differential tier and the
+/// bench corpus (the trace_gen pattern, script-shaped): structurally
+/// valid per-thread scripts — unlocks always follow a program-order
+/// lock, equal barrier counts per thread — over small shared/private
+/// variable, mutex, and channel pools.
+struct ScriptGenConfig {
+  std::size_t threads = 3;
+  std::size_t ops_per_thread = 4;
+  std::size_t shared_vars = 2;   ///< "z0".."z{n-1}", racy surface
+  std::size_t private_vars = 1;  ///< "p<t>_0".., per-thread (independent ops)
+  std::size_t locks = 1;         ///< "m0"..
+  std::size_t channels = 1;      ///< "q0"..
+  bool barriers = false;         ///< one barrier arrival per thread
+};
+
+[[nodiscard]] std::vector<std::vector<std::string>> generate_script(
+    std::uint64_t seed, ScriptGenConfig config = {});
+
+}  // namespace cs31::race

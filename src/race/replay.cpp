@@ -1,5 +1,6 @@
 #include "race/replay.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -36,10 +37,13 @@ std::vector<std::vector<std::string>> tag_threads(
   std::vector<std::vector<std::string>> tagged;
   tagged.reserve(scripts.size());
   for (std::size_t k = 0; k < scripts.size(); ++k) {
+    std::string prefix = "t";
+    prefix += std::to_string(k);
+    prefix += ' ';
     std::vector<std::string> ops;
     ops.reserve(scripts[k].size());
     for (const std::string& op : scripts[k]) {
-      ops.push_back("t" + std::to_string(k) + ' ' + op);
+      ops.push_back(prefix + op);
     }
     tagged.push_back(std::move(ops));
   }
@@ -101,10 +105,25 @@ ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sin
 
 std::vector<ReplayResult> replay_all_interleavings(
     const std::vector<std::vector<std::string>>& scripts, std::size_t limit) {
-  const auto schedules = os::all_interleavings(tag_threads(scripts), limit);
+  // Stream schedules straight into the detector instead of
+  // materializing the full os::all_interleavings set first — the only
+  // retained state is the results the caller asked for. Thread tags
+  // make every position-choice path a distinct schedule, so the path
+  // count the enumerator caps equals the old distinct count.
   std::vector<ReplayResult> results;
-  results.reserve(schedules.size());
-  for (const auto& schedule : schedules) results.push_back(replay(schedule));
+  (void)os::for_each_interleaving(
+      tag_threads(scripts), [&](const std::vector<std::string>& schedule) {
+        require(results.size() < limit, "interleaving enumeration exceeds the limit");
+        results.push_back(replay(schedule));
+        return true;
+      });
+  // The materializing path returned schedules in sorted order; keep
+  // that contract so summaries and first-racy-schedule demos are
+  // byte-stable across the refactor.
+  std::sort(results.begin(), results.end(),
+            [](const ReplayResult& a, const ReplayResult& b) {
+              return a.schedule < b.schedule;
+            });
   return results;
 }
 

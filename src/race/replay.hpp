@@ -60,8 +60,12 @@ struct ReplayResult {
                                   EventSink& sink);
 
 /// Enumerate every interleaving of the scripts (program order preserved
-/// per thread) and replay each. `limit` bounds the multinomial blow-up,
-/// as in os::all_interleavings.
+/// per thread) and replay each, streaming schedules one at a time
+/// through os::for_each_interleaving (nothing but the results is ever
+/// materialized). `limit` bounds the multinomial blow-up with a throw,
+/// as in os::all_interleavings — when the space is too big to sweep,
+/// use race::Explorer (explore.hpp), which replays one representative
+/// per equivalence class under an explicit budget instead.
 [[nodiscard]] std::vector<ReplayResult> replay_all_interleavings(
     const std::vector<std::vector<std::string>>& scripts, std::size_t limit = 100000);
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <set>
 
 #include "common/error.hpp"
 #include "os/interleave.hpp"
@@ -349,6 +351,98 @@ TEST(Interleave, EnumerationLimitGuard) {
     seqs.push_back(seq);
   }
   EXPECT_THROW((void)all_interleavings(seqs, 1000), Error);
+}
+
+TEST(Interleave, StreamingVisitsEveryPathAndMatchesMaterialized) {
+  // Sequences sharing an item: position-choice paths outnumber distinct
+  // orderings (the documented streaming caveat), but the path count is
+  // exactly the multinomial and the visited SET is all_interleavings.
+  const std::vector<std::vector<std::string>> seqs = {{"a", "b"}, {"a", "c"}};
+  std::set<std::vector<std::string>> seen;
+  std::uint64_t paths = 0;
+  EXPECT_TRUE(for_each_interleaving(seqs, [&](const std::vector<std::string>& order) {
+    seen.insert(order);
+    ++paths;
+    return true;
+  }));
+  EXPECT_EQ(paths, interleaving_count(seqs));
+  const auto all = all_interleavings(seqs);
+  EXPECT_EQ(seen, std::set<std::vector<std::string>>(all.begin(), all.end()));
+  EXPECT_LT(all.size(), paths);  // "aabc" reachable two ways
+}
+
+TEST(Interleave, StreamingStopsOnFalseAndHonorsTheLimit) {
+  const std::vector<std::vector<std::string>> seqs = {{"a1", "a2"}, {"b1", "b2"}};
+  std::uint64_t visited = 0;
+  EXPECT_FALSE(for_each_interleaving(seqs, [&](const std::vector<std::string>&) {
+    return ++visited < 3;  // callback vetoes the walk after 3
+  }));
+  EXPECT_EQ(visited, 3u);
+
+  visited = 0;
+  EXPECT_FALSE(for_each_interleaving(
+      seqs, [&](const std::vector<std::string>&) { ++visited; return true; }, 4));
+  EXPECT_EQ(visited, 4u);  // limit cut the walk short
+
+  // A limit the space fits inside (or exactly fills) is not a stop.
+  visited = 0;
+  EXPECT_TRUE(for_each_interleaving(
+      seqs, [&](const std::vector<std::string>&) { ++visited; return true; }, 6));
+  EXPECT_EQ(visited, 6u);
+}
+
+TEST(Interleave, CountSaturatesWithAFlagInsteadOfWrappingAround) {
+  // C(80,40) ~ 1.08e23 overflows uint64: the count must latch at the
+  // ceiling and say so, not silently wrap to a small number.
+  const std::vector<std::vector<std::string>> big(2, std::vector<std::string>(40, "x"));
+  bool saturated = false;
+  EXPECT_EQ(interleaving_count(big, saturated), UINT64_MAX);
+  EXPECT_TRUE(saturated);
+
+  const std::vector<std::vector<std::string>> small = {{"a", "b"}, {"c"}, {"d"}};
+  saturated = true;
+  EXPECT_EQ(interleaving_count(small, saturated), 12u);  // 4!/(2!1!1!)
+  EXPECT_FALSE(saturated);
+  EXPECT_EQ(interleaving_count(small), 12u);  // convenience overload agrees
+}
+
+TEST(Interleave, PossibilityCheckAgreesWithEnumerationOnRandomScripts) {
+  // Property: is_possible_output(claimed) is exactly membership in
+  // all_interleavings — for every true member, and for shuffled
+  // same-multiset candidates that may or may not respect program order.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  const std::vector<std::string> alphabet = {"a", "b", "c"};
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::vector<std::string>> seqs(2 + next() % 2);
+    std::vector<std::string> pool;
+    for (auto& seq : seqs) {
+      const std::size_t len = 2 + next() % 3;
+      for (std::size_t i = 0; i < len; ++i) {
+        seq.push_back(alphabet[next() % alphabet.size()]);  // duplicates welcome
+        pool.push_back(seq.back());
+      }
+    }
+    const auto all = all_interleavings(seqs);
+    const std::set<std::vector<std::string>> members(all.begin(), all.end());
+    for (const auto& order : all) {
+      EXPECT_TRUE(is_possible_output(seqs, order)) << "trial " << trial;
+    }
+    for (int candidate = 0; candidate < 20; ++candidate) {
+      std::vector<std::string> claimed = pool;  // right multiset, random order
+      for (std::size_t i = claimed.size(); i > 1; --i) {
+        std::swap(claimed[i - 1], claimed[next() % i]);
+      }
+      EXPECT_EQ(is_possible_output(seqs, claimed), members.count(claimed) != 0)
+          << "trial " << trial;
+    }
+  }
 }
 
 TEST(Interleave, KernelOutputIsAlwaysAPossibleInterleaving) {
