@@ -11,21 +11,31 @@
 //     callee-save summaries, register-state and stack-depth lattices,
 //     coverage — reported as instructions/s.
 //
+// (c) concurrency: analyze_scripts over a seeded generate_script corpus
+//     — per-thread lockset interpretation, barrier epochs, the wait-
+//     order graph, every check — reported as scripts/s, plus the prune
+//     ratio the static facts buy the DPOR explorer on a lock-
+//     disciplined corpus (unpruned vs seeded blocking exploration).
+//
 // Numbers answer the practical course question: is the analyzer cheap
 // enough to run on every compile (it sits on by default in the ccomp
-// pipeline) and on every `lint` in the debugger? --json emits
-// BENCH_analyze.json for the harness.
+// pipeline), on every `lint` in the debugger, and on every script
+// submission before exploration? --json emits BENCH_analyze.json and
+// BENCH_analyze_concur.json for the harness.
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analyze/checks_c.hpp"
 #include "analyze/checks_isa.hpp"
+#include "analyze/checks_script.hpp"
 #include "bench_json.hpp"
 #include "ccomp/codegen.hpp"
 #include "ccomp/parser.hpp"
 #include "isa/assembler.hpp"
 #include "isa/maze.hpp"
+#include "race/explore.hpp"
 
 namespace {
 
@@ -64,6 +74,10 @@ std::string synthesize_mini_c(int count) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // JsonReport strips --json/--timestamp from argv; keep a copy so the
+  // second report (the concur section) sees the same flags.
+  std::vector<char*> argv_concur(argv, argv + argc);
+  int argc_concur = argc;
   cs31::bench::JsonReport json("analyze", argc, argv);
   json.workload("cs31::analyze throughput: mini-C functions/s and ISA instructions/s");
 
@@ -122,6 +136,89 @@ int main(int argc, char** argv) {
   json.metric("isa_seconds", isa_secs);
   json.metric("isa_instructions_per_sec", instrs_per_sec);
 
-  std::printf("\nboth levels clean; analysis cost is per-compile noise, not a tax\n");
-  return json.write() ? 0 : 1;
+  if (!json.write()) return 1;
+
+  // (c) concurrency checks + the pruning they buy.
+  cs31::bench::JsonReport concur_json("analyze_concur", argc_concur, argv_concur.data());
+  concur_json.workload(
+      "analyze_scripts throughput (scripts/s) and DPOR prune ratio on a "
+      "lock-disciplined corpus");
+
+  std::printf("\n---------------------------------------------------------\n");
+  std::printf("concurrency: static script analysis + exploration pruning\n");
+  std::printf("---------------------------------------------------------\n\n");
+
+  // Throughput over a mixed corpus: the same shapes the differential
+  // tier uses (plain, barriers, lock cycles, channel misuse), repeated
+  // until the clock can see it.
+  const int kScriptSeeds = 200;
+  const int kScriptReps = 10;
+  concur_json.config("script_seeds", kScriptSeeds);
+  concur_json.config("script_reps", kScriptReps);
+  std::vector<std::vector<std::vector<std::string>>> corpus;
+  corpus.reserve(kScriptSeeds);
+  for (int s = 0; s < kScriptSeeds; ++s) {
+    race::ScriptGenConfig config;
+    config.threads = 2 + s % 2;
+    config.ops_per_thread = 4;
+    config.barriers = s % 4 == 1;
+    config.lock_cycles = s % 4 == 2;
+    config.channel_misuse = s % 4 == 3;
+    if (config.lock_cycles) config.locks = 2;
+    corpus.push_back(race::generate_script(static_cast<std::uint64_t>(s), config));
+  }
+  std::size_t concur_findings = 0;
+  const auto concur_start = std::chrono::steady_clock::now();
+  for (int r = 0; r < kScriptReps; ++r) {
+    for (const auto& scripts : corpus) {
+      concur_findings += analyze::analyze_scripts(scripts).diagnostics.size();
+    }
+  }
+  const double concur_secs = seconds_since(concur_start);
+  const double scripts_per_sec =
+      static_cast<double>(kScriptSeeds) * kScriptReps / concur_secs;
+  std::printf("scripts  : %4d scripts   x %d reps  %8.3f s  %12.0f scripts/s\n",
+              kScriptSeeds, kScriptReps, concur_secs, scripts_per_sec);
+  if (concur_findings == 0) {
+    std::fprintf(stderr, "FAIL: the mixed script corpus should produce findings\n");
+    return 1;
+  }
+  concur_json.metric("concur_seconds", concur_secs);
+  concur_json.metric("scripts_per_sec", scripts_per_sec);
+
+  // Prune ratio: blocking exploration with and without the summary's
+  // independence facts, over the corpus the analyzer can prove
+  // disciplined (one consistent guard per shared variable).
+  const int kPruneSeeds = 100;
+  concur_json.config("prune_seeds", kPruneSeeds);
+  std::uint64_t unpruned_schedules = 0, pruned_schedules = 0;
+  for (int s = 0; s < kPruneSeeds; ++s) {
+    race::ScriptGenConfig config;
+    config.threads = 2;
+    config.ops_per_thread = 4;
+    config.locks = 2;
+    config.channels = 0;
+    config.lock_discipline = true;
+    const auto scripts = race::generate_script(static_cast<std::uint64_t>(s), config);
+    race::ExploreOptions plain;
+    plain.model_blocking = true;
+    unpruned_schedules += race::explore_races(scripts, plain).schedules_replayed;
+    const auto seeded = analyze::seed_explore_options(analyze::analyze_scripts(scripts));
+    pruned_schedules += race::explore_races(scripts, seeded).schedules_replayed;
+  }
+  const double prune_ratio =
+      static_cast<double>(unpruned_schedules) / static_cast<double>(pruned_schedules);
+  std::printf("pruning  : %6llu schedules -> %llu with static facts  (%.2fx)\n",
+              static_cast<unsigned long long>(unpruned_schedules),
+              static_cast<unsigned long long>(pruned_schedules), prune_ratio);
+  if (prune_ratio < 2.0) {
+    std::fprintf(stderr, "FAIL: disciplined-corpus prune ratio below the 2x floor\n");
+    return 1;
+  }
+  concur_json.metric("unpruned_schedules", unpruned_schedules);
+  concur_json.metric("pruned_schedules", pruned_schedules);
+  concur_json.metric("prune_ratio", prune_ratio);
+
+  std::printf("\nall levels clean; analysis cost is per-compile noise, not a tax\n");
+  return concur_json.write() ? 0 : 1;
 }

@@ -129,9 +129,46 @@ std::string poison_bad_mini_c() {
   return "int main() {\n  return 1 +;\n}\n";
 }
 
+std::string script_body_clean(std::uint32_t variant) {
+  // The variant lands in the counter's name, so every body is distinct
+  // (distinct content hashes) while the shape — and the verdict — stays
+  // fixed: one consistent guard, race_free, full marks.
+  const std::string c = "c" + std::to_string(variant % 90000);
+  std::string body;
+  body += "lock m; read " + c + "; write " + c + "; unlock m\n";
+  body += "lock m; read " + c + "; write " + c + "; unlock m\n";
+  return body;
+}
+
+std::string script_body_racy(std::uint32_t variant) {
+  // Thread 1 forgets the lock on its write — the classic lost-update
+  // homework bug. The static pass flags the candidate and exploration
+  // confirms it (verdict "race_found").
+  const std::string c = "c" + std::to_string(variant % 90000);
+  std::string body;
+  body += "lock m; read " + c + "; write " + c + "; unlock m\n";
+  body += "write " + c + "\n";
+  return body;
+}
+
+std::string script_body_deadlock(std::uint32_t variant) {
+  // ABBA: opposite nesting orders on the same two mutexes. The static
+  // pass reports the lock-order cycle; blocking-aware exploration
+  // reaches the stuck state (verdict "deadlock_found").
+  const std::string d = "d" + std::to_string(variant % 90000);
+  std::string body;
+  body += "lock a; lock b; write " + d + "; unlock b; unlock a\n";
+  body += "lock b; lock a; read " + d + "; unlock a; unlock b\n";
+  return body;
+}
+
+std::string poison_bad_script() {
+  return "lock m; spin c; unlock m\n";
+}
+
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> kNames = {"steady", "bursty", "duplicate_storm",
-                                                  "poison"};
+                                                  "poison", "script_review"};
   return kNames;
 }
 
@@ -211,6 +248,30 @@ LoadPlan make_scenario(const std::string& name, std::size_t count, std::uint32_t
         continue;
       }
       plan.submissions.push_back(steady_submission(i, seed));
+    }
+    plan.bursts.push_back(count);
+    return plan;
+  }
+
+  if (name == "script_review") {
+    // The concurrency homework batch: clean / racy / deadlocking shapes
+    // in rotation, with a grammar-rejected script every eighth slot so
+    // the pool proves it reports `invalid` without stalling the batch.
+    for (std::size_t i = 0; i < count; ++i) {
+      Submission s;
+      s.kind = SubmissionKind::Script;
+      const std::uint32_t variant = static_cast<std::uint32_t>(i) + seed * 7919u;
+      if (i % 8 == 7) {
+        s.body = poison_bad_script();
+      } else {
+        switch (i % 3) {
+          case 0: s.body = script_body_clean(variant); break;
+          case 1: s.body = script_body_racy(variant); break;
+          default: s.body = script_body_deadlock(variant); break;
+        }
+      }
+      s.id = "script/" + zero_padded(i);
+      plan.submissions.push_back(std::move(s));
     }
     plan.bursts.push_back(count);
     return plan;

@@ -17,6 +17,12 @@
 //                    infinite loops (assembly and mini-C), a malformed
 //                    scenario config, a syntax error. The pool must
 //                    report every one of them and keep grading.
+//   script_review    the concurrency homework batch: per-thread op
+//                    scripts cycling clean (lock-disciplined counter),
+//                    racy (unguarded write), and deadlocking (ABBA)
+//                    shapes, with a malformed script every eighth
+//                    submission. Exercises the static-analyze-then-
+//                    explore toolchain path end to end.
 #pragma once
 
 #include <cstdint>
@@ -69,5 +75,19 @@ struct LoadPlan {
 
 /// A mini-C body the compiler rejects (reported as `compile_error`).
 [[nodiscard]] std::string poison_bad_mini_c();
+
+/// A lock-disciplined two-thread counter script — every shared access
+/// under one consistent mutex (verdict "race_free", full marks).
+[[nodiscard]] std::string script_body_clean(std::uint32_t variant);
+
+/// The same counter with one thread forgetting the lock on its write
+/// (verdict "race_found").
+[[nodiscard]] std::string script_body_racy(std::uint32_t variant);
+
+/// The classic ABBA two-lock nest (verdict "deadlock_found").
+[[nodiscard]] std::string script_body_deadlock(std::uint32_t variant);
+
+/// A script with an op the grammar rejects (reported as `invalid`).
+[[nodiscard]] std::string poison_bad_script();
 
 }  // namespace cs31::grader

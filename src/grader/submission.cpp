@@ -11,6 +11,7 @@ std::string to_string(SubmissionKind kind) {
     case SubmissionKind::MiniC: return "mini_c";
     case SubmissionKind::Assembly: return "assembly";
     case SubmissionKind::LifeTrace: return "life_trace";
+    case SubmissionKind::Script: return "script";
   }
   throw Error("unknown submission kind");
 }

@@ -19,6 +19,7 @@ enum class SubmissionKind {
   MiniC,      ///< mini-C source; compiled, linted, and executed
   Assembly,   ///< AT&T-subset assembly; assembled, linted, and executed
   LifeTrace,  ///< traced-Life scenario config; race-checked
+  Script,     ///< per-thread op scripts; statically analyzed, then explored
 };
 
 [[nodiscard]] std::string to_string(SubmissionKind kind);

@@ -4,11 +4,13 @@
 #include <sstream>
 
 #include "analyze/checks_isa.hpp"
+#include "analyze/checks_script.hpp"
 #include "ccomp/codegen.hpp"
 #include "ccomp/driver.hpp"
 #include "common/error.hpp"
 #include "isa/machine.hpp"
 #include "life/traced.hpp"
+#include "race/explore.hpp"
 
 namespace cs31::grader {
 
@@ -198,6 +200,88 @@ Verdict grade_life_trace(const std::string& body) {
   return verdict;
 }
 
+/// One thread per non-empty line; ops on a line separated by ';'.
+std::vector<std::vector<std::string>> parse_script_threads(const std::string& body) {
+  std::vector<std::vector<std::string>> scripts;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::vector<std::string> ops;
+    std::istringstream parts(line);
+    std::string op;
+    while (std::getline(parts, op, ';')) {
+      const auto begin = op.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      ops.push_back(op.substr(begin, op.find_last_not_of(" \t") - begin + 1));
+    }
+    if (!ops.empty()) scripts.push_back(std::move(ops));
+  }
+  require(!scripts.empty(), "script submission: no threads");
+  return scripts;
+}
+
+Verdict grade_script(const std::string& body, const ToolchainLimits& limits) {
+  Verdict verdict;
+  try {
+    const auto scripts = parse_script_threads(body);
+
+    // Static first: every diagnostic becomes a report note, and the
+    // summary seeds the exploration (priority hints, independence
+    // pruning, blocking semantics).
+    const analyze::ConcurSummary summary = analyze::analyze_scripts(scripts);
+    std::size_t findings = 0;
+    for (const analyze::Diagnostic& d : summary.diagnostics) {
+      if (d.severity != analyze::Severity::Note) ++findings;
+      verdict.notes.push_back(d.to_string());
+    }
+
+    race::ExploreOptions options = analyze::seed_explore_options(summary);
+    options.max_schedules = 4096;
+    options.max_events = limits.max_instructions;
+    const race::ExploreResult explored = race::explore_races(scripts, options);
+    verdict.result = static_cast<std::int32_t>(explored.schedules_replayed);
+    verdict.events = explored.events_replayed;
+    verdict.races = explored.races.size();
+
+    const std::size_t deadlock_cap =
+        explored.deadlocks.size() < 4 ? explored.deadlocks.size() : 4;
+    for (std::size_t i = 0; i < deadlock_cap; ++i) {
+      verdict.notes.push_back(explored.deadlocks[i].to_string());
+    }
+    const std::size_t race_cap = explored.races.size() < 4 ? explored.races.size() : 4;
+    for (std::size_t i = 0; i < race_cap; ++i) {
+      const race::RaceReport& race = explored.races[i];
+      verdict.notes.push_back("race on " + race.variable + ": " + race.first.where +
+                              " vs " + race.second.where);
+    }
+
+    if (!explored.deadlocks.empty()) {
+      verdict.status = "deadlock_found";
+      verdict.score = 20;
+    } else if (!explored.races.empty()) {
+      verdict.status = "race_found";
+      verdict.score = 30;
+    } else if (!explored.complete) {
+      // No race surfaced, but the schedule/event budget stopped the
+      // sweep short of certification — the same honesty rule as a
+      // runaway program.
+      verdict.status = "timeout";
+      verdict.score = 5;
+      verdict.notes.push_back("exploration budget exhausted before full coverage");
+    } else {
+      verdict.status = "race_free";
+      verdict.score = clean_score(findings);
+    }
+  } catch (const std::exception& e) {
+    // Malformed ops (analyze) and unlock-without-lock (the Explorer's
+    // eager validation) are both submission defects.
+    verdict.status = "invalid";
+    verdict.score = 0;
+    verdict.notes.push_back(e.what());
+  }
+  return verdict;
+}
+
 }  // namespace
 
 Verdict run_toolchain(const Submission& submission, const ToolchainLimits& limits) {
@@ -205,6 +289,7 @@ Verdict run_toolchain(const Submission& submission, const ToolchainLimits& limit
     case SubmissionKind::MiniC: return grade_mini_c(submission.body, limits);
     case SubmissionKind::Assembly: return grade_assembly(submission.body, limits);
     case SubmissionKind::LifeTrace: return grade_life_trace(submission.body);
+    case SubmissionKind::Script: return grade_script(submission.body, limits);
   }
   throw Error("unknown submission kind");
 }

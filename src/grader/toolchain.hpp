@@ -5,6 +5,10 @@
 //   assembly    assemble → analyze::lint_image → execute under limits
 //   life_trace  parse scenario config → life::traced_life_check →
 //               FastTrack race verdict
+//   script      per-thread op scripts (one thread per line, ops
+//               separated by ';') → analyze::analyze_scripts static
+//               findings → blocking-aware DPOR exploration seeded from
+//               the summary, under a schedule/event budget
 //
 // The verdict is a PURE, DETERMINISTIC function of (kind, body): no
 // timestamps, no hostnames, no wall-clock measurements leak into it.
@@ -46,9 +50,11 @@ struct ToolchainLimits {
 ///   compile_error    the toolchain rejected the body
 ///   runtime_error    the program faulted (segmentation violation, ...)
 ///   timeout          a resource limit stopped it (poison submission)
-///   race_free        life_trace: certified free of data races
-///   race_found       life_trace: the detector reported races
-///   invalid          life_trace: malformed scenario config
+///   race_free        life_trace/script: certified free of data races
+///                    (script: every feasible schedule explored)
+///   race_found       life_trace/script: the detector reported races
+///   deadlock_found   script: exploration reached a real stuck state
+///   invalid          life_trace/script: malformed config or op
 struct Verdict {
   std::string status = "invalid";
   int score = 0;                  ///< 0..100, deterministic rubric

@@ -29,6 +29,7 @@ struct POp {
   ObjKind okind = ObjKind::Var;
   std::uint32_t obj = 0;  ///< interned per ObjKind
   std::string text;       ///< the tagged op string fed to replay()
+  std::string arg;        ///< operand name ("" for barrier) — deadlock reports
 };
 
 /// Two ops of different threads are dependent iff reordering them could
@@ -88,6 +89,7 @@ POp parse_op(const std::string& text, OpInterner& vars, OpInterner& mutexes,
   } else {
     throw Error("explore op '" + text + "': unknown verb '" + verb + "'");
   }
+  op.arg = std::move(arg);
   return op;
 }
 
@@ -117,9 +119,14 @@ struct BatchResult {
 class Engine {
  public:
   Engine(const std::vector<std::vector<POp>>& ops, const ExploreOptions& options,
-         std::uint64_t total, bool total_saturated)
+         std::uint64_t total, bool total_saturated,
+         std::set<std::uint32_t> independent_vars,
+         std::set<std::uint32_t> independent_mutexes, std::size_t mutex_count,
+         std::size_t channel_count)
       : ops_(ops),
         options_(options),
+        independent_vars_(std::move(independent_vars)),
+        independent_mutexes_(std::move(independent_mutexes)),
         threads_(ops.size()),
         work_(std::max<std::size_t>(1, options.queue_capacity)),
         // Sized to hold every result the settle window allows in flight
@@ -134,6 +141,9 @@ class Engine {
     result_.total_saturated = total_saturated;
     pos_.assign(threads_, 0);
     last_event_of_.assign(threads_, -1);
+    mutex_holder_.assign(mutex_count, -1);
+    channel_fill_.assign(channel_count, 0);
+    arrivals_.assign(threads_, 0);
     total_ops_ = 0;
     for (const auto& script : ops_) total_ops_ += script.size();
     for (const RaceReport& hint : options_.hints) {
@@ -188,9 +198,61 @@ class Engine {
     std::set<std::uint32_t> backtrack;
     std::set<std::uint32_t> sleep;
     std::set<std::uint32_t> explored;
+    /// Threads enabled in this state — the DPOR race analysis falls
+    /// back to "add everything enabled here" when the thread it wants
+    /// to add was disabled (only possible under blocking semantics).
+    std::set<std::uint32_t> enabled;
   };
 
-  bool enabled(std::uint32_t t) const { return pos_[t] < ops_[t].size(); }
+  /// The dependence relation, minus caller-proven-independent variable
+  /// pairs (options.independent_vars: thread-local or consistently
+  /// locked). A pruned access mutates no blocking state and its pairs
+  /// are never co-enabled under blocking, so dropping the edge keeps
+  /// both the clock joins and the sleep sets sound.
+  ///
+  /// Pure-guard mutexes (options.independent_mutexes) drop their
+  /// cross-thread lock/unlock edges too: their critical sections hold
+  /// only accesses to variables the mutex consistently protects, so
+  /// two such sections commute as atomic blocks — neither the detector
+  /// verdict nor any reachable stuck state depends on which thread won
+  /// the lock. The walk still models the mutex's enabledness (a waiter
+  /// parks until the section ends); only the ORDER stops mattering.
+  bool dep(const POp& a, const POp& b) const {
+    if (a.okind == ObjKind::Var && b.okind == ObjKind::Var && a.obj == b.obj &&
+        independent_vars_.count(a.obj) != 0) {
+      return false;
+    }
+    if (a.okind == ObjKind::Mutex && b.okind == ObjKind::Mutex && a.obj == b.obj &&
+        independent_mutexes_.count(a.obj) != 0) {
+      return false;
+    }
+    return dependent(a, b);
+  }
+
+  /// Barrier cycles completed so far: the slowest participating
+  /// (non-empty) thread's arrival count.
+  std::size_t completed_cycles() const {
+    std::size_t completed = ~std::size_t{0};
+    bool any = false;
+    for (std::size_t t = 0; t < threads_; ++t) {
+      if (ops_[t].empty()) continue;
+      completed = any ? std::min(completed, arrivals_[t]) : arrivals_[t];
+      any = true;
+    }
+    return any ? completed : 0;
+  }
+
+  bool parked(std::uint32_t t) const { return arrivals_[t] > completed_cycles(); }
+
+  bool enabled(std::uint32_t t) const {
+    if (pos_[t] >= ops_[t].size()) return false;
+    if (!options_.model_blocking) return true;
+    if (parked(t)) return false;
+    const POp& op = ops_[t][pos_[t]];
+    if (op.verb == Verb::Lock) return mutex_holder_[op.obj] < 0;
+    if (op.verb == Verb::Recv) return channel_fill_[op.obj] > 0;
+    return true;
+  }
 
   const POp& next_op(std::uint32_t t) const { return ops_[t][pos_[t]]; }
 
@@ -214,19 +276,42 @@ class Engine {
       ev.clock.assign(threads_, 0);
     }
     for (const Event& prior : executed_) {
-      if (prior.tid == p || !dependent(*prior.op, *ev.op)) continue;
+      if (prior.tid == p || !dep(*prior.op, *ev.op)) continue;
       for (std::size_t k = 0; k < threads_; ++k) {
         ev.clock[k] = std::max(ev.clock[k], prior.clock[k]);
       }
     }
     ev.clock[p] += 1;
     last_event_of_[p] = static_cast<int>(executed_.size());
-    executed_.push_back(std::move(ev));
+    if (options_.model_blocking) {
+      const POp& op = *executed_.emplace_back(std::move(ev)).op;
+      switch (op.verb) {
+        case Verb::Lock: mutex_holder_[op.obj] = static_cast<int>(p); break;
+        case Verb::Unlock: mutex_holder_[op.obj] = -1; break;
+        case Verb::Send: ++channel_fill_[op.obj]; break;
+        case Verb::Recv: --channel_fill_[op.obj]; break;
+        case Verb::Barrier: ++arrivals_[p]; break;
+        default: break;
+      }
+    } else {
+      executed_.push_back(std::move(ev));
+    }
     ++pos_[p];
   }
 
   void undo(std::uint32_t p) {
     --pos_[p];
+    if (options_.model_blocking) {
+      const POp& op = *executed_.back().op;
+      switch (op.verb) {
+        case Verb::Lock: mutex_holder_[op.obj] = -1; break;
+        case Verb::Unlock: mutex_holder_[op.obj] = static_cast<int>(p); break;
+        case Verb::Send: --channel_fill_[op.obj]; break;
+        case Verb::Recv: ++channel_fill_[op.obj]; break;
+        case Verb::Barrier: --arrivals_[p]; break;
+        default: break;
+      }
+    }
     last_event_of_[p] = executed_.back().prev_last;
     executed_.pop_back();
   }
@@ -284,40 +369,71 @@ class Engine {
     ++result_.nodes_visited;
     const std::size_t depth = executed_.size();
 
-    if (depth == total_ops_) {
-      emit();
-      return;
+    std::vector<std::uint32_t> en;
+    for (std::uint32_t p = 0; p < threads_; ++p) {
+      if (enabled(p)) en.push_back(p);
     }
 
-    // Race analysis (Flanagan–Godefroid): for every enabled thread p,
-    // find the most recent executed event that is dependent with
-    // next(p) and not already ordered before p, and add p to the
-    // backtrack set of the state that event executed from.
+    // Race analysis (Flanagan–Godefroid): for every thread p with a
+    // pending op, find the most recent executed event that is dependent
+    // with next(p) and not already ordered before p, and add p to the
+    // backtrack set of the state that event executed from — or, when p
+    // was disabled there (blocking mode), every thread that WAS enabled
+    // (the conservative fallback; without blocking p is always enabled
+    // at ancestors, so the fallback never fires).
+    //
+    // This must run BEFORE the stuck-leaf return below: a blocked
+    // pending op (say a lock on a mutex the other thread won) is
+    // exactly the reversal that reaches a DIFFERENT stuck state, and
+    // skipping the analysis at stuck leaves loses those states. At a
+    // complete leaf no thread has a pending op, so the loop is a no-op
+    // there and the non-blocking walk is unchanged.
     for (std::uint32_t p = 0; p < threads_; ++p) {
-      if (!enabled(p)) continue;
+      if (pos_[p] >= ops_[p].size()) continue;
       const POp& np = next_op(p);
       for (std::size_t i = depth; i-- > 0;) {
         const Event& ev = executed_[i];
-        if (ev.tid == p || !dependent(*ev.op, np)) continue;
+        if (ev.tid == p || !dep(*ev.op, np)) continue;
         // An ordered dependent event is not a reversible race — keep
         // scanning for an earlier unordered one (the max of the
         // qualifying set, per the algorithm).
         if (happens_before_thread(i, p)) continue;
-        if (frames_[i].backtrack.insert(p).second) ++result_.backtrack_points;
+        if (frames_[i].enabled.count(p) != 0) {
+          if (frames_[i].backtrack.insert(p).second) ++result_.backtrack_points;
+        } else {
+          for (const std::uint32_t q : frames_[i].enabled) {
+            if (frames_[i].backtrack.insert(q).second) ++result_.backtrack_points;
+          }
+        }
         break;
       }
     }
 
+    if (en.empty()) {
+      // Complete schedule, or (blocking mode) a maximal stuck prefix:
+      // someone still has ops but nobody can move. Both are emitted —
+      // the prefix carries real race evidence too — and the stuck
+      // state is recorded once per position vector.
+      if (depth == total_ops_) {
+        emit();
+      } else {
+        emit();
+        if (!stop_) record_deadlock();
+      }
+      return;
+    }
+
     frames_.emplace_back();
     frames_.back().sleep = std::move(sleep);
+    frames_.back().enabled.insert(en.begin(), en.end());
 
     // Seed: the best-priority enabled thread not slept here. All
     // enabled threads asleep = this whole subtree re-derives schedules
     // a sibling already covers — prune.
     {
       std::vector<std::uint32_t> awake;
-      for (std::uint32_t p = 0; p < threads_; ++p) {
-        if (enabled(p) && frames_[depth].sleep.count(p) == 0) awake.push_back(p);
+      for (const std::uint32_t p : en) {
+        if (frames_[depth].sleep.count(p) == 0) awake.push_back(p);
       }
       if (awake.empty()) {
         ++result_.sleep_pruned;
@@ -341,7 +457,7 @@ class Engine {
 
       std::set<std::uint32_t> child_sleep;
       for (const std::uint32_t q : frames_[depth].sleep) {
-        if (!dependent(next_op(q), op)) child_sleep.insert(q);
+        if (!dep(next_op(q), op)) child_sleep.insert(q);
       }
 
       execute(p);
@@ -356,6 +472,35 @@ class Engine {
 
   // --- emission, batching, and the deterministic merge ---
 
+  /// Record the current (maximal, stuck) state once per position
+  /// vector. Runs in the sequential walk, so discovery order — and the
+  /// whole deadlock list — is worker-count independent.
+  void record_deadlock() {
+    ++result_.deadlocked_schedules;
+    std::string key;
+    for (const std::size_t p : pos_) {
+      key += std::to_string(p);
+      key += ',';
+    }
+    if (!deadlock_seen_.insert(key).second) return;
+    DeadlockState state;
+    for (std::uint32_t t = 0; t < threads_; ++t) {
+      if (pos_[t] >= ops_[t].size()) continue;
+      if (parked(t)) {
+        state.waiting.push_back(ops_[t][pos_[t] - 1].text);
+        state.resources.push_back("barrier");
+      } else {
+        const POp& op = ops_[t][pos_[t]];
+        state.waiting.push_back(op.text);
+        state.resources.push_back((op.verb == Verb::Lock ? "mutex " : "channel ") +
+                                  op.arg);
+      }
+    }
+    state.witness.reserve(executed_.size());
+    for (const Event& ev : executed_) state.witness.push_back(ev.op->text);
+    result_.deadlocks.push_back(std::move(state));
+  }
+
   void emit() {
     if (options_.max_schedules != 0 && emitted_ >= options_.max_schedules) {
       truncated_ = true;
@@ -363,7 +508,7 @@ class Engine {
       return;
     }
     if (options_.max_events != 0 &&
-        events_emitted_ + total_ops_ > options_.max_events) {
+        events_emitted_ + executed_.size() > options_.max_events) {
       truncated_ = true;
       stop_ = true;
       return;
@@ -382,12 +527,12 @@ class Engine {
     }
 
     std::vector<std::string> schedule;
-    schedule.reserve(total_ops_);
+    schedule.reserve(executed_.size());
     for (const Event& ev : executed_) schedule.push_back(ev.op->text);
     if (batch_.schedules.empty()) batch_.first_index = emitted_;
     batch_.schedules.push_back(std::move(schedule));
     ++emitted_;
-    events_emitted_ += total_ops_;
+    events_emitted_ += executed_.size();
     if (batch_.schedules.size() >= std::max<std::size_t>(1, options_.batch)) {
       flush_batch();
     }
@@ -448,7 +593,8 @@ class Engine {
         out.first_index = batch.first_index;
         out.items.reserve(batch.schedules.size());
         for (const auto& schedule : batch.schedules) {
-          ReplayResult rr = replay(schedule);
+          ReplayResult rr =
+              replay(schedule, ReplayOptions{options_.model_blocking});
           out.items.push_back({std::move(rr.races), rr.events});
         }
         results_.push(std::move(out));
@@ -470,6 +616,8 @@ class Engine {
 
   const std::vector<std::vector<POp>>& ops_;
   const ExploreOptions& options_;
+  std::set<std::uint32_t> independent_vars_;     ///< pruned var ids (dep())
+  std::set<std::uint32_t> independent_mutexes_;  ///< pure-guard mutex ids (dep())
   std::size_t threads_;
   std::size_t total_ops_ = 0;
 
@@ -480,6 +628,13 @@ class Engine {
   std::vector<Frame> frames_;
   bool stop_ = false;
   bool truncated_ = false;
+
+  // Blocking-semantics state (model_blocking only; kept in lockstep by
+  // execute/undo).
+  std::vector<int> mutex_holder_;           ///< holding thread, -1 = free
+  std::vector<std::size_t> channel_fill_;   ///< pending sends per channel
+  std::vector<std::size_t> arrivals_;       ///< barrier arrivals per thread
+  std::set<std::string> deadlock_seen_;     ///< position-vector keys
 
   // Guidance state (mutated only at deterministic merge points).
   std::set<std::string> hint_labels_;
@@ -509,6 +664,15 @@ class Engine {
 
 Explorer::Explorer(std::vector<std::vector<std::string>> scripts, ExploreOptions options)
     : scripts_(std::move(scripts)), options_(std::move(options)) {
+  // Dependence pruning is only sound when critical sections actually
+  // exclude each other — without blocking, the enumerator happily
+  // interleaves two "consistently locked" accesses inside one critical
+  // section and the detector (correctly) reports the race the pruned
+  // walk would have skipped.
+  require((options_.independent_vars.empty() && options_.independent_mutexes.empty()) ||
+              options_.model_blocking,
+          "explore: independent_vars/independent_mutexes require model_blocking "
+          "(lockset-based independence is unsound without real mutual exclusion)");
   // Validate eagerly: parse every op and check per-thread lock
   // discipline (an unlock with no program-order lock would make the
   // detector throw mid-replay inside a worker).
@@ -541,7 +705,18 @@ ExploreResult Explorer::run() {
   }
   bool saturated = false;
   const std::uint64_t total = os::interleaving_count(tagged, saturated);
-  Engine engine(ops, options_, total, saturated);
+  std::set<std::uint32_t> independent;
+  for (const std::string& name : options_.independent_vars) {
+    const auto it = vars.ids.find(name);
+    if (it != vars.ids.end()) independent.insert(it->second);
+  }
+  std::set<std::uint32_t> pure_guards;
+  for (const std::string& name : options_.independent_mutexes) {
+    const auto it = mutexes.ids.find(name);
+    if (it != mutexes.ids.end()) pure_guards.insert(it->second);
+  }
+  Engine engine(ops, options_, total, saturated, std::move(independent),
+                std::move(pure_guards), mutexes.ids.size(), channels.ids.size());
   return engine.run();
 }
 
@@ -562,6 +737,10 @@ std::string ExploreResult::summary() const {
       << racy_schedules << " racy, " << races.size() << " distinct race(s), "
       << events_replayed << " events replayed";
   if (first_race_at != kNoRace) out << "; first race at schedule " << first_race_at;
+  if (deadlocked_schedules > 0) {
+    out << "; " << deadlocked_schedules << " schedule(s) deadlocked in "
+        << deadlocks.size() << " distinct stuck state(s)";
+  }
   return out.str();
 }
 
@@ -591,12 +770,42 @@ std::vector<std::vector<std::string>> generate_script(std::uint64_t seed,
   for (std::size_t t = 0; t < config.threads; ++t) {
     std::vector<std::uint32_t> held;  // lock ids, acquisition order
     auto& script = scripts[t];
+
+    // Lock-order-cycle shape: a thread-rotated two-lock nest, so any
+    // two adjacent-rotation threads that both draw the shape acquire
+    // the pair in conflicting orders (the ABBA deadlock).
+    if (config.lock_cycles && config.locks >= 2 && rng.below(2) == 0) {
+      const auto a = static_cast<std::uint32_t>(t % config.locks);
+      const auto b = static_cast<std::uint32_t>((t + 1) % config.locks);
+      script.push_back("lock m" + std::to_string(a));
+      script.push_back("lock m" + std::to_string(b));
+      held.push_back(a);
+      held.push_back(b);
+    }
+
+    // Emit one shared access, wrapped in its variable's consistent
+    // guard in lock-discipline mode (or bare when the guard is already
+    // held — the access is still under it either way).
+    const auto shared_access = [&](std::uint64_t v, std::string access) {
+      if (config.lock_discipline && config.locks > 0) {
+        const auto g = static_cast<std::uint32_t>(v % config.locks);
+        if (std::find(held.begin(), held.end(), g) == held.end()) {
+          script.push_back("lock m" + std::to_string(g));
+          script.push_back(std::move(access));
+          script.push_back("unlock m" + std::to_string(g));
+          return;
+        }
+      }
+      script.push_back(std::move(access));
+    };
+
     while (script.size() < config.ops_per_thread) {
       switch (rng.below(8)) {
         case 0:
         case 1: {  // shared-variable access, the racy surface
-          const std::string var = "z" + std::to_string(rng.below(config.shared_vars));
-          script.push_back((rng.below(2) == 0 ? "read " : "write ") + var);
+          const std::uint64_t v = rng.below(config.shared_vars);
+          const std::string var = "z" + std::to_string(v);
+          shared_access(v, (rng.below(2) == 0 ? "read " : "write ") + var);
           break;
         }
         case 2: {  // private-variable access (independent with everything)
@@ -608,7 +817,7 @@ std::vector<std::vector<std::string>> generate_script(std::uint64_t seed,
         }
         case 3:
         case 4: {  // lock or unlock, respecting per-thread discipline
-          if (config.locks == 0) break;
+          if (config.locks == 0 || config.lock_discipline) break;
           if (!held.empty() && rng.below(2) == 0) {
             script.push_back("unlock m" + std::to_string(held.back()));
             held.pop_back();
@@ -628,11 +837,17 @@ std::vector<std::vector<std::string>> generate_script(std::uint64_t seed,
           break;
         }
         default: {  // another shared access; keeps verdicts mixed
-          const std::string var = "z" + std::to_string(rng.below(config.shared_vars));
-          script.push_back("write " + var);
+          const std::uint64_t v = rng.below(config.shared_vars);
+          shared_access(v, "write z" + std::to_string(v));
           break;
         }
       }
+    }
+    // Channel-misuse shape: an extra recv with no matching send budget,
+    // emitted while any nest is still held so recv-under-lock
+    // communication deadlocks appear too.
+    if (config.channel_misuse && config.channels > 0 && rng.below(2) == 0) {
+      script.push_back("recv q" + std::to_string(rng.below(config.channels)));
     }
     while (!held.empty()) {  // balance: release everything still held
       script.push_back("unlock m" + std::to_string(held.back()));

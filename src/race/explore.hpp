@@ -87,6 +87,36 @@ struct ExploreOptions {
   /// emission k is always exactly f(results 0..k-window-1) — the
   /// determinism contract.
   std::size_t settle_window = 32;
+
+  /// Model real blocking semantics (ReplayOptions::model_blocking) in
+  /// the walk: a lock on a held mutex, a recv on an empty channel, and
+  /// a thread parked at an incomplete barrier are DISABLED, never
+  /// scheduled. The walk then reaches exactly the feasible schedules —
+  /// including maximal-but-stuck prefixes, which are emitted for race
+  /// coverage and recorded as deadlocks (ExploreResult::deadlocks).
+  /// Off (the default) keeps the PR 9 behaviour bit-identical.
+  bool model_blocking = false;
+
+  /// Variables whose cross-thread accesses are proven race-free —
+  /// thread-local or consistently locked (analyze::seed_explore_options
+  /// fills this from a ConcurSummary). Their accesses are treated as
+  /// INDEPENDENT, shrinking backtrack sets and the explored tree. Only
+  /// sound under blocking semantics (without blocking, two "guarded"
+  /// accesses can still interleave inside one critical section), so the
+  /// constructor rejects a non-empty list unless model_blocking is set.
+  /// Unknown names are ignored.
+  std::vector<std::string> independent_vars;
+
+  /// Mutexes that are pure guards: every critical section on them
+  /// contains only accesses to variables they consistently protect
+  /// (analyze::seed_explore_options proves this per-script). Cross-
+  /// thread lock/unlock pairs on such a mutex are treated as
+  /// INDEPENDENT — two pure-guard critical sections commute as atomic
+  /// blocks (a Lipton-style reduction), so one acquisition order per
+  /// pair suffices and the explored tree collapses. Only sound under
+  /// blocking semantics, same constructor rule as independent_vars.
+  /// Unknown names are ignored.
+  std::vector<std::string> independent_mutexes;
 };
 
 struct ExploreResult {
@@ -111,6 +141,14 @@ struct ExploreResult {
   std::uint64_t sleep_pruned = 0;       ///< sleep-blocked leaves (redundant suffixes cut)
   std::uint64_t backtrack_points = 0;   ///< race-analysis additions
 
+  /// Blocking mode only (always empty / 0 otherwise): the distinct
+  /// stuck states the walk reached (deduplicated by position vector,
+  /// deterministic across worker counts — they are found by the
+  /// sequential walk, not the replay pool) and how many emitted
+  /// schedules ended stuck rather than complete.
+  std::vector<DeadlockState> deadlocks;
+  std::uint64_t deadlocked_schedules = 0;
+
   /// One honest line: "explored 31 of 3432 interleavings (complete): 18
   /// racy, 2 distinct race(s), 434 events" — says "budget hit after N"
   /// and ">1.8e19 (saturated)" when that is the truth.
@@ -119,9 +157,10 @@ struct ExploreResult {
 
 /// The DPOR explorer over untagged per-thread scripts (same input shape
 /// as replay_all_interleavings; tagging happens internally). The
-/// constructor parses and validates every op up front — malformed ops
-/// or a release without a program-order acquire throw here, never from
-/// a worker mid-run.
+/// constructor parses and validates every op up front — malformed ops,
+/// a release without a program-order acquire, or independent_vars
+/// without model_blocking (the pruning is unsound when critical
+/// sections can overlap) throw here, never from a worker mid-run.
 class Explorer {
  public:
   explicit Explorer(std::vector<std::vector<std::string>> scripts,
@@ -155,6 +194,26 @@ struct ScriptGenConfig {
   std::size_t locks = 1;         ///< "m0"..
   std::size_t channels = 1;      ///< "q0"..
   bool barriers = false;         ///< one barrier arrival per thread
+
+  // Shape injectors for the static deadlock checks and the pruning
+  // differential (all default off: the PR 9 corpus stays bit-identical).
+
+  /// Roughly half the threads open with a two-lock nest in a
+  /// thread-rotated order ("lock m<t%L>", "lock m<(t+1)%L>") — with
+  /// >= 2 locks the classic ABBA lock-order-cycle shapes appear.
+  bool lock_cycles = false;
+
+  /// Roughly half the threads append an extra trailing recv, so
+  /// send/recv totals go unbalanced and recv-no-send (plus reachable
+  /// communication deadlocks) appear in the corpus.
+  bool channel_misuse = false;
+
+  /// Lock-disciplined mode: every shared-variable access is wrapped in
+  /// "lock m<v%L>" .. "unlock m<v%L>" (one consistent guard per
+  /// variable) and standalone lock/unlock ops are not generated — the
+  /// corpus the static analyzer proves consistently-guarded, for the
+  /// pruned-vs-unpruned exploration differential.
+  bool lock_discipline = false;
 };
 
 [[nodiscard]] std::vector<std::vector<std::string>> generate_script(

@@ -50,12 +50,13 @@ std::vector<std::vector<std::string>> tag_threads(
   return tagged;
 }
 
-ReplayResult replay(const std::vector<std::string>& interleaving) {
+ReplayResult replay(const std::vector<std::string>& interleaving, ReplayOptions options) {
   Detector detector;
-  return replay(interleaving, detector);
+  return replay(interleaving, detector, options);
 }
 
-ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sink) {
+ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sink,
+                    ReplayOptions options) {
   // Pre-scan for the set of threads so a barrier knows its waiter count.
   std::set<std::string> tags;
   for (const std::string& text : interleaving) tags.insert(parse_op(text).tag);
@@ -69,22 +70,45 @@ ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sin
     first = false;
   }
 
+  // Blocking bookkeeping (model_blocking only): who holds each mutex,
+  // how many sends each channel has pending. A thread in `at_barrier`
+  // is parked until the cycle completes — under blocking, any op it
+  // tries to run before that makes the schedule infeasible.
+  std::map<std::string, ThreadId> holder;
+  std::map<std::string, std::size_t> filled;
+
+  ReplayResult result;
+  result.schedule = interleaving;
+
   std::set<ThreadId> at_barrier;
   for (const std::string& text : interleaving) {
     const Op op = parse_op(text);
     const ThreadId t = tids.at(op.tag);
+    if (options.model_blocking) {
+      bool blocked = at_barrier.count(t) != 0;
+      if (!blocked && op.verb == "lock") blocked = holder.count(op.arg) != 0;
+      if (!blocked && op.verb == "recv") blocked = filled[op.arg] == 0;
+      if (blocked) {
+        result.feasible = false;
+        break;
+      }
+    }
     if (op.verb == "read") {
       sink.read(t, op.arg, text);
     } else if (op.verb == "write") {
       sink.write(t, op.arg, text);
     } else if (op.verb == "lock") {
       sink.acquire(t, op.arg);
+      if (options.model_blocking) holder[op.arg] = t;
     } else if (op.verb == "unlock") {
       sink.release(t, op.arg);
+      if (options.model_blocking) holder.erase(op.arg);
     } else if (op.verb == "send") {
       sink.channel_send(t, op.arg);
+      if (options.model_blocking) ++filled[op.arg];
     } else if (op.verb == "recv") {
       sink.channel_recv(t, op.arg);
+      if (options.model_blocking) --filled[op.arg];
     } else if (op.verb == "barrier") {
       at_barrier.insert(t);
       if (at_barrier.size() == tids.size()) {
@@ -94,12 +118,11 @@ ReplayResult replay(const std::vector<std::string>& interleaving, EventSink& sin
     } else {
       throw Error("replay op '" + text + "': unknown verb '" + op.verb + "'");
     }
+    ++result.executed;
   }
 
-  ReplayResult result;
   result.races = sink.races();
   result.events = sink.events();
-  result.schedule = interleaving;
   return result;
 }
 
@@ -148,6 +171,177 @@ std::vector<RaceReport> distinct_races(const std::vector<ReplayResult>& results)
     }
   }
   return out;
+}
+
+std::string DeadlockState::to_string() const {
+  std::string out = "deadlock after " + std::to_string(witness.size()) + " step(s):";
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    out += i == 0 ? " " : "; ";
+    out += "'" + waiting[i] + "' waits on " + resources[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Memoized DFS over position vectors (see find_deadlocks in the
+/// header). State mutates in place with execute/undo; `visited` keys on
+/// the position vector, which determines the rest of the state exactly
+/// because scripts are straight-line.
+struct DeadlockSearch {
+  const std::vector<std::vector<Op>>& ops;
+  std::size_t max_states;
+
+  std::vector<std::size_t> pos;
+  std::map<std::string, std::size_t> holder;  // mutex -> thread index
+  std::map<std::string, std::size_t> filled;  // channel -> pending sends
+  std::vector<std::size_t> arrivals;
+  std::vector<std::string> trail;
+  std::set<std::vector<std::size_t>> visited;
+  DeadlockSearchResult out;
+
+  DeadlockSearch(const std::vector<std::vector<Op>>& o, std::size_t m)
+      : ops(o), max_states(m), pos(o.size(), 0), arrivals(o.size(), 0) {}
+
+  /// Cycles completed so far: the slowest participating thread's
+  /// arrival count. Threads with empty scripts never arrive and never
+  /// count (they are not in the schedule's waiter set).
+  [[nodiscard]] std::size_t completed_cycles() const {
+    std::size_t completed = ~std::size_t{0};
+    bool any = false;
+    for (std::size_t t = 0; t < ops.size(); ++t) {
+      if (ops[t].empty()) continue;
+      completed = any ? std::min(completed, arrivals[t]) : arrivals[t];
+      any = true;
+    }
+    return any ? completed : 0;
+  }
+
+  [[nodiscard]] bool parked(std::size_t t) const {
+    return arrivals[t] > completed_cycles();
+  }
+
+  [[nodiscard]] bool enabled(std::size_t t) const {
+    if (pos[t] >= ops[t].size() || parked(t)) return false;
+    const Op& op = ops[t][pos[t]];
+    if (op.verb == "lock") return holder.count(op.arg) == 0;
+    if (op.verb == "recv") {
+      const auto it = filled.find(op.arg);
+      return it != filled.end() && it->second > 0;
+    }
+    return true;
+  }
+
+  void execute(std::size_t t) {
+    const Op& op = ops[t][pos[t]];
+    if (op.verb == "lock") {
+      holder[op.arg] = t;
+    } else if (op.verb == "unlock") {
+      holder.erase(op.arg);
+    } else if (op.verb == "send") {
+      ++filled[op.arg];
+    } else if (op.verb == "recv") {
+      --filled[op.arg];
+    } else if (op.verb == "barrier") {
+      ++arrivals[t];
+    }
+    trail.push_back(op.tag + ' ' + op.verb + (op.arg.empty() ? "" : ' ' + op.arg));
+    ++pos[t];
+  }
+
+  void undo(std::size_t t) {
+    --pos[t];
+    trail.pop_back();
+    const Op& op = ops[t][pos[t]];
+    if (op.verb == "lock") {
+      holder.erase(op.arg);
+    } else if (op.verb == "unlock") {
+      holder[op.arg] = t;
+    } else if (op.verb == "send") {
+      --filled[op.arg];
+    } else if (op.verb == "recv") {
+      ++filled[op.arg];
+    } else if (op.verb == "barrier") {
+      --arrivals[t];
+    }
+  }
+
+  void record_deadlock() {
+    DeadlockState state;
+    for (std::size_t t = 0; t < ops.size(); ++t) {
+      if (pos[t] >= ops[t].size()) continue;
+      if (parked(t)) {
+        state.waiting.push_back(ops[t][pos[t] - 1].tag + " barrier");
+        state.resources.push_back("barrier");
+      } else {
+        const Op& op = ops[t][pos[t]];
+        state.waiting.push_back(op.tag + ' ' + op.verb + ' ' + op.arg);
+        state.resources.push_back((op.verb == "lock" ? "mutex " : "channel ") + op.arg);
+      }
+    }
+    state.witness = trail;
+    out.deadlocks.push_back(std::move(state));
+  }
+
+  void visit() {
+    if (visited.count(pos) != 0) return;
+    if (out.states_visited >= max_states) {
+      out.complete = false;
+      return;
+    }
+    visited.insert(pos);
+    ++out.states_visited;
+
+    bool all_done = true;
+    bool any_enabled = false;
+    for (std::size_t t = 0; t < ops.size(); ++t) {
+      if (pos[t] < ops[t].size()) all_done = false;
+      if (enabled(t)) any_enabled = true;
+    }
+    if (!any_enabled) {
+      if (!all_done) record_deadlock();
+      return;
+    }
+    for (std::size_t t = 0; t < ops.size(); ++t) {
+      if (!enabled(t)) continue;
+      execute(t);
+      visit();
+      undo(t);
+    }
+  }
+};
+
+}  // namespace
+
+DeadlockSearchResult find_deadlocks(const std::vector<std::vector<std::string>>& scripts,
+                                    std::size_t max_states) {
+  // Parse + validate up front, Explorer-style: malformed ops and
+  // unlock-without-lock throw here, never mid-search.
+  std::vector<std::vector<Op>> ops(scripts.size());
+  for (std::size_t t = 0; t < scripts.size(); ++t) {
+    std::multiset<std::string> held;
+    const std::string tag = "t" + std::to_string(t);
+    ops[t].reserve(scripts[t].size());
+    for (const std::string& text : scripts[t]) {
+      Op op = parse_op(tag + ' ' + text);
+      const bool known = op.verb == "read" || op.verb == "write" || op.verb == "lock" ||
+                         op.verb == "unlock" || op.verb == "send" || op.verb == "recv" ||
+                         op.verb == "barrier";
+      require(known, "deadlock search op '" + text + "': unknown verb '" + op.verb + "'");
+      if (op.verb == "lock") held.insert(op.arg);
+      if (op.verb == "unlock") {
+        const auto it = held.find(op.arg);
+        require(it != held.end(), "deadlock search: '" + tag + ' ' + text +
+                                      "' releases a lock with no program-order acquire");
+        held.erase(it);
+      }
+      ops[t].push_back(std::move(op));
+    }
+  }
+
+  DeadlockSearch search(ops, max_states);
+  search.visit();
+  return std::move(search.out);
 }
 
 }  // namespace cs31::race

@@ -20,10 +20,20 @@
 //
 // Replay threads are registered as concurrent roots (no fork edges):
 // exactly the model of the homework's already-running processes. Note
-// that replay models happens-before edges, not blocking — schedules
-// that real mutual exclusion would forbid (two threads "inside" one
-// lock at once) are still replayed, which is itself a talking point:
-// the enumerator over-approximates, the detector under-approximates.
+// that by default replay models happens-before edges, not blocking —
+// schedules that real mutual exclusion would forbid (two threads
+// "inside" one lock at once) are still replayed, which is itself a
+// talking point: the enumerator over-approximates, the detector
+// under-approximates. ReplayOptions::model_blocking switches real
+// semantics on: a lock blocks while the mutex is held (including by
+// its own thread — self-deadlock), a recv blocks on an empty channel,
+// and a barrier arrival parks the thread until every thread in the
+// schedule has arrived. Under blocking, a schedule that tries to run a
+// blocked op is INFEASIBLE (result.feasible == false, the prefix
+// before the blocked op is what got replayed), and find_deadlocks()
+// searches the reachable state space — exactly, via memoized DFS over
+// position vectors, no schedule enumeration — for states where some
+// thread still has ops but nobody can move.
 #pragma once
 
 #include <cstdint>
@@ -34,11 +44,28 @@
 
 namespace cs31::race {
 
+/// Replay semantics knobs.
+struct ReplayOptions {
+  /// Model real blocking: lock waits for the holder, recv waits for a
+  /// send, a barrier arrival parks its thread until the cycle
+  /// completes. Off (the default) keeps the PR 9 behaviour — every
+  /// schedule replays in full and only happens-before edges are
+  /// modelled.
+  bool model_blocking = false;
+};
+
 /// Outcome of replaying one interleaving.
 struct ReplayResult {
   std::vector<RaceReport> races;
   std::uint64_t events = 0;
   std::vector<std::string> schedule;  ///< the interleaving that was replayed
+
+  /// Blocking mode only: false when the schedule ran an op its thread
+  /// was blocked on; `executed` counts the ops that did run (always
+  /// schedule.size() when feasible / in non-blocking mode).
+  bool feasible = true;
+  std::size_t executed = 0;
+
   [[nodiscard]] bool race_free() const { return races.empty(); }
 };
 
@@ -50,14 +77,15 @@ struct ReplayResult {
 /// Replay one tagged interleaving (e.g. one element of
 /// os::all_interleavings(tag_threads(scripts))). Throws cs31::Error on a
 /// malformed op.
-[[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving);
+[[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving,
+                                  ReplayOptions options = {});
 
 /// Same, but through a caller-supplied detector implementation — the
 /// differential harness replays one schedule into both the FastTrack
 /// and the reference detector this way. The sink must be fresh (no
 /// prior events); thread tags are registered in tag order.
 [[nodiscard]] ReplayResult replay(const std::vector<std::string>& interleaving,
-                                  EventSink& sink);
+                                  EventSink& sink, ReplayOptions options = {});
 
 /// Enumerate every interleaving of the scripts (program order preserved
 /// per thread) and replay each, streaming schedules one at a time
@@ -87,5 +115,43 @@ struct ReplayStats {
 /// student should read, not 70 copies.
 [[nodiscard]] std::vector<RaceReport> distinct_races(
     const std::vector<ReplayResult>& results);
+
+/// One reachable stuck state under blocking semantics: some thread
+/// still has ops, nobody can move. `waiting`/`resources` are parallel
+/// — the blocked op of each unfinished thread and what it waits on in
+/// the analyze::concur resource spelling ("mutex a", "channel q0",
+/// "barrier"); a thread parked inside the barrier reports its barrier
+/// op. `witness` is a feasible tagged schedule prefix reaching the
+/// state (replayable with model_blocking to confirm).
+struct DeadlockState {
+  std::vector<std::string> waiting;
+  std::vector<std::string> resources;
+  std::vector<std::string> witness;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct DeadlockSearchResult {
+  /// Distinct stuck states (one per position vector), in deterministic
+  /// lowest-thread-first DFS discovery order.
+  std::vector<DeadlockState> deadlocks;
+  std::uint64_t states_visited = 0;
+  bool complete = true;  ///< false when max_states bound the search
+
+  [[nodiscard]] bool deadlock_free() const { return deadlocks.empty(); }
+};
+
+/// Exact deadlock search under blocking semantics over untagged
+/// per-thread scripts (the replay_all_interleavings input shape).
+/// Because scripts are straight-line, the entire dynamic state —
+/// mutex holders, channel fill, barrier arrivals — is a pure function
+/// of the per-thread position vector, so a memoized DFS over position
+/// vectors covers every reachable state without enumerating schedules:
+/// the state space is at most prod(len_t + 1), not the multinomial.
+/// Throws cs31::Error on malformed ops or an unlock with no
+/// program-order lock (same validation as Explorer).
+[[nodiscard]] DeadlockSearchResult find_deadlocks(
+    const std::vector<std::vector<std::string>>& scripts,
+    std::size_t max_states = std::size_t{1} << 20);
 
 }  // namespace cs31::race

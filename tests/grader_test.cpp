@@ -144,6 +144,63 @@ TEST(Toolchain, LifeMalformedConfigIsInvalid) {
   EXPECT_EQ(v.score, 0);
 }
 
+TEST(Toolchain, ScriptCleanIsCertifiedRaceFree) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::Script, script_body_clean(4)}, test_limits());
+  EXPECT_EQ(v.status, "race_free") << v.to_json();
+  EXPECT_EQ(v.score, 100);
+  EXPECT_EQ(v.races, 0u);
+  EXPECT_GT(v.result, 0) << "schedules replayed";
+  EXPECT_GT(v.events, 0u);
+}
+
+TEST(Toolchain, ScriptForgottenLockIsCaughtAndExplained) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::Script, script_body_racy(4)}, test_limits());
+  EXPECT_EQ(v.status, "race_found") << v.to_json();
+  EXPECT_EQ(v.score, 30);
+  EXPECT_GT(v.races, 0u);
+  // Both the static prediction and the dynamic confirmation ride along
+  // as notes: the analyzer's candidate first, the explorer's site pair
+  // last.
+  bool static_note = false, dynamic_note = false;
+  for (const std::string& note : v.notes) {
+    if (note.find("static-race") != std::string::npos) static_note = true;
+    if (note.find("race on c") != std::string::npos) dynamic_note = true;
+  }
+  EXPECT_TRUE(static_note) << v.to_json();
+  EXPECT_TRUE(dynamic_note) << v.to_json();
+}
+
+TEST(Toolchain, ScriptAbbaNestIsADeadlockVerdict) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::Script, script_body_deadlock(4)}, test_limits());
+  EXPECT_EQ(v.status, "deadlock_found") << v.to_json();
+  EXPECT_EQ(v.score, 20);
+  bool cycle_note = false;
+  for (const std::string& note : v.notes) {
+    if (note.find("lock-order-cycle") != std::string::npos) cycle_note = true;
+  }
+  EXPECT_TRUE(cycle_note) << "static prediction missing: " << v.to_json();
+}
+
+TEST(Toolchain, ScriptMalformedOpIsInvalid) {
+  const Verdict v = run_toolchain(
+      {"s", SubmissionKind::Script, poison_bad_script()}, test_limits());
+  EXPECT_EQ(v.status, "invalid") << v.to_json();
+  EXPECT_EQ(v.score, 0);
+  ASSERT_FALSE(v.notes.empty());
+}
+
+TEST(Toolchain, ScriptVerdictIsDeterministic) {
+  for (const std::string& body :
+       {script_body_clean(11), script_body_racy(11), script_body_deadlock(11)}) {
+    const Verdict a = run_toolchain({"a", SubmissionKind::Script, body}, test_limits());
+    const Verdict b = run_toolchain({"b", SubmissionKind::Script, body}, test_limits());
+    EXPECT_EQ(a.to_json(), b.to_json());
+  }
+}
+
 TEST(Toolchain, VerdictJsonIsStable) {
   const Verdict v =
       run_toolchain({"s", SubmissionKind::Assembly, assembly_body(9)}, test_limits());
@@ -345,6 +402,33 @@ TEST(Service, PoisonSubmissionsNeverTakeDownThePool) {
   service.wait_idle();
   EXPECT_EQ(service.stats().graded, plan.submissions.size() + 1);
   EXPECT_NE(service.report_lines().back().find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(Service, ScriptReviewBatchGradesEveryVerdictKind) {
+  // The concurrency homework batch end to end: clean, racy, deadlocking,
+  // and malformed scripts all come back with the right verdicts, and
+  // the stream stays byte-identical across worker counts like every
+  // other scenario.
+  const LoadPlan plan = make_scenario("script_review", 24, 6);
+  const std::string reference = grade_stream(plan, test_options(1));
+  EXPECT_EQ(grade_stream(plan, test_options(4)), reference) << "4 workers diverged";
+  GraderService service(test_options(4));
+  service.submit_all(plan.submissions);
+  service.wait_idle();
+  const auto lines = service.report_lines();
+  ASSERT_EQ(lines.size(), plan.submissions.size());
+  std::size_t race_free = 0, race_found = 0, deadlock_found = 0, invalid = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"status\":\"race_free\"") != std::string::npos) ++race_free;
+    if (line.find("\"status\":\"race_found\"") != std::string::npos) ++race_found;
+    if (line.find("\"status\":\"deadlock_found\"") != std::string::npos) ++deadlock_found;
+    if (line.find("\"status\":\"invalid\"") != std::string::npos) ++invalid;
+  }
+  EXPECT_GT(race_free, 0u);
+  EXPECT_GT(race_found, 0u);
+  EXPECT_GT(deadlock_found, 0u);
+  EXPECT_GT(invalid, 0u);
+  EXPECT_EQ(race_free + race_found + deadlock_found + invalid, lines.size());
 }
 
 TEST(Service, SingleWorkerCapacityOneBackpressures) {
